@@ -1,0 +1,103 @@
+// E10 (extension) — STR bulk loading vs incremental insertion for the
+// initial fleet load of the time-space index: build time, tree size, and
+// query cost on the packed vs grown tree.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "index/rtree3.h"
+#include "util/rng.h"
+
+namespace modb::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using geo::Box3;
+
+std::vector<std::pair<Box3, index::RTree3::Value>> MakeEntries(
+    std::size_t n, util::Rng& rng) {
+  std::vector<std::pair<Box3, index::RTree3::Value>> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0.0, 1000.0);
+    const double y = rng.Uniform(0.0, 1000.0);
+    const double t = rng.Uniform(0.0, 120.0);
+    entries.emplace_back(
+        Box3(x, y, t, x + rng.Uniform(0.5, 5.0), y + rng.Uniform(0.5, 5.0),
+             t + 4.0),
+        i);
+  }
+  return entries;
+}
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+int Run() {
+  PrintHeader("E10: STR bulk load vs incremental R*-tree build",
+              "packed builds are much faster and yield a smaller tree with "
+              "equal answers");
+
+  util::Table table({"N entries", "insert ms", "bulk ms", "speedup",
+                     "insert nodes", "bulk nodes", "insert us/q",
+                     "bulk us/q"});
+  bool pass = true;
+  for (std::size_t n : {10000u, 40000u, 160000u}) {
+    util::Rng rng(n);
+    const auto entries = MakeEntries(n, rng);
+
+    const auto t0 = Clock::now();
+    index::RTree3 incremental;
+    for (const auto& [box, value] : entries) incremental.Insert(box, value);
+    const double insert_ms = MillisSince(t0);
+
+    const auto t1 = Clock::now();
+    index::RTree3 bulk;
+    bulk.BulkLoad(entries);
+    const double bulk_ms = MillisSince(t1);
+
+    // Query cost on both trees.
+    auto time_queries = [](const index::RTree3& tree) {
+      util::Rng qrng(99);
+      const auto q0 = Clock::now();
+      std::size_t hits = 0;
+      for (int q = 0; q < 500; ++q) {
+        const double x = qrng.Uniform(0.0, 950.0);
+        const double y = qrng.Uniform(0.0, 950.0);
+        const double t = qrng.Uniform(0.0, 120.0);
+        tree.Search(Box3(x, y, t, x + 50.0, y + 50.0, t),
+                    [&hits](const Box3&, index::RTree3::Value) { ++hits; });
+      }
+      (void)hits;
+      return MillisSince(q0) * 1000.0 / 500.0;
+    };
+    const double insert_usq = time_queries(incremental);
+    const double bulk_usq = time_queries(bulk);
+
+    table.NewRow()
+        .Add(n)
+        .Add(insert_ms, 1)
+        .Add(bulk_ms, 1)
+        .Add(insert_ms / bulk_ms, 1)
+        .Add(incremental.num_nodes())
+        .Add(bulk.num_nodes())
+        .Add(insert_usq, 1)
+        .Add(bulk_usq, 1);
+
+    pass &= bulk_ms < insert_ms;
+    pass &= bulk.num_nodes() <= incremental.num_nodes();
+    pass &= bulk.size() == incremental.size();
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("shape check — bulk build faster and at least as compact at "
+              "every size: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main() { return modb::bench::Run(); }

@@ -1,0 +1,67 @@
+#ifndef MODB_BENCH_EXP_COMMON_H_
+#define MODB_BENCH_EXP_COMMON_H_
+
+// Shared setup for the experiment-reproduction binaries (E1-E7 in
+// DESIGN.md): the standard speed-curve suite and sweep parameters that play
+// the role of the paper's §3.4 simulation protocol.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/speed_curve.h"
+#include "util/rng.h"
+
+namespace modb::bench {
+
+/// One-hour trips, minutes as the time unit, cruise 1 mi/min, V = 1.5.
+inline sim::CurveGenOptions StandardCurveOptions() {
+  sim::CurveGenOptions options;
+  options.duration = 60.0;
+  options.step = 1.0;
+  options.cruise_speed = 1.0;
+  options.max_speed = 1.5;
+  return options;
+}
+
+/// The evaluation suite: `per_kind` curves per pattern (highway, city,
+/// traffic-jam, rush-hour), deterministically seeded.
+inline std::vector<sim::NamedCurve> StandardSuite(int per_kind = 10,
+                                                  std::uint64_t seed = 1998) {
+  util::Rng rng(seed);
+  return sim::MakeStandardSuite(rng, per_kind, StandardCurveOptions());
+}
+
+/// Update costs swept in the paper-style plots ("as a function of the
+/// message cost").
+inline std::vector<double> StandardCostAxis() {
+  return {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0};
+}
+
+/// The three policies of the paper plus our baselines/extension.
+inline sim::SweepConfig StandardSweepConfig(bool include_baselines) {
+  sim::SweepConfig config;
+  config.policies = {core::PolicyKind::kDelayedLinear,
+                     core::PolicyKind::kAverageImmediateLinear,
+                     core::PolicyKind::kCurrentImmediateLinear};
+  if (include_baselines) {
+    config.policies.push_back(core::PolicyKind::kFixedThreshold);
+    config.policies.push_back(core::PolicyKind::kHybridAdaptive);
+  }
+  config.update_costs = StandardCostAxis();
+  config.base_policy.max_speed = 1.5;
+  config.base_policy.fixed_threshold = 1.5;
+  config.base_policy.period = 1.0;
+  return config;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf("Paper claim: %s\n\n", claim.c_str());
+}
+
+}  // namespace modb::bench
+
+#endif  // MODB_BENCH_EXP_COMMON_H_

@@ -1,0 +1,87 @@
+// E5 — reproduces every worked number in the paper's Example 1:
+//   - the dl optimal update threshold k_opt = 1.74 miles for a = 1, b = 2,
+//     C = 5 ("after it has been stopped for one minute and 44 seconds"),
+//   - the dl slow-bound curve: slope 1 for ~3 minutes, then constant 3.16,
+//   - the dl fast-bound curve: slope 0.5 for ~4.5 minutes, then 2.24,
+//   - the il bound curves: same rise, then decreasing as 10/t,
+// and cross-checks the threshold against a simulated Example-1 vehicle.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "core/bounds.h"
+#include "core/thresholds.h"
+#include "sim/simulator.h"
+
+namespace modb::bench {
+namespace {
+
+int Run() {
+  PrintHeader("E5: Example 1 worked numbers (threshold and bound curves)",
+              "k_opt = 1.74; dl slow bound plateaus at 3.16 after ~3 min; "
+              "dl fast bound plateaus at 2.24 after ~4.5 min; il bounds "
+              "decrease as 10/t after their peak");
+
+  bool pass = true;
+  const double C = 5.0;
+  const double v = 1.0;
+  const double V = 1.5;
+
+  const double k_opt = core::OptimalThresholdDelayedLinear(1.0, 2.0, C);
+  std::printf("dl optimal threshold (a=1, b=2, C=5): %.4f miles "
+              "(paper: 1.74)\n", k_opt);
+  pass &= std::fabs(k_opt - 1.74) < 0.01;
+
+  // The stop lasts from minute 2; threshold reached after k_opt more
+  // minutes, i.e. 1 minute 44 seconds into the stop.
+  const int seconds = static_cast<int>(std::lround((k_opt - 1.0) * 60.0));
+  std::printf("update fires after stopped for: 1 minute %d seconds "
+              "(paper: 1 minute 44 seconds)\n\n", seconds);
+  pass &= seconds == 44 || seconds == 45;
+
+  util::Table table({"t (min)", "dl slow", "dl fast", "il slow", "il fast"});
+  for (double t : {1.0, 2.0, 3.0, 4.0, 5.0, 10.0, 15.0, 20.0}) {
+    table.NewRow()
+        .Add(t, 1)
+        .Add(core::DlSlowBound(v, C, t), 3)
+        .Add(core::DlFastBound(V, v, C, t), 3)
+        .Add(core::IlSlowBound(v, C, t), 3)
+        .Add(core::IlFastBound(V, v, C, t), 3);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  pass &= std::fabs(core::DlSlowBound(v, C, 10.0) - 3.16) < 0.01;
+  pass &= std::fabs(core::DlSlowBound(v, C, 15.0) - 3.16) < 0.01;
+  pass &= std::fabs(core::DlFastBound(V, v, C, 10.0) - 2.24) < 0.01;
+  pass &= std::fabs(core::IlSlowBound(v, C, 10.0) - 1.0) < 1e-9;   // 10/t
+  pass &= std::fabs(core::IlSlowBound(v, C, 20.0) - 0.5) < 1e-9;
+  pass &= std::fabs(core::IlFastBound(V, v, C, 5.0) - 2.0) < 1e-9;
+
+  // Simulated cross-check: the Example-1 vehicle (1 mi/min for 2 minutes,
+  // then a jam) running dl sends exactly one update, once the deviation
+  // crosses k_opt.
+  std::vector<double> speeds(10, 0.0);
+  speeds[0] = speeds[1] = 1.0;
+  core::PolicyConfig policy;
+  policy.kind = core::PolicyKind::kDelayedLinear;
+  policy.update_cost = C;
+  policy.max_speed = V;
+  sim::SimulationOptions fine;
+  fine.tick = 1.0 / 60.0;  // one-second ticks
+  const sim::RunMetrics m = sim::SimulatePolicyOnCurve(
+      sim::SpeedCurve(speeds, 1.0), policy, fine);
+  std::printf("simulated Example-1 vehicle: %zu update(s), max deviation "
+              "%.3f (threshold %.3f)\n", m.messages, m.max_deviation, k_opt);
+  pass &= m.messages == 1;
+  pass &= std::fabs(m.max_deviation - k_opt) < 0.05;
+
+  std::printf("\nshape check — all Example 1 numbers reproduced: %s\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main() { return modb::bench::Run(); }

@@ -1,0 +1,107 @@
+// E12 (extension; paper §6 future work "other update policies" and §3.1's
+// observation that the best policy depends on the speed pattern) — the
+// hybrid adaptive policy classifies each update-to-update window by its
+// speed fluctuation (coefficient of variation) and runs dl on steady
+// windows, ail on fluctuating ones. This ablation compares hybrid against
+// its two ingredients per workload class and sweeps the switching
+// threshold.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "sim/simulator.h"
+
+namespace modb::bench {
+namespace {
+
+sim::MeanMetrics RunOn(const std::vector<sim::NamedCurve>& curves,
+                       const core::PolicyConfig& policy) {
+  std::vector<sim::RunMetrics> runs;
+  runs.reserve(curves.size());
+  for (const auto& named : curves) {
+    runs.push_back(
+        sim::SimulatePolicyOnCurve(named.curve, policy, sim::SimulationOptions{}));
+  }
+  return sim::Aggregate(runs);
+}
+
+std::vector<sim::NamedCurve> KindSuite(const char* kind, int count) {
+  util::Rng rng(4711);
+  const sim::CurveGenOptions options = StandardCurveOptions();
+  std::vector<sim::NamedCurve> out;
+  for (int i = 0; i < count; ++i) {
+    sim::SpeedCurve curve;
+    if (std::string(kind) == "highway") {
+      curve = sim::MakeHighwayCurve(rng, options);
+    } else if (std::string(kind) == "city") {
+      curve = sim::MakeCityCurve(rng, options);
+    } else {
+      curve = sim::MakeRushHourCurve(rng, options);
+    }
+    out.push_back({kind, std::move(curve)});
+  }
+  return out;
+}
+
+int Run() {
+  PrintHeader("E12: hybrid adaptive policy ablation",
+              "per-window adaptation should track the better of dl/ail on "
+              "each workload class");
+
+  bool pass = true;
+  std::printf("--- (a) hybrid vs its ingredients per workload (C = 5) ---\n");
+  util::Table table({"workload", "dl cost", "ail cost", "hybrid cost",
+                     "hybrid within 15% of best"});
+  for (const char* kind : {"highway", "city", "rush"}) {
+    const auto suite = KindSuite(kind, 15);
+    core::PolicyConfig base;
+    base.update_cost = 5.0;
+    base.max_speed = 1.5;
+    base.kind = core::PolicyKind::kDelayedLinear;
+    const double dl = RunOn(suite, base).total_cost;
+    base.kind = core::PolicyKind::kAverageImmediateLinear;
+    const double ail = RunOn(suite, base).total_cost;
+    base.kind = core::PolicyKind::kHybridAdaptive;
+    const double hybrid = RunOn(suite, base).total_cost;
+    const bool ok = hybrid <= 1.15 * std::min(dl, ail);
+    pass &= ok;
+    table.NewRow()
+        .Add(std::string(kind))
+        .Add(dl, 2)
+        .Add(ail, 2)
+        .Add(hybrid, 2)
+        .Add(std::string(ok ? "yes" : "NO"));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("--- (b) switching-threshold sweep (rush-hour mix, C = 5) ---\n");
+  util::Table sweep({"cv switch", "messages", "total cost",
+                     "avg uncertainty"});
+  const auto rush = KindSuite("rush", 15);
+  for (double cv : {0.0, 0.15, 0.3, 0.6, 1.0, 1e9}) {
+    core::PolicyConfig policy;
+    policy.kind = core::PolicyKind::kHybridAdaptive;
+    policy.update_cost = 5.0;
+    policy.max_speed = 1.5;
+    policy.hybrid_cv_switch = cv;
+    const sim::MeanMetrics mean = RunOn(rush, policy);
+    sweep.NewRow()
+        .Add(cv >= 1e9 ? std::string("inf (pure dl)")
+                       : std::to_string(cv).substr(0, 4))
+        .Add(mean.messages, 2)
+        .Add(mean.total_cost, 2)
+        .Add(mean.avg_uncertainty, 3);
+  }
+  std::printf("%s\n", sweep.ToString().c_str());
+  std::printf("(cv = 0 behaves as pure ail decisions, cv = inf as pure dl; "
+              "the default 0.3 sits between)\n\n");
+
+  std::printf("shape check — hybrid within 15%% of the better ingredient on "
+              "every workload: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main() { return modb::bench::Run(); }

@@ -1,0 +1,95 @@
+// E11 (extension) — robustness of the paper's bounds under an unreliable
+// wireless channel. The paper assumes instantaneous, reliable updates; this
+// experiment injects message loss with onboard retransmission (a message is
+// only mirrored onboard once acknowledged) and measures how the bound
+// guarantee degrades: delivered traffic, verification failures beyond the
+// lossless tolerance, and the worst excess.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "sim/fleet.h"
+#include "sim/trip.h"
+
+namespace modb::bench {
+namespace {
+
+int Run() {
+  PrintHeader("E11: bound robustness under message loss",
+              "with delivery-acknowledged retransmission the DBMS bounds "
+              "remain nearly sound; excess grows only with loss streaks");
+
+  util::Table table({"loss p", "attempted", "delivered", "retransmit "
+                     "overhead %", "violations", "violation rate %",
+                     "max excess"});
+  bool pass = true;
+  double lossless_attempts = 0.0;
+  for (double p : {0.0, 0.1, 0.2, 0.3, 0.5}) {
+    geo::RouteNetwork network;
+    network.AddGridNetwork(5, 5, 40.0);
+    db::ModDatabase db(&network);
+    sim::FleetOptions options;
+    options.message_loss_probability = p;
+    options.seed = 1234;
+    sim::FleetSimulator fleet(&db, options);
+
+    util::Rng rng(2026);
+    const sim::CurveGenOptions curve_options = StandardCurveOptions();
+    for (core::ObjectId id = 0; id < 30; ++id) {
+      const auto route_id = static_cast<geo::RouteId>(
+          rng.UniformInt(0, static_cast<std::int64_t>(network.size()) - 1));
+      const geo::Route& route = network.route(route_id);
+      sim::Trip trip(&route, rng.Uniform(0.0, route.Length() * 0.2),
+                     core::TravelDirection::kForward, 0.0,
+                     sim::MakeCityCurve(rng, curve_options));
+      core::PolicyConfig policy;
+      policy.kind = core::PolicyKind::kAverageImmediateLinear;
+      policy.update_cost = 5.0;
+      policy.max_speed = 1.5;
+      fleet.AddVehicle(
+          sim::Vehicle(id, std::move(trip), core::MakePolicy(policy)));
+    }
+    if (!fleet.RegisterAll().ok() || !fleet.Run().ok()) return 1;
+
+    const sim::FleetStats& stats = fleet.stats();
+    if (p == 0.0) {
+      lossless_attempts = static_cast<double>(stats.messages_attempted);
+    }
+    const double overhead =
+        lossless_attempts > 0.0
+            ? 100.0 * (static_cast<double>(stats.messages_attempted) -
+                       lossless_attempts) /
+                  lossless_attempts
+            : 0.0;
+    const double violation_rate =
+        100.0 * static_cast<double>(stats.bound_violations) /
+        static_cast<double>(stats.vehicle_ticks);
+    table.NewRow()
+        .Add(p, 2)
+        .Add(static_cast<std::size_t>(stats.messages_attempted))
+        .Add(static_cast<std::size_t>(stats.messages_delivered()))
+        .Add(overhead, 1)
+        .Add(static_cast<std::size_t>(stats.bound_violations))
+        .Add(violation_rate, 2)
+        .Add(stats.max_bound_excess, 3);
+
+    if (p == 0.0) {
+      pass &= stats.bound_violations == 0;
+      pass &= stats.messages_lost == 0;
+    } else {
+      // Under loss the guarantee degrades gracefully: transient violations
+      // stay rare and small (a few ticks of worst-case growth).
+      pass &= violation_rate < 5.0;
+      pass &= stats.max_bound_excess < 6.0 * 1.5;
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("shape check — zero violations lossless; rare, small excess "
+              "under loss up to 50%%: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main() { return modb::bench::Run(); }

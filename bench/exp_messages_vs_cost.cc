@@ -1,0 +1,50 @@
+// E1 — regenerates the paper's "number of position-update messages as a
+// function of the message cost" plot (§3.4, plots omitted from the
+// camera-ready for space). One row per update cost C, one column per
+// policy; every value is the mean over the standard one-hour curve suite.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+
+namespace modb::bench {
+namespace {
+
+int Run() {
+  PrintHeader("E1: position-update messages vs message cost C",
+              "update frequency decreases as the update cost increases "
+              "(Section 1); plots report #messages per policy vs C");
+
+  const auto suite = StandardSuite();
+  const sim::SweepConfig config = StandardSweepConfig(/*include_baselines=*/true);
+  const auto cells = sim::RunSweep(suite, config);
+
+  const util::Table table =
+      sim::SweepTable(cells, sim::MetricKind::kMessages);
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("(mean messages per 60-minute trip, %zu curves per cell)\n\n",
+              suite.size());
+
+  // Qualitative check: monotone non-increasing in C for the cost-based
+  // policies.
+  bool monotone = true;
+  for (core::PolicyKind kind :
+       {core::PolicyKind::kDelayedLinear,
+        core::PolicyKind::kAverageImmediateLinear,
+        core::PolicyKind::kCurrentImmediateLinear}) {
+    double prev = 1e18;
+    for (const auto& cell : cells) {
+      if (cell.policy != kind) continue;
+      if (cell.mean.messages > prev + 1e-9) monotone = false;
+      prev = cell.mean.messages;
+    }
+  }
+  std::printf("shape check — messages non-increasing in C: %s\n",
+              monotone ? "PASS" : "FAIL");
+  return monotone ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main() { return modb::bench::Run(); }

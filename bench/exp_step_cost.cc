@@ -1,0 +1,77 @@
+// E9 (extension; DESIGN.md §5 ablation 4) — the step deviation cost
+// function (paper §3.1): zero penalty while the deviation stays below h,
+// one per time unit above. The kStepThreshold policy implements the
+// bang-bang optimum (update at h iff C < b + h/a). This bench scores every
+// policy on the *step* metric across (h, C) and verifies the step policy
+// is never beaten by more than a small margin by the uniform-cost
+// policies — they optimise the wrong objective.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "core/deviation.h"
+#include "sim/simulator.h"
+
+namespace modb::bench {
+namespace {
+
+int Run() {
+  PrintHeader("E9: step deviation cost ablation",
+              "for the step cost the optimal rule is bang-bang: update the "
+              "moment the deviation reaches h iff C < b + h/a");
+
+  const auto suite = StandardSuite(/*per_kind=*/5);
+  bool pass = true;
+
+  for (double h : {0.5, 1.0, 2.0}) {
+    const core::StepDeviationCost metric(h);
+    sim::SimulationOptions sim_options;
+    sim_options.cost_function = &metric;
+
+    util::Table table({"C", "step", "dl", "ail", "cil", "fixed(B=h)"});
+    for (double C : {1.0, 5.0, 20.0}) {
+      table.NewRow().Add(C, 1);
+      double step_cost = 0.0;
+      double best_other = 1e300;
+      for (core::PolicyKind kind :
+           {core::PolicyKind::kStepThreshold, core::PolicyKind::kDelayedLinear,
+            core::PolicyKind::kAverageImmediateLinear,
+            core::PolicyKind::kCurrentImmediateLinear,
+            core::PolicyKind::kFixedThreshold}) {
+        core::PolicyConfig policy;
+        policy.kind = kind;
+        policy.update_cost = C;
+        policy.max_speed = 1.5;
+        policy.step_threshold = h;
+        policy.fixed_threshold = h;  // give dead reckoning the same h
+        std::vector<sim::RunMetrics> runs;
+        runs.reserve(suite.size());
+        for (const auto& named : suite) {
+          runs.push_back(
+              sim::SimulatePolicyOnCurve(named.curve, policy, sim_options));
+        }
+        const sim::MeanMetrics mean = sim::Aggregate(runs);
+        table.Add(mean.total_cost, 2);
+        if (kind == core::PolicyKind::kStepThreshold) {
+          step_cost = mean.total_cost;
+        } else {
+          best_other = std::min(best_other, mean.total_cost);
+        }
+      }
+      // The step policy may lose slightly to a lucky competitor on a
+      // finite suite, but not by more than 10%.
+      if (step_cost > 1.10 * best_other) pass = false;
+    }
+    std::printf("h = %.1f (mean step-cost total per trip, %zu curves):\n%s\n",
+                h, suite.size(), table.ToString().c_str());
+  }
+
+  std::printf("shape check — step policy within 10%% of the best policy on "
+              "its own metric at every (h, C): %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main() { return modb::bench::Run(); }

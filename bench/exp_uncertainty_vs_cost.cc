@@ -1,0 +1,63 @@
+// E3 — regenerates the paper's "average uncertainty as a function of the
+// message cost" plot (§3.4): the mean, over trip time, of the deviation
+// bound the DBMS would attach to a position answer. The immediate policies'
+// bound decreases after sqrt(2C/D) time units (proposition 4) while the
+// delayed policy's plateaus (corollary 1), so ail/cil should show lower
+// average uncertainty than dl across the cost axis.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+
+namespace modb::bench {
+namespace {
+
+int Run() {
+  PrintHeader("E3: average uncertainty vs message cost C",
+              "the il policies' error bound decreases as time-since-update "
+              "grows (prop. 4), making ail superior in uncertainty");
+
+  const auto suite = StandardSuite();
+  const sim::SweepConfig config = StandardSweepConfig(/*include_baselines=*/true);
+  const auto cells = sim::RunSweep(suite, config);
+
+  const util::Table table =
+      sim::SweepTable(cells, sim::MetricKind::kAvgUncertainty);
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("(mean deviation bound over trip time, %zu curves per cell)\n\n",
+              suite.size());
+
+  // Shape check 1: ail uncertainty <= dl uncertainty at every C.
+  // Shape check 2: uncertainty grows with C (fewer updates -> wider bound).
+  bool ail_beats_dl = true;
+  for (double C : StandardCostAxis()) {
+    double dl = 0.0;
+    double ail = 0.0;
+    for (const auto& cell : cells) {
+      if (cell.update_cost != C) continue;
+      if (cell.policy == core::PolicyKind::kDelayedLinear) {
+        dl = cell.mean.avg_uncertainty;
+      } else if (cell.policy == core::PolicyKind::kAverageImmediateLinear) {
+        ail = cell.mean.avg_uncertainty;
+      }
+    }
+    if (ail > dl + 1e-9) ail_beats_dl = false;
+  }
+  bool grows_with_cost = true;
+  double prev = -1.0;
+  for (const auto& cell : cells) {
+    if (cell.policy != core::PolicyKind::kAverageImmediateLinear) continue;
+    if (cell.mean.avg_uncertainty < prev - 1e-9) grows_with_cost = false;
+    prev = cell.mean.avg_uncertainty;
+  }
+  std::printf("shape check — ail bound <= dl bound at every C: %s\n",
+              ail_beats_dl ? "PASS" : "FAIL");
+  std::printf("shape check — ail uncertainty non-decreasing in C: %s\n",
+              grows_with_cost ? "PASS" : "FAIL");
+  return ail_beats_dl && grows_with_cost ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main() { return modb::bench::Run(); }

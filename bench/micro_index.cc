@@ -1,0 +1,107 @@
+// E8b — google-benchmark microbenchmarks of the 3-D R*-tree: insert,
+// update (remove + insert, the position-update path of §4.2), and
+// time-slice search throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "index/rtree3.h"
+#include "util/rng.h"
+
+namespace modb::index {
+namespace {
+
+using geo::Box3;
+
+Box3 RandomBox(util::Rng& rng, double space, double extent) {
+  const double x = rng.Uniform(0.0, space);
+  const double y = rng.Uniform(0.0, space);
+  const double t = rng.Uniform(0.0, space);
+  return Box3(x, y, t, x + extent, y + extent, t + extent);
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto prefill = static_cast<std::size_t>(state.range(0));
+  RTree3 tree;
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < prefill; ++i) {
+    tree.Insert(RandomBox(rng, 500.0, 5.0), value++);
+  }
+  for (auto _ : state) {
+    tree.Insert(RandomBox(rng, 500.0, 5.0), value++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeSearch(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  RTree3 tree;
+  for (std::size_t i = 0; i < size; ++i) {
+    tree.Insert(RandomBox(rng, 500.0, 5.0), i);
+  }
+  std::size_t results = 0;
+  for (auto _ : state) {
+    const Box3 query = RandomBox(rng, 480.0, 20.0);
+    tree.Search(query, [&results](const Box3&, std::uint64_t) { ++results; });
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeTimeSliceSearch(benchmark::State& state) {
+  // The shape of a range query: a zero-thickness time slice.
+  util::Rng rng(3);
+  RTree3 tree;
+  for (std::size_t i = 0; i < 50000; ++i) {
+    tree.Insert(RandomBox(rng, 500.0, 5.0), i);
+  }
+  std::size_t results = 0;
+  for (auto _ : state) {
+    const double t = rng.Uniform(0.0, 500.0);
+    const Box3 slice(rng.Uniform(0.0, 460.0), rng.Uniform(0.0, 460.0), t,
+                     rng.Uniform(460.0, 500.0), rng.Uniform(460.0, 500.0), t);
+    tree.Search(slice, [&results](const Box3&, std::uint64_t) { ++results; });
+  }
+  benchmark::DoNotOptimize(results);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeTimeSliceSearch);
+
+void BM_RTreeUpdateCycle(benchmark::State& state) {
+  // The §4.2 position-update path: remove the old o-plane boxes, insert the
+  // new ones (here 15 boxes per object, matching a 60-unit horizon with
+  // 4-unit slabs).
+  util::Rng rng(4);
+  constexpr std::size_t kObjects = 2000;
+  constexpr std::size_t kBoxesPerObject = 15;
+  RTree3 tree;
+  std::vector<std::vector<Box3>> boxes(kObjects);
+  for (std::size_t i = 0; i < kObjects; ++i) {
+    for (std::size_t b = 0; b < kBoxesPerObject; ++b) {
+      boxes[i].push_back(RandomBox(rng, 500.0, 4.0));
+      tree.Insert(boxes[i][b], i);
+    }
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const std::size_t id = next++ % kObjects;
+    for (const Box3& b : boxes[id]) tree.Remove(b, id);
+    boxes[id].clear();
+    for (std::size_t b = 0; b < kBoxesPerObject; ++b) {
+      boxes[id].push_back(RandomBox(rng, 500.0, 4.0));
+      tree.Insert(boxes[id][b], id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeUpdateCycle);
+
+}  // namespace
+}  // namespace modb::index
+
+BENCHMARK_MAIN();

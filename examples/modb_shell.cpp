@@ -1,0 +1,281 @@
+// modb_shell — a scriptable command-line front end for the moving-objects
+// database. Reads commands from stdin (or a script passed as argv[1]) and
+// prints answers; every query form of the library is reachable, so the
+// shell doubles as an interactive demo and a manual-testing tool.
+//
+//   $ ./build/examples/modb_shell <<'EOF'
+//   grid 4 4 10
+//   insert 1 cab-1 0 5 1.0 ail 5 1.5
+//   pos 1 3
+//   range 0 -1 20 1 3
+//   quit
+//   EOF
+//
+// Type `help` for the full command list.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "db/mod_database.h"
+#include "db/query_language.h"
+#include "db/snapshot.h"
+#include "db/statistics.h"
+#include "geo/route_network.h"
+
+namespace {
+
+using modb::core::PolicyKind;
+
+std::optional<PolicyKind> ParsePolicy(const std::string& name) {
+  if (name == "dl") return PolicyKind::kDelayedLinear;
+  if (name == "ail") return PolicyKind::kAverageImmediateLinear;
+  if (name == "cil") return PolicyKind::kCurrentImmediateLinear;
+  if (name == "fixed") return PolicyKind::kFixedThreshold;
+  if (name == "periodic") return PolicyKind::kPeriodic;
+  if (name == "hybrid") return PolicyKind::kHybridAdaptive;
+  if (name == "step") return PolicyKind::kStepThreshold;
+  return std::nullopt;
+}
+
+constexpr const char* kHelp = R"(commands:
+  grid <rows> <cols> <spacing>          build a street-grid network
+  route <x1> <y1> <x2> <y2> [name]      add a straight route
+  routes                                list routes
+  insert <id> <label> <route> <s> <v> <policy> <C> <V>
+                                        register a moving object
+                                        (policy: dl ail cil fixed periodic
+                                         hybrid step)
+  update <id> <t> <route> <s> <v>       apply a position update
+  erase <id>                            remove an object
+  pos <id> <t>                          position query with error bound
+  range <x0> <y0> <x1> <y1> <t>         range query (MUST / MAY)
+  window <x0> <y0> <x1> <y1> <t1> <t2>  time-window range query
+  nearest <x> <y> <k> <t>               k-nearest-neighbour query
+  stats                                 database statistics
+  SELECT / POSITION / NEAREST ...       textual query language, e.g.
+                                        SELECT ALL INSIDE RECT(0,0,9,9) AT 5
+                                        POSITION OF 7 AT 6
+                                        NEAREST 3 TO POINT(1,2) AT 4
+  save <path>                           write a snapshot
+  load <path>                           replace state from a snapshot
+  help                                  this text
+  quit                                  exit
+)";
+
+class Shell {
+ public:
+  Shell() { Reset(); }
+
+  int RunStream(std::istream& in, bool interactive) {
+    std::string line;
+    if (interactive) std::printf("modb> ");
+    while (std::getline(in, line)) {
+      if (!Dispatch(line)) return 0;
+      if (interactive) std::printf("modb> ");
+    }
+    return 0;
+  }
+
+ private:
+  void Reset() {
+    network_ = std::make_unique<modb::geo::RouteNetwork>();
+    db_ = std::make_unique<modb::db::ModDatabase>(network_.get());
+  }
+
+  // Returns false to quit.
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#') return true;
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    // Textual query language pass-through.
+    std::string upper = cmd;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    if (upper == "SELECT" || upper == "POSITION" || upper == "NEAREST") {
+      const auto result = modb::db::ExecuteQuery(*db_, line);
+      std::printf("%s\n", result.ok() ? result->c_str()
+                                      : result.status().ToString().c_str());
+      return true;
+    }
+    if (cmd == "help") {
+      std::printf("%s", kHelp);
+    } else if (cmd == "grid") {
+      std::size_t rows = 0;
+      std::size_t cols = 0;
+      double spacing = 0.0;
+      if (!(in >> rows >> cols >> spacing)) return Usage("grid");
+      const auto ids = network_->AddGridNetwork(rows, cols, spacing);
+      std::printf("added %zu routes (grid %zux%zu, spacing %g)\n",
+                  ids.size(), rows, cols, spacing);
+    } else if (cmd == "route") {
+      double x1, y1, x2, y2;
+      if (!(in >> x1 >> y1 >> x2 >> y2)) return Usage("route");
+      std::string name;
+      in >> name;
+      const auto id = network_->AddStraightRoute({x1, y1}, {x2, y2}, name);
+      std::printf("route %u added (length %.3f)\n", id,
+                  network_->route(id).Length());
+    } else if (cmd == "routes") {
+      for (const auto& route : network_->routes()) {
+        std::printf("  route %u '%s' length %.3f\n", route.id(),
+                    route.name().c_str(), route.Length());
+      }
+    } else if (cmd == "insert") {
+      modb::core::ObjectId id;
+      std::string label;
+      modb::geo::RouteId route;
+      double s, v, C, V;
+      std::string policy_name;
+      if (!(in >> id >> label >> route >> s >> v >> policy_name >> C >> V)) {
+        return Usage("insert");
+      }
+      const auto policy = ParsePolicy(policy_name);
+      if (!policy) {
+        std::printf("error: unknown policy '%s'\n", policy_name.c_str());
+        return true;
+      }
+      const auto found = network_->FindRoute(route);
+      if (!found.ok()) {
+        std::printf("error: %s\n", found.status().ToString().c_str());
+        return true;
+      }
+      modb::core::PositionAttribute attr;
+      attr.route = route;
+      attr.start_route_distance = s;
+      attr.start_position = (*found)->PointAt(s);
+      attr.speed = v;
+      attr.policy = *policy;
+      attr.update_cost = C;
+      attr.max_speed = V;
+      Report(db_->Insert(id, label, attr));
+    } else if (cmd == "update") {
+      modb::core::PositionUpdate update;
+      if (!(in >> update.object >> update.time >> update.route >>
+            update.route_distance >> update.speed)) {
+        return Usage("update");
+      }
+      const auto found = network_->FindRoute(update.route);
+      if (found.ok()) {
+        update.position = (*found)->PointAt(update.route_distance);
+      }
+      Report(db_->ApplyUpdate(update));
+    } else if (cmd == "erase") {
+      modb::core::ObjectId id;
+      if (!(in >> id)) return Usage("erase");
+      Report(db_->Erase(id));
+    } else if (cmd == "pos") {
+      modb::core::ObjectId id;
+      double t;
+      if (!(in >> id >> t)) return Usage("pos");
+      const auto answer = db_->QueryPosition(id, t);
+      if (!answer.ok()) {
+        std::printf("error: %s\n", answer.status().ToString().c_str());
+        return true;
+      }
+      std::printf("object %llu at t=%g: %s on route %u (mile %.3f), "
+                  "bound %.3f, interval [%.3f, %.3f]\n",
+                  static_cast<unsigned long long>(id), t,
+                  answer->position.ToString().c_str(), answer->route,
+                  answer->route_distance, answer->deviation_bound,
+                  answer->uncertainty.lo, answer->uncertainty.hi);
+    } else if (cmd == "range") {
+      double x0, y0, x1, y1, t;
+      if (!(in >> x0 >> y0 >> x1 >> y1 >> t)) return Usage("range");
+      const auto answer =
+          db_->QueryRange(modb::geo::Polygon::Rectangle(x0, y0, x1, y1), t);
+      PrintIdList("MUST", answer.must);
+      PrintIdList("MAY ", answer.may);
+      std::printf("(%zu candidates examined)\n", answer.candidates_examined);
+    } else if (cmd == "window") {
+      double x0, y0, x1, y1, t1, t2;
+      if (!(in >> x0 >> y0 >> x1 >> y1 >> t1 >> t2)) return Usage("window");
+      const auto answer = db_->QueryRangeInterval(
+          modb::geo::Polygon::Rectangle(x0, y0, x1, y1), t1, t2);
+      PrintIdList("MAY within window    ", answer.may);
+      PrintIdList("MUST at some instant ", answer.must_at_some_time);
+    } else if (cmd == "nearest") {
+      double x, y, t;
+      std::size_t k;
+      if (!(in >> x >> y >> k >> t)) return Usage("nearest");
+      const auto answer = db_->QueryNearest({x, y}, k, t);
+      for (const auto& item : answer.items) {
+        std::printf("  object %llu: db-distance %.3f (possible %.3f .. "
+                    "%.3f)\n",
+                    static_cast<unsigned long long>(item.id),
+                    item.db_distance, item.min_possible_distance,
+                    item.max_possible_distance);
+      }
+      if (answer.items.empty()) std::printf("  (no objects)\n");
+    } else if (cmd == "stats") {
+      double t = 0.0;
+      if (!(in >> t)) t = 0.0;
+      std::printf("%s",
+                  modb::db::StatisticsTable(
+                      modb::db::ComputeStatistics(*db_, t))
+                      .ToString()
+                      .c_str());
+    } else if (cmd == "save") {
+      std::string path;
+      if (!(in >> path)) return Usage("save");
+      Report(modb::db::SaveSnapshot(*db_, path));
+    } else if (cmd == "load") {
+      std::string path;
+      if (!(in >> path)) return Usage("load");
+      auto loaded = modb::db::LoadSnapshot(path);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        return true;
+      }
+      network_ = std::move(loaded->network);
+      db_ = std::move(loaded->database);
+      std::printf("ok: %zu routes, %zu objects\n", network_->size(),
+                  db_->num_objects());
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  bool Usage(const char* cmd) {
+    std::printf("error: bad arguments for '%s' (try 'help')\n", cmd);
+    return true;
+  }
+
+  void Report(const modb::util::Status& status) {
+    std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+  }
+
+  void PrintIdList(const char* label,
+                   const std::vector<modb::core::ObjectId>& ids) {
+    std::printf("%s:", label);
+    for (const auto id : ids) {
+      std::printf(" %llu", static_cast<unsigned long long>(id));
+    }
+    std::printf("\n");
+  }
+
+  std::unique_ptr<modb::geo::RouteNetwork> network_;
+  std::unique_ptr<modb::db::ModDatabase> db_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script %s\n", argv[1]);
+      return 1;
+    }
+    return shell.RunStream(script, /*interactive=*/false);
+  }
+  return shell.RunStream(std::cin, /*interactive=*/false);
+}

@@ -1,0 +1,73 @@
+#ifndef MODB_CORE_BOUNDS_H_
+#define MODB_CORE_BOUNDS_H_
+
+#include <vector>
+
+#include "core/position_attribute.h"
+#include "core/types.h"
+
+namespace modb::core {
+
+// Deviation bounds the DBMS can compute from values it knows: the database
+// speed v (= P.speed), the update cost C, the object's maximum speed V, and
+// the time t elapsed since the last update (paper §3.3). A *slow* deviation
+// means the object is behind its database position; a *fast* deviation
+// means it is ahead.
+
+/// Proposition 2 — delayed-linear policy, slow deviation:
+///   k <= min{ sqrt(2 v C), v t }.
+double DlSlowBound(double v, double C, double t);
+
+/// Proposition 3 — delayed-linear policy, fast deviation (V = max speed):
+///   k <= min{ sqrt(2 (V - v) C), (V - v) t }.
+double DlFastBound(double V, double v, double C, double t);
+
+/// Corollary 1 — delayed-linear policy, either direction; D = max{v, V - v}:
+///   k <= min{ sqrt(2 D C), D t }.
+double DlBound(double V, double v, double C, double t);
+
+/// Proposition 4 — immediate-linear policies (ail / cil), slow deviation:
+///   k <= min{ 2C / t, v t }.
+/// The first term *decreases* as t grows — the surprising positive result of
+/// the paper: the uncertainty shrinks the longer the object goes without
+/// updating.
+double IlSlowBound(double v, double C, double t);
+
+/// Proposition 4 — immediate-linear policies, fast deviation:
+///   k <= min{ 2C / t, (V - v) t }.
+double IlFastBound(double V, double v, double C, double t);
+
+/// Proposition 4 — immediate-linear policies, either direction:
+///   k <= min{ 2C / t, D t }, D = max{v, V - v}.
+double IlBound(double V, double v, double C, double t);
+
+/// Time at which the il slow bound peaks: t* = sqrt(2C / v) (the bound grows
+/// as v t until t*, then decays as 2C/t). Returns infinity when v <= 0.
+double IlSlowBoundPeakTime(double v, double C);
+
+/// Time at which the il fast bound peaks: t* = sqrt(2C / (V - v)).
+double IlFastBoundPeakTime(double V, double v, double C);
+
+/// Offsets (relative to the last update) at which the slow/fast bound
+/// functions of `attr` change analytic form — the dl plateau start
+/// sqrt(2C/rate), the il peak sqrt(2C/rate), the fixed-threshold knee B/rate,
+/// or the periodic reporting period. Between consecutive critical times the
+/// bounds are monotone, which lets the o-plane builder cover a time slab
+/// exactly by sampling slab edges plus the critical times inside it.
+/// Only finite positive offsets are returned.
+std::vector<Duration> BoundCriticalTimes(const PositionAttribute& attr);
+
+/// Policy-dispatching bounds: everything the DBMS needs is in the stored
+/// position attribute. `t` is the time elapsed since `attr.start_time`.
+/// For `kFixedThreshold` the bound is min{B, rate * t} (classical dead
+/// reckoning: fixed bound, never shrinking). For `kPeriodic` the database
+/// models no motion (speed 0), so the slow bound is 0 and the fast bound is
+/// V * min(t, period).
+double SlowDeviationBound(const PositionAttribute& attr, Duration t);
+double FastDeviationBound(const PositionAttribute& attr, Duration t);
+/// Bound on the deviation in either direction.
+double DeviationBound(const PositionAttribute& attr, Duration t);
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_BOUNDS_H_

@@ -1,0 +1,72 @@
+#include "core/deviation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace modb::core {
+
+double UniformDeviationCost::IntervalCost(double d0, double d1,
+                                          double dt) const {
+  return 0.5 * (d0 + d1) * dt;
+}
+
+double StepDeviationCost::IntervalCost(double d0, double d1, double dt) const {
+  if (dt <= 0.0) return 0.0;
+  const double lo = std::min(d0, d1);
+  const double hi = std::max(d0, d1);
+  if (hi <= threshold_) return 0.0;
+  if (lo >= threshold_) return dt;
+  // Deviation is linear over the interval; charge the exact fraction of the
+  // interval spent above the threshold.
+  const double fraction_above = (hi - threshold_) / (hi - lo);
+  return dt * fraction_above;
+}
+
+DeviationTracker::DeviationTracker(double zero_epsilon)
+    : zero_epsilon_(zero_epsilon) {}
+
+void DeviationTracker::Reset(Time t, double actual_route_distance) {
+  update_time_ = t;
+  start_route_distance_ = actual_route_distance;
+  last_time_ = t;
+  last_route_distance_ = actual_route_distance;
+  current_deviation_ = 0.0;
+  last_zero_time_ = t;
+  integral_ = 0.0;
+  ls_sum_td_ = 0.0;
+  ls_sum_tt_ = 0.0;
+  speed_stats_.Reset();
+  num_observations_ = 0;
+}
+
+void DeviationTracker::Observe(Time t, double deviation,
+                               double actual_route_distance,
+                               double actual_speed) {
+  assert(t >= last_time_);
+  assert(deviation >= 0.0);
+  const double dt = t - last_time_;
+  integral_ += 0.5 * (current_deviation_ + deviation) * dt;
+  current_deviation_ = deviation;
+  last_time_ = t;
+  last_route_distance_ = actual_route_distance;
+  if (deviation <= zero_epsilon_) last_zero_time_ = t;
+  const double rel_t = t - update_time_;
+  ls_sum_td_ += rel_t * deviation;
+  ls_sum_tt_ += rel_t * rel_t;
+  speed_stats_.Add(actual_speed);
+  ++num_observations_;
+}
+
+double DeviationTracker::AverageSpeed(Time now) const {
+  const double elapsed = now - update_time_;
+  if (elapsed <= 0.0) return 0.0;
+  return std::fabs(last_route_distance_ - start_route_distance_) / elapsed;
+}
+
+double DeviationTracker::LeastSquaresImmediateSlope() const {
+  if (ls_sum_tt_ <= 0.0) return 0.0;
+  return std::max(0.0, ls_sum_td_ / ls_sum_tt_);
+}
+
+}  // namespace modb::core

@@ -1,0 +1,130 @@
+#ifndef MODB_CORE_DEVIATION_H_
+#define MODB_CORE_DEVIATION_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/types.h"
+#include "util/stats.h"
+
+namespace modb::core {
+
+/// Deviation cost function (paper §3.1): maps the deviation between two
+/// time points into a nonnegative cost.
+///
+/// Implementations integrate incrementally: the deviation is sampled once
+/// per tick and assumed linear in between, so the total
+/// `COST_d(t1, t2)` is the sum of `IntervalCost` over the ticks.
+class DeviationCostFunction {
+ public:
+  virtual ~DeviationCostFunction() = default;
+
+  /// Cost contributed by an interval of length `dt` over which the deviation
+  /// moves linearly from `d0` to `d1`.
+  virtual double IntervalCost(double d0, double d1, double dt) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// The paper's uniform deviation cost (eq. 1): one cost unit per unit of
+/// deviation per unit of time, i.e. COST_d = integral of d(t) dt.
+class UniformDeviationCost final : public DeviationCostFunction {
+ public:
+  double IntervalCost(double d0, double d1, double dt) const override;
+  std::string_view name() const override { return "uniform"; }
+};
+
+/// The paper's step deviation cost (§3.1): zero penalty while the deviation
+/// stays below a threshold `h`, penalty one per time unit above it.
+class StepDeviationCost final : public DeviationCostFunction {
+ public:
+  explicit StepDeviationCost(double threshold) : threshold_(threshold) {}
+
+  double IntervalCost(double d0, double d1, double dt) const override;
+  std::string_view name() const override { return "step"; }
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+/// Onboard deviation bookkeeping between two consecutive position updates.
+///
+/// The moving object always knows its exact position (GPS) and the
+/// parameters of its last update, so at every tick it can compute the
+/// current deviation (paper §3.1). The tracker maintains everything the
+/// update policies' fitting methods need:
+///   - current deviation `k` and time since the last update `t`,
+///   - the delay `b` = time from the last update until the last tick at
+///     which the deviation was (approximately) zero — the simple fitting
+///     method for the delayed-linear estimator,
+///   - average speed since the last update (the ail predicted speed),
+///   - the running integral of the deviation (the uniform deviation cost),
+///   - least-squares accumulators for the alternative fitting method, and
+///   - speed statistics since the update (used by the hybrid policy).
+class DeviationTracker {
+ public:
+  /// `zero_epsilon`: deviations at or below this value count as zero.
+  explicit DeviationTracker(double zero_epsilon = 1e-9);
+
+  /// Starts a new update-to-update window at time `t`, with the object's
+  /// actual route-distance `actual_route_distance` (== the reported start
+  /// position, so the deviation is zero now).
+  void Reset(Time t, double actual_route_distance);
+
+  /// Records one observation. `t` must be >= the previous observation time.
+  void Observe(Time t, double deviation, double actual_route_distance,
+               double actual_speed);
+
+  /// Deviation at the most recent observation.
+  double current_deviation() const { return current_deviation_; }
+  /// Time of the last `Reset` (the last position update).
+  Time update_time() const { return update_time_; }
+  /// Time of the most recent observation.
+  Time last_observation_time() const { return last_time_; }
+  /// Last time the deviation was (approximately) zero; >= update_time().
+  Time last_zero_time() const { return last_zero_time_; }
+
+  /// The delayed-linear delay `b` under simple fitting.
+  Duration DelayOffset() const { return last_zero_time_ - update_time_; }
+
+  /// Time elapsed since the last update.
+  Duration TimeSinceUpdate(Time now) const { return now - update_time_; }
+
+  /// Average speed since the last update (route distance covered / time);
+  /// 0 when no time has elapsed.
+  double AverageSpeed(Time now) const;
+
+  /// Integral of the deviation since the last update (trapezoid rule) ==
+  /// the uniform deviation cost of the current window.
+  double DeviationIntegral() const { return integral_; }
+
+  /// Least-squares slope through the origin of (t - update_time, deviation):
+  /// the alternative fitting method for the immediate-linear estimator.
+  /// Returns 0 when no information is available.
+  double LeastSquaresImmediateSlope() const;
+
+  /// Actual-speed statistics observed since the last update.
+  const util::RunningStat& speed_stats() const { return speed_stats_; }
+
+  std::size_t num_observations() const { return num_observations_; }
+  double zero_epsilon() const { return zero_epsilon_; }
+
+ private:
+  double zero_epsilon_;
+  Time update_time_ = 0.0;
+  double start_route_distance_ = 0.0;
+  Time last_time_ = 0.0;
+  double last_route_distance_ = 0.0;
+  double current_deviation_ = 0.0;
+  Time last_zero_time_ = 0.0;
+  double integral_ = 0.0;
+  double ls_sum_td_ = 0.0;  // sum of (t - t_u) * d
+  double ls_sum_tt_ = 0.0;  // sum of (t - t_u)^2
+  util::RunningStat speed_stats_;
+  std::size_t num_observations_ = 0;
+};
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_DEVIATION_H_

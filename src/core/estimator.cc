@@ -1,0 +1,51 @@
+#include "core/estimator.h"
+
+namespace modb::core {
+
+std::string_view FittingMethodName(FittingMethod method) {
+  switch (method) {
+    case FittingMethod::kSimple:
+      return "simple";
+    case FittingMethod::kLeastSquares:
+      return "least_squares";
+  }
+  return "unknown";
+}
+
+DelayedLinearEstimate FitDelayedLinear(const DeviationTracker& tracker,
+                                       Time now, FittingMethod method) {
+  DelayedLinearEstimate est;
+  est.delay = tracker.DelayOffset();
+  const double k = tracker.current_deviation();
+  if (k <= tracker.zero_epsilon()) return est;  // slope 0
+  const double rise_time = now - tracker.last_zero_time();
+  if (method == FittingMethod::kLeastSquares) {
+    // Least-squares applies to the immediate part; keep the simple delay.
+    const double ls = tracker.LeastSquaresImmediateSlope();
+    if (ls > 0.0) {
+      est.slope = ls;
+      return est;
+    }
+  }
+  est.slope = rise_time > 0.0 ? k / rise_time : 0.0;
+  return est;
+}
+
+ImmediateLinearEstimate FitImmediateLinear(const DeviationTracker& tracker,
+                                           Time now, FittingMethod method) {
+  ImmediateLinearEstimate est;
+  const double k = tracker.current_deviation();
+  if (k <= tracker.zero_epsilon()) return est;
+  if (method == FittingMethod::kLeastSquares) {
+    const double ls = tracker.LeastSquaresImmediateSlope();
+    if (ls > 0.0) {
+      est.slope = ls;
+      return est;
+    }
+  }
+  const double elapsed = tracker.TimeSinceUpdate(now);
+  est.slope = elapsed > 0.0 ? k / elapsed : 0.0;
+  return est;
+}
+
+}  // namespace modb::core

@@ -1,0 +1,59 @@
+#ifndef MODB_CORE_ESTIMATOR_H_
+#define MODB_CORE_ESTIMATOR_H_
+
+#include <string_view>
+
+#include "core/deviation.h"
+#include "core/types.h"
+
+namespace modb::core {
+
+/// Method used to determine estimator coefficients from the observed
+/// deviation (paper §3.1).
+enum class FittingMethod {
+  /// The paper's simple fitting method: the delay `b` is the time from the
+  /// last update to the last tick with zero deviation; the slope is
+  /// `k / (t - b)` for the delayed-linear estimator and `k / t` for the
+  /// immediate-linear estimator.
+  kSimple,
+  /// Least-squares slope through the origin over the whole window
+  /// (ablation; immediate-linear only, the delayed variant falls back to
+  /// simple fitting for the delay).
+  kLeastSquares,
+};
+
+std::string_view FittingMethodName(FittingMethod method);
+
+/// Delayed-linear estimator f(t) = a * max(t - b, 0) (paper §3.2).
+struct DelayedLinearEstimate {
+  double slope = 0.0;  // a
+  double delay = 0.0;  // b
+
+  /// Value of the estimator `t` time units after the update.
+  double At(double t) const {
+    return t > delay ? slope * (t - delay) : 0.0;
+  }
+};
+
+/// Immediate-linear estimator f(t) = a * t (delayed-linear with b = 0).
+struct ImmediateLinearEstimate {
+  double slope = 0.0;  // a
+
+  double At(double t) const { return slope * t; }
+};
+
+/// Fits a delayed-linear estimator to the deviation observed by `tracker`
+/// at time `now`. Returns slope 0 when the deviation is (still) zero.
+DelayedLinearEstimate FitDelayedLinear(const DeviationTracker& tracker,
+                                       Time now,
+                                       FittingMethod method = FittingMethod::kSimple);
+
+/// Fits an immediate-linear estimator to the deviation observed by
+/// `tracker` at time `now`.
+ImmediateLinearEstimate FitImmediateLinear(
+    const DeviationTracker& tracker, Time now,
+    FittingMethod method = FittingMethod::kSimple);
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_ESTIMATOR_H_

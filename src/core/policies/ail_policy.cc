@@ -1,0 +1,23 @@
+#include "core/estimator.h"
+#include "core/policies/policies.h"
+#include "core/thresholds.h"
+
+namespace modb::core {
+
+std::optional<UpdateDecision> AverageImmediateLinearPolicy::Decide(
+    const DeviationTracker& tracker, Time now, double /*current_speed*/) {
+  const double k = tracker.current_deviation();
+  if (k <= config_.zero_epsilon) return std::nullopt;
+
+  const ImmediateLinearEstimate est =
+      FitImmediateLinear(tracker, now, config_.fitting);
+  if (est.slope <= 0.0) return std::nullopt;
+
+  const double threshold =
+      OptimalThresholdImmediateLinear(est.slope, config_.update_cost);
+  if (k < threshold) return std::nullopt;
+  // Declared speed: average speed since the last update (paper §3.2).
+  return UpdateDecision{tracker.AverageSpeed(now)};
+}
+
+}  // namespace modb::core

@@ -1,0 +1,23 @@
+#include "core/estimator.h"
+#include "core/policies/policies.h"
+#include "core/thresholds.h"
+
+namespace modb::core {
+
+std::optional<UpdateDecision> CurrentImmediateLinearPolicy::Decide(
+    const DeviationTracker& tracker, Time now, double current_speed) {
+  const double k = tracker.current_deviation();
+  if (k <= config_.zero_epsilon) return std::nullopt;
+
+  const ImmediateLinearEstimate est =
+      FitImmediateLinear(tracker, now, config_.fitting);
+  if (est.slope <= 0.0) return std::nullopt;
+
+  const double threshold =
+      OptimalThresholdImmediateLinear(est.slope, config_.update_cost);
+  if (k < threshold) return std::nullopt;
+  // Declared speed: the current speed (paper §3.4).
+  return UpdateDecision{current_speed};
+}
+
+}  // namespace modb::core

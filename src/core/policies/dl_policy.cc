@@ -1,0 +1,23 @@
+#include "core/estimator.h"
+#include "core/policies/policies.h"
+#include "core/thresholds.h"
+
+namespace modb::core {
+
+std::optional<UpdateDecision> DelayedLinearPolicy::Decide(
+    const DeviationTracker& tracker, Time now, double current_speed) {
+  const double k = tracker.current_deviation();
+  // "if k = 0, the moving object does not do anything" (paper §3.2).
+  if (k <= config_.zero_epsilon) return std::nullopt;
+
+  const DelayedLinearEstimate est =
+      FitDelayedLinear(tracker, now, config_.fitting);
+  if (est.slope <= 0.0) return std::nullopt;
+
+  const double threshold = OptimalThresholdDelayedLinear(
+      est.slope, est.delay, config_.update_cost);
+  if (k < threshold) return std::nullopt;
+  return UpdateDecision{current_speed};
+}
+
+}  // namespace modb::core

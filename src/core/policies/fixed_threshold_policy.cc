@@ -1,0 +1,13 @@
+#include "core/policies/policies.h"
+
+namespace modb::core {
+
+std::optional<UpdateDecision> FixedThresholdPolicy::Decide(
+    const DeviationTracker& tracker, Time /*now*/, double current_speed) {
+  if (tracker.current_deviation() < config_.fixed_threshold) {
+    return std::nullopt;
+  }
+  return UpdateDecision{current_speed};
+}
+
+}  // namespace modb::core

@@ -1,0 +1,42 @@
+#include <cmath>
+
+#include "core/estimator.h"
+#include "core/policies/policies.h"
+#include "core/thresholds.h"
+
+namespace modb::core {
+
+std::optional<UpdateDecision> HybridAdaptivePolicy::Decide(
+    const DeviationTracker& tracker, Time now, double current_speed) {
+  const double k = tracker.current_deviation();
+  if (k <= config_.zero_epsilon) return std::nullopt;
+
+  // Classify the window: high speed fluctuation (city-like) -> ail mode,
+  // low fluctuation (highway-like) -> dl mode. The coefficient of variation
+  // of the speeds observed since the last update is the discriminator.
+  const util::RunningStat& speeds = tracker.speed_stats();
+  const double mean_speed = speeds.mean();
+  const double cv =
+      mean_speed > 1e-12 ? speeds.stddev() / mean_speed : 0.0;
+  in_ail_mode_ = cv > config_.hybrid_cv_switch;
+
+  if (in_ail_mode_) {
+    const ImmediateLinearEstimate est =
+        FitImmediateLinear(tracker, now, config_.fitting);
+    if (est.slope <= 0.0) return std::nullopt;
+    const double threshold =
+        OptimalThresholdImmediateLinear(est.slope, config_.update_cost);
+    if (k < threshold) return std::nullopt;
+    return UpdateDecision{tracker.AverageSpeed(now)};
+  }
+
+  const DelayedLinearEstimate est =
+      FitDelayedLinear(tracker, now, config_.fitting);
+  if (est.slope <= 0.0) return std::nullopt;
+  const double threshold = OptimalThresholdDelayedLinear(
+      est.slope, est.delay, config_.update_cost);
+  if (k < threshold) return std::nullopt;
+  return UpdateDecision{current_speed};
+}
+
+}  // namespace modb::core

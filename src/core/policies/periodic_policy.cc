@@ -1,0 +1,14 @@
+#include "core/policies/policies.h"
+
+namespace modb::core {
+
+std::optional<UpdateDecision> PeriodicPolicy::Decide(
+    const DeviationTracker& tracker, Time now, double /*current_speed*/) {
+  (void)tracker;
+  // Half-tick tolerance so floating-point drift never skips a report.
+  if (now - last_report_time_ < config_.period - 1e-9) return std::nullopt;
+  // The traditional method stores no motion model: declared speed 0.
+  return UpdateDecision{0.0};
+}
+
+}  // namespace modb::core

@@ -1,0 +1,128 @@
+#ifndef MODB_CORE_POLICIES_POLICIES_H_
+#define MODB_CORE_POLICIES_POLICIES_H_
+
+#include "core/update_policy.h"
+
+namespace modb::core {
+
+/// The delayed-linear (dl) policy (paper §3.2): delayed-linear estimator,
+/// simple fitting, predicted speed = current speed. Updates when the
+/// deviation reaches k_opt = sqrt(a^2 b^2 + 2 a C) - a b.
+class DelayedLinearPolicy final : public UpdatePolicy {
+ public:
+  explicit DelayedLinearPolicy(const PolicyConfig& config)
+      : UpdatePolicy(config) {}
+
+  PolicyKind kind() const override { return PolicyKind::kDelayedLinear; }
+  std::optional<UpdateDecision> Decide(const DeviationTracker& tracker,
+                                       Time now,
+                                       double current_speed) override;
+};
+
+/// The average immediate-linear (ail) policy (paper §3.2): immediate-linear
+/// estimator, simple fitting, predicted speed = average speed since the last
+/// update. Updates when the deviation reaches sqrt(2 a C), i.e. 2C/t under
+/// simple fitting (eq. 3).
+class AverageImmediateLinearPolicy final : public UpdatePolicy {
+ public:
+  explicit AverageImmediateLinearPolicy(const PolicyConfig& config)
+      : UpdatePolicy(config) {}
+
+  PolicyKind kind() const override {
+    return PolicyKind::kAverageImmediateLinear;
+  }
+  std::optional<UpdateDecision> Decide(const DeviationTracker& tracker,
+                                       Time now,
+                                       double current_speed) override;
+};
+
+/// The current immediate-linear (cil) policy (paper §3.4): like ail but the
+/// declared speed is the current speed.
+class CurrentImmediateLinearPolicy final : public UpdatePolicy {
+ public:
+  explicit CurrentImmediateLinearPolicy(const PolicyConfig& config)
+      : UpdatePolicy(config) {}
+
+  PolicyKind kind() const override {
+    return PolicyKind::kCurrentImmediateLinear;
+  }
+  std::optional<UpdateDecision> Decide(const DeviationTracker& tracker,
+                                       Time now,
+                                       double current_speed) override;
+};
+
+/// Classical dead reckoning with an a-priori threshold B (the alternative
+/// discussed in the paper's conclusion): update whenever the deviation
+/// exceeds B, declaring the current speed. B is independent of the update
+/// cost — the weakness the cost-based policies fix.
+class FixedThresholdPolicy final : public UpdatePolicy {
+ public:
+  explicit FixedThresholdPolicy(const PolicyConfig& config)
+      : UpdatePolicy(config) {}
+
+  PolicyKind kind() const override { return PolicyKind::kFixedThreshold; }
+  std::optional<UpdateDecision> Decide(const DeviationTracker& tracker,
+                                       Time now,
+                                       double current_speed) override;
+};
+
+/// The traditional non-temporal method (paper §1): the database stores a
+/// plain position (no motion model, declared speed 0) and the object
+/// re-reports its raw position every `period` time units.
+class PeriodicPolicy final : public UpdatePolicy {
+ public:
+  explicit PeriodicPolicy(const PolicyConfig& config) : UpdatePolicy(config) {}
+
+  PolicyKind kind() const override { return PolicyKind::kPeriodic; }
+  std::optional<UpdateDecision> Decide(const DeviationTracker& tracker,
+                                       Time now,
+                                       double current_speed) override;
+  void OnUpdateSent(Time now) override { last_report_time_ = now; }
+
+ private:
+  Time last_report_time_ = 0.0;
+};
+
+/// Future-work extension (paper §6): adapts the policy to the speed
+/// pattern. Highway-like windows (low speed fluctuation) use the dl rule
+/// with the current speed; city-like windows (high fluctuation) use the ail
+/// rule with the average speed. The mode is re-evaluated at every tick from
+/// the coefficient of variation of the speeds observed since the last
+/// update.
+class HybridAdaptivePolicy final : public UpdatePolicy {
+ public:
+  explicit HybridAdaptivePolicy(const PolicyConfig& config)
+      : UpdatePolicy(config) {}
+
+  PolicyKind kind() const override { return PolicyKind::kHybridAdaptive; }
+  std::optional<UpdateDecision> Decide(const DeviationTracker& tracker,
+                                       Time now,
+                                       double current_speed) override;
+
+  /// True when the last `Decide` call operated in ail mode (test hook).
+  bool in_ail_mode() const { return in_ail_mode_; }
+
+ private:
+  bool in_ail_mode_ = false;
+};
+
+/// Optimal policy for the *step* deviation cost function (paper §3.1: zero
+/// penalty while the deviation stays below a threshold h, one per time unit
+/// above). The optimum is bang-bang: update the moment the deviation
+/// reaches h when one update buys more penalty-free time than it costs
+/// (C < b + h/a under the fitted delayed-linear estimator), otherwise stay
+/// silent.
+class StepThresholdPolicy final : public UpdatePolicy {
+ public:
+  explicit StepThresholdPolicy(const PolicyConfig& config)
+      : UpdatePolicy(config) {}
+
+  PolicyKind kind() const override { return PolicyKind::kStepThreshold; }
+  std::optional<UpdateDecision> Decide(const DeviationTracker& tracker,
+                                       Time now,
+                                       double current_speed) override;
+};
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_POLICIES_POLICIES_H_

@@ -1,0 +1,26 @@
+#include "core/estimator.h"
+#include "core/policies/policies.h"
+#include "core/thresholds.h"
+
+namespace modb::core {
+
+std::optional<UpdateDecision> StepThresholdPolicy::Decide(
+    const DeviationTracker& tracker, Time now, double current_speed) {
+  const double k = tracker.current_deviation();
+  if (k <= config_.zero_epsilon) return std::nullopt;
+  if (k < config_.step_threshold) return std::nullopt;  // penalty-free zone
+
+  const DelayedLinearEstimate est =
+      FitDelayedLinear(tracker, now, config_.fitting);
+  if (est.slope <= 0.0) return std::nullopt;
+
+  if (!StepCostShouldUpdate(est.slope, est.delay, config_.step_threshold,
+                            config_.update_cost)) {
+    // Updating is not worth it: every update would cost more than the
+    // penalty-free time it buys, so the policy stays silent.
+    return std::nullopt;
+  }
+  return UpdateDecision{current_speed};
+}
+
+}  // namespace modb::core

@@ -1,0 +1,53 @@
+#include "core/position_attribute.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace modb::core {
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDelayedLinear:
+      return "dl";
+    case PolicyKind::kAverageImmediateLinear:
+      return "ail";
+    case PolicyKind::kCurrentImmediateLinear:
+      return "cil";
+    case PolicyKind::kFixedThreshold:
+      return "fixed";
+    case PolicyKind::kPeriodic:
+      return "periodic";
+    case PolicyKind::kHybridAdaptive:
+      return "hybrid";
+    case PolicyKind::kStepThreshold:
+      return "step";
+  }
+  return "unknown";
+}
+
+double PositionAttribute::ClampedDatabaseRouteDistanceAt(
+    Time t, double route_length) const {
+  return std::clamp(DatabaseRouteDistanceAt(t), 0.0, route_length);
+}
+
+geo::Point2 PositionAttribute::DatabasePositionAt(const geo::Route& r,
+                                                  Time t) const {
+  assert(r.id() == route);
+  return r.PointAt(ClampedDatabaseRouteDistanceAt(t, r.Length()));
+}
+
+std::string PositionAttribute::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{t0=%.3f route=%u s0=%.3f pos=%s dir=%+d v=%.3f policy=%s "
+                "C=%.3f V=%.3f}",
+                start_time, route, start_route_distance,
+                start_position.ToString().c_str(),
+                static_cast<int>(direction), speed,
+                std::string(PolicyKindName(policy)).c_str(), update_cost,
+                max_speed);
+  return buf;
+}
+
+}  // namespace modb::core

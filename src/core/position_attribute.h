@@ -1,0 +1,85 @@
+#ifndef MODB_CORE_POSITION_ATTRIBUTE_H_
+#define MODB_CORE_POSITION_ATTRIBUTE_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/types.h"
+#include "geo/point.h"
+#include "geo/route.h"
+
+namespace modb::core {
+
+/// The position-update policy a moving object declares in `P.policy`.
+///
+/// The first three are the paper's policies (§3.2, §3.4); the last three are
+/// baselines and extensions implemented for the evaluation:
+///  - `kFixedThreshold`: classical dead reckoning with an a-priori bound B
+///    (discussed as the alternative in the paper's conclusion).
+///  - `kPeriodic`: the traditional non-temporal method — report the raw
+///    position every reporting period; the database models no motion.
+///  - `kHybridAdaptive`: future-work extension (§6) that switches between
+///    dl and ail depending on the observed speed-fluctuation pattern.
+enum class PolicyKind {
+  kDelayedLinear,           // dl
+  kAverageImmediateLinear,  // ail
+  kCurrentImmediateLinear,  // cil
+  kFixedThreshold,          // dead-reckoning baseline
+  kPeriodic,                // traditional non-temporal baseline
+  kHybridAdaptive,          // adaptive dl/ail switch (extension)
+  kStepThreshold,           // optimal policy for the step deviation cost
+};
+
+/// Short lowercase name used in tables ("dl", "ail", ...).
+std::string_view PolicyKindName(PolicyKind kind);
+
+/// The paper's position attribute (§2): the motion model the DBMS stores
+/// for one moving object.
+///
+/// Sub-attributes map to the paper as follows:
+///   P.starttime          -> `start_time` (time of the last position update)
+///   P.route              -> `route`
+///   P.x/y.startposition  -> `start_position` (also kept as an arc length in
+///                           `start_route_distance` for route computations)
+///   P.direction          -> `direction`
+///   P.speed              -> `speed` (the paper's P.speed is the linear
+///                           function v*t with v = `speed`)
+///   P.policy             -> `policy`, plus the policy parameters the DBMS
+///                           needs to derive deviation bounds: the update
+///                           cost C (`update_cost`), the maximum speed V
+///                           (`max_speed`), and for the dead-reckoning
+///                           baseline its a-priori bound (`fixed_threshold`).
+struct PositionAttribute {
+  Time start_time = 0.0;
+  geo::RouteId route = geo::kInvalidRouteId;
+  double start_route_distance = 0.0;
+  geo::Point2 start_position;
+  TravelDirection direction = TravelDirection::kForward;
+  double speed = 0.0;
+  PolicyKind policy = PolicyKind::kAverageImmediateLinear;
+  double update_cost = 5.0;     // C, in deviation-cost units
+  double max_speed = 0.0;       // V; <= 0 means unknown
+  double fixed_threshold = 0.0; // B, only for PolicyKind::kFixedThreshold
+  double period = 1.0;          // reporting period, only for kPeriodic
+  double step_threshold = 1.0;  // h, only for PolicyKind::kStepThreshold
+
+  /// Route-distance of the database position at time `t` (unclamped):
+  /// start + sign(direction) * speed * (t - start_time).
+  double DatabaseRouteDistanceAt(Time t) const {
+    return start_route_distance +
+           DirectionSign(direction) * speed * (t - start_time);
+  }
+
+  /// Route-distance at time `t`, clamped to `route_length` ends.
+  double ClampedDatabaseRouteDistanceAt(Time t, double route_length) const;
+
+  /// 2-D database position at time `t` on `route` (the answer the DBMS
+  /// returns to "where is m now?"). Requires `route.id() == this->route`.
+  geo::Point2 DatabasePositionAt(const geo::Route& route, Time t) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_POSITION_ATTRIBUTE_H_

@@ -1,0 +1,50 @@
+#include "core/thresholds.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace modb::core {
+
+double OptimalThresholdDelayedLinear(double a, double b, double C) {
+  assert(a >= 0.0 && b >= 0.0 && C >= 0.0);
+  if (a <= 0.0) return 0.0;
+  return std::sqrt(a * a * b * b + 2.0 * a * C) - a * b;
+}
+
+double OptimalThresholdImmediateLinear(double a, double C) {
+  assert(a >= 0.0 && C >= 0.0);
+  return std::sqrt(2.0 * a * C);
+}
+
+double CostPerTimeUnitDelayedLinear(double k, double a, double b, double C) {
+  assert(k > 0.0 && a > 0.0 && b >= 0.0 && C >= 0.0);
+  const double cycle_length = b + k / a;
+  const double cycle_cost = C + k * k / (2.0 * a);
+  return cycle_cost / cycle_length;
+}
+
+double ImmediateSimpleFitThreshold(double C, double t) {
+  if (t <= 0.0) return std::numeric_limits<double>::infinity();
+  return 2.0 * C / t;
+}
+
+double StepCostPerTimeUnit(double k, double a, double b, double h, double C) {
+  assert(a > 0.0 && b >= 0.0 && h >= 0.0 && C >= 0.0 && k >= h);
+  const double cycle_length = b + k / a;
+  const double cycle_cost = C + (k - h) / a;
+  return cycle_cost / cycle_length;
+}
+
+bool StepCostShouldUpdate(double a, double b, double h, double C) {
+  assert(a > 0.0 && b >= 0.0 && h >= 0.0 && C >= 0.0);
+  return C < b + h / a;
+}
+
+double StepThresholdBound(double rate, double h, double C, double t) {
+  if (rate <= 0.0 || t <= 0.0) return 0.0;
+  if (C < h / rate) return std::min(h, rate * t);
+  return rate * t;
+}
+
+}  // namespace modb::core

@@ -1,0 +1,70 @@
+#ifndef MODB_CORE_THRESHOLDS_H_
+#define MODB_CORE_THRESHOLDS_H_
+
+namespace modb::core {
+
+/// Proposition 1: the optimal update threshold for a deviation that follows
+/// a delayed-linear function with delay `b` and slope `a`, under the uniform
+/// deviation cost function and update cost `C`:
+///
+///   k_opt = sqrt(a^2 b^2 + 2 a C) - a b
+///
+/// Updating whenever the deviation reaches `k_opt` minimises the total cost
+/// (update cost + deviation cost) per time unit. Requires a, b, C >= 0.
+/// Returns 0 when a == 0 (the deviation never grows, never update).
+double OptimalThresholdDelayedLinear(double a, double b, double C);
+
+/// Immediate-linear special case (b = 0): k_opt = sqrt(2 a C).
+double OptimalThresholdImmediateLinear(double a, double C);
+
+/// Total cost per time unit when updating at threshold `k` under a
+/// delayed-linear deviation (delay `b`, slope `a`, update cost `C`):
+///
+///   cost(k) = (C + k^2 / (2a)) / (b + k/a)
+///
+/// Each update-to-update cycle lasts `b + k/a` time units, costs C for the
+/// message plus the triangular deviation area k^2/(2a). Used by the
+/// threshold-optimality ablation (E6). Requires a > 0, k > 0.
+double CostPerTimeUnitDelayedLinear(double k, double a, double b, double C);
+
+/// Equation (3): under simple fitting the ail/cil update condition
+/// "k >= sqrt(2aC)" with a = k/t is equivalent to "k >= 2C/t". Returns that
+/// time-dependent threshold (infinity at t <= 0).
+double ImmediateSimpleFitThreshold(double C, double t);
+
+// ---- Step deviation cost analysis (paper §3.1's alternative cost
+// function: zero penalty below a threshold h, one per time unit above) ----
+
+/// Cost per time unit of updating whenever the deviation reaches `k`
+/// (k >= h), under a delayed-linear deviation (delay `b`, slope `a`),
+/// update cost `C`, and the *step* deviation cost with threshold `h`:
+///
+///   cost(k) = (C + (k - h)/a) / (b + k/a)
+///
+/// Each cycle lasts b + k/a; the deviation spends (k - h)/a of it above h.
+/// Requires a > 0, k >= h >= 0.
+double StepCostPerTimeUnit(double k, double a, double b, double h, double C);
+
+/// The step-cost optimum is bang-bang: cost(k) is monotone in k, so the
+/// minimiser is either k = h ("update the moment the deviation reaches the
+/// free zone's edge") or k = infinity ("never update"; the cost rate tends
+/// to 1). Updating at h is optimal iff
+///
+///   C < b + h/a
+///
+/// i.e. iff one update buys more penalty-free time than it costs.
+bool StepCostShouldUpdate(double a, double b, double h, double C);
+
+/// DBMS-side deviation bound for the step-threshold policy: when the
+/// update-at-h regime is guaranteed for every admissible slope
+/// (C < h/rate implies C < b + h/a for all a <= rate, b >= 0), the
+/// deviation stays below h; otherwise the policy may go silent and only
+/// the growth-rate bound holds:
+///
+///   bound = min(h, rate*t)    if C < h/rate
+///           rate*t            otherwise.
+double StepThresholdBound(double rate, double h, double C, double t);
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_THRESHOLDS_H_

@@ -1,0 +1,38 @@
+#ifndef MODB_CORE_TYPES_H_
+#define MODB_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace modb::core {
+
+/// Simulation / database time, in abstract time units.
+///
+/// The paper's worked examples use minutes; nothing in the library depends
+/// on the physical unit as long as speeds are route-distance per time unit.
+using Time = double;
+
+/// Difference of two `Time` values.
+using Duration = double;
+
+/// Identifier of a moving object in the database.
+using ObjectId = std::uint64_t;
+
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// Direction of travel along a route (paper's binary P.direction):
+/// +1 moves toward increasing route-distance, -1 toward decreasing.
+enum class TravelDirection : int {
+  kForward = +1,
+  kBackward = -1,
+};
+
+/// Sign of a travel direction as a double factor.
+constexpr double DirectionSign(TravelDirection d) {
+  return d == TravelDirection::kForward ? 1.0 : -1.0;
+}
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_TYPES_H_

@@ -1,0 +1,27 @@
+#include "core/update_policy.h"
+
+#include "core/policies/policies.h"
+
+namespace modb::core {
+
+std::unique_ptr<UpdatePolicy> MakePolicy(const PolicyConfig& config) {
+  switch (config.kind) {
+    case PolicyKind::kDelayedLinear:
+      return std::make_unique<DelayedLinearPolicy>(config);
+    case PolicyKind::kAverageImmediateLinear:
+      return std::make_unique<AverageImmediateLinearPolicy>(config);
+    case PolicyKind::kCurrentImmediateLinear:
+      return std::make_unique<CurrentImmediateLinearPolicy>(config);
+    case PolicyKind::kFixedThreshold:
+      return std::make_unique<FixedThresholdPolicy>(config);
+    case PolicyKind::kPeriodic:
+      return std::make_unique<PeriodicPolicy>(config);
+    case PolicyKind::kHybridAdaptive:
+      return std::make_unique<HybridAdaptivePolicy>(config);
+    case PolicyKind::kStepThreshold:
+      return std::make_unique<StepThresholdPolicy>(config);
+  }
+  return nullptr;
+}
+
+}  // namespace modb::core

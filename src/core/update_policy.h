@@ -1,0 +1,99 @@
+#ifndef MODB_CORE_UPDATE_POLICY_H_
+#define MODB_CORE_UPDATE_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/deviation.h"
+#include "core/estimator.h"
+#include "core/position_attribute.h"
+#include "core/types.h"
+#include "geo/point.h"
+#include "geo/route.h"
+
+namespace modb::core {
+
+/// Configuration of a position-update policy: the paper's quintuple plus
+/// the parameters of the baseline policies.
+///
+/// All implemented policies use the uniform deviation cost function; the
+/// remaining quintuple components are:
+///   - update cost `C` (`update_cost`), in deviation-cost units,
+///   - estimator function / predicted speed: implied by `kind`,
+///   - fitting method (`fitting`).
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kAverageImmediateLinear;
+  double update_cost = 5.0;  // C
+  double max_speed = 0.0;    // V, used for the DBMS-side bounds
+  FittingMethod fitting = FittingMethod::kSimple;
+  double fixed_threshold = 1.0;  // B, kFixedThreshold only
+  double period = 1.0;           // kPeriodic only
+  double step_threshold = 1.0;   // h, kStepThreshold only
+  double zero_epsilon = 1e-9;    // deviations below this count as zero
+  /// kHybridAdaptive: switch to ail mode when the coefficient of variation
+  /// of the speed since the last update exceeds this value.
+  double hybrid_cv_switch = 0.3;
+};
+
+/// A decision to send a position update now.
+struct UpdateDecision {
+  /// The predicted speed to declare in P.speed (current speed for dl/cil,
+  /// average speed since the last update for ail, 0 for the traditional
+  /// periodic reporter).
+  double declared_speed = 0.0;
+};
+
+/// A position update message from a moving object to the database
+/// (paper §3.1): new values for P.starttime, P.speed, P.x/y.startposition
+/// (and P.route when the object changed routes).
+struct PositionUpdate {
+  ObjectId object = kInvalidObjectId;
+  Time time = 0.0;
+  geo::RouteId route = geo::kInvalidRouteId;
+  double route_distance = 0.0;
+  geo::Point2 position;
+  TravelDirection direction = TravelDirection::kForward;
+  double speed = 0.0;
+};
+
+/// Position-update policy interface (paper §3.1).
+///
+/// The onboard computer calls `Decide` once per tick with the deviation
+/// bookkeeping; a non-empty result instructs it to send a position update
+/// with the given declared speed. Policies are stateless between windows
+/// except for what `DeviationTracker` carries, with the exception of the
+/// periodic baseline (which tracks its reporting schedule) and the hybrid
+/// extension (which remembers its active mode).
+class UpdatePolicy {
+ public:
+  explicit UpdatePolicy(const PolicyConfig& config) : config_(config) {}
+  virtual ~UpdatePolicy() = default;
+
+  UpdatePolicy(const UpdatePolicy&) = delete;
+  UpdatePolicy& operator=(const UpdatePolicy&) = delete;
+
+  virtual PolicyKind kind() const = 0;
+  virtual std::string_view name() const { return PolicyKindName(kind()); }
+
+  /// Decides whether the object should update the database at time `now`.
+  /// `current_speed` is the object's instantaneous speed.
+  virtual std::optional<UpdateDecision> Decide(
+      const DeviationTracker& tracker, Time now, double current_speed) = 0;
+
+  /// Notifies the policy that an update was sent at `now` (used by the
+  /// stateful baselines; default no-op).
+  virtual void OnUpdateSent(Time now) { (void)now; }
+
+  const PolicyConfig& config() const { return config_; }
+
+ protected:
+  PolicyConfig config_;
+};
+
+/// Creates the policy implementation selected by `config.kind`.
+std::unique_ptr<UpdatePolicy> MakePolicy(const PolicyConfig& config);
+
+}  // namespace modb::core
+
+#endif  // MODB_CORE_UPDATE_POLICY_H_

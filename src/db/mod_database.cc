@@ -1,0 +1,378 @@
+#include "db/mod_database.h"
+
+#include <algorithm>
+
+#include "core/bounds.h"
+#include "core/uncertainty.h"
+#include "index/linear_scan_index.h"
+#include "index/timespace_index.h"
+
+namespace modb::db {
+
+namespace {
+
+std::unique_ptr<index::ObjectIndex> MakeIndex(
+    const geo::RouteNetwork* network, const ModDatabaseOptions& options) {
+  switch (options.index_kind) {
+    case IndexKind::kTimeSpaceRTree: {
+      index::TimeSpaceIndex::Options idx;
+      idx.oplane.horizon = options.oplane_horizon;
+      idx.oplane.slab_width = options.oplane_slab_width;
+      return std::make_unique<index::TimeSpaceIndex>(network, idx);
+    }
+    case IndexKind::kLinearScan:
+      return std::make_unique<index::LinearScanIndex>(network);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ModDatabase::ModDatabase(const geo::RouteNetwork* network,
+                         ModDatabaseOptions options)
+    : network_(network),
+      options_(options),
+      index_(MakeIndex(network, options)),
+      log_(options.max_log_history) {}
+
+util::Status ModDatabase::ValidateAttribute(
+    const core::PositionAttribute& attr) const {
+  const auto route = network_->FindRoute(attr.route);
+  if (!route.ok()) return route.status();
+  if (attr.speed < 0.0) {
+    return util::Status::InvalidArgument("negative speed");
+  }
+  if (attr.start_route_distance < 0.0 ||
+      attr.start_route_distance > (*route)->Length()) {
+    return util::Status::InvalidArgument("start position off the route");
+  }
+  return util::Status::Ok();
+}
+
+util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
+                                 const core::PositionAttribute& attr) {
+  if (records_.contains(id)) {
+    return util::Status::AlreadyExists("object " + std::to_string(id));
+  }
+  if (util::Status s = ValidateAttribute(attr); !s.ok()) return s;
+  MovingObjectRecord record;
+  record.id = id;
+  record.label = std::move(label);
+  record.attr = attr;
+  record.insert_time = attr.start_time;
+  records_.emplace(id, std::move(record));
+  index_->Upsert(id, attr);
+  return util::Status::Ok();
+}
+
+util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
+  // Validate everything up front so failure leaves the database unchanged.
+  std::unordered_map<core::ObjectId, bool> batch_ids;
+  for (const BulkObject& object : objects) {
+    if (records_.contains(object.id) || batch_ids.contains(object.id)) {
+      return util::Status::AlreadyExists("object " +
+                                         std::to_string(object.id));
+    }
+    batch_ids.emplace(object.id, true);
+    if (util::Status s = ValidateAttribute(object.attr); !s.ok()) return s;
+  }
+  std::vector<std::pair<core::ObjectId, core::PositionAttribute>> for_index;
+  for_index.reserve(objects.size());
+  for (BulkObject& object : objects) {
+    MovingObjectRecord record;
+    record.id = object.id;
+    record.label = std::move(object.label);
+    record.attr = object.attr;
+    record.insert_time = object.attr.start_time;
+    for_index.emplace_back(object.id, object.attr);
+    records_.emplace(object.id, std::move(record));
+  }
+  index_->BulkUpsert(for_index);
+  return util::Status::Ok();
+}
+
+util::Status ModDatabase::ApplyUpdate(const core::PositionUpdate& update) {
+  const auto it = records_.find(update.object);
+  if (it == records_.end()) {
+    return util::Status::NotFound("object " + std::to_string(update.object));
+  }
+  MovingObjectRecord& record = it->second;
+  if (update.time < record.attr.start_time) {
+    return util::Status::InvalidArgument("update time regresses");
+  }
+  core::PositionAttribute attr = record.attr;  // keep policy parameters
+  attr.start_time = update.time;
+  attr.route = update.route;
+  attr.start_route_distance = update.route_distance;
+  attr.start_position = update.position;
+  attr.direction = update.direction;
+  attr.speed = update.speed;
+  if (util::Status s = ValidateAttribute(attr); !s.ok()) return s;
+  if (options_.keep_trajectory) {
+    record.past.push_back(record.attr);
+    const std::size_t cap = options_.max_trajectory_versions;
+    if (cap > 0 && record.past.size() > cap) {
+      record.past.erase(record.past.begin(),
+                        record.past.end() - static_cast<std::ptrdiff_t>(cap));
+    }
+  }
+  record.attr = attr;
+  ++record.update_count;
+  index_->Upsert(update.object, attr);
+  log_.Append(update);
+  return util::Status::Ok();
+}
+
+util::Status ModDatabase::RestoreTrajectory(
+    core::ObjectId id, std::vector<core::PositionAttribute> past) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return util::Status::NotFound("object " + std::to_string(id));
+  }
+  for (std::size_t i = 0; i < past.size(); ++i) {
+    if (util::Status s = ValidateAttribute(past[i]); !s.ok()) return s;
+    const core::Time next_start = i + 1 < past.size()
+                                      ? past[i + 1].start_time
+                                      : it->second.attr.start_time;
+    if (past[i].start_time > next_start) {
+      return util::Status::InvalidArgument("trajectory versions unordered");
+    }
+  }
+  it->second.past = std::move(past);
+  return util::Status::Ok();
+}
+
+util::Status ModDatabase::Erase(core::ObjectId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return util::Status::NotFound("object " + std::to_string(id));
+  }
+  records_.erase(it);
+  index_->Remove(id);
+  return util::Status::Ok();
+}
+
+namespace {
+
+// The attribute version that was valid at time `t`: the current one for
+// t >= its start, else the newest past version starting at or before `t`
+// (the oldest version for times before the object existed).
+const core::PositionAttribute& AttributeValidAt(
+    const MovingObjectRecord& record, core::Time t) {
+  if (t >= record.attr.start_time || record.past.empty()) return record.attr;
+  const auto it = std::upper_bound(
+      record.past.begin(), record.past.end(), t,
+      [](core::Time time, const core::PositionAttribute& attr) {
+        return time < attr.start_time;
+      });
+  if (it == record.past.begin()) return record.past.front();
+  return *(it - 1);
+}
+
+}  // namespace
+
+util::Result<PositionAnswer> ModDatabase::QueryPosition(core::ObjectId id,
+                                                        core::Time t) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return util::Status::NotFound("object " + std::to_string(id));
+  }
+  const core::PositionAttribute& attr = AttributeValidAt(it->second, t);
+  const auto route = network_->FindRoute(attr.route);
+  if (!route.ok()) return route.status();
+
+  PositionAnswer answer;
+  answer.id = id;
+  answer.query_time = t;
+  answer.route = attr.route;
+  answer.route_distance =
+      attr.ClampedDatabaseRouteDistanceAt(t, (*route)->Length());
+  answer.position = (*route)->PointAt(answer.route_distance);
+  const core::Duration elapsed = std::max(0.0, t - attr.start_time);
+  answer.slow_bound = core::SlowDeviationBound(attr, elapsed);
+  answer.fast_bound = core::FastDeviationBound(attr, elapsed);
+  answer.deviation_bound = core::DeviationBound(attr, elapsed);
+  answer.uncertainty = core::ComputeUncertainty(attr, **route, t);
+  return answer;
+}
+
+RangeAnswer ModDatabase::QueryRange(const geo::Polygon& region,
+                                    core::Time t) const {
+  RangeAnswer answer;
+  answer.query_time = t;
+  const std::vector<core::ObjectId> candidates =
+      index_->Candidates(region, t);
+  answer.candidates_examined = candidates.size();
+  for (core::ObjectId id : candidates) {
+    const auto it = records_.find(id);
+    if (it == records_.end()) continue;  // stale index entry
+    const core::PositionAttribute& attr = it->second.attr;
+    const auto route = network_->FindRoute(attr.route);
+    if (!route.ok()) continue;
+    const core::UncertaintyInterval iv =
+        core::ComputeUncertainty(attr, **route, t);
+    switch (core::ClassifyAgainstPolygon(iv, **route, region)) {
+      case core::RegionRelation::kMustBeIn:
+        answer.must.push_back(id);
+        break;
+      case core::RegionRelation::kMayBeIn:
+        answer.may.push_back(id);
+        answer.may_probability.push_back(
+            core::ProbabilityInPolygon(iv, **route, region));
+        break;
+      case core::RegionRelation::kOutside:
+        break;
+    }
+  }
+  std::sort(answer.must.begin(), answer.must.end());
+  // Sort `may` keeping its probability column aligned.
+  std::vector<std::size_t> order(answer.may.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return answer.may[a] < answer.may[b];
+  });
+  std::vector<core::ObjectId> sorted_may;
+  std::vector<double> sorted_prob;
+  sorted_may.reserve(order.size());
+  sorted_prob.reserve(order.size());
+  for (std::size_t i : order) {
+    sorted_may.push_back(answer.may[i]);
+    sorted_prob.push_back(answer.may_probability[i]);
+  }
+  answer.may = std::move(sorted_may);
+  answer.may_probability = std::move(sorted_prob);
+  return answer;
+}
+
+NearestAnswer ModDatabase::QueryNearest(const geo::Point2& point,
+                                        std::size_t k, core::Time t) const {
+  NearestAnswer answer;
+  answer.query_time = t;
+  if (k == 0 || records_.empty()) return answer;
+
+  // Expanding probes: grow a square around the query point until it yields
+  // at least k candidates (or covers the whole network), then widen once
+  // more to the k-th database-position distance so no closer object on the
+  // fringe is missed.
+  const geo::Box2 world = network_->BoundingBox();
+  const double world_span =
+      std::max(world.Width(), world.Height()) + 1.0;
+  double radius = std::max(world_span / 64.0, 1e-6);
+  std::vector<core::ObjectId> candidates;
+  for (;;) {
+    const geo::Polygon probe =
+        geo::Polygon::CenteredRectangle(point, radius, radius);
+    candidates = index_->Candidates(probe, t);
+    answer.candidates_examined = candidates.size();
+    if (candidates.size() >= k || radius >= world_span) break;
+    radius *= 2.0;
+  }
+
+  auto build_items = [&](const std::vector<core::ObjectId>& ids) {
+    std::vector<NearestAnswer::Item> items;
+    items.reserve(ids.size());
+    for (core::ObjectId id : ids) {
+      const auto it = records_.find(id);
+      if (it == records_.end()) continue;
+      const core::PositionAttribute& attr = it->second.attr;
+      const auto route = network_->FindRoute(attr.route);
+      if (!route.ok()) continue;
+      NearestAnswer::Item item;
+      item.id = id;
+      const double db_s =
+          attr.ClampedDatabaseRouteDistanceAt(t, (*route)->Length());
+      item.db_distance = geo::Distance(point, (*route)->PointAt(db_s));
+      const core::UncertaintyInterval iv =
+          core::ComputeUncertainty(attr, **route, t);
+      item.min_possible_distance =
+          (*route)->shape().SubDistanceFromPoint(point, iv.lo, iv.hi);
+      item.max_possible_distance =
+          (*route)->shape().SubMaxDistanceFromPoint(point, iv.lo, iv.hi);
+      items.push_back(item);
+    }
+    std::sort(items.begin(), items.end(),
+              [](const NearestAnswer::Item& a, const NearestAnswer::Item& b) {
+                return a.db_distance < b.db_distance;
+              });
+    return items;
+  };
+
+  std::vector<NearestAnswer::Item> items = build_items(candidates);
+  if (!items.empty() && radius < world_span) {
+    const double kth =
+        items[std::min(k, items.size()) - 1].db_distance;
+    if (kth > radius) {
+      const geo::Polygon wide =
+          geo::Polygon::CenteredRectangle(point, kth, kth);
+      candidates = index_->Candidates(wide, t);
+      answer.candidates_examined =
+          std::max(answer.candidates_examined, candidates.size());
+      items = build_items(candidates);
+    }
+  }
+  if (items.size() > k) items.resize(k);
+  answer.items = std::move(items);
+  return answer;
+}
+
+IntervalRangeAnswer ModDatabase::QueryRangeInterval(
+    const geo::Polygon& region, core::Time t1, core::Time t2,
+    core::Duration sample_step) const {
+  IntervalRangeAnswer answer;
+  if (t1 > t2) std::swap(t1, t2);
+  answer.window_start = t1;
+  answer.window_end = t2;
+  const std::vector<core::ObjectId> candidates =
+      index_->CandidatesInWindow(region, t1, t2);
+  answer.candidates_examined = candidates.size();
+
+  for (core::ObjectId id : candidates) {
+    const auto it = records_.find(id);
+    if (it == records_.end()) continue;
+    const core::PositionAttribute& attr = it->second.attr;
+    const auto route = network_->FindRoute(attr.route);
+    if (!route.ok()) continue;
+
+    // Exact MAY: the interval endpoints move continuously, so the swept
+    // span intersects the region iff the interval does at some instant.
+    const core::UncertaintyInterval span =
+        core::ComputeUncertaintySpan(attr, **route, t1, t2);
+    if (!(*route)->shape().SubIntersectsPolygon(span.lo, span.hi, region)) {
+      continue;
+    }
+    answer.may.push_back(id);
+
+    // Sampled MUST-at-some-time.
+    const double step = sample_step > 0.0 ? sample_step : t2 - t1;
+    bool must = false;
+    for (core::Time t = t1; !must && t <= t2 + 1e-9;
+         t += std::max(step, 1e-9)) {
+      const core::Time clamped = std::min(t, t2);
+      const core::UncertaintyInterval iv =
+          core::ComputeUncertainty(attr, **route, clamped);
+      must = core::ClassifyAgainstPolygon(iv, **route, region) ==
+             core::RegionRelation::kMustBeIn;
+      if (clamped == t2) break;
+    }
+    if (must) answer.must_at_some_time.push_back(id);
+  }
+  std::sort(answer.may.begin(), answer.may.end());
+  std::sort(answer.must_at_some_time.begin(), answer.must_at_some_time.end());
+  return answer;
+}
+
+util::Result<const MovingObjectRecord*> ModDatabase::Get(
+    core::ObjectId id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) {
+    return util::Status::NotFound("object " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+void ModDatabase::ForEachRecord(
+    const std::function<void(const MovingObjectRecord&)>& fn) const {
+  for (const auto& [id, record] : records_) fn(record);
+}
+
+}  // namespace modb::db

@@ -1,0 +1,149 @@
+#ifndef MODB_DB_MOD_DATABASE_H_
+#define MODB_DB_MOD_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/position_attribute.h"
+#include "core/types.h"
+#include "core/update_policy.h"
+#include "db/moving_object.h"
+#include "db/query.h"
+#include "db/update_log.h"
+#include "geo/polygon.h"
+#include "geo/route_network.h"
+#include "index/object_index.h"
+#include "util/status.h"
+
+namespace modb::db {
+
+/// Which access method backs range queries.
+enum class IndexKind {
+  kTimeSpaceRTree,  // the paper's §4 method
+  kLinearScan,      // baseline
+};
+
+/// Moving-objects database options.
+struct ModDatabaseOptions {
+  IndexKind index_kind = IndexKind::kTimeSpaceRTree;
+  /// O-plane horizon (time span T of §4.2) and slab width for the R*-tree
+  /// index; ignored by the linear scan.
+  double oplane_horizon = 120.0;
+  double oplane_slab_width = 4.0;
+  /// Cap on the update-log history retained for replay (0 = unlimited).
+  std::size_t max_log_history = 0;
+  /// Keep superseded attribute versions per object so position queries at
+  /// past times are answered from the motion model that was valid then
+  /// (valid-time == transaction-time, paper §2). Off by default: fleets
+  /// with high update rates may not want the per-object history growth.
+  bool keep_trajectory = false;
+  /// Cap on retained past versions per object (0 = unlimited). When the
+  /// cap is hit the oldest versions are dropped; queries before the oldest
+  /// retained version answer from that version.
+  std::size_t max_trajectory_versions = 0;
+};
+
+/// The moving-objects database (MOD): stores one position attribute per
+/// object, ingests position updates, and answers the paper's two query
+/// forms — position queries with deviation bounds (§3.3) and range queries
+/// with MUST / MAY semantics (§4).
+///
+/// Thread-compatibility: the class is not internally synchronised; callers
+/// serialise access (matching the paper's instantaneous-update model where
+/// valid-time equals transaction-time).
+class ModDatabase {
+ public:
+  /// `network` must outlive the database.
+  ModDatabase(const geo::RouteNetwork* network, ModDatabaseOptions options);
+  explicit ModDatabase(const geo::RouteNetwork* network)
+      : ModDatabase(network, ModDatabaseOptions{}) {}
+
+  ModDatabase(const ModDatabase&) = delete;
+  ModDatabase& operator=(const ModDatabase&) = delete;
+
+  /// Registers a moving object with its initial position attribute (the
+  /// beginning-of-trip write of all sub-attributes, §3.1).
+  util::Status Insert(core::ObjectId id, std::string label,
+                      const core::PositionAttribute& attr);
+
+  /// One row of a bulk insertion.
+  struct BulkObject {
+    core::ObjectId id = core::kInvalidObjectId;
+    std::string label;
+    core::PositionAttribute attr;
+  };
+
+  /// Registers a whole fleet at once. All rows are validated first (the
+  /// database is unchanged on failure); the index is built with its packed
+  /// bulk path — much faster than per-object `Insert` for large fleets.
+  util::Status BulkInsert(std::vector<BulkObject> objects);
+
+  /// Applies a position update from a moving object: replaces
+  /// P.starttime, P.speed, P.x/y.startposition (and P.route), keeping the
+  /// policy parameters. Fails with NotFound for unknown objects and
+  /// InvalidArgument for unknown routes or time regressions.
+  util::Status ApplyUpdate(const core::PositionUpdate& update);
+
+  /// Removes an object (end of trip).
+  util::Status Erase(core::ObjectId id);
+
+  /// Replaces the stored past attribute versions of `id` (used by snapshot
+  /// restore). Versions must be ascending by start time and must not start
+  /// after the current version.
+  util::Status RestoreTrajectory(core::ObjectId id,
+                                 std::vector<core::PositionAttribute> past);
+
+  /// "What is the current position of m?" at time `t`: database position
+  /// plus the deviation bounds the DBMS can derive from the policy (§3.3).
+  util::Result<PositionAnswer> QueryPosition(core::ObjectId id,
+                                             core::Time t) const;
+
+  /// "Retrieve the objects which are inside polygon G at time t0" (§4):
+  /// index candidates refined into MUST / MAY sets.
+  RangeAnswer QueryRange(const geo::Polygon& region, core::Time t) const;
+
+  /// "Retrieve the k objects nearest to `point` at time t", with
+  /// uncertainty-aware distance brackets. Uses expanding index probes, so
+  /// it stays sublinear for small k on large databases.
+  NearestAnswer QueryNearest(const geo::Point2& point, std::size_t k,
+                             core::Time t) const;
+
+  /// "Retrieve the objects inside `region` at some time within [t1, t2]".
+  /// `may` is exact (the uncertainty interval sweeps continuously, so
+  /// span-overlap is equivalent to instant-overlap); `must_at_some_time`
+  /// is evaluated at instants spaced `sample_step` apart plus the window
+  /// edges.
+  IntervalRangeAnswer QueryRangeInterval(const geo::Polygon& region,
+                                         core::Time t1, core::Time t2,
+                                         core::Duration sample_step = 1.0) const;
+
+  /// Record lookup.
+  util::Result<const MovingObjectRecord*> Get(core::ObjectId id) const;
+
+  /// Invokes `fn` on every stored record (unspecified order). Used by the
+  /// snapshot writer and statistics tooling.
+  void ForEachRecord(
+      const std::function<void(const MovingObjectRecord&)>& fn) const;
+
+  std::size_t num_objects() const { return records_.size(); }
+  const UpdateLog& log() const { return log_; }
+  const index::ObjectIndex& object_index() const { return *index_; }
+  const geo::RouteNetwork& network() const { return *network_; }
+  const ModDatabaseOptions& options() const { return options_; }
+
+ private:
+  util::Status ValidateAttribute(const core::PositionAttribute& attr) const;
+
+  const geo::RouteNetwork* network_;
+  ModDatabaseOptions options_;
+  std::unordered_map<core::ObjectId, MovingObjectRecord> records_;
+  std::unique_ptr<index::ObjectIndex> index_;
+  UpdateLog log_;
+};
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_MOD_DATABASE_H_

@@ -1,0 +1,33 @@
+#ifndef MODB_DB_MOVING_OBJECT_H_
+#define MODB_DB_MOVING_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/position_attribute.h"
+#include "core/types.h"
+
+namespace modb::db {
+
+/// One row of the moving-object class: the identity of the object plus its
+/// position attribute (the motion model of paper §2) and bookkeeping.
+struct MovingObjectRecord {
+  core::ObjectId id = core::kInvalidObjectId;
+  std::string label;
+  core::PositionAttribute attr;
+  /// Time the object was inserted (trip start).
+  core::Time insert_time = 0.0;
+  /// Number of position updates applied since insertion.
+  std::uint64_t update_count = 0;
+  /// Superseded attribute versions, oldest first (kept when the database's
+  /// `keep_trajectory` option is on). Version k was valid from its own
+  /// start_time until version k+1's; `attr` is the open current version.
+  /// The paper equates valid- and transaction-time (§2), so this history
+  /// is exactly the object's piecewise motion trajectory.
+  std::vector<core::PositionAttribute> past;
+};
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_MOVING_OBJECT_H_

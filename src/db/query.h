@@ -1,0 +1,92 @@
+#ifndef MODB_DB_QUERY_H_
+#define MODB_DB_QUERY_H_
+
+#include <vector>
+
+#include "core/position_attribute.h"
+#include "core/types.h"
+#include "core/uncertainty.h"
+#include "geo/point.h"
+#include "geo/route.h"
+
+namespace modb::db {
+
+/// Answer to "what is the current position of m?" (paper §1, §3.3): the
+/// database position plus the bound B on the deviation — the actual
+/// position is within `deviation_bound` route-distance of `position`,
+/// somewhere inside `uncertainty` on `route`.
+struct PositionAnswer {
+  core::ObjectId id = core::kInvalidObjectId;
+  core::Time query_time = 0.0;
+  geo::RouteId route = geo::kInvalidRouteId;
+  /// Route-distance of the database position.
+  double route_distance = 0.0;
+  /// 2-D database position returned to the user.
+  geo::Point2 position;
+  /// Bound on the slow (behind) deviation (propositions 2 / 4).
+  double slow_bound = 0.0;
+  /// Bound on the fast (ahead) deviation (propositions 3 / 4).
+  double fast_bound = 0.0;
+  /// Bound on the deviation in either direction (corollary 1 / prop. 4).
+  double deviation_bound = 0.0;
+  /// The stretch of route the object is guaranteed to be on.
+  core::UncertaintyInterval uncertainty;
+};
+
+/// Answer to "retrieve the k objects nearest to a point at time t" (the
+/// paper's trucking query — "the trucks currently within 1 mile of truck
+/// ABT312" — generalised to k-nearest). Distances account for the
+/// uncertainty interval: the object is guaranteed to be between
+/// `min_possible_distance` and `max_possible_distance` from the query
+/// point; ordering is by distance to the database position.
+struct NearestAnswer {
+  struct Item {
+    core::ObjectId id = core::kInvalidObjectId;
+    /// Euclidean distance from the query point to the database position.
+    double db_distance = 0.0;
+    /// Closest the object can possibly be (distance to the uncertainty
+    /// interval).
+    double min_possible_distance = 0.0;
+    /// Farthest the object can possibly be.
+    double max_possible_distance = 0.0;
+  };
+  core::Time query_time = 0.0;
+  /// Up to k items, ascending by `db_distance`.
+  std::vector<Item> items;
+  std::size_t candidates_examined = 0;
+};
+
+/// Answer to "retrieve the objects that are inside polygon G at some time
+/// within [t1, t2]" — the time-window query the 3-D time-space index
+/// supports natively (the query region is G's bounding box extruded over
+/// the window). `may` is exact for objects whose uncertainty interval
+/// sweeps into G at any instant of the window; `must_at_some_time` is the
+/// subset provably inside at one of the sampled instants (conservative).
+struct IntervalRangeAnswer {
+  core::Time window_start = 0.0;
+  core::Time window_end = 0.0;
+  std::vector<core::ObjectId> may;
+  std::vector<core::ObjectId> must_at_some_time;
+  std::size_t candidates_examined = 0;
+};
+
+/// Answer to "retrieve the objects which are inside polygon G at time t0"
+/// (paper §4): objects that must be in G, and the additional objects that
+/// may be in G (theorem 5 / 6 semantics). `must` is a subset of the
+/// conceptual answer set; `must + may` is a superset.
+struct RangeAnswer {
+  core::Time query_time = 0.0;
+  std::vector<core::ObjectId> must;
+  std::vector<core::ObjectId> may;
+  /// For each entry of `may` (parallel array): the probability that the
+  /// object actually is inside G, under a position uniform over its
+  /// uncertainty interval (strictly in (0, 1) for MAY objects; MUST
+  /// objects are 1 and omitted-outside objects 0 by construction).
+  std::vector<double> may_probability;
+  /// Candidates the index produced (for selectivity/benchmark accounting).
+  std::size_t candidates_examined = 0;
+};
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_QUERY_H_

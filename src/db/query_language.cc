@@ -1,0 +1,378 @@
+#include "db/query_language.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <vector>
+
+namespace modb::db {
+
+namespace {
+
+// ---- Lexer ----
+
+enum class TokenKind { kWord, kNumber, kComma, kLParen, kRParen, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string word;    // upper-cased for kWord
+  double number = 0.0;
+  std::size_t offset = 0;  // position in the input, for error messages
+};
+
+util::Status LexError(std::size_t offset, const std::string& what) {
+  return util::Status::InvalidArgument("query error at offset " +
+                                       std::to_string(offset) + ": " + what);
+}
+
+util::Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == ',') {
+      token.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '+' || c == '.') {
+      std::size_t end = i;
+      while (end < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[end])) ||
+              text[end] == '.' || text[end] == '-' || text[end] == '+' ||
+              text[end] == 'e' || text[end] == 'E')) {
+        ++end;
+      }
+      const std::string number(text.substr(i, end - i));
+      char* parsed_end = nullptr;
+      token.number = std::strtod(number.c_str(), &parsed_end);
+      if (parsed_end == number.c_str() ||
+          static_cast<std::size_t>(parsed_end - number.c_str()) !=
+              number.size()) {
+        return LexError(i, "malformed number '" + number + "'");
+      }
+      token.kind = TokenKind::kNumber;
+      i = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::size_t end = i;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      token.kind = TokenKind::kWord;
+      token.word.assign(text.substr(i, end - i));
+      std::transform(token.word.begin(), token.word.end(), token.word.begin(),
+                     [](unsigned char ch) {
+                       return static_cast<char>(std::toupper(ch));
+                     });
+      i = end;
+    } else {
+      return LexError(i, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.kind = TokenKind::kEnd;
+  end_token.offset = text.size();
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+// ---- Parser ----
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<ParsedQuery> Parse() {
+    const Token& head = Peek();
+    if (head.kind != TokenKind::kWord) {
+      return Error("expected POSITION, SELECT, or NEAREST");
+    }
+    util::Result<ParsedQuery> query = [&]() -> util::Result<ParsedQuery> {
+      if (head.word == "POSITION") return ParsePosition();
+      if (head.word == "SELECT") return ParseRange();
+      if (head.word == "NEAREST") return ParseNearest();
+      return Error("unknown query verb '" + head.word + "'");
+    }();
+    if (!query.ok()) return query;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  util::Status ErrorStatus(const std::string& what) const {
+    return util::Status::InvalidArgument(
+        "query error at offset " + std::to_string(Peek().offset) + ": " +
+        what);
+  }
+  util::Result<ParsedQuery> Error(const std::string& what) const {
+    return ErrorStatus(what);
+  }
+
+  bool ConsumeWord(const char* word) {
+    if (Peek().kind == TokenKind::kWord && Peek().word == word) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  util::Status ExpectWord(const char* word) {
+    if (!ConsumeWord(word)) {
+      return ErrorStatus(std::string("expected '") + word + "'");
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status ExpectNumber(double* out) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return ErrorStatus("expected a number");
+    }
+    *out = Advance().number;
+    return util::Status::Ok();
+  }
+
+  util::Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) return ErrorStatus(std::string("expected ") + what);
+    Advance();
+    return util::Status::Ok();
+  }
+
+  util::Status ParseNumberList(std::size_t count, double* out) {
+    if (util::Status s = Expect(TokenKind::kLParen, "'('"); !s.ok()) return s;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i > 0) {
+        if (util::Status s = Expect(TokenKind::kComma, "','"); !s.ok()) {
+          return s;
+        }
+      }
+      if (util::Status s = ExpectNumber(&out[i]); !s.ok()) return s;
+    }
+    return Expect(TokenKind::kRParen, "')'");
+  }
+
+  util::Result<ParsedQuery> ParsePosition() {
+    Advance();  // POSITION
+    if (util::Status s = ExpectWord("OF"); !s.ok()) return s;
+    double id = 0.0;
+    if (util::Status s = ExpectNumber(&id); !s.ok()) return s;
+    if (id < 0.0 || id != std::floor(id)) {
+      return Error("object id must be a nonnegative integer");
+    }
+    if (util::Status s = ExpectWord("AT"); !s.ok()) return s;
+    double t = 0.0;
+    if (util::Status s = ExpectNumber(&t); !s.ok()) return s;
+    PositionQuerySpec spec;
+    spec.id = static_cast<core::ObjectId>(id);
+    spec.time = t;
+    return ParsedQuery{spec};
+  }
+
+  util::Result<ParsedQuery> ParseRange() {
+    Advance();  // SELECT
+    RangeQuerySpec spec;
+    if (ConsumeWord("ALL")) {
+      spec.scope = RangeQuerySpec::Scope::kAll;
+    } else if (ConsumeWord("MUST")) {
+      spec.scope = RangeQuerySpec::Scope::kMust;
+    } else if (ConsumeWord("MAY")) {
+      spec.scope = RangeQuerySpec::Scope::kMay;
+    } else {
+      return Error("expected ALL, MUST, or MAY after SELECT");
+    }
+    if (util::Status s = ExpectWord("INSIDE"); !s.ok()) return s;
+
+    char region_text[96];
+    if (ConsumeWord("RECT")) {
+      double v[4];
+      if (util::Status s = ParseNumberList(4, v); !s.ok()) return s;
+      spec.region = geo::Polygon::Rectangle(v[0], v[1], v[2], v[3]);
+      std::snprintf(region_text, sizeof(region_text),
+                    "RECT(%g, %g, %g, %g)", v[0], v[1], v[2], v[3]);
+    } else if (ConsumeWord("CIRCLE")) {
+      double v[3];
+      if (util::Status s = ParseNumberList(3, v); !s.ok()) return s;
+      if (v[2] <= 0.0) return Error("circle radius must be positive");
+      spec.region = geo::Polygon::RegularNGon({v[0], v[1]}, v[2], 32);
+      std::snprintf(region_text, sizeof(region_text), "CIRCLE(%g, %g, %g)",
+                    v[0], v[1], v[2]);
+    } else {
+      return Error("expected RECT or CIRCLE");
+    }
+    spec.region_text = region_text;
+
+    if (ConsumeWord("AT")) {
+      if (util::Status s = ExpectNumber(&spec.time); !s.ok()) return s;
+      spec.windowed = false;
+    } else if (ConsumeWord("DURING")) {
+      if (util::Status s = ExpectNumber(&spec.time); !s.ok()) return s;
+      if (util::Status s = ExpectWord("TO"); !s.ok()) return s;
+      if (util::Status s = ExpectNumber(&spec.window_end); !s.ok()) return s;
+      spec.windowed = true;
+    } else {
+      return Error("expected AT <time> or DURING <t1> TO <t2>");
+    }
+    return ParsedQuery{spec};
+  }
+
+  util::Result<ParsedQuery> ParseNearest() {
+    Advance();  // NEAREST
+    double k = 0.0;
+    if (util::Status s = ExpectNumber(&k); !s.ok()) return s;
+    if (k < 1.0 || k != std::floor(k)) {
+      return Error("k must be a positive integer");
+    }
+    if (util::Status s = ExpectWord("TO"); !s.ok()) return s;
+    if (util::Status s = ExpectWord("POINT"); !s.ok()) return s;
+    double v[2];
+    if (util::Status s = ParseNumberList(2, v); !s.ok()) return s;
+    if (util::Status s = ExpectWord("AT"); !s.ok()) return s;
+    double t = 0.0;
+    if (util::Status s = ExpectNumber(&t); !s.ok()) return s;
+    NearestQuerySpec spec;
+    spec.k = static_cast<std::size_t>(k);
+    spec.point = {v[0], v[1]};
+    spec.time = t;
+    return ParsedQuery{spec};
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Evaluation / formatting ----
+
+void AppendIdList(std::string* out,
+                  const std::vector<core::ObjectId>& ids,
+                  const std::vector<double>* probabilities = nullptr) {
+  if (ids.empty()) {
+    *out += " (none)";
+    return;
+  }
+  char buf[64];
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (probabilities != nullptr && i < probabilities->size()) {
+      std::snprintf(buf, sizeof(buf), " %llu(p=%.2f)",
+                    static_cast<unsigned long long>(ids[i]),
+                    (*probabilities)[i]);
+    } else {
+      std::snprintf(buf, sizeof(buf), " %llu",
+                    static_cast<unsigned long long>(ids[i]));
+    }
+    *out += buf;
+  }
+}
+
+std::string FormatPosition(const PositionAnswer& answer) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "object %llu at t=%g: %s on route %u (distance %.3f), "
+                "bound %.3f, interval [%.3f, %.3f]",
+                static_cast<unsigned long long>(answer.id),
+                answer.query_time, answer.position.ToString().c_str(),
+                answer.route, answer.route_distance, answer.deviation_bound,
+                answer.uncertainty.lo, answer.uncertainty.hi);
+  return buf;
+}
+
+std::string FormatRange(const RangeQuerySpec& spec, const RangeAnswer& answer) {
+  std::string out = "inside " + spec.region_text + " at t=" +
+                    std::to_string(answer.query_time) + ":";
+  if (spec.scope != RangeQuerySpec::Scope::kMay) {
+    out += "\n  MUST:";
+    AppendIdList(&out, answer.must);
+  }
+  if (spec.scope != RangeQuerySpec::Scope::kMust) {
+    out += "\n  MAY:";
+    AppendIdList(&out, answer.may, &answer.may_probability);
+  }
+  return out;
+}
+
+std::string FormatWindow(const RangeQuerySpec& spec,
+                         const IntervalRangeAnswer& answer) {
+  char head[128];
+  std::snprintf(head, sizeof(head), "inside %s during [%g, %g]:",
+                spec.region_text.c_str(), answer.window_start,
+                answer.window_end);
+  std::string out = head;
+  if (spec.scope != RangeQuerySpec::Scope::kMay) {
+    out += "\n  MUST at some instant:";
+    AppendIdList(&out, answer.must_at_some_time);
+  }
+  if (spec.scope != RangeQuerySpec::Scope::kMust) {
+    out += "\n  MAY within window:";
+    AppendIdList(&out, answer.may);
+  }
+  return out;
+}
+
+std::string FormatNearest(const NearestQuerySpec& spec,
+                          const NearestAnswer& answer) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "nearest %zu to (%g, %g) at t=%g:",
+                spec.k, spec.point.x, spec.point.y, spec.time);
+  std::string out = buf;
+  if (answer.items.empty()) out += "\n  (no objects)";
+  for (const auto& item : answer.items) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  object %llu: distance %.3f (possible %.3f .. %.3f)",
+                  static_cast<unsigned long long>(item.id), item.db_distance,
+                  item.min_possible_distance, item.max_possible_distance);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<ParsedQuery> ParseQuery(std::string_view text) {
+  auto tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+util::Result<std::string> ExecuteQuery(const ModDatabase& db,
+                                       std::string_view text) {
+  const auto parsed = ParseQuery(text);
+  if (!parsed.ok()) return parsed.status();
+
+  if (const auto* position = std::get_if<PositionQuerySpec>(&*parsed)) {
+    const auto answer = db.QueryPosition(position->id, position->time);
+    if (!answer.ok()) return answer.status();
+    return FormatPosition(*answer);
+  }
+  if (const auto* range = std::get_if<RangeQuerySpec>(&*parsed)) {
+    if (range->windowed) {
+      return FormatWindow(*range, db.QueryRangeInterval(
+                                      range->region, range->time,
+                                      range->window_end));
+    }
+    return FormatRange(*range, db.QueryRange(range->region, range->time));
+  }
+  const auto& nearest = std::get<NearestQuerySpec>(*parsed);
+  return FormatNearest(nearest,
+                       db.QueryNearest(nearest.point, nearest.k,
+                                       nearest.time));
+}
+
+}  // namespace modb::db

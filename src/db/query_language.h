@@ -1,0 +1,74 @@
+#ifndef MODB_DB_QUERY_LANGUAGE_H_
+#define MODB_DB_QUERY_LANGUAGE_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "db/mod_database.h"
+#include "geo/polygon.h"
+#include "util/status.h"
+
+namespace modb::db {
+
+// A small textual query language over the moving-objects database — the
+// paper's conclusion names "developing query languages ... for these
+// databases" as the next step; this is the minimal concrete instance
+// covering every query form the engine supports.
+//
+// Grammar (keywords case-insensitive; numbers are plain doubles):
+//
+//   query    := position | range | nearest
+//   position := POSITION OF <id> AT <time>
+//   range    := SELECT scope INSIDE region when
+//   scope    := ALL | MUST | MAY
+//   when     := AT <time> | DURING <t1> TO <t2>
+//   nearest  := NEAREST <k> TO point AT <time>
+//   region   := RECT ( x0 , y0 , x1 , y1 ) | CIRCLE ( x , y , r )
+//   point    := POINT ( x , y )
+//
+// Examples:
+//   POSITION OF 7 AT 6
+//   SELECT MUST INSIDE RECT(0, -1, 20, 1) AT 6
+//   SELECT ALL INSIDE CIRCLE(3, 4, 1.5) DURING 10 TO 20
+//   NEAREST 3 TO POINT(5, 5) AT 12
+
+/// Parsed form of `POSITION OF <id> AT <t>`.
+struct PositionQuerySpec {
+  core::ObjectId id = core::kInvalidObjectId;
+  core::Time time = 0.0;
+};
+
+/// Parsed form of `SELECT <scope> INSIDE <region> <when>`.
+struct RangeQuerySpec {
+  enum class Scope { kAll, kMust, kMay };
+  Scope scope = Scope::kAll;
+  geo::Polygon region;
+  std::string region_text;  // original spelling, for echoing
+  bool windowed = false;
+  core::Time time = 0.0;      // AT form
+  core::Time window_end = 0.0;  // DURING form: [time, window_end]
+};
+
+/// Parsed form of `NEAREST <k> TO POINT(x, y) AT <t>`.
+struct NearestQuerySpec {
+  std::size_t k = 0;
+  geo::Point2 point;
+  core::Time time = 0.0;
+};
+
+using ParsedQuery =
+    std::variant<PositionQuerySpec, RangeQuerySpec, NearestQuerySpec>;
+
+/// Parses `text` into a query, or InvalidArgument with a message that
+/// points at the offending token.
+util::Result<ParsedQuery> ParseQuery(std::string_view text);
+
+/// Executes a textual query against `db` and renders a human-readable
+/// answer. Parse errors and unknown objects surface as error statuses.
+util::Result<std::string> ExecuteQuery(const ModDatabase& db,
+                                       std::string_view text);
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_QUERY_LANGUAGE_H_

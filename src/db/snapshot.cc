@@ -1,0 +1,209 @@
+#include "db/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace modb::db {
+
+namespace {
+
+constexpr int kSnapshotVersion = 2;
+
+void WriteAttribute(std::ostream& out, const core::PositionAttribute& a) {
+  out << a.start_time << ' ' << a.route << ' ' << a.start_route_distance
+      << ' ' << a.start_position.x << ' ' << a.start_position.y << ' '
+      << static_cast<int>(a.direction) << ' ' << a.speed << ' '
+      << static_cast<int>(a.policy) << ' ' << a.update_cost << ' '
+      << a.max_speed << ' ' << a.fixed_threshold << ' ' << a.period << ' '
+      << a.step_threshold;
+}
+
+bool ReadAttribute(std::istream& in, core::PositionAttribute* a) {
+  int direction = 0;
+  int policy = 0;
+  if (!(in >> a->start_time >> a->route >> a->start_route_distance >>
+        a->start_position.x >> a->start_position.y >> direction >> a->speed >>
+        policy >> a->update_cost >> a->max_speed >> a->fixed_threshold >>
+        a->period >> a->step_threshold)) {
+    return false;
+  }
+  a->direction = static_cast<core::TravelDirection>(direction);
+  a->policy = static_cast<core::PolicyKind>(policy);
+  return true;
+}
+
+// Length-prefixed string: "<len> <raw bytes>".
+void WriteString(std::ostream& out, const std::string& s) {
+  out << s.size() << ' ' << s;
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  std::size_t len = 0;
+  if (!(in >> len)) return false;
+  if (in.get() != ' ') return false;
+  s->resize(len);
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  return static_cast<bool>(in);
+}
+
+bool ExpectToken(std::istream& in, const char* token) {
+  std::string word;
+  return (in >> word) && word == token;
+}
+
+}  // namespace
+
+util::Status WriteSnapshot(const ModDatabase& db, std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "modb-snapshot " << kSnapshotVersion << '\n';
+
+  const ModDatabaseOptions& options = db.options();
+  out << "options " << static_cast<int>(options.index_kind) << ' '
+      << options.oplane_horizon << ' ' << options.oplane_slab_width << ' '
+      << options.max_log_history << ' '
+      << (options.keep_trajectory ? 1 : 0) << '\n';
+
+  const geo::RouteNetwork& network = db.network();
+  out << "routes " << network.size() << '\n';
+  for (const geo::Route& route : network.routes()) {
+    out << "route " << route.id() << ' ' << route.shape().points().size();
+    for (const geo::Point2& p : route.shape().points()) {
+      out << ' ' << p.x << ' ' << p.y;
+    }
+    out << ' ';
+    WriteString(out, route.name());
+    out << '\n';
+  }
+
+  // Deterministic object order for stable snapshots.
+  std::vector<const MovingObjectRecord*> records;
+  records.reserve(db.num_objects());
+  db.ForEachRecord(
+      [&records](const MovingObjectRecord& r) { records.push_back(&r); });
+  std::sort(records.begin(), records.end(),
+            [](const MovingObjectRecord* a, const MovingObjectRecord* b) {
+              return a->id < b->id;
+            });
+
+  out << "objects " << records.size() << '\n';
+  for (const MovingObjectRecord* r : records) {
+    out << "object " << r->id << ' ';
+    WriteString(out, r->label);
+    out << ' ';
+    WriteAttribute(out, r->attr);
+    out << ' ' << r->insert_time << ' ' << r->update_count << ' '
+        << r->past.size();
+    for (const core::PositionAttribute& version : r->past) {
+      out << ' ';
+      WriteAttribute(out, version);
+    }
+    out << '\n';
+  }
+  if (!out) return util::Status::Internal("snapshot write failed");
+  return util::Status::Ok();
+}
+
+util::Status SaveSnapshot(const ModDatabase& db, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return util::Status::NotFound("cannot open " + path);
+  return WriteSnapshot(db, file);
+}
+
+util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
+  const auto malformed = [](const std::string& what) {
+    return util::Status::InvalidArgument("malformed snapshot: " + what);
+  };
+
+  if (!ExpectToken(in, "modb-snapshot")) return malformed("magic");
+  int version = 0;
+  if (!(in >> version) || version != kSnapshotVersion) {
+    return malformed("unsupported version");
+  }
+
+  if (!ExpectToken(in, "options")) return malformed("options");
+  int index_kind = 0;
+  int keep_trajectory = 0;
+  ModDatabaseOptions options;
+  if (!(in >> index_kind >> options.oplane_horizon >>
+        options.oplane_slab_width >> options.max_log_history >>
+        keep_trajectory)) {
+    return malformed("options fields");
+  }
+  options.index_kind = static_cast<IndexKind>(index_kind);
+  options.keep_trajectory = keep_trajectory != 0;
+
+  LoadedSnapshot snapshot;
+  snapshot.network = std::make_unique<geo::RouteNetwork>();
+
+  if (!ExpectToken(in, "routes")) return malformed("routes");
+  std::size_t num_routes = 0;
+  if (!(in >> num_routes)) return malformed("route count");
+  for (std::size_t i = 0; i < num_routes; ++i) {
+    if (!ExpectToken(in, "route")) return malformed("route record");
+    geo::RouteId id = 0;
+    std::size_t num_points = 0;
+    if (!(in >> id >> num_points)) return malformed("route header");
+    std::vector<geo::Point2> points(num_points);
+    for (geo::Point2& p : points) {
+      if (!(in >> p.x >> p.y)) return malformed("route point");
+    }
+    std::string name;
+    if (!ReadString(in, &name)) return malformed("route name");
+    const geo::RouteId assigned =
+        snapshot.network->AddRoute(geo::Polyline(std::move(points)), name);
+    if (assigned != id) return malformed("non-sequential route ids");
+  }
+
+  snapshot.database =
+      std::make_unique<ModDatabase>(snapshot.network.get(), options);
+
+  if (!ExpectToken(in, "objects")) return malformed("objects");
+  std::size_t num_objects = 0;
+  if (!(in >> num_objects)) return malformed("object count");
+  for (std::size_t i = 0; i < num_objects; ++i) {
+    if (!ExpectToken(in, "object")) return malformed("object record");
+    core::ObjectId id = 0;
+    if (!(in >> id)) return malformed("object id");
+    std::string label;
+    if (!ReadString(in, &label)) return malformed("object label");
+    core::PositionAttribute a;
+    core::Time insert_time = 0.0;
+    std::uint64_t update_count = 0;
+    std::size_t past_count = 0;
+    if (!ReadAttribute(in, &a)) return malformed("object attribute");
+    if (!(in >> insert_time >> update_count >> past_count)) {
+      return malformed("object fields");
+    }
+    std::vector<core::PositionAttribute> past(past_count);
+    for (core::PositionAttribute& version : past) {
+      if (!ReadAttribute(in, &version)) return malformed("past version");
+    }
+    if (util::Status s = snapshot.database->Insert(id, label, a); !s.ok()) {
+      return s;
+    }
+    if (!past.empty()) {
+      if (util::Status s =
+              snapshot.database->RestoreTrajectory(id, std::move(past));
+          !s.ok()) {
+        return s;
+      }
+    }
+    (void)insert_time;   // Insert() re-derives it from the attribute.
+    (void)update_count;  // the log is not persisted; counters restart
+  }
+  return snapshot;
+}
+
+util::Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return util::Status::NotFound("cannot open " + path);
+  return ReadSnapshot(file);
+}
+
+}  // namespace modb::db

@@ -1,0 +1,41 @@
+#ifndef MODB_DB_STATISTICS_H_
+#define MODB_DB_STATISTICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "db/mod_database.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace modb::db {
+
+/// Aggregate statistics of the database at a point in time: the monitoring
+/// view an operator of a fleet-tracking deployment watches.
+struct DatabaseStats {
+  core::Time as_of = 0.0;
+  std::size_t num_objects = 0;
+  std::uint64_t total_updates = 0;
+
+  /// Objects per update policy, indexed by PolicyKind's underlying value.
+  std::array<std::size_t, 7> objects_per_policy = {};
+
+  /// Distribution of the deviation bound the DBMS would currently quote.
+  util::RunningStat bound;
+  /// Distribution of time since each object's last update.
+  util::RunningStat staleness;
+  /// Distribution of declared speeds.
+  util::RunningStat declared_speed;
+  /// Distribution of per-object update counts.
+  util::RunningStat updates_per_object;
+};
+
+/// Computes the statistics of `db` at time `now`.
+DatabaseStats ComputeStatistics(const ModDatabase& db, core::Time now);
+
+/// Renders the statistics as an aligned table.
+util::Table StatisticsTable(const DatabaseStats& stats);
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_STATISTICS_H_

@@ -1,0 +1,28 @@
+#include "db/update_log.h"
+
+namespace modb::db {
+
+void UpdateLog::Append(const core::PositionUpdate& update) {
+  ++total_updates_;
+  ++per_object_[update.object];
+  if (max_history_ > 0 && history_.size() >= max_history_) {
+    // Drop the oldest half to keep amortised O(1) appends.
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_.size() / 2));
+  }
+  history_.push_back(update);
+}
+
+std::uint64_t UpdateLog::updates_for(core::ObjectId id) const {
+  const auto it = per_object_.find(id);
+  return it == per_object_.end() ? 0 : it->second;
+}
+
+void UpdateLog::Clear() {
+  total_updates_ = 0;
+  per_object_.clear();
+  history_.clear();
+}
+
+}  // namespace modb::db

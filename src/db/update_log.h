@@ -1,0 +1,47 @@
+#ifndef MODB_DB_UPDATE_LOG_H_
+#define MODB_DB_UPDATE_LOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/update_policy.h"
+
+namespace modb::db {
+
+/// Append-only record of the position updates the database received.
+///
+/// The update traffic is the quantity the paper's policies minimise, so the
+/// log doubles as the measurement instrument: totals, per-object counts and
+/// the full history (optionally capped) for replay in tests.
+class UpdateLog {
+ public:
+  /// `max_history` caps the retained messages (0 = keep everything);
+  /// counters are exact regardless.
+  explicit UpdateLog(std::size_t max_history = 0)
+      : max_history_(max_history) {}
+
+  /// Records one received update.
+  void Append(const core::PositionUpdate& update);
+
+  /// Total number of updates ever appended.
+  std::uint64_t total_updates() const { return total_updates_; }
+
+  /// Updates received from a particular object.
+  std::uint64_t updates_for(core::ObjectId id) const;
+
+  /// Retained history, oldest first (may be shorter than total_updates()).
+  const std::vector<core::PositionUpdate>& history() const { return history_; }
+
+  void Clear();
+
+ private:
+  std::size_t max_history_;
+  std::uint64_t total_updates_ = 0;
+  std::unordered_map<core::ObjectId, std::uint64_t> per_object_;
+  std::vector<core::PositionUpdate> history_;
+};
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_UPDATE_LOG_H_

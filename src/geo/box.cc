@@ -1,0 +1,34 @@
+#include "geo/box.h"
+
+#include <cstdio>
+
+namespace modb::geo {
+
+std::string Box2::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%s, %s]", min.ToString().c_str(),
+                max.ToString().c_str());
+  return buf;
+}
+
+double Box3::OverlapVolume(const Box3& o) const {
+  if (Empty() || o.Empty()) return 0.0;
+  double volume = 1.0;
+  for (int d = 0; d < 3; ++d) {
+    const double lo = std::max(min[d], o.min[d]);
+    const double hi = std::min(max[d], o.max[d]);
+    if (hi < lo) return 0.0;
+    volume *= hi - lo;
+  }
+  return volume;
+}
+
+std::string Box3::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "[(%.6g, %.6g, %.6g), (%.6g, %.6g, %.6g)]", min[0], min[1],
+                min[2], max[0], max[1], max[2]);
+  return buf;
+}
+
+}  // namespace modb::geo

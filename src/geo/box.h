@@ -1,0 +1,154 @@
+#ifndef MODB_GEO_BOX_H_
+#define MODB_GEO_BOX_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geo/point.h"
+
+namespace modb::geo {
+
+/// Axis-aligned 2-D bounding box. An empty box has min > max.
+struct Box2 {
+  Point2 min{std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity()};
+  Point2 max{-std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity()};
+
+  Box2() = default;
+  Box2(Point2 lo, Point2 hi) : min(lo), max(hi) {}
+
+  /// True when the box contains no points.
+  bool Empty() const { return min.x > max.x || min.y > max.y; }
+
+  /// Grows the box to cover `p`.
+  void Expand(const Point2& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  /// Grows the box to cover `other`.
+  void Expand(const Box2& other) {
+    if (other.Empty()) return;
+    Expand(other.min);
+    Expand(other.max);
+  }
+
+  /// Pads the box by `margin` on every side.
+  void Inflate(double margin) {
+    if (Empty()) return;
+    min.x -= margin;
+    min.y -= margin;
+    max.x += margin;
+    max.y += margin;
+  }
+
+  bool Contains(const Point2& p) const {
+    return !Empty() && p.x >= min.x && p.x <= max.x && p.y >= min.y &&
+           p.y <= max.y;
+  }
+
+  bool Intersects(const Box2& o) const {
+    return !Empty() && !o.Empty() && min.x <= o.max.x && o.min.x <= max.x &&
+           min.y <= o.max.y && o.min.y <= max.y;
+  }
+
+  double Width() const { return Empty() ? 0.0 : max.x - min.x; }
+  double Height() const { return Empty() ? 0.0 : max.y - min.y; }
+  double Area() const { return Width() * Height(); }
+  Point2 Center() const { return Lerp(min, max, 0.5); }
+
+  std::string ToString() const;
+};
+
+/// Axis-aligned 3-D box over (x, y, t) time-space. An empty box has
+/// min > max. This is the unit the time-space index stores.
+struct Box3 {
+  double min[3] = {std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity()};
+  double max[3] = {-std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()};
+
+  Box3() = default;
+  /// Builds the box [x0,x1]x[y0,y1]x[t0,t1] (each pair already ordered).
+  Box3(double x0, double y0, double t0, double x1, double y1, double t1) {
+    min[0] = x0;
+    min[1] = y0;
+    min[2] = t0;
+    max[0] = x1;
+    max[1] = y1;
+    max[2] = t1;
+  }
+  /// Lifts a 2-D box into the time slab [t0, t1].
+  Box3(const Box2& b, double t0, double t1)
+      : Box3(b.min.x, b.min.y, t0, b.max.x, b.max.y, t1) {}
+
+  bool Empty() const {
+    return min[0] > max[0] || min[1] > max[1] || min[2] > max[2];
+  }
+
+  void Expand(const Box3& o) {
+    for (int d = 0; d < 3; ++d) {
+      min[d] = std::min(min[d], o.min[d]);
+      max[d] = std::max(max[d], o.max[d]);
+    }
+  }
+
+  bool Intersects(const Box3& o) const {
+    if (Empty() || o.Empty()) return false;
+    for (int d = 0; d < 3; ++d) {
+      if (min[d] > o.max[d] || o.min[d] > max[d]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Box3& o) const {
+    if (Empty() || o.Empty()) return false;
+    for (int d = 0; d < 3; ++d) {
+      if (o.min[d] < min[d] || o.max[d] > max[d]) return false;
+    }
+    return true;
+  }
+
+  double Extent(int d) const { return Empty() ? 0.0 : max[d] - min[d]; }
+
+  /// Volume of the box (0 when empty or degenerate).
+  double Volume() const {
+    if (Empty()) return 0.0;
+    return Extent(0) * Extent(1) * Extent(2);
+  }
+
+  /// Sum of the edge lengths (the R*-tree "margin" heuristic).
+  double Margin() const {
+    if (Empty()) return 0.0;
+    return Extent(0) + Extent(1) + Extent(2);
+  }
+
+  /// Volume of the intersection with `o` (0 when disjoint).
+  double OverlapVolume(const Box3& o) const;
+
+  /// Smallest box covering both this and `o`.
+  Box3 Union(const Box3& o) const {
+    Box3 u = *this;
+    u.Expand(o);
+    return u;
+  }
+
+  /// Volume increase required to cover `o`.
+  double Enlargement(const Box3& o) const {
+    return Union(o).Volume() - Volume();
+  }
+
+  double CenterDim(int d) const { return 0.5 * (min[d] + max[d]); }
+
+  std::string ToString() const;
+};
+
+}  // namespace modb::geo
+
+#endif  // MODB_GEO_BOX_H_

@@ -1,0 +1,13 @@
+#include "geo/point.h"
+
+#include <cstdio>
+
+namespace modb::geo {
+
+std::string Point2::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6g, %.6g)", x, y);
+  return buf;
+}
+
+}  // namespace modb::geo

@@ -1,0 +1,152 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace modb::geo {
+
+Polyline::Polyline(std::vector<Point2> points) {
+  points_.reserve(points.size());
+  for (const Point2& p : points) {
+    if (!points_.empty() && ApproxEqual(points_.back(), p)) continue;
+    points_.push_back(p);
+  }
+  cumulative_.reserve(points_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) acc += Distance(points_[i - 1], points_[i]);
+    cumulative_.push_back(acc);
+    bbox_.Expand(points_[i]);
+  }
+}
+
+std::size_t Polyline::SegmentIndexAt(double s) const {
+  assert(Valid());
+  s = std::clamp(s, 0.0, Length());
+  // First vertex with cumulative length >= s; the segment ends there.
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), s);
+  std::size_t idx = static_cast<std::size_t>(it - cumulative_.begin());
+  if (idx > 0) --idx;
+  return std::min(idx, num_segments() - 1);
+}
+
+Point2 Polyline::PointAtDistance(double s) const {
+  assert(Valid());
+  s = std::clamp(s, 0.0, Length());
+  const std::size_t i = SegmentIndexAt(s);
+  const double seg_len = cumulative_[i + 1] - cumulative_[i];
+  const double t = seg_len > 0.0 ? (s - cumulative_[i]) / seg_len : 0.0;
+  return Lerp(points_[i], points_[i + 1], t);
+}
+
+Point2 Polyline::TangentAtDistance(double s) const {
+  assert(Valid());
+  const std::size_t i = SegmentIndexAt(std::clamp(s, 0.0, Length()));
+  const Point2 d = points_[i + 1] - points_[i];
+  const double n = d.Norm();
+  return n > 0.0 ? d / n : Point2{1.0, 0.0};
+}
+
+double Polyline::ProjectPoint(const Point2& p, double* out_distance) const {
+  assert(Valid());
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_s = 0.0;
+  for (std::size_t i = 0; i < num_segments(); ++i) {
+    const Segment seg(points_[i], points_[i + 1]);
+    const double t = seg.ClosestParam(p);
+    const Point2 q = seg.At(t);
+    const double d = Distance(p, q);
+    if (d < best_dist) {
+      best_dist = d;
+      best_s = cumulative_[i] + t * (cumulative_[i + 1] - cumulative_[i]);
+    }
+  }
+  if (out_distance != nullptr) *out_distance = best_dist;
+  return best_s;
+}
+
+Box2 Polyline::BoundingBoxBetween(double s0, double s1) const {
+  assert(Valid());
+  if (s0 > s1) std::swap(s0, s1);
+  s0 = std::clamp(s0, 0.0, Length());
+  s1 = std::clamp(s1, 0.0, Length());
+  Box2 box;
+  box.Expand(PointAtDistance(s0));
+  box.Expand(PointAtDistance(s1));
+  const std::size_t i0 = SegmentIndexAt(s0);
+  const std::size_t i1 = SegmentIndexAt(s1);
+  // Interior vertices strictly between s0 and s1.
+  for (std::size_t v = i0 + 1; v <= i1; ++v) {
+    if (cumulative_[v] >= s0 && cumulative_[v] <= s1) box.Expand(points_[v]);
+  }
+  return box;
+}
+
+std::vector<Point2> Polyline::SubPolyline(double s0, double s1) const {
+  assert(Valid());
+  if (s0 > s1) std::swap(s0, s1);
+  s0 = std::clamp(s0, 0.0, Length());
+  s1 = std::clamp(s1, 0.0, Length());
+  std::vector<Point2> out;
+  out.push_back(PointAtDistance(s0));
+  const std::size_t i0 = SegmentIndexAt(s0);
+  const std::size_t i1 = SegmentIndexAt(s1);
+  for (std::size_t v = i0 + 1; v <= i1; ++v) {
+    if (cumulative_[v] > s0 && cumulative_[v] < s1) out.push_back(points_[v]);
+  }
+  const Point2 end = PointAtDistance(s1);
+  if (!ApproxEqual(out.back(), end)) out.push_back(end);
+  return out;
+}
+
+double Polyline::SubLengthInsidePolygon(double s0, double s1,
+                                        const Polygon& polygon) const {
+  const std::vector<Point2> sub = SubPolyline(s0, s1);
+  double inside = 0.0;
+  for (std::size_t i = 0; i + 1 < sub.size(); ++i) {
+    inside += polygon.IntersectionLength(Segment(sub[i], sub[i + 1]));
+  }
+  return inside;
+}
+
+double Polyline::SubDistanceFromPoint(const Point2& p, double s0,
+                                      double s1) const {
+  const std::vector<Point2> sub = SubPolyline(s0, s1);
+  if (sub.size() == 1) return Distance(p, sub.front());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < sub.size(); ++i) {
+    best = std::min(best, Segment(sub[i], sub[i + 1]).DistanceTo(p));
+  }
+  return best;
+}
+
+double Polyline::SubMaxDistanceFromPoint(const Point2& p, double s0,
+                                         double s1) const {
+  const std::vector<Point2> sub = SubPolyline(s0, s1);
+  double worst = 0.0;
+  for (const Point2& q : sub) worst = std::max(worst, Distance(p, q));
+  return worst;
+}
+
+bool Polyline::SubIntersectsPolygon(double s0, double s1,
+                                    const Polygon& polygon) const {
+  const std::vector<Point2> sub = SubPolyline(s0, s1);
+  if (sub.size() == 1) return polygon.Contains(sub.front());
+  for (std::size_t i = 0; i + 1 < sub.size(); ++i) {
+    if (polygon.Intersects(Segment(sub[i], sub[i + 1]))) return true;
+  }
+  return false;
+}
+
+bool Polyline::SubInsidePolygon(double s0, double s1,
+                                const Polygon& polygon) const {
+  const std::vector<Point2> sub = SubPolyline(s0, s1);
+  if (sub.size() == 1) return polygon.Contains(sub.front());
+  for (std::size_t i = 0; i + 1 < sub.size(); ++i) {
+    if (!polygon.ContainsSegment(Segment(sub[i], sub[i + 1]))) return false;
+  }
+  return true;
+}
+
+}  // namespace modb::geo

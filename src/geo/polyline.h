@@ -1,0 +1,88 @@
+#ifndef MODB_GEO_POLYLINE_H_
+#define MODB_GEO_POLYLINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/box.h"
+#include "geo/point.h"
+#include "geo/polygon.h"
+#include "geo/segment.h"
+
+namespace modb::geo {
+
+/// Piecewise-linear curve with arc-length parametrisation.
+///
+/// Routes in the paper are piecewise-linear; every position on a route is
+/// addressed by its *route-distance* (arc length) from the first vertex.
+/// `Polyline` pre-computes cumulative lengths so `PointAtDistance` and
+/// `ProjectPoint` run in O(log n) / O(n).
+class Polyline {
+ public:
+  Polyline() = default;
+  /// Builds a polyline through `points` (at least 2; consecutive duplicates
+  /// are collapsed).
+  explicit Polyline(std::vector<Point2> points);
+
+  const std::vector<Point2>& points() const { return points_; }
+  std::size_t num_segments() const {
+    return points_.size() < 2 ? 0 : points_.size() - 1;
+  }
+  bool Valid() const { return points_.size() >= 2; }
+
+  /// Total arc length.
+  double Length() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+
+  /// Point at arc length `s` from the start; `s` is clamped to [0, Length()].
+  Point2 PointAtDistance(double s) const;
+
+  /// Unit tangent of the segment containing arc length `s` (direction of
+  /// travel). Requires `Valid()`.
+  Point2 TangentAtDistance(double s) const;
+
+  /// Projects `p` onto the polyline: returns the arc length of the nearest
+  /// point. `out_distance`, when non-null, receives the Euclidean distance
+  /// from `p` to that nearest point.
+  double ProjectPoint(const Point2& p, double* out_distance = nullptr) const;
+
+  /// Bounding box of the whole polyline.
+  Box2 BoundingBox() const { return bbox_; }
+
+  /// Bounding box of the sub-curve with arc lengths in [s0, s1]
+  /// (clamped; s0 <= s1 after swap).
+  Box2 BoundingBoxBetween(double s0, double s1) const;
+
+  /// Vertices of the sub-curve with arc lengths in [s0, s1], including the
+  /// interpolated endpoints. Always has at least one point when Valid().
+  std::vector<Point2> SubPolyline(double s0, double s1) const;
+
+  /// Smallest Euclidean distance from `p` to the sub-curve [s0, s1].
+  double SubDistanceFromPoint(const Point2& p, double s0, double s1) const;
+
+  /// Largest Euclidean distance from `p` to the sub-curve [s0, s1]
+  /// (attained at one of the sub-curve's vertices).
+  double SubMaxDistanceFromPoint(const Point2& p, double s0, double s1) const;
+
+  /// True when the sub-curve [s0, s1] intersects `polygon`.
+  bool SubIntersectsPolygon(double s0, double s1, const Polygon& polygon) const;
+
+  /// True when the sub-curve [s0, s1] lies entirely inside `polygon`.
+  bool SubInsidePolygon(double s0, double s1, const Polygon& polygon) const;
+
+  /// Arc length of the part of the sub-curve [s0, s1] inside `polygon`
+  /// (exact, piecewise clipping).
+  double SubLengthInsidePolygon(double s0, double s1,
+                                const Polygon& polygon) const;
+
+  /// Segment index containing arc length `s`, in [0, num_segments()).
+  std::size_t SegmentIndexAt(double s) const;
+
+ private:
+  std::vector<Point2> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = arc length at vertex i
+  Box2 bbox_;
+};
+
+}  // namespace modb::geo
+
+#endif  // MODB_GEO_POLYLINE_H_

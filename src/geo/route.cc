@@ -1,0 +1,12 @@
+#include "geo/route.h"
+
+#include <cmath>
+
+namespace modb::geo {
+
+double RouteDistance(RouteId route_a, double s_a, RouteId route_b, double s_b) {
+  if (route_a != route_b) return std::numeric_limits<double>::infinity();
+  return std::fabs(s_a - s_b);
+}
+
+}  // namespace modb::geo

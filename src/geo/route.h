@@ -1,0 +1,57 @@
+#ifndef MODB_GEO_ROUTE_H_
+#define MODB_GEO_ROUTE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "geo/polyline.h"
+
+namespace modb::geo {
+
+/// Identifier of a route in a `RouteNetwork`.
+using RouteId = std::uint32_t;
+
+inline constexpr RouteId kInvalidRouteId =
+    std::numeric_limits<RouteId>::max();
+
+/// A named line spatial object a moving object travels along (paper §2).
+///
+/// Positions on the route are addressed by route-distance (arc length) from
+/// its first vertex; `direction` in the position attribute selects which
+/// endpoint counts as the origin of travel.
+class Route {
+ public:
+  Route() = default;
+  Route(RouteId id, Polyline shape, std::string name = {})
+      : id_(id), shape_(std::move(shape)), name_(std::move(name)) {}
+
+  RouteId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Polyline& shape() const { return shape_; }
+  double Length() const { return shape_.Length(); }
+  bool Valid() const { return id_ != kInvalidRouteId && shape_.Valid(); }
+
+  /// Point on the route at route-distance `s` from the origin.
+  Point2 PointAt(double s) const { return shape_.PointAtDistance(s); }
+
+  /// Route-distance of the point on the route nearest to `p`.
+  double Project(const Point2& p, double* out_distance = nullptr) const {
+    return shape_.ProjectPoint(p, out_distance);
+  }
+
+ private:
+  RouteId id_ = kInvalidRouteId;
+  Polyline shape_;
+  std::string name_;
+};
+
+/// Route-distance between two route positions (paper §2): the distance along
+/// the route when both lie on the same route, infinity otherwise (the paper
+/// defines cross-route distance as infinite so that a route change always
+/// triggers a position update).
+double RouteDistance(RouteId route_a, double s_a, RouteId route_b, double s_b);
+
+}  // namespace modb::geo
+
+#endif  // MODB_GEO_ROUTE_H_

@@ -1,0 +1,85 @@
+#include "geo/route_network.h"
+
+#include <cmath>
+
+namespace modb::geo {
+
+RouteId RouteNetwork::AddRoute(Polyline shape, std::string name) {
+  const RouteId id = static_cast<RouteId>(routes_.size());
+  routes_.emplace_back(id, std::move(shape), std::move(name));
+  return id;
+}
+
+util::Result<const Route*> RouteNetwork::FindRoute(RouteId id) const {
+  if (id >= routes_.size()) {
+    return util::Status::NotFound("route id " + std::to_string(id));
+  }
+  return &routes_[id];
+}
+
+Box2 RouteNetwork::BoundingBox() const {
+  Box2 box;
+  for (const Route& r : routes_) box.Expand(r.shape().BoundingBox());
+  return box;
+}
+
+RouteId RouteNetwork::AddStraightRoute(const Point2& a, const Point2& b,
+                                       std::string name) {
+  return AddRoute(Polyline({a, b}), std::move(name));
+}
+
+std::vector<RouteId> RouteNetwork::AddGridNetwork(std::size_t rows,
+                                                  std::size_t cols,
+                                                  double spacing) {
+  std::vector<RouteId> ids;
+  ids.reserve(rows + cols);
+  const double width = spacing * static_cast<double>(cols > 0 ? cols - 1 : 0);
+  const double height = spacing * static_cast<double>(rows > 0 ? rows - 1 : 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double y = spacing * static_cast<double>(r);
+    ids.push_back(AddStraightRoute({0.0, y}, {width, y},
+                                   "ew-street-" + std::to_string(r)));
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double x = spacing * static_cast<double>(c);
+    ids.push_back(AddStraightRoute({x, 0.0}, {x, height},
+                                   "ns-street-" + std::to_string(c)));
+  }
+  return ids;
+}
+
+RouteId RouteNetwork::AddRandomWindingRoute(util::Rng& rng, const Point2& start,
+                                            std::size_t num_segments,
+                                            double leg_length,
+                                            double max_turn_radians,
+                                            std::string name) {
+  std::vector<Point2> pts;
+  pts.reserve(num_segments + 1);
+  pts.push_back(start);
+  double heading = rng.Uniform(0.0, 2.0 * M_PI);
+  Point2 cur = start;
+  for (std::size_t i = 0; i < num_segments; ++i) {
+    heading += rng.Uniform(-max_turn_radians, max_turn_radians);
+    cur += Point2{std::cos(heading), std::sin(heading)} * leg_length;
+    pts.push_back(cur);
+  }
+  return AddRoute(Polyline(std::move(pts)), std::move(name));
+}
+
+RouteId RouteNetwork::AddLoopRoute(double x0, double y0, double x1, double y1,
+                                   std::size_t laps, std::string name) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  std::vector<Point2> pts;
+  pts.reserve(4 * laps + 1);
+  pts.push_back({x0, y0});
+  for (std::size_t lap = 0; lap < laps; ++lap) {
+    pts.push_back({x1, y0});
+    pts.push_back({x1, y1});
+    pts.push_back({x0, y1});
+    pts.push_back({x0, y0});
+  }
+  return AddRoute(Polyline(std::move(pts)), std::move(name));
+}
+
+}  // namespace modb::geo

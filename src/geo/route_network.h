@@ -1,0 +1,68 @@
+#ifndef MODB_GEO_ROUTE_NETWORK_H_
+#define MODB_GEO_ROUTE_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/route.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace modb::geo {
+
+/// Catalog of routes (the paper's "route database").
+///
+/// The DBMS stores a set of routes; every moving object travels along one
+/// route at a time, referenced by `RouteId`. The network also provides
+/// synthetic generators used by the simulation testbed.
+class RouteNetwork {
+ public:
+  RouteNetwork() = default;
+
+  /// Adds a route built from `shape`; returns its id.
+  RouteId AddRoute(Polyline shape, std::string name = {});
+
+  /// Looks up a route; `NotFound` for unknown ids.
+  util::Result<const Route*> FindRoute(RouteId id) const;
+
+  /// Unchecked accessor: requires a valid id.
+  const Route& route(RouteId id) const { return routes_[id]; }
+
+  std::size_t size() const { return routes_.size(); }
+  const std::vector<Route>& routes() const { return routes_; }
+
+  /// Bounding box of every route in the network.
+  Box2 BoundingBox() const;
+
+  // ---- Synthetic generators (simulation substrate) ----
+
+  /// Adds a straight route from `a` to `b`.
+  RouteId AddStraightRoute(const Point2& a, const Point2& b,
+                           std::string name = {});
+
+  /// Adds `rows` horizontal and `cols` vertical streets with `spacing`
+  /// between consecutive streets, origin at (0, 0). Returns the ids added.
+  /// Each street is one route spanning the full grid extent.
+  std::vector<RouteId> AddGridNetwork(std::size_t rows, std::size_t cols,
+                                      double spacing);
+
+  /// Adds a random winding route: a polyline starting at `start`, taking
+  /// `num_segments` legs of length `leg_length`, each turning by a random
+  /// angle within +/- `max_turn_radians` of the previous heading.
+  RouteId AddRandomWindingRoute(util::Rng& rng, const Point2& start,
+                                std::size_t num_segments, double leg_length,
+                                double max_turn_radians,
+                                std::string name = {});
+
+  /// Adds a closed rectangular loop route (useful for long trips on a
+  /// bounded map): perimeter of [x0,x1] x [y0,y1], traversed `laps` times.
+  RouteId AddLoopRoute(double x0, double y0, double x1, double y1,
+                       std::size_t laps, std::string name = {});
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace modb::geo
+
+#endif  // MODB_GEO_ROUTE_NETWORK_H_

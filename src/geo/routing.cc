@@ -1,0 +1,202 @@
+#include "geo/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "geo/segment.h"
+
+namespace modb::geo {
+
+RoutingGraph::RoutingGraph(const RouteNetwork* network)
+    : RoutingGraph(network, Options{}) {}
+
+RoutingGraph::RoutingGraph(const RouteNetwork* network, Options options)
+    : network_(network), options_(options) {
+  BuildJunctions();
+}
+
+std::size_t RoutingGraph::InternJunction(const Point2& p) {
+  for (std::size_t i = 0; i < junctions_.size(); ++i) {
+    if (Distance(junctions_[i].position, p) <= options_.junction_tolerance) {
+      return i;
+    }
+  }
+  junctions_.push_back(Junction{p, {}});
+  return junctions_.size() - 1;
+}
+
+void RoutingGraph::BuildJunctions() {
+  const std::size_t n = network_->size();
+  route_stops_.assign(n, {});
+
+  // Pairwise segment intersections, bbox-pruned.
+  for (std::size_t a = 0; a < n; ++a) {
+    const Polyline& pa = network_->route(static_cast<RouteId>(a)).shape();
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const Polyline& pb = network_->route(static_cast<RouteId>(b)).shape();
+      if (!pa.BoundingBox().Intersects(pb.BoundingBox())) continue;
+      for (std::size_t i = 0; i < pa.num_segments(); ++i) {
+        const Segment sa(pa.points()[i], pa.points()[i + 1]);
+        const Box2 box_a = sa.BoundingBox();
+        for (std::size_t j = 0; j < pb.num_segments(); ++j) {
+          const Segment sb(pb.points()[j], pb.points()[j + 1]);
+          if (!box_a.Intersects(sb.BoundingBox())) continue;
+          const auto hit = SegmentIntersection(sa, sb);
+          if (!hit.has_value()) continue;
+          const std::size_t junction = InternJunction(*hit);
+          Junction& node = junctions_[junction];
+          // Record the anchor on each route once per route.
+          for (const RouteId rid : {static_cast<RouteId>(a),
+                                    static_cast<RouteId>(b)}) {
+            const bool known =
+                std::any_of(node.anchors.begin(), node.anchors.end(),
+                            [rid](const RouteAnchor& anchor) {
+                              return anchor.route == rid;
+                            });
+            if (!known) {
+              const double s =
+                  network_->route(rid).Project(node.position);
+              node.anchors.push_back({rid, s});
+              route_stops_[rid].push_back({s, junction});
+            }
+          }
+        }
+      }
+    }
+  }
+  num_edges_ = 0;
+  for (auto& stops : route_stops_) {
+    std::sort(stops.begin(), stops.end());
+    stops.erase(std::unique(stops.begin(), stops.end(),
+                            [this](const auto& x, const auto& y) {
+                              return std::fabs(x.first - y.first) <=
+                                     options_.junction_tolerance;
+                            }),
+                stops.end());
+    if (stops.size() >= 2) num_edges_ += stops.size() - 1;
+  }
+}
+
+std::vector<Point2> RoutingGraph::JunctionPositions() const {
+  std::vector<Point2> out;
+  out.reserve(junctions_.size());
+  for (const Junction& j : junctions_) out.push_back(j.position);
+  return out;
+}
+
+double RoutingGraph::PathLength(const std::vector<PathLeg>& legs) {
+  double total = 0.0;
+  for (const PathLeg& leg : legs) total += leg.Length();
+  return total;
+}
+
+util::Result<std::vector<PathLeg>> RoutingGraph::ShortestPath(
+    const RouteAnchor& from, const RouteAnchor& to) const {
+  // Validate anchors.
+  for (const RouteAnchor& anchor : {from, to}) {
+    const auto route = network_->FindRoute(anchor.route);
+    if (!route.ok()) return route.status();
+    if (anchor.distance < 0.0 || anchor.distance > (*route)->Length()) {
+      return util::Status::InvalidArgument("anchor off the route");
+    }
+  }
+  if (from.route == to.route &&
+      std::fabs(from.distance - to.distance) <= 1e-12) {
+    return std::vector<PathLeg>{};
+  }
+
+  // Dijkstra over: junction nodes [0, J), start node J, end node J+1.
+  // Moving along one route between consecutive stops is an edge; the start
+  // and end anchors splice into their route's stop sequence.
+  const std::size_t J = junctions_.size();
+  const std::size_t start = J;
+  const std::size_t goal = J + 1;
+  const std::size_t total_nodes = J + 2;
+
+  struct Hop {
+    std::size_t node;
+    double weight;
+    RouteId route;
+    double from_s;
+    double to_s;
+  };
+  std::vector<std::vector<Hop>> adjacency(total_nodes);
+
+  auto add_edge = [&adjacency](std::size_t u, std::size_t v, RouteId route,
+                               double su, double sv) {
+    const double w = std::fabs(sv - su);
+    adjacency[u].push_back({v, w, route, su, sv});
+    adjacency[v].push_back({u, w, route, sv, su});
+  };
+
+  for (RouteId rid = 0; rid < route_stops_.size(); ++rid) {
+    // Splice start / end anchors into this route's stop list.
+    std::vector<std::pair<double, std::size_t>> stops = route_stops_[rid];
+    if (from.route == rid) stops.push_back({from.distance, start});
+    if (to.route == rid) stops.push_back({to.distance, goal});
+    std::sort(stops.begin(), stops.end());
+    for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+      add_edge(stops[i].second, stops[i + 1].second, rid, stops[i].first,
+               stops[i + 1].first);
+    }
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(total_nodes, kInf);
+  std::vector<int> via(total_nodes, -1);       // index into adjacency[pred]
+  std::vector<std::size_t> pred(total_nodes, total_nodes);
+  using QueueItem = std::pair<double, std::size_t>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  dist[start] = 0.0;
+  queue.push({0.0, start});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == goal) break;
+    for (std::size_t e = 0; e < adjacency[u].size(); ++e) {
+      const Hop& hop = adjacency[u][e];
+      const double nd = d + hop.weight;
+      if (nd < dist[hop.node]) {
+        dist[hop.node] = nd;
+        pred[hop.node] = u;
+        via[hop.node] = static_cast<int>(e);
+        queue.push({nd, hop.node});
+      }
+    }
+  }
+  if (dist[goal] == kInf) {
+    return util::Status::NotFound("no route connection between anchors");
+  }
+
+  // Walk the predecessor chain, then merge consecutive legs on one route.
+  std::vector<PathLeg> reversed;
+  std::size_t node = goal;
+  while (node != start) {
+    const std::size_t p = pred[node];
+    const Hop& hop = adjacency[p][static_cast<std::size_t>(via[node])];
+    reversed.push_back({hop.route, hop.from_s, hop.to_s});
+    node = p;
+  }
+  std::vector<PathLeg> legs(reversed.rbegin(), reversed.rend());
+  std::vector<PathLeg> merged;
+  for (const PathLeg& leg : legs) {
+    if (!merged.empty() && merged.back().route == leg.route &&
+        std::fabs(merged.back().to - leg.from) <= 1e-9) {
+      merged.back().to = leg.to;
+    } else {
+      merged.push_back(leg);
+    }
+  }
+  // Drop zero-length fragments introduced by anchor splicing.
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const PathLeg& leg) {
+                                return leg.Length() <= 1e-12;
+                              }),
+               merged.end());
+  return merged;
+}
+
+}  // namespace modb::geo

@@ -1,0 +1,89 @@
+#ifndef MODB_GEO_ROUTING_H_
+#define MODB_GEO_ROUTING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/route_network.h"
+#include "util/status.h"
+
+namespace modb::geo {
+
+/// A position on a specific route (route id + route-distance).
+struct RouteAnchor {
+  RouteId route = kInvalidRouteId;
+  double distance = 0.0;
+};
+
+/// One leg of a computed path: travel `route` from arc length `from` to
+/// `to` (backwards when to < from).
+struct PathLeg {
+  RouteId route = kInvalidRouteId;
+  double from = 0.0;
+  double to = 0.0;
+
+  double Length() const { return to >= from ? to - from : from - to; }
+};
+
+/// Connectivity over a `RouteNetwork`: routes are linked wherever their
+/// polylines touch or cross (junctions), and shortest paths by travelled
+/// route-distance are answered with Dijkstra.
+///
+/// The paper models an object as being "at any point in time on a unique
+/// route from the route database" with route changes triggering updates
+/// (§2, §3.1); the routing graph is the planning substrate that produces
+/// realistic multi-route itineraries for the simulation testbed (and for
+/// the examples' trip planning).
+class RoutingGraph {
+ public:
+  struct Options {
+    /// Junction points closer than this merge into one node.
+    double junction_tolerance = 1e-6;
+  };
+
+  /// Builds the graph by intersecting every pair of routes. `network` must
+  /// outlive the graph; routes added to the network later are not seen.
+  explicit RoutingGraph(const RouteNetwork* network);
+  RoutingGraph(const RouteNetwork* network, Options options);
+
+  /// Number of distinct junction points.
+  std::size_t num_junctions() const { return junctions_.size(); }
+  /// Number of route stretches between adjacent junctions.
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Junction positions (for visualisation / tests).
+  std::vector<Point2> JunctionPositions() const;
+
+  /// Shortest path from `from` to `to` by total route-distance. Returns
+  /// the legs to travel in order (consecutive same-route legs merged), or
+  /// NotFound when the two anchors are not connected, or InvalidArgument
+  /// for unknown routes / off-route distances. A zero-length trip yields
+  /// an empty leg list.
+  util::Result<std::vector<PathLeg>> ShortestPath(const RouteAnchor& from,
+                                                  const RouteAnchor& to) const;
+
+  /// Total length of a path.
+  static double PathLength(const std::vector<PathLeg>& legs);
+
+ private:
+  struct Junction {
+    Point2 position;
+    /// Every (route, arc length) this physical point lies on.
+    std::vector<RouteAnchor> anchors;
+  };
+
+  void BuildJunctions();
+  /// Index of the junction within `tolerance` of `p`, or adds a new one.
+  std::size_t InternJunction(const Point2& p);
+
+  const RouteNetwork* network_;
+  Options options_;
+  std::vector<Junction> junctions_;
+  /// Per route: (arc length, junction index), ascending by arc length.
+  std::vector<std::vector<std::pair<double, std::size_t>>> route_stops_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace modb::geo
+
+#endif  // MODB_GEO_ROUTING_H_

@@ -1,0 +1,92 @@
+#include "geo/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace modb::geo {
+
+namespace {
+
+// Orientation of the triple (a, b, c): > 0 counter-clockwise, < 0 clockwise,
+// 0 collinear (within kGeomEpsilon scaled by magnitude).
+int Orientation(const Point2& a, const Point2& b, const Point2& c) {
+  const double v = Cross(b - a, c - a);
+  const double scale = std::max({1.0, (b - a).Norm(), (c - a).Norm()});
+  if (std::fabs(v) <= kGeomEpsilon * scale) return 0;
+  return v > 0 ? 1 : -1;
+}
+
+// True when collinear point `p` lies within the bounding box of segment ab.
+bool OnSegment(const Point2& a, const Point2& b, const Point2& p) {
+  return p.x <= std::max(a.x, b.x) + kGeomEpsilon &&
+         p.x >= std::min(a.x, b.x) - kGeomEpsilon &&
+         p.y <= std::max(a.y, b.y) + kGeomEpsilon &&
+         p.y >= std::min(a.y, b.y) - kGeomEpsilon;
+}
+
+}  // namespace
+
+Point2 Segment::At(double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  return Lerp(a, b, t);
+}
+
+double Segment::ClosestParam(const Point2& p) const {
+  const Point2 d = b - a;
+  const double len2 = d.NormSquared();
+  if (len2 <= kGeomEpsilon * kGeomEpsilon) return 0.0;  // Degenerate segment.
+  return std::clamp(Dot(p - a, d) / len2, 0.0, 1.0);
+}
+
+Point2 Segment::ClosestPoint(const Point2& p) const { return At(ClosestParam(p)); }
+
+double Segment::DistanceTo(const Point2& p) const {
+  return Distance(p, ClosestPoint(p));
+}
+
+Box2 Segment::BoundingBox() const {
+  Box2 box;
+  box.Expand(a);
+  box.Expand(b);
+  return box;
+}
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  const int o1 = Orientation(s.a, s.b, t.a);
+  const int o2 = Orientation(s.a, s.b, t.b);
+  const int o3 = Orientation(t.a, t.b, s.a);
+  const int o4 = Orientation(t.a, t.b, s.b);
+
+  if (o1 != o2 && o3 != o4) return true;  // Proper crossing.
+
+  // Collinear touching cases.
+  if (o1 == 0 && OnSegment(s.a, s.b, t.a)) return true;
+  if (o2 == 0 && OnSegment(s.a, s.b, t.b)) return true;
+  if (o3 == 0 && OnSegment(t.a, t.b, s.a)) return true;
+  if (o4 == 0 && OnSegment(t.a, t.b, s.b)) return true;
+  return false;
+}
+
+std::optional<Point2> SegmentIntersection(const Segment& s, const Segment& t) {
+  const Point2 r = s.b - s.a;
+  const Point2 q = t.b - t.a;
+  const double denom = Cross(r, q);
+  const Point2 diff = t.a - s.a;
+  if (std::fabs(denom) <= kGeomEpsilon) {
+    // Parallel. Check collinear overlap and return one shared point.
+    if (std::fabs(Cross(diff, r)) > kGeomEpsilon) return std::nullopt;
+    if (OnSegment(s.a, s.b, t.a)) return t.a;
+    if (OnSegment(s.a, s.b, t.b)) return t.b;
+    if (OnSegment(t.a, t.b, s.a)) return s.a;
+    return std::nullopt;
+  }
+  const double u = Cross(diff, q) / denom;
+  const double v = Cross(diff, r) / denom;
+  if (u < -kGeomEpsilon || u > 1.0 + kGeomEpsilon || v < -kGeomEpsilon ||
+      v > 1.0 + kGeomEpsilon) {
+    return std::nullopt;
+  }
+  return s.a + r * std::clamp(u, 0.0, 1.0);
+}
+
+}  // namespace modb::geo

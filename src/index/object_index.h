@@ -1,0 +1,63 @@
+#ifndef MODB_INDEX_OBJECT_INDEX_H_
+#define MODB_INDEX_OBJECT_INDEX_H_
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/position_attribute.h"
+#include "core/types.h"
+#include "geo/polygon.h"
+
+namespace modb::index {
+
+/// Access method the database uses to answer range queries over moving
+/// objects. Implementations return a *superset* of the objects whose
+/// uncertainty interval can intersect the query region at time `t`
+/// (candidates); the database refines candidates with the exact
+/// MUST / MAY classification.
+class ObjectIndex {
+ public:
+  virtual ~ObjectIndex() = default;
+
+  /// Inserts `id` or replaces its stored motion model with `attr`
+  /// (a position update, paper §4.2: drop the old o-plane, index the new).
+  virtual void Upsert(core::ObjectId id,
+                      const core::PositionAttribute& attr) = 0;
+
+  /// Removes `id` from the index (end of trip).
+  virtual void Remove(core::ObjectId id) = 0;
+
+  /// Bulk variant of `Upsert` for the initial fleet load. The default
+  /// loops over `Upsert`; implementations may override with a packed
+  /// build (the R*-tree uses STR bulk loading).
+  virtual void BulkUpsert(
+      const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
+          objects) {
+    for (const auto& [id, attr] : objects) Upsert(id, attr);
+  }
+
+  /// Ids of objects that may be inside `region` at time `t` (superset).
+  virtual std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
+                                                 core::Time t) const = 0;
+
+  /// Ids of objects that may be inside `region` at *some* time in
+  /// [t1, t2] (superset). Time-window variant used by interval queries.
+  virtual std::vector<core::ObjectId> CandidatesInWindow(
+      const geo::Polygon& region, core::Time t1, core::Time t2) const = 0;
+
+  /// Implementation name for reports ("rtree", "scan").
+  virtual std::string_view name() const = 0;
+
+  /// Number of objects currently indexed.
+  virtual std::size_t num_objects() const = 0;
+
+  /// Storage entries backing the index (3-D boxes for the R*-tree, one per
+  /// object for the scan); reported by the index-size benchmarks.
+  virtual std::size_t num_entries() const = 0;
+};
+
+}  // namespace modb::index
+
+#endif  // MODB_INDEX_OBJECT_INDEX_H_

@@ -1,0 +1,512 @@
+#include "index/rtree3.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace modb::index {
+
+using geo::Box3;
+
+struct RTree3::Entry {
+  Box3 box;
+  Value value = 0;
+  std::unique_ptr<Node> child;  // null for leaf entries
+
+  bool IsLeafEntry() const { return child == nullptr; }
+};
+
+struct RTree3::Node {
+  std::size_t level = 0;  // 0 == leaf
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  Box3 ComputeBox() const {
+    Box3 box;
+    for (const Entry& e : entries) box.Expand(e.box);
+    return box;
+  }
+};
+
+namespace {
+
+bool SameBox(const Box3& a, const Box3& b) {
+  for (int d = 0; d < 3; ++d) {
+    if (a.min[d] != b.min[d] || a.max[d] != b.max[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RTree3::RTree3() : RTree3(Options{}) {}
+
+RTree3::RTree3(Options options) : options_(options) {
+  assert(options_.max_entries >= 4);
+  assert(options_.min_entries >= 2);
+  assert(options_.min_entries <= options_.max_entries / 2);
+  root_ = std::make_unique<Node>();
+}
+
+RTree3::~RTree3() = default;
+RTree3::RTree3(RTree3&&) noexcept = default;
+RTree3& RTree3::operator=(RTree3&&) noexcept = default;
+
+void RTree3::Insert(const Box3& box, Value value) {
+  assert(!box.Empty());
+  Entry entry;
+  entry.box = box;
+  entry.value = value;
+  InsertEntryAtLevel(std::move(entry), 0);
+  ++size_;
+}
+
+void RTree3::InsertEntryAtLevel(Entry entry, std::size_t level) {
+  Node* node = ChooseSubtree(entry.box, level);
+  if (entry.child != nullptr) entry.child->parent = node;
+  node->entries.push_back(std::move(entry));
+  if (node->entries.size() > options_.max_entries) {
+    SplitNode(node);
+  } else {
+    AdjustUpward(node);
+  }
+}
+
+RTree3::Node* RTree3::ChooseSubtree(const Box3& box,
+                                    std::size_t target_level) const {
+  Node* node = root_.get();
+  while (node->level > target_level) {
+    assert(!node->entries.empty());
+    const bool children_are_leaves = node->level == 1;
+    std::size_t best = 0;
+    double best_primary = std::numeric_limits<double>::infinity();
+    double best_secondary = std::numeric_limits<double>::infinity();
+    double best_tertiary = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < node->entries.size(); ++i) {
+      const Box3& ebox = node->entries[i].box;
+      const Box3 grown = ebox.Union(box);
+      double primary;
+      if (children_are_leaves) {
+        // R*: minimise overlap enlargement at the leaf level.
+        double overlap_before = 0.0;
+        double overlap_after = 0.0;
+        for (std::size_t j = 0; j < node->entries.size(); ++j) {
+          if (j == i) continue;
+          const Box3& other = node->entries[j].box;
+          overlap_before += ebox.OverlapVolume(other);
+          overlap_after += grown.OverlapVolume(other);
+        }
+        primary = overlap_after - overlap_before;
+      } else {
+        primary = 0.0;  // fall through to volume enlargement
+      }
+      const double secondary = grown.Volume() - ebox.Volume();
+      const double tertiary = ebox.Volume();
+      if (primary < best_primary ||
+          (primary == best_primary && secondary < best_secondary) ||
+          (primary == best_primary && secondary == best_secondary &&
+           tertiary < best_tertiary)) {
+        best = i;
+        best_primary = primary;
+        best_secondary = secondary;
+        best_tertiary = tertiary;
+      }
+    }
+    node = node->entries[best].child.get();
+  }
+  return node;
+}
+
+void RTree3::SplitNode(Node* node) {
+  // R* split: choose the axis with the minimal total margin over all
+  // candidate distributions, then the distribution with minimal overlap
+  // (ties broken by total volume).
+  const std::size_t total = node->entries.size();
+  const std::size_t min_e = options_.min_entries;
+  assert(total > options_.max_entries);
+
+  std::vector<std::size_t> order(total);
+  std::vector<std::size_t> best_order;
+  std::size_t best_split_at = min_e;
+  double best_margin_for_axis = std::numeric_limits<double>::infinity();
+
+  // For each axis and each of the two sortings (by min, by max), evaluate
+  // every legal split position.
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int by_max = 0; by_max < 2; ++by_max) {
+      for (std::size_t i = 0; i < total; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const Box3& ba = node->entries[a].box;
+                  const Box3& bb = node->entries[b].box;
+                  return by_max ? ba.max[axis] < bb.max[axis]
+                                : ba.min[axis] < bb.min[axis];
+                });
+      // Prefix / suffix boxes for O(n) margin evaluation per sorting.
+      std::vector<Box3> prefix(total);
+      std::vector<Box3> suffix(total);
+      Box3 acc;
+      for (std::size_t i = 0; i < total; ++i) {
+        acc.Expand(node->entries[order[i]].box);
+        prefix[i] = acc;
+      }
+      acc = Box3();
+      for (std::size_t i = total; i-- > 0;) {
+        acc.Expand(node->entries[order[i]].box);
+        suffix[i] = acc;
+      }
+      double margin_sum = 0.0;
+      double axis_best_overlap = std::numeric_limits<double>::infinity();
+      double axis_best_volume = std::numeric_limits<double>::infinity();
+      std::size_t axis_best_split = min_e;
+      for (std::size_t k = min_e; k + min_e <= total; ++k) {
+        const Box3& left = prefix[k - 1];
+        const Box3& right = suffix[k];
+        margin_sum += left.Margin() + right.Margin();
+        const double overlap = left.OverlapVolume(right);
+        const double volume = left.Volume() + right.Volume();
+        if (overlap < axis_best_overlap ||
+            (overlap == axis_best_overlap && volume < axis_best_volume)) {
+          axis_best_overlap = overlap;
+          axis_best_volume = volume;
+          axis_best_split = k;
+        }
+      }
+      if (margin_sum < best_margin_for_axis) {
+        best_margin_for_axis = margin_sum;
+        best_order = order;
+        best_split_at = axis_best_split;
+      }
+    }
+  }
+
+  // Move the second group into a fresh sibling.
+  auto sibling = std::make_unique<Node>();
+  sibling->level = node->level;
+  std::vector<Entry> left_entries;
+  left_entries.reserve(best_split_at);
+  for (std::size_t i = 0; i < total; ++i) {
+    Entry& e = node->entries[best_order[i]];
+    if (i < best_split_at) {
+      left_entries.push_back(std::move(e));
+    } else {
+      if (e.child != nullptr) e.child->parent = sibling.get();
+      sibling->entries.push_back(std::move(e));
+    }
+  }
+  node->entries = std::move(left_entries);
+  for (Entry& e : node->entries) {
+    if (e.child != nullptr) e.child->parent = node;
+  }
+
+  if (node->parent == nullptr) {
+    // Split of the root: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->level = node->level + 1;
+    Entry left;
+    left.box = node->ComputeBox();
+    left.child = std::move(root_);
+    left.child->parent = new_root.get();
+    Entry right;
+    right.box = sibling->ComputeBox();
+    right.child = std::move(sibling);
+    right.child->parent = new_root.get();
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  // Refresh the split node's entry box and add the sibling.
+  for (Entry& e : parent->entries) {
+    if (e.child.get() == node) {
+      e.box = node->ComputeBox();
+      break;
+    }
+  }
+  Entry sibling_entry;
+  sibling_entry.box = sibling->ComputeBox();
+  sibling_entry.child = std::move(sibling);
+  sibling_entry.child->parent = parent;
+  parent->entries.push_back(std::move(sibling_entry));
+  if (parent->entries.size() > options_.max_entries) {
+    SplitNode(parent);
+  } else {
+    AdjustUpward(parent);
+  }
+}
+
+void RTree3::AdjustUpward(Node* node) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    for (Entry& e : parent->entries) {
+      if (e.child.get() == node) {
+        e.box = node->ComputeBox();
+        break;
+      }
+    }
+    node = parent;
+  }
+}
+
+bool RTree3::Remove(const Box3& box, Value value) {
+  std::vector<Entry> orphans;
+  const bool removed = RemoveRec(root_.get(), box, value, &orphans);
+  if (!removed) return false;
+  --size_;
+  // Shrink the root when it has a single child.
+  while (!root_->IsLeaf() && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries[0].child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  if (root_->IsLeaf() && root_->entries.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+  // Reinsert orphaned subtrees / leaf entries at their original level.
+  for (Entry& orphan : orphans) {
+    const std::size_t level = orphan.child ? orphan.child->level + 1 : 0;
+    InsertEntryAtLevel(std::move(orphan), level);
+  }
+  return true;
+}
+
+bool RTree3::RemoveRec(Node* node, const Box3& box, Value value,
+                       std::vector<Entry>* orphans) {
+  if (node->IsLeaf()) {
+    for (std::size_t i = 0; i < node->entries.size(); ++i) {
+      const Entry& e = node->entries[i];
+      if (e.value == value && SameBox(e.box, box)) {
+        node->entries.erase(node->entries.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        CondenseAfterRemove(node, orphans);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < node->entries.size(); ++i) {
+    if (!node->entries[i].box.Contains(box) &&
+        !node->entries[i].box.Intersects(box)) {
+      continue;
+    }
+    if (RemoveRec(node->entries[i].child.get(), box, value, orphans)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RTree3::CondenseAfterRemove(Node* node, std::vector<Entry>* orphans) {
+  while (node->parent != nullptr) {
+    Node* parent = node->parent;
+    if (node->entries.size() < options_.min_entries) {
+      // Orphan the whole underfull node and delete its parent entry.
+      for (std::size_t i = 0; i < parent->entries.size(); ++i) {
+        if (parent->entries[i].child.get() == node) {
+          for (Entry& e : node->entries) orphans->push_back(std::move(e));
+          parent->entries.erase(parent->entries.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    } else {
+      for (Entry& e : parent->entries) {
+        if (e.child.get() == node) {
+          e.box = node->ComputeBox();
+          break;
+        }
+      }
+    }
+    node = parent;
+  }
+}
+
+void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
+  Clear();
+  if (entries.empty()) return;
+  size_ = entries.size();
+
+  // Leaf entries.
+  std::vector<Entry> level_entries;
+  level_entries.reserve(entries.size());
+  for (auto& [box, value] : entries) {
+    Entry e;
+    e.box = box;
+    e.value = value;
+    level_entries.push_back(std::move(e));
+  }
+
+  // Pack one level of entries into nodes using Sort-Tile-Recursive: sort
+  // by x-center into vertical slices, each slice by y-center into runs,
+  // each run by t-center, then chunk into nodes of max_entries.
+  std::size_t level = 0;
+  while (true) {
+    const std::size_t n = level_entries.size();
+    if (n <= options_.max_entries) {
+      // The remaining entries fit in the root.
+      auto root = std::make_unique<Node>();
+      root->level = level;
+      for (Entry& e : level_entries) {
+        if (e.child != nullptr) e.child->parent = root.get();
+        root->entries.push_back(std::move(e));
+      }
+      root_ = std::move(root);
+      return;
+    }
+
+    const std::size_t num_nodes =
+        (n + options_.max_entries - 1) / options_.max_entries;
+    const auto tiles = static_cast<std::size_t>(
+        std::ceil(std::cbrt(static_cast<double>(num_nodes))));
+    const std::size_t slice_x = (n + tiles - 1) / tiles;
+
+    auto center_less = [&](int dim) {
+      return [dim](const Entry& a, const Entry& b) {
+        return a.box.CenterDim(dim) < b.box.CenterDim(dim);
+      };
+    };
+    std::sort(level_entries.begin(), level_entries.end(), center_less(0));
+    for (std::size_t x0 = 0; x0 < n; x0 += slice_x) {
+      const std::size_t x1 = std::min(x0 + slice_x, n);
+      std::sort(level_entries.begin() + static_cast<std::ptrdiff_t>(x0),
+                level_entries.begin() + static_cast<std::ptrdiff_t>(x1),
+                center_less(1));
+      const std::size_t slice_y = (x1 - x0 + tiles - 1) / tiles;
+      for (std::size_t y0 = x0; y0 < x1; y0 += slice_y) {
+        const std::size_t y1 = std::min(y0 + slice_y, x1);
+        std::sort(level_entries.begin() + static_cast<std::ptrdiff_t>(y0),
+                  level_entries.begin() + static_cast<std::ptrdiff_t>(y1),
+                  center_less(2));
+      }
+    }
+
+    // Chunk into nodes; rebalance the tail so no node is underfull.
+    std::vector<Entry> next_level;
+    next_level.reserve(num_nodes);
+    std::size_t pos = 0;
+    while (pos < n) {
+      std::size_t take = std::min(options_.max_entries, n - pos);
+      const std::size_t remaining_after = n - pos - take;
+      if (remaining_after > 0 && remaining_after < options_.min_entries) {
+        // Shrink this node so the final one meets the minimum.
+        take -= options_.min_entries - remaining_after;
+      }
+      auto node = std::make_unique<Node>();
+      node->level = level;
+      for (std::size_t i = 0; i < take; ++i, ++pos) {
+        Entry& e = level_entries[pos];
+        if (e.child != nullptr) e.child->parent = node.get();
+        node->entries.push_back(std::move(e));
+      }
+      Entry parent_entry;
+      parent_entry.box = node->ComputeBox();
+      parent_entry.child = std::move(node);
+      next_level.push_back(std::move(parent_entry));
+    }
+    level_entries = std::move(next_level);
+    ++level;
+  }
+}
+
+void RTree3::Search(const Box3& query, const Visitor& visitor) const {
+  if (size_ == 0) return;
+  // Iterative DFS to avoid recursion-depth concerns on adversarial trees.
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!e.box.Intersects(query)) continue;
+      if (node->IsLeaf()) {
+        visitor(e.box, e.value);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+}
+
+std::vector<RTree3::Value> RTree3::SearchValues(const Box3& query) const {
+  std::vector<Value> out;
+  Search(query, [&out](const Box3&, Value v) { out.push_back(v); });
+  return out;
+}
+
+std::size_t RTree3::height() const { return root_->level + 1; }
+
+std::size_t RTree3::num_nodes() const {
+  std::size_t count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (!node->IsLeaf()) {
+      for (const Entry& e : node->entries) stack.push_back(e.child.get());
+    }
+  }
+  return count;
+}
+
+void RTree3::Clear() {
+  root_ = std::make_unique<Node>();
+  size_ = 0;
+}
+
+util::Status RTree3::CheckInvariants() const {
+  std::size_t leaf_entries = 0;
+  util::Status status = util::Status::Ok();
+
+  std::function<void(const Node*, const Node*)> visit =
+      [&](const Node* node, const Node* parent) {
+        if (!status.ok()) return;
+        if (node->parent != parent) {
+          status = util::Status::Internal("bad parent pointer");
+          return;
+        }
+        const bool is_root = parent == nullptr;
+        if (!is_root && node->entries.size() < options_.min_entries) {
+          status = util::Status::Internal("underfull node");
+          return;
+        }
+        if (node->entries.size() > options_.max_entries) {
+          status = util::Status::Internal("overfull node");
+          return;
+        }
+        for (const Entry& e : node->entries) {
+          if (node->IsLeaf()) {
+            if (e.child != nullptr) {
+              status = util::Status::Internal("child in leaf entry");
+              return;
+            }
+            ++leaf_entries;
+          } else {
+            if (e.child == nullptr) {
+              status = util::Status::Internal("missing child");
+              return;
+            }
+            if (e.child->level + 1 != node->level) {
+              status = util::Status::Internal("level mismatch");
+              return;
+            }
+            if (!SameBox(e.box, e.child->ComputeBox())) {
+              status = util::Status::Internal("stale bounding box");
+              return;
+            }
+            visit(e.child.get(), node);
+          }
+        }
+      };
+  visit(root_.get(), nullptr);
+  if (status.ok() && leaf_entries != size_) {
+    status = util::Status::Internal("size mismatch");
+  }
+  return status;
+}
+
+}  // namespace modb::index

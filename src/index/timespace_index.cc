@@ -1,0 +1,78 @@
+#include "index/timespace_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace modb::index {
+
+TimeSpaceIndex::TimeSpaceIndex(const geo::RouteNetwork* network)
+    : TimeSpaceIndex(network, Options{}) {}
+
+TimeSpaceIndex::TimeSpaceIndex(const geo::RouteNetwork* network,
+                               Options options)
+    : network_(network), options_(options), rtree_(options.rtree) {
+  assert(network_ != nullptr);
+}
+
+void TimeSpaceIndex::Upsert(core::ObjectId id,
+                            const core::PositionAttribute& attr) {
+  // Drop the old o-plane (paper §4.2: remove the object id from the index
+  // rectangles intersecting p1) ...
+  auto it = boxes_by_object_.find(id);
+  if (it != boxes_by_object_.end()) {
+    for (const geo::Box3& box : it->second) {
+      const bool removed = rtree_.Remove(box, id);
+      assert(removed);
+      (void)removed;
+    }
+    it->second.clear();
+  }
+  // ... and index the new one (insert into the rectangles intersecting p2).
+  const auto route = network_->FindRoute(attr.route);
+  assert(route.ok());
+  std::vector<geo::Box3> boxes =
+      BuildOPlaneBoxes(attr, **route, options_.oplane);
+  for (const geo::Box3& box : boxes) rtree_.Insert(box, id);
+  boxes_by_object_[id] = std::move(boxes);
+}
+
+void TimeSpaceIndex::BulkUpsert(
+    const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
+        objects) {
+  // Build every listed object's new boxes, keep the boxes of unlisted
+  // objects, then rebuild the tree in one packed pass.
+  for (const auto& [id, attr] : objects) {
+    const auto route = network_->FindRoute(attr.route);
+    assert(route.ok());
+    boxes_by_object_[id] = BuildOPlaneBoxes(attr, **route, options_.oplane);
+  }
+  std::vector<std::pair<geo::Box3, RTree3::Value>> entries;
+  entries.reserve(boxes_by_object_.size() * 8);
+  for (const auto& [id, boxes] : boxes_by_object_) {
+    for (const geo::Box3& box : boxes) entries.emplace_back(box, id);
+  }
+  rtree_.BulkLoad(std::move(entries));
+}
+
+void TimeSpaceIndex::Remove(core::ObjectId id) {
+  auto it = boxes_by_object_.find(id);
+  if (it == boxes_by_object_.end()) return;
+  for (const geo::Box3& box : it->second) rtree_.Remove(box, id);
+  boxes_by_object_.erase(it);
+}
+
+std::vector<core::ObjectId> TimeSpaceIndex::Candidates(
+    const geo::Polygon& region, core::Time t) const {
+  return CandidatesInWindow(region, t, t);
+}
+
+std::vector<core::ObjectId> TimeSpaceIndex::CandidatesInWindow(
+    const geo::Polygon& region, core::Time t1, core::Time t2) const {
+  std::vector<core::ObjectId> ids =
+      rtree_.SearchValues(geo::Box3(region.BoundingBox(), t1, t2));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace modb::index

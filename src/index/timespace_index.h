@@ -1,0 +1,61 @@
+#ifndef MODB_INDEX_TIMESPACE_INDEX_H_
+#define MODB_INDEX_TIMESPACE_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geo/route_network.h"
+#include "index/object_index.h"
+#include "index/oplane.h"
+#include "index/rtree3.h"
+
+namespace modb::index {
+
+/// The paper's time-space indexing method (§4.2): each object's o-plane is
+/// approximated by per-time-slab 3-D boxes stored in an R*-tree. A position
+/// update removes the object's old boxes and inserts the boxes of the new
+/// o-plane; a range query at time t0 probes the tree with R_G(t0).
+///
+/// Queries are exact (no false negatives) for t0 within `options.horizon`
+/// of each object's last update; later time points fall outside the indexed
+/// planes, mirroring the paper's bounded time span T.
+class TimeSpaceIndex final : public ObjectIndex {
+ public:
+  struct Options {
+    OPlaneOptions oplane;
+    RTree3::Options rtree;
+  };
+
+  /// `network` must outlive the index.
+  explicit TimeSpaceIndex(const geo::RouteNetwork* network);
+  TimeSpaceIndex(const geo::RouteNetwork* network, Options options);
+
+  void Upsert(core::ObjectId id, const core::PositionAttribute& attr) override;
+  void Remove(core::ObjectId id) override;
+  /// STR bulk load of the whole fleet's o-planes: replaces the state of
+  /// every listed object (and keeps other objects by re-packing them too).
+  void BulkUpsert(
+      const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
+          objects) override;
+  std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
+                                         core::Time t) const override;
+  std::vector<core::ObjectId> CandidatesInWindow(const geo::Polygon& region,
+                                                 core::Time t1,
+                                                 core::Time t2) const override;
+  std::string_view name() const override { return "rtree"; }
+  std::size_t num_objects() const override { return boxes_by_object_.size(); }
+  std::size_t num_entries() const override { return rtree_.size(); }
+
+  const RTree3& rtree() const { return rtree_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const geo::RouteNetwork* network_;
+  Options options_;
+  RTree3 rtree_;
+  std::unordered_map<core::ObjectId, std::vector<geo::Box3>> boxes_by_object_;
+};
+
+}  // namespace modb::index
+
+#endif  // MODB_INDEX_TIMESPACE_INDEX_H_

@@ -1,0 +1,104 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <set>
+
+namespace modb::sim {
+
+std::vector<SweepCell> RunSweep(const std::vector<NamedCurve>& curves,
+                                const SweepConfig& config) {
+  std::vector<SweepCell> cells;
+  cells.reserve(config.policies.size() * config.update_costs.size());
+  for (core::PolicyKind kind : config.policies) {
+    for (double C : config.update_costs) {
+      core::PolicyConfig policy = config.base_policy;
+      policy.kind = kind;
+      policy.update_cost = C;
+      std::vector<RunMetrics> runs;
+      runs.reserve(curves.size());
+      for (const NamedCurve& named : curves) {
+        runs.push_back(
+            SimulatePolicyOnCurve(named.curve, policy, config.sim));
+      }
+      SweepCell cell;
+      cell.policy = kind;
+      cell.update_cost = C;
+      cell.mean = Aggregate(runs);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+std::string_view MetricKindName(MetricKind metric) {
+  switch (metric) {
+    case MetricKind::kMessages:
+      return "messages";
+    case MetricKind::kTotalCost:
+      return "total_cost";
+    case MetricKind::kAvgUncertainty:
+      return "avg_uncertainty";
+    case MetricKind::kDeviationCost:
+      return "deviation_cost";
+    case MetricKind::kAvgDeviation:
+      return "avg_deviation";
+  }
+  return "unknown";
+}
+
+double GetMetric(const MeanMetrics& mean, MetricKind metric) {
+  switch (metric) {
+    case MetricKind::kMessages:
+      return mean.messages;
+    case MetricKind::kTotalCost:
+      return mean.total_cost;
+    case MetricKind::kAvgUncertainty:
+      return mean.avg_uncertainty;
+    case MetricKind::kDeviationCost:
+      return mean.deviation_cost;
+    case MetricKind::kAvgDeviation:
+      return mean.avg_deviation;
+  }
+  return 0.0;
+}
+
+util::Table SweepTable(const std::vector<SweepCell>& cells,
+                       MetricKind metric) {
+  // Preserve first-appearance order of policies and costs.
+  std::vector<core::PolicyKind> policies;
+  std::vector<double> costs;
+  for (const SweepCell& cell : cells) {
+    if (std::find(policies.begin(), policies.end(), cell.policy) ==
+        policies.end()) {
+      policies.push_back(cell.policy);
+    }
+    if (std::find(costs.begin(), costs.end(), cell.update_cost) ==
+        costs.end()) {
+      costs.push_back(cell.update_cost);
+    }
+  }
+  std::sort(costs.begin(), costs.end());
+
+  std::vector<std::string> headers = {"C"};
+  for (core::PolicyKind kind : policies) {
+    headers.emplace_back(core::PolicyKindName(kind));
+  }
+  util::Table table(std::move(headers));
+  for (double C : costs) {
+    table.NewRow().Add(C, 2);
+    for (core::PolicyKind kind : policies) {
+      const auto it = std::find_if(
+          cells.begin(), cells.end(), [&](const SweepCell& cell) {
+            return cell.policy == kind && cell.update_cost == C;
+          });
+      if (it != cells.end()) {
+        table.Add(GetMetric(it->mean, metric), 3);
+      } else {
+        table.Add(std::string("-"));
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace modb::sim

@@ -1,0 +1,62 @@
+#ifndef MODB_SIM_EXPERIMENT_H_
+#define MODB_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/update_policy.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "sim/speed_curve.h"
+#include "util/table.h"
+
+namespace modb::sim {
+
+/// One cell of a policy x update-cost sweep: metrics averaged over every
+/// curve in the suite (the paper's §3.4 protocol).
+struct SweepCell {
+  core::PolicyKind policy = core::PolicyKind::kAverageImmediateLinear;
+  double update_cost = 0.0;  // C
+  MeanMetrics mean;
+};
+
+/// Sweep configuration. `base_policy` supplies the non-swept policy
+/// parameters (fitting method, max speed, fixed threshold, period, ...).
+struct SweepConfig {
+  std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kDelayedLinear,
+      core::PolicyKind::kAverageImmediateLinear,
+      core::PolicyKind::kCurrentImmediateLinear,
+  };
+  std::vector<double> update_costs = {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0};
+  core::PolicyConfig base_policy;
+  SimulationOptions sim;
+};
+
+/// Runs every (policy, C) combination over `curves` and averages the
+/// metrics per combination. Cells are ordered policy-major in the order
+/// given by the config.
+std::vector<SweepCell> RunSweep(const std::vector<NamedCurve>& curves,
+                                const SweepConfig& config);
+
+/// Selector for one scalar out of `MeanMetrics`.
+enum class MetricKind {
+  kMessages,
+  kTotalCost,
+  kAvgUncertainty,
+  kDeviationCost,
+  kAvgDeviation,
+};
+
+std::string_view MetricKindName(MetricKind metric);
+double GetMetric(const MeanMetrics& mean, MetricKind metric);
+
+/// Renders a sweep as a table with one row per update cost C and one
+/// column per policy, containing the selected metric — the layout of the
+/// paper's plots ("<metric> as a function of the message cost").
+util::Table SweepTable(const std::vector<SweepCell>& cells,
+                       MetricKind metric);
+
+}  // namespace modb::sim
+
+#endif  // MODB_SIM_EXPERIMENT_H_

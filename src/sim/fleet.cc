@@ -1,0 +1,83 @@
+#include "sim/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace modb::sim {
+
+FleetSimulator::FleetSimulator(db::ModDatabase* db, FleetOptions options)
+    : db_(db), options_(options), rng_(options.seed) {}
+
+void FleetSimulator::AddVehicle(std::unique_ptr<VehicleBase> vehicle) {
+  vehicles_.push_back(std::move(vehicle));
+}
+
+util::Status FleetSimulator::RegisterAll() {
+  for (auto& v : vehicles_) {
+    const core::PositionAttribute attr = v->InitialAttribute();
+    if (util::Status s =
+            db_->Insert(v->id(), "fleet-" + std::to_string(v->id()), attr);
+        !s.ok()) {
+      return s;
+    }
+  }
+  registered_ = true;
+  return util::Status::Ok();
+}
+
+util::Status FleetSimulator::Step(core::Time t) {
+  if (!registered_) {
+    return util::Status::FailedPrecondition("RegisterAll() not called");
+  }
+  for (auto& v : vehicles_) {
+    ++stats_.vehicle_ticks;
+    if (std::optional<core::PositionUpdate> update = v->TickPrepare(t)) {
+      ++stats_.messages_attempted;
+      if (rng_.Bernoulli(options_.message_loss_probability)) {
+        // Lost in transit: no acknowledgement, the vehicle's mirror stays
+        // on the old anchor and the policy will re-fire.
+        ++stats_.messages_lost;
+      } else {
+        if (util::Status s = db_->ApplyUpdate(*update); !s.ok()) return s;
+        v->CommitUpdate(*update);
+      }
+    }
+    if (options_.verify_bounds) {
+      // Check the DBMS-side answer against ground truth. The database's
+      // attribute equals the vehicle's mirror (updates are only mirrored on
+      // delivery), so the paper's bounds must hold even under loss.
+      const auto answer = db_->QueryPosition(v->id(), t);
+      if (!answer.ok()) return answer.status();
+      const geo::RouteId true_route = v->GroundTruthRouteIdAt(t);
+      if (true_route != answer->route) continue;  // pending route change
+      const double actual = v->GroundTruthRouteDistanceAt(t);
+      const double tolerance =
+          2.0 * v->attribute().max_speed * options_.tick + 1e-9;
+      const double excess_lo = answer->uncertainty.lo - tolerance - actual;
+      const double excess_hi = actual - answer->uncertainty.hi - tolerance;
+      const double excess = std::max(excess_lo, excess_hi);
+      if (excess > 0.0) {
+        ++stats_.bound_violations;
+        stats_.max_bound_excess = std::max(stats_.max_bound_excess, excess);
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status FleetSimulator::Run() {
+  if (vehicles_.empty()) return util::Status::Ok();
+  core::Time start = vehicles_.front()->trip_start_time();
+  core::Time end = vehicles_.front()->trip_end_time();
+  for (const auto& v : vehicles_) {
+    start = std::min(start, v->trip_start_time());
+    end = std::max(end, v->trip_end_time());
+  }
+  for (core::Time t = start + options_.tick; t <= end + 1e-9;
+       t += options_.tick) {
+    if (util::Status s = Step(t); !s.ok()) return s;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace modb::sim

@@ -1,0 +1,79 @@
+#include "sim/itinerary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace modb::sim {
+
+Itinerary::Itinerary(std::vector<ItineraryLeg> legs, core::Time start_time,
+                     SpeedCurve curve)
+    : legs_(std::move(legs)), start_time_(start_time), curve_(std::move(curve)) {
+  assert(!legs_.empty());
+  cumulative_.reserve(legs_.size() + 1);
+  cumulative_.push_back(0.0);
+  for (const ItineraryLeg& leg : legs_) {
+    assert(leg.route != nullptr);
+    assert(leg.Length() > 0.0);
+    assert(leg.enter_distance >= 0.0 &&
+           leg.enter_distance <= leg.route->Length());
+    assert(leg.exit_distance >= 0.0 &&
+           leg.exit_distance <= leg.route->Length());
+    cumulative_.push_back(cumulative_.back() + leg.Length());
+  }
+}
+
+double Itinerary::TravelledAt(core::Time t) const {
+  const double d = curve_.DistanceAt(std::max(0.0, t - start_time_));
+  return std::min(d, TotalLength());
+}
+
+std::size_t Itinerary::LegIndexAt(core::Time t) const {
+  assert(!legs_.empty());
+  const double d = TravelledAt(t);
+  // First cumulative boundary strictly greater than d; the leg before it.
+  const auto it =
+      std::upper_bound(cumulative_.begin() + 1, cumulative_.end(), d);
+  std::size_t idx =
+      static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+  return std::min(idx, legs_.size() - 1);
+}
+
+const geo::Route& Itinerary::RouteAt(core::Time t) const {
+  return *legs_[LegIndexAt(t)].route;
+}
+
+double Itinerary::ActualRouteDistanceAt(core::Time t) const {
+  const std::size_t i = LegIndexAt(t);
+  const ItineraryLeg& leg = legs_[i];
+  const double into_leg = TravelledAt(t) - cumulative_[i];
+  const double s = leg.enter_distance +
+                   core::DirectionSign(leg.Direction()) * into_leg;
+  return std::clamp(s, std::min(leg.enter_distance, leg.exit_distance),
+                    std::max(leg.enter_distance, leg.exit_distance));
+}
+
+geo::Point2 Itinerary::ActualPositionAt(core::Time t) const {
+  return RouteAt(t).PointAt(ActualRouteDistanceAt(t));
+}
+
+double Itinerary::ActualSpeedAt(core::Time t) const {
+  if (TravelledAt(t) >= TotalLength()) return 0.0;  // journey complete
+  return curve_.SpeedAt(t - start_time_);
+}
+
+core::TravelDirection Itinerary::DirectionAt(core::Time t) const {
+  return legs_[LegIndexAt(t)].Direction();
+}
+
+Itinerary MakeItineraryFromPath(const geo::RouteNetwork& network,
+                                const std::vector<geo::PathLeg>& path,
+                                core::Time start_time, SpeedCurve curve) {
+  std::vector<ItineraryLeg> legs;
+  legs.reserve(path.size());
+  for (const geo::PathLeg& leg : path) {
+    legs.push_back({&network.route(leg.route), leg.from, leg.to});
+  }
+  return Itinerary(std::move(legs), start_time, std::move(curve));
+}
+
+}  // namespace modb::sim

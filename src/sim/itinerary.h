@@ -1,0 +1,95 @@
+#ifndef MODB_SIM_ITINERARY_H_
+#define MODB_SIM_ITINERARY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "geo/route.h"
+#include "geo/route_network.h"
+#include "geo/routing.h"
+#include "sim/speed_curve.h"
+
+namespace modb::sim {
+
+/// One leg of a multi-route journey: travel along `route` from arc length
+/// `enter_distance` to `exit_distance` (backwards when exit < enter).
+struct ItineraryLeg {
+  const geo::Route* route = nullptr;
+  double enter_distance = 0.0;
+  double exit_distance = 0.0;
+
+  double Length() const {
+    return exit_distance >= enter_distance ? exit_distance - enter_distance
+                                           : enter_distance - exit_distance;
+  }
+  core::TravelDirection Direction() const {
+    return exit_distance >= enter_distance ? core::TravelDirection::kForward
+                                           : core::TravelDirection::kBackward;
+  }
+};
+
+/// Ground truth for a trip spanning several routes (paper §3.1: "if during
+/// the trip the object changes its route, then it sends a position update
+/// message that includes the identification of the new route"). The speed
+/// curve drives progress along the concatenated legs; crossing a leg
+/// boundary is a route change that the onboard computer must report because
+/// the cross-route route-distance is infinite (§2).
+class Itinerary {
+ public:
+  Itinerary() = default;
+  /// `legs` must be non-empty with positive lengths; routes must outlive
+  /// the itinerary.
+  Itinerary(std::vector<ItineraryLeg> legs, core::Time start_time,
+            SpeedCurve curve);
+
+  const std::vector<ItineraryLeg>& legs() const { return legs_; }
+  core::Time start_time() const { return start_time_; }
+  core::Time end_time() const { return start_time_ + curve_.duration(); }
+  const SpeedCurve& curve() const { return curve_; }
+  /// Total route distance across all legs.
+  double TotalLength() const {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
+
+  /// Index of the leg the object occupies at time `t` (clamped to the last
+  /// leg once the journey is complete).
+  std::size_t LegIndexAt(core::Time t) const;
+
+  // Motion-source interface (what `BasicVehicle` consumes):
+
+  /// The route the object is on at time `t`.
+  const geo::Route& RouteAt(core::Time t) const;
+  /// Arc length of the object on `RouteAt(t)` at time `t`.
+  double ActualRouteDistanceAt(core::Time t) const;
+  /// 2-D position at time `t`.
+  geo::Point2 ActualPositionAt(core::Time t) const;
+  /// Instantaneous speed (0 once the final leg is complete).
+  double ActualSpeedAt(core::Time t) const;
+  /// Direction of travel on the current leg.
+  core::TravelDirection DirectionAt(core::Time t) const;
+  /// Largest speed of the underlying curve.
+  double MaxSpeed() const { return curve_.MaxSpeed(); }
+
+ private:
+  /// Distance travelled along the concatenated legs at time `t`, clamped to
+  /// the itinerary's total length.
+  double TravelledAt(core::Time t) const;
+
+  std::vector<ItineraryLeg> legs_;
+  std::vector<double> cumulative_;  // cumulative_[i] = length of legs [0, i)
+  core::Time start_time_ = 0.0;
+  SpeedCurve curve_;
+};
+
+/// Builds an itinerary that follows a routing-graph path (see
+/// `geo::RoutingGraph::ShortestPath`) with the given speed curve. The
+/// network must outlive the itinerary. An empty path yields an invalid
+/// itinerary only when truly empty — callers should check beforehand.
+Itinerary MakeItineraryFromPath(const geo::RouteNetwork& network,
+                                const std::vector<geo::PathLeg>& path,
+                                core::Time start_time, SpeedCurve curve);
+
+}  // namespace modb::sim
+
+#endif  // MODB_SIM_ITINERARY_H_

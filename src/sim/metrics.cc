@@ -1,0 +1,29 @@
+#include "sim/metrics.h"
+
+namespace modb::sim {
+
+MeanMetrics Aggregate(const std::vector<RunMetrics>& runs) {
+  MeanMetrics mean;
+  if (runs.empty()) return mean;
+  for (const RunMetrics& r : runs) {
+    mean.messages += static_cast<double>(r.messages);
+    mean.deviation_cost += r.deviation_cost;
+    mean.total_cost += r.total_cost;
+    mean.avg_uncertainty += r.avg_uncertainty;
+    mean.avg_deviation += r.avg_deviation;
+    mean.max_deviation += r.max_deviation;
+    mean.bound_violations += static_cast<double>(r.bound_violations);
+  }
+  const double n = static_cast<double>(runs.size());
+  mean.messages /= n;
+  mean.deviation_cost /= n;
+  mean.total_cost /= n;
+  mean.avg_uncertainty /= n;
+  mean.avg_deviation /= n;
+  mean.max_deviation /= n;
+  mean.bound_violations /= n;
+  mean.runs = runs.size();
+  return mean;
+}
+
+}  // namespace modb::sim

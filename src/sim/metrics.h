@@ -1,0 +1,53 @@
+#ifndef MODB_SIM_METRICS_H_
+#define MODB_SIM_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace modb::sim {
+
+/// Outcome of simulating one update policy on one speed curve (the three
+/// quantities the paper's §3.4 plots, plus diagnostics).
+struct RunMetrics {
+  /// Position-update messages sent during the trip (excluding the
+  /// beginning-of-trip write that every policy performs).
+  std::size_t messages = 0;
+  /// Deviation cost over the trip (uniform cost: the integral of d(t) dt).
+  double deviation_cost = 0.0;
+  /// Total cost = C * messages + deviation_cost (paper eq. 2 summed over
+  /// the trip).
+  double total_cost = 0.0;
+  /// Mean, over ticks, of the deviation bound the DBMS would quote
+  /// (the paper's "average uncertainty").
+  double avg_uncertainty = 0.0;
+  /// Mean actual deviation over ticks.
+  double avg_deviation = 0.0;
+  /// Largest actual deviation over the trip.
+  double max_deviation = 0.0;
+  /// Ticks at which the actual deviation exceeded the DBMS bound by more
+  /// than the discretisation tolerance. Must be 0 — checked by tests.
+  std::size_t bound_violations = 0;
+  /// Trip duration and number of ticks simulated.
+  double duration = 0.0;
+  std::size_t ticks = 0;
+};
+
+/// Arithmetic means of `RunMetrics` across several runs (the paper averages
+/// each quantity over all speed curves).
+struct MeanMetrics {
+  double messages = 0.0;
+  double deviation_cost = 0.0;
+  double total_cost = 0.0;
+  double avg_uncertainty = 0.0;
+  double avg_deviation = 0.0;
+  double max_deviation = 0.0;
+  double bound_violations = 0.0;
+  std::size_t runs = 0;
+};
+
+/// Averages `runs` (empty input yields an all-zero result).
+MeanMetrics Aggregate(const std::vector<RunMetrics>& runs);
+
+}  // namespace modb::sim
+
+#endif  // MODB_SIM_METRICS_H_

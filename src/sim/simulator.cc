@@ -1,0 +1,96 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.h"
+
+namespace modb::sim {
+
+geo::Route MakeStraightRouteForCurve(const SpeedCurve& curve, double margin) {
+  // Long enough for the worst-case *database* extrapolation (declared speed
+  // up to the curve maximum for the whole trip), not just the distance
+  // actually travelled — otherwise the database position would clamp at the
+  // route end and distort the deviation process.
+  const double length = curve.MaxSpeed() * curve.duration() + margin;
+  return geo::Route(0, geo::Polyline({{0.0, 0.0}, {length, 0.0}}),
+                    "sim-straight");
+}
+
+RunMetrics SimulatePolicyOnTrip(const Trip& trip,
+                                const core::PolicyConfig& policy,
+                                const SimulationOptions& options) {
+  const core::UniformDeviationCost uniform_cost;
+  const core::DeviationCostFunction& cost_fn =
+      options.cost_function != nullptr ? *options.cost_function
+                                       : uniform_cost;
+
+  Vehicle vehicle(0, trip, core::MakePolicy(policy));
+  vehicle.InitialAttribute();
+
+  RunMetrics metrics;
+  metrics.duration = trip.curve().duration();
+
+  const core::Time t0 = trip.start_time();
+  const core::Time t_end = trip.end_time();
+  const double dt = options.tick;
+  // Discretisation tolerance: the policy re-evaluates once per tick, during
+  // which the deviation can grow by rate*dt while a time-decreasing bound
+  // (the immediate policies' 2C/t) can shrink by up to another rate*dt —
+  // the transient overshoot is bounded by twice the worst-case rate.
+  const double bound_tolerance =
+      2.0 * std::max(trip.curve().MaxSpeed(), policy.max_speed) * dt + 1e-9;
+
+  double prev_deviation = 0.0;
+  double uncertainty_sum = 0.0;
+  double deviation_sum = 0.0;
+
+  for (core::Time t = t0 + dt; t <= t_end + 1e-9; t += dt) {
+    // Pre-update state: deviation and the bound the DBMS would quote now.
+    const double deviation = vehicle.DeviationAt(t);
+    const core::PositionAttribute& attr = vehicle.attribute();
+    const core::Duration since_update = t - attr.start_time;
+
+    if (options.check_bounds) {
+      const double bound = vehicle.IsSlowDeviationAt(t)
+                               ? core::SlowDeviationBound(attr, since_update)
+                               : core::FastDeviationBound(attr, since_update);
+      if (deviation > bound + bound_tolerance) ++metrics.bound_violations;
+    }
+
+    metrics.deviation_cost +=
+        cost_fn.IntervalCost(prev_deviation, deviation, dt);
+    deviation_sum += deviation;
+    metrics.max_deviation = std::max(metrics.max_deviation, deviation);
+
+    const std::optional<core::PositionUpdate> update = vehicle.Tick(t);
+    if (update.has_value()) ++metrics.messages;
+    prev_deviation = update.has_value() ? 0.0 : deviation;
+
+    // Post-update uncertainty: the bound the DBMS quotes for a query now.
+    const core::PositionAttribute& attr_after = vehicle.attribute();
+    uncertainty_sum +=
+        core::DeviationBound(attr_after, t - attr_after.start_time);
+    ++metrics.ticks;
+  }
+
+  if (metrics.ticks > 0) {
+    metrics.avg_uncertainty =
+        uncertainty_sum / static_cast<double>(metrics.ticks);
+    metrics.avg_deviation = deviation_sum / static_cast<double>(metrics.ticks);
+  }
+  metrics.total_cost =
+      policy.update_cost * static_cast<double>(metrics.messages) +
+      metrics.deviation_cost;
+  return metrics;
+}
+
+RunMetrics SimulatePolicyOnCurve(const SpeedCurve& curve,
+                                 const core::PolicyConfig& policy,
+                                 const SimulationOptions& options) {
+  const geo::Route route = MakeStraightRouteForCurve(curve);
+  const Trip trip(&route, 0.0, core::TravelDirection::kForward, 0.0, curve);
+  return SimulatePolicyOnTrip(trip, policy, options);
+}
+
+}  // namespace modb::sim

@@ -1,0 +1,47 @@
+#ifndef MODB_SIM_SIMULATOR_H_
+#define MODB_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/deviation.h"
+#include "core/update_policy.h"
+#include "geo/route.h"
+#include "sim/metrics.h"
+#include "sim/speed_curve.h"
+#include "sim/trip.h"
+#include "sim/vehicle.h"
+
+namespace modb::sim {
+
+/// Parameters of a single-vehicle policy simulation (paper §3.4 protocol).
+struct SimulationOptions {
+  /// Tick width: the onboard computer re-evaluates the policy this often.
+  core::Duration tick = 1.0;
+  /// Verify at every tick that the actual deviation respects the DBMS
+  /// bound (propositions 2-4), within the discretisation tolerance.
+  bool check_bounds = true;
+  /// Deviation cost function; null selects the uniform cost (eq. 1).
+  const core::DeviationCostFunction* cost_function = nullptr;
+};
+
+/// Builds a straight route long enough for `curve`'s total distance plus
+/// `margin`, with route id 0 (standalone simulations).
+geo::Route MakeStraightRouteForCurve(const SpeedCurve& curve,
+                                     double margin = 1.0);
+
+/// Simulates one policy on one speed curve on a private straight route and
+/// returns the cost/uncertainty metrics. Deterministic.
+RunMetrics SimulatePolicyOnCurve(const SpeedCurve& curve,
+                                 const core::PolicyConfig& policy,
+                                 const SimulationOptions& options);
+
+/// As above but on a caller-provided trip (e.g. a winding route); the
+/// `trip.route()` pointer must stay valid for the duration of the call.
+RunMetrics SimulatePolicyOnTrip(const Trip& trip,
+                                const core::PolicyConfig& policy,
+                                const SimulationOptions& options);
+
+}  // namespace modb::sim
+
+#endif  // MODB_SIM_SIMULATOR_H_

@@ -1,0 +1,181 @@
+#include "sim/speed_curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace modb::sim {
+
+SpeedCurve::SpeedCurve(std::vector<double> speeds, core::Duration step)
+    : speeds_(std::move(speeds)), step_(step) {
+  assert(step_ > 0.0);
+  cumulative_.reserve(speeds_.size() + 1);
+  cumulative_.push_back(0.0);
+  double acc = 0.0;
+  for (double v : speeds_) {
+    assert(v >= 0.0);
+    acc += v * step_;
+    cumulative_.push_back(acc);
+    max_speed_ = std::max(max_speed_, v);
+  }
+}
+
+SpeedCurve SpeedCurve::Constant(double v, core::Duration duration,
+                                core::Duration step) {
+  const auto n = static_cast<std::size_t>(std::ceil(duration / step));
+  return SpeedCurve(std::vector<double>(n, v), step);
+}
+
+double SpeedCurve::SpeedAt(core::Time t) const {
+  if (speeds_.empty() || t < 0.0) return 0.0;
+  auto idx = static_cast<std::size_t>(t / step_);
+  if (idx >= speeds_.size()) return 0.0;  // trip over: parked
+  return speeds_[idx];
+}
+
+double SpeedCurve::DistanceAt(core::Time t) const {
+  if (speeds_.empty() || t <= 0.0) return 0.0;
+  const double steps = t / step_;
+  const auto whole = static_cast<std::size_t>(steps);
+  if (whole >= speeds_.size()) return cumulative_.back();
+  const double frac = steps - static_cast<double>(whole);
+  return cumulative_[whole] + speeds_[whole] * frac * step_;
+}
+
+double SpeedCurve::MeanSpeed() const {
+  if (speeds_.empty()) return 0.0;
+  return cumulative_.back() / duration();
+}
+
+namespace {
+
+std::size_t NumSteps(const CurveGenOptions& options) {
+  return static_cast<std::size_t>(std::ceil(options.duration / options.step));
+}
+
+double ClampSpeed(double v, const CurveGenOptions& options) {
+  return std::clamp(v, 0.0, options.max_speed);
+}
+
+}  // namespace
+
+SpeedCurve MakeHighwayCurve(util::Rng& rng, const CurveGenOptions& options) {
+  const std::size_t n = NumSteps(options);
+  std::vector<double> speeds;
+  speeds.reserve(n);
+  double current = options.cruise_speed;
+  std::size_t slowdown_left = 0;
+  double slowdown_speed = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slowdown_left > 0) {
+      --slowdown_left;
+      speeds.push_back(ClampSpeed(slowdown_speed, options));
+      continue;
+    }
+    // Mild mean-reverting jitter around the cruise speed (~5%).
+    current += 0.3 * (options.cruise_speed - current) +
+               rng.Normal(0.0, 0.05 * options.cruise_speed);
+    // Occasional brief slowdown (lane change, exit ramp, light traffic).
+    if (rng.Bernoulli(0.03)) {
+      slowdown_left = static_cast<std::size_t>(rng.UniformInt(1, 3));
+      slowdown_speed = options.cruise_speed * rng.Uniform(0.3, 0.7);
+    }
+    speeds.push_back(ClampSpeed(current, options));
+  }
+  return SpeedCurve(std::move(speeds), options.step);
+}
+
+SpeedCurve MakeCityCurve(util::Rng& rng, const CurveGenOptions& options) {
+  const std::size_t n = NumSteps(options);
+  std::vector<double> speeds;
+  speeds.reserve(n);
+  bool moving = true;
+  std::size_t phase_left = static_cast<std::size_t>(rng.UniformInt(1, 4));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (phase_left == 0) {
+      moving = !moving;
+      phase_left = moving
+                       ? static_cast<std::size_t>(rng.UniformInt(2, 6))
+                       : static_cast<std::size_t>(rng.UniformInt(1, 3));
+    }
+    --phase_left;
+    if (moving) {
+      const double v =
+          options.cruise_speed * rng.Uniform(0.5, 1.1);
+      speeds.push_back(ClampSpeed(v, options));
+    } else {
+      speeds.push_back(0.0);
+    }
+  }
+  return SpeedCurve(std::move(speeds), options.step);
+}
+
+SpeedCurve MakeTrafficJamCurve(util::Rng& rng,
+                               const CurveGenOptions& options) {
+  const std::size_t n = NumSteps(options);
+  std::vector<double> speeds(n, options.cruise_speed);
+  // One jam somewhere in the middle third, lasting 10-30% of the trip.
+  const std::size_t jam_start = static_cast<std::size_t>(
+      rng.UniformInt(static_cast<std::int64_t>(n / 3),
+                     static_cast<std::int64_t>(n / 2)));
+  const std::size_t jam_len = static_cast<std::size_t>(
+      rng.UniformInt(static_cast<std::int64_t>(n / 10),
+                     static_cast<std::int64_t>(3 * n / 10)));
+  for (std::size_t i = jam_start; i < std::min(jam_start + jam_len, n); ++i) {
+    // Crawl or full stop.
+    speeds[i] = rng.Bernoulli(0.6) ? 0.0
+                                   : options.cruise_speed * rng.Uniform(0.05, 0.2);
+  }
+  // Mild jitter outside the jam.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= jam_start && i < jam_start + jam_len) continue;
+    speeds[i] = ClampSpeed(
+        speeds[i] + rng.Normal(0.0, 0.04 * options.cruise_speed), options);
+  }
+  return SpeedCurve(std::move(speeds), options.step);
+}
+
+SpeedCurve MakeRushHourCurve(util::Rng& rng, const CurveGenOptions& options) {
+  const std::size_t n = NumSteps(options);
+  CurveGenOptions part = options;
+
+  // City-like first quarter, highway middle half, city-like last quarter.
+  part.duration = options.duration * 0.25;
+  SpeedCurve head = MakeCityCurve(rng, part);
+  part.duration = options.duration * 0.5;
+  SpeedCurve middle = MakeHighwayCurve(rng, part);
+  part.duration = options.duration * 0.25;
+  SpeedCurve tail = MakeCityCurve(rng, part);
+
+  std::vector<double> speeds;
+  speeds.reserve(n);
+  for (double v : head.speeds()) speeds.push_back(v);
+  for (double v : middle.speeds()) speeds.push_back(v);
+  for (double v : tail.speeds()) speeds.push_back(v);
+  speeds.resize(n, speeds.empty() ? 0.0 : speeds.back());
+  return SpeedCurve(std::move(speeds), options.step);
+}
+
+std::vector<NamedCurve> MakeStandardSuite(util::Rng& rng, int per_kind,
+                                          const CurveGenOptions& options) {
+  std::vector<NamedCurve> suite;
+  suite.reserve(static_cast<std::size_t>(per_kind) * 4);
+  for (int i = 0; i < per_kind; ++i) {
+    suite.push_back({"highway-" + std::to_string(i),
+                     MakeHighwayCurve(rng, options)});
+  }
+  for (int i = 0; i < per_kind; ++i) {
+    suite.push_back({"city-" + std::to_string(i), MakeCityCurve(rng, options)});
+  }
+  for (int i = 0; i < per_kind; ++i) {
+    suite.push_back({"jam-" + std::to_string(i),
+                     MakeTrafficJamCurve(rng, options)});
+  }
+  for (int i = 0; i < per_kind; ++i) {
+    suite.push_back({"rush-" + std::to_string(i),
+                     MakeRushHourCurve(rng, options)});
+  }
+  return suite;
+}
+
+}  // namespace modb::sim

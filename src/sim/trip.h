@@ -1,0 +1,80 @@
+#ifndef MODB_SIM_TRIP_H_
+#define MODB_SIM_TRIP_H_
+
+#include <algorithm>
+
+#include "core/types.h"
+#include "geo/route.h"
+#include "sim/speed_curve.h"
+
+namespace modb::sim {
+
+/// One trip of one moving object: a route, a starting position on it, a
+/// direction, a start time, and the actual speed curve. The trip is the
+/// simulation's ground truth; the database only ever sees the position
+/// updates derived from it.
+class Trip {
+ public:
+  Trip() = default;
+  /// `route` must outlive the trip.
+  Trip(const geo::Route* route, double start_route_distance,
+       core::TravelDirection direction, core::Time start_time,
+       SpeedCurve curve)
+      : route_(route),
+        start_route_distance_(start_route_distance),
+        direction_(direction),
+        start_time_(start_time),
+        curve_(std::move(curve)) {}
+
+  const geo::Route& route() const { return *route_; }
+  double start_route_distance() const { return start_route_distance_; }
+  core::TravelDirection direction() const { return direction_; }
+  core::Time start_time() const { return start_time_; }
+  core::Time end_time() const { return start_time_ + curve_.duration(); }
+  const SpeedCurve& curve() const { return curve_; }
+
+  // Motion-source interface (shared with `Itinerary`): a single-route trip
+  // has a time-invariant route and direction.
+  const geo::Route& RouteAt(core::Time) const { return *route_; }
+  core::TravelDirection DirectionAt(core::Time) const { return direction_; }
+  double MaxSpeed() const { return curve_.MaxSpeed(); }
+
+  /// Actual route-distance of the object at absolute time `t`, clamped to
+  /// the route ends (a vehicle reaching the end of its route parks there).
+  double ActualRouteDistanceAt(core::Time t) const {
+    const double travelled =
+        curve_.DistanceAt(std::max(0.0, t - start_time_));
+    const double s = start_route_distance_ +
+                     core::DirectionSign(direction_) * travelled;
+    return std::clamp(s, 0.0, route_->Length());
+  }
+
+  /// Actual 2-D position at time `t`.
+  geo::Point2 ActualPositionAt(core::Time t) const {
+    return route_->PointAt(ActualRouteDistanceAt(t));
+  }
+
+  /// Actual instantaneous speed at time `t` (0 once the vehicle has parked
+  /// at the route end it travels toward).
+  double ActualSpeedAt(core::Time t) const {
+    const double s = start_route_distance_ +
+                     core::DirectionSign(direction_) *
+                         curve_.DistanceAt(std::max(0.0, t - start_time_));
+    const bool parked = direction_ == core::TravelDirection::kForward
+                            ? s >= route_->Length()
+                            : s <= 0.0;
+    if (parked) return 0.0;
+    return curve_.SpeedAt(t - start_time_);
+  }
+
+ private:
+  const geo::Route* route_ = nullptr;
+  double start_route_distance_ = 0.0;
+  core::TravelDirection direction_ = core::TravelDirection::kForward;
+  core::Time start_time_ = 0.0;
+  SpeedCurve curve_;
+};
+
+}  // namespace modb::sim
+
+#endif  // MODB_SIM_TRIP_H_

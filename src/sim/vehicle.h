@@ -1,0 +1,228 @@
+#ifndef MODB_SIM_VEHICLE_H_
+#define MODB_SIM_VEHICLE_H_
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "core/deviation.h"
+#include "core/position_attribute.h"
+#include "core/types.h"
+#include "core/update_policy.h"
+#include "sim/itinerary.h"
+#include "sim/trip.h"
+
+namespace modb::sim {
+
+/// Type-erased view of a simulated vehicle, used by code (the fleet
+/// simulator, verification harnesses) that must drive a mixed fleet of
+/// single-route and multi-route vehicles uniformly.
+class VehicleBase {
+ public:
+  virtual ~VehicleBase() = default;
+
+  virtual core::ObjectId id() const = 0;
+
+  /// The beginning-of-trip write of all position sub-attributes (§3.1).
+  /// Call once, insert the result into the database, before any tick.
+  virtual core::PositionAttribute InitialAttribute() = 0;
+
+  /// Advances the onboard computer to time `t` and, when the update policy
+  /// (or a route change) requires it, returns the position update — WITHOUT
+  /// applying it to the vehicle's own mirror. Callers model the wireless
+  /// channel: deliver the message and call `CommitUpdate`, or drop it (the
+  /// vehicle then re-decides at the next tick, i.e. retransmits). Call once
+  /// per tick with strictly increasing times.
+  virtual std::optional<core::PositionUpdate> TickPrepare(core::Time t) = 0;
+
+  /// Acknowledges delivery: mirrors the database's new state onboard
+  /// (the paper's instantaneous-update assumption) and resets the
+  /// deviation bookkeeping.
+  virtual void CommitUpdate(const core::PositionUpdate& update) = 0;
+
+  /// Convenience for a lossless channel: TickPrepare + CommitUpdate.
+  std::optional<core::PositionUpdate> Tick(core::Time t) {
+    std::optional<core::PositionUpdate> update = TickPrepare(t);
+    if (update.has_value()) CommitUpdate(*update);
+    return update;
+  }
+
+  /// The vehicle's mirror of its database position attribute.
+  virtual const core::PositionAttribute& attribute() const = 0;
+  virtual const core::DeviationTracker& tracker() const = 0;
+  virtual const core::UpdatePolicy& policy() const = 0;
+
+  /// Deviation the database attribute implies at time `t`: the
+  /// route-distance between actual and database positions — infinite when
+  /// the vehicle has moved to a different route (paper §2).
+  virtual double DeviationAt(core::Time t) const = 0;
+
+  /// True when the actual position is behind the database position along
+  /// the direction of travel (a *slow* deviation, §3.3).
+  virtual bool IsSlowDeviationAt(core::Time t) const = 0;
+
+  // Ground truth (for verification):
+  virtual geo::Point2 GroundTruthPositionAt(core::Time t) const = 0;
+  virtual double GroundTruthRouteDistanceAt(core::Time t) const = 0;
+  virtual geo::RouteId GroundTruthRouteIdAt(core::Time t) const = 0;
+  virtual core::Time trip_start_time() const = 0;
+  virtual core::Time trip_end_time() const = 0;
+};
+
+/// The computer onboard a moving object (paper §3.1): knows the exact
+/// current position (GPS), mirrors the parameters of its own last database
+/// update, tracks the deviation, and executes the position-update policy.
+///
+/// `Motion` supplies the ground truth and must provide the motion-source
+/// interface (`RouteAt`, `ActualRouteDistanceAt`, `ActualPositionAt`,
+/// `ActualSpeedAt`, `DirectionAt`, `start_time`, `end_time`, `MaxSpeed`);
+/// `Trip` (single route) and `Itinerary` (multi-route) both qualify.
+///
+/// When the motion source crosses onto a new route, the vehicle emits a
+/// forced position update regardless of the policy — the paper defines the
+/// route-distance between points on different routes as infinite precisely
+/// so that a route change always triggers an update (§2, §3.1).
+template <typename Motion>
+class BasicVehicle final : public VehicleBase {
+ public:
+  BasicVehicle(core::ObjectId id, Motion motion,
+               std::unique_ptr<core::UpdatePolicy> policy)
+      : id_(id),
+        motion_(std::move(motion)),
+        policy_(std::move(policy)),
+        tracker_(policy_->config().zero_epsilon) {}
+
+  BasicVehicle(BasicVehicle&&) = default;
+  BasicVehicle& operator=(BasicVehicle&&) = default;
+
+  core::ObjectId id() const override { return id_; }
+  const Motion& motion() const { return motion_; }
+  const core::UpdatePolicy& policy() const override { return *policy_; }
+  const core::PositionAttribute& attribute() const override { return attr_; }
+  const core::DeviationTracker& tracker() const override { return tracker_; }
+
+  /// Deviation at the last tick.
+  double current_deviation() const { return tracker_.current_deviation(); }
+
+  core::PositionAttribute InitialAttribute() override {
+    const core::Time t0 = motion_.start_time();
+    const core::PolicyConfig& config = policy_->config();
+    const geo::Route& route = motion_.RouteAt(t0);
+
+    attr_ = core::PositionAttribute{};
+    attr_.start_time = t0;
+    attr_.route = route.id();
+    attr_.start_route_distance = motion_.ActualRouteDistanceAt(t0);
+    attr_.start_position = route.PointAt(attr_.start_route_distance);
+    attr_.direction = motion_.DirectionAt(t0);
+    // The declared speed at trip start: the current speed for the
+    // motion-model policies, 0 for the traditional periodic reporter.
+    attr_.speed = config.kind == core::PolicyKind::kPeriodic
+                      ? 0.0
+                      : motion_.ActualSpeedAt(t0);
+    attr_.policy = config.kind;
+    attr_.update_cost = config.update_cost;
+    attr_.max_speed =
+        config.max_speed > 0.0 ? config.max_speed : motion_.MaxSpeed();
+    attr_.fixed_threshold = config.fixed_threshold;
+    attr_.period = config.period;
+    attr_.step_threshold = config.step_threshold;
+
+    tracker_.Reset(t0, attr_.start_route_distance);
+    policy_->OnUpdateSent(t0);
+    initialized_ = true;
+    return attr_;
+  }
+
+  double DeviationAt(core::Time t) const override {
+    const geo::Route& route = motion_.RouteAt(t);
+    if (route.id() != attr_.route) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double actual = motion_.ActualRouteDistanceAt(t);
+    const double db = attr_.ClampedDatabaseRouteDistanceAt(t, route.Length());
+    return std::fabs(actual - db);
+  }
+
+  bool IsSlowDeviationAt(core::Time t) const override {
+    const geo::Route& route = motion_.RouteAt(t);
+    if (route.id() != attr_.route) return false;
+    const double actual = motion_.ActualRouteDistanceAt(t);
+    const double db = attr_.ClampedDatabaseRouteDistanceAt(t, route.Length());
+    return core::DirectionSign(attr_.direction) * (actual - db) < 0.0;
+  }
+
+  std::optional<core::PositionUpdate> TickPrepare(core::Time t) override {
+    assert(initialized_ && "call InitialAttribute() before ticking");
+    const geo::Route& route = motion_.RouteAt(t);
+    if (route.id() != attr_.route) {
+      // Route change: the cross-route deviation is infinite, so the update
+      // is mandatory and bypasses the cost-based policy.
+      return BuildUpdate(t, motion_.ActualSpeedAt(t));
+    }
+    const double actual = motion_.ActualRouteDistanceAt(t);
+    const double deviation = DeviationAt(t);
+    const double current_speed = motion_.ActualSpeedAt(t);
+    tracker_.Observe(t, deviation, actual, current_speed);
+
+    const std::optional<core::UpdateDecision> decision =
+        policy_->Decide(tracker_, t, current_speed);
+    if (!decision.has_value()) return std::nullopt;
+    return BuildUpdate(t, decision->declared_speed);
+  }
+
+  void CommitUpdate(const core::PositionUpdate& update) override {
+    attr_.start_time = update.time;
+    attr_.route = update.route;
+    attr_.start_route_distance = update.route_distance;
+    attr_.start_position = update.position;
+    attr_.direction = update.direction;
+    attr_.speed = update.speed;
+    tracker_.Reset(update.time, update.route_distance);
+    policy_->OnUpdateSent(update.time);
+  }
+
+  geo::Point2 GroundTruthPositionAt(core::Time t) const override {
+    return motion_.ActualPositionAt(t);
+  }
+  double GroundTruthRouteDistanceAt(core::Time t) const override {
+    return motion_.ActualRouteDistanceAt(t);
+  }
+  geo::RouteId GroundTruthRouteIdAt(core::Time t) const override {
+    return motion_.RouteAt(t).id();
+  }
+  core::Time trip_start_time() const override { return motion_.start_time(); }
+  core::Time trip_end_time() const override { return motion_.end_time(); }
+
+ private:
+  core::PositionUpdate BuildUpdate(core::Time t, double declared_speed) const {
+    const geo::Route& route = motion_.RouteAt(t);
+    core::PositionUpdate update;
+    update.object = id_;
+    update.time = t;
+    update.route = route.id();
+    update.route_distance = motion_.ActualRouteDistanceAt(t);
+    update.position = route.PointAt(update.route_distance);
+    update.direction = motion_.DirectionAt(t);
+    update.speed = declared_speed;
+    return update;
+  }
+
+  core::ObjectId id_;
+  Motion motion_;
+  std::unique_ptr<core::UpdatePolicy> policy_;
+  core::PositionAttribute attr_;
+  core::DeviationTracker tracker_;
+  bool initialized_ = false;
+};
+
+/// Single-route vehicle (the common case).
+using Vehicle = BasicVehicle<Trip>;
+/// Vehicle whose journey spans several routes.
+using ItineraryVehicle = BasicVehicle<Itinerary>;
+
+}  // namespace modb::sim
+
+#endif  // MODB_SIM_VEHICLE_H_

@@ -1,0 +1,80 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace modb::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(num_buckets)),
+      buckets_(num_buckets, 0) {
+  assert(lo < hi);
+  assert(num_buckets >= 1);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, buckets_.size() - 1);  // Guard rounding at the top edge.
+  ++buckets_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::size_t>(q * static_cast<double>(count_ - 1));
+  std::size_t seen = underflow_;
+  if (target < seen) return lo_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (target < seen) return 0.5 * (bucket_lo(i) + bucket_hi(i));
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : buckets_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %8zu ",
+                  bucket_lo(i), bucket_hi(i), buckets_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "underflow: %zu\n", underflow_);
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "overflow: %zu\n", overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace modb::util

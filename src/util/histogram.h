@@ -1,0 +1,55 @@
+#ifndef MODB_UTIL_HISTOGRAM_H_
+#define MODB_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace modb::util {
+
+/// Fixed-width histogram over [lo, hi) with under/overflow buckets.
+///
+/// Used by the simulator to characterise deviation and uncertainty
+/// distributions without retaining every sample.
+class Histogram {
+ public:
+  /// Creates a histogram with `num_buckets` equal-width buckets spanning
+  /// [lo, hi). Requires lo < hi and num_buckets >= 1.
+  Histogram(double lo, double hi, std::size_t num_buckets);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations added (including under/overflow).
+  std::size_t count() const { return count_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Count in bucket `i`.
+  std::size_t bucket_count(std::size_t i) const { return buckets_[i]; }
+  /// Inclusive lower edge of bucket `i`.
+  double bucket_lo(std::size_t i) const;
+  /// Exclusive upper edge of bucket `i`.
+  double bucket_hi(std::size_t i) const;
+
+  /// Approximate quantile (`q` in [0, 1]) from bucket midpoints.
+  /// Returns 0 when empty.
+  double ApproxQuantile(double q) const;
+
+  /// Renders a terminal-friendly bar chart, `width` characters wide.
+  std::string ToString(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::size_t> buckets_;
+  std::size_t count_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace modb::util
+
+#endif  // MODB_UTIL_HISTOGRAM_H_

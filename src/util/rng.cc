@@ -1,0 +1,118 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace modb::util {
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// SplitMix64: used to expand the seed into the xoshiro state.
+inline std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double draw = Uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // Guard against rounding at the upper edge.
+}
+
+Rng Rng::Fork() {
+  // Derive a child seed from two draws; the child re-expands via SplitMix64,
+  // decorrelating its stream from the parent continuation.
+  const std::uint64_t child_seed = Next() ^ Rotl(Next(), 32);
+  return Rng(child_seed);
+}
+
+}  // namespace modb::util

@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace modb::util {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double PercentileOfSorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary Summarize(const std::vector<double>& sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  RunningStat rs;
+  for (double x : sorted) rs.Add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.p25 = PercentileOfSorted(sorted, 0.25);
+  s.median = PercentileOfSorted(sorted, 0.50);
+  s.p75 = PercentileOfSorted(sorted, 0.75);
+  s.p95 = PercentileOfSorted(sorted, 0.95);
+  s.max = sorted.back();
+  return s;
+}
+
+double TrapezoidIntegral(const std::vector<double>& y, double dx) {
+  if (y.size() < 2) return 0.0;
+  double acc = 0.5 * (y.front() + y.back());
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) acc += y[i];
+  return acc * dx;
+}
+
+}  // namespace modb::util

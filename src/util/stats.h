@@ -1,0 +1,75 @@
+#ifndef MODB_UTIL_STATS_H_
+#define MODB_UTIL_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace modb::util {
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+///
+/// Numerically stable for long simulation runs; O(1) memory.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStat& other);
+
+  /// Resets to the empty state.
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return mean_; }
+  /// Population variance; 0 when fewer than two observations.
+  double variance() const;
+  /// Population standard deviation.
+  double stddev() const;
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+  /// Sum of the observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a `Summary` of `sample` (the input is copied and sorted).
+/// An empty sample yields an all-zero summary.
+Summary Summarize(const std::vector<double>& sample);
+
+/// Linear-interpolated percentile of a sorted sample, `q` in [0, 1].
+/// Requires `sorted` non-empty and ascending.
+double PercentileOfSorted(const std::vector<double>& sorted, double q);
+
+/// Trapezoidal integral of uniformly spaced samples `y` with spacing `dx`.
+/// Returns 0 for fewer than two samples.
+double TrapezoidIntegral(const std::vector<double>& y, double dx);
+
+}  // namespace modb::util
+
+#endif  // MODB_UTIL_STATS_H_

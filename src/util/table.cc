@@ -1,0 +1,113 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace modb::util {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(std::string cell) {
+  assert(!rows_.empty());
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::Add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return Add(std::string(buf));
+}
+
+Table& Table::Add(std::size_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", value);
+  return Add(std::string(buf));
+}
+
+Table& Table::Add(int value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", value);
+  return Add(std::string(buf));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  return rows_[row][col];
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += ' ';
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string sep = "+";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << ToCsv();
+  return static_cast<bool>(file);
+}
+
+}  // namespace modb::util

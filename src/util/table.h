@@ -1,0 +1,54 @@
+#ifndef MODB_UTIL_TABLE_H_
+#define MODB_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace modb::util {
+
+/// Column-aligned table builder for experiment output.
+///
+/// The benchmark harnesses print paper-style tables with it and can also
+/// emit CSV for external plotting.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent Add* calls fill it left to right.
+  Table& NewRow();
+
+  /// Appends a string cell to the current row.
+  Table& Add(std::string cell);
+
+  /// Appends a numeric cell formatted with `precision` fractional digits.
+  Table& Add(double value, int precision = 3);
+
+  /// Appends an integer cell.
+  Table& Add(std::size_t value);
+  Table& Add(int value);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Cell accessor (row-major); header row excluded.
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Renders an aligned ASCII table.
+  std::string ToString() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  /// Writes `ToCsv()` to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace modb::util
+
+#endif  // MODB_UTIL_TABLE_H_

@@ -1,0 +1,151 @@
+#include "core/deviation.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::core {
+namespace {
+
+TEST(UniformDeviationCostTest, TrapezoidArea) {
+  const UniformDeviationCost cost;
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(0.0, 2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(2.0, 2.0, 3.0), 6.0);
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(1.0, 3.0, 2.0), 4.0);
+  EXPECT_EQ(cost.name(), "uniform");
+}
+
+TEST(StepDeviationCostTest, BelowThresholdIsFree) {
+  const StepDeviationCost cost(2.0);
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(0.0, 2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(1.0, 1.5, 5.0), 0.0);
+  EXPECT_EQ(cost.name(), "step");
+  EXPECT_EQ(cost.threshold(), 2.0);
+}
+
+TEST(StepDeviationCostTest, AboveThresholdChargesFullInterval) {
+  const StepDeviationCost cost(2.0);
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(3.0, 5.0, 2.0), 2.0);
+}
+
+TEST(StepDeviationCostTest, CrossingChargesExactFraction) {
+  const StepDeviationCost cost(2.0);
+  // Rising 1 -> 3 crosses the threshold halfway.
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(1.0, 3.0, 1.0), 0.5);
+  // Falling 4 -> 0 is above threshold for the first half.
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(4.0, 0.0, 1.0), 0.5);
+  // Rising 0 -> 4: above threshold for the second half.
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(0.0, 4.0, 2.0), 1.0);
+}
+
+TEST(StepDeviationCostTest, ZeroLengthInterval) {
+  const StepDeviationCost cost(1.0);
+  EXPECT_DOUBLE_EQ(cost.IntervalCost(5.0, 5.0, 0.0), 0.0);
+}
+
+class DeviationTrackerTest : public testing::Test {
+ protected:
+  DeviationTracker tracker_{1e-9};
+};
+
+TEST_F(DeviationTrackerTest, ResetState) {
+  tracker_.Reset(10.0, 100.0);
+  EXPECT_EQ(tracker_.update_time(), 10.0);
+  EXPECT_EQ(tracker_.current_deviation(), 0.0);
+  EXPECT_EQ(tracker_.last_zero_time(), 10.0);
+  EXPECT_EQ(tracker_.DelayOffset(), 0.0);
+  EXPECT_EQ(tracker_.DeviationIntegral(), 0.0);
+  EXPECT_EQ(tracker_.num_observations(), 0u);
+}
+
+TEST_F(DeviationTrackerTest, TracksCurrentDeviation) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 0.5, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker_.current_deviation(), 0.5);
+  EXPECT_EQ(tracker_.num_observations(), 1u);
+  tracker_.Observe(2.0, 1.5, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker_.current_deviation(), 1.5);
+}
+
+TEST_F(DeviationTrackerTest, DelayOffsetTracksLastZero) {
+  // Paper §3.2 simple fitting: b is the time from the last update until the
+  // last time unit when the deviation was 0.
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 0.0, 1.0, 1.0);
+  tracker_.Observe(2.0, 0.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker_.DelayOffset(), 2.0);
+  tracker_.Observe(3.0, 1.0, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker_.DelayOffset(), 2.0);  // frozen at last zero
+  tracker_.Observe(4.0, 2.0, 4.0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker_.DelayOffset(), 2.0);
+}
+
+TEST_F(DeviationTrackerTest, DeviationReturningToZeroResetsDelay) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 1.0, 1.0, 1.0);
+  tracker_.Observe(2.0, 0.0, 2.0, 1.0);  // back to zero
+  EXPECT_DOUBLE_EQ(tracker_.DelayOffset(), 2.0);
+}
+
+TEST_F(DeviationTrackerTest, IntegralIsTrapezoidal) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 2.0, 1.0, 1.0);  // area 0..1: (0+2)/2 = 1
+  tracker_.Observe(3.0, 4.0, 3.0, 1.0);  // area 1..3: (2+4)/2*2 = 6
+  EXPECT_DOUBLE_EQ(tracker_.DeviationIntegral(), 7.0);
+}
+
+TEST_F(DeviationTrackerTest, AverageSpeedFromDistanceCovered) {
+  tracker_.Reset(0.0, 10.0);
+  tracker_.Observe(2.0, 0.5, 13.0, 1.5);
+  EXPECT_DOUBLE_EQ(tracker_.AverageSpeed(2.0), 1.5);
+  tracker_.Observe(4.0, 0.5, 14.0, 0.5);
+  EXPECT_DOUBLE_EQ(tracker_.AverageSpeed(4.0), 1.0);
+}
+
+TEST_F(DeviationTrackerTest, AverageSpeedBackwardTravel) {
+  tracker_.Reset(0.0, 10.0);
+  tracker_.Observe(2.0, 0.0, 6.0, 2.0);
+  EXPECT_DOUBLE_EQ(tracker_.AverageSpeed(2.0), 2.0);
+}
+
+TEST_F(DeviationTrackerTest, AverageSpeedAtUpdateTimeIsZero) {
+  tracker_.Reset(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker_.AverageSpeed(5.0), 0.0);
+}
+
+TEST_F(DeviationTrackerTest, TimeSinceUpdate) {
+  tracker_.Reset(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker_.TimeSinceUpdate(7.5), 4.5);
+}
+
+TEST_F(DeviationTrackerTest, LeastSquaresSlopeMatchesPerfectLine) {
+  tracker_.Reset(0.0, 0.0);
+  for (int t = 1; t <= 10; ++t) {
+    tracker_.Observe(t, 0.7 * t, t, 1.0);
+  }
+  EXPECT_NEAR(tracker_.LeastSquaresImmediateSlope(), 0.7, 1e-12);
+}
+
+TEST_F(DeviationTrackerTest, LeastSquaresSlopeNonNegativeWhenEmpty) {
+  tracker_.Reset(0.0, 0.0);
+  EXPECT_EQ(tracker_.LeastSquaresImmediateSlope(), 0.0);
+}
+
+TEST_F(DeviationTrackerTest, SpeedStatsAccumulate) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 0.0, 1.0, 1.0);
+  tracker_.Observe(2.0, 0.0, 2.0, 3.0);
+  EXPECT_EQ(tracker_.speed_stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker_.speed_stats().mean(), 2.0);
+}
+
+TEST_F(DeviationTrackerTest, ResetClearsEverything) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 5.0, 1.0, 1.0);
+  tracker_.Reset(10.0, 50.0);
+  EXPECT_EQ(tracker_.current_deviation(), 0.0);
+  EXPECT_EQ(tracker_.DeviationIntegral(), 0.0);
+  EXPECT_EQ(tracker_.speed_stats().count(), 0u);
+  EXPECT_EQ(tracker_.DelayOffset(), 0.0);
+}
+
+}  // namespace
+}  // namespace modb::core

@@ -1,0 +1,95 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::core {
+namespace {
+
+TEST(FittingMethodNameTest, Names) {
+  EXPECT_EQ(FittingMethodName(FittingMethod::kSimple), "simple");
+  EXPECT_EQ(FittingMethodName(FittingMethod::kLeastSquares), "least_squares");
+}
+
+TEST(DelayedLinearEstimateTest, Evaluation) {
+  const DelayedLinearEstimate est{0.5, 2.0};
+  EXPECT_DOUBLE_EQ(est.At(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.At(2.0), 0.0);   // still in the delay
+  EXPECT_DOUBLE_EQ(est.At(4.0), 1.0);   // 0.5 * (4 - 2)
+  EXPECT_DOUBLE_EQ(est.At(10.0), 4.0);
+}
+
+TEST(ImmediateLinearEstimateTest, Evaluation) {
+  const ImmediateLinearEstimate est{0.25};
+  EXPECT_DOUBLE_EQ(est.At(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(est.At(8.0), 2.0);
+}
+
+class EstimatorFitTest : public testing::Test {
+ protected:
+  DeviationTracker tracker_{1e-9};
+};
+
+TEST_F(EstimatorFitTest, SimpleFitDelayedLinear) {
+  // Deviation 0 for two ticks (delay 2), then grows 1 per tick.
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 0.0, 1.0, 1.0);
+  tracker_.Observe(2.0, 0.0, 2.0, 1.0);
+  tracker_.Observe(3.0, 1.0, 3.0, 0.0);
+  tracker_.Observe(4.0, 2.0, 4.0, 0.0);
+  const DelayedLinearEstimate est = FitDelayedLinear(tracker_, 4.0);
+  EXPECT_DOUBLE_EQ(est.delay, 2.0);
+  // Paper: a = k / (t - b) = 2 / (4 - 2).
+  EXPECT_DOUBLE_EQ(est.slope, 1.0);
+}
+
+TEST_F(EstimatorFitTest, SimpleFitImmediateLinear) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(2.0, 1.0, 2.0, 1.0);
+  tracker_.Observe(4.0, 2.0, 4.0, 1.0);
+  const ImmediateLinearEstimate est = FitImmediateLinear(tracker_, 4.0);
+  // a = k / t = 2 / 4.
+  EXPECT_DOUBLE_EQ(est.slope, 0.5);
+}
+
+TEST_F(EstimatorFitTest, ZeroDeviationGivesZeroSlope) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 0.0, 1.0, 1.0);
+  EXPECT_EQ(FitDelayedLinear(tracker_, 1.0).slope, 0.0);
+  EXPECT_EQ(FitImmediateLinear(tracker_, 1.0).slope, 0.0);
+}
+
+TEST_F(EstimatorFitTest, LeastSquaresImmediateMatchesLine) {
+  tracker_.Reset(0.0, 0.0);
+  for (int t = 1; t <= 20; ++t) tracker_.Observe(t, 0.3 * t, t, 1.0);
+  const ImmediateLinearEstimate est =
+      FitImmediateLinear(tracker_, 20.0, FittingMethod::kLeastSquares);
+  EXPECT_NEAR(est.slope, 0.3, 1e-12);
+}
+
+TEST_F(EstimatorFitTest, LeastSquaresSmoothsNoisyTail) {
+  // A last-tick spike skews the simple fit but barely moves least squares.
+  tracker_.Reset(0.0, 0.0);
+  for (int t = 1; t <= 9; ++t) tracker_.Observe(t, 0.1 * t, t, 1.0);
+  tracker_.Observe(10.0, 5.0, 10.0, 1.0);  // spike
+  const double simple =
+      FitImmediateLinear(tracker_, 10.0, FittingMethod::kSimple).slope;
+  const double ls =
+      FitImmediateLinear(tracker_, 10.0, FittingMethod::kLeastSquares).slope;
+  EXPECT_DOUBLE_EQ(simple, 0.5);  // 5 / 10
+  EXPECT_LT(ls, simple);
+  EXPECT_GT(ls, 0.1);
+}
+
+TEST_F(EstimatorFitTest, DelayedLeastSquaresKeepsSimpleDelay) {
+  tracker_.Reset(0.0, 0.0);
+  tracker_.Observe(1.0, 0.0, 1.0, 1.0);
+  tracker_.Observe(2.0, 1.0, 2.0, 1.0);
+  tracker_.Observe(3.0, 2.0, 3.0, 1.0);
+  const DelayedLinearEstimate est =
+      FitDelayedLinear(tracker_, 3.0, FittingMethod::kLeastSquares);
+  EXPECT_DOUBLE_EQ(est.delay, 1.0);
+  EXPECT_GT(est.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace modb::core

@@ -1,0 +1,256 @@
+#include "core/policies/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/thresholds.h"
+#include "core/update_policy.h"
+
+namespace modb::core {
+namespace {
+
+PolicyConfig ConfigFor(PolicyKind kind, double C = 5.0) {
+  PolicyConfig config;
+  config.kind = kind;
+  config.update_cost = C;
+  config.max_speed = 1.5;
+  return config;
+}
+
+// Feeds the tracker a deviation history of (t, deviation) pairs with unit
+// actual speed.
+void Feed(DeviationTracker& tracker,
+          const std::vector<std::pair<double, double>>& history) {
+  for (const auto& [t, d] : history) tracker.Observe(t, d, t, 1.0);
+}
+
+TEST(MakePolicyTest, CreatesEveryKind) {
+  for (PolicyKind kind :
+       {PolicyKind::kDelayedLinear, PolicyKind::kAverageImmediateLinear,
+        PolicyKind::kCurrentImmediateLinear, PolicyKind::kFixedThreshold,
+        PolicyKind::kPeriodic, PolicyKind::kHybridAdaptive}) {
+    const auto policy = MakePolicy(ConfigFor(kind));
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), kind);
+    EXPECT_EQ(policy->name(), PolicyKindName(kind));
+    EXPECT_EQ(policy->config().update_cost, 5.0);
+  }
+}
+
+TEST(DlPolicyTest, NoDecisionAtZeroDeviation) {
+  const auto policy = MakePolicy(ConfigFor(PolicyKind::kDelayedLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  Feed(tracker, {{1.0, 0.0}, {2.0, 0.0}});
+  EXPECT_FALSE(policy->Decide(tracker, 2.0, 1.0).has_value());
+}
+
+TEST(DlPolicyTest, UpdatesAtOptimalThreshold) {
+  // Paper Example 1: speed declared 1, travels 2 minutes (delay 2) then
+  // stops; deviation grows 1/min. k_opt = 1.74, so the update fires at the
+  // first tick with deviation >= 1.74.
+  const auto policy = MakePolicy(ConfigFor(PolicyKind::kDelayedLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  Feed(tracker, {{1.0, 0.0}, {2.0, 0.0}});
+  // Deviation starts rising at t=2 (the jam).
+  tracker.Observe(3.0, 1.0, 2.0, 0.0);
+  EXPECT_FALSE(policy->Decide(tracker, 3.0, 0.0).has_value());  // 1.0 < 1.74
+  tracker.Observe(4.0, 2.0, 2.0, 0.0);
+  const auto decision = policy->Decide(tracker, 4.0, 0.0);
+  ASSERT_TRUE(decision.has_value());  // 2.0 >= 1.74
+  // dl declares the current speed.
+  EXPECT_DOUBLE_EQ(decision->declared_speed, 0.0);
+}
+
+TEST(DlPolicyTest, FractionalTickExampleMatchesPaper) {
+  // With 0.25-minute ticks the dl policy should fire once the deviation
+  // first reaches 1.74 miles, i.e. at t = 3.75 (deviation 1.75).
+  const auto policy = MakePolicy(ConfigFor(PolicyKind::kDelayedLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  double fired_at = -1.0;
+  for (double t = 0.25; t <= 6.0; t += 0.25) {
+    const double deviation = t <= 2.0 ? 0.0 : t - 2.0;
+    const double actual = std::min(t, 2.0);
+    tracker.Observe(t, deviation, actual, t <= 2.0 ? 1.0 : 0.0);
+    if (policy->Decide(tracker, t, 0.0).has_value()) {
+      fired_at = t;
+      break;
+    }
+  }
+  EXPECT_NEAR(fired_at, 3.75, 1e-9);
+}
+
+TEST(AilPolicyTest, Fires2COverT) {
+  // Equation (3): update iff k >= 2C/t. C=5 -> threshold 10/t.
+  const auto policy =
+      MakePolicy(ConfigFor(PolicyKind::kAverageImmediateLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  tracker.Observe(4.0, 2.0, 4.0, 1.0);
+  EXPECT_FALSE(policy->Decide(tracker, 4.0, 1.0).has_value());  // 2 < 2.5
+  tracker.Observe(5.0, 2.1, 5.0, 1.0);
+  EXPECT_TRUE(policy->Decide(tracker, 5.0, 1.0).has_value());  // 2.1 >= 2
+}
+
+TEST(AilPolicyTest, DeclaresAverageSpeed) {
+  const auto policy =
+      MakePolicy(ConfigFor(PolicyKind::kAverageImmediateLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  // Covered 6 route units in 4 time units -> average speed 1.5.
+  tracker.Observe(4.0, 3.0, 6.0, 2.0);
+  const auto decision = policy->Decide(tracker, 4.0, 2.0);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_DOUBLE_EQ(decision->declared_speed, 1.5);
+}
+
+TEST(AilPolicyTest, CanFireWhileDeviationDecreases) {
+  // Paper §3.2: k_opt = 2C/t decreases with t, so an update can fire while
+  // the deviation itself is shrinking.
+  const auto policy =
+      MakePolicy(ConfigFor(PolicyKind::kAverageImmediateLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  tracker.Observe(2.0, 1.8, 2.0, 1.0);
+  EXPECT_FALSE(policy->Decide(tracker, 2.0, 1.0).has_value());  // 1.8 < 5
+  tracker.Observe(8.0, 1.4, 8.0, 1.0);  // deviation decreased
+  EXPECT_TRUE(policy->Decide(tracker, 8.0, 1.0).has_value());  // 1.4 >= 1.25
+}
+
+TEST(CilPolicyTest, DeclaresCurrentSpeed) {
+  const auto policy =
+      MakePolicy(ConfigFor(PolicyKind::kCurrentImmediateLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  tracker.Observe(4.0, 3.0, 6.0, 2.0);
+  const auto decision = policy->Decide(tracker, 4.0, 0.75);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_DOUBLE_EQ(decision->declared_speed, 0.75);
+}
+
+TEST(CilAndAilShareThreshold, SameFiringTick) {
+  const auto ail = MakePolicy(ConfigFor(PolicyKind::kAverageImmediateLinear));
+  const auto cil = MakePolicy(ConfigFor(PolicyKind::kCurrentImmediateLinear));
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  for (double t = 1.0; t <= 10.0; t += 1.0) {
+    tracker.Observe(t, 0.4 * t, t, 1.0);
+    EXPECT_EQ(ail->Decide(tracker, t, 1.0).has_value(),
+              cil->Decide(tracker, t, 1.0).has_value())
+        << "t=" << t;
+  }
+}
+
+TEST(FixedThresholdPolicyTest, FiresAtConfiguredBound) {
+  PolicyConfig config = ConfigFor(PolicyKind::kFixedThreshold);
+  config.fixed_threshold = 2.5;
+  const auto policy = MakePolicy(config);
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  tracker.Observe(1.0, 2.4, 1.0, 1.0);
+  EXPECT_FALSE(policy->Decide(tracker, 1.0, 1.0).has_value());
+  tracker.Observe(2.0, 2.5, 2.0, 1.0);
+  const auto decision = policy->Decide(tracker, 2.0, 0.9);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_DOUBLE_EQ(decision->declared_speed, 0.9);
+}
+
+TEST(FixedThresholdPolicyTest, IndependentOfUpdateCost) {
+  // The weakness the paper points out: B ignores C.
+  PolicyConfig cheap = ConfigFor(PolicyKind::kFixedThreshold, 0.1);
+  cheap.fixed_threshold = 2.0;
+  PolicyConfig expensive = ConfigFor(PolicyKind::kFixedThreshold, 100.0);
+  expensive.fixed_threshold = 2.0;
+  const auto a = MakePolicy(cheap);
+  const auto b = MakePolicy(expensive);
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  tracker.Observe(1.0, 3.0, 1.0, 1.0);
+  EXPECT_EQ(a->Decide(tracker, 1.0, 1.0).has_value(),
+            b->Decide(tracker, 1.0, 1.0).has_value());
+}
+
+TEST(PeriodicPolicyTest, ReportsEveryPeriod) {
+  PolicyConfig config = ConfigFor(PolicyKind::kPeriodic);
+  config.period = 2.0;
+  const auto policy = MakePolicy(config);
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  policy->OnUpdateSent(0.0);
+  tracker.Observe(1.0, 0.5, 1.0, 1.0);
+  EXPECT_FALSE(policy->Decide(tracker, 1.0, 1.0).has_value());
+  tracker.Observe(2.0, 1.0, 2.0, 1.0);
+  const auto decision = policy->Decide(tracker, 2.0, 1.0);
+  ASSERT_TRUE(decision.has_value());
+  // Traditional method: declared speed 0 (no motion model).
+  EXPECT_DOUBLE_EQ(decision->declared_speed, 0.0);
+  policy->OnUpdateSent(2.0);
+  tracker.Observe(3.0, 0.5, 3.0, 1.0);
+  EXPECT_FALSE(policy->Decide(tracker, 3.0, 1.0).has_value());
+}
+
+TEST(PeriodicPolicyTest, FiresRegardlessOfDeviation) {
+  PolicyConfig config = ConfigFor(PolicyKind::kPeriodic);
+  config.period = 1.0;
+  const auto policy = MakePolicy(config);
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  policy->OnUpdateSent(0.0);
+  tracker.Observe(1.0, 0.0, 1.0, 1.0);  // zero deviation
+  EXPECT_TRUE(policy->Decide(tracker, 1.0, 1.0).has_value());
+}
+
+TEST(HybridPolicyTest, SteadySpeedUsesDlMode) {
+  PolicyConfig config = ConfigFor(PolicyKind::kHybridAdaptive);
+  const auto policy = MakePolicy(config);
+  auto* hybrid = static_cast<HybridAdaptivePolicy*>(policy.get());
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  // Constant speed (cv = 0) with a growing deviation.
+  for (double t = 1.0; t <= 3.0; t += 1.0) {
+    tracker.Observe(t, 0.4 * t, t, 1.0);
+    policy->Decide(tracker, t, 1.0);
+  }
+  EXPECT_FALSE(hybrid->in_ail_mode());
+}
+
+TEST(HybridPolicyTest, FluctuatingSpeedUsesAilMode) {
+  PolicyConfig config = ConfigFor(PolicyKind::kHybridAdaptive);
+  config.hybrid_cv_switch = 0.3;
+  const auto policy = MakePolicy(config);
+  auto* hybrid = static_cast<HybridAdaptivePolicy*>(policy.get());
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  // Stop-and-go speeds: 2, 0, 2, 0 -> cv = 1.
+  double dist = 0.0;
+  for (int i = 1; i <= 4; ++i) {
+    const double v = (i % 2 == 1) ? 2.0 : 0.0;
+    dist += v;
+    tracker.Observe(i, 0.3 * i, dist, v);
+    policy->Decide(tracker, i, v);
+  }
+  EXPECT_TRUE(hybrid->in_ail_mode());
+}
+
+TEST(HybridPolicyTest, AilModeDeclaresAverageSpeed) {
+  PolicyConfig config = ConfigFor(PolicyKind::kHybridAdaptive, 0.5);
+  const auto policy = MakePolicy(config);
+  DeviationTracker tracker;
+  tracker.Reset(0.0, 0.0);
+  double dist = 0.0;
+  std::optional<UpdateDecision> decision;
+  for (int i = 1; i <= 6 && !decision; ++i) {
+    const double v = (i % 2 == 1) ? 2.0 : 0.0;
+    dist += v;
+    tracker.Observe(i, 0.5 * i, dist, v);
+    decision = policy->Decide(tracker, i, v);
+  }
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_NEAR(decision->declared_speed, 1.0, 0.35);  // near the mean speed
+}
+
+}  // namespace
+}  // namespace modb::core

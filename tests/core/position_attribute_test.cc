@@ -1,0 +1,92 @@
+#include "core/position_attribute.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::core {
+namespace {
+
+geo::Route MakeRoute() {
+  // L-shaped route of length 20.
+  return geo::Route(7, geo::Polyline({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}}));
+}
+
+PositionAttribute MakeAttr() {
+  PositionAttribute attr;
+  attr.start_time = 5.0;
+  attr.route = 7;
+  attr.start_route_distance = 2.0;
+  attr.start_position = {2.0, 0.0};
+  attr.direction = TravelDirection::kForward;
+  attr.speed = 1.0;
+  return attr;
+}
+
+TEST(PolicyKindNameTest, AllNames) {
+  EXPECT_EQ(PolicyKindName(PolicyKind::kDelayedLinear), "dl");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kAverageImmediateLinear), "ail");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kCurrentImmediateLinear), "cil");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kFixedThreshold), "fixed");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kPeriodic), "periodic");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kHybridAdaptive), "hybrid");
+}
+
+TEST(PositionAttributeTest, DatabaseDistanceAtStartTime) {
+  const PositionAttribute attr = MakeAttr();
+  EXPECT_DOUBLE_EQ(attr.DatabaseRouteDistanceAt(5.0), 2.0);
+}
+
+TEST(PositionAttributeTest, DatabaseDistanceAdvancesLinearly) {
+  // Paper §2: database position at starttime + t0 is at route-distance
+  // P.speed * t0 from the start position.
+  const PositionAttribute attr = MakeAttr();
+  EXPECT_DOUBLE_EQ(attr.DatabaseRouteDistanceAt(8.0), 5.0);
+  EXPECT_DOUBLE_EQ(attr.DatabaseRouteDistanceAt(15.0), 12.0);
+}
+
+TEST(PositionAttributeTest, BackwardDirectionDecreasesDistance) {
+  PositionAttribute attr = MakeAttr();
+  attr.direction = TravelDirection::kBackward;
+  attr.start_route_distance = 10.0;
+  EXPECT_DOUBLE_EQ(attr.DatabaseRouteDistanceAt(8.0), 7.0);
+}
+
+TEST(PositionAttributeTest, ClampedAtRouteEnds) {
+  const geo::Route route = MakeRoute();
+  PositionAttribute attr = MakeAttr();
+  EXPECT_DOUBLE_EQ(attr.ClampedDatabaseRouteDistanceAt(100.0, route.Length()),
+                   20.0);
+  attr.direction = TravelDirection::kBackward;
+  EXPECT_DOUBLE_EQ(attr.ClampedDatabaseRouteDistanceAt(100.0, route.Length()),
+                   0.0);
+}
+
+TEST(PositionAttributeTest, DatabasePositionFollowsRouteGeometry) {
+  const geo::Route route = MakeRoute();
+  const PositionAttribute attr = MakeAttr();
+  // At t=13, distance = 2 + 8 = 10 -> the corner (10, 0).
+  EXPECT_TRUE(geo::ApproxEqual(attr.DatabasePositionAt(route, 13.0),
+                               {10.0, 0.0}));
+  // At t=18, distance = 15 -> (10, 5) on the vertical leg.
+  EXPECT_TRUE(geo::ApproxEqual(attr.DatabasePositionAt(route, 18.0),
+                               {10.0, 5.0}));
+}
+
+TEST(PositionAttributeTest, ZeroSpeedIsStationary) {
+  PositionAttribute attr = MakeAttr();
+  attr.speed = 0.0;
+  EXPECT_DOUBLE_EQ(attr.DatabaseRouteDistanceAt(1000.0), 2.0);
+}
+
+TEST(PositionAttributeTest, ToStringMentionsKeyFields) {
+  const std::string s = MakeAttr().ToString();
+  EXPECT_NE(s.find("route=7"), std::string::npos);
+  EXPECT_NE(s.find("v=1.000"), std::string::npos);
+}
+
+TEST(DirectionSignTest, Values) {
+  EXPECT_EQ(DirectionSign(TravelDirection::kForward), 1.0);
+  EXPECT_EQ(DirectionSign(TravelDirection::kBackward), -1.0);
+}
+
+}  // namespace
+}  // namespace modb::core

@@ -1,0 +1,111 @@
+// Tests of the MAY-answer probability refinement: position uniform over
+// the uncertainty interval, in-polygon probability = in-polygon fraction
+// of the interval's arc length.
+
+#include <gtest/gtest.h>
+
+#include "core/uncertainty.h"
+#include "db/mod_database.h"
+
+namespace modb::core {
+namespace {
+
+geo::Route StraightRoute(double length = 100.0) {
+  return geo::Route(0, geo::Polyline({{0.0, 0.0}, {length, 0.0}}));
+}
+
+TEST(ProbabilityInPolygonTest, FullyInsideIsOne) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -1.0, 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityInPolygon({10.0, 20.0}, route, region), 1.0);
+}
+
+TEST(ProbabilityInPolygonTest, FullyOutsideIsZero) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -1.0, 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityInPolygon({60.0, 80.0}, route, region), 0.0);
+}
+
+TEST(ProbabilityInPolygonTest, StraddlingFraction) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -1.0, 50.0, 1.0);
+  // Interval [40, 60]: half inside.
+  EXPECT_NEAR(ProbabilityInPolygon({40.0, 60.0}, route, region), 0.5, 1e-9);
+  // Interval [45, 65]: a quarter inside.
+  EXPECT_NEAR(ProbabilityInPolygon({45.0, 65.0}, route, region), 0.25, 1e-9);
+}
+
+TEST(ProbabilityInPolygonTest, DegenerateInterval) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -1.0, 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityInPolygon({10.0, 10.0}, route, region), 1.0);
+  EXPECT_DOUBLE_EQ(ProbabilityInPolygon({70.0, 70.0}, route, region), 0.0);
+}
+
+TEST(ProbabilityInPolygonTest, RouteDippingOutOfRegion) {
+  // U-shaped route: middle third outside the region.
+  const geo::Route route(
+      0, geo::Polyline({{0.0, 0.0}, {10.0, 0.0}, {10.0, -10.0},
+                        {20.0, -10.0}, {20.0, 0.0}, {30.0, 0.0}}));
+  const geo::Polygon region = geo::Polygon::Rectangle(-1.0, -1.0, 31.0, 1.0);
+  // Interval covering the whole 50-length route: inside on the two
+  // horizontal arms (10 + 10) plus the 1-unit verticals inside y >= -1
+  // (1 + 1) = 22 of 50.
+  EXPECT_NEAR(ProbabilityInPolygon({0.0, 50.0}, route, region), 22.0 / 50.0,
+              1e-9);
+}
+
+TEST(ProbabilityInPolygonTest, ConsistentWithClassification) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(20.0, -1.0, 40.0, 1.0);
+  for (double lo = 0.0; lo <= 50.0; lo += 2.5) {
+    const UncertaintyInterval iv{lo, lo + 7.5};
+    const double p = ProbabilityInPolygon(iv, route, region);
+    switch (ClassifyAgainstPolygon(iv, route, region)) {
+      case RegionRelation::kMustBeIn:
+        EXPECT_DOUBLE_EQ(p, 1.0) << "lo=" << lo;
+        break;
+      case RegionRelation::kOutside:
+        EXPECT_DOUBLE_EQ(p, 0.0) << "lo=" << lo;
+        break;
+      case RegionRelation::kMayBeIn:
+        // A boundary-touching MAY has measure-zero overlap: p may be 0.
+        EXPECT_GE(p, 0.0) << "lo=" << lo;
+        EXPECT_LT(p, 1.0) << "lo=" << lo;
+        break;
+    }
+  }
+}
+
+TEST(RangeAnswerProbabilityTest, ParallelArraysFromDatabase) {
+  geo::RouteNetwork network;
+  const geo::RouteId street =
+      network.AddStraightRoute({0.0, 0.0}, {200.0, 0.0});
+  db::ModDatabase db(&network);
+  // Three parked objects: deep inside, straddling, outside.
+  for (const auto& [id, s] : std::vector<std::pair<ObjectId, double>>{
+           {1, 50.0}, {2, 99.0}, {3, 150.0}}) {
+    PositionAttribute attr;
+    attr.route = street;
+    attr.start_route_distance = s;
+    attr.start_position = {s, 0.0};
+    attr.speed = 0.0;
+    attr.update_cost = 5.0;
+    attr.max_speed = 1.5;
+    attr.policy = PolicyKind::kAverageImmediateLinear;
+    ASSERT_TRUE(db.Insert(id, "", attr).ok());
+  }
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -1.0, 100.0, 1.0);
+  // t=2: fast bound = min(5, 3) = 3 -> intervals [s, s+3].
+  const db::RangeAnswer answer = db.QueryRange(region, 2.0);
+  ASSERT_EQ(answer.must.size(), 1u);
+  EXPECT_EQ(answer.must[0], 1u);
+  ASSERT_EQ(answer.may.size(), 1u);
+  EXPECT_EQ(answer.may[0], 2u);
+  ASSERT_EQ(answer.may_probability.size(), 1u);
+  // Object 2's interval [99, 102]: 1 of 3 inside.
+  EXPECT_NEAR(answer.may_probability[0], 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace modb::core

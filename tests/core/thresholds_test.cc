@@ -1,0 +1,133 @@
+#include "core/thresholds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace modb::core {
+namespace {
+
+TEST(ThresholdTest, PaperExample1) {
+  // Paper Example 1: a = 1, b = 2, C = 5 -> k_opt = sqrt(14) - 2 = 1.74.
+  const double k = OptimalThresholdDelayedLinear(1.0, 2.0, 5.0);
+  EXPECT_NEAR(k, std::sqrt(14.0) - 2.0, 1e-12);
+  EXPECT_NEAR(k, 1.74, 0.005);
+}
+
+TEST(ThresholdTest, ImmediateSpecialCase) {
+  // b = 0 reduces to sqrt(2aC).
+  EXPECT_DOUBLE_EQ(OptimalThresholdDelayedLinear(2.0, 0.0, 9.0),
+                   OptimalThresholdImmediateLinear(2.0, 9.0));
+  EXPECT_DOUBLE_EQ(OptimalThresholdImmediateLinear(2.0, 9.0), 6.0);
+}
+
+TEST(ThresholdTest, ZeroSlopeNeverUpdates) {
+  EXPECT_EQ(OptimalThresholdDelayedLinear(0.0, 5.0, 10.0), 0.0);
+  EXPECT_EQ(OptimalThresholdImmediateLinear(0.0, 10.0), 0.0);
+}
+
+TEST(ThresholdTest, ZeroUpdateCostMeansUpdateImmediately) {
+  EXPECT_DOUBLE_EQ(OptimalThresholdDelayedLinear(1.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(OptimalThresholdImmediateLinear(1.0, 0.0), 0.0);
+}
+
+TEST(ThresholdTest, DelayedLowerThanImmediate) {
+  // Paper §3.2: for b > 0, k_opt^{a,b} <= k_opt^{a,0}.
+  for (double a : {0.2, 1.0, 3.0}) {
+    for (double b : {0.5, 2.0, 10.0}) {
+      for (double C : {1.0, 5.0, 20.0}) {
+        EXPECT_LE(OptimalThresholdDelayedLinear(a, b, C),
+                  OptimalThresholdImmediateLinear(a, C) + 1e-12)
+            << "a=" << a << " b=" << b << " C=" << C;
+      }
+    }
+  }
+}
+
+TEST(ThresholdTest, MonotoneInSlopeAndCost) {
+  // Threshold grows with the slope and with the update cost.
+  EXPECT_LT(OptimalThresholdDelayedLinear(1.0, 2.0, 5.0),
+            OptimalThresholdDelayedLinear(2.0, 2.0, 5.0));
+  EXPECT_LT(OptimalThresholdDelayedLinear(1.0, 2.0, 5.0),
+            OptimalThresholdDelayedLinear(1.0, 2.0, 10.0));
+  // ... and shrinks as the delay grows.
+  EXPECT_GT(OptimalThresholdDelayedLinear(1.0, 1.0, 5.0),
+            OptimalThresholdDelayedLinear(1.0, 4.0, 5.0));
+}
+
+TEST(CostPerTimeUnitTest, KnownValue) {
+  // a=1, b=0, C=5, k=sqrt(10): cycle length sqrt(10), cycle cost 5+5=10.
+  const double k = std::sqrt(10.0);
+  EXPECT_NEAR(CostPerTimeUnitDelayedLinear(k, 1.0, 0.0, 5.0),
+              10.0 / std::sqrt(10.0), 1e-12);
+}
+
+// Property: Proposition 1 — k_opt minimises the cost per time unit over a
+// dense grid of alternative thresholds, across a parameter sweep.
+class Proposition1Property
+    : public testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(Proposition1Property, OptimalThresholdMinimisesCost) {
+  const auto [a, b, C] = GetParam();
+  const double k_opt = OptimalThresholdDelayedLinear(a, b, C);
+  ASSERT_GT(k_opt, 0.0);
+  const double best = CostPerTimeUnitDelayedLinear(k_opt, a, b, C);
+  for (int i = 1; i <= 400; ++i) {
+    const double k = k_opt * 4.0 * i / 400.0;
+    if (k <= 0.0) continue;
+    EXPECT_GE(CostPerTimeUnitDelayedLinear(k, a, b, C), best - 1e-9)
+        << "a=" << a << " b=" << b << " C=" << C << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlopeDelayCostGrid, Proposition1Property,
+    testing::Combine(testing::Values(0.1, 0.5, 1.0, 2.0, 5.0),
+                     testing::Values(0.0, 0.5, 2.0, 8.0),
+                     testing::Values(0.5, 5.0, 50.0)));
+
+// Property: the first-order condition holds — the derivative of the cost at
+// k_opt vanishes (checked by symmetric finite differences).
+TEST(Proposition1Test, StationaryPoint) {
+  const double a = 1.3;
+  const double b = 2.7;
+  const double C = 7.0;
+  const double k = OptimalThresholdDelayedLinear(a, b, C);
+  const double h = 1e-6;
+  const double deriv = (CostPerTimeUnitDelayedLinear(k + h, a, b, C) -
+                        CostPerTimeUnitDelayedLinear(k - h, a, b, C)) /
+                       (2.0 * h);
+  EXPECT_NEAR(deriv, 0.0, 1e-6);
+}
+
+TEST(ImmediateSimpleFitThresholdTest, Equation3) {
+  // Paper eq. (3): k_opt = 2C / t under simple fitting.
+  EXPECT_DOUBLE_EQ(ImmediateSimpleFitThreshold(5.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(ImmediateSimpleFitThreshold(5.0, 10.0), 1.0);
+  EXPECT_TRUE(std::isinf(ImmediateSimpleFitThreshold(5.0, 0.0)));
+}
+
+TEST(ImmediateSimpleFitThresholdTest, ConsistentWithSqrtForm) {
+  // k >= sqrt(2aC) with a = k/t iff k >= 2C/t: at equality both forms agree.
+  const double C = 5.0;
+  const double t = 4.0;
+  const double k = ImmediateSimpleFitThreshold(C, t);  // 2C/t
+  const double a = k / t;
+  EXPECT_NEAR(k, OptimalThresholdImmediateLinear(a, C), 1e-12);
+}
+
+TEST(ImmediateSimpleFitThresholdTest, DecreasesOverTime) {
+  // Paper: the threshold decreases as time passes without an update, so an
+  // update may fire even while the deviation is decreasing.
+  double prev = std::numeric_limits<double>::infinity();
+  for (double t = 1.0; t <= 32.0; t *= 2.0) {
+    const double k = ImmediateSimpleFitThreshold(3.0, t);
+    EXPECT_LT(k, prev);
+    prev = k;
+  }
+}
+
+}  // namespace
+}  // namespace modb::core

@@ -1,0 +1,89 @@
+// Tests of ComputeUncertaintySpan: the smallest interval covering the
+// uncertainty interval at every instant of a time window (used by the
+// o-plane builder and window queries). The span must cover a dense time
+// sampling exactly (the critical-time construction makes it exact, not
+// merely conservative).
+
+#include <gtest/gtest.h>
+
+#include "core/uncertainty.h"
+
+namespace modb::core {
+namespace {
+
+geo::Route StraightRoute(double length = 1000.0) {
+  return geo::Route(0, geo::Polyline({{0.0, 0.0}, {length, 0.0}}));
+}
+
+PositionAttribute MakeAttr(PolicyKind kind) {
+  PositionAttribute attr;
+  attr.start_time = 5.0;
+  attr.route = 0;
+  attr.start_route_distance = 100.0;
+  attr.start_position = {100.0, 0.0};
+  attr.speed = 1.0;
+  attr.update_cost = 5.0;
+  attr.max_speed = 1.5;
+  attr.policy = kind;
+  attr.fixed_threshold = 2.0;
+  attr.period = 1.0;
+  attr.step_threshold = 1.5;
+  return attr;
+}
+
+class UncertaintySpanTest : public testing::TestWithParam<PolicyKind> {};
+
+TEST_P(UncertaintySpanTest, CoversDenseSamplingExactly) {
+  const geo::Route route = StraightRoute();
+  const PositionAttribute attr = MakeAttr(GetParam());
+  for (const auto& [t1, t2] : std::vector<std::pair<Time, Time>>{
+           {5.0, 6.0}, {5.0, 25.0}, {7.0, 9.0}, {6.5, 18.25}, {10.0, 40.0}}) {
+    const UncertaintyInterval span =
+        ComputeUncertaintySpan(attr, route, t1, t2);
+    double lo = 1e300;
+    double hi = -1e300;
+    for (double t = t1; t <= t2 + 1e-12; t += 0.001) {
+      const UncertaintyInterval iv = ComputeUncertainty(attr, route, t);
+      lo = std::min(lo, iv.lo);
+      hi = std::max(hi, iv.hi);
+    }
+    // Exact within dense-sampling resolution.
+    EXPECT_NEAR(span.lo, lo, 2e-3) << "window [" << t1 << ", " << t2 << "]";
+    EXPECT_NEAR(span.hi, hi, 2e-3) << "window [" << t1 << ", " << t2 << "]";
+    // Never under-covers.
+    EXPECT_LE(span.lo, lo + 1e-12);
+    EXPECT_GE(span.hi, hi - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, UncertaintySpanTest,
+    testing::Values(PolicyKind::kDelayedLinear,
+                    PolicyKind::kAverageImmediateLinear,
+                    PolicyKind::kCurrentImmediateLinear,
+                    PolicyKind::kFixedThreshold, PolicyKind::kPeriodic,
+                    PolicyKind::kHybridAdaptive, PolicyKind::kStepThreshold),
+    [](const testing::TestParamInfo<PolicyKind>& info) {
+      return std::string(PolicyKindName(info.param));
+    });
+
+TEST(UncertaintySpanEdgeTest, ReversedWindowNormalised) {
+  const geo::Route route = StraightRoute();
+  const PositionAttribute attr = MakeAttr(PolicyKind::kDelayedLinear);
+  const UncertaintyInterval a = ComputeUncertaintySpan(attr, route, 6.0, 12.0);
+  const UncertaintyInterval b = ComputeUncertaintySpan(attr, route, 12.0, 6.0);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(UncertaintySpanEdgeTest, PointWindowEqualsInstant) {
+  const geo::Route route = StraightRoute();
+  const PositionAttribute attr = MakeAttr(PolicyKind::kAverageImmediateLinear);
+  const UncertaintyInterval instant = ComputeUncertainty(attr, route, 9.0);
+  const UncertaintyInterval span = ComputeUncertaintySpan(attr, route, 9.0, 9.0);
+  EXPECT_DOUBLE_EQ(span.lo, instant.lo);
+  EXPECT_DOUBLE_EQ(span.hi, instant.hi);
+}
+
+}  // namespace
+}  // namespace modb::core

@@ -1,0 +1,159 @@
+#include "core/uncertainty.h"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+
+namespace modb::core {
+namespace {
+
+geo::Route StraightRoute(double length = 100.0) {
+  return geo::Route(0, geo::Polyline({{0.0, 0.0}, {length, 0.0}}));
+}
+
+PositionAttribute MakeAttr(PolicyKind kind = PolicyKind::kDelayedLinear) {
+  PositionAttribute attr;
+  attr.start_time = 0.0;
+  attr.route = 0;
+  attr.start_route_distance = 20.0;
+  attr.start_position = {20.0, 0.0};
+  attr.speed = 1.0;
+  attr.update_cost = 5.0;
+  attr.max_speed = 1.5;
+  attr.policy = kind;
+  return attr;
+}
+
+TEST(UncertaintyIntervalTest, WidthAndContains) {
+  const UncertaintyInterval iv{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(iv.Width(), 3.0);
+  EXPECT_TRUE(iv.ContainsDistance(2.0));
+  EXPECT_TRUE(iv.ContainsDistance(3.5));
+  EXPECT_TRUE(iv.ContainsDistance(5.0));
+  EXPECT_FALSE(iv.ContainsDistance(5.1));
+}
+
+TEST(ComputeUncertaintyTest, ZeroAtUpdateTime) {
+  const geo::Route route = StraightRoute();
+  const UncertaintyInterval iv = ComputeUncertainty(MakeAttr(), route, 0.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 20.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 20.0);
+}
+
+TEST(ComputeUncertaintyTest, ForwardIntervalBracketsDatabasePosition) {
+  const geo::Route route = StraightRoute();
+  const PositionAttribute attr = MakeAttr();
+  const Time t = 2.0;
+  const UncertaintyInterval iv = ComputeUncertainty(attr, route, t);
+  const double db = attr.DatabaseRouteDistanceAt(t);  // 22
+  EXPECT_DOUBLE_EQ(db, 22.0);
+  EXPECT_DOUBLE_EQ(iv.lo, db - DlSlowBound(1.0, 5.0, 2.0));   // 20
+  EXPECT_DOUBLE_EQ(iv.hi, db + DlFastBound(1.5, 1.0, 5.0, 2.0));  // 23
+  EXPECT_LE(iv.lo, db);
+  EXPECT_GE(iv.hi, db);
+}
+
+TEST(ComputeUncertaintyTest, BackwardDirectionMirrorsBounds) {
+  const geo::Route route = StraightRoute();
+  PositionAttribute attr = MakeAttr();
+  attr.direction = TravelDirection::kBackward;
+  attr.start_route_distance = 80.0;
+  const Time t = 2.0;
+  const UncertaintyInterval iv = ComputeUncertainty(attr, route, t);
+  const double db = attr.DatabaseRouteDistanceAt(t);  // 78
+  // Travelling toward decreasing distance: "slow" (behind) is at larger
+  // route distance, "fast" (ahead) at smaller.
+  EXPECT_DOUBLE_EQ(iv.hi, db + DlSlowBound(1.0, 5.0, 2.0));
+  EXPECT_DOUBLE_EQ(iv.lo, db - DlFastBound(1.5, 1.0, 5.0, 2.0));
+}
+
+TEST(ComputeUncertaintyTest, ClampsToRouteEnds) {
+  const geo::Route route = StraightRoute(25.0);
+  const PositionAttribute attr = MakeAttr();
+  // At t = 10 the database position (30) is past the route end.
+  const UncertaintyInterval iv = ComputeUncertainty(attr, route, 10.0);
+  EXPECT_GE(iv.lo, 0.0);
+  EXPECT_LE(iv.hi, 25.0);
+  EXPECT_LE(iv.lo, iv.hi);
+}
+
+TEST(ComputeUncertaintyTest, QueryBeforeStartTimeIsPointInterval) {
+  const geo::Route route = StraightRoute();
+  const UncertaintyInterval iv = ComputeUncertainty(MakeAttr(), route, -5.0);
+  EXPECT_DOUBLE_EQ(iv.Width(), 0.0);
+}
+
+TEST(ComputeUncertaintyTest, ImmediatePolicyShrinksForLargeT) {
+  const geo::Route route = StraightRoute(1000.0);
+  const PositionAttribute attr =
+      MakeAttr(PolicyKind::kAverageImmediateLinear);
+  const double w_peak =
+      ComputeUncertainty(attr, route, 3.2).Width();
+  const double w_late =
+      ComputeUncertainty(attr, route, 30.0).Width();
+  EXPECT_LT(w_late, w_peak);
+}
+
+TEST(RegionRelationNameTest, Names) {
+  EXPECT_EQ(RegionRelationName(RegionRelation::kMustBeIn), "must");
+  EXPECT_EQ(RegionRelationName(RegionRelation::kMayBeIn), "may");
+  EXPECT_EQ(RegionRelationName(RegionRelation::kOutside), "outside");
+}
+
+TEST(ClassifyTest, MustWhenWholeIntervalInside) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(10.0, -1.0, 30.0, 1.0);
+  EXPECT_EQ(ClassifyAgainstPolygon({15.0, 25.0}, route, region),
+            RegionRelation::kMustBeIn);
+}
+
+TEST(ClassifyTest, MayWhenPartiallyInside) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(10.0, -1.0, 30.0, 1.0);
+  EXPECT_EQ(ClassifyAgainstPolygon({25.0, 40.0}, route, region),
+            RegionRelation::kMayBeIn);
+  EXPECT_EQ(ClassifyAgainstPolygon({5.0, 15.0}, route, region),
+            RegionRelation::kMayBeIn);
+  // Interval covering the whole region still only "may" be inside.
+  EXPECT_EQ(ClassifyAgainstPolygon({5.0, 40.0}, route, region),
+            RegionRelation::kMayBeIn);
+}
+
+TEST(ClassifyTest, OutsideWhenDisjoint) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(10.0, -1.0, 30.0, 1.0);
+  EXPECT_EQ(ClassifyAgainstPolygon({40.0, 50.0}, route, region),
+            RegionRelation::kOutside);
+  EXPECT_EQ(ClassifyAgainstPolygon({0.0, 5.0}, route, region),
+            RegionRelation::kOutside);
+}
+
+TEST(ClassifyTest, PointIntervalClassification) {
+  const geo::Route route = StraightRoute();
+  const geo::Polygon region = geo::Polygon::Rectangle(10.0, -1.0, 30.0, 1.0);
+  EXPECT_EQ(ClassifyAgainstPolygon({20.0, 20.0}, route, region),
+            RegionRelation::kMustBeIn);
+  EXPECT_EQ(ClassifyAgainstPolygon({50.0, 50.0}, route, region),
+            RegionRelation::kOutside);
+}
+
+TEST(ClassifyTest, RouteLeavingAndReenteringPolygon) {
+  // U-shaped route dips below the polygon between two inside stretches.
+  const geo::Route route(
+      1, geo::Polyline(
+             {{0.0, 0.0}, {10.0, 0.0}, {10.0, -10.0}, {20.0, -10.0},
+              {20.0, 0.0}, {30.0, 0.0}}));
+  const geo::Polygon region = geo::Polygon::Rectangle(-1.0, -1.0, 31.0, 1.0);
+  // Interval spanning the dip: intersects but is not contained.
+  EXPECT_EQ(ClassifyAgainstPolygon({5.0, route.Length() - 5.0}, route, region),
+            RegionRelation::kMayBeIn);
+  // Interval inside the first stretch.
+  EXPECT_EQ(ClassifyAgainstPolygon({1.0, 8.0}, route, region),
+            RegionRelation::kMustBeIn);
+  // Interval fully in the dip.
+  EXPECT_EQ(ClassifyAgainstPolygon({15.0, 25.0}, route, region),
+            RegionRelation::kOutside);
+}
+
+}  // namespace
+}  // namespace modb::core

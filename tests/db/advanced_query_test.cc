@@ -1,0 +1,242 @@
+// Tests of the extended query forms: k-nearest-neighbour with
+// uncertainty-aware distance brackets, bulk insertion, and time-window
+// range queries (the future-time query family §4.2 enables).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "db/mod_database.h"
+#include "util/rng.h"
+
+namespace modb::db {
+namespace {
+
+class AdvancedQueryTest : public testing::Test {
+ protected:
+  AdvancedQueryTest() {
+    street_ = network_.AddStraightRoute({0.0, 0.0}, {400.0, 0.0}, "street");
+    avenue_ = network_.AddStraightRoute({0.0, 30.0}, {400.0, 30.0}, "avenue");
+  }
+
+  core::PositionAttribute Attr(geo::RouteId route, double s,
+                               double v = 0.0) const {
+    core::PositionAttribute attr;
+    attr.route = route;
+    attr.start_route_distance = s;
+    attr.start_position = network_.route(route).PointAt(s);
+    attr.speed = v;
+    attr.update_cost = 5.0;
+    attr.max_speed = 1.5;
+    attr.policy = core::PolicyKind::kAverageImmediateLinear;
+    return attr;
+  }
+
+  geo::RouteNetwork network_;
+  geo::RouteId street_ = geo::kInvalidRouteId;
+  geo::RouteId avenue_ = geo::kInvalidRouteId;
+};
+
+TEST_F(AdvancedQueryTest, NearestOrdersByDatabaseDistance) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "near", Attr(street_, 100.0)).ok());
+  ASSERT_TRUE(db.Insert(2, "mid", Attr(street_, 130.0)).ok());
+  ASSERT_TRUE(db.Insert(3, "far", Attr(street_, 300.0)).ok());
+  const NearestAnswer answer = db.QueryNearest({100.0, 0.0}, 2, 0.0);
+  ASSERT_EQ(answer.items.size(), 2u);
+  EXPECT_EQ(answer.items[0].id, 1u);
+  EXPECT_DOUBLE_EQ(answer.items[0].db_distance, 0.0);
+  EXPECT_EQ(answer.items[1].id, 2u);
+  EXPECT_DOUBLE_EQ(answer.items[1].db_distance, 30.0);
+}
+
+TEST_F(AdvancedQueryTest, NearestDistanceBracketsCoverTruth) {
+  ModDatabase db(&network_);
+  // Parked at 100 with ail: at t=2 the interval is [100-0, 100+1.5*...];
+  // parked speed 0 -> slow 0, fast = min(2C/t, 1.5t).
+  ASSERT_TRUE(db.Insert(1, "p", Attr(street_, 100.0, 0.0)).ok());
+  const NearestAnswer answer = db.QueryNearest({90.0, 0.0}, 1, 2.0);
+  ASSERT_EQ(answer.items.size(), 1u);
+  const auto& item = answer.items[0];
+  EXPECT_DOUBLE_EQ(item.db_distance, 10.0);
+  EXPECT_LE(item.min_possible_distance, item.db_distance);
+  EXPECT_GE(item.max_possible_distance, item.db_distance);
+  // fast bound at t=2: min(5, 3) = 3 -> interval [100, 103]:
+  EXPECT_DOUBLE_EQ(item.min_possible_distance, 10.0);
+  EXPECT_DOUBLE_EQ(item.max_possible_distance, 13.0);
+}
+
+TEST_F(AdvancedQueryTest, NearestFindsFringeObjects) {
+  // An object just outside the first expanding probe must still beat a
+  // candidate found early. Place many decoys far away and the winner at a
+  // fringe position.
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "winner", Attr(street_, 210.0)).ok());
+  for (core::ObjectId id = 2; id < 8; ++id) {
+    ASSERT_TRUE(
+        db.Insert(id, "decoy", Attr(street_, 250.0 + 10.0 * id)).ok());
+  }
+  const NearestAnswer answer = db.QueryNearest({200.0, 0.0}, 3, 0.0);
+  ASSERT_GE(answer.items.size(), 3u);
+  EXPECT_EQ(answer.items[0].id, 1u);
+}
+
+TEST_F(AdvancedQueryTest, NearestAcrossRoutes) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "on-street", Attr(street_, 100.0)).ok());
+  ASSERT_TRUE(db.Insert(2, "on-avenue", Attr(avenue_, 100.0)).ok());
+  // Query point between the parallel roads, slightly closer to the avenue.
+  const NearestAnswer answer = db.QueryNearest({100.0, 20.0}, 2, 0.0);
+  ASSERT_EQ(answer.items.size(), 2u);
+  EXPECT_EQ(answer.items[0].id, 2u);
+  EXPECT_DOUBLE_EQ(answer.items[0].db_distance, 10.0);
+  EXPECT_DOUBLE_EQ(answer.items[1].db_distance, 20.0);
+}
+
+TEST_F(AdvancedQueryTest, NearestEdgeCases) {
+  ModDatabase db(&network_);
+  EXPECT_TRUE(db.QueryNearest({0.0, 0.0}, 3, 0.0).items.empty());
+  ASSERT_TRUE(db.Insert(1, "only", Attr(street_, 10.0)).ok());
+  EXPECT_TRUE(db.QueryNearest({0.0, 0.0}, 0, 0.0).items.empty());
+  // k larger than the database: returns everything.
+  const NearestAnswer all = db.QueryNearest({0.0, 0.0}, 10, 0.0);
+  EXPECT_EQ(all.items.size(), 1u);
+}
+
+TEST_F(AdvancedQueryTest, NearestAgreesAcrossIndexKinds) {
+  ModDatabaseOptions scan_opts;
+  scan_opts.index_kind = IndexKind::kLinearScan;
+  ModDatabase rtree_db(&network_);
+  ModDatabase scan_db(&network_, scan_opts);
+  util::Rng rng(3);
+  for (core::ObjectId id = 0; id < 40; ++id) {
+    const auto attr = Attr(id % 2 == 0 ? street_ : avenue_,
+                           rng.Uniform(0.0, 350.0), rng.Uniform(0.0, 1.2));
+    ASSERT_TRUE(rtree_db.Insert(id, "", attr).ok());
+    ASSERT_TRUE(scan_db.Insert(id, "", attr).ok());
+  }
+  for (int q = 0; q < 20; ++q) {
+    const geo::Point2 p{rng.Uniform(0.0, 400.0), rng.Uniform(-10.0, 40.0)};
+    const core::Time t = rng.Uniform(0.0, 30.0);
+    const NearestAnswer a = rtree_db.QueryNearest(p, 5, t);
+    const NearestAnswer b = scan_db.QueryNearest(p, 5, t);
+    ASSERT_EQ(a.items.size(), b.items.size()) << q;
+    for (std::size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].id, b.items[i].id) << q << " item " << i;
+      EXPECT_NEAR(a.items[i].db_distance, b.items[i].db_distance, 1e-9);
+    }
+  }
+}
+
+TEST_F(AdvancedQueryTest, BulkInsertMatchesIndividualInserts) {
+  ModDatabase bulk_db(&network_);
+  ModDatabase one_db(&network_);
+  std::vector<ModDatabase::BulkObject> batch;
+  util::Rng rng(9);
+  for (core::ObjectId id = 0; id < 50; ++id) {
+    ModDatabase::BulkObject object;
+    object.id = id;
+    object.label = "o" + std::to_string(id);
+    object.attr = Attr(street_, rng.Uniform(0.0, 390.0), rng.Uniform(0.0, 1.0));
+    ASSERT_TRUE(one_db.Insert(id, object.label, object.attr).ok());
+    batch.push_back(std::move(object));
+  }
+  ASSERT_TRUE(bulk_db.BulkInsert(std::move(batch)).ok());
+  EXPECT_EQ(bulk_db.num_objects(), 50u);
+  for (double t : {0.0, 10.0, 40.0}) {
+    const geo::Polygon region =
+        geo::Polygon::Rectangle(100.0, -1.0, 250.0, 1.0);
+    const RangeAnswer a = bulk_db.QueryRange(region, t);
+    const RangeAnswer b = one_db.QueryRange(region, t);
+    EXPECT_EQ(a.must, b.must) << t;
+    EXPECT_EQ(a.may, b.may) << t;
+  }
+}
+
+TEST_F(AdvancedQueryTest, BulkInsertValidatesAtomically) {
+  ModDatabase db(&network_);
+  std::vector<ModDatabase::BulkObject> batch;
+  batch.push_back({1, "ok", Attr(street_, 10.0)});
+  core::PositionAttribute bad = Attr(street_, 10.0);
+  bad.route = 99;  // unknown route
+  batch.push_back({2, "bad", bad});
+  EXPECT_FALSE(db.BulkInsert(std::move(batch)).ok());
+  EXPECT_EQ(db.num_objects(), 0u);  // unchanged
+
+  std::vector<ModDatabase::BulkObject> dup;
+  dup.push_back({1, "a", Attr(street_, 10.0)});
+  dup.push_back({1, "b", Attr(street_, 20.0)});
+  EXPECT_EQ(db.BulkInsert(std::move(dup)).code(),
+            util::StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.num_objects(), 0u);
+}
+
+TEST_F(AdvancedQueryTest, IntervalQueryCatchesPassingObject) {
+  ModDatabase db(&network_);
+  // Drives through [200, 210] somewhere around t = 100 (speed 1 from 100).
+  ASSERT_TRUE(db.Insert(1, "mover", Attr(street_, 100.0, 1.0)).ok());
+  const geo::Polygon region =
+      geo::Polygon::Rectangle(200.0, -1.0, 210.0, 1.0);
+  // At no sampled single instant before t=50 is it inside...
+  EXPECT_TRUE(db.QueryRange(region, 20.0).may.empty());
+  // ...but over the window [50, 150] it must pass through.
+  const IntervalRangeAnswer over = db.QueryRangeInterval(region, 50.0, 150.0);
+  ASSERT_EQ(over.may.size(), 1u);
+  EXPECT_EQ(over.may[0], 1u);
+  // A window that ends before arrival sees nothing.
+  const IntervalRangeAnswer before = db.QueryRangeInterval(region, 0.0, 30.0);
+  EXPECT_TRUE(before.may.empty());
+}
+
+TEST_F(AdvancedQueryTest, IntervalQueryMustAtSomeTime) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "mover", Attr(street_, 100.0, 1.0)).ok());
+  // A wide region the object sits deep inside around t=100.
+  const geo::Polygon wide = geo::Polygon::Rectangle(150.0, -1.0, 260.0, 1.0);
+  const IntervalRangeAnswer answer =
+      db.QueryRangeInterval(wide, 80.0, 120.0, 1.0);
+  ASSERT_EQ(answer.may.size(), 1u);
+  ASSERT_EQ(answer.must_at_some_time.size(), 1u);
+  EXPECT_EQ(answer.must_at_some_time[0], 1u);
+}
+
+TEST_F(AdvancedQueryTest, IntervalQueryAgreesAcrossIndexKinds) {
+  ModDatabaseOptions rtree_opts;
+  rtree_opts.oplane_horizon = 200.0;
+  ModDatabaseOptions scan_opts;
+  scan_opts.index_kind = IndexKind::kLinearScan;
+  ModDatabase rtree_db(&network_, rtree_opts);
+  ModDatabase scan_db(&network_, scan_opts);
+  util::Rng rng(21);
+  for (core::ObjectId id = 0; id < 30; ++id) {
+    const auto attr = Attr(id % 2 == 0 ? street_ : avenue_,
+                           rng.Uniform(0.0, 200.0), rng.Uniform(0.2, 1.2));
+    ASSERT_TRUE(rtree_db.Insert(id, "", attr).ok());
+    ASSERT_TRUE(scan_db.Insert(id, "", attr).ok());
+  }
+  for (int q = 0; q < 15; ++q) {
+    const double x0 = rng.Uniform(0.0, 350.0);
+    const geo::Polygon region =
+        geo::Polygon::Rectangle(x0, -5.0, x0 + 30.0, 35.0);
+    const double t1 = rng.Uniform(0.0, 80.0);
+    const double t2 = t1 + rng.Uniform(1.0, 60.0);
+    const IntervalRangeAnswer a = rtree_db.QueryRangeInterval(region, t1, t2);
+    const IntervalRangeAnswer b = scan_db.QueryRangeInterval(region, t1, t2);
+    EXPECT_EQ(a.may, b.may) << "q=" << q;
+    EXPECT_EQ(a.must_at_some_time, b.must_at_some_time) << "q=" << q;
+  }
+}
+
+TEST_F(AdvancedQueryTest, IntervalQuerySwapsReversedWindow) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "x", Attr(street_, 100.0, 1.0)).ok());
+  const geo::Polygon region =
+      geo::Polygon::Rectangle(90.0, -1.0, 160.0, 1.0);
+  const IntervalRangeAnswer a = db.QueryRangeInterval(region, 40.0, 10.0);
+  EXPECT_EQ(a.window_start, 10.0);
+  EXPECT_EQ(a.window_end, 40.0);
+  EXPECT_EQ(a.may.size(), 1u);
+}
+
+}  // namespace
+}  // namespace modb::db

@@ -1,0 +1,206 @@
+#include "db/query_language.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::db {
+namespace {
+
+// ---- Parser ----
+
+TEST(ParseQueryTest, PositionForm) {
+  const auto parsed = ParseQuery("POSITION OF 7 AT 6.5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<PositionQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->id, 7u);
+  EXPECT_DOUBLE_EQ(spec->time, 6.5);
+}
+
+TEST(ParseQueryTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(ParseQuery("position of 7 at 6").ok());
+  EXPECT_TRUE(ParseQuery("Select All Inside Rect(0,0,1,1) At 5").ok());
+  EXPECT_TRUE(ParseQuery("nearest 2 to point(1,2) at 3").ok());
+}
+
+TEST(ParseQueryTest, RangeAtForm) {
+  const auto parsed =
+      ParseQuery("SELECT MUST INSIDE RECT(0, -1, 20, 1) AT 6");
+  ASSERT_TRUE(parsed.ok());
+  const auto* spec = std::get_if<RangeQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->scope, RangeQuerySpec::Scope::kMust);
+  EXPECT_FALSE(spec->windowed);
+  EXPECT_DOUBLE_EQ(spec->time, 6.0);
+  EXPECT_TRUE(spec->region.Contains({10.0, 0.0}));
+  EXPECT_FALSE(spec->region.Contains({30.0, 0.0}));
+  EXPECT_EQ(spec->region_text, "RECT(0, -1, 20, 1)");
+}
+
+TEST(ParseQueryTest, RangeDuringForm) {
+  const auto parsed =
+      ParseQuery("SELECT ALL INSIDE CIRCLE(5, 5, 2) DURING 10 TO 20");
+  ASSERT_TRUE(parsed.ok());
+  const auto* spec = std::get_if<RangeQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->scope, RangeQuerySpec::Scope::kAll);
+  EXPECT_TRUE(spec->windowed);
+  EXPECT_DOUBLE_EQ(spec->time, 10.0);
+  EXPECT_DOUBLE_EQ(spec->window_end, 20.0);
+  // 32-gon inscribed in the circle.
+  EXPECT_TRUE(spec->region.Contains({5.0, 5.0}));
+  EXPECT_TRUE(spec->region.Contains({6.8, 5.0}));
+  EXPECT_FALSE(spec->region.Contains({7.2, 5.0}));
+}
+
+TEST(ParseQueryTest, NearestForm) {
+  const auto parsed = ParseQuery("NEAREST 3 TO POINT(1.5, -2) AT 12");
+  ASSERT_TRUE(parsed.ok());
+  const auto* spec = std::get_if<NearestQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->k, 3u);
+  EXPECT_EQ(spec->point, (geo::Point2{1.5, -2.0}));
+  EXPECT_DOUBLE_EQ(spec->time, 12.0);
+}
+
+TEST(ParseQueryTest, NegativeAndScientificNumbers) {
+  const auto parsed =
+      ParseQuery("SELECT ALL INSIDE RECT(-1.5, -2e1, 3.25, 1e-1) AT -4");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<RangeQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_DOUBLE_EQ(spec->time, -4.0);
+  EXPECT_TRUE(spec->region.Contains({0.0, -10.0}));
+}
+
+struct BadQueryCase {
+  const char* name;
+  const char* text;
+};
+
+class BadQueryTest : public testing::TestWithParam<BadQueryCase> {};
+
+TEST_P(BadQueryTest, Rejected) {
+  const auto parsed = ParseQuery(GetParam().text);
+  ASSERT_FALSE(parsed.ok()) << GetParam().text;
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+  // Errors carry an offset to help the user.
+  EXPECT_NE(parsed.status().message().find("offset"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grammar, BadQueryTest,
+    testing::Values(
+        BadQueryCase{"empty", ""},
+        BadQueryCase{"unknown_verb", "DELETE FROM objects"},
+        BadQueryCase{"missing_of", "POSITION 7 AT 6"},
+        BadQueryCase{"fractional_id", "POSITION OF 1.5 AT 6"},
+        BadQueryCase{"negative_id", "POSITION OF -1 AT 6"},
+        BadQueryCase{"missing_time", "POSITION OF 1 AT"},
+        BadQueryCase{"bad_scope", "SELECT SOME INSIDE RECT(0,0,1,1) AT 5"},
+        BadQueryCase{"bad_region", "SELECT ALL INSIDE TRIANGLE(0,0,1) AT 5"},
+        BadQueryCase{"missing_paren", "SELECT ALL INSIDE RECT(0,0,1,1 AT 5"},
+        BadQueryCase{"too_few_args", "SELECT ALL INSIDE RECT(0,0,1) AT 5"},
+        BadQueryCase{"zero_radius", "SELECT ALL INSIDE CIRCLE(0,0,0) AT 5"},
+        BadQueryCase{"missing_when", "SELECT ALL INSIDE RECT(0,0,1,1)"},
+        BadQueryCase{"during_missing_to",
+                     "SELECT ALL INSIDE RECT(0,0,1,1) DURING 1 2"},
+        BadQueryCase{"zero_k", "NEAREST 0 TO POINT(1,1) AT 5"},
+        BadQueryCase{"fractional_k", "NEAREST 1.5 TO POINT(1,1) AT 5"},
+        BadQueryCase{"trailing_garbage", "POSITION OF 1 AT 5 EXTRA"},
+        BadQueryCase{"stray_symbol", "POSITION OF 1 AT 5 ;"}),
+    [](const testing::TestParamInfo<BadQueryCase>& info) {
+      return info.param.name;
+    });
+
+// ---- Execution ----
+
+class ExecuteQueryTest : public testing::Test {
+ protected:
+  ExecuteQueryTest() : db_(&network_) {
+    street_ = network_.AddStraightRoute({0.0, 0.0}, {200.0, 0.0}, "street");
+    core::PositionAttribute attr;
+    attr.route = street_;
+    attr.start_route_distance = 10.0;
+    attr.start_position = {10.0, 0.0};
+    attr.speed = 1.0;
+    attr.update_cost = 5.0;
+    attr.max_speed = 1.5;
+    attr.policy = core::PolicyKind::kAverageImmediateLinear;
+    db_.Insert(7, "truck", attr).ok();
+    attr.start_route_distance = 150.0;
+    attr.start_position = {150.0, 0.0};
+    attr.speed = 0.0;
+    db_.Insert(8, "parked", attr).ok();
+  }
+
+  geo::RouteNetwork network_;
+  geo::RouteId street_ = geo::kInvalidRouteId;
+  ModDatabase db_;
+};
+
+TEST_F(ExecuteQueryTest, PositionAnswer) {
+  const auto out = ExecuteQuery(db_, "POSITION OF 7 AT 6");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("object 7"), std::string::npos);
+  EXPECT_NE(out->find("(16, 0)"), std::string::npos);
+  EXPECT_NE(out->find("bound"), std::string::npos);
+}
+
+TEST_F(ExecuteQueryTest, PositionUnknownObject) {
+  const auto out = ExecuteQuery(db_, "POSITION OF 99 AT 6");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(ExecuteQueryTest, RangeMustAndMay) {
+  const auto out =
+      ExecuteQuery(db_, "SELECT ALL INSIDE RECT(0, -1, 50, 1) AT 6");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("MUST: 7"), std::string::npos);
+  EXPECT_NE(out->find("MAY: (none)"), std::string::npos);
+}
+
+TEST_F(ExecuteQueryTest, RangeScopeFiltersOutput) {
+  const auto must_only =
+      ExecuteQuery(db_, "SELECT MUST INSIDE RECT(0, -1, 50, 1) AT 6");
+  ASSERT_TRUE(must_only.ok());
+  EXPECT_EQ(must_only->find("MAY"), std::string::npos);
+  const auto may_only =
+      ExecuteQuery(db_, "SELECT MAY INSIDE RECT(0, -1, 50, 1) AT 6");
+  ASSERT_TRUE(may_only.ok());
+  EXPECT_EQ(may_only->find("MUST"), std::string::npos);
+}
+
+TEST_F(ExecuteQueryTest, MayAnswerCarriesProbability) {
+  // Region boundary cutting the parked object's uncertainty interval.
+  const auto out =
+      ExecuteQuery(db_, "SELECT MAY INSIDE RECT(140, -1, 151, 1) AT 4");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("8(p="), std::string::npos);
+}
+
+TEST_F(ExecuteQueryTest, WindowQuery) {
+  // Object 7 passes [100, 110] around t = 95; the window catches it.
+  const auto out = ExecuteQuery(
+      db_, "SELECT ALL INSIDE RECT(100, -1, 110, 1) DURING 80 TO 110");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("MAY within window: 7"), std::string::npos);
+}
+
+TEST_F(ExecuteQueryTest, NearestAnswer) {
+  const auto out = ExecuteQuery(db_, "NEAREST 2 TO POINT(12, 0) AT 0");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("object 7"), std::string::npos);
+  EXPECT_NE(out->find("object 8"), std::string::npos);
+  // Item 7 (distance 2) precedes item 8 (distance 138).
+  EXPECT_LT(out->find("object 7"), out->find("object 8"));
+}
+
+TEST_F(ExecuteQueryTest, ParseErrorsPropagate) {
+  const auto out = ExecuteQuery(db_, "SELECT nonsense");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace modb::db

@@ -1,0 +1,194 @@
+#include "db/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace modb::db {
+namespace {
+
+class SnapshotTest : public testing::Test {
+ protected:
+  SnapshotTest() {
+    main_ = network_.AddStraightRoute({0.0, 0.0}, {100.0, 0.0}, "main st");
+    bend_ = network_.AddRoute(
+        geo::Polyline({{0.0, 10.0}, {30.0, 10.0}, {30.0, 40.0}}), "bend");
+  }
+
+  core::PositionAttribute Attr(geo::RouteId route, double s, double v) const {
+    core::PositionAttribute attr;
+    attr.start_time = 3.5;
+    attr.route = route;
+    attr.start_route_distance = s;
+    attr.start_position = network_.route(route).PointAt(s);
+    attr.direction = core::TravelDirection::kBackward;
+    attr.speed = v;
+    attr.policy = core::PolicyKind::kDelayedLinear;
+    attr.update_cost = 7.25;
+    attr.max_speed = 1.75;
+    attr.fixed_threshold = 2.5;
+    attr.period = 0.5;
+    attr.step_threshold = 1.25;
+    return attr;
+  }
+
+  geo::RouteNetwork network_;
+  geo::RouteId main_ = geo::kInvalidRouteId;
+  geo::RouteId bend_ = geo::kInvalidRouteId;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  ModDatabaseOptions options;
+  options.index_kind = IndexKind::kTimeSpaceRTree;
+  options.oplane_horizon = 77.0;
+  options.oplane_slab_width = 3.5;
+  options.max_log_history = 16;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "cab with spaces", Attr(main_, 10.5, 1.125)).ok());
+  ASSERT_TRUE(db.Insert(42, "", Attr(bend_, 20.0, 0.875)).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSnapshot(db, stream).ok());
+
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ModDatabase& db2 = *loaded->database;
+
+  // Options.
+  EXPECT_EQ(db2.options().index_kind, IndexKind::kTimeSpaceRTree);
+  EXPECT_DOUBLE_EQ(db2.options().oplane_horizon, 77.0);
+  EXPECT_DOUBLE_EQ(db2.options().oplane_slab_width, 3.5);
+  EXPECT_EQ(db2.options().max_log_history, 16u);
+
+  // Network.
+  ASSERT_EQ(loaded->network->size(), 2u);
+  EXPECT_EQ(loaded->network->route(main_).name(), "main st");
+  EXPECT_DOUBLE_EQ(loaded->network->route(bend_).Length(), 60.0);
+
+  // Objects, bit-exact attributes.
+  ASSERT_EQ(db2.num_objects(), 2u);
+  const auto rec = db2.Get(1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->label, "cab with spaces");
+  const core::PositionAttribute& a = (*rec)->attr;
+  EXPECT_EQ(a.start_time, 3.5);
+  EXPECT_EQ(a.route, main_);
+  EXPECT_EQ(a.start_route_distance, 10.5);
+  EXPECT_EQ(a.direction, core::TravelDirection::kBackward);
+  EXPECT_EQ(a.speed, 1.125);
+  EXPECT_EQ(a.policy, core::PolicyKind::kDelayedLinear);
+  EXPECT_EQ(a.update_cost, 7.25);
+  EXPECT_EQ(a.max_speed, 1.75);
+  EXPECT_EQ(a.fixed_threshold, 2.5);
+  EXPECT_EQ(a.period, 0.5);
+  EXPECT_EQ(a.step_threshold, 1.25);
+  EXPECT_TRUE(db2.Get(42).ok());
+}
+
+TEST_F(SnapshotTest, LoadedDatabaseAnswersQueries) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "x", Attr(main_, 50.0, 1.0)).ok());
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSnapshot(db, stream).ok());
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_TRUE(loaded.ok());
+
+  const auto a = db.QueryPosition(1, 5.0);
+  const auto b = loaded->database->QueryPosition(1, 5.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->route_distance, b->route_distance);
+  EXPECT_EQ(a->deviation_bound, b->deviation_bound);
+
+  const geo::Polygon region = geo::Polygon::Rectangle(30.0, -1.0, 60.0, 1.0);
+  const RangeAnswer ra = db.QueryRange(region, 5.0);
+  const RangeAnswer rb = loaded->database->QueryRange(region, 5.0);
+  EXPECT_EQ(ra.must, rb.must);
+  EXPECT_EQ(ra.may, rb.may);
+}
+
+TEST_F(SnapshotTest, FileRoundTrip) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(9, "file-test", Attr(main_, 1.0, 1.0)).ok());
+  const std::string path = testing::TempDir() + "/modb_snapshot_test.txt";
+  ASSERT_TRUE(SaveSnapshot(db, path).ok());
+  const auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->database->num_objects(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadSnapshot("/nonexistent-dir/zzz.snap").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, MalformedInputsRejected) {
+  const auto expect_invalid = [](const std::string& text) {
+    std::stringstream stream(text);
+    const auto loaded = ReadSnapshot(stream);
+    ASSERT_FALSE(loaded.ok()) << text;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  };
+  expect_invalid("");
+  expect_invalid("not-a-snapshot 2");
+  expect_invalid("modb-snapshot 999");
+  expect_invalid("modb-snapshot 1");                              // old version
+  expect_invalid("modb-snapshot 2\noptions 0 60 4 0");            // truncated
+  expect_invalid("modb-snapshot 2\noptions 0 60 4 0 0\nroutes x");
+  expect_invalid(
+      "modb-snapshot 2\noptions 0 60 4 0 0\nroutes 1\nroute 5 2 0 0 1 1 2 ab");
+}
+
+TEST_F(SnapshotTest, TrajectoryHistoryRoundTrips) {
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  ModDatabase db(&network_, options);
+  core::PositionAttribute attr = Attr(main_, 0.0, 1.0);
+  attr.start_time = 0.0;
+  attr.direction = core::TravelDirection::kForward;
+  ASSERT_TRUE(db.Insert(1, "t", attr).ok());
+  core::PositionUpdate update;
+  update.object = 1;
+  update.time = 10.0;
+  update.route = main_;
+  update.route_distance = 10.0;
+  update.position = {10.0, 0.0};
+  update.direction = core::TravelDirection::kForward;
+  update.speed = 2.0;
+  ASSERT_TRUE(db.ApplyUpdate(update).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSnapshot(db, stream).ok());
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->database->options().keep_trajectory);
+  const auto rec = loaded->database->Get(1);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ((*rec)->past.size(), 1u);
+  EXPECT_DOUBLE_EQ((*rec)->past[0].speed, 1.0);
+  // Time-travel queries work on the restored database.
+  EXPECT_DOUBLE_EQ(loaded->database->QueryPosition(1, 5.0)->route_distance,
+                   5.0);
+  EXPECT_DOUBLE_EQ(loaded->database->QueryPosition(1, 12.0)->route_distance,
+                   14.0);
+}
+
+TEST_F(SnapshotTest, DeterministicOutput) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(3, "c", Attr(main_, 3.0, 1.0)).ok());
+  ASSERT_TRUE(db.Insert(1, "a", Attr(main_, 1.0, 1.0)).ok());
+  ASSERT_TRUE(db.Insert(2, "b", Attr(main_, 2.0, 1.0)).ok());
+  std::stringstream s1;
+  std::stringstream s2;
+  ASSERT_TRUE(WriteSnapshot(db, s1).ok());
+  ASSERT_TRUE(WriteSnapshot(db, s2).ok());
+  EXPECT_EQ(s1.str(), s2.str());
+  // Objects are written in id order.
+  EXPECT_LT(s1.str().find("object 1"), s1.str().find("object 2"));
+  EXPECT_LT(s1.str().find("object 2"), s1.str().find("object 3"));
+}
+
+}  // namespace
+}  // namespace modb::db

@@ -1,0 +1,94 @@
+#include "db/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::db {
+namespace {
+
+class StatisticsTest : public testing::Test {
+ protected:
+  StatisticsTest() : db_(&network_) {
+    street_ = network_.AddStraightRoute({0.0, 0.0}, {300.0, 0.0});
+  }
+
+  core::PositionAttribute Attr(double s, double v, core::PolicyKind kind,
+                               core::Time t0 = 0.0) const {
+    core::PositionAttribute attr;
+    attr.start_time = t0;
+    attr.route = street_;
+    attr.start_route_distance = s;
+    attr.start_position = {s, 0.0};
+    attr.speed = v;
+    attr.update_cost = 5.0;
+    attr.max_speed = 1.5;
+    attr.policy = kind;
+    return attr;
+  }
+
+  geo::RouteNetwork network_;
+  geo::RouteId street_ = geo::kInvalidRouteId;
+  ModDatabase db_;
+};
+
+TEST_F(StatisticsTest, EmptyDatabase) {
+  const DatabaseStats stats = ComputeStatistics(db_, 5.0);
+  EXPECT_EQ(stats.num_objects, 0u);
+  EXPECT_EQ(stats.total_updates, 0u);
+  EXPECT_EQ(stats.bound.count(), 0u);
+  const std::string table = StatisticsTable(stats).ToString();
+  EXPECT_NE(table.find("objects"), std::string::npos);
+}
+
+TEST_F(StatisticsTest, CountsPerPolicyAndAggregates) {
+  ASSERT_TRUE(db_.Insert(1, "a",
+                         Attr(10.0, 1.0,
+                              core::PolicyKind::kAverageImmediateLinear))
+                  .ok());
+  ASSERT_TRUE(db_.Insert(2, "b",
+                         Attr(50.0, 0.5,
+                              core::PolicyKind::kAverageImmediateLinear))
+                  .ok());
+  ASSERT_TRUE(
+      db_.Insert(3, "c", Attr(90.0, 1.2, core::PolicyKind::kDelayedLinear))
+          .ok());
+
+  const DatabaseStats stats = ComputeStatistics(db_, 2.0);
+  EXPECT_EQ(stats.num_objects, 3u);
+  EXPECT_EQ(stats.objects_per_policy[static_cast<std::size_t>(
+                core::PolicyKind::kAverageImmediateLinear)],
+            2u);
+  EXPECT_EQ(stats.objects_per_policy[static_cast<std::size_t>(
+                core::PolicyKind::kDelayedLinear)],
+            1u);
+  EXPECT_EQ(stats.bound.count(), 3u);
+  EXPECT_GT(stats.bound.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.staleness.mean(), 2.0);  // all inserted at t0 = 0
+  EXPECT_NEAR(stats.declared_speed.mean(), (1.0 + 0.5 + 1.2) / 3.0, 1e-12);
+  EXPECT_EQ(stats.updates_per_object.max(), 0.0);
+}
+
+TEST_F(StatisticsTest, UpdatesAffectStalenessAndCounts) {
+  ASSERT_TRUE(db_.Insert(1, "a",
+                         Attr(10.0, 1.0,
+                              core::PolicyKind::kAverageImmediateLinear))
+                  .ok());
+  core::PositionUpdate update;
+  update.object = 1;
+  update.time = 8.0;
+  update.route = street_;
+  update.route_distance = 20.0;
+  update.position = {20.0, 0.0};
+  update.speed = 1.0;
+  ASSERT_TRUE(db_.ApplyUpdate(update).ok());
+
+  const DatabaseStats stats = ComputeStatistics(db_, 10.0);
+  EXPECT_EQ(stats.total_updates, 1u);
+  EXPECT_DOUBLE_EQ(stats.staleness.mean(), 2.0);  // since the update at t=8
+  EXPECT_DOUBLE_EQ(stats.updates_per_object.mean(), 1.0);
+  const std::string table = StatisticsTable(stats).ToString();
+  EXPECT_NE(table.find("updates received"), std::string::npos);
+  EXPECT_NE(table.find("objects using ail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace modb::db

@@ -1,0 +1,161 @@
+// Tests of valid-time trajectory history: with `keep_trajectory` on, a
+// position query at a past time is answered from the motion model that was
+// in force then (paper §2: valid-time equals transaction-time).
+
+#include <gtest/gtest.h>
+
+#include "db/mod_database.h"
+
+namespace modb::db {
+namespace {
+
+class TrajectoryTest : public testing::Test {
+ protected:
+  TrajectoryTest() {
+    street_ = network_.AddStraightRoute({0.0, 0.0}, {500.0, 0.0});
+  }
+
+  core::PositionAttribute Attr(double s, double v) const {
+    core::PositionAttribute attr;
+    attr.route = street_;
+    attr.start_route_distance = s;
+    attr.start_position = {s, 0.0};
+    attr.speed = v;
+    attr.update_cost = 5.0;
+    attr.max_speed = 2.0;
+    attr.policy = core::PolicyKind::kAverageImmediateLinear;
+    return attr;
+  }
+
+  core::PositionUpdate Update(core::Time t, double s, double v) const {
+    core::PositionUpdate u;
+    u.object = 1;
+    u.time = t;
+    u.route = street_;
+    u.route_distance = s;
+    u.position = {s, 0.0};
+    u.speed = v;
+    return u;
+  }
+
+  geo::RouteNetwork network_;
+  geo::RouteId street_ = geo::kInvalidRouteId;
+};
+
+TEST_F(TrajectoryTest, PastQueriesUseThePastModel) {
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  ModDatabase db(&network_, options);
+  // v=1 from s=0 at t=0; at t=10 the object reports s=10 and speeds up to
+  // v=2; at t=20 it reports s=30 and stops.
+  ASSERT_TRUE(db.Insert(1, "x", Attr(0.0, 1.0)).ok());
+  ASSERT_TRUE(db.ApplyUpdate(Update(10.0, 10.0, 2.0)).ok());
+  ASSERT_TRUE(db.ApplyUpdate(Update(20.0, 30.0, 0.0)).ok());
+
+  // Current time: stopped at 30.
+  EXPECT_DOUBLE_EQ(db.QueryPosition(1, 25.0)->route_distance, 30.0);
+  // During the middle segment: 10 + 2 * (t - 10).
+  EXPECT_DOUBLE_EQ(db.QueryPosition(1, 15.0)->route_distance, 20.0);
+  EXPECT_DOUBLE_EQ(db.QueryPosition(1, 10.0)->route_distance, 10.0);
+  // During the first segment: t * 1.
+  EXPECT_DOUBLE_EQ(db.QueryPosition(1, 4.0)->route_distance, 4.0);
+  // Before the trip: anchored at the first version's start.
+  EXPECT_DOUBLE_EQ(db.QueryPosition(1, -5.0)->route_distance, 0.0);
+}
+
+TEST_F(TrajectoryTest, PastBoundsComeFromThePastVersion) {
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "x", Attr(0.0, 1.0)).ok());
+  ASSERT_TRUE(db.ApplyUpdate(Update(10.0, 10.0, 2.0)).ok());
+  // At t=2 the deviation bound is the one quoted back then: ail with v=1,
+  // C=5 -> slow = min(2C/t, vt) = 2.
+  const auto answer = db.QueryPosition(1, 2.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(answer->slow_bound, 2.0);
+}
+
+TEST_F(TrajectoryTest, HistoryOffRetainsOnlyCurrent) {
+  ModDatabase db(&network_);  // keep_trajectory defaults off
+  ASSERT_TRUE(db.Insert(1, "x", Attr(0.0, 1.0)).ok());
+  ASSERT_TRUE(db.ApplyUpdate(Update(10.0, 10.0, 2.0)).ok());
+  const auto rec = db.Get(1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE((*rec)->past.empty());
+  // Past query falls back to extrapolating the current model backwards
+  // (10 + 2*(5-10) = 0) — documented behaviour without history.
+  EXPECT_DOUBLE_EQ(db.QueryPosition(1, 5.0)->route_distance, 0.0);
+}
+
+TEST_F(TrajectoryTest, HistoryGrowsPerUpdate) {
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "x", Attr(0.0, 1.0)).ok());
+  for (int k = 1; k <= 5; ++k) {
+    ASSERT_TRUE(db.ApplyUpdate(Update(k * 10.0, k * 10.0, 1.0)).ok());
+  }
+  const auto rec = db.Get(1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->past.size(), 5u);
+  EXPECT_EQ((*rec)->update_count, 5u);
+  // Versions are ordered by start time.
+  for (std::size_t i = 0; i + 1 < (*rec)->past.size(); ++i) {
+    EXPECT_LT((*rec)->past[i].start_time, (*rec)->past[i + 1].start_time);
+  }
+}
+
+TEST_F(TrajectoryTest, VersionCapDropsOldest) {
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  options.max_trajectory_versions = 3;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "x", Attr(0.0, 1.0)).ok());
+  for (int k = 1; k <= 6; ++k) {
+    ASSERT_TRUE(db.ApplyUpdate(Update(k * 10.0, k * 10.0, 1.0)).ok());
+  }
+  const auto rec = db.Get(1);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ((*rec)->past.size(), 3u);
+  // The three newest superseded versions survive (t0 = 30, 40, 50).
+  EXPECT_DOUBLE_EQ((*rec)->past.front().start_time, 30.0);
+  EXPECT_DOUBLE_EQ((*rec)->past.back().start_time, 50.0);
+  // A query before the oldest retained version answers from that version,
+  // extrapolated backwards: 30 + 1 * (5 - 30) = 5.
+  EXPECT_DOUBLE_EQ(db.QueryPosition(1, 5.0)->route_distance, 5.0);
+}
+
+TEST_F(TrajectoryTest, RestoreTrajectoryValidates) {
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "x", Attr(0.0, 1.0)).ok());
+  ASSERT_TRUE(db.ApplyUpdate(Update(30.0, 30.0, 1.0)).ok());
+  EXPECT_EQ(db.RestoreTrajectory(9, {}).code(),
+            util::StatusCode::kNotFound);
+  // Unordered versions are rejected.
+  core::PositionAttribute v1 = Attr(0.0, 1.0);
+  v1.start_time = 20.0;
+  core::PositionAttribute v2 = Attr(5.0, 1.0);
+  v2.start_time = 10.0;
+  EXPECT_EQ(db.RestoreTrajectory(1, {v1, v2}).code(),
+            util::StatusCode::kInvalidArgument);
+  // Ordered versions preceding the current one (start 30) are accepted.
+  EXPECT_TRUE(db.RestoreTrajectory(1, {v2, v1}).ok());
+  EXPECT_EQ((*db.Get(1))->past.size(), 2u);
+}
+
+TEST_F(TrajectoryTest, RejectedUpdateLeavesHistoryUntouched) {
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "x", Attr(0.0, 1.0)).ok());
+  core::PositionUpdate bad = Update(10.0, 10.0, 1.0);
+  bad.route = 99;
+  ASSERT_FALSE(db.ApplyUpdate(bad).ok());
+  EXPECT_TRUE((*db.Get(1))->past.empty());
+}
+
+}  // namespace
+}  // namespace modb::db

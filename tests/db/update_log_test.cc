@@ -1,0 +1,58 @@
+#include "db/update_log.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::db {
+namespace {
+
+core::PositionUpdate MakeUpdate(core::ObjectId id, core::Time t) {
+  core::PositionUpdate u;
+  u.object = id;
+  u.time = t;
+  u.route = 0;
+  u.route_distance = t;
+  u.speed = 1.0;
+  return u;
+}
+
+TEST(UpdateLogTest, CountsTotalsAndPerObject) {
+  UpdateLog log;
+  log.Append(MakeUpdate(1, 1.0));
+  log.Append(MakeUpdate(1, 2.0));
+  log.Append(MakeUpdate(2, 3.0));
+  EXPECT_EQ(log.total_updates(), 3u);
+  EXPECT_EQ(log.updates_for(1), 2u);
+  EXPECT_EQ(log.updates_for(2), 1u);
+  EXPECT_EQ(log.updates_for(3), 0u);
+}
+
+TEST(UpdateLogTest, HistoryPreservesOrder) {
+  UpdateLog log;
+  for (int i = 0; i < 5; ++i) log.Append(MakeUpdate(7, i));
+  ASSERT_EQ(log.history().size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(log.history()[i].time, static_cast<double>(i));
+  }
+}
+
+TEST(UpdateLogTest, CappedHistoryKeepsExactCounters) {
+  UpdateLog log(/*max_history=*/10);
+  for (int i = 0; i < 100; ++i) log.Append(MakeUpdate(1, i));
+  EXPECT_EQ(log.total_updates(), 100u);
+  EXPECT_EQ(log.updates_for(1), 100u);
+  EXPECT_LE(log.history().size(), 10u);
+  // The newest entry is always retained.
+  EXPECT_DOUBLE_EQ(log.history().back().time, 99.0);
+}
+
+TEST(UpdateLogTest, ClearResetsEverything) {
+  UpdateLog log;
+  log.Append(MakeUpdate(1, 1.0));
+  log.Clear();
+  EXPECT_EQ(log.total_updates(), 0u);
+  EXPECT_EQ(log.updates_for(1), 0u);
+  EXPECT_TRUE(log.history().empty());
+}
+
+}  // namespace
+}  // namespace modb::db

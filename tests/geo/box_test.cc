@@ -1,0 +1,129 @@
+#include "geo/box.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::geo {
+namespace {
+
+TEST(Box2Test, DefaultIsEmpty) {
+  Box2 box;
+  EXPECT_TRUE(box.Empty());
+  EXPECT_EQ(box.Area(), 0.0);
+  EXPECT_FALSE(box.Contains({0.0, 0.0}));
+}
+
+TEST(Box2Test, ExpandByPoints) {
+  Box2 box;
+  box.Expand({1.0, 2.0});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_TRUE(box.Contains({1.0, 2.0}));
+  box.Expand({-1.0, 5.0});
+  EXPECT_TRUE(box.Contains({0.0, 3.0}));
+  EXPECT_DOUBLE_EQ(box.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Area(), 6.0);
+}
+
+TEST(Box2Test, ExpandByBox) {
+  Box2 a({0.0, 0.0}, {1.0, 1.0});
+  a.Expand(Box2({2.0, 2.0}, {3.0, 3.0}));
+  EXPECT_TRUE(a.Contains({1.5, 1.5}));
+  Box2 empty;
+  a.Expand(empty);  // no-op
+  EXPECT_DOUBLE_EQ(a.Area(), 9.0);
+}
+
+TEST(Box2Test, IntersectsIncludesTouching) {
+  const Box2 a({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_TRUE(a.Intersects(Box2({1.0, 0.0}, {2.0, 1.0})));
+  EXPECT_FALSE(a.Intersects(Box2({1.1, 0.0}, {2.0, 1.0})));
+  EXPECT_TRUE(a.Intersects(Box2({0.25, 0.25}, {0.75, 0.75})));
+  EXPECT_FALSE(a.Intersects(Box2()));
+}
+
+TEST(Box2Test, Inflate) {
+  Box2 a({0.0, 0.0}, {1.0, 1.0});
+  a.Inflate(0.5);
+  EXPECT_TRUE(a.Contains({-0.5, -0.5}));
+  EXPECT_TRUE(a.Contains({1.5, 1.5}));
+}
+
+TEST(Box2Test, Center) {
+  const Box2 a({0.0, 2.0}, {4.0, 6.0});
+  EXPECT_EQ(a.Center(), (Point2{2.0, 4.0}));
+}
+
+TEST(Box3Test, DefaultIsEmpty) {
+  Box3 box;
+  EXPECT_TRUE(box.Empty());
+  EXPECT_EQ(box.Volume(), 0.0);
+  EXPECT_EQ(box.Margin(), 0.0);
+}
+
+TEST(Box3Test, ConstructionAndVolume) {
+  const Box3 box(0.0, 0.0, 0.0, 2.0, 3.0, 4.0);
+  EXPECT_FALSE(box.Empty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 9.0);
+  EXPECT_DOUBLE_EQ(box.Extent(0), 2.0);
+  EXPECT_DOUBLE_EQ(box.Extent(2), 4.0);
+}
+
+TEST(Box3Test, LiftFrom2D) {
+  const Box2 flat({1.0, 2.0}, {3.0, 4.0});
+  const Box3 box(flat, 5.0, 7.0);
+  EXPECT_DOUBLE_EQ(box.min[0], 1.0);
+  EXPECT_DOUBLE_EQ(box.max[1], 4.0);
+  EXPECT_DOUBLE_EQ(box.min[2], 5.0);
+  EXPECT_DOUBLE_EQ(box.max[2], 7.0);
+}
+
+TEST(Box3Test, IntersectsAndContains) {
+  const Box3 a(0, 0, 0, 10, 10, 10);
+  const Box3 b(5, 5, 5, 15, 15, 15);
+  const Box3 inside(1, 1, 1, 2, 2, 2);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_TRUE(a.Contains(inside));
+  EXPECT_FALSE(inside.Contains(a));
+  EXPECT_FALSE(a.Contains(b));
+  const Box3 disjoint(11, 0, 0, 12, 1, 1);
+  EXPECT_FALSE(a.Intersects(disjoint));
+}
+
+TEST(Box3Test, DegenerateTimeSliceIntersects) {
+  // Query slabs have zero thickness in t; intersection must still work.
+  const Box3 slab(0, 0, 5, 10, 10, 5);
+  const Box3 plane(2, 2, 0, 3, 3, 10);
+  EXPECT_TRUE(slab.Intersects(plane));
+  EXPECT_TRUE(plane.Intersects(slab));
+}
+
+TEST(Box3Test, OverlapVolume) {
+  const Box3 a(0, 0, 0, 4, 4, 4);
+  const Box3 b(2, 2, 2, 6, 6, 6);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 8.0);
+  EXPECT_DOUBLE_EQ(b.OverlapVolume(a), 8.0);
+  const Box3 disjoint(5, 5, 5, 6, 6, 6);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(disjoint), 0.0);
+}
+
+TEST(Box3Test, UnionAndEnlargement) {
+  const Box3 a(0, 0, 0, 1, 1, 1);
+  const Box3 b(2, 0, 0, 3, 1, 1);
+  const Box3 u = a.Union(b);
+  EXPECT_DOUBLE_EQ(u.Volume(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 2.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(Box3Test, ExpandAccumulates) {
+  Box3 acc;
+  acc.Expand(Box3(0, 0, 0, 1, 1, 1));
+  acc.Expand(Box3(-1, -1, -1, 0, 0, 0));
+  EXPECT_DOUBLE_EQ(acc.Volume(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.CenterDim(0), 0.0);
+}
+
+}  // namespace
+}  // namespace modb::geo

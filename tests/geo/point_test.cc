@@ -1,0 +1,65 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modb::geo {
+namespace {
+
+TEST(Point2Test, ArithmeticOperators) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Point2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Point2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Point2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Point2{0.5, 1.0}));
+}
+
+TEST(Point2Test, CompoundAssignment) {
+  Point2 p{1.0, 1.0};
+  p += {2.0, 3.0};
+  EXPECT_EQ(p, (Point2{3.0, 4.0}));
+  p -= {1.0, 1.0};
+  EXPECT_EQ(p, (Point2{2.0, 3.0}));
+}
+
+TEST(Point2Test, NormAndDistance) {
+  const Point2 p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(p.NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Point2Test, DotAndCross) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Dot({2.0, 3.0}, {4.0, 5.0}), 23.0);
+  EXPECT_DOUBLE_EQ(Cross({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Cross({0.0, 1.0}, {1.0, 0.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Cross({2.0, 2.0}, {4.0, 4.0}), 0.0);
+}
+
+TEST(Point2Test, Lerp) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{10.0, -10.0};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), (Point2{5.0, -5.0}));
+}
+
+TEST(Point2Test, ApproxEqual) {
+  EXPECT_TRUE(ApproxEqual({1.0, 1.0}, {1.0 + 1e-12, 1.0 - 1e-12}));
+  EXPECT_FALSE(ApproxEqual({1.0, 1.0}, {1.001, 1.0}));
+  EXPECT_TRUE(ApproxEqual({1.0, 1.0}, {1.01, 1.0}, 0.1));
+}
+
+TEST(Point2Test, ToStringMentionsCoordinates) {
+  const std::string s = Point2{1.5, -2.0}.ToString();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("-2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace modb::geo

@@ -1,0 +1,126 @@
+#include "geo/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modb::geo {
+namespace {
+
+TEST(PolygonTest, RectangleFactoryNormalisesCorners) {
+  const Polygon r = Polygon::Rectangle(3.0, 4.0, 1.0, 2.0);
+  EXPECT_TRUE(r.Valid());
+  EXPECT_TRUE(r.Contains({2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(r.Area(), 4.0);
+}
+
+TEST(PolygonTest, CenteredRectangle) {
+  const Polygon r = Polygon::CenteredRectangle({5.0, 5.0}, 2.0, 1.0);
+  EXPECT_TRUE(r.Contains({5.0, 5.0}));
+  EXPECT_TRUE(r.Contains({7.0, 6.0}));   // corner, boundary counts
+  EXPECT_FALSE(r.Contains({7.1, 5.0}));
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+}
+
+TEST(PolygonTest, ContainsInteriorBoundaryExterior) {
+  const Polygon square = Polygon::Rectangle(0.0, 0.0, 10.0, 10.0);
+  EXPECT_TRUE(square.Contains({5.0, 5.0}));
+  EXPECT_TRUE(square.Contains({0.0, 5.0}));    // edge
+  EXPECT_TRUE(square.Contains({10.0, 10.0}));  // vertex
+  EXPECT_FALSE(square.Contains({10.01, 5.0}));
+  EXPECT_FALSE(square.Contains({-0.01, 5.0}));
+}
+
+TEST(PolygonTest, TriangleContains) {
+  const Polygon tri({{0.0, 0.0}, {4.0, 0.0}, {0.0, 4.0}});
+  EXPECT_TRUE(tri.Contains({1.0, 1.0}));
+  EXPECT_TRUE(tri.Contains({2.0, 2.0}));  // hypotenuse
+  EXPECT_FALSE(tri.Contains({3.0, 3.0}));
+}
+
+TEST(PolygonTest, NonConvexContains) {
+  // L-shaped polygon.
+  const Polygon ell({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_TRUE(ell.Contains({1.0, 3.0}));
+  EXPECT_TRUE(ell.Contains({3.0, 1.0}));
+  EXPECT_FALSE(ell.Contains({3.0, 3.0}));  // the notch
+}
+
+TEST(PolygonTest, RegularNGonApproximatesCircle) {
+  const Polygon hexadecagon = Polygon::RegularNGon({0.0, 0.0}, 1.0, 16);
+  EXPECT_EQ(hexadecagon.size(), 16u);
+  // Area of an inscribed n-gon: (n/2) r^2 sin(2 pi / n).
+  const double expected = 8.0 * std::sin(M_PI / 8.0);
+  EXPECT_NEAR(hexadecagon.Area(), expected, 1e-9);
+  EXPECT_TRUE(hexadecagon.Contains({0.0, 0.0}));
+  EXPECT_FALSE(hexadecagon.Contains({1.01, 0.0}));
+}
+
+TEST(PolygonTest, SignedAreaOrientation) {
+  const Polygon ccw({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  const Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_GT(ccw.SignedArea(), 0.0);
+  EXPECT_LT(cw.SignedArea(), 0.0);
+  EXPECT_DOUBLE_EQ(ccw.Area(), cw.Area());
+}
+
+TEST(PolygonTest, ClockwiseWindingContainsStillWorks) {
+  const Polygon cw({{0, 0}, {0, 10}, {10, 10}, {10, 0}});
+  EXPECT_TRUE(cw.Contains({5.0, 5.0}));
+  EXPECT_FALSE(cw.Contains({11.0, 5.0}));
+}
+
+TEST(PolygonTest, IntersectsSegment) {
+  const Polygon square = Polygon::Rectangle(0.0, 0.0, 10.0, 10.0);
+  // Fully inside.
+  EXPECT_TRUE(square.Intersects(Segment({1, 1}, {2, 2})));
+  // Crossing one edge.
+  EXPECT_TRUE(square.Intersects(Segment({5, 5}, {15, 5})));
+  // Crossing the whole polygon, endpoints outside.
+  EXPECT_TRUE(square.Intersects(Segment({-5, 5}, {15, 5})));
+  // Fully outside.
+  EXPECT_FALSE(square.Intersects(Segment({11, 11}, {12, 12})));
+  // Touching a corner.
+  EXPECT_TRUE(square.Intersects(Segment({10, 10}, {12, 12})));
+}
+
+TEST(PolygonTest, ContainsSegmentConvex) {
+  const Polygon square = Polygon::Rectangle(0.0, 0.0, 10.0, 10.0);
+  EXPECT_TRUE(square.ContainsSegment(Segment({1, 1}, {9, 9})));
+  EXPECT_TRUE(square.ContainsSegment(Segment({0, 0}, {10, 10})));
+  EXPECT_FALSE(square.ContainsSegment(Segment({5, 5}, {15, 5})));
+  EXPECT_FALSE(square.ContainsSegment(Segment({-1, 5}, {5, 5})));
+}
+
+TEST(PolygonTest, ContainsSegmentNonConvex) {
+  const Polygon ell({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_TRUE(ell.ContainsSegment(Segment({0.5, 0.5}, {3.5, 0.5})));
+  // Endpoints inside the two arms, segment passes through the notch.
+  EXPECT_FALSE(ell.ContainsSegment(Segment({1.0, 3.5}, {3.5, 1.0})));
+}
+
+TEST(PolygonTest, InvalidPolygon) {
+  Polygon empty;
+  EXPECT_FALSE(empty.Valid());
+  EXPECT_FALSE(empty.Contains({0.0, 0.0}));
+  EXPECT_FALSE(empty.Intersects(Segment({0, 0}, {1, 1})));
+  const Polygon degenerate({{0, 0}, {1, 1}});
+  EXPECT_FALSE(degenerate.Valid());
+}
+
+TEST(PolygonTest, BoundingBox) {
+  const Polygon tri({{1.0, 2.0}, {5.0, 3.0}, {2.0, 7.0}});
+  const Box2 box = tri.BoundingBox();
+  EXPECT_EQ(box.min, (Point2{1.0, 2.0}));
+  EXPECT_EQ(box.max, (Point2{5.0, 7.0}));
+}
+
+TEST(PolygonTest, EdgeAccessorWraps) {
+  const Polygon tri({{0, 0}, {1, 0}, {0, 1}});
+  const Segment last = tri.Edge(2);
+  EXPECT_EQ(last.a, (Point2{0.0, 1.0}));
+  EXPECT_EQ(last.b, (Point2{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace modb::geo

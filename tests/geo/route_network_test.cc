@@ -1,0 +1,92 @@
+#include "geo/route_network.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::geo {
+namespace {
+
+TEST(RouteNetworkTest, AddAndFind) {
+  RouteNetwork net;
+  const RouteId id = net.AddRoute(Polyline({{0.0, 0.0}, {1.0, 0.0}}), "r0");
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(net.size(), 1u);
+  const auto found = net.FindRoute(id);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->name(), "r0");
+  EXPECT_EQ(net.route(id).id(), id);
+}
+
+TEST(RouteNetworkTest, FindUnknownRoute) {
+  RouteNetwork net;
+  const auto missing = net.FindRoute(42);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(RouteNetworkTest, IdsAreSequential) {
+  RouteNetwork net;
+  EXPECT_EQ(net.AddStraightRoute({0, 0}, {1, 0}), 0u);
+  EXPECT_EQ(net.AddStraightRoute({0, 0}, {0, 1}), 1u);
+  EXPECT_EQ(net.AddStraightRoute({1, 1}, {2, 2}), 2u);
+}
+
+TEST(RouteNetworkTest, GridNetworkGeometry) {
+  RouteNetwork net;
+  const std::vector<RouteId> ids = net.AddGridNetwork(3, 4, 10.0);
+  EXPECT_EQ(ids.size(), 7u);  // 3 east-west + 4 north-south
+  EXPECT_EQ(net.size(), 7u);
+  // East-west street r=1 runs along y=10 for the grid width (3 cols ->
+  // width 30).
+  const Route& ew1 = net.route(ids[1]);
+  EXPECT_DOUBLE_EQ(ew1.Length(), 30.0);
+  EXPECT_EQ(ew1.PointAt(0.0), (Point2{0.0, 10.0}));
+  EXPECT_EQ(ew1.PointAt(30.0), (Point2{30.0, 10.0}));
+  // North-south street c=3 runs along x=30 for the grid height (2 spacing).
+  const Route& ns3 = net.route(ids[6]);
+  EXPECT_DOUBLE_EQ(ns3.Length(), 20.0);
+  EXPECT_EQ(ns3.PointAt(0.0), (Point2{30.0, 0.0}));
+}
+
+TEST(RouteNetworkTest, GridBoundingBox) {
+  RouteNetwork net;
+  net.AddGridNetwork(2, 2, 5.0);
+  const Box2 box = net.BoundingBox();
+  EXPECT_EQ(box.min, (Point2{0.0, 0.0}));
+  EXPECT_EQ(box.max, (Point2{5.0, 5.0}));
+}
+
+TEST(RouteNetworkTest, RandomWindingRouteHasRequestedShape) {
+  RouteNetwork net;
+  util::Rng rng(5);
+  const RouteId id =
+      net.AddRandomWindingRoute(rng, {0.0, 0.0}, 20, 2.0, 0.4, "winding");
+  const Route& route = net.route(id);
+  EXPECT_EQ(route.shape().num_segments(), 20u);
+  EXPECT_NEAR(route.Length(), 40.0, 1e-9);  // 20 legs x 2.0
+  EXPECT_EQ(route.name(), "winding");
+}
+
+TEST(RouteNetworkTest, RandomWindingRouteDeterministicPerSeed) {
+  RouteNetwork a;
+  RouteNetwork b;
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  a.AddRandomWindingRoute(rng_a, {1.0, 1.0}, 10, 1.0, 0.5);
+  b.AddRandomWindingRoute(rng_b, {1.0, 1.0}, 10, 1.0, 0.5);
+  for (std::size_t i = 0; i < a.route(0).shape().points().size(); ++i) {
+    EXPECT_EQ(a.route(0).shape().points()[i], b.route(0).shape().points()[i]);
+  }
+}
+
+TEST(RouteNetworkTest, LoopRouteLength) {
+  RouteNetwork net;
+  const RouteId id = net.AddLoopRoute(0.0, 0.0, 10.0, 5.0, 3, "loop");
+  // Perimeter 30, three laps.
+  EXPECT_DOUBLE_EQ(net.route(id).Length(), 90.0);
+  // A full lap returns to the start corner.
+  EXPECT_TRUE(ApproxEqual(net.route(id).PointAt(30.0), {0.0, 0.0}));
+  EXPECT_TRUE(ApproxEqual(net.route(id).PointAt(90.0), {0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace modb::geo

@@ -1,0 +1,45 @@
+#include "geo/route.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modb::geo {
+namespace {
+
+TEST(RouteTest, BasicAccessors) {
+  const Route route(3, Polyline({{0.0, 0.0}, {8.0, 6.0}}), "diagonal");
+  EXPECT_EQ(route.id(), 3u);
+  EXPECT_EQ(route.name(), "diagonal");
+  EXPECT_TRUE(route.Valid());
+  EXPECT_DOUBLE_EQ(route.Length(), 10.0);
+}
+
+TEST(RouteTest, DefaultIsInvalid) {
+  const Route route;
+  EXPECT_FALSE(route.Valid());
+  EXPECT_EQ(route.id(), kInvalidRouteId);
+}
+
+TEST(RouteTest, PointAtAndProject) {
+  const Route route(0, Polyline({{0.0, 0.0}, {10.0, 0.0}}));
+  EXPECT_EQ(route.PointAt(4.0), (Point2{4.0, 0.0}));
+  double dist = 0.0;
+  EXPECT_DOUBLE_EQ(route.Project({4.0, 2.0}, &dist), 4.0);
+  EXPECT_DOUBLE_EQ(dist, 2.0);
+}
+
+TEST(RouteDistanceTest, SameRoute) {
+  EXPECT_DOUBLE_EQ(RouteDistance(1, 3.0, 1, 7.5), 4.5);
+  EXPECT_DOUBLE_EQ(RouteDistance(1, 7.5, 1, 3.0), 4.5);
+  EXPECT_DOUBLE_EQ(RouteDistance(1, 2.0, 1, 2.0), 0.0);
+}
+
+TEST(RouteDistanceTest, DifferentRoutesAreInfinitelyFar) {
+  // Paper §3.1: cross-route distance is infinite so a route change always
+  // triggers a position update.
+  EXPECT_TRUE(std::isinf(RouteDistance(1, 0.0, 2, 0.0)));
+}
+
+}  // namespace
+}  // namespace modb::geo

@@ -1,0 +1,161 @@
+#include "geo/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace modb::geo {
+namespace {
+
+TEST(RoutingGraphTest, CrossDetection) {
+  RouteNetwork net;
+  net.AddStraightRoute({-10.0, 0.0}, {10.0, 0.0}, "ew");
+  net.AddStraightRoute({0.0, -10.0}, {0.0, 10.0}, "ns");
+  const RoutingGraph graph(&net);
+  ASSERT_EQ(graph.num_junctions(), 1u);
+  EXPECT_TRUE(ApproxEqual(graph.JunctionPositions()[0], {0.0, 0.0}));
+}
+
+TEST(RoutingGraphTest, GridJunctionCount) {
+  RouteNetwork net;
+  net.AddGridNetwork(3, 4, 10.0);  // 3 EW x 4 NS streets
+  const RoutingGraph graph(&net);
+  EXPECT_EQ(graph.num_junctions(), 12u);  // every EW-NS crossing
+  // Each EW street has 4 stops -> 3 edges; each NS street has 3 stops ->
+  // 2 edges: 3*3 + 4*2 = 17.
+  EXPECT_EQ(graph.num_edges(), 17u);
+}
+
+TEST(RoutingGraphTest, DisconnectedRoutes) {
+  RouteNetwork net;
+  net.AddStraightRoute({0.0, 0.0}, {10.0, 0.0});
+  net.AddStraightRoute({0.0, 5.0}, {10.0, 5.0});  // parallel, never meets
+  const RoutingGraph graph(&net);
+  EXPECT_EQ(graph.num_junctions(), 0u);
+  const auto path = graph.ShortestPath({0, 2.0}, {1, 3.0});
+  EXPECT_EQ(path.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(RoutingGraphTest, SameRoutePath) {
+  RouteNetwork net;
+  net.AddStraightRoute({0.0, 0.0}, {100.0, 0.0});
+  const RoutingGraph graph(&net);
+  const auto path = graph.ShortestPath({0, 20.0}, {0, 70.0});
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0].route, 0u);
+  EXPECT_DOUBLE_EQ((*path)[0].from, 20.0);
+  EXPECT_DOUBLE_EQ((*path)[0].to, 70.0);
+  EXPECT_DOUBLE_EQ(RoutingGraph::PathLength(*path), 50.0);
+}
+
+TEST(RoutingGraphTest, SameRouteBackwardPath) {
+  RouteNetwork net;
+  net.AddStraightRoute({0.0, 0.0}, {100.0, 0.0});
+  const RoutingGraph graph(&net);
+  const auto path = graph.ShortestPath({0, 70.0}, {0, 20.0});
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_DOUBLE_EQ((*path)[0].from, 70.0);
+  EXPECT_DOUBLE_EQ((*path)[0].to, 20.0);
+}
+
+TEST(RoutingGraphTest, ZeroLengthTrip) {
+  RouteNetwork net;
+  net.AddStraightRoute({0.0, 0.0}, {100.0, 0.0});
+  const RoutingGraph graph(&net);
+  const auto path = graph.ShortestPath({0, 20.0}, {0, 20.0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(RoutingGraphTest, TurnAtJunction) {
+  RouteNetwork net;
+  const RouteId ew = net.AddStraightRoute({-10.0, 0.0}, {10.0, 0.0});
+  const RouteId ns = net.AddStraightRoute({0.0, -10.0}, {0.0, 10.0});
+  const RoutingGraph graph(&net);
+  // From (-5, 0) on EW to (0, 5) on NS: 5 east + 5 north.
+  const auto path = graph.ShortestPath({ew, 5.0}, {ns, 15.0});
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0].route, ew);
+  EXPECT_DOUBLE_EQ((*path)[0].from, 5.0);
+  EXPECT_DOUBLE_EQ((*path)[0].to, 10.0);  // junction at EW arc length 10
+  EXPECT_EQ((*path)[1].route, ns);
+  EXPECT_DOUBLE_EQ((*path)[1].from, 10.0);  // junction at NS arc length 10
+  EXPECT_DOUBLE_EQ((*path)[1].to, 15.0);
+  EXPECT_DOUBLE_EQ(RoutingGraph::PathLength(*path), 10.0);
+}
+
+TEST(RoutingGraphTest, GridManhattanDistance) {
+  RouteNetwork net;
+  net.AddGridNetwork(4, 4, 10.0);
+  const RoutingGraph graph(&net);
+  // EW street 0 (y=0) at x=5 to EW street 3 (y=30) at x=25: Manhattan
+  // distance = |25-5| + 30 with an optimal L-shaped path.
+  const auto path = graph.ShortestPath({0, 5.0}, {3, 25.0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(RoutingGraph::PathLength(*path), 50.0);
+  // Legs alternate roads and stay contiguous in space.
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    const Point2 end =
+        net.route((*path)[i].route).PointAt((*path)[i].to);
+    const Point2 next_start =
+        net.route((*path)[i + 1].route).PointAt((*path)[i + 1].from);
+    EXPECT_TRUE(ApproxEqual(end, next_start, 1e-6)) << "leg " << i;
+  }
+}
+
+TEST(RoutingGraphTest, PathMergesConsecutiveSameRouteLegs) {
+  RouteNetwork net;
+  net.AddGridNetwork(3, 3, 10.0);
+  const RoutingGraph graph(&net);
+  // Straight along one street through two junctions: one merged leg.
+  const auto path = graph.ShortestPath({0, 1.0}, {0, 19.0});
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_DOUBLE_EQ((*path)[0].Length(), 18.0);
+}
+
+TEST(RoutingGraphTest, InvalidAnchors) {
+  RouteNetwork net;
+  net.AddStraightRoute({0.0, 0.0}, {10.0, 0.0});
+  const RoutingGraph graph(&net);
+  EXPECT_EQ(graph.ShortestPath({9, 0.0}, {0, 1.0}).status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(graph.ShortestPath({0, -1.0}, {0, 1.0}).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph.ShortestPath({0, 1.0}, {0, 50.0}).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(RoutingGraphTest, TouchingEndpointsConnect) {
+  // Two roads sharing only an endpoint (the airport-shuttle layout).
+  RouteNetwork net;
+  const RouteId a = net.AddStraightRoute({0.0, 0.0}, {10.0, 0.0});
+  const RouteId b = net.AddStraightRoute({10.0, 0.0}, {10.0, 20.0});
+  const RoutingGraph graph(&net);
+  EXPECT_EQ(graph.num_junctions(), 1u);
+  const auto path = graph.ShortestPath({a, 2.0}, {b, 15.0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(RoutingGraph::PathLength(*path), 23.0);
+}
+
+TEST(RoutingGraphTest, PicksShorterOfTwoAlternatives) {
+  // A square of four roads: going around the short way must win.
+  RouteNetwork net;
+  const RouteId south = net.AddStraightRoute({0.0, 0.0}, {10.0, 0.0});
+  net.AddStraightRoute({10.0, 0.0}, {10.0, 10.0});  // east
+  net.AddStraightRoute({10.0, 10.0}, {0.0, 10.0});  // north
+  const RouteId west = net.AddStraightRoute({0.0, 10.0}, {0.0, 0.0});
+  const RoutingGraph graph(&net);
+  EXPECT_EQ(graph.num_junctions(), 4u);
+  // From south road near its west end to the west road: going via the
+  // shared corner (0,0) is far shorter than around three sides.
+  const auto path = graph.ShortestPath({south, 1.0}, {west, 9.0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_DOUBLE_EQ(RoutingGraph::PathLength(*path), 2.0);
+}
+
+}  // namespace
+}  // namespace modb::geo

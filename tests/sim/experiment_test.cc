@@ -1,0 +1,98 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace modb::sim {
+namespace {
+
+std::vector<NamedCurve> SmallSuite() {
+  util::Rng rng(23);
+  CurveGenOptions options;
+  options.duration = 30.0;
+  return MakeStandardSuite(rng, 1, options);
+}
+
+TEST(RunSweepTest, ProducesOneCellPerCombination) {
+  SweepConfig config;
+  config.policies = {core::PolicyKind::kDelayedLinear,
+                     core::PolicyKind::kAverageImmediateLinear};
+  config.update_costs = {1.0, 5.0};
+  config.base_policy.max_speed = 1.5;
+  const auto cells = RunSweep(SmallSuite(), config);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].policy, core::PolicyKind::kDelayedLinear);
+  EXPECT_EQ(cells[0].update_cost, 1.0);
+  EXPECT_EQ(cells[3].policy, core::PolicyKind::kAverageImmediateLinear);
+  EXPECT_EQ(cells[3].update_cost, 5.0);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.mean.runs, 4u);  // 4 curves in the suite
+    EXPECT_EQ(cell.mean.bound_violations, 0.0);
+  }
+}
+
+TEST(RunSweepTest, BasePolicyParametersPropagate) {
+  SweepConfig config;
+  config.policies = {core::PolicyKind::kFixedThreshold};
+  config.update_costs = {5.0};
+  config.base_policy.fixed_threshold = 0.5;
+  config.base_policy.max_speed = 1.5;
+  const auto tight = RunSweep(SmallSuite(), config);
+  config.base_policy.fixed_threshold = 5.0;
+  const auto loose = RunSweep(SmallSuite(), config);
+  // A tighter dead-reckoning bound must send more messages.
+  EXPECT_GT(tight[0].mean.messages, loose[0].mean.messages);
+}
+
+TEST(MetricAccessorTest, NamesAndValues) {
+  MeanMetrics mean;
+  mean.messages = 1.0;
+  mean.total_cost = 2.0;
+  mean.avg_uncertainty = 3.0;
+  mean.deviation_cost = 4.0;
+  mean.avg_deviation = 5.0;
+  EXPECT_EQ(GetMetric(mean, MetricKind::kMessages), 1.0);
+  EXPECT_EQ(GetMetric(mean, MetricKind::kTotalCost), 2.0);
+  EXPECT_EQ(GetMetric(mean, MetricKind::kAvgUncertainty), 3.0);
+  EXPECT_EQ(GetMetric(mean, MetricKind::kDeviationCost), 4.0);
+  EXPECT_EQ(GetMetric(mean, MetricKind::kAvgDeviation), 5.0);
+  EXPECT_EQ(MetricKindName(MetricKind::kMessages), "messages");
+  EXPECT_EQ(MetricKindName(MetricKind::kTotalCost), "total_cost");
+  EXPECT_EQ(MetricKindName(MetricKind::kAvgUncertainty), "avg_uncertainty");
+}
+
+TEST(SweepTableTest, LayoutMatchesPaperPlots) {
+  SweepConfig config;
+  config.policies = {core::PolicyKind::kDelayedLinear,
+                     core::PolicyKind::kAverageImmediateLinear,
+                     core::PolicyKind::kCurrentImmediateLinear};
+  config.update_costs = {2.0, 1.0};  // unsorted on purpose
+  config.base_policy.max_speed = 1.5;
+  const auto cells = RunSweep(SmallSuite(), config);
+  const util::Table table = SweepTable(cells, MetricKind::kMessages);
+  // One row per C (sorted ascending), one column per policy.
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_cols(), 4u);
+  EXPECT_EQ(table.cell(0, 0), "1.00");
+  EXPECT_EQ(table.cell(1, 0), "2.00");
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("dl"), std::string::npos);
+  EXPECT_NE(rendered.find("ail"), std::string::npos);
+  EXPECT_NE(rendered.find("cil"), std::string::npos);
+}
+
+TEST(SweepTest, MessagesDecreaseWithCostOnAverage) {
+  // The paper's central trade-off: update frequency falls as C rises.
+  SweepConfig config;
+  config.policies = {core::PolicyKind::kAverageImmediateLinear};
+  config.update_costs = {0.5, 5.0, 50.0};
+  config.base_policy.max_speed = 1.5;
+  const auto cells = RunSweep(SmallSuite(), config);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_GT(cells[0].mean.messages, cells[1].mean.messages);
+  EXPECT_GT(cells[1].mean.messages, cells[2].mean.messages);
+}
+
+}  // namespace
+}  // namespace modb::sim

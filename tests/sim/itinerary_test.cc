@@ -1,0 +1,210 @@
+#include "sim/itinerary.h"
+
+#include <gtest/gtest.h>
+
+#include "db/mod_database.h"
+#include "sim/vehicle.h"
+
+namespace modb::sim {
+namespace {
+
+class ItineraryTest : public testing::Test {
+ protected:
+  ItineraryTest()
+      : east_(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}), "east"),
+        north_(1, geo::Polyline({{50.0, 0.0}, {50.0, 100.0}}), "north") {}
+
+  // Drive east 50 units, turn north at the junction, drive north 30.
+  Itinerary MakeTurn(double speed = 1.0) const {
+    return Itinerary(
+        {
+            {&east_, 0.0, 50.0},
+            {&north_, 0.0, 30.0},
+        },
+        0.0, SpeedCurve::Constant(speed, 100.0));
+  }
+
+  geo::Route east_;
+  geo::Route north_;
+};
+
+TEST_F(ItineraryTest, TotalLengthAndLegLookup) {
+  const Itinerary it = MakeTurn();
+  EXPECT_DOUBLE_EQ(it.TotalLength(), 80.0);
+  EXPECT_EQ(it.legs().size(), 2u);
+  EXPECT_EQ(it.LegIndexAt(0.0), 0u);
+  EXPECT_EQ(it.LegIndexAt(49.0), 0u);
+  EXPECT_EQ(it.LegIndexAt(51.0), 1u);
+  EXPECT_EQ(it.LegIndexAt(1000.0), 1u);  // clamped after the journey
+}
+
+TEST_F(ItineraryTest, PositionAcrossLegs) {
+  const Itinerary it = MakeTurn();
+  EXPECT_EQ(&it.RouteAt(10.0), &east_);
+  EXPECT_DOUBLE_EQ(it.ActualRouteDistanceAt(10.0), 10.0);
+  EXPECT_TRUE(geo::ApproxEqual(it.ActualPositionAt(10.0), {10.0, 0.0}));
+  // After the turn (50 units in): on the north route.
+  EXPECT_EQ(&it.RouteAt(60.0), &north_);
+  EXPECT_DOUBLE_EQ(it.ActualRouteDistanceAt(60.0), 10.0);
+  EXPECT_TRUE(geo::ApproxEqual(it.ActualPositionAt(60.0), {50.0, 10.0}));
+}
+
+TEST_F(ItineraryTest, ParksAtJourneyEnd) {
+  const Itinerary it = MakeTurn();
+  // Journey is 80 units at speed 1 -> done at t=80.
+  EXPECT_DOUBLE_EQ(it.ActualRouteDistanceAt(90.0), 30.0);
+  EXPECT_DOUBLE_EQ(it.ActualSpeedAt(90.0), 0.0);
+  EXPECT_TRUE(geo::ApproxEqual(it.ActualPositionAt(90.0), {50.0, 30.0}));
+}
+
+TEST_F(ItineraryTest, BackwardLeg) {
+  // Second leg runs the east route backwards from 100 to 60.
+  const Itinerary it(
+      {
+          {&north_, 0.0, 20.0},
+          {&east_, 100.0, 60.0},
+      },
+      0.0, SpeedCurve::Constant(2.0, 60.0));
+  EXPECT_EQ(it.legs()[1].Direction(), core::TravelDirection::kBackward);
+  // After 15 time units: 30 units in -> 10 into the backward leg.
+  EXPECT_EQ(&it.RouteAt(15.0), &east_);
+  EXPECT_DOUBLE_EQ(it.ActualRouteDistanceAt(15.0), 90.0);
+  EXPECT_EQ(it.DirectionAt(15.0), core::TravelDirection::kBackward);
+}
+
+TEST_F(ItineraryTest, VehicleEmitsForcedRouteChangeUpdate) {
+  // A vehicle driving the turn must send an update when it crosses onto
+  // the north route even if its speed prediction is perfect (paper §2:
+  // cross-route distance is infinite).
+  core::PolicyConfig policy;
+  policy.kind = core::PolicyKind::kCurrentImmediateLinear;
+  policy.update_cost = 5.0;
+  policy.max_speed = 1.5;
+  ItineraryVehicle vehicle(1, MakeTurn(), core::MakePolicy(policy));
+  const core::PositionAttribute attr0 = vehicle.InitialAttribute();
+  EXPECT_EQ(attr0.route, 0u);
+
+  std::vector<core::PositionUpdate> updates;
+  for (double t = 1.0; t <= 100.0; t += 1.0) {
+    if (const auto update = vehicle.Tick(t)) updates.push_back(*update);
+  }
+  // Perfect prediction yields exactly two updates: the forced route change
+  // at the junction (t=50, the junction point already counts as the new
+  // leg), and a stop-correction after the journey ends at t=80 (the
+  // vehicle parks at leg-end s=30 while the database extrapolates onward).
+  ASSERT_EQ(updates.size(), 2u);
+  EXPECT_DOUBLE_EQ(updates[0].time, 50.0);
+  EXPECT_EQ(updates[0].route, 1u);
+  EXPECT_DOUBLE_EQ(updates[0].route_distance, 0.0);
+  EXPECT_GT(updates[1].time, 80.0);
+  EXPECT_DOUBLE_EQ(updates[1].route_distance, 30.0);
+  EXPECT_DOUBLE_EQ(updates[1].speed, 0.0);
+  EXPECT_EQ(vehicle.attribute().route, 1u);
+}
+
+TEST_F(ItineraryTest, DeviationInfiniteAcrossRoutes) {
+  core::PolicyConfig policy;
+  policy.kind = core::PolicyKind::kDelayedLinear;
+  policy.max_speed = 1.5;
+  ItineraryVehicle vehicle(1, MakeTurn(), core::MakePolicy(policy));
+  vehicle.InitialAttribute();
+  // Before the junction: finite; after (attribute still on route 0):
+  // infinite.
+  EXPECT_EQ(vehicle.DeviationAt(10.0), 0.0);
+  EXPECT_TRUE(std::isinf(vehicle.DeviationAt(60.0)));
+  EXPECT_FALSE(vehicle.IsSlowDeviationAt(60.0));
+}
+
+TEST_F(ItineraryTest, DatabaseFollowsRouteChanges) {
+  geo::RouteNetwork net;
+  const geo::RouteId east_id =
+      net.AddStraightRoute({0.0, 0.0}, {100.0, 0.0}, "east");
+  const geo::RouteId north_id =
+      net.AddStraightRoute({50.0, 0.0}, {50.0, 100.0}, "north");
+  db::ModDatabase db(&net);
+
+  const Itinerary it(
+      {
+          {&net.route(east_id), 0.0, 50.0},
+          {&net.route(north_id), 0.0, 30.0},
+      },
+      0.0, SpeedCurve::Constant(1.0, 100.0));
+  core::PolicyConfig policy;
+  policy.kind = core::PolicyKind::kAverageImmediateLinear;
+  policy.max_speed = 1.5;
+  ItineraryVehicle vehicle(1, it, core::MakePolicy(policy));
+  ASSERT_TRUE(db.Insert(1, "turner", vehicle.InitialAttribute()).ok());
+
+  for (double t = 1.0; t <= 90.0; t += 1.0) {
+    if (const auto update = vehicle.Tick(t)) {
+      ASSERT_TRUE(db.ApplyUpdate(*update).ok());
+    }
+  }
+  // After the run the database has the object on the north route, near the
+  // end of the second leg.
+  const auto answer = db.QueryPosition(1, 80.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->route, north_id);
+  EXPECT_NEAR(answer->position.x, 50.0, 1e-9);
+  EXPECT_GT(answer->position.y, 20.0);
+}
+
+TEST(ItineraryFromPathTest, FollowsRoutingGraphShortestPath) {
+  geo::RouteNetwork net;
+  net.AddGridNetwork(4, 4, 10.0);
+  const geo::RoutingGraph graph(&net);
+  // From EW street 0 (y=0) at x=5 to EW street 2 (y=20) at x=25.
+  const auto path = graph.ShortestPath({0, 5.0}, {2, 25.0});
+  ASSERT_TRUE(path.ok());
+  const double length = geo::RoutingGraph::PathLength(*path);
+  EXPECT_DOUBLE_EQ(length, 40.0);  // Manhattan: 20 across + 20 up
+
+  const Itinerary itinerary = MakeItineraryFromPath(
+      net, *path, 0.0, SpeedCurve::Constant(1.0, 60.0));
+  EXPECT_DOUBLE_EQ(itinerary.TotalLength(), length);
+  // Start and end positions match the requested anchors.
+  EXPECT_TRUE(geo::ApproxEqual(itinerary.ActualPositionAt(0.0), {5.0, 0.0}));
+  EXPECT_TRUE(
+      geo::ApproxEqual(itinerary.ActualPositionAt(40.0), {25.0, 20.0}));
+  // The trajectory is spatially continuous across every route change.
+  geo::Point2 prev = itinerary.ActualPositionAt(0.0);
+  for (double t = 0.25; t <= 40.0; t += 0.25) {
+    const geo::Point2 cur = itinerary.ActualPositionAt(t);
+    EXPECT_LE(geo::Distance(prev, cur), 0.25 + 1e-9) << "t=" << t;
+    prev = cur;
+  }
+}
+
+TEST(ItineraryFromPathTest, VehicleDrivesPlannedPathThroughDatabase) {
+  geo::RouteNetwork net;
+  net.AddGridNetwork(3, 3, 20.0);
+  const geo::RoutingGraph graph(&net);
+  const auto path = graph.ShortestPath({0, 2.0}, {2, 38.0});
+  ASSERT_TRUE(path.ok());
+  ASSERT_GE(path->size(), 2u);  // at least one turn
+
+  db::ModDatabase db(&net);
+  core::PolicyConfig policy;
+  policy.kind = core::PolicyKind::kCurrentImmediateLinear;
+  policy.update_cost = 5.0;
+  policy.max_speed = 1.5;
+  ItineraryVehicle vehicle(
+      1,
+      MakeItineraryFromPath(net, *path, 0.0, SpeedCurve::Constant(1.0, 80.0)),
+      core::MakePolicy(policy));
+  ASSERT_TRUE(db.Insert(1, "courier", vehicle.InitialAttribute()).ok());
+  for (double t = 1.0; t <= 80.0; t += 1.0) {
+    if (const auto update = vehicle.Tick(t)) {
+      ASSERT_TRUE(db.ApplyUpdate(*update).ok());
+    }
+  }
+  // The database ends up with the object on the destination route near the
+  // destination anchor.
+  const auto answer = db.QueryPosition(1, 80.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->route, 2u);
+  EXPECT_NEAR(answer->route_distance, 38.0, 1.0);
+}
+
+}  // namespace
+}  // namespace modb::sim

@@ -1,0 +1,169 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/route_network.h"
+#include "util/rng.h"
+
+namespace modb::sim {
+namespace {
+
+core::PolicyConfig Config(core::PolicyKind kind, double C = 5.0) {
+  core::PolicyConfig config;
+  config.kind = kind;
+  config.update_cost = C;
+  config.max_speed = 1.5;
+  return config;
+}
+
+TEST(MakeStraightRouteTest, LongEnoughForCurve) {
+  const SpeedCurve curve = SpeedCurve::Constant(1.5, 60.0);
+  const geo::Route route = MakeStraightRouteForCurve(curve, 2.0);
+  EXPECT_DOUBLE_EQ(route.Length(), 92.0);  // 1.5 * 60 + 2
+  EXPECT_TRUE(route.Valid());
+}
+
+TEST(SimulatorTest, PerfectPredictionIsFree) {
+  const SpeedCurve curve = SpeedCurve::Constant(1.0, 60.0);
+  const RunMetrics m = SimulatePolicyOnCurve(
+      curve, Config(core::PolicyKind::kDelayedLinear), SimulationOptions{});
+  EXPECT_EQ(m.messages, 0u);
+  EXPECT_EQ(m.deviation_cost, 0.0);
+  EXPECT_EQ(m.total_cost, 0.0);
+  EXPECT_EQ(m.bound_violations, 0u);
+  EXPECT_EQ(m.ticks, 60u);
+  EXPECT_DOUBLE_EQ(m.duration, 60.0);
+}
+
+TEST(SimulatorTest, Example1JamScenario) {
+  // Paper Example 1: drive at 1 mi/min for 2 minutes, then a jam. With
+  // C = 5 the dl vehicle updates when its deviation reaches 1.74 miles,
+  // i.e. one message at the 4th minute under unit ticks.
+  std::vector<double> speeds(10, 0.0);
+  speeds[0] = speeds[1] = 1.0;
+  const SpeedCurve curve(speeds, 1.0);
+  const RunMetrics m = SimulatePolicyOnCurve(
+      curve, Config(core::PolicyKind::kDelayedLinear), SimulationOptions{});
+  EXPECT_EQ(m.messages, 1u);
+  // Deviation: 1 at t=3, 2 at t=4 (update), 0 afterwards.
+  // Trapezoid integral: 0.5 + 1.5 = 2.
+  EXPECT_NEAR(m.deviation_cost, 2.0, 1e-9);
+  EXPECT_EQ(m.bound_violations, 0u);
+}
+
+TEST(SimulatorTest, TotalCostIdentity) {
+  util::Rng rng(5);
+  const SpeedCurve curve = MakeCityCurve(rng, CurveGenOptions{});
+  for (double C : {0.5, 5.0, 50.0}) {
+    const RunMetrics m = SimulatePolicyOnCurve(
+        curve, Config(core::PolicyKind::kAverageImmediateLinear, C),
+        SimulationOptions{});
+    EXPECT_NEAR(m.total_cost,
+                C * static_cast<double>(m.messages) + m.deviation_cost,
+                1e-9);
+  }
+}
+
+TEST(SimulatorTest, StepCostFunctionSelectable) {
+  std::vector<double> speeds(10, 0.0);
+  speeds[0] = speeds[1] = 1.0;
+  const SpeedCurve curve(speeds, 1.0);
+  const core::StepDeviationCost step(0.5);
+  SimulationOptions options;
+  options.cost_function = &step;
+  const RunMetrics m = SimulatePolicyOnCurve(
+      curve, Config(core::PolicyKind::kDelayedLinear), options);
+  // Deviation exceeds 0.5 between ~t=2.5 and t=4 -> step cost ~1.5 units.
+  EXPECT_GT(m.deviation_cost, 0.5);
+  EXPECT_LT(m.deviation_cost, 2.5);
+}
+
+TEST(SimulatorTest, FinerTicksApproachContinuousBehaviour) {
+  std::vector<double> speeds(10, 0.0);
+  speeds[0] = speeds[1] = 1.0;
+  const SpeedCurve curve(speeds, 1.0);
+  SimulationOptions coarse;
+  coarse.tick = 1.0;
+  SimulationOptions fine;
+  fine.tick = 0.05;
+  const RunMetrics mc = SimulatePolicyOnCurve(
+      curve, Config(core::PolicyKind::kDelayedLinear), coarse);
+  const RunMetrics mf = SimulatePolicyOnCurve(
+      curve, Config(core::PolicyKind::kDelayedLinear), fine);
+  EXPECT_EQ(mc.messages, mf.messages);
+  // With fine ticks the update fires at deviation ~1.742 instead of 2.0,
+  // so the deviation cost shrinks.
+  EXPECT_LT(mf.deviation_cost, mc.deviation_cost);
+  EXPECT_EQ(mf.bound_violations, 0u);
+}
+
+TEST(SimulatorTest, UncertaintyAveragesBoundOverTicks) {
+  // For the fixed-threshold policy with tiny B the bound is B almost
+  // everywhere, so the average uncertainty is close to B.
+  util::Rng rng(9);
+  const SpeedCurve curve = MakeCityCurve(rng, CurveGenOptions{});
+  core::PolicyConfig config = Config(core::PolicyKind::kFixedThreshold);
+  config.fixed_threshold = 0.25;
+  const RunMetrics m =
+      SimulatePolicyOnCurve(curve, config, SimulationOptions{});
+  EXPECT_GT(m.avg_uncertainty, 0.0);
+  EXPECT_LE(m.avg_uncertainty, 0.25 + 1e-9);
+}
+
+TEST(SimulatorTest, CustomTripOnWindingRoute) {
+  util::Rng rng(13);
+  geo::RouteNetwork net;
+  const geo::RouteId id =
+      net.AddRandomWindingRoute(rng, {0.0, 0.0}, 200, 1.0, 0.5);
+  const Trip trip(&net.route(id), 0.0, core::TravelDirection::kForward, 0.0,
+                  MakeCityCurve(rng, CurveGenOptions{}));
+  const RunMetrics m = SimulatePolicyOnTrip(
+      trip, Config(core::PolicyKind::kAverageImmediateLinear),
+      SimulationOptions{});
+  EXPECT_EQ(m.bound_violations, 0u);
+  EXPECT_GT(m.messages, 0u);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  util::Rng rng(17);
+  const SpeedCurve curve = MakeRushHourCurve(rng, CurveGenOptions{});
+  const RunMetrics a = SimulatePolicyOnCurve(
+      curve, Config(core::PolicyKind::kCurrentImmediateLinear),
+      SimulationOptions{});
+  const RunMetrics b = SimulatePolicyOnCurve(
+      curve, Config(core::PolicyKind::kCurrentImmediateLinear),
+      SimulationOptions{});
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.deviation_cost, b.deviation_cost);
+  EXPECT_EQ(a.avg_uncertainty, b.avg_uncertainty);
+}
+
+TEST(AggregateTest, MeansAcrossRuns) {
+  RunMetrics a;
+  a.messages = 2;
+  a.deviation_cost = 10.0;
+  a.total_cost = 20.0;
+  a.avg_uncertainty = 1.0;
+  RunMetrics b;
+  b.messages = 4;
+  b.deviation_cost = 20.0;
+  b.total_cost = 40.0;
+  b.avg_uncertainty = 3.0;
+  const MeanMetrics mean = Aggregate({a, b});
+  EXPECT_DOUBLE_EQ(mean.messages, 3.0);
+  EXPECT_DOUBLE_EQ(mean.deviation_cost, 15.0);
+  EXPECT_DOUBLE_EQ(mean.total_cost, 30.0);
+  EXPECT_DOUBLE_EQ(mean.avg_uncertainty, 2.0);
+  EXPECT_EQ(mean.runs, 2u);
+}
+
+TEST(AggregateTest, EmptyInput) {
+  const MeanMetrics mean = Aggregate({});
+  EXPECT_EQ(mean.runs, 0u);
+  EXPECT_EQ(mean.messages, 0.0);
+}
+
+}  // namespace
+}  // namespace modb::sim

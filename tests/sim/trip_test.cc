@@ -1,0 +1,69 @@
+#include "sim/trip.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::sim {
+namespace {
+
+TEST(TripTest, ForwardTravel) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  const Trip trip(&route, 10.0, core::TravelDirection::kForward, 5.0,
+                  SpeedCurve::Constant(2.0, 20.0));
+  EXPECT_DOUBLE_EQ(trip.start_time(), 5.0);
+  EXPECT_DOUBLE_EQ(trip.end_time(), 25.0);
+  EXPECT_DOUBLE_EQ(trip.ActualRouteDistanceAt(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(trip.ActualRouteDistanceAt(10.0), 20.0);
+  EXPECT_TRUE(geo::ApproxEqual(trip.ActualPositionAt(10.0), {20.0, 0.0}));
+  EXPECT_DOUBLE_EQ(trip.ActualSpeedAt(10.0), 2.0);
+}
+
+TEST(TripTest, BeforeStartTimeStaysAtOrigin) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  const Trip trip(&route, 10.0, core::TravelDirection::kForward, 5.0,
+                  SpeedCurve::Constant(2.0, 20.0));
+  EXPECT_DOUBLE_EQ(trip.ActualRouteDistanceAt(0.0), 10.0);
+}
+
+TEST(TripTest, BackwardTravel) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  const Trip trip(&route, 90.0, core::TravelDirection::kBackward, 0.0,
+                  SpeedCurve::Constant(1.0, 50.0));
+  EXPECT_DOUBLE_EQ(trip.ActualRouteDistanceAt(10.0), 80.0);
+  EXPECT_DOUBLE_EQ(trip.ActualSpeedAt(10.0), 1.0);
+}
+
+TEST(TripTest, ClampsAtRouteEnd) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {30.0, 0.0}}));
+  const Trip trip(&route, 10.0, core::TravelDirection::kForward, 0.0,
+                  SpeedCurve::Constant(2.0, 60.0));
+  // Reaches the end (30) after 10 time units and parks.
+  EXPECT_DOUBLE_EQ(trip.ActualRouteDistanceAt(10.0), 30.0);
+  EXPECT_DOUBLE_EQ(trip.ActualRouteDistanceAt(40.0), 30.0);
+  EXPECT_DOUBLE_EQ(trip.ActualSpeedAt(40.0), 0.0);
+}
+
+TEST(TripTest, ClampsAtRouteStartGoingBackward) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {30.0, 0.0}}));
+  const Trip trip(&route, 5.0, core::TravelDirection::kBackward, 0.0,
+                  SpeedCurve::Constant(1.0, 60.0));
+  EXPECT_DOUBLE_EQ(trip.ActualRouteDistanceAt(20.0), 0.0);
+  EXPECT_DOUBLE_EQ(trip.ActualSpeedAt(20.0), 0.0);
+}
+
+TEST(TripTest, SpeedAtStartOfRouteIsNotParked) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  const Trip trip(&route, 0.0, core::TravelDirection::kForward, 0.0,
+                  SpeedCurve::Constant(1.5, 10.0));
+  EXPECT_DOUBLE_EQ(trip.ActualSpeedAt(0.0), 1.5);
+}
+
+TEST(TripTest, FollowsWindingRouteGeometry) {
+  const geo::Route route(
+      0, geo::Polyline({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}}));
+  const Trip trip(&route, 0.0, core::TravelDirection::kForward, 0.0,
+                  SpeedCurve::Constant(1.0, 20.0));
+  EXPECT_TRUE(geo::ApproxEqual(trip.ActualPositionAt(15.0), {10.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace modb::sim

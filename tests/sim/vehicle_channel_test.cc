@@ -1,0 +1,108 @@
+// Tests of the prepare/commit message-channel contract of BasicVehicle:
+// TickPrepare never mutates the mirror, CommitUpdate applies it, dropped
+// messages lead to retransmission.
+
+#include <gtest/gtest.h>
+
+#include "sim/vehicle.h"
+
+namespace modb::sim {
+namespace {
+
+core::PolicyConfig Config(core::PolicyKind kind) {
+  core::PolicyConfig config;
+  config.kind = kind;
+  config.update_cost = 5.0;
+  config.max_speed = 1.5;
+  return config;
+}
+
+// A trip that stops after 2 minutes (Example-1 pattern): the dl policy
+// fires at t=4 with unit ticks.
+Trip StopTrip(const geo::Route* route) {
+  std::vector<double> speeds(30, 0.0);
+  speeds[0] = speeds[1] = 1.0;
+  return Trip(route, 0.0, core::TravelDirection::kForward, 0.0,
+              SpeedCurve(speeds, 1.0));
+}
+
+TEST(VehicleChannelTest, PrepareDoesNotMutateMirror) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  Vehicle vehicle(1, StopTrip(&route),
+                  core::MakePolicy(Config(core::PolicyKind::kDelayedLinear)));
+  vehicle.InitialAttribute();
+  for (double t = 1.0; t <= 3.0; t += 1.0) vehicle.Tick(t);
+  const core::PositionAttribute before = vehicle.attribute();
+  const auto update = vehicle.TickPrepare(4.0);
+  ASSERT_TRUE(update.has_value());
+  // Mirror unchanged until commit.
+  EXPECT_DOUBLE_EQ(vehicle.attribute().start_time, before.start_time);
+  EXPECT_DOUBLE_EQ(vehicle.attribute().speed, before.speed);
+  vehicle.CommitUpdate(*update);
+  EXPECT_DOUBLE_EQ(vehicle.attribute().start_time, 4.0);
+  EXPECT_DOUBLE_EQ(vehicle.attribute().speed, 0.0);
+  EXPECT_DOUBLE_EQ(vehicle.current_deviation(), 0.0);
+}
+
+TEST(VehicleChannelTest, DroppedMessageRetransmits) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  Vehicle vehicle(1, StopTrip(&route),
+                  core::MakePolicy(Config(core::PolicyKind::kDelayedLinear)));
+  vehicle.InitialAttribute();
+  for (double t = 1.0; t <= 3.0; t += 1.0) vehicle.Tick(t);
+  // Drop the t=4 message: the decision state stays, so t=5 re-fires.
+  const auto first = vehicle.TickPrepare(4.0);
+  ASSERT_TRUE(first.has_value());
+  const auto retry = vehicle.TickPrepare(5.0);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_DOUBLE_EQ(retry->time, 5.0);
+  EXPECT_DOUBLE_EQ(retry->route_distance, 2.0);  // still parked at mile 2
+  vehicle.CommitUpdate(*retry);
+  // After delivery the deviation is gone and no further update fires.
+  EXPECT_FALSE(vehicle.TickPrepare(6.0).has_value());
+}
+
+TEST(VehicleChannelTest, TickEqualsPreparePlusCommit) {
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  Vehicle a(1, StopTrip(&route),
+            core::MakePolicy(Config(core::PolicyKind::kAverageImmediateLinear)));
+  Vehicle b(1, StopTrip(&route),
+            core::MakePolicy(Config(core::PolicyKind::kAverageImmediateLinear)));
+  a.InitialAttribute();
+  b.InitialAttribute();
+  for (double t = 1.0; t <= 20.0; t += 1.0) {
+    const auto ua = a.Tick(t);
+    auto ub = b.TickPrepare(t);
+    if (ub.has_value()) b.CommitUpdate(*ub);
+    ASSERT_EQ(ua.has_value(), ub.has_value()) << "t=" << t;
+    if (ua.has_value()) {
+      EXPECT_DOUBLE_EQ(ua->route_distance, ub->route_distance);
+      EXPECT_DOUBLE_EQ(ua->speed, ub->speed);
+    }
+    EXPECT_DOUBLE_EQ(a.attribute().start_time, b.attribute().start_time);
+  }
+}
+
+TEST(VehicleChannelTest, VehicleBaseInterfaceIsSufficient) {
+  // Everything the fleet layer needs is reachable through the base class.
+  const geo::Route route(0, geo::Polyline({{0.0, 0.0}, {100.0, 0.0}}));
+  Vehicle concrete(9, StopTrip(&route),
+                   core::MakePolicy(Config(core::PolicyKind::kDelayedLinear)));
+  VehicleBase& vehicle = concrete;
+  EXPECT_EQ(vehicle.id(), 9u);
+  vehicle.InitialAttribute();
+  EXPECT_DOUBLE_EQ(vehicle.trip_start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(vehicle.trip_end_time(), 30.0);
+  EXPECT_EQ(vehicle.GroundTruthRouteIdAt(1.0), 0u);
+  EXPECT_DOUBLE_EQ(vehicle.GroundTruthRouteDistanceAt(1.0), 1.0);
+  EXPECT_TRUE(
+      geo::ApproxEqual(vehicle.GroundTruthPositionAt(1.0), {1.0, 0.0}));
+  for (double t = 1.0; t <= 10.0; t += 1.0) {
+    vehicle.Tick(t);  // non-virtual convenience on the base
+  }
+  EXPECT_EQ(vehicle.policy().kind(), core::PolicyKind::kDelayedLinear);
+  EXPECT_GE(vehicle.tracker().num_observations(), 1u);
+}
+
+}  // namespace
+}  // namespace modb::sim

@@ -1,0 +1,61 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::util {
+namespace {
+
+TEST(HistogramTest, BucketsObservations) {
+  Histogram h(0.0, 10.0, 10);
+  for (double x : {0.5, 1.5, 1.6, 9.9}) h.Add(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramTest, UnderOverflowCounted) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-0.1);
+  h.Add(1.0);  // hi edge is exclusive
+  h.Add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 4.0);
+}
+
+TEST(HistogramTest, ApproxQuantile) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.ApproxQuantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.ApproxQuantile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(h.ApproxQuantile(0.0), 0.5, 0.5);
+}
+
+TEST(HistogramTest, ApproxQuantileEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ToStringRendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(0.6);
+  h.Add(1.5);
+  const std::string s = h.ToString(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace modb::util

@@ -1,0 +1,148 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace modb::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, ForkDecorrelatesStreams) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_LT(Rng::min(), Rng::max());
+}
+
+}  // namespace
+}  // namespace modb::util

@@ -1,0 +1,134 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace modb::util {
+namespace {
+
+TEST(RunningStatTest, EmptyState) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatTest, SingleObservation) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStat whole;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    whole.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.Add(4.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 1.0 / 3.0), 2.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  const std::vector<double> one = {7.0};
+  EXPECT_EQ(PercentileOfSorted(one, 0.0), 7.0);
+  EXPECT_EQ(PercentileOfSorted(one, 0.5), 7.0);
+  EXPECT_EQ(PercentileOfSorted(one, 1.0), 7.0);
+}
+
+TEST(PercentileTest, ClampsOutOfRangeQuantile) {
+  const std::vector<double> sorted = {1.0, 2.0};
+  EXPECT_EQ(PercentileOfSorted(sorted, -0.5), 1.0);
+  EXPECT_EQ(PercentileOfSorted(sorted, 1.5), 2.0);
+}
+
+TEST(SummarizeTest, EmptySampleIsAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeTest, UnsortedInputHandled) {
+  const Summary s = Summarize({9.0, 1.0, 5.0, 3.0, 7.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 3.0);
+  EXPECT_DOUBLE_EQ(s.p75, 7.0);
+}
+
+TEST(TrapezoidIntegralTest, ConstantFunction) {
+  EXPECT_DOUBLE_EQ(TrapezoidIntegral({2.0, 2.0, 2.0, 2.0, 2.0}, 0.5), 4.0);
+}
+
+TEST(TrapezoidIntegralTest, LinearRamp) {
+  // y = t on [0, 4] sampled at dx=1 -> exact integral 8.
+  EXPECT_DOUBLE_EQ(TrapezoidIntegral({0.0, 1.0, 2.0, 3.0, 4.0}, 1.0), 8.0);
+}
+
+TEST(TrapezoidIntegralTest, FewSamplesYieldZero) {
+  EXPECT_EQ(TrapezoidIntegral({}, 1.0), 0.0);
+  EXPECT_EQ(TrapezoidIntegral({3.0}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace modb::util

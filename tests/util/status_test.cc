@@ -1,0 +1,87 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace modb::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::NotFound("route 7").message(), "route 7");
+}
+
+TEST(StatusTest, OkCodeClearsMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("object 3").ToString(), "not_found: object 3");
+  EXPECT_EQ(Status::Internal("boom").ToString(), "internal: boom");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeNameTest, CoversEveryCode) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(StatusCodeName(StatusCode::kAlreadyExists), "already_exists");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r(std::string("abc"));
+  r.value() += "def";
+  EXPECT_EQ(*r, "abcdef");
+  EXPECT_EQ(r->size(), 6u);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace modb::util

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace modb::util {
+namespace {
+
+TEST(TableTest, BuildsRowsAndCells) {
+  Table t({"a", "b", "c"});
+  t.NewRow().Add(std::string("x")).Add(1.5, 2).Add(std::size_t{7});
+  t.NewRow().Add(std::string("y")).Add(-2.25, 2).Add(std::size_t{0});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.cell(0, 0), "x");
+  EXPECT_EQ(t.cell(0, 1), "1.50");
+  EXPECT_EQ(t.cell(0, 2), "7");
+  EXPECT_EQ(t.cell(1, 1), "-2.25");
+}
+
+TEST(TableTest, IntCell) {
+  Table t({"n"});
+  t.NewRow().Add(-5);
+  EXPECT_EQ(t.cell(0, 0), "-5");
+}
+
+TEST(TableTest, ToStringAligned) {
+  Table t({"name", "v"});
+  t.NewRow().Add(std::string("long-name-here")).Add(1.0, 1);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("long-name-here"), std::string::npos);
+  EXPECT_NE(s.find("+-"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.NewRow().Add(std::string("plain")).Add(std::string("with,comma"));
+  t.NewRow().Add(std::string("q\"uote")).Add(std::string("nl\nline"));
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"q\"\"uote\""), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"x"});
+  t.NewRow().Add(std::string("1"));
+  const std::string path = testing::TempDir() + "/modb_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvFailsOnBadPath) {
+  Table t({"x"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent-dir-zzz/out.csv"));
+}
+
+}  // namespace
+}  // namespace modb::util
