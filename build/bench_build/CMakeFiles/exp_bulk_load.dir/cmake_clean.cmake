@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_bulk_load"
+  "../bench/exp_bulk_load.pdb"
+  "CMakeFiles/exp_bulk_load.dir/exp_bulk_load.cc.o"
+  "CMakeFiles/exp_bulk_load.dir/exp_bulk_load.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_example1_bounds"
+  "../bench/exp_example1_bounds.pdb"
+  "CMakeFiles/exp_example1_bounds.dir/exp_example1_bounds.cc.o"
+  "CMakeFiles/exp_example1_bounds.dir/exp_example1_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_example1_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

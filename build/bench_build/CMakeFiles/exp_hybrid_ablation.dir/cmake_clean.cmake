@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_hybrid_ablation"
+  "../bench/exp_hybrid_ablation.pdb"
+  "CMakeFiles/exp_hybrid_ablation.dir/exp_hybrid_ablation.cc.o"
+  "CMakeFiles/exp_hybrid_ablation.dir/exp_hybrid_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_hybrid_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_index_query"
+  "../bench/exp_index_query.pdb"
+  "CMakeFiles/exp_index_query.dir/exp_index_query.cc.o"
+  "CMakeFiles/exp_index_query.dir/exp_index_query.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_index_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

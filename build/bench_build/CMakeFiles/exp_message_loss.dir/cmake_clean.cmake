@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_message_loss"
+  "../bench/exp_message_loss.pdb"
+  "CMakeFiles/exp_message_loss.dir/exp_message_loss.cc.o"
+  "CMakeFiles/exp_message_loss.dir/exp_message_loss.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_message_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_messages_vs_cost"
+  "../bench/exp_messages_vs_cost.pdb"
+  "CMakeFiles/exp_messages_vs_cost.dir/exp_messages_vs_cost.cc.o"
+  "CMakeFiles/exp_messages_vs_cost.dir/exp_messages_vs_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_messages_vs_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_step_cost"
+  "../bench/exp_step_cost.pdb"
+  "CMakeFiles/exp_step_cost.dir/exp_step_cost.cc.o"
+  "CMakeFiles/exp_step_cost.dir/exp_step_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_step_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

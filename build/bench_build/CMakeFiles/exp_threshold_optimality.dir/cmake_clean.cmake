@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_threshold_optimality"
+  "../bench/exp_threshold_optimality.pdb"
+  "CMakeFiles/exp_threshold_optimality.dir/exp_threshold_optimality.cc.o"
+  "CMakeFiles/exp_threshold_optimality.dir/exp_threshold_optimality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_threshold_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

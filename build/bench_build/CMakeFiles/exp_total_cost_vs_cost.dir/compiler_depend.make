@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_total_cost_vs_cost.
+# This may be replaced when dependencies are built.

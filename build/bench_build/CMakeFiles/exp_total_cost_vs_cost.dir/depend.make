@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_total_cost_vs_cost.
+# This may be replaced when dependencies are built.

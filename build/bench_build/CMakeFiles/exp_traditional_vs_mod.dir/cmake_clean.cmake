@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_traditional_vs_mod"
+  "../bench/exp_traditional_vs_mod.pdb"
+  "CMakeFiles/exp_traditional_vs_mod.dir/exp_traditional_vs_mod.cc.o"
+  "CMakeFiles/exp_traditional_vs_mod.dir/exp_traditional_vs_mod.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_traditional_vs_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

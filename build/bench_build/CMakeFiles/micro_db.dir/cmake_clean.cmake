@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_db"
+  "../bench/micro_db.pdb"
+  "CMakeFiles/micro_db.dir/micro_db.cc.o"
+  "CMakeFiles/micro_db.dir/micro_db.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

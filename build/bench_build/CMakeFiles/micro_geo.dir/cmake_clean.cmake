@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_geo"
+  "../bench/micro_geo.pdb"
+  "CMakeFiles/micro_geo.dir/micro_geo.cc.o"
+  "CMakeFiles/micro_geo.dir/micro_geo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

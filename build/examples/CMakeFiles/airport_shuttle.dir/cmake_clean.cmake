@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airport_shuttle.dir/airport_shuttle.cpp.o"
+  "CMakeFiles/airport_shuttle.dir/airport_shuttle.cpp.o.d"
+  "airport_shuttle"
+  "airport_shuttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airport_shuttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for airport_shuttle.
+# This may be replaced when dependencies are built.

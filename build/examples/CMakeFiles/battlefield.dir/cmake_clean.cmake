@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battlefield.dir/battlefield.cpp.o"
+  "CMakeFiles/battlefield.dir/battlefield.cpp.o.d"
+  "battlefield"
+  "battlefield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battlefield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

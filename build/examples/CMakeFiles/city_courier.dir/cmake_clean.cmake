@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_courier.dir/city_courier.cpp.o"
+  "CMakeFiles/city_courier.dir/city_courier.cpp.o.d"
+  "city_courier"
+  "city_courier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_courier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_shell.dir/modb_shell.cpp.o"
+  "CMakeFiles/modb_shell.dir/modb_shell.cpp.o.d"
+  "modb_shell"
+  "modb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_dispatch.dir/taxi_dispatch.cpp.o"
+  "CMakeFiles/taxi_dispatch.dir/taxi_dispatch.cpp.o.d"
+  "taxi_dispatch"
+  "taxi_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trucking.dir/trucking.cpp.o"
+  "CMakeFiles/trucking.dir/trucking.cpp.o.d"
+  "trucking"
+  "trucking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trucking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

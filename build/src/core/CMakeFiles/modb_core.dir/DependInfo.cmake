@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/modb_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/deviation.cc" "src/core/CMakeFiles/modb_core.dir/deviation.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/deviation.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/modb_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/policies/ail_policy.cc" "src/core/CMakeFiles/modb_core.dir/policies/ail_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/policies/ail_policy.cc.o.d"
+  "/root/repo/src/core/policies/cil_policy.cc" "src/core/CMakeFiles/modb_core.dir/policies/cil_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/policies/cil_policy.cc.o.d"
+  "/root/repo/src/core/policies/dl_policy.cc" "src/core/CMakeFiles/modb_core.dir/policies/dl_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/policies/dl_policy.cc.o.d"
+  "/root/repo/src/core/policies/fixed_threshold_policy.cc" "src/core/CMakeFiles/modb_core.dir/policies/fixed_threshold_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/policies/fixed_threshold_policy.cc.o.d"
+  "/root/repo/src/core/policies/hybrid_policy.cc" "src/core/CMakeFiles/modb_core.dir/policies/hybrid_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/policies/hybrid_policy.cc.o.d"
+  "/root/repo/src/core/policies/periodic_policy.cc" "src/core/CMakeFiles/modb_core.dir/policies/periodic_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/policies/periodic_policy.cc.o.d"
+  "/root/repo/src/core/policies/step_threshold_policy.cc" "src/core/CMakeFiles/modb_core.dir/policies/step_threshold_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/policies/step_threshold_policy.cc.o.d"
+  "/root/repo/src/core/position_attribute.cc" "src/core/CMakeFiles/modb_core.dir/position_attribute.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/position_attribute.cc.o.d"
+  "/root/repo/src/core/thresholds.cc" "src/core/CMakeFiles/modb_core.dir/thresholds.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/thresholds.cc.o.d"
+  "/root/repo/src/core/uncertainty.cc" "src/core/CMakeFiles/modb_core.dir/uncertainty.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/uncertainty.cc.o.d"
+  "/root/repo/src/core/update_policy.cc" "src/core/CMakeFiles/modb_core.dir/update_policy.cc.o" "gcc" "src/core/CMakeFiles/modb_core.dir/update_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/modb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

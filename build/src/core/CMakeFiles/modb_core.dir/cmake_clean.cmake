@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_core.dir/bounds.cc.o"
+  "CMakeFiles/modb_core.dir/bounds.cc.o.d"
+  "CMakeFiles/modb_core.dir/deviation.cc.o"
+  "CMakeFiles/modb_core.dir/deviation.cc.o.d"
+  "CMakeFiles/modb_core.dir/estimator.cc.o"
+  "CMakeFiles/modb_core.dir/estimator.cc.o.d"
+  "CMakeFiles/modb_core.dir/policies/ail_policy.cc.o"
+  "CMakeFiles/modb_core.dir/policies/ail_policy.cc.o.d"
+  "CMakeFiles/modb_core.dir/policies/cil_policy.cc.o"
+  "CMakeFiles/modb_core.dir/policies/cil_policy.cc.o.d"
+  "CMakeFiles/modb_core.dir/policies/dl_policy.cc.o"
+  "CMakeFiles/modb_core.dir/policies/dl_policy.cc.o.d"
+  "CMakeFiles/modb_core.dir/policies/fixed_threshold_policy.cc.o"
+  "CMakeFiles/modb_core.dir/policies/fixed_threshold_policy.cc.o.d"
+  "CMakeFiles/modb_core.dir/policies/hybrid_policy.cc.o"
+  "CMakeFiles/modb_core.dir/policies/hybrid_policy.cc.o.d"
+  "CMakeFiles/modb_core.dir/policies/periodic_policy.cc.o"
+  "CMakeFiles/modb_core.dir/policies/periodic_policy.cc.o.d"
+  "CMakeFiles/modb_core.dir/policies/step_threshold_policy.cc.o"
+  "CMakeFiles/modb_core.dir/policies/step_threshold_policy.cc.o.d"
+  "CMakeFiles/modb_core.dir/position_attribute.cc.o"
+  "CMakeFiles/modb_core.dir/position_attribute.cc.o.d"
+  "CMakeFiles/modb_core.dir/thresholds.cc.o"
+  "CMakeFiles/modb_core.dir/thresholds.cc.o.d"
+  "CMakeFiles/modb_core.dir/uncertainty.cc.o"
+  "CMakeFiles/modb_core.dir/uncertainty.cc.o.d"
+  "CMakeFiles/modb_core.dir/update_policy.cc.o"
+  "CMakeFiles/modb_core.dir/update_policy.cc.o.d"
+  "libmodb_core.a"
+  "libmodb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/mod_database.cc" "src/db/CMakeFiles/modb_db.dir/mod_database.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/mod_database.cc.o.d"
+  "/root/repo/src/db/query_language.cc" "src/db/CMakeFiles/modb_db.dir/query_language.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/query_language.cc.o.d"
+  "/root/repo/src/db/snapshot.cc" "src/db/CMakeFiles/modb_db.dir/snapshot.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/snapshot.cc.o.d"
+  "/root/repo/src/db/statistics.cc" "src/db/CMakeFiles/modb_db.dir/statistics.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/statistics.cc.o.d"
+  "/root/repo/src/db/update_log.cc" "src/db/CMakeFiles/modb_db.dir/update_log.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/update_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/modb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

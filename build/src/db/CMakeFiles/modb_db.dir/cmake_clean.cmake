@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_db.dir/mod_database.cc.o"
+  "CMakeFiles/modb_db.dir/mod_database.cc.o.d"
+  "CMakeFiles/modb_db.dir/query_language.cc.o"
+  "CMakeFiles/modb_db.dir/query_language.cc.o.d"
+  "CMakeFiles/modb_db.dir/snapshot.cc.o"
+  "CMakeFiles/modb_db.dir/snapshot.cc.o.d"
+  "CMakeFiles/modb_db.dir/statistics.cc.o"
+  "CMakeFiles/modb_db.dir/statistics.cc.o.d"
+  "CMakeFiles/modb_db.dir/update_log.cc.o"
+  "CMakeFiles/modb_db.dir/update_log.cc.o.d"
+  "libmodb_db.a"
+  "libmodb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

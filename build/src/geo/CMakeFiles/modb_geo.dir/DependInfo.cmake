@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/box.cc" "src/geo/CMakeFiles/modb_geo.dir/box.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/box.cc.o.d"
+  "/root/repo/src/geo/point.cc" "src/geo/CMakeFiles/modb_geo.dir/point.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/point.cc.o.d"
+  "/root/repo/src/geo/polygon.cc" "src/geo/CMakeFiles/modb_geo.dir/polygon.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/polygon.cc.o.d"
+  "/root/repo/src/geo/polyline.cc" "src/geo/CMakeFiles/modb_geo.dir/polyline.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/polyline.cc.o.d"
+  "/root/repo/src/geo/route.cc" "src/geo/CMakeFiles/modb_geo.dir/route.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/route.cc.o.d"
+  "/root/repo/src/geo/route_network.cc" "src/geo/CMakeFiles/modb_geo.dir/route_network.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/route_network.cc.o.d"
+  "/root/repo/src/geo/routing.cc" "src/geo/CMakeFiles/modb_geo.dir/routing.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/routing.cc.o.d"
+  "/root/repo/src/geo/segment.cc" "src/geo/CMakeFiles/modb_geo.dir/segment.cc.o" "gcc" "src/geo/CMakeFiles/modb_geo.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_geo.dir/box.cc.o"
+  "CMakeFiles/modb_geo.dir/box.cc.o.d"
+  "CMakeFiles/modb_geo.dir/point.cc.o"
+  "CMakeFiles/modb_geo.dir/point.cc.o.d"
+  "CMakeFiles/modb_geo.dir/polygon.cc.o"
+  "CMakeFiles/modb_geo.dir/polygon.cc.o.d"
+  "CMakeFiles/modb_geo.dir/polyline.cc.o"
+  "CMakeFiles/modb_geo.dir/polyline.cc.o.d"
+  "CMakeFiles/modb_geo.dir/route.cc.o"
+  "CMakeFiles/modb_geo.dir/route.cc.o.d"
+  "CMakeFiles/modb_geo.dir/route_network.cc.o"
+  "CMakeFiles/modb_geo.dir/route_network.cc.o.d"
+  "CMakeFiles/modb_geo.dir/routing.cc.o"
+  "CMakeFiles/modb_geo.dir/routing.cc.o.d"
+  "CMakeFiles/modb_geo.dir/segment.cc.o"
+  "CMakeFiles/modb_geo.dir/segment.cc.o.d"
+  "libmodb_geo.a"
+  "libmodb_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

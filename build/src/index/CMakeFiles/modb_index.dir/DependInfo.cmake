@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/linear_scan_index.cc" "src/index/CMakeFiles/modb_index.dir/linear_scan_index.cc.o" "gcc" "src/index/CMakeFiles/modb_index.dir/linear_scan_index.cc.o.d"
+  "/root/repo/src/index/oplane.cc" "src/index/CMakeFiles/modb_index.dir/oplane.cc.o" "gcc" "src/index/CMakeFiles/modb_index.dir/oplane.cc.o.d"
+  "/root/repo/src/index/rtree3.cc" "src/index/CMakeFiles/modb_index.dir/rtree3.cc.o" "gcc" "src/index/CMakeFiles/modb_index.dir/rtree3.cc.o.d"
+  "/root/repo/src/index/timespace_index.cc" "src/index/CMakeFiles/modb_index.dir/timespace_index.cc.o" "gcc" "src/index/CMakeFiles/modb_index.dir/timespace_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/modb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_index.dir/linear_scan_index.cc.o"
+  "CMakeFiles/modb_index.dir/linear_scan_index.cc.o.d"
+  "CMakeFiles/modb_index.dir/oplane.cc.o"
+  "CMakeFiles/modb_index.dir/oplane.cc.o.d"
+  "CMakeFiles/modb_index.dir/rtree3.cc.o"
+  "CMakeFiles/modb_index.dir/rtree3.cc.o.d"
+  "CMakeFiles/modb_index.dir/timespace_index.cc.o"
+  "CMakeFiles/modb_index.dir/timespace_index.cc.o.d"
+  "libmodb_index.a"
+  "libmodb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_sim.dir/experiment.cc.o"
+  "CMakeFiles/modb_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/modb_sim.dir/fleet.cc.o"
+  "CMakeFiles/modb_sim.dir/fleet.cc.o.d"
+  "CMakeFiles/modb_sim.dir/itinerary.cc.o"
+  "CMakeFiles/modb_sim.dir/itinerary.cc.o.d"
+  "CMakeFiles/modb_sim.dir/metrics.cc.o"
+  "CMakeFiles/modb_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/modb_sim.dir/simulator.cc.o"
+  "CMakeFiles/modb_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/modb_sim.dir/speed_curve.cc.o"
+  "CMakeFiles/modb_sim.dir/speed_curve.cc.o.d"
+  "libmodb_sim.a"
+  "libmodb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

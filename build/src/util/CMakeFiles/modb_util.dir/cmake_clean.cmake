@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_util.dir/histogram.cc.o"
+  "CMakeFiles/modb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/modb_util.dir/rng.cc.o"
+  "CMakeFiles/modb_util.dir/rng.cc.o.d"
+  "CMakeFiles/modb_util.dir/stats.cc.o"
+  "CMakeFiles/modb_util.dir/stats.cc.o.d"
+  "CMakeFiles/modb_util.dir/status.cc.o"
+  "CMakeFiles/modb_util.dir/status.cc.o.d"
+  "CMakeFiles/modb_util.dir/table.cc.o"
+  "CMakeFiles/modb_util.dir/table.cc.o.d"
+  "libmodb_util.a"
+  "libmodb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

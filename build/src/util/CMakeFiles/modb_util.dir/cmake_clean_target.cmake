@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmodb_util.a"
+)

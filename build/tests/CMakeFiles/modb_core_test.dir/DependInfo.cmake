@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bounds_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/bounds_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/bounds_test.cc.o.d"
+  "/root/repo/tests/core/deviation_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/deviation_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/deviation_test.cc.o.d"
+  "/root/repo/tests/core/estimator_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/estimator_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/estimator_test.cc.o.d"
+  "/root/repo/tests/core/policies_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/policies_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/policies_test.cc.o.d"
+  "/root/repo/tests/core/policy_property_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/policy_property_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/policy_property_test.cc.o.d"
+  "/root/repo/tests/core/position_attribute_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/position_attribute_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/position_attribute_test.cc.o.d"
+  "/root/repo/tests/core/probability_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/probability_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/probability_test.cc.o.d"
+  "/root/repo/tests/core/step_cost_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/step_cost_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/step_cost_test.cc.o.d"
+  "/root/repo/tests/core/thresholds_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/thresholds_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/thresholds_test.cc.o.d"
+  "/root/repo/tests/core/uncertainty_span_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/uncertainty_span_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/uncertainty_span_test.cc.o.d"
+  "/root/repo/tests/core/uncertainty_test.cc" "tests/CMakeFiles/modb_core_test.dir/core/uncertainty_test.cc.o" "gcc" "tests/CMakeFiles/modb_core_test.dir/core/uncertainty_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/modb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/modb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/modb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_core_test.dir/core/bounds_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/bounds_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/deviation_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/deviation_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/estimator_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/estimator_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/policies_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/policies_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/policy_property_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/policy_property_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/position_attribute_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/position_attribute_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/probability_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/probability_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/step_cost_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/step_cost_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/thresholds_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/thresholds_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/uncertainty_span_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/uncertainty_span_test.cc.o.d"
+  "CMakeFiles/modb_core_test.dir/core/uncertainty_test.cc.o"
+  "CMakeFiles/modb_core_test.dir/core/uncertainty_test.cc.o.d"
+  "modb_core_test"
+  "modb_core_test.pdb"
+  "modb_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_db_test.dir/db/advanced_query_test.cc.o"
+  "CMakeFiles/modb_db_test.dir/db/advanced_query_test.cc.o.d"
+  "CMakeFiles/modb_db_test.dir/db/mod_database_test.cc.o"
+  "CMakeFiles/modb_db_test.dir/db/mod_database_test.cc.o.d"
+  "CMakeFiles/modb_db_test.dir/db/query_language_test.cc.o"
+  "CMakeFiles/modb_db_test.dir/db/query_language_test.cc.o.d"
+  "CMakeFiles/modb_db_test.dir/db/snapshot_test.cc.o"
+  "CMakeFiles/modb_db_test.dir/db/snapshot_test.cc.o.d"
+  "CMakeFiles/modb_db_test.dir/db/statistics_test.cc.o"
+  "CMakeFiles/modb_db_test.dir/db/statistics_test.cc.o.d"
+  "CMakeFiles/modb_db_test.dir/db/trajectory_test.cc.o"
+  "CMakeFiles/modb_db_test.dir/db/trajectory_test.cc.o.d"
+  "CMakeFiles/modb_db_test.dir/db/update_log_test.cc.o"
+  "CMakeFiles/modb_db_test.dir/db/update_log_test.cc.o.d"
+  "modb_db_test"
+  "modb_db_test.pdb"
+  "modb_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geo/box_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/box_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/box_test.cc.o.d"
+  "/root/repo/tests/geo/clip_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/clip_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/clip_test.cc.o.d"
+  "/root/repo/tests/geo/point_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/point_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/point_test.cc.o.d"
+  "/root/repo/tests/geo/polygon_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/polygon_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/polygon_test.cc.o.d"
+  "/root/repo/tests/geo/polyline_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/polyline_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/polyline_test.cc.o.d"
+  "/root/repo/tests/geo/route_network_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/route_network_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/route_network_test.cc.o.d"
+  "/root/repo/tests/geo/route_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/route_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/route_test.cc.o.d"
+  "/root/repo/tests/geo/routing_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/routing_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/routing_test.cc.o.d"
+  "/root/repo/tests/geo/segment_test.cc" "tests/CMakeFiles/modb_geo_test.dir/geo/segment_test.cc.o" "gcc" "tests/CMakeFiles/modb_geo_test.dir/geo/segment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/modb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/modb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/modb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

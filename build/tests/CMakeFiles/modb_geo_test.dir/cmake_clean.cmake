@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_geo_test.dir/geo/box_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/box_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/clip_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/clip_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/point_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/point_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/polygon_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/polygon_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/polyline_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/polyline_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/route_network_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/route_network_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/route_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/route_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/routing_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/routing_test.cc.o.d"
+  "CMakeFiles/modb_geo_test.dir/geo/segment_test.cc.o"
+  "CMakeFiles/modb_geo_test.dir/geo/segment_test.cc.o.d"
+  "modb_geo_test"
+  "modb_geo_test.pdb"
+  "modb_geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

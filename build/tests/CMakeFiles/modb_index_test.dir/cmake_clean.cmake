@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_index_test.dir/index/bulk_load_test.cc.o"
+  "CMakeFiles/modb_index_test.dir/index/bulk_load_test.cc.o.d"
+  "CMakeFiles/modb_index_test.dir/index/oplane_test.cc.o"
+  "CMakeFiles/modb_index_test.dir/index/oplane_test.cc.o.d"
+  "CMakeFiles/modb_index_test.dir/index/rtree3_test.cc.o"
+  "CMakeFiles/modb_index_test.dir/index/rtree3_test.cc.o.d"
+  "CMakeFiles/modb_index_test.dir/index/timespace_index_test.cc.o"
+  "CMakeFiles/modb_index_test.dir/index/timespace_index_test.cc.o.d"
+  "modb_index_test"
+  "modb_index_test.pdb"
+  "modb_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

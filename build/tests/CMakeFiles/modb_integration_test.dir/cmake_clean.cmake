@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_integration_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/modb_integration_test.dir/integration/end_to_end_test.cc.o.d"
+  "CMakeFiles/modb_integration_test.dir/integration/stress_test.cc.o"
+  "CMakeFiles/modb_integration_test.dir/integration/stress_test.cc.o.d"
+  "modb_integration_test"
+  "modb_integration_test.pdb"
+  "modb_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_sim_test.dir/sim/experiment_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/experiment_test.cc.o.d"
+  "CMakeFiles/modb_sim_test.dir/sim/fleet_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/fleet_test.cc.o.d"
+  "CMakeFiles/modb_sim_test.dir/sim/itinerary_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/itinerary_test.cc.o.d"
+  "CMakeFiles/modb_sim_test.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/simulator_test.cc.o.d"
+  "CMakeFiles/modb_sim_test.dir/sim/speed_curve_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/speed_curve_test.cc.o.d"
+  "CMakeFiles/modb_sim_test.dir/sim/trip_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/trip_test.cc.o.d"
+  "CMakeFiles/modb_sim_test.dir/sim/vehicle_channel_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/vehicle_channel_test.cc.o.d"
+  "CMakeFiles/modb_sim_test.dir/sim/vehicle_test.cc.o"
+  "CMakeFiles/modb_sim_test.dir/sim/vehicle_test.cc.o.d"
+  "modb_sim_test"
+  "modb_sim_test.pdb"
+  "modb_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

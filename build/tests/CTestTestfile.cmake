@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/modb_util_test[1]_include.cmake")
+include("/root/repo/build/tests/modb_geo_test[1]_include.cmake")
+include("/root/repo/build/tests/modb_core_test[1]_include.cmake")
+include("/root/repo/build/tests/modb_index_test[1]_include.cmake")
+include("/root/repo/build/tests/modb_db_test[1]_include.cmake")
+include("/root/repo/build/tests/modb_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/modb_integration_test[1]_include.cmake")
