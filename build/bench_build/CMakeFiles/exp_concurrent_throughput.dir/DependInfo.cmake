@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_concurrent_throughput.cc" "bench_build/CMakeFiles/exp_concurrent_throughput.dir/exp_concurrent_throughput.cc.o" "gcc" "bench_build/CMakeFiles/exp_concurrent_throughput.dir/exp_concurrent_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/modb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/modb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/modb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

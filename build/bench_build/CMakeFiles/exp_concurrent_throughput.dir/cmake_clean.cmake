@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_concurrent_throughput"
+  "../bench/exp_concurrent_throughput.pdb"
+  "CMakeFiles/exp_concurrent_throughput.dir/exp_concurrent_throughput.cc.o"
+  "CMakeFiles/exp_concurrent_throughput.dir/exp_concurrent_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_concurrent_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -255,6 +255,10 @@ bench_build/CMakeFiles/exp_index_query.dir/exp_index_query.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /root/repo/src/db/moving_object.h /root/repo/src/db/query.h \
  /root/repo/src/core/uncertainty.h /root/repo/src/db/update_log.h \
- /root/repo/src/index/object_index.h \
+ /root/repo/src/index/object_index.h /root/repo/src/util/metrics.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/histogram.h \
  /root/repo/src/index/timespace_index.h /root/repo/src/index/oplane.h \
  /root/repo/src/index/rtree3.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/db/mod_database.cc" "src/db/CMakeFiles/modb_db.dir/mod_database.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/mod_database.cc.o.d"
   "/root/repo/src/db/query_language.cc" "src/db/CMakeFiles/modb_db.dir/query_language.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/query_language.cc.o.d"
+  "/root/repo/src/db/sharded_database.cc" "src/db/CMakeFiles/modb_db.dir/sharded_database.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/sharded_database.cc.o.d"
   "/root/repo/src/db/snapshot.cc" "src/db/CMakeFiles/modb_db.dir/snapshot.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/snapshot.cc.o.d"
   "/root/repo/src/db/statistics.cc" "src/db/CMakeFiles/modb_db.dir/statistics.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/statistics.cc.o.d"
   "/root/repo/src/db/update_log.cc" "src/db/CMakeFiles/modb_db.dir/update_log.cc.o" "gcc" "src/db/CMakeFiles/modb_db.dir/update_log.cc.o.d"

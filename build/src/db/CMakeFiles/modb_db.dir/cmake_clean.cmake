@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/modb_db.dir/mod_database.cc.o.d"
   "CMakeFiles/modb_db.dir/query_language.cc.o"
   "CMakeFiles/modb_db.dir/query_language.cc.o.d"
+  "CMakeFiles/modb_db.dir/sharded_database.cc.o"
+  "CMakeFiles/modb_db.dir/sharded_database.cc.o.d"
   "CMakeFiles/modb_db.dir/snapshot.cc.o"
   "CMakeFiles/modb_db.dir/snapshot.cc.o.d"
   "CMakeFiles/modb_db.dir/statistics.cc.o"

@@ -9,10 +9,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/modb_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/modb_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/metrics.cc" "src/util/CMakeFiles/modb_util.dir/metrics.cc.o" "gcc" "src/util/CMakeFiles/modb_util.dir/metrics.cc.o.d"
   "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/modb_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/modb_util.dir/rng.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/modb_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/modb_util.dir/stats.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/modb_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/modb_util.dir/status.cc.o.d"
   "/root/repo/src/util/table.cc" "src/util/CMakeFiles/modb_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/modb_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/modb_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/modb_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

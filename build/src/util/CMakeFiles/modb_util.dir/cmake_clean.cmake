@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/modb_util.dir/histogram.cc.o"
   "CMakeFiles/modb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/modb_util.dir/metrics.cc.o"
+  "CMakeFiles/modb_util.dir/metrics.cc.o.d"
   "CMakeFiles/modb_util.dir/rng.cc.o"
   "CMakeFiles/modb_util.dir/rng.cc.o.d"
   "CMakeFiles/modb_util.dir/stats.cc.o"
@@ -9,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/modb_util.dir/status.cc.o.d"
   "CMakeFiles/modb_util.dir/table.cc.o"
   "CMakeFiles/modb_util.dir/table.cc.o.d"
+  "CMakeFiles/modb_util.dir/thread_pool.cc.o"
+  "CMakeFiles/modb_util.dir/thread_pool.cc.o.d"
   "libmodb_util.a"
   "libmodb_util.pdb"
 )

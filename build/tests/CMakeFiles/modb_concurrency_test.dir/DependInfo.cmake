@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/sharded_database_test.cc" "tests/CMakeFiles/modb_concurrency_test.dir/db/sharded_database_test.cc.o" "gcc" "tests/CMakeFiles/modb_concurrency_test.dir/db/sharded_database_test.cc.o.d"
+  "/root/repo/tests/integration/concurrent_stress_test.cc" "tests/CMakeFiles/modb_concurrency_test.dir/integration/concurrent_stress_test.cc.o" "gcc" "tests/CMakeFiles/modb_concurrency_test.dir/integration/concurrent_stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/modb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/modb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/modb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/modb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/modb_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/modb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

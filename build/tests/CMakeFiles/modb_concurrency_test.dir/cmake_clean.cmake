@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modb_concurrency_test.dir/db/sharded_database_test.cc.o"
+  "CMakeFiles/modb_concurrency_test.dir/db/sharded_database_test.cc.o.d"
+  "CMakeFiles/modb_concurrency_test.dir/integration/concurrent_stress_test.cc.o"
+  "CMakeFiles/modb_concurrency_test.dir/integration/concurrent_stress_test.cc.o.d"
+  "modb_concurrency_test"
+  "modb_concurrency_test.pdb"
+  "modb_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modb_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -327,4 +327,8 @@ tests/CMakeFiles/modb_db_test.dir/db/trajectory_test.cc.o: \
  /root/repo/src/db/moving_object.h /root/repo/src/db/query.h \
  /root/repo/src/core/uncertainty.h /root/repo/src/db/update_log.h \
  /root/repo/src/geo/route_network.h /root/repo/src/util/rng.h \
- /root/repo/src/util/status.h /root/repo/src/index/object_index.h
+ /root/repo/src/util/status.h /root/repo/src/index/object_index.h \
+ /root/repo/src/util/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/histogram.h

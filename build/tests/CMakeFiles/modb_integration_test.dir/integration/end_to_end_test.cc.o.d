@@ -330,7 +330,10 @@ tests/CMakeFiles/modb_integration_test.dir/integration/end_to_end_test.cc.o: \
  /root/repo/src/core/uncertainty.h /root/repo/src/db/update_log.h \
  /root/repo/src/geo/route_network.h /root/repo/src/util/rng.h \
  /root/repo/src/util/status.h /root/repo/src/index/object_index.h \
- /root/repo/src/sim/simulator.h /root/repo/src/sim/metrics.h \
- /root/repo/src/sim/speed_curve.h /root/repo/src/sim/trip.h \
- /root/repo/src/sim/vehicle.h /root/repo/src/sim/itinerary.h \
- /root/repo/src/geo/routing.h
+ /root/repo/src/util/metrics.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/histogram.h /root/repo/src/sim/simulator.h \
+ /root/repo/src/sim/metrics.h /root/repo/src/sim/speed_curve.h \
+ /root/repo/src/sim/trip.h /root/repo/src/sim/vehicle.h \
+ /root/repo/src/sim/itinerary.h /root/repo/src/geo/routing.h

@@ -329,5 +329,8 @@ tests/CMakeFiles/modb_sim_test.dir/sim/itinerary_test.cc.o: \
  /root/repo/src/util/stats.h /root/repo/src/core/estimator.h \
  /root/repo/src/db/moving_object.h /root/repo/src/db/query.h \
  /root/repo/src/core/uncertainty.h /root/repo/src/db/update_log.h \
- /root/repo/src/index/object_index.h /root/repo/src/sim/vehicle.h \
- /root/repo/src/sim/trip.h
+ /root/repo/src/index/object_index.h /root/repo/src/util/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/histogram.h \
+ /root/repo/src/sim/vehicle.h /root/repo/src/sim/trip.h

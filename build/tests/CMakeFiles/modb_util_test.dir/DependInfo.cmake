@@ -9,10 +9,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/modb_util_test.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/modb_util_test.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/metrics_test.cc" "tests/CMakeFiles/modb_util_test.dir/util/metrics_test.cc.o" "gcc" "tests/CMakeFiles/modb_util_test.dir/util/metrics_test.cc.o.d"
   "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/modb_util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/modb_util_test.dir/util/rng_test.cc.o.d"
   "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/modb_util_test.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/modb_util_test.dir/util/stats_test.cc.o.d"
   "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/modb_util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/modb_util_test.dir/util/status_test.cc.o.d"
   "/root/repo/tests/util/table_test.cc" "tests/CMakeFiles/modb_util_test.dir/util/table_test.cc.o" "gcc" "tests/CMakeFiles/modb_util_test.dir/util/table_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/modb_util_test.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/modb_util_test.dir/util/thread_pool_test.cc.o.d"
   )
 
 # Targets to which this target links.

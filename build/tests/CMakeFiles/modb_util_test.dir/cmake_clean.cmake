@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/modb_util_test.dir/util/histogram_test.cc.o"
   "CMakeFiles/modb_util_test.dir/util/histogram_test.cc.o.d"
+  "CMakeFiles/modb_util_test.dir/util/metrics_test.cc.o"
+  "CMakeFiles/modb_util_test.dir/util/metrics_test.cc.o.d"
   "CMakeFiles/modb_util_test.dir/util/rng_test.cc.o"
   "CMakeFiles/modb_util_test.dir/util/rng_test.cc.o.d"
   "CMakeFiles/modb_util_test.dir/util/stats_test.cc.o"
@@ -9,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/modb_util_test.dir/util/status_test.cc.o.d"
   "CMakeFiles/modb_util_test.dir/util/table_test.cc.o"
   "CMakeFiles/modb_util_test.dir/util/table_test.cc.o.d"
+  "CMakeFiles/modb_util_test.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/modb_util_test.dir/util/thread_pool_test.cc.o.d"
   "modb_util_test"
   "modb_util_test.pdb"
   "modb_util_test[1]_tests.cmake"

@@ -11,3 +11,4 @@ include("/root/repo/build/tests/modb_index_test[1]_include.cmake")
 include("/root/repo/build/tests/modb_db_test[1]_include.cmake")
 include("/root/repo/build/tests/modb_sim_test[1]_include.cmake")
 include("/root/repo/build/tests/modb_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/modb_concurrency_test[1]_include.cmake")

@@ -95,10 +95,9 @@ class Shell {
     if (!(in >> cmd) || cmd[0] == '#') return true;
 
     if (cmd == "quit" || cmd == "exit") return false;
-    // Textual query language pass-through.
-    std::string upper = cmd;
-    for (char& c : upper) c = static_cast<char>(std::toupper(c));
-    if (upper == "SELECT" || upper == "POSITION" || upper == "NEAREST") {
+    // Textual query language pass-through. Keywords must be uppercase so
+    // the lowercase `nearest` built-in stays reachable.
+    if (cmd == "SELECT" || cmd == "POSITION" || cmd == "NEAREST") {
       const auto result = modb::db::ExecuteQuery(*db_, line);
       std::printf("%s\n", result.ok() ? result->c_str()
                                       : result.status().ToString().c_str());

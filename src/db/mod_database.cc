@@ -35,6 +35,21 @@ ModDatabase::ModDatabase(const geo::RouteNetwork* network,
       index_(MakeIndex(network, options)),
       log_(options.max_log_history) {}
 
+void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
+                             const std::string& prefix) {
+  if (registry == nullptr) {
+    updates_applied_ = nullptr;
+    inserts_ = nullptr;
+    erases_ = nullptr;
+    index_probes_ = nullptr;
+    return;
+  }
+  updates_applied_ = registry->GetCounter(prefix + "updates_applied");
+  inserts_ = registry->GetCounter(prefix + "inserts");
+  erases_ = registry->GetCounter(prefix + "erases");
+  index_probes_ = registry->GetCounter(prefix + "index_probes");
+}
+
 util::Status ModDatabase::ValidateAttribute(
     const core::PositionAttribute& attr) const {
   const auto route = network_->FindRoute(attr.route);
@@ -62,6 +77,7 @@ util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
   record.insert_time = attr.start_time;
   records_.emplace(id, std::move(record));
   index_->Upsert(id, attr);
+  if (inserts_ != nullptr) inserts_->Increment();
   return util::Status::Ok();
 }
 
@@ -88,6 +104,7 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     records_.emplace(object.id, std::move(record));
   }
   index_->BulkUpsert(for_index);
+  if (inserts_ != nullptr) inserts_->Increment(for_index.size());
   return util::Status::Ok();
 }
 
@@ -120,6 +137,7 @@ util::Status ModDatabase::ApplyUpdate(const core::PositionUpdate& update) {
   ++record.update_count;
   index_->Upsert(update.object, attr);
   log_.Append(update);
+  if (updates_applied_ != nullptr) updates_applied_->Increment();
   return util::Status::Ok();
 }
 
@@ -149,6 +167,7 @@ util::Status ModDatabase::Erase(core::ObjectId id) {
   }
   records_.erase(it);
   index_->Remove(id);
+  if (erases_ != nullptr) erases_->Increment();
   return util::Status::Ok();
 }
 
@@ -202,6 +221,7 @@ RangeAnswer ModDatabase::QueryRange(const geo::Polygon& region,
   answer.query_time = t;
   const std::vector<core::ObjectId> candidates =
       index_->Candidates(region, t);
+  CountIndexProbe();
   answer.candidates_examined = candidates.size();
   for (core::ObjectId id : candidates) {
     const auto it = records_.find(id);
@@ -251,22 +271,18 @@ NearestAnswer ModDatabase::QueryNearest(const geo::Point2& point,
   if (k == 0 || records_.empty()) return answer;
 
   // Expanding probes: grow a square around the query point until it yields
-  // at least k candidates (or covers the whole network), then widen once
-  // more to the k-th database-position distance so no closer object on the
-  // fringe is missed.
+  // at least k *surviving* candidates (or covers the whole network), then
+  // widen once more to the k-th database-position distance so no closer
+  // object on the fringe is missed. Survivors are counted after refinement
+  // so that candidates dropped there (stale index entries, unknown routes)
+  // cannot leave the answer short of k while closer objects sit outside
+  // the probe. `candidates_examined` accumulates over every probe: it is
+  // the total refinement work done, not the last probe's yield.
   const geo::Box2 world = network_->BoundingBox();
   const double world_span =
       std::max(world.Width(), world.Height()) + 1.0;
   double radius = std::max(world_span / 64.0, 1e-6);
   std::vector<core::ObjectId> candidates;
-  for (;;) {
-    const geo::Polygon probe =
-        geo::Polygon::CenteredRectangle(point, radius, radius);
-    candidates = index_->Candidates(probe, t);
-    answer.candidates_examined = candidates.size();
-    if (candidates.size() >= k || radius >= world_span) break;
-    radius *= 2.0;
-  }
 
   auto build_items = [&](const std::vector<core::ObjectId>& ids) {
     std::vector<NearestAnswer::Item> items;
@@ -297,7 +313,18 @@ NearestAnswer ModDatabase::QueryNearest(const geo::Point2& point,
     return items;
   };
 
-  std::vector<NearestAnswer::Item> items = build_items(candidates);
+  std::vector<NearestAnswer::Item> items;
+  for (;;) {
+    const geo::Polygon probe =
+        geo::Polygon::CenteredRectangle(point, radius, radius);
+    candidates = index_->Candidates(probe, t);
+    CountIndexProbe();
+    answer.candidates_examined += candidates.size();
+    items = build_items(candidates);
+    if (items.size() >= k || radius >= world_span) break;
+    radius *= 2.0;
+  }
+
   if (!items.empty() && radius < world_span) {
     const double kth =
         items[std::min(k, items.size()) - 1].db_distance;
@@ -305,8 +332,8 @@ NearestAnswer ModDatabase::QueryNearest(const geo::Point2& point,
       const geo::Polygon wide =
           geo::Polygon::CenteredRectangle(point, kth, kth);
       candidates = index_->Candidates(wide, t);
-      answer.candidates_examined =
-          std::max(answer.candidates_examined, candidates.size());
+      CountIndexProbe();
+      answer.candidates_examined += candidates.size();
       items = build_items(candidates);
     }
   }
@@ -324,6 +351,7 @@ IntervalRangeAnswer ModDatabase::QueryRangeInterval(
   answer.window_end = t2;
   const std::vector<core::ObjectId> candidates =
       index_->CandidatesInWindow(region, t1, t2);
+  CountIndexProbe();
   answer.candidates_examined = candidates.size();
 
   for (core::ObjectId id : candidates) {
@@ -342,17 +370,19 @@ IntervalRangeAnswer ModDatabase::QueryRangeInterval(
     }
     answer.may.push_back(id);
 
-    // Sampled MUST-at-some-time.
-    const double step = sample_step > 0.0 ? sample_step : t2 - t1;
+    // Sampled MUST-at-some-time. The last iteration clamps to t2 so both
+    // window edges are always sampled (the header's contract), even when
+    // `sample_step` overshoots the window.
+    const double step =
+        std::max(sample_step > 0.0 ? sample_step : t2 - t1, 1e-9);
     bool must = false;
-    for (core::Time t = t1; !must && t <= t2 + 1e-9;
-         t += std::max(step, 1e-9)) {
+    for (core::Time t = t1; !must; t += step) {
       const core::Time clamped = std::min(t, t2);
       const core::UncertaintyInterval iv =
           core::ComputeUncertainty(attr, **route, clamped);
       must = core::ClassifyAgainstPolygon(iv, **route, region) ==
              core::RegionRelation::kMustBeIn;
-      if (clamped == t2) break;
+      if (clamped >= t2) break;
     }
     if (must) answer.must_at_some_time.push_back(id);
   }

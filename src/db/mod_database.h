@@ -16,6 +16,7 @@
 #include "geo/polygon.h"
 #include "geo/route_network.h"
 #include "index/object_index.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace modb::db {
@@ -123,6 +124,17 @@ class ModDatabase {
   /// Record lookup.
   util::Result<const MovingObjectRecord*> Get(core::ObjectId id) const;
 
+  /// Registers this database's instruments in `registry` under `prefix`
+  /// (counters `<prefix>updates_applied`, `<prefix>inserts`,
+  /// `<prefix>erases`, `<prefix>index_probes`) and starts updating them;
+  /// nullptr detaches. The registry must outlive the database. Several
+  /// databases given the same registry and prefix share the instruments —
+  /// that is how the sharded layer aggregates across shards. Counter
+  /// updates are lock-free, so const queries may bump `index_probes`
+  /// concurrently with other readers.
+  void SetMetrics(util::MetricsRegistry* registry,
+                  const std::string& prefix = "mod.");
+
   /// Invokes `fn` on every stored record (unspecified order). Used by the
   /// snapshot writer and statistics tooling.
   void ForEachRecord(
@@ -136,12 +148,20 @@ class ModDatabase {
 
  private:
   util::Status ValidateAttribute(const core::PositionAttribute& attr) const;
+  void CountIndexProbe() const {
+    if (index_probes_ != nullptr) index_probes_->Increment();
+  }
 
   const geo::RouteNetwork* network_;
   ModDatabaseOptions options_;
   std::unordered_map<core::ObjectId, MovingObjectRecord> records_;
   std::unique_ptr<index::ObjectIndex> index_;
   UpdateLog log_;
+  // Optional instruments (see SetMetrics); non-owning, may be null.
+  util::Counter* updates_applied_ = nullptr;
+  util::Counter* inserts_ = nullptr;
+  util::Counter* erases_ = nullptr;
+  util::Counter* index_probes_ = nullptr;
 };
 
 }  // namespace modb::db

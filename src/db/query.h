@@ -53,6 +53,8 @@ struct NearestAnswer {
   core::Time query_time = 0.0;
   /// Up to k items, ascending by `db_distance`.
   std::vector<Item> items;
+  /// Total candidates refined across every expanding index probe (the
+  /// work the query did, not the final probe's yield).
   std::size_t candidates_examined = 0;
 };
 

@@ -1,0 +1,286 @@
+#include "db/sharded_database.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+namespace modb::db {
+
+namespace {
+
+// SplitMix64 finaliser: ObjectIds are often sequential, and libstdc++'s
+// std::hash<uint64_t> is the identity, which would shard round-robin but
+// correlate with any id-structured workload. A real mix decorrelates.
+std::uint64_t MixId(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::size_t ResolveQueryThreads(const ShardedModDatabaseOptions& options,
+                                std::size_t num_shards) {
+  if (options.num_query_threads !=
+      ShardedModDatabaseOptions::kAutoQueryThreads) {
+    return options.num_query_threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw <= 1) return 0;  // fan out inline; extra threads only thrash
+  return std::min<std::size_t>(num_shards, hw - 1);
+}
+
+// Re-sorts `may` by id keeping the probability column aligned (the merged
+// concatenation of per-shard answers is sorted within but not across
+// shards).
+void SortMayWithProbabilities(std::vector<core::ObjectId>* may,
+                              std::vector<double>* probability) {
+  std::vector<std::size_t> order(may->size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return (*may)[a] < (*may)[b];
+  });
+  std::vector<core::ObjectId> sorted_may;
+  std::vector<double> sorted_prob;
+  sorted_may.reserve(order.size());
+  sorted_prob.reserve(order.size());
+  for (std::size_t i : order) {
+    sorted_may.push_back((*may)[i]);
+    sorted_prob.push_back((*probability)[i]);
+  }
+  *may = std::move(sorted_may);
+  *probability = std::move(sorted_prob);
+}
+
+}  // namespace
+
+ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
+                                       ShardedModDatabaseOptions options)
+    : network_(network),
+      pool_(ResolveQueryThreads(options,
+                                std::max<std::size_t>(options.num_shards, 1))) {
+  const std::size_t num_shards = std::max<std::size_t>(options.num_shards, 1);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->db = std::make_unique<ModDatabase>(network, options.db);
+    shard->db->SetMetrics(&metrics_);  // shards share the mod.* counters
+    shards_.push_back(std::move(shard));
+  }
+  queries_range_ = metrics_.GetCounter("sharded.queries_range");
+  queries_nearest_ = metrics_.GetCounter("sharded.queries_nearest");
+  queries_interval_ = metrics_.GetCounter("sharded.queries_interval");
+  queries_position_ = metrics_.GetCounter("sharded.queries_position");
+  latency_range_ = metrics_.GetLatency("sharded.query_range");
+  latency_nearest_ = metrics_.GetLatency("sharded.query_nearest");
+  latency_interval_ = metrics_.GetLatency("sharded.query_interval");
+  latency_update_ = metrics_.GetLatency("sharded.apply_update");
+}
+
+std::size_t ShardedModDatabase::ShardOf(core::ObjectId id) const {
+  return static_cast<std::size_t>(MixId(id) % shards_.size());
+}
+
+util::Status ShardedModDatabase::Insert(core::ObjectId id, std::string label,
+                                        const core::PositionAttribute& attr) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::unique_lock lock(shard.mu);
+  return shard.db->Insert(id, std::move(label), attr);
+}
+
+util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
+  // Reject cross-shard duplicate ids up front (per-shard BulkInsert only
+  // sees its own partition).
+  std::vector<std::vector<BulkObject>> partitions(shards_.size());
+  {
+    std::unordered_map<core::ObjectId, bool> batch_ids;
+    for (BulkObject& object : objects) {
+      if (batch_ids.contains(object.id)) {
+        return util::Status::AlreadyExists("object " +
+                                           std::to_string(object.id));
+      }
+      batch_ids.emplace(object.id, true);
+      partitions[ShardOf(object.id)].push_back(std::move(object));
+    }
+  }
+
+  std::vector<util::Status> statuses(shards_.size());
+  FanOut([&](std::size_t s) {
+    if (partitions[s].empty()) return;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mu);
+    // Copied (not moved) into the shard so the partition is still around
+    // for cross-shard rollback below.
+    statuses[s] = shard.db->BulkInsert(partitions[s]);
+  });
+
+  util::Status first_error;
+  for (const util::Status& s : statuses) {
+    if (!s.ok()) {
+      first_error = s;
+      break;
+    }
+  }
+  if (first_error.ok()) return util::Status::Ok();
+
+  // Atomicity across shards: undo the partitions that did load.
+  FanOut([&](std::size_t s) {
+    if (partitions[s].empty() || !statuses[s].ok()) return;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mu);
+    for (const BulkObject& object : partitions[s]) {
+      (void)shard.db->Erase(object.id);
+    }
+  });
+  return first_error;
+}
+
+util::Status ShardedModDatabase::ApplyUpdate(
+    const core::PositionUpdate& update) {
+  util::ScopedLatencyTimer timer(latency_update_);
+  Shard& shard = *shards_[ShardOf(update.object)];
+  std::unique_lock lock(shard.mu);
+  return shard.db->ApplyUpdate(update);
+}
+
+util::Status ShardedModDatabase::Erase(core::ObjectId id) {
+  Shard& shard = *shards_[ShardOf(id)];
+  std::unique_lock lock(shard.mu);
+  return shard.db->Erase(id);
+}
+
+util::Result<PositionAnswer> ShardedModDatabase::QueryPosition(
+    core::ObjectId id, core::Time t) const {
+  queries_position_->Increment();
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mu);
+  return shard.db->QueryPosition(id, t);
+}
+
+void ShardedModDatabase::FanOut(
+    const std::function<void(std::size_t)>& per_shard) const {
+  pool_.ParallelFor(shards_.size(), per_shard);
+}
+
+RangeAnswer ShardedModDatabase::QueryRange(const geo::Polygon& region,
+                                           core::Time t) const {
+  queries_range_->Increment();
+  util::ScopedLatencyTimer timer(latency_range_);
+  std::vector<RangeAnswer> per_shard(shards_.size());
+  FanOut([&](std::size_t s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mu);
+    per_shard[s] = shard.db->QueryRange(region, t);
+  });
+
+  RangeAnswer merged;
+  merged.query_time = t;
+  for (RangeAnswer& a : per_shard) {
+    merged.candidates_examined += a.candidates_examined;
+    merged.must.insert(merged.must.end(), a.must.begin(), a.must.end());
+    merged.may.insert(merged.may.end(), a.may.begin(), a.may.end());
+    merged.may_probability.insert(merged.may_probability.end(),
+                                  a.may_probability.begin(),
+                                  a.may_probability.end());
+  }
+  std::sort(merged.must.begin(), merged.must.end());
+  SortMayWithProbabilities(&merged.may, &merged.may_probability);
+  return merged;
+}
+
+NearestAnswer ShardedModDatabase::QueryNearest(const geo::Point2& point,
+                                               std::size_t k,
+                                               core::Time t) const {
+  queries_nearest_->Increment();
+  util::ScopedLatencyTimer timer(latency_nearest_);
+  NearestAnswer merged;
+  merged.query_time = t;
+  if (k == 0) return merged;
+
+  std::vector<NearestAnswer> per_shard(shards_.size());
+  FanOut([&](std::size_t s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mu);
+    per_shard[s] = shard.db->QueryNearest(point, k, t);
+  });
+
+  // Global top-k re-merge: every shard returned its own k best, so the
+  // union contains the global k best.
+  for (NearestAnswer& a : per_shard) {
+    merged.candidates_examined += a.candidates_examined;
+    merged.items.insert(merged.items.end(), a.items.begin(), a.items.end());
+  }
+  std::sort(merged.items.begin(), merged.items.end(),
+            [](const NearestAnswer::Item& a, const NearestAnswer::Item& b) {
+              return a.db_distance < b.db_distance;
+            });
+  if (merged.items.size() > k) merged.items.resize(k);
+  return merged;
+}
+
+IntervalRangeAnswer ShardedModDatabase::QueryRangeInterval(
+    const geo::Polygon& region, core::Time t1, core::Time t2,
+    core::Duration sample_step) const {
+  queries_interval_->Increment();
+  util::ScopedLatencyTimer timer(latency_interval_);
+  std::vector<IntervalRangeAnswer> per_shard(shards_.size());
+  FanOut([&](std::size_t s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mu);
+    per_shard[s] = shard.db->QueryRangeInterval(region, t1, t2, sample_step);
+  });
+
+  IntervalRangeAnswer merged;
+  merged.window_start = std::min(t1, t2);
+  merged.window_end = std::max(t1, t2);
+  for (IntervalRangeAnswer& a : per_shard) {
+    merged.candidates_examined += a.candidates_examined;
+    merged.may.insert(merged.may.end(), a.may.begin(), a.may.end());
+    merged.must_at_some_time.insert(merged.must_at_some_time.end(),
+                                    a.must_at_some_time.begin(),
+                                    a.must_at_some_time.end());
+  }
+  std::sort(merged.may.begin(), merged.may.end());
+  std::sort(merged.must_at_some_time.begin(), merged.must_at_some_time.end());
+  return merged;
+}
+
+util::Result<MovingObjectRecord> ShardedModDatabase::GetRecord(
+    core::ObjectId id) const {
+  const Shard& shard = *shards_[ShardOf(id)];
+  std::shared_lock lock(shard.mu);
+  auto result = shard.db->Get(id);
+  if (!result.ok()) return result.status();
+  return **result;  // copy out while the lock is held
+}
+
+void ShardedModDatabase::ForEachRecord(
+    const std::function<void(const MovingObjectRecord&)>& fn) const {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    shard->db->ForEachRecord(fn);
+  }
+}
+
+std::size_t ShardedModDatabase::num_objects() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    total += shard->db->num_objects();
+  }
+  return total;
+}
+
+std::string ShardedModDatabase::DumpMetrics() const {
+  std::string out = metrics_.Dump();
+  out += "gauge sharded.num_shards " + std::to_string(shards_.size()) + '\n';
+  out += "gauge sharded.query_threads " + std::to_string(pool_.num_threads()) +
+         '\n';
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock lock(shards_[s]->mu);
+    out += "gauge sharded.shard" + std::to_string(s) + ".objects " +
+           std::to_string(shards_[s]->db->num_objects()) + '\n';
+  }
+  return out;
+}
+
+}  // namespace modb::db

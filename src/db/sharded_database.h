@@ -1,0 +1,145 @@
+#ifndef MODB_DB_SHARDED_DATABASE_H_
+#define MODB_DB_SHARDED_DATABASE_H_
+
+#include <limits>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "db/mod_database.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace modb::db {
+
+/// Options for the sharded concurrency layer.
+struct ShardedModDatabaseOptions {
+  /// Sentinel: size the query pool from the hardware at construction.
+  static constexpr std::size_t kAutoQueryThreads =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Number of shards (>= 1; 0 is promoted to 1). More shards means less
+  /// write contention; fan-out queries touch all of them regardless.
+  std::size_t num_shards = 8;
+  /// Worker threads in the internal fan-out pool. 0 runs fan-outs inline
+  /// on the calling thread — the right choice on single-core hosts. The
+  /// default (`kAutoQueryThreads`) resolves to
+  /// min(num_shards, hardware_concurrency - 1), or 0 when the hardware
+  /// offers no parallelism.
+  std::size_t num_query_threads = kAutoQueryThreads;
+  /// Options applied to every per-shard `ModDatabase`.
+  ModDatabaseOptions db;
+};
+
+/// Concurrency layer over `ModDatabase`: N shards keyed by ObjectId hash,
+/// each wrapping one single-threaded `ModDatabase` behind a shared mutex.
+///
+/// Writes (`Insert` / `ApplyUpdate` / `Erase`) take the owning shard's
+/// exclusive lock, so updates to different shards proceed in parallel.
+/// Fan-out queries (`QueryRange` / `QueryNearest` / `QueryRangeInterval`)
+/// take each shard's shared lock, run the per-shard query on the internal
+/// thread pool, and merge: MUST / MAY unions re-sorted by id, and a global
+/// top-k re-merge for nearest.
+///
+/// Consistency: per-object operations are linearisable (one shard, one
+/// lock). A fan-out query does not freeze the whole database — each shard
+/// is read atomically, but concurrent updates may land between shard
+/// visits, exactly as if the query and updates had been serialised in some
+/// order per shard. This matches the paper's instantaneous-update model,
+/// where answers are only ever as fresh as the last update anyway.
+///
+/// All instruments live in an internal lock-free-read `MetricsRegistry`
+/// (per-shard databases share the `mod.*` counters; the layer adds
+/// `sharded.*` query counters and latency histograms), dumped as text by
+/// `DumpMetrics()`.
+class ShardedModDatabase {
+ public:
+  using BulkObject = ModDatabase::BulkObject;
+
+  /// `network` must outlive the database.
+  ShardedModDatabase(const geo::RouteNetwork* network,
+                     ShardedModDatabaseOptions options);
+  explicit ShardedModDatabase(const geo::RouteNetwork* network)
+      : ShardedModDatabase(network, ShardedModDatabaseOptions{}) {}
+
+  ShardedModDatabase(const ShardedModDatabase&) = delete;
+  ShardedModDatabase& operator=(const ShardedModDatabase&) = delete;
+
+  util::Status Insert(core::ObjectId id, std::string label,
+                      const core::PositionAttribute& attr);
+
+  /// Partitions the batch by shard and bulk-loads the shards in parallel.
+  /// On failure the shards that had already loaded their partition are
+  /// rolled back, so the database is unchanged (same contract as
+  /// `ModDatabase::BulkInsert`).
+  util::Status BulkInsert(std::vector<BulkObject> objects);
+
+  util::Status ApplyUpdate(const core::PositionUpdate& update);
+  util::Status Erase(core::ObjectId id);
+
+  util::Result<PositionAnswer> QueryPosition(core::ObjectId id,
+                                             core::Time t) const;
+  RangeAnswer QueryRange(const geo::Polygon& region, core::Time t) const;
+  NearestAnswer QueryNearest(const geo::Point2& point, std::size_t k,
+                             core::Time t) const;
+  IntervalRangeAnswer QueryRangeInterval(
+      const geo::Polygon& region, core::Time t1, core::Time t2,
+      core::Duration sample_step = 1.0) const;
+
+  /// Copy of the record (a pointer into a shard would dangle once the
+  /// shard lock is released, so the concurrent API copies).
+  util::Result<MovingObjectRecord> GetRecord(core::ObjectId id) const;
+
+  /// Invokes `fn` on every stored record, shard by shard (unspecified
+  /// order). Each shard is read under its shared lock; `fn` must not call
+  /// back into this database's write API (self-deadlock).
+  void ForEachRecord(
+      const std::function<void(const MovingObjectRecord&)>& fn) const;
+
+  std::size_t num_objects() const;
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_query_threads() const { return pool_.num_threads(); }
+  const geo::RouteNetwork& network() const { return *network_; }
+
+  /// Shard that owns `id` (stable hash; exposed for tests and tooling).
+  std::size_t ShardOf(core::ObjectId id) const;
+
+  util::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Text dump of every counter and latency histogram plus per-shard
+  /// object counts — the monitoring endpoint used by the throughput
+  /// benchmark.
+  std::string DumpMetrics() const;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<ModDatabase> db;
+  };
+
+  /// Runs `per_shard(shard_index)` for every shard on the pool (inline
+  /// when the pool is empty) and blocks until all shards finished.
+  void FanOut(const std::function<void(std::size_t)>& per_shard) const;
+
+  const geo::RouteNetwork* network_;
+  util::MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Declared after shards_ (destroyed first) and mutable because fan-out
+  // queries are logically const but need to schedule work.
+  mutable util::ThreadPool pool_;
+
+  // Cached instrument handles (owned by metrics_).
+  util::Counter* queries_range_;
+  util::Counter* queries_nearest_;
+  util::Counter* queries_interval_;
+  util::Counter* queries_position_;
+  util::LatencyHistogram* latency_range_;
+  util::LatencyHistogram* latency_nearest_;
+  util::LatencyHistogram* latency_interval_;
+  util::LatencyHistogram* latency_update_;
+};
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_SHARDED_DATABASE_H_

@@ -13,7 +13,11 @@ namespace modb::db {
 
 namespace {
 
-constexpr int kSnapshotVersion = 2;
+// v3 appended `max_trajectory_versions` to the options line; v2 snapshots
+// (which lacked the field, silently dropping the cap on restore) are still
+// readable and default it to 0 (unlimited).
+constexpr int kSnapshotVersion = 3;
+constexpr int kMinReadableSnapshotVersion = 2;
 
 void WriteAttribute(std::ostream& out, const core::PositionAttribute& a) {
   out << a.start_time << ' ' << a.route << ' ' << a.start_route_distance
@@ -67,7 +71,8 @@ util::Status WriteSnapshot(const ModDatabase& db, std::ostream& out) {
   out << "options " << static_cast<int>(options.index_kind) << ' '
       << options.oplane_horizon << ' ' << options.oplane_slab_width << ' '
       << options.max_log_history << ' '
-      << (options.keep_trajectory ? 1 : 0) << '\n';
+      << (options.keep_trajectory ? 1 : 0) << ' '
+      << options.max_trajectory_versions << '\n';
 
   const geo::RouteNetwork& network = db.network();
   out << "routes " << network.size() << '\n';
@@ -122,7 +127,8 @@ util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
 
   if (!ExpectToken(in, "modb-snapshot")) return malformed("magic");
   int version = 0;
-  if (!(in >> version) || version != kSnapshotVersion) {
+  if (!(in >> version) || version < kMinReadableSnapshotVersion ||
+      version > kSnapshotVersion) {
     return malformed("unsupported version");
   }
 
@@ -133,6 +139,9 @@ util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
   if (!(in >> index_kind >> options.oplane_horizon >>
         options.oplane_slab_width >> options.max_log_history >>
         keep_trajectory)) {
+    return malformed("options fields");
+  }
+  if (version >= 3 && !(in >> options.max_trajectory_versions)) {
     return malformed("options fields");
   }
   options.index_kind = static_cast<IndexKind>(index_kind);

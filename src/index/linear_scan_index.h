@@ -11,6 +11,10 @@ namespace modb::index {
 /// Baseline access method: examine every object (the paper's strawman the
 /// sublinear index is measured against). Returns each object whose current
 /// uncertainty-interval bounding box intersects the query region's box.
+///
+/// Satisfies the `ObjectIndex` thread-compatibility contract: the const
+/// query paths only read `attrs_`, so concurrent readers are safe under a
+/// shared lock.
 class LinearScanIndex final : public ObjectIndex {
  public:
   /// `network` must outlive the index.

@@ -17,6 +17,13 @@ namespace modb::index {
 /// uncertainty interval can intersect the query region at time `t`
 /// (candidates); the database refines candidates with the exact
 /// MUST / MAY classification.
+///
+/// Thread-compatibility contract: the const methods (`Candidates`,
+/// `CandidatesInWindow`, the size accessors) must be safe to call
+/// concurrently from multiple threads as long as no thread is in a
+/// mutating method — i.e. implementations must not mutate hidden state
+/// (no `mutable` caches) from const paths. The sharded database relies on
+/// this to run fan-out queries under shared (reader) locks.
 class ObjectIndex {
  public:
   virtual ~ObjectIndex() = default;

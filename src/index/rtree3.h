@@ -25,6 +25,11 @@ namespace modb::index {
 ///     distribution with the smallest overlap (ties by volume).
 /// Forced reinsertion is not implemented; deletions use the classical
 /// condense-tree + reinsert of orphaned entries.
+///
+/// Concurrent reads: `Search` / `SearchValues` and the size accessors are
+/// genuinely const (no internal caches), so any number of threads may
+/// query simultaneously provided no mutation is in flight; writers need
+/// external exclusion.
 class RTree3 {
  public:
   struct Options {

@@ -19,6 +19,10 @@ namespace modb::index {
 /// Queries are exact (no false negatives) for t0 within `options.horizon`
 /// of each object's last update; later time points fall outside the indexed
 /// planes, mirroring the paper's bounded time span T.
+///
+/// Satisfies the `ObjectIndex` thread-compatibility contract: the const
+/// query paths only walk the R*-tree and never touch `boxes_by_object_`
+/// mutably, so concurrent readers are safe under a shared lock.
 class TimeSpaceIndex final : public ObjectIndex {
  public:
   struct Options {

@@ -29,6 +29,12 @@ void Histogram::Add(double x) {
   ++buckets_[idx];
 }
 
+void Histogram::AddBucketCount(std::size_t i, std::size_t n) {
+  assert(i < buckets_.size());
+  buckets_[i] += n;
+  count_ += n;
+}
+
 double Histogram::bucket_lo(std::size_t i) const {
   return lo_ + bucket_width_ * static_cast<double>(i);
 }

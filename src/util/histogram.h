@@ -20,6 +20,12 @@ class Histogram {
   /// Adds one observation.
   void Add(double x);
 
+  /// Adds `n` observations directly to bucket `i` (requires i <
+  /// num_buckets()). Used to rebuild a histogram from externally
+  /// accumulated per-bucket counts (e.g. the metrics registry's atomic
+  /// latency buckets) without replaying every sample.
+  void AddBucketCount(std::size_t i, std::size_t n);
+
   /// Number of observations added (including under/overflow).
   std::size_t count() const { return count_; }
   std::size_t underflow() const { return underflow_; }

@@ -1,0 +1,98 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace modb::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared by the caller and the helper tasks. Helpers that wake up after
+  // every index is claimed touch only `state` (kept alive by the
+  // shared_ptr), never `fn`, so the caller may safely return — and `fn` go
+  // out of scope — as soon as `done` reaches `n`.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = &fn;
+
+  auto run = [state] {
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t i =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) break;
+      (*state->fn)(i);
+      ++completed;
+    }
+    if (completed > 0 &&
+        state->done.fetch_add(completed, std::memory_order_acq_rel) +
+                completed ==
+            state->n) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  };
+
+  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) Submit(run);
+  run();  // the caller claims indices too
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace modb::util

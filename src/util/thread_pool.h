@@ -1,0 +1,57 @@
+#ifndef MODB_UTIL_THREAD_POOL_H_
+#define MODB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace modb::util {
+
+/// Fixed-size pool of worker threads with a shared FIFO task queue.
+///
+/// Built for the sharded database's query fan-out: `ParallelFor` spreads a
+/// loop over the workers *and* the calling thread, so a pool of size 0 is a
+/// valid configuration that simply runs everything inline (the right choice
+/// on single-core hosts, where fan-out threads only add context switches).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed; all work then runs on the
+  /// caller inside `ParallelFor`).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins the workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task` for asynchronous execution on a worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(0) ... fn(n-1)`, distributing indices over the workers and
+  /// the calling thread, and blocks until all `n` calls have returned.
+  /// Indices are claimed from a shared atomic, so the per-call work may be
+  /// uneven. Safe to call from within a pool task (the caller participates,
+  /// so nested loops cannot deadlock on a starved queue). `fn` must be
+  /// safe to invoke concurrently from multiple threads.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace modb::util
+
+#endif  // MODB_UTIL_THREAD_POOL_H_

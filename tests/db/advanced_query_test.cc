@@ -227,6 +227,71 @@ TEST_F(AdvancedQueryTest, IntervalQueryAgreesAcrossIndexKinds) {
   }
 }
 
+TEST_F(AdvancedQueryTest, IntervalQuerySamplesWindowEndEdge) {
+  // Regression: with sample_step > t2 - t1 the MUST loop used to stop
+  // after sampling t1, dropping an object that is provably inside only at
+  // the t2 edge.
+  ModDatabase db(&network_);
+  // Speed 1 from 100: deep inside [195, 215] only around t = 105.
+  ASSERT_TRUE(db.Insert(1, "edge", Attr(street_, 100.0, 1.0)).ok());
+  const geo::Polygon region =
+      geo::Polygon::Rectangle(195.0, -1.0, 215.0, 1.0);
+  // Sanity: at t=105 the object MUST be in the region...
+  ASSERT_EQ(db.QueryRange(region, 105.0).must.size(), 1u);
+  // ...and t=105 is the *end* of the window, with a step far larger than
+  // the window: the edge sample is the only chance to detect MUST.
+  const IntervalRangeAnswer answer =
+      db.QueryRangeInterval(region, 95.0, 105.0, 1000.0);
+  ASSERT_EQ(answer.may.size(), 1u);
+  ASSERT_EQ(answer.must_at_some_time.size(), 1u) << "t2 edge not sampled";
+  EXPECT_EQ(answer.must_at_some_time[0], 1u);
+}
+
+TEST_F(AdvancedQueryTest, IntervalQueryZeroLengthWindow) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "still", Attr(street_, 100.0, 1.0)).ok());
+  const geo::Polygon region =
+      geo::Polygon::Rectangle(150.0, -1.0, 250.0, 1.0);
+  const IntervalRangeAnswer answer =
+      db.QueryRangeInterval(region, 100.0, 100.0, 5.0);
+  ASSERT_EQ(answer.may.size(), 1u);
+  EXPECT_EQ(answer.must_at_some_time.size(), 1u);
+}
+
+TEST_F(AdvancedQueryTest, NearestAccumulatesCandidatesAcrossProbes) {
+  // Regression: candidates_examined was overwritten by each expanding
+  // probe, under-reporting the refinement work actually done.
+  ModDatabase db(&network_);
+  // One object near the query point (found by an early small probe) and a
+  // cluster far away, so reaching k = 2 takes several doublings that each
+  // re-examine the near object.
+  ASSERT_TRUE(db.Insert(1, "near", Attr(street_, 10.0)).ok());
+  ASSERT_TRUE(db.Insert(2, "far", Attr(street_, 390.0)).ok());
+  const NearestAnswer answer = db.QueryNearest({10.0, 0.0}, 2, 0.0);
+  ASSERT_EQ(answer.items.size(), 2u);
+  // The near object is a candidate of every probe radius that contains it;
+  // the total must exceed the final probe's yield of 2.
+  EXPECT_GT(answer.candidates_examined, 2u);
+}
+
+TEST_F(AdvancedQueryTest, NearestWidensPastFilteredCandidates) {
+  // The probe loop must expand until k *surviving* items are found, not k
+  // raw candidates: refinement may drop candidates (stale index entries,
+  // unknown routes), and stopping on the raw count could return fewer
+  // than k while closer objects sit outside the probe. With the built-in
+  // indexes the raw and surviving counts coincide, so this doubles as an
+  // ordering sanity check over a spread-out fleet.
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "close", Attr(street_, 40.0)).ok());
+  ASSERT_TRUE(db.Insert(2, "mid", Attr(street_, 120.0)).ok());
+  ASSERT_TRUE(db.Insert(3, "far", Attr(street_, 360.0)).ok());
+  const NearestAnswer baseline = db.QueryNearest({40.0, 0.0}, 3, 0.0);
+  ASSERT_EQ(baseline.items.size(), 3u);
+  EXPECT_EQ(baseline.items[0].id, 1u);
+  EXPECT_EQ(baseline.items[1].id, 2u);
+  EXPECT_EQ(baseline.items[2].id, 3u);
+}
+
 TEST_F(AdvancedQueryTest, IntervalQuerySwapsReversedWindow) {
   ModDatabase db(&network_);
   ASSERT_TRUE(db.Insert(1, "x", Attr(street_, 100.0, 1.0)).ok());

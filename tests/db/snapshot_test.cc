@@ -139,6 +139,65 @@ TEST_F(SnapshotTest, MalformedInputsRejected) {
   expect_invalid("modb-snapshot 2\noptions 0 60 4 0 0\nroutes x");
   expect_invalid(
       "modb-snapshot 2\noptions 0 60 4 0 0\nroutes 1\nroute 5 2 0 0 1 1 2 ab");
+  expect_invalid("modb-snapshot 3\noptions 0 60 4 0 0");          // v3 truncated
+}
+
+TEST_F(SnapshotTest, TrajectoryVersionCapRoundTrips) {
+  // Regression: v2 serialized only 5 of the 6 option fields, so a restored
+  // database silently stopped capping trajectory history.
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  options.max_trajectory_versions = 2;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "capped", Attr(main_, 0.0, 1.0)).ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSnapshot(db, stream).ok());
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->database->options().max_trajectory_versions, 2u);
+
+  // The restored database keeps enforcing the cap.
+  ModDatabase& db2 = *loaded->database;
+  for (int i = 1; i <= 5; ++i) {
+    core::PositionUpdate update;
+    update.object = 1;
+    update.time = 3.5 + i;
+    update.route = main_;
+    update.route_distance = 10.0 + i;
+    update.position = {10.0 + i, 0.0};
+    update.direction = core::TravelDirection::kForward;
+    update.speed = 1.0;
+    ASSERT_TRUE(db2.ApplyUpdate(update).ok()) << i;
+  }
+  const auto rec = db2.Get(1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ((*rec)->past.size(), 2u);
+}
+
+TEST_F(SnapshotTest, ReadsVersion2SnapshotsWithoutCapField) {
+  // A v2 snapshot (pre-cap format) must still load, defaulting the cap to
+  // 0 (unlimited).
+  const std::string v2 =
+      "modb-snapshot 2\n"
+      "options 0 120 4 0 1\n"
+      "routes 1\n"
+      "route 0 2 0 0 100 0 7 main st\n"
+      "objects 1\n"
+      "object 1 3 cab 0 0 0 0 0 1 1 0 5 1.5 0 1 1 0 0 0\n";
+  std::stringstream stream(v2);
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->database->options().keep_trajectory);
+  EXPECT_EQ(loaded->database->options().max_trajectory_versions, 0u);
+  EXPECT_EQ(loaded->database->num_objects(), 1u);
+}
+
+TEST_F(SnapshotTest, WritesVersion3Header) {
+  ModDatabase db(&network_);
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSnapshot(db, stream).ok());
+  EXPECT_EQ(stream.str().rfind("modb-snapshot 3\n", 0), 0u);
 }
 
 TEST_F(SnapshotTest, TrajectoryHistoryRoundTrips) {
