@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite, then
+# (optionally) the sanitizer gates. Usage:
+#
+#   scripts/check.sh            # default build + full ctest
+#   scripts/check.sh --asan     # + AddressSanitizer whole-tree build & tests
+#   scripts/check.sh --tsan     # + ThreadSanitizer concurrency/durability gate
+#   scripts/check.sh --all      # everything
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_asan=0
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_asan=1 ;;
+    --tsan) run_tsan=1 ;;
+    --all) run_asan=1; run_tsan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier 1: default build + full test suite =="
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== AddressSanitizer gate =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan -j "$jobs"
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== ThreadSanitizer gate (concurrency + durability suites) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset tsan -j "$jobs"
+fi
+
+echo "check.sh: all requested suites passed"

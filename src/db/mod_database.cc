@@ -4,6 +4,7 @@
 
 #include "core/bounds.h"
 #include "core/uncertainty.h"
+#include "db/wal.h"
 #include "index/linear_scan_index.h"
 #include "index/timespace_index.h"
 
@@ -70,6 +71,11 @@ util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
     return util::Status::AlreadyExists("object " + std::to_string(id));
   }
   if (util::Status s = ValidateAttribute(attr); !s.ok()) return s;
+  if (wal_ != nullptr) {
+    if (util::Status s = wal_->AppendInsert(id, label, attr); !s.ok()) {
+      return s;
+    }
+  }
   MovingObjectRecord record;
   record.id = id;
   record.label = std::move(label);
@@ -91,6 +97,15 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     }
     batch_ids.emplace(object.id, true);
     if (util::Status s = ValidateAttribute(object.attr); !s.ok()) return s;
+  }
+  if (wal_ != nullptr) {
+    for (const BulkObject& object : objects) {
+      if (util::Status s =
+              wal_->AppendInsert(object.id, object.label, object.attr);
+          !s.ok()) {
+        return s;
+      }
+    }
   }
   std::vector<std::pair<core::ObjectId, core::PositionAttribute>> for_index;
   for_index.reserve(objects.size());
@@ -125,6 +140,9 @@ util::Status ModDatabase::ApplyUpdate(const core::PositionUpdate& update) {
   attr.direction = update.direction;
   attr.speed = update.speed;
   if (util::Status s = ValidateAttribute(attr); !s.ok()) return s;
+  if (wal_ != nullptr) {
+    if (util::Status s = wal_->AppendUpdate(update); !s.ok()) return s;
+  }
   if (options_.keep_trajectory) {
     record.past.push_back(record.attr);
     const std::size_t cap = options_.max_trajectory_versions;
@@ -164,6 +182,9 @@ util::Status ModDatabase::Erase(core::ObjectId id) {
   const auto it = records_.find(id);
   if (it == records_.end()) {
     return util::Status::NotFound("object " + std::to_string(id));
+  }
+  if (wal_ != nullptr) {
+    if (util::Status s = wal_->AppendErase(id); !s.ok()) return s;
   }
   records_.erase(it);
   index_->Remove(id);

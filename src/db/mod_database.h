@@ -21,6 +21,8 @@
 
 namespace modb::db {
 
+class WalWriter;
+
 /// Which access method backs range queries.
 enum class IndexKind {
   kTimeSpaceRTree,  // the paper's §4 method
@@ -135,6 +137,17 @@ class ModDatabase {
   void SetMetrics(util::MetricsRegistry* registry,
                   const std::string& prefix = "mod.");
 
+  /// Attaches a write-ahead log (nullptr detaches; non-owning — the WAL
+  /// must outlive the attachment). Once attached, every mutation is
+  /// appended to the log *after* validation but *before* the in-memory
+  /// commit, so a WAL append failure aborts the mutation and the log never
+  /// trails the memory state. `BulkInsert` logs one insert record per row;
+  /// a mid-batch append failure leaves the already-logged rows in the WAL
+  /// (recovery applies a prefix of the *logged* record stream — batch
+  /// atomicity is an in-memory property, durability is per-record).
+  void AttachWal(WalWriter* wal) { wal_ = wal; }
+  WalWriter* wal() const { return wal_; }
+
   /// Invokes `fn` on every stored record (unspecified order). Used by the
   /// snapshot writer and statistics tooling.
   void ForEachRecord(
@@ -157,6 +170,7 @@ class ModDatabase {
   std::unordered_map<core::ObjectId, MovingObjectRecord> records_;
   std::unique_ptr<index::ObjectIndex> index_;
   UpdateLog log_;
+  WalWriter* wal_ = nullptr;  // non-owning, see AttachWal
   // Optional instruments (see SetMetrics); non-owning, may be null.
   util::Counter* updates_applied_ = nullptr;
   util::Counter* inserts_ = nullptr;

@@ -1,0 +1,318 @@
+#include "db/recovery.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace modb::db {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CheckpointInfo {
+  std::uint64_t id = 0;
+  std::string path;
+};
+
+/// All checkpoints in `dir`, sorted ascending by id.
+std::vector<CheckpointInfo> ListCheckpoints(const std::string& dir) {
+  std::vector<CheckpointInfo> checkpoints;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    CheckpointInfo info;
+    char trailer = 0;
+    if (std::sscanf(name.c_str(), "checkpoint-%" SCNu64 ".sna%c", &info.id,
+                    &trailer) == 2 &&
+        trailer == 'p') {
+      info.path = entry.path().string();
+      checkpoints.push_back(std::move(info));
+    }
+  }
+  std::sort(checkpoints.begin(), checkpoints.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.id < b.id;
+            });
+  return checkpoints;
+}
+
+/// fsync a file (or directory) by path; best effort on platforms where
+/// directories cannot be opened.
+void SyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+/// Largest epoch mentioned by any file in `dir` (checkpoint ids and WAL
+/// epochs live in one sequence).
+std::uint64_t MaxEpochOnDisk(const std::string& dir) {
+  std::uint64_t max_epoch = 0;
+  for (const CheckpointInfo& cp : ListCheckpoints(dir)) {
+    max_epoch = std::max(max_epoch, cp.id);
+  }
+  for (const WalSegmentInfo& seg : ListWalSegments(dir)) {
+    max_epoch = std::max(max_epoch, seg.epoch);
+  }
+  return max_epoch;
+}
+
+/// Applies one replayed WAL record to `db` (which must have no WAL
+/// attached, or the replay would be re-logged).
+util::Status ApplyWalRecord(ModDatabase* db, const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kInsert:
+      return db->Insert(record.id, record.label, record.attr);
+    case WalRecordType::kUpdate:
+      return db->ApplyUpdate(record.update);
+    case WalRecordType::kErase:
+      return db->Erase(record.id);
+  }
+  return util::Status::Internal("unknown WAL record type");
+}
+
+void MergeReplayStats(const WalReplayStats& stats, RecoveryReport* report) {
+  report->wal_records_replayed += stats.records;
+  report->wal_records_skipped += stats.records_skipped;
+  report->wal_bytes_truncated += stats.bytes_truncated;
+  report->wal_corrupt_segments += stats.corrupt_segments;
+  if (!stats.clean || stats.records_skipped > 0) {
+    report->clean = false;
+    if (report->detail.empty()) report->detail = stats.detail;
+  }
+}
+
+/// Replays WAL epochs `first_epoch`, `first_epoch + 1`, … in order.
+/// Checkpoint N+1 is by construction checkpoint N plus every record of
+/// epoch N, so chaining epochs forward from an older checkpoint recovers
+/// everything the newer (corrupt, skipped) checkpoints covered. The chain
+/// stops at the first truncation — records beyond a hole cannot be trusted
+/// to apply to a consistent base.
+void ReplayEpochChain(const std::string& dir, std::uint64_t first_epoch,
+                      const std::function<util::Status(const WalRecord&)>& apply,
+                      RecoveryReport* report) {
+  std::vector<std::uint64_t> epochs;
+  for (const WalSegmentInfo& seg : ListWalSegments(dir)) {
+    if (seg.epoch >= first_epoch &&
+        (epochs.empty() || epochs.back() != seg.epoch)) {
+      epochs.push_back(seg.epoch);
+    }
+  }
+  std::uint64_t expected = first_epoch;
+  for (std::uint64_t epoch : epochs) {
+    if (epoch != expected++) break;  // epoch gap: same rule as a torn frame
+    auto stats = ReplayWal(dir, epoch, apply);
+    if (!stats.ok()) break;
+    MergeReplayStats(*stats, report);
+    if (!stats->clean) break;
+  }
+}
+
+/// Loads the newest checkpoint that parses, skipping corrupt ones.
+util::Result<LoadedSnapshot> LoadNewestCheckpoint(const std::string& dir,
+                                                  RecoveryReport* report) {
+  const std::vector<CheckpointInfo> checkpoints = ListCheckpoints(dir);
+  if (checkpoints.empty()) {
+    return util::Status::NotFound("no checkpoint in " + dir);
+  }
+  for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+    auto loaded = LoadSnapshot(it->path);
+    if (loaded.ok()) {
+      report->checkpoint_id = it->id;
+      report->recovered = true;
+      report->objects_restored = loaded->database->num_objects();
+      return std::move(loaded).value();
+    }
+    ++report->checkpoints_skipped;
+    report->clean = false;
+    if (report->detail.empty()) {
+      report->detail =
+          "corrupt checkpoint " + it->path + ": " + loaded.status().message();
+    }
+  }
+  return util::Status::InvalidArgument("every checkpoint in " + dir +
+                                       " is corrupt");
+}
+
+}  // namespace
+
+std::string CheckpointFileName(std::uint64_t id) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%08" PRIu64 ".snap", id);
+  return buf;
+}
+
+util::Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    ModDatabase* db, const std::string& dir,
+    const DurabilityOptions& options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create " + dir + ": " +
+                                  ec.message());
+  }
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(db, dir, options));
+
+  const std::vector<CheckpointInfo> checkpoints = ListCheckpoints(dir);
+  if (!checkpoints.empty()) {
+    if (db->num_objects() != 0) {
+      return util::Status::FailedPrecondition(
+          "recovering " + dir + " requires an empty database");
+    }
+    auto loaded = LoadNewestCheckpoint(dir, &manager->report_);
+    if (!loaded.ok()) return loaded.status();
+
+    // Restore the checkpoint's objects into the caller's database; its
+    // network must resolve every route the checkpoint references.
+    util::Status restore_error;
+    loaded->database->ForEachRecord([&](const MovingObjectRecord& record) {
+      if (!restore_error.ok()) return;
+      if (util::Status s = db->Insert(record.id, record.label, record.attr);
+          !s.ok()) {
+        restore_error = s;
+        return;
+      }
+      if (!record.past.empty()) {
+        if (util::Status s = db->RestoreTrajectory(record.id, record.past);
+            !s.ok()) {
+          restore_error = s;
+        }
+      }
+    });
+    if (!restore_error.ok()) return restore_error;
+
+    ReplayEpochChain(dir, manager->report_.checkpoint_id,
+                     [db](const WalRecord& record) {
+                       return ApplyWalRecord(db, record);
+                     },
+                     &manager->report_);
+  }
+
+  if (util::Status s = manager->StartFreshEpoch(MaxEpochOnDisk(dir) + 1);
+      !s.ok()) {
+    return s;
+  }
+  return manager;
+}
+
+DurabilityManager::~DurabilityManager() {
+  if (db_ != nullptr) db_->AttachWal(nullptr);
+  if (wal_ != nullptr) (void)wal_->Close();
+}
+
+util::Status DurabilityManager::StartFreshEpoch(std::uint64_t new_epoch) {
+  // 1. Checkpoint the current state: tmp file, fsync, atomic rename.
+  const fs::path final_path = fs::path(dir_) / CheckpointFileName(new_epoch);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  if (util::Status s = SaveSnapshot(*db_, tmp_path.string()); !s.ok()) {
+    return s;
+  }
+  SyncPath(tmp_path.string());
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return util::Status::Internal("checkpoint rename failed: " + ec.message());
+  }
+  SyncPath(dir_);
+
+  // 2. Fresh WAL epoch. Only after it is live do we swap and prune, so a
+  // failure here leaves the previous WAL (if any) attached and intact.
+  auto wal = WalWriter::Open(dir_, new_epoch, options_.wal);
+  if (!wal.ok()) return wal.status();
+
+  if (wal_ != nullptr) (void)wal_->Close();
+  wal_ = std::move(*wal);
+  if (metrics_ != nullptr) wal_->SetMetrics(metrics_, wal_metrics_prefix_);
+  db_->AttachWal(wal_.get());
+  return Prune();
+}
+
+util::Status DurabilityManager::Prune() {
+  std::error_code ec;
+  std::vector<CheckpointInfo> checkpoints = ListCheckpoints(dir_);
+  const std::size_t keep = std::max<std::size_t>(options_.checkpoints_to_keep,
+                                                 1);
+  while (checkpoints.size() > keep) {
+    fs::remove(checkpoints.front().path, ec);
+    checkpoints.erase(checkpoints.begin());
+  }
+  // Log truncation: segments below the oldest *retained* checkpoint can
+  // never be replayed again. Epochs from that checkpoint on are kept so
+  // recovery can fall back across a corrupt newer checkpoint and chain the
+  // epochs forward without losing a record.
+  const std::uint64_t oldest_needed =
+      checkpoints.empty() ? 0 : checkpoints.front().id;
+  for (const WalSegmentInfo& seg : ListWalSegments(dir_)) {
+    if (seg.epoch < oldest_needed) fs::remove(seg.path, ec);
+  }
+  return util::Status::Ok();
+}
+
+util::Status DurabilityManager::Checkpoint() {
+  return StartFreshEpoch(wal_->epoch() + 1);
+}
+
+void DurabilityManager::ExportMetrics(util::MetricsRegistry* registry,
+                                      const std::string& recovery_prefix,
+                                      const std::string& wal_prefix) {
+  metrics_ = registry;
+  wal_metrics_prefix_ = wal_prefix;
+  if (registry == nullptr) {
+    if (wal_ != nullptr) wal_->SetMetrics(nullptr);
+    return;
+  }
+  registry->GetCounter(recovery_prefix + "records_replayed")
+      ->Increment(report_.wal_records_replayed);
+  registry->GetCounter(recovery_prefix + "records_skipped")
+      ->Increment(report_.wal_records_skipped);
+  registry->GetCounter(recovery_prefix + "bytes_truncated")
+      ->Increment(report_.wal_bytes_truncated);
+  registry->GetCounter(recovery_prefix + "corrupt_segments")
+      ->Increment(report_.wal_corrupt_segments);
+  registry->GetCounter(recovery_prefix + "checkpoints_skipped")
+      ->Increment(report_.checkpoints_skipped);
+  if (wal_ != nullptr) wal_->SetMetrics(registry, wal_prefix);
+}
+
+util::Result<RecoveredDatabase> Recover(const std::string& dir,
+                                        const DurabilityOptions& options) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    return util::Status::NotFound("no durable directory at " + dir);
+  }
+
+  RecoveredDatabase result;
+  auto loaded = LoadNewestCheckpoint(dir, &result.report);
+  if (!loaded.ok()) return loaded.status();
+  result.network = std::move(loaded->network);
+  result.database = std::move(loaded->database);
+
+  ModDatabase* db = result.database.get();
+  ReplayEpochChain(dir, result.report.checkpoint_id,
+                   [db](const WalRecord& record) {
+                     return ApplyWalRecord(db, record);
+                   },
+                   &result.report);
+
+  std::unique_ptr<DurabilityManager> manager(
+      new DurabilityManager(db, dir, options));
+  manager->report_ = result.report;
+  if (util::Status s = manager->StartFreshEpoch(MaxEpochOnDisk(dir) + 1);
+      !s.ok()) {
+    return s;
+  }
+  result.durability = std::move(manager);
+  return result;
+}
+
+}  // namespace modb::db

@@ -1,0 +1,147 @@
+#ifndef MODB_DB_RECOVERY_H_
+#define MODB_DB_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "db/mod_database.h"
+#include "db/snapshot.h"
+#include "db/wal.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace modb::db {
+
+/// Checkpoint + WAL knobs of a durable MOD store directory.
+struct DurabilityOptions {
+  WalWriterOptions wal;
+  /// Checkpoints retained after a successful new checkpoint (>= 1). Keeping
+  /// more than one lets recovery fall back when the newest checkpoint file
+  /// itself is corrupt.
+  std::size_t checkpoints_to_keep = 2;
+};
+
+/// What recovery found and did. Returned instead of failing: corruption
+/// degrades gracefully to the last consistent prefix of the log.
+struct RecoveryReport {
+  /// True when state was restored from disk (false = fresh bootstrap).
+  bool recovered = false;
+  /// Id of the checkpoint loaded (0 when bootstrapping a fresh directory).
+  std::uint64_t checkpoint_id = 0;
+  /// Newer checkpoints skipped because they were unreadable/corrupt.
+  std::size_t checkpoints_skipped = 0;
+  /// Objects restored from the checkpoint.
+  std::uint64_t objects_restored = 0;
+  /// WAL records replayed on top of the checkpoint.
+  std::uint64_t wal_records_replayed = 0;
+  /// WAL records whose replay was rejected by the database (counted and
+  /// skipped; a symptom of a log/checkpoint mismatch).
+  std::uint64_t wal_records_skipped = 0;
+  /// Bytes dropped at and after the first torn/corrupt WAL frame.
+  std::uint64_t wal_bytes_truncated = 0;
+  std::size_t wal_corrupt_segments = 0;
+  /// False when anything was skipped or truncated; `detail` says what.
+  bool clean = true;
+  std::string detail;
+};
+
+/// Owns the durable home of one `ModDatabase`: the directory layout
+/// (`checkpoint-<id>.snap` + `wal-<epoch>-<seq>.log`), the live WAL writer
+/// (attached to the database for write-ahead logging), and the checkpoint
+/// protocol. The manager must outlive no database it is attached to — it
+/// detaches on destruction.
+///
+/// Invariant: checkpoint id N covers every mutation up to the moment it was
+/// written; WAL epoch N holds exactly the mutations after checkpoint N (so
+/// checkpoint N+1 ≡ checkpoint N + epoch N). A new checkpoint starts a new
+/// epoch and truncates the log: segments of epochs older than the oldest
+/// *retained* checkpoint are deleted. Recovery exploits the equivalence —
+/// if the newest checkpoint is corrupt it falls back to an older one and
+/// chains the surviving epochs forward, losing nothing.
+class DurabilityManager {
+ public:
+  /// Opens `dir` as the durable home of `*db`:
+  ///  - missing/empty dir: bootstrap — checkpoints the database's current
+  ///    state and starts a fresh WAL epoch;
+  ///  - existing durable dir: requires `*db` empty; restores the newest
+  ///    readable checkpoint into it (objects must resolve against the
+  ///    database's own route network), replays the matching WAL epoch up to
+  ///    the first torn/corrupt record, then checkpoints the recovered state
+  ///    and starts a fresh epoch (recovery never appends to old segments).
+  /// On success the WAL is attached to `*db`. `*db` must outlive the
+  /// manager.
+  static util::Result<std::unique_ptr<DurabilityManager>> Open(
+      ModDatabase* db, const std::string& dir,
+      const DurabilityOptions& options = {});
+
+  ~DurabilityManager();
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// Checkpoint protocol: write `checkpoint-<epoch+1>.snap` (tmp file +
+  /// fsync + atomic rename), switch the database to a fresh WAL epoch, then
+  /// delete the superseded segments and stale checkpoints. On failure the
+  /// old WAL stays attached and the store keeps running.
+  util::Status Checkpoint();
+
+  const RecoveryReport& recovery_report() const { return report_; }
+  const WalWriter* wal() const { return wal_.get(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Adds this manager's recovery outcome to `<prefix>records_replayed`,
+  /// `<prefix>records_skipped`, `<prefix>bytes_truncated`,
+  /// `<prefix>corrupt_segments` and `<prefix>checkpoints_skipped` counters,
+  /// and wires the live WAL's counters into the same registry. The wiring
+  /// survives `Checkpoint()` (each fresh-epoch writer is re-attached).
+  void ExportMetrics(util::MetricsRegistry* registry,
+                     const std::string& recovery_prefix = "recovery.",
+                     const std::string& wal_prefix = "wal.");
+
+ private:
+  DurabilityManager(ModDatabase* db, std::string dir,
+                    DurabilityOptions options)
+      : db_(db), dir_(std::move(dir)), options_(std::move(options)) {}
+
+  /// Shared tail of bootstrap/recovery: checkpoint the current state at
+  /// `new_epoch`, open + attach the fresh WAL, prune stale files.
+  util::Status StartFreshEpoch(std::uint64_t new_epoch);
+  util::Status Prune();
+
+  friend util::Result<struct RecoveredDatabase> Recover(
+      const std::string& dir, const DurabilityOptions& options);
+
+  ModDatabase* db_;
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryReport report_;
+  util::MetricsRegistry* metrics_ = nullptr;  // see ExportMetrics
+  std::string wal_metrics_prefix_;
+};
+
+/// A database recovered from a durable directory, bundled with the network
+/// the checkpoint carried and a live durability manager (fresh WAL epoch,
+/// already attached). Destruction order — members in reverse — detaches the
+/// WAL before the database and network die.
+struct RecoveredDatabase {
+  std::unique_ptr<geo::RouteNetwork> network;
+  std::unique_ptr<ModDatabase> database;
+  std::unique_ptr<DurabilityManager> durability;
+  RecoveryReport report;
+};
+
+/// Standalone crash recovery: loads the newest readable checkpoint in `dir`
+/// (falling back across corrupt ones), replays the WAL suffix up to the
+/// first torn/corrupt record, and returns the result with a fresh epoch
+/// started. Corruption never fails recovery — it bounds it; the report says
+/// exactly what was lost. Fails only when no checkpoint is readable at all.
+util::Result<RecoveredDatabase> Recover(const std::string& dir,
+                                        const DurabilityOptions& options = {});
+
+/// File name of checkpoint `id` ("checkpoint-<id>.snap", zero-padded).
+std::string CheckpointFileName(std::uint64_t id);
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_RECOVERY_H_

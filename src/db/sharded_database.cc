@@ -1,6 +1,8 @@
 #include "db/sharded_database.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
@@ -64,6 +66,38 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
     auto shard = std::make_unique<Shard>();
     shard->db = std::make_unique<ModDatabase>(network, options.db);
     shard->db->SetMetrics(&metrics_);  // shards share the mod.* counters
+    if (!options.durable_dir.empty()) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "shard-%04zu", i);
+      const std::string dir =
+          (std::filesystem::path(options.durable_dir) / name).string();
+      auto durability =
+          DurabilityManager::Open(shard->db.get(), dir, options.durability);
+      if (durability.ok()) {
+        shard->durability = std::move(*durability);
+        // Shards share the wal.* / recovery.* instruments, mirroring the
+        // mod.* aggregation above.
+        shard->durability->ExportMetrics(&metrics_);
+        const RecoveryReport& r = shard->durability->recovery_report();
+        recovery_report_.recovered |= r.recovered;
+        recovery_report_.checkpoint_id =
+            std::max(recovery_report_.checkpoint_id, r.checkpoint_id);
+        recovery_report_.checkpoints_skipped += r.checkpoints_skipped;
+        recovery_report_.objects_restored += r.objects_restored;
+        recovery_report_.wal_records_replayed += r.wal_records_replayed;
+        recovery_report_.wal_records_skipped += r.wal_records_skipped;
+        recovery_report_.wal_bytes_truncated += r.wal_bytes_truncated;
+        recovery_report_.wal_corrupt_segments += r.wal_corrupt_segments;
+        if (!r.clean) {
+          recovery_report_.clean = false;
+          if (recovery_report_.detail.empty()) {
+            recovery_report_.detail = r.detail;
+          }
+        }
+      } else if (durability_status_.ok()) {
+        durability_status_ = durability.status();
+      }
+    }
     shards_.push_back(std::move(shard));
   }
   queries_range_ = metrics_.GetCounter("sharded.queries_range");
@@ -268,6 +302,20 @@ std::size_t ShardedModDatabase::num_objects() const {
     total += shard->db->num_objects();
   }
   return total;
+}
+
+util::Status ShardedModDatabase::Checkpoint() {
+  bool any = false;
+  for (const auto& shard : shards_) {
+    if (shard->durability == nullptr) continue;
+    any = true;
+    std::unique_lock lock(shard->mu);
+    if (util::Status s = shard->durability->Checkpoint(); !s.ok()) return s;
+  }
+  if (!any) {
+    return util::Status::FailedPrecondition("durability is not enabled");
+  }
+  return util::Status::Ok();
 }
 
 std::string ShardedModDatabase::DumpMetrics() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "db/mod_database.h"
+#include "db/recovery.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -30,6 +31,14 @@ struct ShardedModDatabaseOptions {
   std::size_t num_query_threads = kAutoQueryThreads;
   /// Options applied to every per-shard `ModDatabase`.
   ModDatabaseOptions db;
+  /// Root directory for durability; each shard gets its own WAL and
+  /// checkpoints under `<durable_dir>/shard-<i>`. On construction a shard
+  /// directory with existing state is recovered (checkpoint + WAL replay);
+  /// a fresh one is bootstrapped. Empty disables durability (pure
+  /// in-memory, the previous behaviour).
+  std::string durable_dir;
+  /// WAL + checkpoint knobs, used when `durable_dir` is set.
+  DurabilityOptions durability;
 };
 
 /// Concurrency layer over `ModDatabase`: N shards keyed by ObjectId hash,
@@ -107,6 +116,20 @@ class ShardedModDatabase {
 
   util::MetricsRegistry& metrics() { return metrics_; }
 
+  /// Checkpoints every shard — per-shard snapshot plus WAL truncation —
+  /// under the shard's exclusive lock (shards checkpoint one after another;
+  /// the store keeps serving the shards not currently locked). Returns the
+  /// first error; FailedPrecondition when durability is off.
+  util::Status Checkpoint();
+
+  /// OK when durability is off or every shard bootstrapped/recovered. A
+  /// failed shard runs in-memory-only; the store stays usable.
+  const util::Status& durability_status() const { return durability_status_; }
+
+  /// Aggregated recovery outcome across shards (sums of counts; `clean`
+  /// is the conjunction). Default-constructed when durability is off.
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
   /// Text dump of every counter and latency histogram plus per-shard
   /// object counts — the monitoring endpoint used by the throughput
   /// benchmark.
@@ -116,6 +139,9 @@ class ShardedModDatabase {
   struct alignas(64) Shard {
     mutable std::shared_mutex mu;
     std::unique_ptr<ModDatabase> db;
+    // Owns the shard's WAL; declared after db (destroyed first) so the WAL
+    // detaches from a still-live database.
+    std::unique_ptr<DurabilityManager> durability;
   };
 
   /// Runs `per_shard(shard_index)` for every shard on the pool (inline
@@ -124,6 +150,8 @@ class ShardedModDatabase {
 
   const geo::RouteNetwork* network_;
   util::MetricsRegistry metrics_;
+  util::Status durability_status_;
+  RecoveryReport recovery_report_;
   std::vector<std::unique_ptr<Shard>> shards_;
   // Declared after shards_ (destroyed first) and mutable because fan-out
   // queries are logically const but need to schedule work.

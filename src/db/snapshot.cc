@@ -37,6 +37,12 @@ bool ReadAttribute(std::istream& in, core::PositionAttribute* a) {
         a->period >> a->step_threshold)) {
     return false;
   }
+  // A corrupted file must not smuggle out-of-range values into the enums.
+  if (direction != +1 && direction != -1) return false;
+  if (policy < 0 ||
+      policy > static_cast<int>(core::PolicyKind::kStepThreshold)) {
+    return false;
+  }
   a->direction = static_cast<core::TravelDirection>(direction);
   a->policy = static_cast<core::PolicyKind>(policy);
   return true;
@@ -144,6 +150,11 @@ util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
   if (version >= 3 && !(in >> options.max_trajectory_versions)) {
     return malformed("options fields");
   }
+  // An out-of-range kind would leave the database without an index (the
+  // factory switch has no such case) — reject it here instead.
+  if (index_kind < 0 || index_kind > static_cast<int>(IndexKind::kLinearScan)) {
+    return malformed("index kind");
+  }
   options.index_kind = static_cast<IndexKind>(index_kind);
   options.keep_trajectory = keep_trajectory != 0;
 
@@ -193,14 +204,17 @@ util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
     for (core::PositionAttribute& version : past) {
       if (!ReadAttribute(in, &version)) return malformed("past version");
     }
+    // Re-insert rejections (unknown route, duplicate id, bad attribute)
+    // mean the file is corrupt — surface them uniformly as malformed
+    // rather than leaking the database's own error codes.
     if (util::Status s = snapshot.database->Insert(id, label, a); !s.ok()) {
-      return s;
+      return malformed("object " + std::to_string(id) + ": " + s.message());
     }
     if (!past.empty()) {
       if (util::Status s =
               snapshot.database->RestoreTrajectory(id, std::move(past));
           !s.ok()) {
-        return s;
+        return malformed("object " + std::to_string(id) + ": " + s.message());
       }
     }
     (void)insert_time;   // Insert() re-derives it from the attribute.

@@ -7,9 +7,10 @@ void UpdateLog::Append(const core::PositionUpdate& update) {
   ++per_object_[update.object];
   if (max_history_ > 0 && history_.size() >= max_history_) {
     // Drop the oldest half to keep amortised O(1) appends.
+    const std::size_t drop = history_.size() / 2;
+    dropped_ += drop;
     history_.erase(history_.begin(),
-                   history_.begin() +
-                       static_cast<std::ptrdiff_t>(history_.size() / 2));
+                   history_.begin() + static_cast<std::ptrdiff_t>(drop));
   }
   history_.push_back(update);
 }
@@ -21,6 +22,7 @@ std::uint64_t UpdateLog::updates_for(core::ObjectId id) const {
 
 void UpdateLog::Clear() {
   total_updates_ = 0;
+  dropped_ = 0;
   per_object_.clear();
   history_.clear();
 }

@@ -33,11 +33,17 @@ class UpdateLog {
   /// Retained history, oldest first (may be shorter than total_updates()).
   const std::vector<core::PositionUpdate>& history() const { return history_; }
 
+  /// Updates evicted from `history()` by the `max_history` cap. Non-zero
+  /// means replay-based consumers (tests, E-benchmarks) are looking at a
+  /// truncated measurement — check this before trusting `history()`.
+  std::uint64_t dropped_count() const { return dropped_; }
+
   void Clear();
 
  private:
   std::size_t max_history_;
   std::uint64_t total_updates_ = 0;
+  std::uint64_t dropped_ = 0;
   std::unordered_map<core::ObjectId, std::uint64_t> per_object_;
   std::vector<core::PositionUpdate> history_;
 };

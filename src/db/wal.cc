@@ -1,0 +1,441 @@
+#include "db/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace modb::db {
+
+namespace {
+
+// Frame header: payload length + masked CRC32C of the payload.
+constexpr std::size_t kFrameHeaderBytes = 8;
+// Sanity bound: no legal record is near this (labels are the only variable
+// part); a length beyond it is corruption, not a huge record.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+void PutU32(std::string* out, std::uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutF64(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+/// Bounds-checked little-endian cursor over a payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool GetU8(std::uint8_t* v) {
+    if (data_.size() < 1) return false;
+    *v = static_cast<std::uint8_t>(data_[0]);
+    data_.remove_prefix(1);
+    return true;
+  }
+
+  bool GetU32(std::uint32_t* v) {
+    if (data_.size() < 4) return false;
+    *v = 0;
+    for (int i = 3; i >= 0; --i) {
+      *v = (*v << 8) | static_cast<std::uint8_t>(data_[i]);
+    }
+    data_.remove_prefix(4);
+    return true;
+  }
+
+  bool GetU64(std::uint64_t* v) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (!GetU32(&lo) || !GetU32(&hi)) return false;
+    *v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+
+  bool GetF64(double* v) {
+    std::uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    std::uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (data_.size() < len) return false;
+    s->assign(data_.substr(0, len));
+    data_.remove_prefix(len);
+    return true;
+  }
+
+  bool AtEnd() const { return data_.empty(); }
+
+ private:
+  std::string_view data_;
+};
+
+void PutDirection(std::string* out, core::TravelDirection d) {
+  PutU8(out, d == core::TravelDirection::kForward ? 1 : 0);
+}
+
+bool GetDirection(Cursor* cursor, core::TravelDirection* d) {
+  std::uint8_t raw = 0;
+  if (!cursor->GetU8(&raw)) return false;
+  if (raw > 1) return false;
+  *d = raw == 1 ? core::TravelDirection::kForward
+                : core::TravelDirection::kBackward;
+  return true;
+}
+
+void PutAttribute(std::string* out, const core::PositionAttribute& a) {
+  PutF64(out, a.start_time);
+  PutU32(out, a.route);
+  PutF64(out, a.start_route_distance);
+  PutF64(out, a.start_position.x);
+  PutF64(out, a.start_position.y);
+  PutDirection(out, a.direction);
+  PutF64(out, a.speed);
+  PutU8(out, static_cast<std::uint8_t>(a.policy));
+  PutF64(out, a.update_cost);
+  PutF64(out, a.max_speed);
+  PutF64(out, a.fixed_threshold);
+  PutF64(out, a.period);
+  PutF64(out, a.step_threshold);
+}
+
+bool GetAttribute(Cursor* cursor, core::PositionAttribute* a) {
+  std::uint32_t route = 0;
+  std::uint8_t policy = 0;
+  if (!cursor->GetF64(&a->start_time) || !cursor->GetU32(&route) ||
+      !cursor->GetF64(&a->start_route_distance) ||
+      !cursor->GetF64(&a->start_position.x) ||
+      !cursor->GetF64(&a->start_position.y) ||
+      !GetDirection(cursor, &a->direction) || !cursor->GetF64(&a->speed) ||
+      !cursor->GetU8(&policy) || !cursor->GetF64(&a->update_cost) ||
+      !cursor->GetF64(&a->max_speed) || !cursor->GetF64(&a->fixed_threshold) ||
+      !cursor->GetF64(&a->period) || !cursor->GetF64(&a->step_threshold)) {
+    return false;
+  }
+  if (policy > static_cast<std::uint8_t>(core::PolicyKind::kStepThreshold)) {
+    return false;
+  }
+  a->route = route;
+  a->policy = static_cast<core::PolicyKind>(policy);
+  return true;
+}
+
+std::string FrameRecord(const std::string& payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  PutU32(&frame, util::Crc32cMask(util::Crc32c(payload)));
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  PutU8(&payload, static_cast<std::uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kInsert:
+      PutU64(&payload, record.id);
+      PutU32(&payload, static_cast<std::uint32_t>(record.label.size()));
+      payload += record.label;
+      PutAttribute(&payload, record.attr);
+      break;
+    case WalRecordType::kUpdate:
+      PutU64(&payload, record.update.object);
+      PutF64(&payload, record.update.time);
+      PutU32(&payload, record.update.route);
+      PutF64(&payload, record.update.route_distance);
+      PutF64(&payload, record.update.position.x);
+      PutF64(&payload, record.update.position.y);
+      PutDirection(&payload, record.update.direction);
+      PutF64(&payload, record.update.speed);
+      break;
+    case WalRecordType::kErase:
+      PutU64(&payload, record.id);
+      break;
+  }
+  return payload;
+}
+
+bool DecodeWalRecord(std::string_view payload, WalRecord* record) {
+  Cursor cursor(payload);
+  std::uint8_t type = 0;
+  if (!cursor.GetU8(&type)) return false;
+  switch (type) {
+    case static_cast<std::uint8_t>(WalRecordType::kInsert): {
+      record->type = WalRecordType::kInsert;
+      if (!cursor.GetU64(&record->id) || !cursor.GetString(&record->label) ||
+          !GetAttribute(&cursor, &record->attr)) {
+        return false;
+      }
+      break;
+    }
+    case static_cast<std::uint8_t>(WalRecordType::kUpdate): {
+      record->type = WalRecordType::kUpdate;
+      core::PositionUpdate& u = record->update;
+      std::uint32_t route = 0;
+      if (!cursor.GetU64(&u.object) || !cursor.GetF64(&u.time) ||
+          !cursor.GetU32(&route) || !cursor.GetF64(&u.route_distance) ||
+          !cursor.GetF64(&u.position.x) || !cursor.GetF64(&u.position.y) ||
+          !GetDirection(&cursor, &u.direction) || !cursor.GetF64(&u.speed)) {
+        return false;
+      }
+      u.route = route;
+      break;
+    }
+    case static_cast<std::uint8_t>(WalRecordType::kErase): {
+      record->type = WalRecordType::kErase;
+      if (!cursor.GetU64(&record->id)) return false;
+      break;
+    }
+    default:
+      return false;
+  }
+  return cursor.AtEnd();
+}
+
+std::string WalSegmentFileName(std::uint64_t epoch, std::uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%08" PRIu64 "-%08" PRIu64 ".log", epoch,
+                seq);
+  return buf;
+}
+
+std::vector<WalSegmentInfo> ListWalSegments(const std::string& dir) {
+  std::vector<WalSegmentInfo> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    WalSegmentInfo info;
+    char trailer = 0;
+    if (std::sscanf(name.c_str(), "wal-%" SCNu64 "-%" SCNu64 ".lo%c",
+                    &info.epoch, &info.seq, &trailer) == 3 &&
+        trailer == 'g') {
+      info.path = entry.path().string();
+      segments.push_back(std::move(info));
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegmentInfo& a, const WalSegmentInfo& b) {
+              return a.epoch != b.epoch ? a.epoch < b.epoch : a.seq < b.seq;
+            });
+  return segments;
+}
+
+util::Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& dir, std::uint64_t epoch, WalWriterOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create " + dir + ": " +
+                                  ec.message());
+  }
+  if (!options.file_factory) {
+    options.file_factory = util::DefaultWritableFileFactory();
+  }
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(dir, epoch, std::move(options)));
+  if (util::Status s = writer->OpenNextSegment(); !s.ok()) return s;
+  return writer;
+}
+
+WalWriter::~WalWriter() { (void)Close(); }
+
+util::Status WalWriter::OpenNextSegment() {
+  if (segment_ != nullptr) {
+    if (util::Status s = segment_->Close(); !s.ok()) return s;
+  }
+  ++seq_;
+  const std::string path =
+      (std::filesystem::path(dir_) / WalSegmentFileName(epoch_, seq_))
+          .string();
+  auto file = options_.file_factory(path);
+  if (!file.ok()) return file.status();
+  segment_ = std::move(*file);
+  segment_bytes_ = 0;
+  if (seq_ > 1 && rotations_counter_ != nullptr) {
+    rotations_counter_->Increment();
+  }
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::AppendRecord(const WalRecord& record) {
+  if (closed_) return util::Status::FailedPrecondition("WAL closed");
+  if (segment_bytes_ >= options_.segment_max_bytes) {
+    if (util::Status s = OpenNextSegment(); !s.ok()) return s;
+  }
+  const std::string frame = FrameRecord(EncodeWalRecord(record));
+  if (util::Status s = segment_->Append(frame); !s.ok()) return s;
+  segment_bytes_ += frame.size();
+  bytes_ += frame.size();
+  ++appends_;
+  if (appends_counter_ != nullptr) appends_counter_->Increment();
+  if (bytes_counter_ != nullptr) bytes_counter_->Increment(frame.size());
+  if (options_.sync_every_append) return Sync();
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::AppendInsert(core::ObjectId id, std::string_view label,
+                                     const core::PositionAttribute& attr) {
+  WalRecord record;
+  record.type = WalRecordType::kInsert;
+  record.id = id;
+  record.label = label;
+  record.attr = attr;
+  return AppendRecord(record);
+}
+
+util::Status WalWriter::AppendUpdate(const core::PositionUpdate& update) {
+  WalRecord record;
+  record.type = WalRecordType::kUpdate;
+  record.update = update;
+  return AppendRecord(record);
+}
+
+util::Status WalWriter::AppendErase(core::ObjectId id) {
+  WalRecord record;
+  record.type = WalRecordType::kErase;
+  record.id = id;
+  return AppendRecord(record);
+}
+
+util::Status WalWriter::Sync() {
+  if (closed_) return util::Status::FailedPrecondition("WAL closed");
+  if (syncs_counter_ != nullptr) syncs_counter_->Increment();
+  return segment_->Sync();
+}
+
+util::Status WalWriter::Close() {
+  if (closed_) return util::Status::Ok();
+  closed_ = true;
+  if (segment_ == nullptr) return util::Status::Ok();
+  return segment_->Close();
+}
+
+void WalWriter::SetMetrics(util::MetricsRegistry* registry,
+                           const std::string& prefix) {
+  if (registry == nullptr) {
+    appends_counter_ = nullptr;
+    bytes_counter_ = nullptr;
+    syncs_counter_ = nullptr;
+    rotations_counter_ = nullptr;
+    return;
+  }
+  appends_counter_ = registry->GetCounter(prefix + "appends");
+  bytes_counter_ = registry->GetCounter(prefix + "bytes");
+  syncs_counter_ = registry->GetCounter(prefix + "syncs");
+  rotations_counter_ = registry->GetCounter(prefix + "rotations");
+}
+
+namespace {
+
+util::Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return util::Status::NotFound("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+}  // namespace
+
+util::Result<WalReplayStats> ReplayWal(
+    const std::string& dir, std::uint64_t epoch,
+    const std::function<util::Status(const WalRecord&)>& apply) {
+  std::error_code ec;
+  const bool exists = std::filesystem::is_directory(dir, ec);
+  if (ec || !exists) {
+    return util::Status::NotFound("WAL directory missing: " + dir);
+  }
+
+  std::vector<WalSegmentInfo> segments;
+  for (WalSegmentInfo& info : ListWalSegments(dir)) {
+    if (info.epoch == epoch) segments.push_back(std::move(info));
+  }
+
+  WalReplayStats stats;
+  std::uint64_t expected_seq = 1;
+  bool stopped = false;
+  for (const WalSegmentInfo& segment : segments) {
+    auto data = ReadWholeFile(segment.path);
+    if (!data.ok()) return data.status();
+    // A sequence gap (a deleted or lost segment) ends the replayable
+    // prefix just like a corrupt frame would.
+    if (stopped || segment.seq != expected_seq++) {
+      stats.bytes_truncated += data->size();
+      ++stats.corrupt_segments;
+      if (!stopped) {
+        stats.clean = false;
+        stats.detail = "segment sequence gap before " + segment.path;
+        stopped = true;
+      }
+      continue;
+    }
+    ++stats.segments;
+
+    std::string_view rest(*data);
+    while (!rest.empty()) {
+      Cursor header(rest.substr(0, kFrameHeaderBytes));
+      std::uint32_t len = 0;
+      std::uint32_t masked_crc = 0;
+      const bool header_ok = header.GetU32(&len) && header.GetU32(&masked_crc);
+      if (!header_ok || len > kMaxPayloadBytes ||
+          rest.size() < kFrameHeaderBytes + len) {
+        // Torn tail (most often a crash mid-append) or a corrupt length.
+        stats.clean = false;
+        stats.detail = "torn frame in " + segment.path;
+        stats.bytes_truncated += rest.size();
+        ++stats.corrupt_segments;
+        stopped = true;
+        break;
+      }
+      const std::string_view payload = rest.substr(kFrameHeaderBytes, len);
+      WalRecord record;
+      if (util::Crc32cMask(util::Crc32c(payload)) != masked_crc ||
+          !DecodeWalRecord(payload, &record)) {
+        stats.clean = false;
+        stats.detail = "corrupt frame in " + segment.path;
+        stats.bytes_truncated += rest.size();
+        ++stats.corrupt_segments;
+        stopped = true;
+        break;
+      }
+      rest.remove_prefix(kFrameHeaderBytes + len);
+      ++stats.records;
+      stats.bytes_replayed += kFrameHeaderBytes + len;
+      if (util::Status s = apply(record); !s.ok()) ++stats.records_skipped;
+    }
+  }
+  return stats;
+}
+
+}  // namespace modb::db

@@ -1,0 +1,47 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace modb::util {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<std::uint8_t>(c)) & 0xffu];
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+std::uint32_t Crc32cMask(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+std::uint32_t Crc32cUnmask(std::uint32_t masked) {
+  const std::uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace modb::util

@@ -1,0 +1,26 @@
+#ifndef MODB_UTIL_CRC32C_H_
+#define MODB_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace modb::util {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum used
+/// by iSCSI, ext4 and the WAL record frames. Table-driven software
+/// implementation; `Extend` allows incremental computation over chunks.
+std::uint32_t Crc32c(std::string_view data);
+
+/// Extends a running CRC with more bytes: `Extend(Crc32c(a), b) ==
+/// Crc32c(a + b)`.
+std::uint32_t Crc32cExtend(std::uint32_t crc, std::string_view data);
+
+/// Masked CRC (the rotation+offset scheme of LevelDB/TFRecord): storing a
+/// CRC of data that itself contains CRCs is hazardous — masking makes the
+/// stored form distinguishable from a raw CRC of the frame bytes.
+std::uint32_t Crc32cMask(std::uint32_t crc);
+std::uint32_t Crc32cUnmask(std::uint32_t masked);
+
+}  // namespace modb::util
+
+#endif  // MODB_UTIL_CRC32C_H_

@@ -1,0 +1,162 @@
+#include "util/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+namespace modb::util {
+
+namespace {
+
+/// Buffered stdio file; `Sync` reaches the platters (well, fsync).
+class StdioWritableFile : public WritableFile {
+ public:
+  explicit StdioWritableFile(std::FILE* file) : file_(file) {}
+  ~StdioWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::Internal("write failed");
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(file_) != 0) return Status::Internal("fflush failed");
+    if (::fsync(::fileno(file_)) != 0) return Status::Internal("fsync failed");
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::Ok();
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    return rc == 0 ? Status::Ok() : Status::Internal("close failed");
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace
+
+WritableFileFactory DefaultWritableFileFactory() {
+  return [](const std::string& path) -> Result<std::unique_ptr<WritableFile>> {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) return Status::NotFound("cannot open " + path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<StdioWritableFile>(file));
+  };
+}
+
+/// Wraps one base file; all fault state lives in the owning injector so the
+/// plan's byte offsets span file rotations.
+class FaultInjector::File : public WritableFile {
+ public:
+  File(FaultInjector* injector, std::unique_ptr<WritableFile> base)
+      : injector_(injector), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    FaultInjector& inj = *injector_;
+    if (inj.crashed_) return Status::Internal("injected crash");
+
+    std::string buffered(data);
+    if (inj.plan_.bit_flip_probability > 0.0) {
+      for (char& c : buffered) {
+        if (inj.rng_.Bernoulli(inj.plan_.bit_flip_probability)) {
+          c = static_cast<char>(
+              static_cast<std::uint8_t>(c) ^
+              static_cast<std::uint8_t>(1u << inj.rng_.UniformInt(0, 7)));
+          ++inj.bits_flipped_;
+        }
+      }
+    }
+
+    std::string_view to_write = buffered;
+    const std::uint64_t budget =
+        inj.plan_.crash_after_bytes == FaultPlan::kNever
+            ? FaultPlan::kNever
+            : inj.plan_.crash_after_bytes - inj.bytes_written_;
+    const bool crash_now = to_write.size() > budget;
+    if (crash_now) to_write = to_write.substr(0, budget);
+
+    const Status s = base_->Append(to_write);
+    if (s.ok()) inj.bytes_written_ += to_write.size();
+    if (crash_now) {
+      inj.crashed_ = true;
+      // A torn write is on disk; make it visible the way a real crash
+      // would (the page cache does not outlive the machine).
+      (void)base_->Close();
+      return Status::Internal("injected crash (torn write)");
+    }
+    return s;
+  }
+
+  Status Sync() override {
+    FaultInjector& inj = *injector_;
+    if (inj.crashed_) return Status::Internal("injected crash");
+    if (inj.syncs_++ >= inj.plan_.fail_syncs_after) {
+      return Status::Internal("injected fsync failure");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjector* injector_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjector::FaultInjector(FaultPlan plan, WritableFileFactory base)
+    : plan_(plan), base_(std::move(base)), rng_(plan.seed) {}
+
+WritableFileFactory FaultInjector::factory() {
+  return [this](const std::string& path)
+             -> Result<std::unique_ptr<WritableFile>> {
+    if (crashed_) return Status::Internal("injected crash");
+    auto base = base_(path);
+    if (!base.ok()) return base.status();
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<File>(this, std::move(*base)));
+  };
+}
+
+Status TruncateFile(const std::string& path, std::uint64_t new_size) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, new_size, ec);
+  if (ec) return Status::NotFound("truncate " + path + ": " + ec.message());
+  return Status::Ok();
+}
+
+Status FlipFileByte(const std::string& path, std::uint64_t offset,
+                    std::uint8_t mask) {
+  if (mask == 0) mask = 0xff;
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!file) return Status::NotFound("cannot open " + path);
+  file.seekg(static_cast<std::streamoff>(offset));
+  const int byte = file.get();
+  if (byte == EOF) return Status::OutOfRange("offset past end of " + path);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(static_cast<std::uint8_t>(byte) ^ mask));
+  file.flush();
+  if (!file) return Status::Internal("flip failed on " + path);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("stat " + path + ": " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace modb::util

@@ -1,0 +1,101 @@
+#ifndef MODB_UTIL_FAULT_INJECTION_H_
+#define MODB_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace modb::util {
+
+/// Append-only file abstraction the durability layer writes through. The
+/// indirection exists so tests can interpose seeded faults (torn writes,
+/// bit rot, failing fsync) between the WAL and the disk — corruption paths
+/// are exercised deterministically instead of hoped-for.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes buffered data to durable storage (fflush + fsync).
+  virtual Status Sync() = 0;
+
+  /// Flushes and closes. Idempotent; the destructor closes without sync.
+  virtual Status Close() = 0;
+};
+
+/// Creates the `WritableFile` at `path`, truncating any existing file.
+using WritableFileFactory =
+    std::function<Result<std::unique_ptr<WritableFile>>(const std::string&)>;
+
+/// The real thing: buffered stdio writes, fsync-backed `Sync`.
+WritableFileFactory DefaultWritableFileFactory();
+
+/// One deterministic fault scenario. Byte counts address the cumulative
+/// stream written through a single `FaultInjector` (across file rotations),
+/// so a plan can place a crash at any offset of a multi-segment log.
+struct FaultPlan {
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Simulated power loss: the append that crosses this cumulative byte
+  /// offset writes only the prefix up to it (a torn write), then every
+  /// later operation on every file of the injector fails.
+  std::uint64_t crash_after_bytes = kNever;
+  /// The Nth and all later `Sync` calls fail (0 = every sync fails).
+  std::uint64_t fail_syncs_after = kNever;
+  /// Per-byte probability of flipping one (seeded) bit on its way to disk.
+  double bit_flip_probability = 0.0;
+  /// Seed for the bit-flip stream.
+  std::uint64_t seed = 1;
+};
+
+/// Factory + shared fault state: every `WritableFile` created through
+/// `factory()` draws from the same plan and the same cumulative byte
+/// counter. Must outlive the files it creates.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan,
+                         WritableFileFactory base = DefaultWritableFileFactory());
+
+  /// Factory handing out fault-wrapped files (capturing `this`).
+  WritableFileFactory factory();
+
+  /// True once the planned crash fired; all subsequent writes fail.
+  bool crashed() const { return crashed_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bits_flipped() const { return bits_flipped_; }
+  std::uint64_t syncs_attempted() const { return syncs_; }
+
+ private:
+  class File;
+
+  FaultPlan plan_;
+  WritableFileFactory base_;
+  Rng rng_;
+  bool crashed_ = false;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bits_flipped_ = 0;
+  std::uint64_t syncs_ = 0;
+};
+
+/// Post-hoc corruption helpers for closed files (simulating bit rot and
+/// short reads discovered at recovery time).
+/// Truncates the file at `path` to `new_size` bytes (<= current size).
+Status TruncateFile(const std::string& path, std::uint64_t new_size);
+/// XORs the byte at `offset` with `mask` (mask 0 is promoted to 0xff).
+Status FlipFileByte(const std::string& path, std::uint64_t offset,
+                    std::uint8_t mask = 0xff);
+/// Size of the file at `path` in bytes.
+Result<std::uint64_t> FileSize(const std::string& path);
+
+}  // namespace modb::util
+
+#endif  // MODB_UTIL_FAULT_INJECTION_H_

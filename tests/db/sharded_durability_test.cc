@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "db/sharded_database.h"
+#include "util/fault_injection.h"
+
+namespace modb::db {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Fingerprint(const ShardedModDatabase& db) {
+  std::map<core::ObjectId, std::string> rows;
+  db.ForEachRecord([&](const MovingObjectRecord& record) {
+    std::ostringstream row;
+    row << std::hexfloat << record.label << ' ' << record.attr.start_time
+        << ' ' << record.attr.start_route_distance << ' '
+        << record.attr.speed;
+    rows[record.id] = row.str();
+  });
+  std::string out;
+  for (const auto& [id, row] : rows) {
+    out += std::to_string(id) + ':' + row + '\n';
+  }
+  return out;
+}
+
+class ShardedDurabilityTest : public testing::Test {
+ protected:
+  ShardedDurabilityTest() {
+    main_ = network_.AddStraightRoute({0.0, 0.0}, {500.0, 0.0}, "main st");
+  }
+
+  void SetUp() override {
+    dir_ = (fs::path(testing::TempDir()) /
+            ("sharded_durability_" +
+             std::string(testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ShardedModDatabaseOptions Options() const {
+    ShardedModDatabaseOptions options;
+    options.num_shards = 4;
+    options.num_query_threads = 0;  // inline fan-out: single-core friendly
+    options.durable_dir = dir_;
+    return options;
+  }
+
+  core::PositionAttribute Attr(double s, double v) const {
+    core::PositionAttribute attr;
+    attr.start_time = 0.0;
+    attr.route = main_;
+    attr.start_route_distance = s;
+    attr.start_position = network_.route(main_).PointAt(s);
+    attr.direction = core::TravelDirection::kForward;
+    attr.speed = v;
+    return attr;
+  }
+
+  core::PositionUpdate Update(core::ObjectId id, double time,
+                              double s) const {
+    core::PositionUpdate update;
+    update.object = id;
+    update.time = time;
+    update.route = main_;
+    update.route_distance = s;
+    update.position = network_.route(main_).PointAt(s);
+    update.direction = core::TravelDirection::kForward;
+    update.speed = 1.0;
+    return update;
+  }
+
+  geo::RouteNetwork network_;
+  geo::RouteId main_ = geo::kInvalidRouteId;
+  std::string dir_;
+};
+
+TEST_F(ShardedDurabilityTest, BootstrapCreatesPerShardDirectories) {
+  ShardedModDatabase db(&network_, Options());
+  ASSERT_TRUE(db.durability_status().ok())
+      << db.durability_status().message();
+  EXPECT_FALSE(db.recovery_report().recovered);
+  std::size_t shard_dirs = 0;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("shard-", 0) == 0) {
+      ++shard_dirs;
+    }
+  }
+  EXPECT_EQ(shard_dirs, 4u);
+}
+
+TEST_F(ShardedDurabilityTest, ReopenRecoversEveryShard) {
+  std::string expected;
+  {
+    ShardedModDatabase db(&network_, Options());
+    ASSERT_TRUE(db.durability_status().ok());
+    for (core::ObjectId id = 1; id <= 40; ++id) {
+      ASSERT_TRUE(
+          db.Insert(id, "obj-" + std::to_string(id),
+                    Attr(static_cast<double>(id) * 10.0, 1.0))
+              .ok());
+    }
+    for (core::ObjectId id = 1; id <= 40; ++id) {
+      ASSERT_TRUE(
+          db.ApplyUpdate(
+                Update(id, 1.0, static_cast<double>(id) * 10.0 + 1.0))
+              .ok());
+    }
+    ASSERT_TRUE(db.Erase(7).ok());
+    ASSERT_TRUE(db.Erase(23).ok());
+    expected = Fingerprint(db);
+  }
+
+  ShardedModDatabase db(&network_, Options());
+  ASSERT_TRUE(db.durability_status().ok())
+      << db.durability_status().message();
+  EXPECT_TRUE(db.recovery_report().recovered);
+  EXPECT_TRUE(db.recovery_report().clean);
+  EXPECT_EQ(db.recovery_report().wal_records_replayed, 82u);
+  EXPECT_EQ(db.num_objects(), 38u);
+  EXPECT_EQ(Fingerprint(db), expected);
+
+  // The recovered store answers queries and keeps logging.
+  auto answer = db.QueryPosition(1, 2.0);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_TRUE(db.ApplyUpdate(Update(1, 3.0, 14.0)).ok());
+}
+
+TEST_F(ShardedDurabilityTest, BulkInsertIsDurablePerRecord) {
+  {
+    ShardedModDatabase db(&network_, Options());
+    ASSERT_TRUE(db.durability_status().ok());
+    std::vector<ShardedModDatabase::BulkObject> batch;
+    for (core::ObjectId id = 1; id <= 20; ++id) {
+      batch.push_back(
+          {id, "bulk-" + std::to_string(id),
+           Attr(static_cast<double>(id) * 5.0, 0.5)});
+    }
+    ASSERT_TRUE(db.BulkInsert(std::move(batch)).ok());
+  }
+  ShardedModDatabase db(&network_, Options());
+  ASSERT_TRUE(db.durability_status().ok());
+  EXPECT_EQ(db.num_objects(), 20u);
+}
+
+TEST_F(ShardedDurabilityTest, CheckpointTruncatesEveryShardLog) {
+  ShardedModDatabaseOptions options = Options();
+  // Keep one checkpoint so superseded epochs are pruned immediately.
+  options.durability.checkpoints_to_keep = 1;
+  ShardedModDatabase db(&network_, options);
+  ASSERT_TRUE(db.durability_status().ok());
+  for (core::ObjectId id = 1; id <= 16; ++id) {
+    ASSERT_TRUE(db.Insert(id, "o", Attr(static_cast<double>(id), 1.0)).ok());
+  }
+  ASSERT_TRUE(db.Checkpoint().ok());
+  // Every shard's live WAL moved past epoch 1 and is empty again.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    for (const auto& file : fs::directory_iterator(entry.path())) {
+      const std::string name = file.path().filename().string();
+      if (name.rfind("wal-", 0) == 0) {
+        EXPECT_EQ(fs::file_size(file.path()), 0u) << file.path();
+      }
+    }
+  }
+}
+
+TEST_F(ShardedDurabilityTest, CheckpointWithoutDurabilityIsRejected) {
+  ShardedModDatabaseOptions options;
+  options.num_shards = 2;
+  options.num_query_threads = 0;
+  ShardedModDatabase db(&network_, options);
+  EXPECT_TRUE(db.durability_status().ok());  // off = trivially OK
+  EXPECT_EQ(db.Checkpoint().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShardedDurabilityTest, MetricsExposeWalAndRecoveryCounters) {
+  {
+    ShardedModDatabase db(&network_, Options());
+    ASSERT_TRUE(db.durability_status().ok());
+    for (core::ObjectId id = 1; id <= 8; ++id) {
+      ASSERT_TRUE(db.Insert(id, "o", Attr(static_cast<double>(id), 1.0)).ok());
+    }
+    EXPECT_EQ(db.metrics().GetCounter("wal.appends")->value(), 8u);
+    EXPECT_GT(db.metrics().GetCounter("wal.bytes")->value(), 0u);
+    const std::string dump = db.DumpMetrics();
+    EXPECT_NE(dump.find("wal.appends"), std::string::npos);
+  }
+  ShardedModDatabase db(&network_, Options());
+  EXPECT_EQ(db.metrics().GetCounter("recovery.records_replayed")->value(),
+            8u);
+  const std::string dump = db.DumpMetrics();
+  EXPECT_NE(dump.find("recovery.records_replayed"), std::string::npos);
+}
+
+TEST_F(ShardedDurabilityTest, TornShardLogLosesOnlyThatShardsTail) {
+  ShardedModDatabaseOptions options = Options();
+  {
+    ShardedModDatabase db(&network_, options);
+    ASSERT_TRUE(db.durability_status().ok());
+    for (core::ObjectId id = 1; id <= 24; ++id) {
+      ASSERT_TRUE(
+          db.Insert(id, "obj-" + std::to_string(id),
+                    Attr(static_cast<double>(id) * 10.0, 1.0))
+              .ok());
+    }
+  }
+
+  // Tear the tail of one shard's log; the other shards are untouched.
+  std::string victim_log;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.path().filename().string().rfind("shard-", 0) != 0) continue;
+    for (const auto& file : fs::directory_iterator(entry.path())) {
+      const std::string name = file.path().filename().string();
+      if (name.rfind("wal-", 0) == 0 && fs::file_size(file.path()) > 0) {
+        victim_log = file.path().string();
+        break;
+      }
+    }
+    if (!victim_log.empty()) break;
+  }
+  ASSERT_FALSE(victim_log.empty());
+  auto size = util::FileSize(victim_log);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(util::TruncateFile(victim_log, *size - 5).ok());
+
+  ShardedModDatabase db(&network_, options);
+  ASSERT_TRUE(db.durability_status().ok());
+  EXPECT_TRUE(db.recovery_report().recovered);
+  EXPECT_FALSE(db.recovery_report().clean);
+  EXPECT_GT(db.recovery_report().wal_bytes_truncated, 0u);
+  // Exactly one record (the torn tail of one shard) is missing.
+  EXPECT_EQ(db.num_objects(), 23u);
+}
+
+}  // namespace
+}  // namespace modb::db

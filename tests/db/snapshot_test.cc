@@ -234,6 +234,77 @@ TEST_F(SnapshotTest, TrajectoryHistoryRoundTrips) {
                    14.0);
 }
 
+TEST_F(SnapshotTest, TruncatedSnapshotsNeverLoadPartially) {
+  // Robustness sweep: a snapshot cut at EVERY byte position must either be
+  // rejected as InvalidArgument or parse to the complete state (possible
+  // only near the end, where the lost bytes are trailing whitespace).
+  // Never a crash, never a silently partial database.
+  ModDatabaseOptions options;
+  options.keep_trajectory = true;
+  ModDatabase db(&network_, options);
+  ASSERT_TRUE(db.Insert(1, "bus one", Attr(main_, 10.0, 1.0)).ok());
+  ASSERT_TRUE(db.Insert(2, "bus two", Attr(bend_, 20.0, 0.5)).ok());
+  core::PositionUpdate update;
+  update.object = 1;
+  update.time = 5.0;
+  update.route = main_;
+  update.route_distance = 12.0;
+  update.position = {12.0, 0.0};
+  update.direction = core::TravelDirection::kForward;
+  update.speed = 1.5;
+  ASSERT_TRUE(db.ApplyUpdate(update).ok());
+
+  std::stringstream full;
+  ASSERT_TRUE(WriteSnapshot(db, full).ok());
+  const std::string text = full.str();
+
+  for (std::size_t cut = 0; cut < text.size(); ++cut) {
+    std::stringstream stream(text.substr(0, cut));
+    const auto loaded = ReadSnapshot(stream);
+    if (loaded.ok()) {
+      // Tolerated only when nothing meaningful was lost.
+      EXPECT_EQ(loaded->database->num_objects(), 2u) << "cut at " << cut;
+      EXPECT_EQ(loaded->network->size(), 2u) << "cut at " << cut;
+      const auto rec = loaded->database->Get(1);
+      ASSERT_TRUE(rec.ok()) << "cut at " << cut;
+      EXPECT_EQ((*rec)->past.size(), 1u) << "cut at " << cut;
+    } else {
+      EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+          << "cut at " << cut << ": " << loaded.status().message();
+    }
+  }
+}
+
+TEST_F(SnapshotTest, ByteCorruptedSnapshotsNeverCrash) {
+  // Flip every byte of a snapshot (one at a time) and feed it to the
+  // reader. Any outcome is acceptable except a crash or a non-
+  // InvalidArgument error; a successful parse must still satisfy basic
+  // invariants (declared object count matches the table).
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "a", Attr(main_, 10.0, 1.0)).ok());
+  ASSERT_TRUE(db.Insert(2, "b", Attr(bend_, 20.0, 0.5)).ok());
+  std::stringstream full;
+  ASSERT_TRUE(WriteSnapshot(db, full).ok());
+  const std::string text = full.str();
+
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    for (const char replacement : {'\0', 'X', '9', ' '}) {
+      std::string corrupt = text;
+      if (corrupt[pos] == replacement) continue;
+      corrupt[pos] = replacement;
+      std::stringstream stream(corrupt);
+      const auto loaded = ReadSnapshot(stream);
+      if (loaded.ok()) {
+        EXPECT_LE(loaded->database->num_objects(), 2u) << "pos " << pos;
+      } else {
+        EXPECT_EQ(loaded.status().code(),
+                  util::StatusCode::kInvalidArgument)
+            << "pos " << pos << ": " << loaded.status().message();
+      }
+    }
+  }
+}
+
 TEST_F(SnapshotTest, DeterministicOutput) {
   ModDatabase db(&network_);
   ASSERT_TRUE(db.Insert(3, "c", Attr(main_, 3.0, 1.0)).ok());

@@ -54,5 +54,39 @@ TEST(UpdateLogTest, ClearResetsEverything) {
   EXPECT_TRUE(log.history().empty());
 }
 
+TEST(UpdateLogTest, UncappedLogNeverDrops) {
+  UpdateLog log;
+  for (int i = 0; i < 1000; ++i) log.Append(MakeUpdate(1, i));
+  EXPECT_EQ(log.dropped_count(), 0u);
+  EXPECT_EQ(log.history().size(), 1000u);
+}
+
+TEST(UpdateLogTest, DroppedCountAccountsForEveryEviction) {
+  UpdateLog log(/*max_history=*/10);
+  for (int i = 0; i < 100; ++i) {
+    log.Append(MakeUpdate(1, i));
+    // Invariant: nothing is lost silently — every appended update is
+    // either still in the history or counted as dropped.
+    EXPECT_EQ(log.dropped_count() + log.history().size(),
+              log.total_updates())
+        << "after append " << i;
+  }
+  EXPECT_GT(log.dropped_count(), 0u);
+  // The retained suffix is contiguous and ends at the newest update.
+  const std::size_t n = log.history().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(log.history()[i].time,
+                     static_cast<double>(100 - n + i));
+  }
+}
+
+TEST(UpdateLogTest, ClearResetsDroppedCount) {
+  UpdateLog log(/*max_history=*/4);
+  for (int i = 0; i < 20; ++i) log.Append(MakeUpdate(1, i));
+  ASSERT_GT(log.dropped_count(), 0u);
+  log.Clear();
+  EXPECT_EQ(log.dropped_count(), 0u);
+}
+
 }  // namespace
 }  // namespace modb::db

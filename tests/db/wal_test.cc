@@ -1,0 +1,382 @@
+#include "db/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/fault_injection.h"
+#include "util/metrics.h"
+
+namespace modb::db {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::PositionAttribute MakeAttr(double start_time) {
+  core::PositionAttribute attr;
+  attr.start_time = start_time;
+  attr.route = 7;
+  attr.start_route_distance = 12.5;
+  attr.start_position = {3.0, 4.0};
+  attr.direction = core::TravelDirection::kBackward;
+  attr.speed = 0.9;
+  attr.policy = core::PolicyKind::kDelayedLinear;
+  attr.update_cost = 2.5;
+  attr.max_speed = 1.5;
+  attr.fixed_threshold = 0.25;
+  attr.period = 2.0;
+  attr.step_threshold = 0.5;
+  return attr;
+}
+
+core::PositionUpdate MakeUpdate(core::ObjectId id, double time) {
+  core::PositionUpdate update;
+  update.object = id;
+  update.time = time;
+  update.route = 7;
+  update.route_distance = 20.0 + time;
+  update.position = {1.0 + time, 2.0 - time};
+  update.direction = core::TravelDirection::kForward;
+  update.speed = 1.25;
+  return update;
+}
+
+class WalTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(testing::TempDir()) /
+            ("wal_test_" +
+             std::string(testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(WalTest, RecordEncodingRoundTrips) {
+  WalRecord insert;
+  insert.type = WalRecordType::kInsert;
+  insert.id = 42;
+  insert.label = "bus-42";
+  insert.attr = MakeAttr(5.0);
+
+  WalRecord update;
+  update.type = WalRecordType::kUpdate;
+  update.update = MakeUpdate(42, 6.5);
+
+  WalRecord erase;
+  erase.type = WalRecordType::kErase;
+  erase.id = 42;
+
+  for (const WalRecord& original : {insert, update, erase}) {
+    const std::string payload = EncodeWalRecord(original);
+    WalRecord decoded;
+    ASSERT_TRUE(DecodeWalRecord(payload, &decoded));
+    EXPECT_EQ(decoded.type, original.type);
+    switch (original.type) {
+      case WalRecordType::kInsert:
+        EXPECT_EQ(decoded.id, original.id);
+        EXPECT_EQ(decoded.label, original.label);
+        EXPECT_EQ(decoded.attr.start_time, original.attr.start_time);
+        EXPECT_EQ(decoded.attr.route, original.attr.route);
+        EXPECT_EQ(decoded.attr.start_route_distance,
+                  original.attr.start_route_distance);
+        EXPECT_EQ(decoded.attr.start_position.x,
+                  original.attr.start_position.x);
+        EXPECT_EQ(decoded.attr.start_position.y,
+                  original.attr.start_position.y);
+        EXPECT_EQ(decoded.attr.direction, original.attr.direction);
+        EXPECT_EQ(decoded.attr.speed, original.attr.speed);
+        EXPECT_EQ(decoded.attr.policy, original.attr.policy);
+        EXPECT_EQ(decoded.attr.update_cost, original.attr.update_cost);
+        EXPECT_EQ(decoded.attr.max_speed, original.attr.max_speed);
+        EXPECT_EQ(decoded.attr.fixed_threshold,
+                  original.attr.fixed_threshold);
+        EXPECT_EQ(decoded.attr.period, original.attr.period);
+        EXPECT_EQ(decoded.attr.step_threshold,
+                  original.attr.step_threshold);
+        break;
+      case WalRecordType::kUpdate:
+        EXPECT_EQ(decoded.update.object, original.update.object);
+        EXPECT_EQ(decoded.update.time, original.update.time);
+        EXPECT_EQ(decoded.update.route, original.update.route);
+        EXPECT_EQ(decoded.update.route_distance,
+                  original.update.route_distance);
+        EXPECT_EQ(decoded.update.position.x, original.update.position.x);
+        EXPECT_EQ(decoded.update.position.y, original.update.position.y);
+        EXPECT_EQ(decoded.update.direction, original.update.direction);
+        EXPECT_EQ(decoded.update.speed, original.update.speed);
+        break;
+      case WalRecordType::kErase:
+        EXPECT_EQ(decoded.id, original.id);
+        break;
+    }
+  }
+}
+
+TEST_F(WalTest, DecodeRejectsMalformedPayloads) {
+  WalRecord record;
+  EXPECT_FALSE(DecodeWalRecord("", &record));
+  EXPECT_FALSE(DecodeWalRecord("\x09", &record));  // unknown type
+  EXPECT_FALSE(DecodeWalRecord("\x03\x01\x02", &record));  // short erase
+
+  WalRecord insert;
+  insert.type = WalRecordType::kInsert;
+  insert.id = 1;
+  insert.label = "m";
+  insert.attr = MakeAttr(0.0);
+  std::string payload = EncodeWalRecord(insert);
+  // Every strict prefix must be rejected, never crash.
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeWalRecord(std::string_view(payload).substr(0, len), &record))
+        << "prefix length " << len;
+  }
+  // Trailing garbage is rejected too (frame length must match exactly).
+  EXPECT_FALSE(DecodeWalRecord(payload + "x", &record));
+  // An out-of-range direction byte is rejected. The direction of an insert
+  // payload sits after type(1) + id(8) + label_len(4) + label(1) +
+  // start_time(8) + route(4) + start_route_distance(8) + position(16).
+  std::string bad = payload;
+  bad[1 + 8 + 4 + 1 + 8 + 4 + 8 + 16] = '\x02';
+  EXPECT_FALSE(DecodeWalRecord(bad, &record));
+}
+
+TEST_F(WalTest, WriteThenReplayRoundTrips) {
+  WalWriterOptions options;
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+
+  ASSERT_TRUE((*writer)->AppendInsert(1, "bus-1", MakeAttr(0.0)).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 1.0 + i)).ok());
+  }
+  ASSERT_TRUE((*writer)->AppendErase(1).ok());
+  EXPECT_EQ((*writer)->appends(), 7u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  std::vector<WalRecord> replayed;
+  auto stats = ReplayWal(dir_, 1, [&](const WalRecord& r) {
+    replayed.push_back(r);
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_TRUE(stats->clean);
+  EXPECT_EQ(stats->records, 7u);
+  EXPECT_EQ(stats->bytes_replayed, (*writer)->bytes());
+  EXPECT_EQ(stats->bytes_truncated, 0u);
+  ASSERT_EQ(replayed.size(), 7u);
+  EXPECT_EQ(replayed.front().type, WalRecordType::kInsert);
+  EXPECT_EQ(replayed.front().label, "bus-1");
+  EXPECT_EQ(replayed[3].type, WalRecordType::kUpdate);
+  EXPECT_EQ(replayed[3].update.time, 3.0);
+  EXPECT_EQ(replayed.back().type, WalRecordType::kErase);
+}
+
+TEST_F(WalTest, RotatesSegmentsAndReplaysAcrossThem) {
+  WalWriterOptions options;
+  options.segment_max_bytes = 128;  // a few records per segment
+  auto writer = WalWriter::Open(dir_, 3, options);
+  ASSERT_TRUE(writer.ok());
+
+  const int kRecords = 40;
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(9, i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_GT((*writer)->segments_opened(), 3u);
+  EXPECT_EQ(ListWalSegments(dir_).size(), (*writer)->segments_opened());
+
+  int next_time = 0;
+  auto stats = ReplayWal(dir_, 3, [&](const WalRecord& r) {
+    EXPECT_EQ(r.update.time, static_cast<double>(next_time++));
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->clean);
+  EXPECT_EQ(stats->records, static_cast<std::uint64_t>(kRecords));
+  EXPECT_EQ(stats->segments, (*writer)->segments_opened());
+}
+
+TEST_F(WalTest, ReplayIgnoresOtherEpochs) {
+  auto writer1 = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer1.ok());
+  ASSERT_TRUE((*writer1)->AppendErase(1).ok());
+  ASSERT_TRUE((*writer1)->Close().ok());
+  auto writer2 = WalWriter::Open(dir_, 2, {});
+  ASSERT_TRUE(writer2.ok());
+  ASSERT_TRUE((*writer2)->AppendErase(2).ok());
+  ASSERT_TRUE((*writer2)->AppendErase(3).ok());
+  ASSERT_TRUE((*writer2)->Close().ok());
+
+  auto stats = ReplayWal(dir_, 2, [](const WalRecord& r) {
+    EXPECT_NE(r.id, 1u);
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 2u);
+}
+
+TEST_F(WalTest, TornTailIsTruncatedNotFatal) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  const std::string path =
+      (fs::path(dir_) / WalSegmentFileName(1, 1)).string();
+  auto size = util::FileSize(path);
+  ASSERT_TRUE(size.ok());
+  // Tear the last record in half.
+  const std::uint64_t torn_size = *size - 30;
+  ASSERT_TRUE(util::TruncateFile(path, torn_size).ok());
+
+  std::uint64_t replayed = 0;
+  auto stats = ReplayWal(dir_, 1, [&](const WalRecord&) {
+    ++replayed;
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->clean);
+  EXPECT_EQ(stats->records, 9u);
+  EXPECT_EQ(replayed, 9u);
+  EXPECT_EQ(stats->bytes_replayed + stats->bytes_truncated, torn_size);
+  EXPECT_NE(stats->detail.find("torn frame"), std::string::npos);
+}
+
+TEST_F(WalTest, CorruptFrameStopsReplayAtPrefix) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  std::vector<std::uint64_t> offsets;  // frame start offsets
+  for (int i = 0; i < 10; ++i) {
+    offsets.push_back((*writer)->bytes());
+    ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  const std::string path =
+      (fs::path(dir_) / WalSegmentFileName(1, 1)).string();
+  // Flip a payload byte of record 6 (skip the 8-byte frame header).
+  ASSERT_TRUE(util::FlipFileByte(path, offsets[6] + 8 + 3).ok());
+
+  std::uint64_t replayed = 0;
+  auto stats = ReplayWal(dir_, 1, [&](const WalRecord&) {
+    ++replayed;
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->clean);
+  EXPECT_EQ(replayed, 6u);  // records 0..5 survive
+  EXPECT_EQ(stats->corrupt_segments, 1u);
+  EXPECT_NE(stats->detail.find("corrupt frame"), std::string::npos);
+}
+
+TEST_F(WalTest, SegmentSequenceGapEndsThePrefix) {
+  WalWriterOptions options;
+  options.segment_max_bytes = 128;
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, i)).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+  ASSERT_GT((*writer)->segments_opened(), 3u);
+
+  // Drop segment 2: replay must stop after segment 1 and count the rest
+  // as truncated.
+  fs::remove(fs::path(dir_) / WalSegmentFileName(1, 2));
+
+  std::uint64_t replayed = 0;
+  auto stats = ReplayWal(dir_, 1, [&](const WalRecord&) {
+    ++replayed;
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->clean);
+  EXPECT_EQ(stats->segments, 1u);
+  EXPECT_GT(replayed, 0u);
+  EXPECT_LT(replayed, 40u);
+  EXPECT_GT(stats->bytes_truncated, 0u);
+  EXPECT_NE(stats->detail.find("sequence gap"), std::string::npos);
+}
+
+TEST_F(WalTest, ReplaySkipsRecordsTheApplyRejects) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*writer)->AppendErase(i).ok());
+  }
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto stats = ReplayWal(dir_, 1, [](const WalRecord& r) {
+    return r.id % 2 == 0 ? util::Status::Ok()
+                         : util::Status::NotFound("odd");
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 4u);
+  EXPECT_EQ(stats->records_skipped, 2u);
+  EXPECT_TRUE(stats->clean);  // skipped applies are not corruption
+}
+
+TEST_F(WalTest, ReplayOfMissingDirectoryIsNotFound) {
+  auto stats = ReplayWal(dir_ + "/nope", 1,
+                         [](const WalRecord&) { return util::Status::Ok(); });
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST_F(WalTest, ReplayOfEmptyEpochIsCleanAndEmpty) {
+  fs::create_directories(dir_);
+  auto stats = ReplayWal(dir_, 5,
+                         [](const WalRecord&) { return util::Status::Ok(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->clean);
+  EXPECT_EQ(stats->records, 0u);
+}
+
+TEST_F(WalTest, SyncEveryAppendGoesThroughSync) {
+  WalWriterOptions options;
+  options.sync_every_append = true;
+  util::FaultPlan plan;  // no faults; just count syncs
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendErase(1).ok());
+  ASSERT_TRUE((*writer)->AppendErase(2).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_EQ(injector.syncs_attempted(), 2u);
+}
+
+TEST_F(WalTest, MetricsCountersTrackAppends) {
+  util::MetricsRegistry registry;
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  (*writer)->SetMetrics(&registry);
+  ASSERT_TRUE((*writer)->AppendErase(1).ok());
+  ASSERT_TRUE((*writer)->AppendErase(2).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ(registry.GetCounter("wal.appends")->value(), 2u);
+  EXPECT_EQ(registry.GetCounter("wal.bytes")->value(), (*writer)->bytes());
+  EXPECT_EQ(registry.GetCounter("wal.syncs")->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("wal.rotations")->value(), 0u);
+}
+
+TEST_F(WalTest, AppendFailsAfterClose) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_FALSE((*writer)->AppendErase(1).ok());
+  EXPECT_FALSE((*writer)->Sync().ok());
+  EXPECT_TRUE((*writer)->Close().ok());  // idempotent
+}
+
+}  // namespace
+}  // namespace modb::db

@@ -1,0 +1,49 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace modb::util {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Canonical CRC-32C test vectors (RFC 3720 appendix / iSCSI).
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(Crc32c("a"), 0xc1d04330u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8a9136aau);
+  const std::string ffs(32, '\xff');
+  EXPECT_EQ(Crc32c(ffs), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesConcatenation) {
+  const std::string a = "hello ";
+  const std::string b = "world";
+  EXPECT_EQ(Crc32cExtend(Crc32c(a), b), Crc32c(a + b));
+  EXPECT_EQ(Crc32cExtend(0, a), Crc32c(a));
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlips) {
+  std::string data = "the update stream must survive a server crash";
+  const std::uint32_t clean = Crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(data), clean) << "byte " << i << " bit " << bit;
+      data[i] = static_cast<char>(data[i] ^ (1 << bit));
+    }
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (const std::uint32_t crc :
+       {0u, 1u, 0xe3069283u, 0xffffffffu, 0xdeadbeefu}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+    EXPECT_NE(Crc32cMask(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace modb::util

@@ -1,0 +1,185 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace modb::util {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(FaultInjectionTest, DefaultFactoryWritesAndSyncs) {
+  const std::string path = TestPath("fi_default.bin");
+  auto file = DefaultWritableFileFactory()(path);
+  ASSERT_TRUE(file.ok()) << file.status().message();
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ReadAll(path), "hello world");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FactoryTruncatesExistingFile) {
+  const std::string path = TestPath("fi_trunc.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "stale contents";
+  }
+  auto file = DefaultWritableFileFactory()(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("new").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(ReadAll(path), "new");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CrashTearsTheCrossingWrite) {
+  const std::string path = TestPath("fi_crash.bin");
+  FaultPlan plan;
+  plan.crash_after_bytes = 10;
+  FaultInjector injector(plan);
+  auto file = injector.factory()(path);
+  ASSERT_TRUE(file.ok());
+
+  ASSERT_TRUE((*file)->Append("01234567").ok());  // 8 bytes, under budget
+  EXPECT_FALSE(injector.crashed());
+  // This append crosses the 10-byte mark: only 2 bytes land.
+  EXPECT_FALSE((*file)->Append("abcdef").ok());
+  EXPECT_TRUE(injector.crashed());
+  EXPECT_EQ(injector.bytes_written(), 10u);
+  // Everything after the crash fails, including new files.
+  EXPECT_FALSE((*file)->Append("x").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  auto post = injector.factory()(TestPath("fi_crash2.bin"));
+  if (post.ok()) {
+    EXPECT_FALSE((*post)->Append("y").ok());
+  }
+  EXPECT_EQ(ReadAll(path), "01234567ab");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, CrashCountsBytesAcrossFiles) {
+  const std::string path_a = TestPath("fi_multi_a.bin");
+  const std::string path_b = TestPath("fi_multi_b.bin");
+  FaultPlan plan;
+  plan.crash_after_bytes = 6;
+  FaultInjector injector(plan);
+  auto factory = injector.factory();
+
+  auto a = factory(path_a);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE((*a)->Append("1234").ok());
+  ASSERT_TRUE((*a)->Close().ok());
+
+  auto b = factory(path_b);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE((*b)->Append("5678").ok());  // crosses 6 cumulative bytes
+  EXPECT_TRUE(injector.crashed());
+  EXPECT_EQ(ReadAll(path_b), "56");
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(FaultInjectionTest, SyncFailuresStartAtThreshold) {
+  const std::string path = TestPath("fi_sync.bin");
+  FaultPlan plan;
+  plan.fail_syncs_after = 2;
+  FaultInjector injector(plan);
+  auto file = injector.factory()(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("data").ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_TRUE((*file)->Sync().ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_EQ(injector.syncs_attempted(), 4u);
+  // Appends keep working: a failing fsync is not a crash.
+  EXPECT_TRUE((*file)->Append("more").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, BitFlipsAreDeterministic) {
+  const std::string payload(4096, 'A');
+  FaultPlan plan;
+  plan.bit_flip_probability = 0.01;
+  plan.seed = 42;
+
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    const std::string path = TestPath("fi_flip.bin");
+    FaultInjector injector(plan);
+    auto file = injector.factory()(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(payload).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+    EXPECT_GT(injector.bits_flipped(), 0u);
+    const std::string written = ReadAll(path);
+    ASSERT_EQ(written.size(), payload.size());
+    EXPECT_NE(written, payload);
+    if (run == 0) {
+      first = written;
+    } else {
+      EXPECT_EQ(written, first) << "same seed must corrupt identically";
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FaultInjectionTest, NoFaultsMeansPassThrough) {
+  const std::string path = TestPath("fi_clean.bin");
+  FaultInjector injector(FaultPlan{});
+  auto file = injector.factory()(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("untouched").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_FALSE(injector.crashed());
+  EXPECT_EQ(injector.bits_flipped(), 0u);
+  EXPECT_EQ(ReadAll(path), "untouched");
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, FileHelpers) {
+  const std::string path = TestPath("fi_helpers.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "0123456789";
+  }
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 10u);
+
+  ASSERT_TRUE(FlipFileByte(path, 3).ok());
+  std::string data = ReadAll(path);
+  EXPECT_EQ(data[3], static_cast<char>('3' ^ 0xff));
+  ASSERT_TRUE(FlipFileByte(path, 3).ok());  // flip back
+  EXPECT_EQ(ReadAll(path), "0123456789");
+
+  ASSERT_TRUE(FlipFileByte(path, 0, 0x01).ok());
+  EXPECT_EQ(ReadAll(path)[0], static_cast<char>('0' ^ 0x01));
+
+  ASSERT_TRUE(TruncateFile(path, 4).ok());
+  auto truncated = FileSize(path);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(*truncated, 4u);
+
+  EXPECT_FALSE(FlipFileByte(path, 100).ok());
+  EXPECT_FALSE(FileSize(TestPath("fi_missing.bin")).ok());
+  EXPECT_FALSE(TruncateFile(TestPath("fi_missing.bin"), 0).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace modb::util
