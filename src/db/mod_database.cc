@@ -82,8 +82,35 @@ util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
   record.attr = attr;
   record.insert_time = attr.start_time;
   records_.emplace(id, std::move(record));
-  index_->Upsert(id, attr);
+  if (!bulk_ingest_) index_->Upsert(id, attr);
   if (inserts_ != nullptr) inserts_->Increment();
+  return util::Status::Ok();
+}
+
+util::Status ModDatabase::BeginBulkIngest() {
+  if (wal_ != nullptr) {
+    return util::Status::FailedPrecondition(
+        "bulk ingest with a WAL attached");
+  }
+  if (bulk_ingest_) {
+    return util::Status::FailedPrecondition("bulk ingest already active");
+  }
+  bulk_ingest_ = true;
+  return util::Status::Ok();
+}
+
+util::Status ModDatabase::FinishBulkIngest() {
+  if (!bulk_ingest_) {
+    return util::Status::FailedPrecondition("no bulk ingest active");
+  }
+  bulk_ingest_ = false;
+  index_ = MakeIndex(network_, options_);
+  std::vector<std::pair<core::ObjectId, core::PositionAttribute>> for_index;
+  for_index.reserve(records_.size());
+  for (const auto& [id, record] : records_) {
+    for_index.emplace_back(id, record.attr);
+  }
+  index_->BulkUpsert(for_index);
   return util::Status::Ok();
 }
 
@@ -118,7 +145,7 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     for_index.emplace_back(object.id, object.attr);
     records_.emplace(object.id, std::move(record));
   }
-  index_->BulkUpsert(for_index);
+  if (!bulk_ingest_) index_->BulkUpsert(for_index);
   if (inserts_ != nullptr) inserts_->Increment(for_index.size());
   return util::Status::Ok();
 }
@@ -153,7 +180,7 @@ util::Status ModDatabase::ApplyUpdate(const core::PositionUpdate& update) {
   }
   record.attr = attr;
   ++record.update_count;
-  index_->Upsert(update.object, attr);
+  if (!bulk_ingest_) index_->Upsert(update.object, attr);
   log_.Append(update);
   if (updates_applied_ != nullptr) updates_applied_->Increment();
   return util::Status::Ok();
@@ -187,7 +214,7 @@ util::Status ModDatabase::Erase(core::ObjectId id) {
     if (util::Status s = wal_->AppendErase(id); !s.ok()) return s;
   }
   records_.erase(it);
-  index_->Remove(id);
+  if (!bulk_ingest_) index_->Remove(id);
   if (erases_ != nullptr) erases_->Increment();
   return util::Status::Ok();
 }

@@ -93,6 +93,22 @@ class ModDatabase {
   /// Removes an object (end of trip).
   util::Status Erase(core::ObjectId id);
 
+  /// Starts a bulk-ingest session: until `FinishBulkIngest`, mutations
+  /// skip the range index entirely and only touch the record map, so a
+  /// recovery stream applies at map speed. Fails if a WAL is attached
+  /// (bulk ingest exists for replay, which must never re-log itself) or a
+  /// session is already active. Range/nearest queries during a session may
+  /// miss objects — callers finish the session before serving reads.
+  util::Status BeginBulkIngest();
+
+  /// Ends the session: rebuilds the index once from the surviving records
+  /// via the packed STR bulk path (~12× faster than repeated insertion,
+  /// E10). The rebuild starts from a fresh index so in-session erases and
+  /// route changes cannot leave stale entries behind.
+  util::Status FinishBulkIngest();
+
+  bool bulk_ingest_active() const { return bulk_ingest_; }
+
   /// Replaces the stored past attribute versions of `id` (used by snapshot
   /// restore). Versions must be ascending by start time and must not start
   /// after the current version.
@@ -171,6 +187,7 @@ class ModDatabase {
   std::unique_ptr<index::ObjectIndex> index_;
   UpdateLog log_;
   WalWriter* wal_ = nullptr;  // non-owning, see AttachWal
+  bool bulk_ingest_ = false;  // index updates deferred, see BeginBulkIngest
   // Optional instruments (see SetMetrics); non-owning, may be null.
   util::Counter* updates_applied_ = nullptr;
   util::Counter* inserts_ = nullptr;

@@ -41,6 +41,10 @@ struct RecoveryReport {
   /// Bytes dropped at and after the first torn/corrupt WAL frame.
   std::uint64_t wal_bytes_truncated = 0;
   std::size_t wal_corrupt_segments = 0;
+  /// Wall-clock time of the whole recovery (checkpoint load + replay +
+  /// fresh-epoch checkpoint). For the sharded store this is the elapsed
+  /// time of the parallel fan-out, not the per-shard sum.
+  double duration_ms = 0.0;
   /// False when anything was skipped or truncated; `detail` says what.
   bool clean = true;
   std::string detail;
@@ -91,7 +95,8 @@ class DurabilityManager {
 
   /// Adds this manager's recovery outcome to `<prefix>records_replayed`,
   /// `<prefix>records_skipped`, `<prefix>bytes_truncated`,
-  /// `<prefix>corrupt_segments` and `<prefix>checkpoints_skipped` counters,
+  /// `<prefix>corrupt_segments`, `<prefix>checkpoints_skipped` and
+  /// `<prefix>duration_ms` (rounded to whole ms) counters,
   /// and wires the live WAL's counters into the same registry. The wiring
   /// survives `Checkpoint()` (each fresh-epoch writer is re-attached).
   void ExportMetrics(util::MetricsRegistry* registry,

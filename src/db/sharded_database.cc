@@ -1,6 +1,7 @@
 #include "db/sharded_database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
@@ -66,39 +67,60 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
     auto shard = std::make_unique<Shard>();
     shard->db = std::make_unique<ModDatabase>(network, options.db);
     shard->db->SetMetrics(&metrics_);  // shards share the mod.* counters
-    if (!options.durable_dir.empty()) {
+    shards_.push_back(std::move(shard));
+  }
+
+  if (!options.durable_dir.empty()) {
+    // Recover every shard in parallel on the fan-out pool: restart time is
+    // bounded by the largest shard, not the sum. Each worker touches only
+    // its own shard; aggregation below runs after the barrier, in shard
+    // order, so the report (and which error wins) is deterministic
+    // regardless of thread count.
+    const auto started = std::chrono::steady_clock::now();
+    std::vector<util::Status> statuses(num_shards);
+    FanOut([&](std::size_t i) {
       char name[32];
       std::snprintf(name, sizeof(name), "shard-%04zu", i);
       const std::string dir =
           (std::filesystem::path(options.durable_dir) / name).string();
-      auto durability =
-          DurabilityManager::Open(shard->db.get(), dir, options.durability);
+      auto durability = DurabilityManager::Open(shards_[i]->db.get(), dir,
+                                                options.durability);
       if (durability.ok()) {
-        shard->durability = std::move(*durability);
-        // Shards share the wal.* / recovery.* instruments, mirroring the
-        // mod.* aggregation above.
-        shard->durability->ExportMetrics(&metrics_);
-        const RecoveryReport& r = shard->durability->recovery_report();
-        recovery_report_.recovered |= r.recovered;
-        recovery_report_.checkpoint_id =
-            std::max(recovery_report_.checkpoint_id, r.checkpoint_id);
-        recovery_report_.checkpoints_skipped += r.checkpoints_skipped;
-        recovery_report_.objects_restored += r.objects_restored;
-        recovery_report_.wal_records_replayed += r.wal_records_replayed;
-        recovery_report_.wal_records_skipped += r.wal_records_skipped;
-        recovery_report_.wal_bytes_truncated += r.wal_bytes_truncated;
-        recovery_report_.wal_corrupt_segments += r.wal_corrupt_segments;
-        if (!r.clean) {
-          recovery_report_.clean = false;
-          if (recovery_report_.detail.empty()) {
-            recovery_report_.detail = r.detail;
-          }
+        shards_[i]->durability = std::move(*durability);
+      } else {
+        statuses[i] = durability.status();
+      }
+    });
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      if (!statuses[i].ok()) {
+        if (durability_status_.ok()) durability_status_ = statuses[i];
+        continue;
+      }
+      // Shards share the wal.* / recovery.* instruments, mirroring the
+      // mod.* aggregation above.
+      shards_[i]->durability->ExportMetrics(&metrics_);
+      const RecoveryReport& r = shards_[i]->durability->recovery_report();
+      recovery_report_.recovered |= r.recovered;
+      recovery_report_.checkpoint_id =
+          std::max(recovery_report_.checkpoint_id, r.checkpoint_id);
+      recovery_report_.checkpoints_skipped += r.checkpoints_skipped;
+      recovery_report_.objects_restored += r.objects_restored;
+      recovery_report_.wal_records_replayed += r.wal_records_replayed;
+      recovery_report_.wal_records_skipped += r.wal_records_skipped;
+      recovery_report_.wal_bytes_truncated += r.wal_bytes_truncated;
+      recovery_report_.wal_corrupt_segments += r.wal_corrupt_segments;
+      if (!r.clean) {
+        recovery_report_.clean = false;
+        if (recovery_report_.detail.empty()) {
+          recovery_report_.detail = r.detail;
         }
-      } else if (durability_status_.ok()) {
-        durability_status_ = durability.status();
       }
     }
-    shards_.push_back(std::move(shard));
+    // Elapsed fan-out time, not the per-shard sum — what a restart costs.
+    recovery_report_.duration_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
   }
   queries_range_ = metrics_.GetCounter("sharded.queries_range");
   queries_nearest_ = metrics_.GetCounter("sharded.queries_nearest");
@@ -307,15 +329,49 @@ std::size_t ShardedModDatabase::num_objects() const {
 util::Status ShardedModDatabase::Checkpoint() {
   bool any = false;
   for (const auto& shard : shards_) {
-    if (shard->durability == nullptr) continue;
-    any = true;
-    std::unique_lock lock(shard->mu);
-    if (util::Status s = shard->durability->Checkpoint(); !s.ok()) return s;
+    if (shard->durability != nullptr) {
+      any = true;
+      break;
+    }
   }
   if (!any) {
     return util::Status::FailedPrecondition("durability is not enabled");
   }
-  return util::Status::Ok();
+
+  // Every durable shard attempts its checkpoint, in parallel, regardless
+  // of how the others fare — one failing shard must not leave the rest
+  // un-checkpointed (the old behaviour aborted on first error, so shard K
+  // failing starved shards K+1..N of their checkpoint forever). A failed
+  // shard keeps its previous WAL attached and intact: DurabilityManager
+  // publishes the new snapshot and opens the new epoch before any
+  // truncation, so no shard's log is cut before its replacement snapshot
+  // is durably synced.
+  std::vector<util::Status> statuses(shards_.size());
+  FanOut([&](std::size_t s) {
+    Shard& shard = *shards_[s];
+    if (shard.durability == nullptr) return;
+    std::unique_lock lock(shard.mu);
+    statuses[s] = shard.durability->Checkpoint();
+  });
+
+  std::size_t succeeded = 0;
+  std::size_t failed = 0;
+  std::string detail;
+  for (std::size_t s = 0; s < statuses.size(); ++s) {
+    if (shards_[s]->durability == nullptr) continue;
+    if (statuses[s].ok()) {
+      ++succeeded;
+      continue;
+    }
+    ++failed;
+    if (!detail.empty()) detail += "; ";
+    detail += "shard " + std::to_string(s) + ": " + statuses[s].message();
+  }
+  if (failed == 0) return util::Status::Ok();
+  return util::Status::Internal(
+      "checkpoint failed on " + std::to_string(failed) + " of " +
+      std::to_string(succeeded + failed) + " shards (" + detail + "); " +
+      std::to_string(succeeded) + " checkpointed successfully");
 }
 
 std::string ShardedModDatabase::DumpMetrics() const {

@@ -34,8 +34,10 @@ struct ShardedModDatabaseOptions {
   /// Root directory for durability; each shard gets its own WAL and
   /// checkpoints under `<durable_dir>/shard-<i>`. On construction a shard
   /// directory with existing state is recovered (checkpoint + WAL replay);
-  /// a fresh one is bootstrapped. Empty disables durability (pure
-  /// in-memory, the previous behaviour).
+  /// a fresh one is bootstrapped. Shards recover in parallel on the
+  /// fan-out pool, so restart time is bounded by the largest shard; the
+  /// recovered state is identical for any pool size. Empty disables
+  /// durability (pure in-memory, the previous behaviour).
   std::string durable_dir;
   /// WAL + checkpoint knobs, used when `durable_dir` is set.
   DurabilityOptions durability;
@@ -116,10 +118,15 @@ class ShardedModDatabase {
 
   util::MetricsRegistry& metrics() { return metrics_; }
 
-  /// Checkpoints every shard — per-shard snapshot plus WAL truncation —
-  /// under the shard's exclusive lock (shards checkpoint one after another;
-  /// the store keeps serving the shards not currently locked). Returns the
-  /// first error; FailedPrecondition when durability is off.
+  /// Checkpoints every durable shard — per-shard snapshot plus WAL
+  /// truncation — in parallel on the fan-out pool, each under its own
+  /// exclusive lock (the store keeps serving shards not currently locked).
+  /// Shard failures are isolated: every shard attempts its checkpoint
+  /// regardless of the others, a failed shard keeps its previous WAL
+  /// attached and intact (a shard's log is never truncated before its
+  /// replacement snapshot is durably synced and published), and the error
+  /// names each failed shard and how many succeeded. FailedPrecondition
+  /// when durability is off.
   util::Status Checkpoint();
 
   /// OK when durability is off or every shard bootstrapped/recovered. A

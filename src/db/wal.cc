@@ -270,16 +270,33 @@ util::Result<std::unique_ptr<WalWriter>> WalWriter::Open(
 
 WalWriter::~WalWriter() { (void)Close(); }
 
+util::Status WalWriter::Poison(util::Status status) {
+  if (poison_.ok()) poison_ = status;
+  return status;
+}
+
 util::Status WalWriter::OpenNextSegment() {
   if (segment_ != nullptr) {
-    if (util::Status s = segment_->Close(); !s.ok()) return s;
+    // Under a bounded sync window the rotated-away segment must be durable
+    // before appends continue in the next one, or a crash could lose a
+    // mid-log run of records while newer (synced) ones survive — recovery
+    // would then stop at the hole anyway, voiding the window guarantee.
+    if (BoundedSyncWindow() && unsynced_appends_ > 0) {
+      if (util::Status s = Sync(); !s.ok()) return s;
+    }
+    if (util::Status s = segment_->Close(); !s.ok()) return Poison(s);
   }
   ++seq_;
   const std::string path =
       (std::filesystem::path(dir_) / WalSegmentFileName(epoch_, seq_))
           .string();
   auto file = options_.file_factory(path);
-  if (!file.ok()) return file.status();
+  if (!file.ok()) {
+    // The old segment is already closed; appending anywhere now would
+    // leave a gap, so the writer is done.
+    if (segment_ != nullptr) return Poison(file.status());
+    return file.status();
+  }
   segment_ = std::move(*file);
   segment_bytes_ = 0;
   if (seq_ > 1 && rotations_counter_ != nullptr) {
@@ -290,18 +307,37 @@ util::Status WalWriter::OpenNextSegment() {
 
 util::Status WalWriter::AppendRecord(const WalRecord& record) {
   if (closed_) return util::Status::FailedPrecondition("WAL closed");
+  if (!poison_.ok()) return poison_;
   if (segment_bytes_ >= options_.segment_max_bytes) {
     if (util::Status s = OpenNextSegment(); !s.ok()) return s;
   }
   const std::string frame = FrameRecord(EncodeWalRecord(record));
-  if (util::Status s = segment_->Append(frame); !s.ok()) return s;
+  if (util::Status s = segment_->Append(frame); !s.ok()) return Poison(s);
   segment_bytes_ += frame.size();
   bytes_ += frame.size();
   ++appends_;
+  unsynced_bytes_ += frame.size();
+  ++unsynced_appends_;
   if (appends_counter_ != nullptr) appends_counter_->Increment();
   if (bytes_counter_ != nullptr) bytes_counter_->Increment(frame.size());
-  if (options_.sync_every_append) return Sync();
-  return util::Status::Ok();
+  return MaybeSync();
+}
+
+util::Status WalWriter::MaybeSync() {
+  bool due = options_.sync_every_append;
+  if (!due && options_.sync_every_bytes > 0 &&
+      unsynced_bytes_ >= options_.sync_every_bytes) {
+    due = true;
+  }
+  if (!due && options_.sync_interval_ms > 0.0) {
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - last_sync_)
+            .count();
+    due = elapsed_ms >= options_.sync_interval_ms;
+  }
+  if (!due) return util::Status::Ok();
+  return Sync();
 }
 
 util::Status WalWriter::AppendInsert(core::ObjectId id, std::string_view label,
@@ -330,8 +366,19 @@ util::Status WalWriter::AppendErase(core::ObjectId id) {
 
 util::Status WalWriter::Sync() {
   if (closed_) return util::Status::FailedPrecondition("WAL closed");
+  if (!poison_.ok()) return poison_;
+  if (unsynced_appends_ == 0) return util::Status::Ok();
   if (syncs_counter_ != nullptr) syncs_counter_->Increment();
-  return segment_->Sync();
+  if (util::Status s = segment_->Sync(); !s.ok()) return Poison(s);
+  if (batch_hist_ != nullptr) {
+    // Group-commit batch size: records flushed by this fsync (the
+    // histogram's "µs" unit reads as a record count here).
+    batch_hist_->RecordNanos(unsynced_appends_ * 1000);
+  }
+  unsynced_appends_ = 0;
+  unsynced_bytes_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  return util::Status::Ok();
 }
 
 util::Status WalWriter::Close() {
@@ -348,12 +395,14 @@ void WalWriter::SetMetrics(util::MetricsRegistry* registry,
     bytes_counter_ = nullptr;
     syncs_counter_ = nullptr;
     rotations_counter_ = nullptr;
+    batch_hist_ = nullptr;
     return;
   }
   appends_counter_ = registry->GetCounter(prefix + "appends");
   bytes_counter_ = registry->GetCounter(prefix + "bytes");
   syncs_counter_ = registry->GetCounter(prefix + "syncs");
   rotations_counter_ = registry->GetCounter(prefix + "rotations");
+  batch_hist_ = registry->GetLatency(prefix + "group_commit_batch");
 }
 
 namespace {

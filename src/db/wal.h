@@ -1,6 +1,7 @@
 #ifndef MODB_DB_WAL_H_
 #define MODB_DB_WAL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -56,14 +57,27 @@ struct WalSegmentInfo {
 std::vector<WalSegmentInfo> ListWalSegments(const std::string& dir);
 
 /// Durability knobs of the write-ahead log.
+///
+/// Sync policy (group commit): `sync_every_append` is the group of 1
+/// (worst case, measured by E14); `sync_every_bytes` / `sync_interval_ms`
+/// batch many appends per fsync, bounding loss after a power cut to the
+/// configured window; with all three off, syncing is explicit — the caller
+/// decides when `Sync()` runs (the OS page cache still bounds loss to the
+/// machine-crash window). The triggers compose: an append syncs as soon as
+/// any enabled trigger is due.
 struct WalWriterOptions {
   /// Rotate to a new segment once the current one reaches this size.
   /// Records never span segments.
   std::uint64_t segment_max_bytes = 4ull << 20;
-  /// fsync after every append (group commit of 1). Off by default: the
-  /// paper's workload is a firehose of tiny updates, and the OS page cache
-  /// already bounds loss to the crash window.
+  /// fsync after every append (group commit of 1).
   bool sync_every_append = false;
+  /// Group commit: fsync once this many framed bytes have accumulated
+  /// since the last sync (0 disables the byte trigger).
+  std::uint64_t sync_every_bytes = 0;
+  /// Group commit: an append fsyncs when this much wall time has passed
+  /// since the last sync (0 disables). Checked at append time, so an idle
+  /// log stays unsynced until the next append or an explicit `Sync()`.
+  double sync_interval_ms = 0.0;
   /// File backend; null uses real files. Tests inject faults here.
   util::WritableFileFactory file_factory;
 };
@@ -72,6 +86,12 @@ struct WalWriterOptions {
 /// mutations. Each frame is `[u32 payload_len][u32 masked crc][payload]`,
 /// little-endian; a torn tail or flipped bit is detected by the reader and
 /// the log is logically truncated at the first bad frame.
+///
+/// Failure discipline: the first failed append, sync, or rotation
+/// *poisons* the writer — every later `Append*`/`Sync` returns the same
+/// sticky error. Allowing appends to continue past a failure would put
+/// records after a hole in the log; recovery replays a prefix, so those
+/// records would silently vanish while the in-memory store kept them.
 ///
 /// Thread-compatibility matches `ModDatabase`: callers serialise access
 /// (each shard owns its own writer).
@@ -92,7 +112,8 @@ class WalWriter {
   util::Status AppendUpdate(const core::PositionUpdate& update);
   util::Status AppendErase(core::ObjectId id);
 
-  /// Forces buffered frames to durable storage.
+  /// Forces buffered frames to durable storage (ends the current group-
+  /// commit batch). A no-op when nothing was appended since the last sync.
   util::Status Sync();
 
   /// Flushes and closes the current segment; later appends fail.
@@ -104,9 +125,18 @@ class WalWriter {
   /// Framed bytes appended (this writer, all segments).
   std::uint64_t bytes() const { return bytes_; }
   std::uint64_t segments_opened() const { return seq_; }
+  /// Records / framed bytes appended since the last successful sync — the
+  /// open group-commit batch, i.e. what a power cut right now could lose.
+  std::uint64_t unsynced_appends() const { return unsynced_appends_; }
+  std::uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+  /// The sticky failure (OK while healthy); see the class comment.
+  const util::Status& poison() const { return poison_; }
 
   /// Registers `<prefix>appends`, `<prefix>bytes`, `<prefix>syncs` and
-  /// `<prefix>rotations` counters in `registry` (nullptr detaches). Several
+  /// `<prefix>rotations` counters plus the `<prefix>group_commit_batch`
+  /// distribution in `registry` (nullptr detaches). The batch instrument
+  /// reuses the latency-histogram machinery with *records per sync* as the
+  /// recorded value (its "µs" unit reads as a record count). Several
   /// writers given the same registry share the instruments, which is how
   /// the sharded layer aggregates per-shard WALs.
   void SetMetrics(util::MetricsRegistry* registry,
@@ -118,6 +148,14 @@ class WalWriter {
 
   util::Status AppendRecord(const WalRecord& record);
   util::Status OpenNextSegment();
+  /// Syncs if any group-commit trigger is due; OK when none is.
+  util::Status MaybeSync();
+  /// Records the sticky error and returns it.
+  util::Status Poison(util::Status status);
+  bool BoundedSyncWindow() const {
+    return options_.sync_every_append || options_.sync_every_bytes > 0 ||
+           options_.sync_interval_ms > 0.0;
+  }
 
   std::string dir_;
   std::uint64_t epoch_;
@@ -127,11 +165,17 @@ class WalWriter {
   std::uint64_t seq_ = 0;  // segments opened so far; current = seq_
   std::uint64_t appends_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t unsynced_appends_ = 0;
+  std::uint64_t unsynced_bytes_ = 0;
+  std::chrono::steady_clock::time_point last_sync_ =
+      std::chrono::steady_clock::now();
+  util::Status poison_;  // non-OK once the log may have a hole
   bool closed_ = false;
   util::Counter* appends_counter_ = nullptr;
   util::Counter* bytes_counter_ = nullptr;
   util::Counter* syncs_counter_ = nullptr;
   util::Counter* rotations_counter_ = nullptr;
+  util::LatencyHistogram* batch_hist_ = nullptr;  // records per sync
 };
 
 /// Outcome of replaying one epoch's WAL suffix.

@@ -46,8 +46,12 @@ void TimeSpaceIndex::BulkUpsert(
     assert(route.ok());
     boxes_by_object_[id] = BuildOPlaneBoxes(attr, **route, options_.oplane);
   }
+  std::size_t total_boxes = 0;
+  for (const auto& [id, boxes] : boxes_by_object_) {
+    total_boxes += boxes.size();
+  }
   std::vector<std::pair<geo::Box3, RTree3::Value>> entries;
-  entries.reserve(boxes_by_object_.size() * 8);
+  entries.reserve(total_boxes);
   for (const auto& [id, boxes] : boxes_by_object_) {
     for (const geo::Box3& box : boxes) entries.emplace_back(box, id);
   }

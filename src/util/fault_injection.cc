@@ -58,14 +58,18 @@ WritableFileFactory DefaultWritableFileFactory() {
 }
 
 /// Wraps one base file; all fault state lives in the owning injector so the
-/// plan's byte offsets span file rotations.
+/// plan's byte offsets span file rotations. Every operation holds the
+/// injector mutex — parallel shard recovery funnels many files through one
+/// injector.
 class FaultInjector::File : public WritableFile {
  public:
-  File(FaultInjector* injector, std::unique_ptr<WritableFile> base)
-      : injector_(injector), base_(std::move(base)) {}
+  File(FaultInjector* injector, std::string path,
+       std::unique_ptr<WritableFile> base)
+      : injector_(injector), path_(std::move(path)), base_(std::move(base)) {}
 
   Status Append(std::string_view data) override {
     FaultInjector& inj = *injector_;
+    std::lock_guard<std::mutex> lock(inj.mu_);
     if (inj.crashed_) return Status::Internal("injected crash");
 
     std::string buffered(data);
@@ -89,12 +93,19 @@ class FaultInjector::File : public WritableFile {
     if (crash_now) to_write = to_write.substr(0, budget);
 
     const Status s = base_->Append(to_write);
-    if (s.ok()) inj.bytes_written_ += to_write.size();
+    if (s.ok()) {
+      inj.bytes_written_ += to_write.size();
+      file_bytes_ += to_write.size();
+    }
     if (crash_now) {
       inj.crashed_ = true;
       // A torn write is on disk; make it visible the way a real crash
       // would (the page cache does not outlive the machine).
       (void)base_->Close();
+      if (inj.plan_.lose_unsynced_on_crash) {
+        // The unsynced tail of this file never reached the platters.
+        (void)TruncateFile(path_, synced_bytes_);
+      }
       return Status::Internal("injected crash (torn write)");
     }
     return s;
@@ -102,18 +113,24 @@ class FaultInjector::File : public WritableFile {
 
   Status Sync() override {
     FaultInjector& inj = *injector_;
+    std::lock_guard<std::mutex> lock(inj.mu_);
     if (inj.crashed_) return Status::Internal("injected crash");
     if (inj.syncs_++ >= inj.plan_.fail_syncs_after) {
       return Status::Internal("injected fsync failure");
     }
-    return base_->Sync();
+    const Status s = base_->Sync();
+    if (s.ok()) synced_bytes_ = file_bytes_;
+    return s;
   }
 
   Status Close() override { return base_->Close(); }
 
  private:
   FaultInjector* injector_;
+  std::string path_;
   std::unique_ptr<WritableFile> base_;
+  std::uint64_t file_bytes_ = 0;    // appended to this file
+  std::uint64_t synced_bytes_ = 0;  // file_bytes_ at the last good Sync
 };
 
 FaultInjector::FaultInjector(FaultPlan plan, WritableFileFactory base)
@@ -122,11 +139,14 @@ FaultInjector::FaultInjector(FaultPlan plan, WritableFileFactory base)
 WritableFileFactory FaultInjector::factory() {
   return [this](const std::string& path)
              -> Result<std::unique_ptr<WritableFile>> {
-    if (crashed_) return Status::Internal("injected crash");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (crashed_) return Status::Internal("injected crash");
+    }
     auto base = base_(path);
     if (!base.ok()) return base.status();
     return std::unique_ptr<WritableFile>(
-        std::make_unique<File>(this, std::move(*base)));
+        std::make_unique<File>(this, path, std::move(*base)));
   };
 }
 

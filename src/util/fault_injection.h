@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -55,11 +56,19 @@ struct FaultPlan {
   double bit_flip_probability = 0.0;
   /// Seed for the bit-flip stream.
   std::uint64_t seed = 1;
+  /// When the crash fires, bytes appended to the *current* file since its
+  /// last successful `Sync` are truncated away — the page cache dies with
+  /// the machine. Off (default): every appended byte up to the crash
+  /// offset survives, modelling synced appends or lucky writeback. Group-
+  /// commit tests need this on, or deferred fsyncs would look free.
+  bool lose_unsynced_on_crash = false;
 };
 
 /// Factory + shared fault state: every `WritableFile` created through
 /// `factory()` draws from the same plan and the same cumulative byte
-/// counter. Must outlive the files it creates.
+/// counter. Must outlive the files it creates. Thread-safe: the shared
+/// state is mutex-guarded so one injector can back every shard of a
+/// database recovered or checkpointed in parallel.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan,
@@ -69,14 +78,27 @@ class FaultInjector {
   WritableFileFactory factory();
 
   /// True once the planned crash fired; all subsequent writes fail.
-  bool crashed() const { return crashed_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
-  std::uint64_t bits_flipped() const { return bits_flipped_; }
-  std::uint64_t syncs_attempted() const { return syncs_; }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
+  std::uint64_t bytes_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_written_;
+  }
+  std::uint64_t bits_flipped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bits_flipped_;
+  }
+  std::uint64_t syncs_attempted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncs_;
+  }
 
  private:
   class File;
 
+  mutable std::mutex mu_;
   FaultPlan plan_;
   WritableFileFactory base_;
   Rng rng_;

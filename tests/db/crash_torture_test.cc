@@ -237,6 +237,106 @@ TEST_F(CrashTortureTest, PowerLossAtEveryWalOffsetRecoversTheExactPrefix) {
   }
 }
 
+TEST_F(CrashTortureTest, GroupCommitPowerLossStaysWithinTheSyncWindow) {
+  // Group commit trades the per-append fsync for a bounded loss window: a
+  // power cut between a batch append and its deferred fsync may lose the
+  // unsynced tail, but never more than `sync_every_bytes` plus the frame
+  // in flight, and never anything already fsynced. The injected crash
+  // drops the unsynced tail of the live segment (`lose_unsynced_on_crash`
+  // models the page cache dying with the machine).
+  const std::uint64_t kWindow = 128;
+  DurabilityOptions options = TortureOptions();
+  options.wal.sync_every_bytes = kWindow;
+
+  // Clean reference run, tracking the cumulative WAL byte position after
+  // every applied record. The position accumulates across the checkpoint's
+  // epoch switch, matching the injector's cumulative offsets (each fresh
+  // epoch gets a new writer whose own byte count restarts at zero).
+  std::vector<std::string> signatures;
+  std::vector<std::uint64_t> cum;
+  {
+    ModDatabase db(&network_);
+    auto manager = DurabilityManager::Open(&db, root_ + "/clean", options);
+    ASSERT_TRUE(manager.ok()) << manager.status().message();
+    std::uint64_t epoch_base = 0;
+    signatures.push_back(Signature(db));
+    cum.push_back(0);
+    for (const Op& op : script_) {
+      if (op.kind == Op::kCheckpoint) {
+        records_at_checkpoint_ = signatures.size() - 1;
+        epoch_base += (*manager)->wal()->bytes();
+        ASSERT_TRUE((*manager)->Checkpoint().ok());
+        continue;
+      }
+      ASSERT_TRUE(ApplyOp(&db, op).ok());
+      signatures.push_back(Signature(db));
+      cum.push_back(epoch_base + (*manager)->wal()->bytes());
+    }
+  }
+  const std::uint64_t total = cum.back();
+  ASSERT_GT(total, 0u);
+  std::uint64_t max_frame = 0;
+  for (std::size_t k = 1; k < cum.size(); ++k) {
+    max_frame = std::max(max_frame, cum[k] - cum[k - 1]);
+  }
+
+  std::size_t lossy_recoveries = 0;
+  for (std::uint64_t crash_at = 0; crash_at < total; ++crash_at) {
+    SCOPED_TRACE("crash after " + std::to_string(crash_at) + " WAL bytes");
+    const std::string dir = root_ + "/crash";
+    fs::remove_all(dir);
+
+    util::FaultPlan plan;
+    plan.crash_after_bytes = crash_at;
+    plan.lose_unsynced_on_crash = true;
+    util::FaultInjector injector(plan);
+    DurabilityOptions faulty = options;
+    faulty.wal.file_factory = injector.factory();
+
+    std::size_t applied = 0;
+    bool checkpointed = false;
+    {
+      ModDatabase db(&network_);
+      auto manager = DurabilityManager::Open(&db, dir, faulty);
+      ASSERT_TRUE(manager.ok()) << manager.status().message();
+      for (const Op& op : script_) {
+        util::Status s = op.kind == Op::kCheckpoint ? (*manager)->Checkpoint()
+                                                    : ApplyOp(&db, op);
+        if (!s.ok()) {
+          ASSERT_TRUE(injector.crashed()) << s.message();
+          break;
+        }
+        if (op.kind == Op::kCheckpoint) {
+          checkpointed = true;
+        } else {
+          ++applied;
+        }
+      }
+    }
+
+    auto recovered = Recover(dir, options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().message();
+    const std::size_t prefix =
+        FindPrefix(signatures, Signature(*recovered->database));
+    ASSERT_NE(prefix, std::string::npos)
+        << "recovered state is not a prefix of the applied stream";
+    // Never newer than what was applied; never older than the sync window.
+    // Everything fsynced before the crash survives, and at the crash at
+    // most one full batch window plus the frame in flight was unsynced.
+    EXPECT_LE(prefix, applied);
+    EXPECT_GE(cum[prefix] + kWindow + max_frame,
+              std::min(crash_at, cum[applied]));
+    // A durable checkpoint is a floor regardless of the sync window.
+    if (checkpointed) {
+      EXPECT_GE(prefix, records_at_checkpoint_);
+    }
+    if (prefix < applied) ++lossy_recoveries;
+  }
+  // The sweep must actually hit the lossy region between an append and its
+  // deferred fsync, otherwise the window bound above is vacuous.
+  EXPECT_GT(lossy_recoveries, 0u);
+}
+
 TEST_F(CrashTortureTest, BitRotAtEveryWalByteRecoversAConsistentPrefix) {
   const DurabilityOptions options = TortureOptions();
   const std::string master = root_ + "/master";

@@ -200,6 +200,158 @@ TEST_F(ShardedDurabilityTest, MetricsExposeWalAndRecoveryCounters) {
   EXPECT_NE(dump.find("recovery.records_replayed"), std::string::npos);
 }
 
+TEST_F(ShardedDurabilityTest, ParallelRecoveryMatchesInlineRecovery) {
+  // Shards recover concurrently on the fan-out pool; the recovered state
+  // and the aggregated report must be identical for any pool size. Two
+  // copies of the same durable tree are reopened — one inline (0 threads),
+  // one on a 3-thread pool — and compared field by field.
+  std::string expected;
+  {
+    ShardedModDatabase db(&network_, Options());
+    ASSERT_TRUE(db.durability_status().ok());
+    for (core::ObjectId id = 1; id <= 60; ++id) {
+      ASSERT_TRUE(
+          db.Insert(id, "obj-" + std::to_string(id),
+                    Attr(static_cast<double>(id) * 5.0, 1.0))
+              .ok());
+    }
+    for (core::ObjectId id = 1; id <= 60; ++id) {
+      ASSERT_TRUE(
+          db.ApplyUpdate(Update(id, 1.0, static_cast<double>(id) * 5.0 + 1.0))
+              .ok());
+    }
+    ASSERT_TRUE(db.Erase(11).ok());
+    expected = Fingerprint(db);
+  }
+  const std::string copy = dir_ + "_copy";
+  fs::remove_all(copy);
+  fs::copy(dir_, copy, fs::copy_options::recursive);
+
+  ShardedModDatabaseOptions inline_options = Options();
+  inline_options.num_query_threads = 0;
+  ShardedModDatabaseOptions pooled_options = Options();
+  pooled_options.durable_dir = copy;
+  pooled_options.num_query_threads = 3;
+
+  RecoveryReport inline_report;
+  std::string inline_fingerprint;
+  {
+    ShardedModDatabase db(&network_, inline_options);
+    ASSERT_TRUE(db.durability_status().ok())
+        << db.durability_status().message();
+    inline_report = db.recovery_report();
+    inline_fingerprint = Fingerprint(db);
+  }
+  {
+    ShardedModDatabase db(&network_, pooled_options);
+    ASSERT_TRUE(db.durability_status().ok())
+        << db.durability_status().message();
+    EXPECT_EQ(db.num_query_threads(), 3u);
+    const RecoveryReport& pooled = db.recovery_report();
+    EXPECT_EQ(Fingerprint(db), inline_fingerprint);
+    EXPECT_EQ(Fingerprint(db), expected);
+    EXPECT_EQ(pooled.recovered, inline_report.recovered);
+    EXPECT_EQ(pooled.clean, inline_report.clean);
+    EXPECT_EQ(pooled.checkpoint_id, inline_report.checkpoint_id);
+    EXPECT_EQ(pooled.objects_restored, inline_report.objects_restored);
+    EXPECT_EQ(pooled.wal_records_replayed,
+              inline_report.wal_records_replayed);
+    EXPECT_EQ(pooled.wal_records_skipped, inline_report.wal_records_skipped);
+    EXPECT_EQ(pooled.wal_bytes_truncated, inline_report.wal_bytes_truncated);
+    EXPECT_TRUE(inline_report.recovered);
+    EXPECT_EQ(inline_report.wal_records_replayed, 121u);
+    EXPECT_GT(pooled.duration_ms, 0.0);
+  }
+  fs::remove_all(copy);
+}
+
+TEST_F(ShardedDurabilityTest, CheckpointFailureIsIsolatedToTheFailingShard) {
+  // One shard's fresh-epoch WAL refuses to open; the checkpoint must still
+  // run on every other shard, the error must name the culprit, and the
+  // failing shard's old WAL must stay attached and intact — no record may
+  // be lost (a log is never truncated before its replacement snapshot and
+  // fresh epoch are in place).
+  ShardedModDatabaseOptions options = Options();
+  options.durability.checkpoints_to_keep = 1;
+  // Epoch-1 (bootstrap) opens succeed everywhere; shard 2's epoch-2 open —
+  // the one Checkpoint() needs — fails.
+  const util::WritableFileFactory real = util::DefaultWritableFileFactory();
+  options.durability.wal.file_factory =
+      [real](const std::string& path)
+      -> util::Result<std::unique_ptr<util::WritableFile>> {
+    if (path.find("shard-0002") != std::string::npos &&
+        path.find("wal-00000002") != std::string::npos) {
+      return util::Status::Internal("injected: no space for a new epoch");
+    }
+    return real(path);
+  };
+
+  std::string expected;
+  {
+    ShardedModDatabase db(&network_, options);
+    ASSERT_TRUE(db.durability_status().ok());
+    for (core::ObjectId id = 1; id <= 24; ++id) {
+      ASSERT_TRUE(
+          db.Insert(id, "obj-" + std::to_string(id),
+                    Attr(static_cast<double>(id) * 10.0, 1.0))
+              .ok());
+    }
+    expected = Fingerprint(db);
+
+    const util::Status status = db.Checkpoint();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), util::StatusCode::kInternal);
+    EXPECT_NE(status.message().find("shard 2"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("3 checkpointed successfully"),
+              std::string::npos)
+        << status.message();
+
+    // The failing shard keeps logging into its old epoch: a write to an
+    // object it owns still succeeds after the failed checkpoint.
+    core::ObjectId on_failed_shard = 0;
+    for (core::ObjectId id = 1; id <= 24; ++id) {
+      if (db.ShardOf(id) == 2) {
+        on_failed_shard = id;
+        break;
+      }
+    }
+    ASSERT_NE(on_failed_shard, 0u);
+    ASSERT_TRUE(
+        db.ApplyUpdate(Update(on_failed_shard, 2.0,
+                              static_cast<double>(on_failed_shard) * 10.0 + 3.0))
+            .ok());
+    expected = Fingerprint(db);
+  }
+
+  // The other shards moved to epoch 2; shard 2 still has its epoch-1 log.
+  bool shard2_epoch1 = false;
+  bool other_epoch2 = false;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string shard = entry.path().filename().string();
+    if (shard.rfind("shard-", 0) != 0) continue;
+    for (const auto& file : fs::directory_iterator(entry.path())) {
+      const std::string name = file.path().filename().string();
+      if (name.rfind("wal-00000001", 0) == 0 &&
+          fs::file_size(file.path()) > 0 && shard == "shard-0002") {
+        shard2_epoch1 = true;
+      }
+      if (name.rfind("wal-00000002", 0) == 0 && shard != "shard-0002") {
+        other_epoch2 = true;
+      }
+    }
+  }
+  EXPECT_TRUE(shard2_epoch1);
+  EXPECT_TRUE(other_epoch2);
+
+  // Everything — checkpointed shards and the failed one — recovers.
+  ShardedModDatabase db(&network_, Options());
+  ASSERT_TRUE(db.durability_status().ok())
+      << db.durability_status().message();
+  EXPECT_EQ(db.num_objects(), 24u);
+  EXPECT_EQ(Fingerprint(db), expected);
+}
+
 TEST_F(ShardedDurabilityTest, TornShardLogLosesOnlyThatShardsTail) {
   ShardedModDatabaseOptions options = Options();
   {

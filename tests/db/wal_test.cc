@@ -378,5 +378,159 @@ TEST_F(WalTest, AppendFailsAfterClose) {
   EXPECT_TRUE((*writer)->Close().ok());  // idempotent
 }
 
+TEST_F(WalTest, GroupCommitByteTriggerBatchesSyncs) {
+  const std::uint64_t frame_bytes = [] {
+    WalRecord record;
+    record.type = WalRecordType::kErase;
+    record.id = 1;
+    return EncodeWalRecord(record).size() + 8;  // payload + frame header
+  }();
+
+  WalWriterOptions options;
+  options.sync_every_bytes = 2 * frame_bytes;  // one sync per two appends
+  util::FaultPlan plan;
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+  util::MetricsRegistry registry;
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  (*writer)->SetMetrics(&registry);
+
+  ASSERT_TRUE((*writer)->AppendErase(1).ok());
+  EXPECT_EQ(injector.syncs_attempted(), 0u);
+  EXPECT_EQ((*writer)->unsynced_appends(), 1u);
+  EXPECT_EQ((*writer)->unsynced_bytes(), frame_bytes);
+
+  ASSERT_TRUE((*writer)->AppendErase(2).ok());  // hits the byte trigger
+  EXPECT_EQ(injector.syncs_attempted(), 1u);
+  EXPECT_EQ((*writer)->unsynced_appends(), 0u);
+  EXPECT_EQ((*writer)->unsynced_bytes(), 0u);
+
+  for (core::ObjectId id = 3; id <= 6; ++id) {
+    ASSERT_TRUE((*writer)->AppendErase(id).ok());
+  }
+  EXPECT_EQ(injector.syncs_attempted(), 3u);
+
+  // The batch distribution counted one entry per sync, each of 2 records.
+  util::LatencyHistogram* batch =
+      registry.GetLatency("wal.group_commit_batch");
+  EXPECT_EQ(batch->count(), 3u);
+  EXPECT_DOUBLE_EQ(batch->mean_micros(), 2.0);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST_F(WalTest, ExplicitPolicySyncsOnlyOnDemand) {
+  WalWriterOptions options;  // all triggers off: caller-driven syncs
+  util::FaultPlan plan;
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (core::ObjectId id = 1; id <= 20; ++id) {
+    ASSERT_TRUE((*writer)->AppendErase(id).ok());
+  }
+  EXPECT_EQ(injector.syncs_attempted(), 0u);
+  EXPECT_EQ((*writer)->unsynced_appends(), 20u);
+
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ(injector.syncs_attempted(), 1u);
+
+  // Nothing appended since: Sync is a no-op, not another fsync.
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ(injector.syncs_attempted(), 1u);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST_F(WalTest, IntervalTriggerChecksElapsedTimeAtAppend) {
+  // A huge interval never comes due; a tiny one is due at every append.
+  for (const double interval_ms : {1e12, 1e-9}) {
+    const std::string dir = dir_ + (interval_ms > 1.0 ? "_huge" : "_tiny");
+    WalWriterOptions options;
+    options.sync_interval_ms = interval_ms;
+    util::FaultPlan plan;
+    util::FaultInjector injector(plan);
+    options.file_factory = injector.factory();
+
+    auto writer = WalWriter::Open(dir, 1, options);
+    ASSERT_TRUE(writer.ok());
+    for (core::ObjectId id = 1; id <= 5; ++id) {
+      ASSERT_TRUE((*writer)->AppendErase(id).ok());
+    }
+    if (interval_ms > 1.0) {
+      EXPECT_EQ(injector.syncs_attempted(), 0u);
+      EXPECT_EQ((*writer)->unsynced_appends(), 5u);
+    } else {
+      EXPECT_EQ(injector.syncs_attempted(), 5u);
+      EXPECT_EQ((*writer)->unsynced_appends(), 0u);
+    }
+    ASSERT_TRUE((*writer)->Close().ok());
+    fs::remove_all(dir);
+  }
+}
+
+TEST_F(WalTest, PoisonedAfterFailedDeferredSync) {
+  // The fsync of a group-commit batch fails. The injector would happily
+  // accept more *appends* — but the writer must refuse them: records
+  // appended after the un-synced batch would sit beyond a potential hole
+  // in the log, and recovery replays a prefix.
+  WalWriterOptions options;
+  options.sync_every_bytes = 1;  // every append triggers a sync
+  util::FaultPlan plan;
+  plan.fail_syncs_after = 0;  // every sync fails
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  const util::Status first = (*writer)->AppendErase(1);
+  EXPECT_FALSE(first.ok());
+  EXPECT_FALSE((*writer)->poison().ok());
+
+  // Every later call surfaces the same sticky error.
+  const util::Status later = (*writer)->AppendErase(2);
+  EXPECT_FALSE(later.ok());
+  EXPECT_EQ(later.message(), first.message());
+  EXPECT_FALSE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->appends(), 1u);  // the second append never ran
+}
+
+TEST_F(WalTest, PoisonedAfterAppendFailure) {
+  WalWriterOptions options;
+  util::FaultPlan plan;
+  plan.crash_after_bytes = 10;  // first append tears mid-frame
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_FALSE((*writer)->AppendErase(1).ok());
+  EXPECT_FALSE((*writer)->poison().ok());
+  EXPECT_FALSE((*writer)->AppendErase(2).ok());
+  EXPECT_FALSE((*writer)->Sync().ok());
+}
+
+TEST_F(WalTest, RotationSyncsPendingBatchUnderBoundedWindow) {
+  // The byte trigger alone won't fire before the segment fills; rotation
+  // must flush the pending batch anyway, or the loss window would grow to
+  // a whole segment.
+  WalWriterOptions options;
+  options.segment_max_bytes = 64;      // a couple of records per segment
+  options.sync_every_bytes = 1 << 20;  // never reached
+  util::FaultPlan plan;
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (core::ObjectId id = 1; id <= 12; ++id) {
+    ASSERT_TRUE((*writer)->AppendErase(id).ok());
+  }
+  EXPECT_GT((*writer)->segments_opened(), 1u);
+  EXPECT_EQ(injector.syncs_attempted(), (*writer)->segments_opened() - 1);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
 }  // namespace
 }  // namespace modb::db
