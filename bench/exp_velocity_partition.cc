@@ -1,0 +1,280 @@
+// E15 — velocity-partitioned time-space indexing: a mixed-speed fleet
+// (traffic-jam + city + highway classes) indexed by one R*-tree over
+// everyone versus speed-banded R*-trees with band-tuned slab widths. A fast
+// object's per-slab box covers speed × slab_width of route, so in a single
+// tree a handful of highway objects inflate node MBRs with dead space and
+// drag candidate precision down for the whole fleet; banding bounds the
+// dead space per band. The claim under test: fewer candidates examined per
+// query at equal (byte-identical) refined answers.
+//
+// `--smoke` runs a tiny fleet for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/exp_common.h"
+#include "core/update_policy.h"
+#include "db/mod_database.h"
+#include "geo/route_network.h"
+#include "index/velocity_partitioned_index.h"
+#include "util/rng.h"
+
+namespace modb::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Workload {
+  geo::RouteNetwork network;
+  std::vector<core::PositionAttribute> attrs;
+  std::vector<core::PositionUpdate> updates;
+  std::vector<geo::Polygon> queries;
+};
+
+// Speed classes: jam crawls, city flows, highway flies. One fleet mixes
+// all three (a third each).
+double ClassSpeed(int cls, util::Rng& rng) {
+  switch (cls) {
+    case 0: return rng.Uniform(0.1, 0.6);    // jam
+    case 1: return rng.Uniform(2.0, 5.0);    // city
+    default: return rng.Uniform(10.0, 20.0); // highway
+  }
+}
+
+std::unique_ptr<Workload> MakeWorkload(std::size_t num_objects,
+                                       std::size_t num_queries,
+                                       std::uint64_t seed) {
+  auto w = std::make_unique<Workload>();
+  // 20x20 street grid spanning 570 x 570.
+  w->network.AddGridNetwork(20, 20, 30.0);
+  util::Rng rng(seed);
+  w->attrs.reserve(num_objects);
+  for (std::size_t i = 0; i < num_objects; ++i) {
+    core::PositionAttribute attr;
+    attr.route = static_cast<geo::RouteId>(
+        rng.UniformInt(0, static_cast<std::int64_t>(w->network.size()) - 1));
+    const double len = w->network.route(attr.route).Length();
+    attr.start_route_distance = rng.Uniform(0.0, len * 0.5);
+    attr.start_position =
+        w->network.route(attr.route).PointAt(attr.start_route_distance);
+    attr.speed = ClassSpeed(static_cast<int>(i % 3), rng);
+    attr.update_cost = 5.0;
+    attr.max_speed = 25.0;
+    attr.policy = core::PolicyKind::kAverageImmediateLinear;
+    w->attrs.push_back(attr);
+  }
+  // One position report per object at t=10; a tenth of the fleet changes
+  // speed class (merging onto / leaving the highway), which exercises the
+  // banded index's migration path.
+  w->updates.reserve(num_objects);
+  for (std::size_t i = 0; i < num_objects; ++i) {
+    const core::PositionAttribute& attr = w->attrs[i];
+    core::PositionUpdate u;
+    u.object = static_cast<core::ObjectId>(i);
+    u.time = 10.0;
+    u.route = attr.route;
+    const double len = w->network.route(attr.route).Length();
+    u.route_distance =
+        std::min(len, attr.start_route_distance + attr.speed * 10.0);
+    u.position = w->network.route(u.route).PointAt(u.route_distance);
+    u.direction = core::TravelDirection::kForward;
+    const int cls = static_cast<int>(i % 3);
+    u.speed = i % 10 == 0 ? ClassSpeed((cls + 1) % 3, rng)
+                          : ClassSpeed(cls, rng);
+    w->updates.push_back(u);
+  }
+  w->queries.reserve(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    w->queries.push_back(geo::Polygon::CenteredRectangle(
+        {rng.Uniform(50.0, 520.0), rng.Uniform(50.0, 520.0)}, 20.0, 20.0));
+  }
+  return w;
+}
+
+struct QueryStats {
+  double us_per_query = 0.0;
+  double candidates_per_query = 0.0;
+  std::size_t results = 0;
+};
+
+QueryStats TimeQueries(const db::ModDatabase& db, const Workload& w,
+                       core::Time t) {
+  QueryStats stats;
+  const auto start = Clock::now();
+  for (const auto& region : w.queries) {
+    const db::RangeAnswer answer = db.QueryRange(region, t);
+    stats.results += answer.must.size() + answer.may.size();
+    stats.candidates_per_query +=
+        static_cast<double>(answer.candidates_examined);
+  }
+  const auto end = Clock::now();
+  const double total_us =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  stats.us_per_query = total_us / static_cast<double>(w.queries.size());
+  stats.candidates_per_query /= static_cast<double>(w.queries.size());
+  return stats;
+}
+
+// Answers must be byte-identical across index kinds (the index is only a
+// candidate filter; refinement decides).
+bool AnswersAgree(const db::ModDatabase& a, const db::ModDatabase& b,
+                  const Workload& w, core::Time t) {
+  for (const auto& region : w.queries) {
+    const db::RangeAnswer ra = a.QueryRange(region, t);
+    const db::RangeAnswer rb = b.QueryRange(region, t);
+    if (ra.must != rb.must || ra.may != rb.may) return false;
+  }
+  return true;
+}
+
+double TimeUpdates(db::ModDatabase& db, const Workload& w) {
+  const auto start = Clock::now();
+  for (const auto& u : w.updates) db.ApplyUpdate(u).ok();
+  const auto end = Clock::now();
+  const double secs = std::chrono::duration<double>(end - start).count();
+  return static_cast<double>(w.updates.size()) / secs;
+}
+
+void PrintBandTable(const db::ModDatabase& db) {
+  const auto* vp = dynamic_cast<const index::VelocityPartitionedIndex*>(
+      &db.object_index());
+  if (vp == nullptr) return;
+  util::Table table({"band", "upper speed", "slab width", "objects",
+                     "entries"});
+  for (std::size_t b = 0; b < vp->num_bands(); ++b) {
+    const double upper = b < vp->band_bounds().size()
+                             ? vp->band_bounds()[b]
+                             : std::numeric_limits<double>::infinity();
+    table.NewRow()
+        .Add(b)
+        .Add(upper, 2)
+        .Add(vp->band_slab_width(b), 2)
+        .Add(vp->band_object_count(b))
+        .Add(vp->band_entry_count(b));
+  }
+  std::printf("%s(band migrations so far: %zu, remove misses: %zu)\n\n",
+              table.ToString().c_str(), vp->band_migrations(),
+              vp->remove_misses());
+}
+
+int RunComparison(bool smoke) {
+  const std::size_t kObjects = smoke ? 300 : 12000;
+  const std::size_t kQueries = smoke ? 16 : 64;
+  std::printf("--- single tree vs velocity-banded, mixed-speed fleet "
+              "(N = %zu) ---\n", kObjects);
+
+  util::Table table({"index", "entries", "us/query", "candidates/query",
+                     "% of DB examined", "updates/s"});
+  double single_candidates = 0.0;
+  double banded_candidates = 0.0;
+  bool agree = true;
+  for (int kind = 0; kind < 2; ++kind) {
+    const auto w = MakeWorkload(kObjects, kQueries, 1998);
+    db::ModDatabaseOptions opts;
+    opts.oplane_horizon = 60.0;
+    opts.oplane_slab_width = 4.0;
+    if (kind == 0) {
+      opts.index_kind = db::IndexKind::kTimeSpaceRTree;
+    } else {
+      opts.index_kind = db::IndexKind::kVelocityPartitioned;
+      opts.velocity_bands = 3;
+      opts.velocity_min_slab_width = 0.5;
+    }
+    db::ModDatabase db(&w->network, opts);
+    std::vector<db::ModDatabase::BulkObject> fleet;
+    fleet.reserve(w->attrs.size());
+    for (std::size_t i = 0; i < w->attrs.size(); ++i) {
+      db::ModDatabase::BulkObject o;
+      o.id = static_cast<core::ObjectId>(i);
+      o.attr = w->attrs[i];
+      fleet.push_back(std::move(o));
+    }
+    if (!db.BulkInsert(std::move(fleet)).ok()) return 1;
+
+    const core::Time t = 5.0;
+    const QueryStats stats = TimeQueries(db, *w, t);
+    const double updates_per_sec = TimeUpdates(db, *w);
+    // Re-query after the update wave too (t=15) so migration correctness
+    // is part of the agreement check below.
+    const QueryStats after = TimeQueries(db, *w, 15.0);
+    (void)after;
+    table.NewRow()
+        .Add(std::string(db.object_index().name()))
+        .Add(db.object_index().num_entries())
+        .Add(stats.us_per_query, 1)
+        .Add(stats.candidates_per_query, 1)
+        .Add(100.0 * stats.candidates_per_query /
+                 static_cast<double>(kObjects), 2)
+        .Add(updates_per_sec, 0);
+    if (kind == 0) {
+      single_candidates = stats.candidates_per_query;
+    } else {
+      banded_candidates = stats.candidates_per_query;
+      PrintBandTable(db);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Agreement check on fresh instances (the timed ones have diverged
+  // through their update waves at independently drawn speeds).
+  {
+    const auto w = MakeWorkload(kObjects, kQueries, 1998);
+    db::ModDatabaseOptions single_opts;
+    single_opts.index_kind = db::IndexKind::kTimeSpaceRTree;
+    single_opts.oplane_horizon = 60.0;
+    single_opts.oplane_slab_width = 4.0;
+    db::ModDatabaseOptions banded_opts = single_opts;
+    banded_opts.index_kind = db::IndexKind::kVelocityPartitioned;
+    banded_opts.velocity_bands = 3;
+    db::ModDatabase single_db(&w->network, single_opts);
+    db::ModDatabase banded_db(&w->network, banded_opts);
+    for (std::size_t i = 0; i < w->attrs.size(); ++i) {
+      const auto id = static_cast<core::ObjectId>(i);
+      single_db.Insert(id, "", w->attrs[i]).ok();
+      banded_db.Insert(id, "", w->attrs[i]).ok();
+    }
+    agree = AnswersAgree(single_db, banded_db, *w, 5.0);
+    for (const auto& u : w->updates) {
+      single_db.ApplyUpdate(u).ok();
+      banded_db.ApplyUpdate(u).ok();
+    }
+    agree = agree && AnswersAgree(single_db, banded_db, *w, 15.0);
+  }
+
+  const bool fewer = banded_candidates < single_candidates;
+  const bool pass = agree && fewer;
+  std::printf("shape check — banded index examines %.1f candidates/query vs "
+              "%.1f for the single tree (%.0f%% reduction), answers "
+              "identical before and after the update wave: %s -> %s\n\n",
+              banded_candidates, single_candidates,
+              single_candidates > 0.0
+                  ? 100.0 * (1.0 - banded_candidates / single_candidates)
+                  : 0.0,
+              agree ? "yes" : "NO", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+int Run(bool smoke) {
+  PrintHeader("E15: velocity-partitioned time-space indexing",
+              "speed-banded R*-trees with band-tuned slab widths examine "
+              "fewer candidates than one tree over a mixed-speed fleet, at "
+              "identical refined answers");
+  return RunComparison(smoke);
+}
+
+}  // namespace
+}  // namespace modb::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  return modb::bench::Run(smoke);
+}

@@ -7,6 +7,7 @@
 #include "db/wal.h"
 #include "index/linear_scan_index.h"
 #include "index/timespace_index.h"
+#include "index/velocity_partitioned_index.h"
 
 namespace modb::db {
 
@@ -23,6 +24,16 @@ std::unique_ptr<index::ObjectIndex> MakeIndex(
     }
     case IndexKind::kLinearScan:
       return std::make_unique<index::LinearScanIndex>(network);
+    case IndexKind::kVelocityPartitioned: {
+      index::VelocityPartitionedIndex::Options idx;
+      idx.oplane.horizon = options.oplane_horizon;
+      idx.oplane.slab_width = options.oplane_slab_width;
+      idx.num_bands = options.velocity_bands;
+      idx.band_bounds = options.velocity_band_bounds;
+      idx.min_slab_width = options.velocity_min_slab_width;
+      idx.pool = options.index_pool;
+      return std::make_unique<index::VelocityPartitionedIndex>(network, idx);
+    }
   }
   return nullptr;
 }
@@ -38,17 +49,21 @@ ModDatabase::ModDatabase(const geo::RouteNetwork* network,
 
 void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
                              const std::string& prefix) {
+  metrics_registry_ = registry;
+  metrics_prefix_ = prefix;
   if (registry == nullptr) {
     updates_applied_ = nullptr;
     inserts_ = nullptr;
     erases_ = nullptr;
     index_probes_ = nullptr;
+    index_->SetMetrics(nullptr, "");
     return;
   }
   updates_applied_ = registry->GetCounter(prefix + "updates_applied");
   inserts_ = registry->GetCounter(prefix + "inserts");
   erases_ = registry->GetCounter(prefix + "erases");
   index_probes_ = registry->GetCounter(prefix + "index_probes");
+  index_->SetMetrics(registry, prefix + "index.");
 }
 
 util::Status ModDatabase::ValidateAttribute(
@@ -82,7 +97,15 @@ util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
   record.attr = attr;
   record.insert_time = attr.start_time;
   records_.emplace(id, std::move(record));
-  if (!bulk_ingest_) index_->Upsert(id, attr);
+  if (!bulk_ingest_) {
+    if (util::Status s = index_->Upsert(id, attr); !s.ok()) {
+      // Unreachable after ValidateAttribute (the route exists), but the
+      // index reports maintenance failures as errors now — roll the record
+      // back so memory stays consistent and propagate.
+      records_.erase(id);
+      return s;
+    }
+  }
   if (inserts_ != nullptr) inserts_->Increment();
   return util::Status::Ok();
 }
@@ -105,13 +128,15 @@ util::Status ModDatabase::FinishBulkIngest() {
   }
   bulk_ingest_ = false;
   index_ = MakeIndex(network_, options_);
+  if (metrics_registry_ != nullptr) {
+    index_->SetMetrics(metrics_registry_, metrics_prefix_ + "index.");
+  }
   std::vector<std::pair<core::ObjectId, core::PositionAttribute>> for_index;
   for_index.reserve(records_.size());
   for (const auto& [id, record] : records_) {
     for_index.emplace_back(id, record.attr);
   }
-  index_->BulkUpsert(for_index);
-  return util::Status::Ok();
+  return index_->BulkUpsert(for_index);
 }
 
 util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
@@ -145,7 +170,14 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     for_index.emplace_back(object.id, object.attr);
     records_.emplace(object.id, std::move(record));
   }
-  if (!bulk_ingest_) index_->BulkUpsert(for_index);
+  if (!bulk_ingest_) {
+    if (util::Status s = index_->BulkUpsert(for_index); !s.ok()) {
+      // Unreachable after up-front validation; keep the "unchanged on
+      // failure" contract by rolling the batch's records back.
+      for (const auto& [id, attr] : for_index) records_.erase(id);
+      return s;
+    }
+  }
   if (inserts_ != nullptr) inserts_->Increment(for_index.size());
   return util::Status::Ok();
 }
@@ -170,6 +202,14 @@ util::Status ModDatabase::ApplyUpdate(const core::PositionUpdate& update) {
   if (wal_ != nullptr) {
     if (util::Status s = wal_->AppendUpdate(update); !s.ok()) return s;
   }
+  // Index before record: an index maintenance failure (unreachable after
+  // validation, but a handled error now rather than release-build UB)
+  // aborts the update with the record untouched.
+  if (!bulk_ingest_) {
+    if (util::Status s = index_->Upsert(update.object, attr); !s.ok()) {
+      return s;
+    }
+  }
   if (options_.keep_trajectory) {
     record.past.push_back(record.attr);
     const std::size_t cap = options_.max_trajectory_versions;
@@ -180,7 +220,6 @@ util::Status ModDatabase::ApplyUpdate(const core::PositionUpdate& update) {
   }
   record.attr = attr;
   ++record.update_count;
-  if (!bulk_ingest_) index_->Upsert(update.object, attr);
   log_.Append(update);
   if (updates_applied_ != nullptr) updates_applied_->Increment();
   return util::Status::Ok();

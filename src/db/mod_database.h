@@ -18,6 +18,7 @@
 #include "index/object_index.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace modb::db {
 
@@ -25,17 +26,31 @@ class WalWriter;
 
 /// Which access method backs range queries.
 enum class IndexKind {
-  kTimeSpaceRTree,  // the paper's §4 method
-  kLinearScan,      // baseline
+  kTimeSpaceRTree,        // the paper's §4 method
+  kLinearScan,            // baseline
+  kVelocityPartitioned,   // speed-banded R*-trees (see index/velocity_...)
 };
 
 /// Moving-objects database options.
 struct ModDatabaseOptions {
   IndexKind index_kind = IndexKind::kTimeSpaceRTree;
   /// O-plane horizon (time span T of §4.2) and slab width for the R*-tree
-  /// index; ignored by the linear scan.
+  /// indexes; ignored by the linear scan. For the velocity-partitioned
+  /// index the slab width applies to the slowest band.
   double oplane_horizon = 120.0;
   double oplane_slab_width = 4.0;
+  /// Velocity partitioning (kVelocityPartitioned only): number of speed
+  /// bands, optional explicit ascending band speed bounds (empty = derive
+  /// from fleet speed quantiles; this is what snapshots persist so a
+  /// restore bands identically to the live store), and the narrowest slab
+  /// fast bands may shrink to.
+  std::size_t velocity_bands = 3;
+  std::vector<double> velocity_band_bounds;
+  double velocity_min_slab_width = 0.5;
+  /// Optional pool the velocity-partitioned index fans band probes out on
+  /// (non-owning, must outlive the database; not persisted). nullptr
+  /// probes bands serially.
+  util::ThreadPool* index_pool = nullptr;
   /// Cap on the update-log history retained for replay (0 = unlimited).
   std::size_t max_log_history = 0;
   /// Keep superseded attribute versions per object so position queries at
@@ -144,7 +159,9 @@ class ModDatabase {
 
   /// Registers this database's instruments in `registry` under `prefix`
   /// (counters `<prefix>updates_applied`, `<prefix>inserts`,
-  /// `<prefix>erases`, `<prefix>index_probes`) and starts updating them;
+  /// `<prefix>erases`, `<prefix>index_probes`, plus whatever the index
+  /// registers under `<prefix>index.` — e.g. `remove_miss` or the
+  /// velocity-partitioned per-band gauges) and starts updating them;
   /// nullptr detaches. The registry must outlive the database. Several
   /// databases given the same registry and prefix share the instruments —
   /// that is how the sharded layer aggregates across shards. Counter
@@ -188,6 +205,10 @@ class ModDatabase {
   UpdateLog log_;
   WalWriter* wal_ = nullptr;  // non-owning, see AttachWal
   bool bulk_ingest_ = false;  // index updates deferred, see BeginBulkIngest
+  // Metrics attachment, remembered so a rebuilt index (FinishBulkIngest)
+  // re-registers its instruments. Non-owning, may be null.
+  util::MetricsRegistry* metrics_registry_ = nullptr;
+  std::string metrics_prefix_;
   // Optional instruments (see SetMetrics); non-owning, may be null.
   util::Counter* updates_applied_ = nullptr;
   util::Counter* inserts_ = nullptr;

@@ -62,6 +62,14 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
       pool_(ResolveQueryThreads(options,
                                 std::max<std::size_t>(options.num_shards, 1))) {
   const std::size_t num_shards = std::max<std::size_t>(options.num_shards, 1);
+  // The velocity-partitioned index fans band probes out on a pool; give
+  // the per-shard indexes this layer's pool unless the caller supplied
+  // one. ParallelFor is caller-participating, so a shard query already
+  // running on a pool worker nests safely.
+  if (options.db.index_kind == IndexKind::kVelocityPartitioned &&
+      options.db.index_pool == nullptr) {
+    options.db.index_pool = &pool_;
+  }
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();

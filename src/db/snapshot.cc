@@ -1,6 +1,7 @@
 #include "db/snapshot.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -9,14 +10,19 @@
 #include <sstream>
 #include <vector>
 
+#include "index/velocity_partitioned_index.h"
+
 namespace modb::db {
 
 namespace {
 
-// v3 appended `max_trajectory_versions` to the options line; v2 snapshots
-// (which lacked the field, silently dropping the cap on restore) are still
-// readable and default it to 0 (unlimited).
-constexpr int kSnapshotVersion = 3;
+// v4 appended the velocity-partitioned index configuration (band count and
+// the band speed bounds — persisted so a restored store bands its fleet
+// identically to the live one) and allows index_kind 2. v3 appended
+// `max_trajectory_versions`; v2 snapshots (which lacked the field,
+// silently dropping the cap on restore) are still readable and default it
+// to 0 (unlimited). v2/v3 default the velocity fields.
+constexpr int kSnapshotVersion = 4;
 constexpr int kMinReadableSnapshotVersion = 2;
 
 void WriteAttribute(std::ostream& out, const core::PositionAttribute& a) {
@@ -74,11 +80,26 @@ util::Status WriteSnapshot(const ModDatabase& db, std::ostream& out) {
   out << "modb-snapshot " << kSnapshotVersion << '\n';
 
   const ModDatabaseOptions& options = db.options();
+  // Persist the *live* band bounds when the velocity-partitioned index has
+  // derived them from fleet quantiles, so the restored store reproduces
+  // the exact same banding instead of re-deriving from whatever the fleet
+  // looks like then.
+  std::vector<double> band_bounds = options.velocity_band_bounds;
+  if (options.index_kind == IndexKind::kVelocityPartitioned) {
+    if (const auto* vp = dynamic_cast<const index::VelocityPartitionedIndex*>(
+            &db.object_index());
+        vp != nullptr && !vp->band_bounds().empty()) {
+      band_bounds = vp->band_bounds();
+    }
+  }
   out << "options " << static_cast<int>(options.index_kind) << ' '
       << options.oplane_horizon << ' ' << options.oplane_slab_width << ' '
       << options.max_log_history << ' '
       << (options.keep_trajectory ? 1 : 0) << ' '
-      << options.max_trajectory_versions << '\n';
+      << options.max_trajectory_versions << ' '
+      << options.velocity_bands << ' ' << band_bounds.size();
+  for (double bound : band_bounds) out << ' ' << bound;
+  out << '\n';
 
   const geo::RouteNetwork& network = db.network();
   out << "routes " << network.size() << '\n';
@@ -150,9 +171,28 @@ util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
   if (version >= 3 && !(in >> options.max_trajectory_versions)) {
     return malformed("options fields");
   }
+  if (version >= 4) {
+    std::size_t num_bounds = 0;
+    if (!(in >> options.velocity_bands >> num_bounds)) {
+      return malformed("options fields");
+    }
+    if (num_bounds > 1024) return malformed("band bound count");
+    options.velocity_band_bounds.resize(num_bounds);
+    double prev = -std::numeric_limits<double>::infinity();
+    for (double& bound : options.velocity_band_bounds) {
+      if (!(in >> bound) || !std::isfinite(bound) || bound < prev) {
+        return malformed("band bounds");
+      }
+      prev = bound;
+    }
+  }
   // An out-of-range kind would leave the database without an index (the
-  // factory switch has no such case) — reject it here instead.
-  if (index_kind < 0 || index_kind > static_cast<int>(IndexKind::kLinearScan)) {
+  // factory switch has no such case) — reject it here instead. Pre-v4
+  // snapshots can only name the two original kinds.
+  const int max_kind = version >= 4
+                           ? static_cast<int>(IndexKind::kVelocityPartitioned)
+                           : static_cast<int>(IndexKind::kLinearScan);
+  if (index_kind < 0 || index_kind > max_kind) {
     return malformed("index kind");
   }
   options.index_kind = static_cast<IndexKind>(index_kind);

@@ -21,8 +21,15 @@ class LinearScanIndex final : public ObjectIndex {
   explicit LinearScanIndex(const geo::RouteNetwork* network)
       : network_(network) {}
 
-  void Upsert(core::ObjectId id, const core::PositionAttribute& attr) override {
+  util::Status Upsert(core::ObjectId id,
+                      const core::PositionAttribute& attr) override {
+    // Same unknown-route contract as the tree indexes: a handled error
+    // that leaves the index unchanged.
+    if (const auto route = network_->FindRoute(attr.route); !route.ok()) {
+      return route.status();
+    }
     attrs_[id] = attr;
+    return util::Status::Ok();
   }
   void Remove(core::ObjectId id) override { attrs_.erase(id); }
   std::vector<core::ObjectId> Candidates(const geo::Polygon& region,

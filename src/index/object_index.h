@@ -9,6 +9,8 @@
 #include "core/position_attribute.h"
 #include "core/types.h"
 #include "geo/polygon.h"
+#include "util/metrics.h"
+#include "util/status.h"
 
 namespace modb::index {
 
@@ -30,19 +32,27 @@ class ObjectIndex {
 
   /// Inserts `id` or replaces its stored motion model with `attr`
   /// (a position update, paper §4.2: drop the old o-plane, index the new).
-  virtual void Upsert(core::ObjectId id,
-                      const core::PositionAttribute& attr) = 0;
+  /// An attribute naming an unknown route is a handled error (NotFound)
+  /// that leaves the index unchanged — never undefined behaviour, in any
+  /// build mode.
+  virtual util::Status Upsert(core::ObjectId id,
+                              const core::PositionAttribute& attr) = 0;
 
   /// Removes `id` from the index (end of trip).
   virtual void Remove(core::ObjectId id) = 0;
 
   /// Bulk variant of `Upsert` for the initial fleet load. The default
-  /// loops over `Upsert`; implementations may override with a packed
-  /// build (the R*-tree uses STR bulk loading).
-  virtual void BulkUpsert(
+  /// loops over `Upsert` and stops at the first error (objects before it
+  /// stay applied); implementations may override with a packed build that
+  /// validates every row first and leaves the index unchanged on failure
+  /// (the R*-tree uses STR bulk loading).
+  virtual util::Status BulkUpsert(
       const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
           objects) {
-    for (const auto& [id, attr] : objects) Upsert(id, attr);
+    for (const auto& [id, attr] : objects) {
+      if (util::Status s = Upsert(id, attr); !s.ok()) return s;
+    }
+    return util::Status::Ok();
   }
 
   /// Ids of objects that may be inside `region` at time `t` (superset).
@@ -54,7 +64,20 @@ class ObjectIndex {
   virtual std::vector<core::ObjectId> CandidatesInWindow(
       const geo::Polygon& region, core::Time t1, core::Time t2) const = 0;
 
-  /// Implementation name for reports ("rtree", "scan").
+  /// Registers this index's instruments in `registry` under `prefix`
+  /// (nullptr detaches). The registry must outlive the index. Default
+  /// no-op; implementations document what they register (e.g. the
+  /// time-space index's `<prefix>remove_miss`, the velocity-partitioned
+  /// index's per-band gauges). Gauge updates use signed deltas, so several
+  /// indexes sharing one registry and prefix (the sharded layer) aggregate
+  /// as sums.
+  virtual void SetMetrics(util::MetricsRegistry* registry,
+                          const std::string& prefix) {
+    (void)registry;
+    (void)prefix;
+  }
+
+  /// Implementation name for reports ("rtree", "scan", "vp-rtree").
   virtual std::string_view name() const = 0;
 
   /// Number of objects currently indexed.

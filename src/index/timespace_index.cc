@@ -14,54 +14,92 @@ TimeSpaceIndex::TimeSpaceIndex(const geo::RouteNetwork* network,
   assert(network_ != nullptr);
 }
 
-void TimeSpaceIndex::Upsert(core::ObjectId id,
-                            const core::PositionAttribute& attr) {
+void TimeSpaceIndex::SetMetrics(util::MetricsRegistry* registry,
+                                const std::string& prefix) {
+  remove_miss_counter_ =
+      registry == nullptr ? nullptr : registry->GetCounter(prefix + "remove_miss");
+}
+
+util::Status TimeSpaceIndex::Upsert(core::ObjectId id,
+                                    const core::PositionAttribute& attr) {
+  // Resolve the route before touching any state: an unknown route is a
+  // handled error in every build mode, not an assert, and must leave the
+  // object's old plane intact.
+  const auto route = network_->FindRoute(attr.route);
+  if (!route.ok()) return route.status();
+  std::vector<geo::Box3> boxes =
+      BuildOPlaneBoxes(attr, **route, options_.oplane);
   // Drop the old o-plane (paper §4.2: remove the object id from the index
   // rectangles intersecting p1) ...
   auto it = boxes_by_object_.find(id);
   if (it != boxes_by_object_.end()) {
     for (const geo::Box3& box : it->second) {
-      const bool removed = rtree_.Remove(box, id);
-      assert(removed);
-      (void)removed;
+      if (!rtree_.Remove(box, id)) {
+        // Internal-invariant breach: the bookkeeping says this box exists
+        // but the tree disagrees. Count it (a stale ghost box would mean
+        // duplicate candidates / leaked entries) and keep going — the new
+        // plane below is still installed correctly.
+        ++remove_misses_;
+        if (remove_miss_counter_ != nullptr) remove_miss_counter_->Increment();
+      }
     }
     it->second.clear();
   }
   // ... and index the new one (insert into the rectangles intersecting p2).
-  const auto route = network_->FindRoute(attr.route);
-  assert(route.ok());
-  std::vector<geo::Box3> boxes =
-      BuildOPlaneBoxes(attr, **route, options_.oplane);
   for (const geo::Box3& box : boxes) rtree_.Insert(box, id);
   boxes_by_object_[id] = std::move(boxes);
+  return util::Status::Ok();
 }
 
-void TimeSpaceIndex::BulkUpsert(
+util::Status TimeSpaceIndex::BulkUpsert(
     const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
         objects) {
+  // Validate every row first so a failure leaves the index unchanged.
+  for (const auto& [id, attr] : objects) {
+    if (const auto route = network_->FindRoute(attr.route); !route.ok()) {
+      return route.status();
+    }
+  }
   // Build every listed object's new boxes, keep the boxes of unlisted
   // objects, then rebuild the tree in one packed pass.
   for (const auto& [id, attr] : objects) {
     const auto route = network_->FindRoute(attr.route);
-    assert(route.ok());
     boxes_by_object_[id] = BuildOPlaneBoxes(attr, **route, options_.oplane);
   }
+  // Emit the packed-load input in ascending id order (the map iterates in
+  // hash order, which varies between otherwise-identical stores): identical
+  // logical contents must bulk-load structurally identical trees so
+  // recovery/replay is deterministic.
+  std::vector<const std::pair<const core::ObjectId, std::vector<geo::Box3>>*>
+      ordered;
+  ordered.reserve(boxes_by_object_.size());
   std::size_t total_boxes = 0;
-  for (const auto& [id, boxes] : boxes_by_object_) {
-    total_boxes += boxes.size();
+  for (const auto& entry : boxes_by_object_) {
+    ordered.push_back(&entry);
+    total_boxes += entry.second.size();
   }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   std::vector<std::pair<geo::Box3, RTree3::Value>> entries;
   entries.reserve(total_boxes);
-  for (const auto& [id, boxes] : boxes_by_object_) {
-    for (const geo::Box3& box : boxes) entries.emplace_back(box, id);
+  for (const auto* entry : ordered) {
+    for (const geo::Box3& box : entry->second) {
+      entries.emplace_back(box, entry->first);
+    }
   }
   rtree_.BulkLoad(std::move(entries));
+  return util::Status::Ok();
 }
 
 void TimeSpaceIndex::Remove(core::ObjectId id) {
   auto it = boxes_by_object_.find(id);
   if (it == boxes_by_object_.end()) return;
-  for (const geo::Box3& box : it->second) rtree_.Remove(box, id);
+  for (const geo::Box3& box : it->second) {
+    if (!rtree_.Remove(box, id)) {
+      ++remove_misses_;
+      if (remove_miss_counter_ != nullptr) remove_miss_counter_->Increment();
+    }
+  }
   boxes_by_object_.erase(it);
 }
 

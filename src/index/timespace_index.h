@@ -1,6 +1,7 @@
 #ifndef MODB_INDEX_TIMESPACE_INDEX_H_
 #define MODB_INDEX_TIMESPACE_INDEX_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,15 @@ namespace modb::index {
 /// of each object's last update; later time points fall outside the indexed
 /// planes, mirroring the paper's bounded time span T.
 ///
+/// Maintenance-path error handling: an upsert naming an unknown route is a
+/// NotFound error that leaves the index unchanged (checked in every build
+/// mode — no assert-guarded UB). A failed box removal during an upsert
+/// (an internal-invariant breach: the bookkeeping says the box is there
+/// but the tree disagrees) is surfaced through the `<prefix>remove_miss`
+/// counter (see `SetMetrics`) and the `remove_misses()` accessor instead
+/// of being silently ignored; the upsert still installs the new plane so
+/// the index keeps no stale model for the object.
+///
 /// Satisfies the `ObjectIndex` thread-compatibility contract: the const
 /// query paths only walk the R*-tree and never touch `boxes_by_object_`
 /// mutably, so concurrent readers are safe under a shared lock.
@@ -34,11 +44,16 @@ class TimeSpaceIndex final : public ObjectIndex {
   explicit TimeSpaceIndex(const geo::RouteNetwork* network);
   TimeSpaceIndex(const geo::RouteNetwork* network, Options options);
 
-  void Upsert(core::ObjectId id, const core::PositionAttribute& attr) override;
+  util::Status Upsert(core::ObjectId id,
+                      const core::PositionAttribute& attr) override;
   void Remove(core::ObjectId id) override;
   /// STR bulk load of the whole fleet's o-planes: replaces the state of
   /// every listed object (and keeps other objects by re-packing them too).
-  void BulkUpsert(
+  /// All rows are validated first; on error the index is unchanged. The
+  /// packed-load input is emitted in ascending object-id order, so two
+  /// identical stores bulk-load byte-identical trees regardless of hash-map
+  /// iteration order (deterministic recovery/replay).
+  util::Status BulkUpsert(
       const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
           objects) override;
   std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
@@ -46,6 +61,9 @@ class TimeSpaceIndex final : public ObjectIndex {
   std::vector<core::ObjectId> CandidatesInWindow(const geo::Polygon& region,
                                                  core::Time t1,
                                                  core::Time t2) const override;
+  /// Registers `<prefix>remove_miss` (counter) in `registry`.
+  void SetMetrics(util::MetricsRegistry* registry,
+                  const std::string& prefix) override;
   std::string_view name() const override { return "rtree"; }
   std::size_t num_objects() const override { return boxes_by_object_.size(); }
   std::size_t num_entries() const override { return rtree_.size(); }
@@ -53,11 +71,21 @@ class TimeSpaceIndex final : public ObjectIndex {
   const RTree3& rtree() const { return rtree_; }
   const Options& options() const { return options_; }
 
+  /// Failed box removals observed on the upsert path (0 in a healthy
+  /// index; see the class comment).
+  std::size_t remove_misses() const { return remove_misses_; }
+
+  /// Mutable tree access for tests that need to provoke the
+  /// internal-invariant paths (remove misses). Not part of the index API.
+  RTree3& rtree_for_testing() { return rtree_; }
+
  private:
   const geo::RouteNetwork* network_;
   Options options_;
   RTree3 rtree_;
   std::unordered_map<core::ObjectId, std::vector<geo::Box3>> boxes_by_object_;
+  std::size_t remove_misses_ = 0;
+  util::Counter* remove_miss_counter_ = nullptr;  // non-owning, may be null
 };
 
 }  // namespace modb::index

@@ -1,0 +1,342 @@
+#include "index/velocity_partitioned_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace modb::index {
+
+namespace {
+
+constexpr double kNoUpperBound = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+VelocityPartitionedIndex::VelocityPartitionedIndex(
+    const geo::RouteNetwork* network, Options options)
+    : network_(network), options_(std::move(options)) {
+  assert(network_ != nullptr);
+  if (options_.num_bands == 0) options_.num_bands = 1;
+  if (!options_.band_bounds.empty()) {
+    // Explicit bounds (the persisted form): they define the band count.
+    bounds_ = options_.band_bounds;
+    std::sort(bounds_.begin(), bounds_.end());
+    options_.num_bands = bounds_.size() + 1;
+  }
+  bands_.reserve(options_.num_bands);
+  for (std::size_t b = 0; b < options_.num_bands; ++b) {
+    bands_.push_back(std::make_unique<Band>(options_.rtree));
+    bands_.back()->oplane = options_.oplane;
+  }
+  if (!bounds_.empty()) {
+    TuneSlabWidths();
+  }
+}
+
+std::size_t VelocityPartitionedIndex::TargetBand(double speed) const {
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), speed);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+util::Result<std::size_t> VelocityPartitionedIndex::BandOf(
+    core::ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return util::Status::NotFound("object " + std::to_string(id));
+  }
+  return it->second.band;
+}
+
+std::size_t VelocityPartitionedIndex::band_object_count(
+    std::size_t band) const {
+  return band < bands_.size() ? bands_[band]->objects : 0;
+}
+
+std::size_t VelocityPartitionedIndex::band_entry_count(
+    std::size_t band) const {
+  return band < bands_.size() ? bands_[band]->tree.size() : 0;
+}
+
+double VelocityPartitionedIndex::band_slab_width(std::size_t band) const {
+  return band < bands_.size() ? bands_[band]->oplane.slab_width
+                              : options_.oplane.slab_width;
+}
+
+std::size_t VelocityPartitionedIndex::num_entries() const {
+  std::size_t total = 0;
+  for (const auto& band : bands_) total += band->tree.size();
+  return total;
+}
+
+void VelocityPartitionedIndex::TuneSlabWidths() {
+  // Per-slab dead space is proportional to speed × slab_width, so each
+  // band's slab shrinks by the ratio of its upper speed bound to the
+  // slowest band's (the base slab width is calibrated for slow traffic).
+  // The unbounded top band is rated at twice the fastest bound — a fixed
+  // convention, NOT the fastest speed seen, so slab widths are a pure
+  // function of the bounds and a snapshot-restored index (which gets the
+  // bounds explicitly) builds boxes identical to the live one.
+  if (bounds_.empty()) return;
+  double v_ref = 1.0;
+  for (double b : bounds_) {
+    if (b > 0.0) {
+      v_ref = b;
+      break;
+    }
+  }
+  const double base = options_.oplane.slab_width;
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    const double v_cap =
+        b < bounds_.size() ? bounds_[b] : bounds_.back() * 2.0;
+    double slab = base;
+    if (v_cap > v_ref) {
+      slab = std::clamp(base * v_ref / v_cap, options_.min_slab_width, base);
+    }
+    bands_[b]->oplane.slab_width = slab;
+  }
+}
+
+void VelocityPartitionedIndex::DeriveBounds() {
+  // Quantile bounds: band i's upper bound is the (i+1)/num_bands speed
+  // quantile, so bands start out balanced on the current fleet. Derived
+  // once — bounds then stay fixed and objects migrate between the fixed
+  // bands, which keeps banding stable (and snapshot-persistable).
+  std::vector<double> speeds;
+  speeds.reserve(objects_.size());
+  for (const auto& [id, state] : objects_) speeds.push_back(state.attr.speed);
+  if (speeds.empty()) return;
+  std::sort(speeds.begin(), speeds.end());
+  const std::size_t n = speeds.size();
+  const std::size_t num_bands = bands_.size();
+  bounds_.clear();
+  bounds_.reserve(num_bands - 1);
+  for (std::size_t i = 1; i < num_bands; ++i) {
+    bounds_.push_back(speeds[std::min(n - 1, i * n / num_bands)]);
+  }
+  TuneSlabWidths();
+}
+
+void VelocityPartitionedIndex::RemoveBoxes(
+    Band& band, core::ObjectId id, const std::vector<geo::Box3>& boxes) {
+  for (const geo::Box3& box : boxes) {
+    if (!band.tree.Remove(box, id)) {
+      // Internal-invariant breach (the bookkeeping and the tree disagree):
+      // surface it instead of silently leaking a ghost box.
+      ++remove_misses_;
+      if (remove_miss_counter_ != nullptr) remove_miss_counter_->Increment();
+    }
+  }
+}
+
+void VelocityPartitionedIndex::SyncBandGauges(Band& band) {
+  if (band.objects_gauge != nullptr) {
+    const auto current = static_cast<std::int64_t>(band.objects);
+    band.objects_gauge->Add(current - band.pushed_objects);
+    band.pushed_objects = current;
+  }
+  if (band.entries_gauge != nullptr) {
+    const auto current = static_cast<std::int64_t>(band.tree.size());
+    band.entries_gauge->Add(current - band.pushed_entries);
+    band.pushed_entries = current;
+  }
+}
+
+void VelocityPartitionedIndex::SetMetrics(util::MetricsRegistry* registry,
+                                          const std::string& prefix) {
+  // Detach first: withdraw this index's contribution from shared gauges so
+  // the registry's sums stay correct.
+  for (auto& band : bands_) {
+    if (band->objects_gauge != nullptr) {
+      band->objects_gauge->Add(-band->pushed_objects);
+    }
+    if (band->entries_gauge != nullptr) {
+      band->entries_gauge->Add(-band->pushed_entries);
+    }
+    band->objects_gauge = nullptr;
+    band->entries_gauge = nullptr;
+    band->candidates_counter = nullptr;
+    band->pushed_objects = 0;
+    band->pushed_entries = 0;
+  }
+  remove_miss_counter_ = nullptr;
+  band_migration_counter_ = nullptr;
+  if (registry == nullptr) return;
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    const std::string base = prefix + "band" + std::to_string(b) + ".";
+    bands_[b]->objects_gauge = registry->GetGauge(base + "objects");
+    bands_[b]->entries_gauge = registry->GetGauge(base + "entries");
+    bands_[b]->candidates_counter = registry->GetCounter(base + "candidates");
+    SyncBandGauges(*bands_[b]);
+  }
+  remove_miss_counter_ = registry->GetCounter(prefix + "remove_miss");
+  band_migration_counter_ = registry->GetCounter(prefix + "band_migrations");
+}
+
+util::Status VelocityPartitionedIndex::Upsert(
+    core::ObjectId id, const core::PositionAttribute& attr) {
+  // Resolve the route before touching any state: an unknown route is a
+  // handled error in every build mode and leaves the index unchanged.
+  const auto route = network_->FindRoute(attr.route);
+  if (!route.ok()) return route.status();
+
+  const auto it = objects_.find(id);
+  std::size_t target;
+  if (it == objects_.end()) {
+    target = TargetBand(attr.speed);
+  } else {
+    // Lazy re-banding: keep the object in its band while the new speed is
+    // inside the band's hysteresis envelope, so boundary oscillation does
+    // not thrash between trees. Queries probe every band, so correctness
+    // never depends on which band holds the object.
+    const std::size_t current = it->second.band;
+    const double lo = current == 0 ? 0.0 : bounds_[current - 1];
+    const double hi =
+        current < bounds_.size() ? bounds_[current] : kNoUpperBound;
+    const double h = options_.rebanding_hysteresis;
+    const bool stays = attr.speed >= lo * (1.0 - h) &&
+                       (hi == kNoUpperBound || attr.speed < hi * (1.0 + h));
+    target = stays ? current : TargetBand(attr.speed);
+    if (target != current) {
+      ++band_migrations_;
+      if (band_migration_counter_ != nullptr) {
+        band_migration_counter_->Increment();
+      }
+    }
+  }
+
+  Band& dst = *bands_[target];
+  std::vector<geo::Box3> boxes = BuildOPlaneBoxes(attr, **route, dst.oplane);
+
+  if (it != objects_.end()) {
+    Band& src = *bands_[it->second.band];
+    RemoveBoxes(src, id, it->second.boxes);
+    --src.objects;
+    for (const geo::Box3& box : boxes) dst.tree.Insert(box, id);
+    ++dst.objects;
+    it->second.band = target;
+    it->second.attr = attr;
+    it->second.boxes = std::move(boxes);
+    if (&src != &dst) SyncBandGauges(src);
+    SyncBandGauges(dst);
+  } else {
+    for (const geo::Box3& box : boxes) dst.tree.Insert(box, id);
+    ++dst.objects;
+    objects_.emplace(id,
+                     ObjectState{target, attr, std::move(boxes)});
+    SyncBandGauges(dst);
+  }
+
+  // Lazy quantile derivation for incrementally built fleets: once enough
+  // objects arrived, band the fleet and rebuild (one-time cost, amortised
+  // by the packed STR load).
+  if (bounds_.empty() && options_.band_bounds.empty() &&
+      objects_.size() >= options_.banding_trigger) {
+    DeriveBounds();
+    return RebuildAllBands();
+  }
+  return util::Status::Ok();
+}
+
+void VelocityPartitionedIndex::Remove(core::ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  Band& band = *bands_[it->second.band];
+  RemoveBoxes(band, id, it->second.boxes);
+  --band.objects;
+  objects_.erase(it);
+  SyncBandGauges(band);
+}
+
+util::Status VelocityPartitionedIndex::BulkUpsert(
+    const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
+        objects) {
+  // Validate every row first so a failure leaves the index unchanged.
+  for (const auto& [id, attr] : objects) {
+    if (const auto route = network_->FindRoute(attr.route); !route.ok()) {
+      return route.status();
+    }
+  }
+  for (const auto& [id, attr] : objects) {
+    objects_[id].attr = attr;  // band and boxes assigned by the rebuild
+  }
+  if (bounds_.empty() && options_.band_bounds.empty() &&
+      objects_.size() >= bands_.size()) {
+    DeriveBounds();
+  }
+  return RebuildAllBands();
+}
+
+util::Status VelocityPartitionedIndex::RebuildAllBands() {
+  // Deterministic packed rebuild: objects are processed in ascending id
+  // order so each band's STR input — and therefore its tree structure — is
+  // identical across runs regardless of hash-map iteration order.
+  std::vector<core::ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, state] : objects_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<std::vector<std::pair<geo::Box3, RTree3::Value>>> per_band(
+      bands_.size());
+  for (auto& band : bands_) band->objects = 0;
+  for (core::ObjectId id : ids) {
+    ObjectState& state = objects_[id];
+    const auto route = network_->FindRoute(state.attr.route);
+    if (!route.ok()) return route.status();  // validated upstream
+    state.band = TargetBand(state.attr.speed);
+    Band& band = *bands_[state.band];
+    state.boxes = BuildOPlaneBoxes(state.attr, **route, band.oplane);
+    ++band.objects;
+    for (const geo::Box3& box : state.boxes) {
+      per_band[state.band].emplace_back(box, id);
+    }
+  }
+  // The per-band STR loads are independent; fan them out when a pool is
+  // attached.
+  const std::function<void(std::size_t)> load = [&](std::size_t b) {
+    bands_[b]->tree.BulkLoad(std::move(per_band[b]));
+  };
+  if (options_.pool != nullptr && bands_.size() > 1) {
+    options_.pool->ParallelFor(bands_.size(), load);
+  } else {
+    for (std::size_t b = 0; b < bands_.size(); ++b) load(b);
+  }
+  for (auto& band : bands_) SyncBandGauges(*band);
+  return util::Status::Ok();
+}
+
+std::vector<core::ObjectId> VelocityPartitionedIndex::Candidates(
+    const geo::Polygon& region, core::Time t) const {
+  return CandidatesInWindow(region, t, t);
+}
+
+std::vector<core::ObjectId> VelocityPartitionedIndex::CandidatesInWindow(
+    const geo::Polygon& region, core::Time t1, core::Time t2) const {
+  const geo::Box3 query(region.BoundingBox(), t1, t2);
+  // Fan out across the band trees into band-local buffers (no shared
+  // mutable state beyond lock-free counters — the const paths stay safe
+  // for concurrent readers), then merge-dedup.
+  std::vector<std::vector<core::ObjectId>> per_band(bands_.size());
+  const std::function<void(std::size_t)> probe = [&](std::size_t b) {
+    per_band[b] = bands_[b]->tree.SearchValues(query);
+    if (bands_[b]->candidates_counter != nullptr) {
+      bands_[b]->candidates_counter->Increment(per_band[b].size());
+    }
+  };
+  if (options_.pool != nullptr && bands_.size() > 1) {
+    options_.pool->ParallelFor(bands_.size(), probe);
+  } else {
+    for (std::size_t b = 0; b < bands_.size(); ++b) probe(b);
+  }
+  std::size_t total = 0;
+  for (const auto& ids : per_band) total += ids.size();
+  std::vector<core::ObjectId> merged;
+  merged.reserve(total);
+  for (const auto& ids : per_band) {
+    merged.insert(merged.end(), ids.begin(), ids.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+}  // namespace modb::index

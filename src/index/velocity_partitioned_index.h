@@ -1,0 +1,174 @@
+#ifndef MODB_INDEX_VELOCITY_PARTITIONED_INDEX_H_
+#define MODB_INDEX_VELOCITY_PARTITIONED_INDEX_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/route_network.h"
+#include "index/object_index.h"
+#include "index/oplane.h"
+#include "index/rtree3.h"
+#include "util/thread_pool.h"
+
+namespace modb::index {
+
+/// Velocity-partitioned variant of the paper's §4.2 time-space index.
+///
+/// One R*-tree over the whole fleet mixes slow and fast objects: a fast
+/// object's per-slab o-plane box covers `speed × slab_width` of route, so a
+/// handful of highway objects inflate node MBRs with dead space and drag
+/// candidate precision down for everyone (the problem speed/velocity
+/// partitioning solves — arXiv:1411.4940, arXiv:1205.6697). This index
+/// splits the fleet into speed bands; each band owns its own R*-tree with a
+/// band-tuned slab width (fast bands get proportionally narrower slabs so
+/// per-slab dead space stays bounded), and queries fan out across the band
+/// trees — optionally in parallel on a `util::ThreadPool` — and merge-dedup.
+///
+/// Band assignment:
+///  - Bounds are either given explicitly (`Options::band_bounds`, ascending
+///    upper speed bounds — the persisted form, so a restored snapshot bands
+///    identically to the live store) or derived once from fleet speed
+///    quantiles: at the first `BulkUpsert` with at least `num_bands`
+///    objects, or lazily after `banding_trigger` incremental upserts.
+///    Until bounds exist every object lives in band 0 with the base slab.
+///  - An object whose updated speed crosses its band boundary re-bands
+///    lazily: migration happens only when the new speed leaves the band's
+///    `[lo·(1−h), hi·(1+h)]` hysteresis envelope, so objects oscillating
+///    around a boundary do not thrash between trees. Queries probe every
+///    band, so an object is found correctly whichever band holds it.
+///
+/// Maintenance-path error handling matches `TimeSpaceIndex`: unknown route
+/// is a handled NotFound in every build mode (index unchanged); a failed
+/// box removal bumps `<prefix>remove_miss` / `remove_misses()` instead of
+/// being silently ignored.
+///
+/// Satisfies the `ObjectIndex` thread-compatibility contract: const query
+/// paths only walk the band trees into query-local buffers (counter bumps
+/// are lock-free atomics), so concurrent readers are safe under a shared
+/// lock.
+class VelocityPartitionedIndex final : public ObjectIndex {
+ public:
+  struct Options {
+    /// Number of speed bands (>= 1; 0 is promoted to 1).
+    std::size_t num_bands = 3;
+    /// Explicit ascending upper speed bounds between bands (band b covers
+    /// [band_bounds[b-1], band_bounds[b])). When non-empty it overrides
+    /// `num_bands` (bands = bounds + 1) and disables quantile derivation —
+    /// this is the form the snapshot persists.
+    std::vector<double> band_bounds;
+    /// Hysteresis fraction for lazy re-banding (see class comment).
+    double rebanding_hysteresis = 0.1;
+    /// Incremental-upsert count that triggers quantile derivation when no
+    /// explicit bounds were given.
+    std::size_t banding_trigger = 256;
+    /// Fast bands shrink their slab width by the ratio of their upper
+    /// speed bound to the slowest band's, clamped to this floor.
+    double min_slab_width = 0.5;
+    /// Base o-plane parameters; `oplane.slab_width` is the slowest band's
+    /// slab.
+    OPlaneOptions oplane;
+    RTree3::Options rtree;
+    /// Optional pool for band-parallel query fan-out (non-owning; must
+    /// outlive the index). nullptr probes bands serially.
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// `network` must outlive the index.
+  VelocityPartitionedIndex(const geo::RouteNetwork* network, Options options);
+  explicit VelocityPartitionedIndex(const geo::RouteNetwork* network)
+      : VelocityPartitionedIndex(network, Options{}) {}
+
+  util::Status Upsert(core::ObjectId id,
+                      const core::PositionAttribute& attr) override;
+  void Remove(core::ObjectId id) override;
+  /// Packed rebuild of every band: all rows validated first (index
+  /// unchanged on failure), quantile bounds derived here when not yet
+  /// banded, and each band's STR input emitted in ascending id order so
+  /// identical stores load identical trees.
+  util::Status BulkUpsert(
+      const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
+          objects) override;
+  std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
+                                         core::Time t) const override;
+  std::vector<core::ObjectId> CandidatesInWindow(const geo::Polygon& region,
+                                                 core::Time t1,
+                                                 core::Time t2) const override;
+  /// Registers, per band b: gauges `<prefix>band<b>.objects` and
+  /// `<prefix>band<b>.entries` (signed-delta updates, so shards sharing a
+  /// registry aggregate as sums) and counter `<prefix>band<b>.candidates`
+  /// (candidates returned by that band's tree); plus counters
+  /// `<prefix>remove_miss` and `<prefix>band_migrations`.
+  void SetMetrics(util::MetricsRegistry* registry,
+                  const std::string& prefix) override;
+  std::string_view name() const override { return "vp-rtree"; }
+  std::size_t num_objects() const override { return objects_.size(); }
+  std::size_t num_entries() const override;
+
+  const Options& options() const { return options_; }
+  std::size_t num_bands() const { return bands_.size(); }
+  /// Derived or explicit upper speed bounds (empty until banding kicks in).
+  const std::vector<double>& band_bounds() const { return bounds_; }
+  bool banded() const { return !bounds_.empty(); }
+  /// Band currently holding `id` (NotFound for unknown objects).
+  util::Result<std::size_t> BandOf(core::ObjectId id) const;
+  /// Band a fresh object of `speed` would be assigned to.
+  std::size_t TargetBand(double speed) const;
+  std::size_t band_object_count(std::size_t band) const;
+  std::size_t band_entry_count(std::size_t band) const;
+  /// Slab width band `band`'s boxes are built with.
+  double band_slab_width(std::size_t band) const;
+  std::size_t band_migrations() const { return band_migrations_; }
+  std::size_t remove_misses() const { return remove_misses_; }
+
+ private:
+  struct Band {
+    explicit Band(const RTree3::Options& rtree_options)
+        : tree(rtree_options) {}
+    RTree3 tree;
+    OPlaneOptions oplane;
+    std::size_t objects = 0;
+    // Metrics handles (owned by the registry) and the value last pushed,
+    // so shared gauges are updated by signed delta.
+    util::Gauge* objects_gauge = nullptr;
+    util::Gauge* entries_gauge = nullptr;
+    util::Counter* candidates_counter = nullptr;
+    std::int64_t pushed_objects = 0;
+    std::int64_t pushed_entries = 0;
+  };
+  struct ObjectState {
+    std::size_t band = 0;
+    core::PositionAttribute attr;
+    std::vector<geo::Box3> boxes;
+  };
+
+  /// Speed-quantile bounds over the current fleet; also retunes each
+  /// band's slab width. Requires objects.
+  void DeriveBounds();
+  /// Recomputes every band's slab width as a pure function of `bounds_`
+  /// (so persisted bounds reproduce identical boxes on restore).
+  void TuneSlabWidths();
+  /// Rebuilds every band tree from `objects_` with the packed STR path,
+  /// re-banding each object by its current speed. Deterministic (sorted
+  /// ids).
+  util::Status RebuildAllBands();
+  void RemoveBoxes(Band& band, core::ObjectId id,
+                   const std::vector<geo::Box3>& boxes);
+  void SyncBandGauges(Band& band);
+
+  const geo::RouteNetwork* network_;
+  Options options_;
+  std::vector<std::unique_ptr<Band>> bands_;
+  std::vector<double> bounds_;  // ascending; empty until banded
+  std::unordered_map<core::ObjectId, ObjectState> objects_;
+  std::size_t band_migrations_ = 0;
+  std::size_t remove_misses_ = 0;
+  util::Counter* remove_miss_counter_ = nullptr;      // non-owning
+  util::Counter* band_migration_counter_ = nullptr;   // non-owning
+};
+
+}  // namespace modb::index
+
+#endif  // MODB_INDEX_VELOCITY_PARTITIONED_INDEX_H_

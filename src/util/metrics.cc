@@ -70,6 +70,13 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 LatencyHistogram* MetricsRegistry::GetLatency(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = latencies_[name];
@@ -84,6 +91,11 @@ std::string MetricsRegistry::Dump() const {
   for (const auto& [name, counter] : counters_) {
     std::snprintf(line, sizeof(line), "counter %s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(counter->value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %lld\n", name.c_str(),
+                  static_cast<long long>(gauge->value()));
     out += line;
   }
   for (const auto& [name, latency] : latencies_) {
@@ -103,6 +115,7 @@ std::string MetricsRegistry::Dump() const {
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, latency] : latencies_) latency->Reset();
 }
 

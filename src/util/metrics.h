@@ -31,6 +31,26 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Point-in-time level (objects in a band, entries in a tree, queue
+/// depth). Unlike `Counter` it is signed and may go down. `Add` with a
+/// signed delta is the aggregation-friendly update: several databases
+/// sharing one gauge (the sharded layer) each apply their own deltas and
+/// the gauge reads as the sum. Lock-free, relaxed ordering.
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// Lock-free latency histogram: log2-spaced buckets over microseconds
 /// (bucket i counts latencies in [2^(i-1), 2^i) µs; bucket 0 is < 1 µs).
 /// Recording is wait-free; readers observe a consistent-enough snapshot
@@ -103,10 +123,12 @@ class ScopedLatencyTimer {
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetLatency(const std::string& name);
 
   /// Renders every instrument as text, one per line, sorted by name:
   ///   counter <name> <value>
+  ///   gauge <name> <value>
   ///   latency <name> count=N mean_us=M p50_us=… p90_us=… p99_us=… max_us=…
   std::string Dump() const;
 
@@ -116,6 +138,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
 };
 

@@ -190,24 +190,36 @@ TEST_F(ModDatabaseTest, RangeQueryMustMaySemantics) {
 }
 
 TEST_F(ModDatabaseTest, RangeQueryAgreesAcrossIndexKinds) {
+  // The refined MUST / MAY answers must be identical whichever access
+  // method produced the candidates — the linear scan is ground truth.
   ModDatabaseOptions rtree_opts;
   rtree_opts.index_kind = IndexKind::kTimeSpaceRTree;
   ModDatabaseOptions scan_opts;
   scan_opts.index_kind = IndexKind::kLinearScan;
+  ModDatabaseOptions banded_opts;
+  banded_opts.index_kind = IndexKind::kVelocityPartitioned;
+  banded_opts.velocity_band_bounds = {0.5, 1.0};
   ModDatabase rtree_db(&network_, rtree_opts);
   ModDatabase scan_db(&network_, scan_opts);
+  ModDatabase banded_db(&network_, banded_opts);
   for (core::ObjectId id = 0; id < 30; ++id) {
-    const auto attr = Attr(static_cast<double>(id) * 6.0, 0.8);
+    // Mixed speeds so the velocity bands all get members.
+    const double speed = 0.2 + 0.04 * static_cast<double>(id);
+    const auto attr = Attr(static_cast<double>(id) * 6.0, speed);
     ASSERT_TRUE(rtree_db.Insert(id, "", attr).ok());
     ASSERT_TRUE(scan_db.Insert(id, "", attr).ok());
+    ASSERT_TRUE(banded_db.Insert(id, "", attr).ok());
   }
   for (double t : {0.0, 5.0, 20.0, 60.0}) {
     const geo::Polygon region =
         geo::Polygon::Rectangle(30.0, -1.0, 90.0, 1.0);
+    const RangeAnswer truth = scan_db.QueryRange(region, t);
     const RangeAnswer a = rtree_db.QueryRange(region, t);
-    const RangeAnswer b = scan_db.QueryRange(region, t);
-    EXPECT_EQ(a.must, b.must) << "t=" << t;
-    EXPECT_EQ(a.may, b.may) << "t=" << t;
+    const RangeAnswer c = banded_db.QueryRange(region, t);
+    EXPECT_EQ(a.must, truth.must) << "t=" << t;
+    EXPECT_EQ(a.may, truth.may) << "t=" << t;
+    EXPECT_EQ(c.must, truth.must) << "t=" << t;
+    EXPECT_EQ(c.may, truth.may) << "t=" << t;
   }
 }
 

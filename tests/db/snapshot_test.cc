@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "index/velocity_partitioned_index.h"
+
 namespace modb::db {
 namespace {
 
@@ -193,11 +195,90 @@ TEST_F(SnapshotTest, ReadsVersion2SnapshotsWithoutCapField) {
   EXPECT_EQ(loaded->database->num_objects(), 1u);
 }
 
-TEST_F(SnapshotTest, WritesVersion3Header) {
+TEST_F(SnapshotTest, WritesVersion4Header) {
   ModDatabase db(&network_);
   std::stringstream stream;
   ASSERT_TRUE(WriteSnapshot(db, stream).ok());
-  EXPECT_EQ(stream.str().rfind("modb-snapshot 3\n", 0), 0u);
+  EXPECT_EQ(stream.str().rfind("modb-snapshot 4\n", 0), 0u);
+}
+
+TEST_F(SnapshotTest, ReadsVersion3SnapshotsWithoutVelocityFields) {
+  // A v3 snapshot (pre-velocity-partitioning) must still load, defaulting
+  // the velocity fields.
+  const std::string v3 =
+      "modb-snapshot 3\n"
+      "options 0 120 4 0 0 2\n"
+      "routes 1\n"
+      "route 0 2 0 0 100 0 7 main st\n"
+      "objects 1\n"
+      "object 1 3 cab 0 0 0 0 0 1 1 0 5 1.5 0 1 1 0 0 0\n";
+  std::stringstream stream(v3);
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->database->options().max_trajectory_versions, 2u);
+  EXPECT_TRUE(loaded->database->options().velocity_band_bounds.empty());
+  EXPECT_EQ(loaded->database->num_objects(), 1u);
+}
+
+TEST_F(SnapshotTest, PreV4SnapshotsRejectVelocityIndexKind) {
+  // index_kind 2 did not exist before v4; an old header naming it is
+  // corrupt, not a velocity-partitioned store.
+  const std::string v3 =
+      "modb-snapshot 3\n"
+      "options 2 120 4 0 0 0\n"
+      "routes 0\n"
+      "objects 0\n";
+  std::stringstream stream(v3);
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, VelocityPartitionedRoundTripPreservesBanding) {
+  // The writer persists the *derived* band bounds, so the restored store
+  // bands identically to the live one (not a re-derivation from whatever
+  // the restored fleet's quantiles are).
+  ModDatabaseOptions options;
+  options.index_kind = IndexKind::kVelocityPartitioned;
+  options.velocity_bands = 3;
+  ModDatabase db(&network_, options);
+  std::vector<ModDatabase::BulkObject> fleet;
+  for (core::ObjectId id = 0; id < 30; ++id) {
+    ModDatabase::BulkObject o;
+    o.id = id;
+    o.attr = Attr(main_, static_cast<double>(id),
+                  0.1 + 0.05 * static_cast<double>(id));  // mixed speeds
+    fleet.push_back(o);
+  }
+  ASSERT_TRUE(db.BulkInsert(std::move(fleet)).ok());
+  const auto* vp = dynamic_cast<const index::VelocityPartitionedIndex*>(
+      &db.object_index());
+  ASSERT_NE(vp, nullptr);
+  ASSERT_TRUE(vp->banded());
+  const std::vector<double> live_bounds = vp->band_bounds();
+
+  std::stringstream stream;
+  ASSERT_TRUE(WriteSnapshot(db, stream).ok());
+  const auto loaded = ReadSnapshot(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->database->options().index_kind,
+            IndexKind::kVelocityPartitioned);
+  EXPECT_EQ(loaded->database->options().velocity_band_bounds, live_bounds);
+  const auto* vp2 = dynamic_cast<const index::VelocityPartitionedIndex*>(
+      &loaded->database->object_index());
+  ASSERT_NE(vp2, nullptr);
+  EXPECT_EQ(vp2->band_bounds(), live_bounds);
+  EXPECT_EQ(vp2->num_entries(), vp->num_entries());
+
+  // Same answers, and a second save is byte-identical to the first.
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -2.0, 50.0, 2.0);
+  const RangeAnswer a = db.QueryRange(region, 5.0);
+  const RangeAnswer b = loaded->database->QueryRange(region, 5.0);
+  EXPECT_EQ(a.must, b.must);
+  EXPECT_EQ(a.may, b.may);
+  std::stringstream again;
+  ASSERT_TRUE(WriteSnapshot(*loaded->database, again).ok());
+  EXPECT_EQ(stream.str(), again.str());
 }
 
 TEST_F(SnapshotTest, TrajectoryHistoryRoundTrips) {

@@ -141,6 +141,70 @@ TEST(TimeSpaceBulkUpsertTest, MatchesIncrementalUpserts) {
   }
 }
 
+TEST(TimeSpaceBulkUpsertTest, DeterministicAcrossInputOrder) {
+  // Regression: the packed-load input used to be emitted in unordered-map
+  // iteration order, so two identical stores bulk-loaded structurally
+  // different trees — recovery replay did not reproduce the index. The
+  // input is now sorted by id.
+  geo::RouteNetwork network;
+  network.AddGridNetwork(5, 5, 40.0);
+  util::Rng rng(23);
+  std::vector<std::pair<core::ObjectId, core::PositionAttribute>> objects;
+  for (core::ObjectId id = 0; id < 150; ++id) {
+    core::PositionAttribute attr;
+    attr.route = static_cast<geo::RouteId>(
+        rng.UniformInt(0, static_cast<std::int64_t>(network.size()) - 1));
+    attr.start_route_distance =
+        rng.Uniform(0.0, network.route(attr.route).Length() * 0.5);
+    attr.speed = rng.Uniform(0.1, 1.2);
+    attr.update_cost = 5.0;
+    attr.max_speed = 1.5;
+    attr.policy = core::PolicyKind::kAverageImmediateLinear;
+    objects.emplace_back(id, attr);
+  }
+  auto reversed = objects;
+  std::reverse(reversed.begin(), reversed.end());
+
+  TimeSpaceIndex a(&network);
+  TimeSpaceIndex b(&network);
+  ASSERT_TRUE(a.BulkUpsert(objects).ok());
+  ASSERT_TRUE(b.BulkUpsert(reversed).ok());
+  EXPECT_EQ(a.rtree().size(), b.rtree().size());
+  EXPECT_EQ(a.rtree().num_nodes(), b.rtree().num_nodes());
+  EXPECT_EQ(a.rtree().height(), b.rtree().height());
+  for (int q = 0; q < 40; ++q) {
+    const geo::Polygon region = geo::Polygon::CenteredRectangle(
+        {rng.Uniform(0.0, 200.0), rng.Uniform(0.0, 200.0)}, 30.0, 30.0);
+    const core::Time t = rng.Uniform(0.0, 60.0);
+    EXPECT_EQ(a.Candidates(region, t), b.Candidates(region, t)) << "q=" << q;
+  }
+}
+
+TEST(TimeSpaceBulkUpsertTest, UnknownRouteFailsWithoutSideEffects) {
+  geo::RouteNetwork network;
+  const geo::RouteId r = network.AddStraightRoute({0.0, 0.0}, {100.0, 0.0});
+  core::PositionAttribute good;
+  good.route = r;
+  good.start_route_distance = 10.0;
+  good.speed = 1.0;
+  good.update_cost = 5.0;
+  good.max_speed = 1.5;
+  good.policy = core::PolicyKind::kAverageImmediateLinear;
+  core::PositionAttribute bad = good;
+  bad.route = 777;  // no such route
+
+  TimeSpaceIndex index(&network);
+  ASSERT_TRUE(index.BulkUpsert({{1, good}}).ok());
+  const std::size_t entries = index.num_entries();
+  // All rows are validated before anything is touched: the good row in a
+  // failing batch must NOT be applied.
+  const util::Status s = index.BulkUpsert({{2, good}, {3, bad}});
+  EXPECT_EQ(s.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(index.num_objects(), 1u);
+  EXPECT_EQ(index.num_entries(), entries);
+  EXPECT_TRUE(index.rtree().CheckInvariants().ok());
+}
+
 TEST(TimeSpaceBulkUpsertTest, UpdatesAfterBulkLoadWork) {
   geo::RouteNetwork network;
   const geo::RouteId r = network.AddStraightRoute({0.0, 0.0}, {300.0, 0.0});

@@ -138,6 +138,54 @@ TEST_F(TimeSpaceIndexTest, LinearScanAgreesWithRTree) {
   }
 }
 
+TEST_F(TimeSpaceIndexTest, UnknownRouteUpsertIsHandledError) {
+  // Regression: this used to be an assert-guarded dereference — release
+  // builds walked straight into undefined behaviour on an unknown route.
+  TimeSpaceIndex index(&network_);
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 10.0, 1.0)).ok());
+  const std::size_t entries = index.num_entries();
+
+  const util::Status s = index.Upsert(2, AttrOnRoute(999, 0.0, 1.0));
+  EXPECT_EQ(s.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(index.num_objects(), 1u);
+  EXPECT_EQ(index.num_entries(), entries);
+
+  // The existing object is untouched even when *it* reports a bad route.
+  const util::Status s2 = index.Upsert(1, AttrOnRoute(999, 0.0, 1.0));
+  EXPECT_EQ(s2.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(index.num_entries(), entries);
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -5.0, 40.0, 5.0);
+  EXPECT_EQ(index.Candidates(region, 10.0).size(), 1u);
+}
+
+TEST_F(TimeSpaceIndexTest, RemoveMissIsSurfacedNotSwallowed) {
+  // Regression: a failed box removal during an upsert was an assert that
+  // release builds compiled out, silently leaking a stale ghost box. Now
+  // it is counted. Provoke the invariant breach by deleting one of the
+  // object's boxes behind the bookkeeping's back.
+  util::MetricsRegistry registry;
+  TimeSpaceIndex index(&network_);
+  index.SetMetrics(&registry, "index.");
+  const auto attr = AttrOnRoute(h0_, 10.0, 1.0);
+  ASSERT_TRUE(index.Upsert(1, attr).ok());
+  EXPECT_EQ(index.remove_misses(), 0u);
+
+  const std::vector<geo::Box3> boxes =
+      BuildOPlaneBoxes(attr, network_.route(h0_), index.options().oplane);
+  ASSERT_FALSE(boxes.empty());
+  ASSERT_TRUE(index.rtree_for_testing().Remove(boxes.front(), 1));
+
+  // The re-upsert tries to drop all recorded boxes; one is already gone.
+  const auto moved = AttrOnRoute(h0_, 50.0, 1.0, 5.0);
+  ASSERT_TRUE(index.Upsert(1, moved).ok());
+  EXPECT_EQ(index.remove_misses(), 1u);
+  EXPECT_EQ(registry.GetCounter("index.remove_miss")->value(), 1u);
+  // The new plane is fully installed regardless.
+  const std::vector<geo::Box3> new_boxes =
+      BuildOPlaneBoxes(moved, network_.route(h0_), index.options().oplane);
+  EXPECT_EQ(index.num_entries(), new_boxes.size());
+}
+
 TEST_F(TimeSpaceIndexTest, NamesAndOptions) {
   TimeSpaceIndex rtree(&network_);
   LinearScanIndex scan(&network_);

@@ -1,0 +1,339 @@
+#include "index/velocity_partitioned_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "index/linear_scan_index.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace modb::index {
+namespace {
+
+core::PositionAttribute AttrOnRoute(geo::RouteId route, double start,
+                                    double speed, core::Time t0 = 0.0) {
+  core::PositionAttribute attr;
+  attr.start_time = t0;
+  attr.route = route;
+  attr.start_route_distance = start;
+  attr.speed = speed;
+  attr.update_cost = 5.0;
+  attr.max_speed = 40.0;
+  attr.policy = core::PolicyKind::kAverageImmediateLinear;
+  return attr;
+}
+
+class VelocityPartitionedIndexTest : public testing::Test {
+ protected:
+  VelocityPartitionedIndexTest() {
+    // Two parallel horizontal streets and one vertical.
+    h0_ = network_.AddStraightRoute({0.0, 0.0}, {200.0, 0.0});
+    h1_ = network_.AddStraightRoute({0.0, 50.0}, {200.0, 50.0});
+    v0_ = network_.AddStraightRoute({100.0, 0.0}, {100.0, 50.0});
+  }
+
+  // A three-band index with explicit city-traffic bounds: jam < 2,
+  // city < 10, highway above.
+  VelocityPartitionedIndex::Options ExplicitBounds() const {
+    VelocityPartitionedIndex::Options options;
+    options.band_bounds = {2.0, 10.0};
+    return options;
+  }
+
+  geo::RouteNetwork network_;
+  geo::RouteId h0_, h1_, v0_;
+};
+
+TEST_F(VelocityPartitionedIndexTest, ExplicitBoundsDefineBands) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  EXPECT_EQ(index.name(), "vp-rtree");
+  EXPECT_EQ(index.num_bands(), 3u);
+  EXPECT_TRUE(index.banded());
+  EXPECT_EQ(index.TargetBand(0.0), 0u);
+  EXPECT_EQ(index.TargetBand(1.99), 0u);
+  EXPECT_EQ(index.TargetBand(2.0), 1u);  // bounds are exclusive upper ends
+  EXPECT_EQ(index.TargetBand(9.0), 1u);
+  EXPECT_EQ(index.TargetBand(10.0), 2u);
+  EXPECT_EQ(index.TargetBand(35.0), 2u);
+}
+
+TEST_F(VelocityPartitionedIndexTest, FastBandsGetNarrowerSlabs) {
+  VelocityPartitionedIndex::Options options = ExplicitBounds();
+  options.oplane.slab_width = 4.0;
+  options.min_slab_width = 0.5;
+  VelocityPartitionedIndex index(&network_, options);
+  // Band 0 keeps the base slab; faster bands shrink by the speed ratio,
+  // clamped to the floor.
+  EXPECT_DOUBLE_EQ(index.band_slab_width(0), 4.0);
+  EXPECT_DOUBLE_EQ(index.band_slab_width(1), 4.0 * 2.0 / 10.0);
+  EXPECT_GE(index.band_slab_width(2), options.min_slab_width);
+  EXPECT_LT(index.band_slab_width(2), index.band_slab_width(1));
+}
+
+TEST_F(VelocityPartitionedIndexTest, ObjectsLandInTheirSpeedBand) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 0.0, 0.5)).ok());    // jam
+  ASSERT_TRUE(index.Upsert(2, AttrOnRoute(h0_, 10.0, 5.0)).ok());   // city
+  ASSERT_TRUE(index.Upsert(3, AttrOnRoute(h1_, 0.0, 30.0)).ok());   // highway
+  EXPECT_EQ(index.num_objects(), 3u);
+  ASSERT_TRUE(index.BandOf(1).ok());
+  EXPECT_EQ(*index.BandOf(1), 0u);
+  EXPECT_EQ(*index.BandOf(2), 1u);
+  EXPECT_EQ(*index.BandOf(3), 2u);
+  EXPECT_EQ(index.band_object_count(0), 1u);
+  EXPECT_EQ(index.band_object_count(1), 1u);
+  EXPECT_EQ(index.band_object_count(2), 1u);
+  EXPECT_FALSE(index.BandOf(99).ok());
+}
+
+TEST_F(VelocityPartitionedIndexTest, UnknownRouteIsHandledNotFatal) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 0.0, 1.0)).ok());
+  const std::size_t entries = index.num_entries();
+
+  // Incremental upsert with a bogus route: a surfaced error, index
+  // unchanged — including the existing object's state.
+  const util::Status s = index.Upsert(2, AttrOnRoute(999, 0.0, 1.0));
+  EXPECT_EQ(s.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(index.num_objects(), 1u);
+  EXPECT_EQ(index.num_entries(), entries);
+
+  // Same for the packed bulk path: all-or-nothing.
+  const util::Status bulk = index.BulkUpsert(
+      {{3, AttrOnRoute(h0_, 5.0, 1.0)}, {4, AttrOnRoute(999, 0.0, 1.0)}});
+  EXPECT_EQ(bulk.code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(index.num_objects(), 1u);
+  EXPECT_EQ(index.num_entries(), entries);
+}
+
+TEST_F(VelocityPartitionedIndexTest, HysteresisKeepsBoundaryOscillators) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 0.0, 1.9)).ok());
+  EXPECT_EQ(*index.BandOf(1), 0u);
+  // 2.1 < 2.0 * (1 + 0.1): inside the hysteresis envelope, stays put.
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 2.0, 2.1, 1.0)).ok());
+  EXPECT_EQ(*index.BandOf(1), 0u);
+  EXPECT_EQ(index.band_migrations(), 0u);
+  // 5.0 is well outside: the object migrates to the city band.
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 4.0, 5.0, 2.0)).ok());
+  EXPECT_EQ(*index.BandOf(1), 1u);
+  EXPECT_EQ(index.band_migrations(), 1u);
+  EXPECT_EQ(index.band_object_count(0), 0u);
+  EXPECT_EQ(index.band_object_count(1), 1u);
+}
+
+TEST_F(VelocityPartitionedIndexTest, MigratedObjectStaysQueryable) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 10.0, 1.0)).ok());
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -5.0, 40.0, 5.0);
+  ASSERT_EQ(index.Candidates(region, 10.0).size(), 1u);
+  // Accelerates onto the highway band: found at its new motion model, the
+  // old band holds no stale boxes for it.
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 20.0, 20.0, 10.0)).ok());
+  EXPECT_EQ(*index.BandOf(1), 2u);
+  EXPECT_EQ(index.band_entry_count(0), 0u);
+  const geo::Polygon ahead = geo::Polygon::Rectangle(30.0, -5.0, 60.0, 5.0);
+  const auto candidates = index.Candidates(ahead, 11.0);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 1u);
+  EXPECT_EQ(index.remove_misses(), 0u);
+}
+
+TEST_F(VelocityPartitionedIndexTest, RemoveDropsAllBoxes) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 0.0, 0.5)).ok());
+  ASSERT_TRUE(index.Upsert(2, AttrOnRoute(h0_, 0.0, 30.0)).ok());
+  index.Remove(1);
+  EXPECT_EQ(index.num_objects(), 1u);
+  EXPECT_EQ(index.band_entry_count(0), 0u);
+  index.Remove(99);  // unknown: no-op
+  EXPECT_EQ(index.num_objects(), 1u);
+  EXPECT_EQ(index.remove_misses(), 0u);
+}
+
+TEST_F(VelocityPartitionedIndexTest, BulkUpsertDerivesQuantileBounds) {
+  VelocityPartitionedIndex::Options options;
+  options.num_bands = 3;
+  VelocityPartitionedIndex index(&network_, options);
+  EXPECT_FALSE(index.banded());
+  std::vector<std::pair<core::ObjectId, core::PositionAttribute>> fleet;
+  for (core::ObjectId id = 0; id < 30; ++id) {
+    // Ten objects each at jam (~0.5), city (~5) and highway (~25) speeds.
+    const double speed = id < 10 ? 0.5 : (id < 20 ? 5.0 : 25.0);
+    fleet.emplace_back(id, AttrOnRoute(h0_, static_cast<double>(id), speed));
+  }
+  ASSERT_TRUE(index.BulkUpsert(fleet).ok());
+  ASSERT_TRUE(index.banded());
+  ASSERT_EQ(index.band_bounds().size(), 2u);
+  // The derived quantile bounds separate the three clusters.
+  EXPECT_EQ(index.band_object_count(0), 10u);
+  EXPECT_EQ(index.band_object_count(1), 10u);
+  EXPECT_EQ(index.band_object_count(2), 10u);
+}
+
+TEST_F(VelocityPartitionedIndexTest, IncrementalBandingTrigger) {
+  VelocityPartitionedIndex::Options options;
+  options.num_bands = 2;
+  options.banding_trigger = 8;
+  VelocityPartitionedIndex index(&network_, options);
+  for (core::ObjectId id = 0; id < 7; ++id) {
+    const double speed = id % 2 == 0 ? 0.5 : 20.0;
+    ASSERT_TRUE(
+        index.Upsert(id, AttrOnRoute(h0_, static_cast<double>(id), speed))
+            .ok());
+  }
+  EXPECT_FALSE(index.banded());
+  EXPECT_EQ(index.band_object_count(0), 7u);  // everyone in band 0 so far
+  ASSERT_TRUE(index.Upsert(7, AttrOnRoute(h0_, 7.0, 20.0)).ok());
+  EXPECT_TRUE(index.banded());  // trigger hit: fleet re-banded in place
+  EXPECT_EQ(index.band_object_count(0) + index.band_object_count(1), 8u);
+  EXPECT_GT(index.band_object_count(1), 0u);
+}
+
+TEST_F(VelocityPartitionedIndexTest, BulkLoadIsDeterministic) {
+  // Identical fleets presented in different orders must build structurally
+  // identical band trees (ascending-id packed input), so recovery replay
+  // reproduces the exact index.
+  std::vector<std::pair<core::ObjectId, core::PositionAttribute>> fleet;
+  util::Rng rng(11);
+  for (core::ObjectId id = 0; id < 200; ++id) {
+    fleet.emplace_back(
+        id, AttrOnRoute(h0_, rng.Uniform(0.0, 100.0), rng.Uniform(0.1, 30.0)));
+  }
+  auto shuffled = fleet;
+  std::reverse(shuffled.begin(), shuffled.end());
+
+  VelocityPartitionedIndex a(&network_, ExplicitBounds());
+  VelocityPartitionedIndex b(&network_, ExplicitBounds());
+  ASSERT_TRUE(a.BulkUpsert(fleet).ok());
+  ASSERT_TRUE(b.BulkUpsert(shuffled).ok());
+  ASSERT_EQ(a.num_entries(), b.num_entries());
+  for (std::size_t band = 0; band < a.num_bands(); ++band) {
+    EXPECT_EQ(a.band_entry_count(band), b.band_entry_count(band)) << band;
+  }
+  util::Rng qrng(13);
+  for (int q = 0; q < 30; ++q) {
+    const geo::Polygon region = geo::Polygon::CenteredRectangle(
+        {qrng.Uniform(0.0, 200.0), qrng.Uniform(-5.0, 5.0)}, 20.0, 10.0);
+    const core::Time t = qrng.Uniform(0.0, 60.0);
+    EXPECT_EQ(a.Candidates(region, t), b.Candidates(region, t)) << q;
+  }
+}
+
+TEST_F(VelocityPartitionedIndexTest, NoFalseNegativesVsLinearScan) {
+  // Differential test against the scan baseline on a mixed-speed fleet:
+  // the banded candidates must be a superset of every object whose exact
+  // uncertainty interval intersects the region.
+  util::Rng rng(77);
+  VelocityPartitionedIndex banded(&network_, ExplicitBounds());
+  LinearScanIndex scan(&network_);
+  const std::vector<geo::RouteId> routes = {h0_, h1_, v0_};
+  for (core::ObjectId id = 0; id < 80; ++id) {
+    const geo::RouteId route =
+        routes[static_cast<std::size_t>(rng.UniformInt(0, 2))];
+    const double max_start = network_.route(route).Length() * 0.5;
+    const int cls = rng.UniformInt(0, 2);
+    const double speed = cls == 0 ? rng.Uniform(0.1, 1.5)
+                                  : cls == 1 ? rng.Uniform(3.0, 8.0)
+                                             : rng.Uniform(12.0, 30.0);
+    const auto attr = AttrOnRoute(route, rng.Uniform(0.0, max_start), speed);
+    ASSERT_TRUE(banded.Upsert(id, attr).ok());
+    ASSERT_TRUE(scan.Upsert(id, attr).ok());
+  }
+  for (int q = 0; q < 50; ++q) {
+    const double cx = rng.Uniform(0.0, 200.0);
+    const double cy = rng.Uniform(0.0, 50.0);
+    const geo::Polygon region =
+        geo::Polygon::CenteredRectangle({cx, cy}, 15.0, 10.0);
+    const core::Time t = rng.Uniform(0.0, 30.0);
+    const auto from_banded = banded.Candidates(region, t);
+    for (core::ObjectId id : scan.Candidates(region, t)) {
+      EXPECT_TRUE(
+          std::binary_search(from_banded.begin(), from_banded.end(), id))
+          << "query " << q << " t=" << t << " missing object " << id;
+    }
+    // Window queries too.
+    const auto window = banded.CandidatesInWindow(region, t, t + 5.0);
+    for (core::ObjectId id : scan.CandidatesInWindow(region, t, t + 5.0)) {
+      EXPECT_TRUE(std::binary_search(window.begin(), window.end(), id))
+          << "window query " << q << " missing object " << id;
+    }
+  }
+}
+
+TEST_F(VelocityPartitionedIndexTest, PoolFanOutMatchesSerial) {
+  util::ThreadPool pool(3);
+  VelocityPartitionedIndex::Options parallel_options = ExplicitBounds();
+  parallel_options.pool = &pool;
+  VelocityPartitionedIndex parallel(&network_, parallel_options);
+  VelocityPartitionedIndex serial(&network_, ExplicitBounds());
+  util::Rng rng(5);
+  std::vector<std::pair<core::ObjectId, core::PositionAttribute>> fleet;
+  for (core::ObjectId id = 0; id < 120; ++id) {
+    fleet.emplace_back(
+        id, AttrOnRoute(h0_, rng.Uniform(0.0, 150.0), rng.Uniform(0.1, 30.0)));
+  }
+  ASSERT_TRUE(parallel.BulkUpsert(fleet).ok());
+  ASSERT_TRUE(serial.BulkUpsert(fleet).ok());
+  EXPECT_EQ(parallel.num_entries(), serial.num_entries());
+  for (int q = 0; q < 25; ++q) {
+    const geo::Polygon region = geo::Polygon::CenteredRectangle(
+        {rng.Uniform(0.0, 200.0), 0.0}, 25.0, 8.0);
+    const core::Time t = rng.Uniform(0.0, 40.0);
+    EXPECT_EQ(parallel.Candidates(region, t), serial.Candidates(region, t));
+    EXPECT_EQ(parallel.CandidatesInWindow(region, t, t + 10.0),
+              serial.CandidatesInWindow(region, t, t + 10.0));
+  }
+}
+
+TEST_F(VelocityPartitionedIndexTest, PerBandMetrics) {
+  util::MetricsRegistry registry;
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  index.SetMetrics(&registry, "vp.");
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 0.0, 0.5)).ok());
+  ASSERT_TRUE(index.Upsert(2, AttrOnRoute(h0_, 10.0, 25.0)).ok());
+  EXPECT_EQ(registry.GetGauge("vp.band0.objects")->value(), 1);
+  EXPECT_EQ(registry.GetGauge("vp.band2.objects")->value(), 1);
+  EXPECT_EQ(registry.GetGauge("vp.band0.entries")->value(),
+            static_cast<std::int64_t>(index.band_entry_count(0)));
+  EXPECT_EQ(registry.GetGauge("vp.band2.entries")->value(),
+            static_cast<std::int64_t>(index.band_entry_count(2)));
+
+  // Migration is counted.
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 5.0, 5.0, 1.0)).ok());
+  EXPECT_EQ(registry.GetCounter("vp.band_migrations")->value(), 1u);
+  EXPECT_EQ(registry.GetGauge("vp.band0.objects")->value(), 0);
+  EXPECT_EQ(registry.GetGauge("vp.band1.objects")->value(), 1);
+
+  // Band probes bump the per-band candidates counters.
+  const geo::Polygon region = geo::Polygon::Rectangle(0.0, -5.0, 200.0, 5.0);
+  const auto candidates = index.Candidates(region, 1.0);
+  EXPECT_EQ(candidates.size(), 2u);
+  EXPECT_GT(registry.GetCounter("vp.band1.candidates")->value(), 0u);
+  EXPECT_GT(registry.GetCounter("vp.band2.candidates")->value(), 0u);
+
+  // Detaching withdraws this index's contribution from the shared gauges.
+  index.SetMetrics(nullptr, "");
+  EXPECT_EQ(registry.GetGauge("vp.band1.objects")->value(), 0);
+  EXPECT_EQ(registry.GetGauge("vp.band2.objects")->value(), 0);
+  EXPECT_EQ(registry.GetGauge("vp.band2.entries")->value(), 0);
+}
+
+TEST_F(VelocityPartitionedIndexTest, SharedRegistryAggregatesAcrossIndexes) {
+  // Two indexes sharing one registry and prefix (the sharded layer): the
+  // gauges read as sums of both contributions.
+  util::MetricsRegistry registry;
+  VelocityPartitionedIndex a(&network_, ExplicitBounds());
+  VelocityPartitionedIndex b(&network_, ExplicitBounds());
+  a.SetMetrics(&registry, "vp.");
+  b.SetMetrics(&registry, "vp.");
+  ASSERT_TRUE(a.Upsert(1, AttrOnRoute(h0_, 0.0, 0.5)).ok());
+  ASSERT_TRUE(b.Upsert(2, AttrOnRoute(h1_, 0.0, 0.5)).ok());
+  EXPECT_EQ(registry.GetGauge("vp.band0.objects")->value(), 2);
+  a.SetMetrics(nullptr, "");
+  EXPECT_EQ(registry.GetGauge("vp.band0.objects")->value(), 1);
+}
+
+}  // namespace
+}  // namespace modb::index

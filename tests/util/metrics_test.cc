@@ -20,6 +20,30 @@ TEST(MetricsTest, CounterIncrementsAndResets) {
   EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(MetricsTest, GaugeSetAddReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.Add(5);
+  g.Add(-12);  // signed deltas: levels may go down (and below zero)
+  EXPECT_EQ(g.value(), 3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsTest, SharedGaugeAggregatesSignedDeltas) {
+  // Two writers applying deltas to one gauge (the sharded layer's
+  // aggregation pattern): the gauge reads as the sum of contributions.
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("pool.depth");
+  EXPECT_EQ(g, registry.GetGauge("pool.depth"));
+  g->Add(7);   // writer A
+  g->Add(4);   // writer B
+  g->Add(-7);  // writer A withdraws on detach
+  EXPECT_EQ(g->value(), 4);
+}
+
 TEST(MetricsTest, RegistryReturnsStableSharedInstruments) {
   MetricsRegistry registry;
   Counter* a = registry.GetCounter("x");
@@ -27,6 +51,7 @@ TEST(MetricsTest, RegistryReturnsStableSharedInstruments) {
   EXPECT_EQ(a, b);  // same name -> same instrument (aggregation across shards)
   EXPECT_NE(a, registry.GetCounter("y"));
   EXPECT_EQ(registry.GetLatency("l"), registry.GetLatency("l"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
 }
 
 TEST(MetricsTest, LatencyHistogramStatistics) {
@@ -65,10 +90,12 @@ TEST(MetricsTest, DumpListsInstrumentsSorted) {
   MetricsRegistry registry;
   registry.GetCounter("b.count")->Increment(3);
   registry.GetCounter("a.count")->Increment(1);
+  registry.GetGauge("g.level")->Add(-2);
   registry.GetLatency("q.latency")->RecordNanos(5000);
   const std::string dump = registry.Dump();
   EXPECT_NE(dump.find("counter a.count 1"), std::string::npos);
   EXPECT_NE(dump.find("counter b.count 3"), std::string::npos);
+  EXPECT_NE(dump.find("gauge g.level -2"), std::string::npos);
   EXPECT_NE(dump.find("latency q.latency count=1"), std::string::npos);
   EXPECT_LT(dump.find("a.count"), dump.find("b.count"));
 }
