@@ -8,11 +8,15 @@
 //  4. Deliver a position update (what the onboard update policy would
 //     send) and query again.
 //  5. Run a range query with MUST / MAY semantics (§4).
+//  6. Ingest a window of updates in one batched call — the staged write
+//     path validates, logs, applies and re-indexes the whole window at
+//     once, with per-record statuses.
 //
 // Build: cmake -B build -G Ninja && cmake --build build
 // Run:   ./build/examples/quickstart
 
 #include <cstdio>
+#include <vector>
 
 #include "db/mod_database.h"
 #include "geo/route_network.h"
@@ -80,5 +84,25 @@ int main() {
               range.must.size(), range.may.size());
   std::printf("      (update messages received so far: %llu)\n",
               static_cast<unsigned long long>(db.log().total_updates()));
+
+  // 6. A base station hands over a whole window of reports at once.
+  //    ApplyUpdateBatch runs the same staged write path as ApplyUpdate —
+  //    validate, log, mutate, index — but pays the per-call costs once for
+  //    the window and reports a status per record (a bad record never
+  //    blocks the rest of the batch).
+  std::vector<PositionUpdate> window;
+  for (int i = 0; i < 3; ++i) {
+    PositionUpdate u = update;
+    u.time = 12.0 + static_cast<double>(i);
+    u.route_distance = 17.0 + 0.5 * static_cast<double>(i);
+    u.position = {u.route_distance, 0.0};
+    window.push_back(u);
+  }
+  window.push_back(update);
+  window.back().object = 99;  // never registered: rejected, others land
+  const modb::db::UpdateBatchResult batch = db.ApplyUpdateBatch(window);
+  std::printf("batch: %zu of %zu update(s) applied, %zu rejected (\"%s\")\n",
+              batch.applied, batch.statuses.size(), batch.rejected,
+              batch.first_error().message().c_str());
   return 0;
 }

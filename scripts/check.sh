@@ -29,6 +29,9 @@ cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs"
 
+echo "== E16 smoke: staged batch ingest shape check =="
+build/bench/exp_update_throughput --smoke
+
 if [[ "$run_asan" == 1 ]]; then
   echo "== AddressSanitizer gate =="
   cmake --preset asan

@@ -56,6 +56,10 @@ void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
     inserts_ = nullptr;
     erases_ = nullptr;
     index_probes_ = nullptr;
+    validate_rejects_ = nullptr;
+    wal_fails_ = nullptr;
+    apply_latency_ = nullptr;
+    batch_size_hist_ = nullptr;
     index_->SetMetrics(nullptr, "");
     return;
   }
@@ -63,6 +67,13 @@ void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
   inserts_ = registry->GetCounter(prefix + "inserts");
   erases_ = registry->GetCounter(prefix + "erases");
   index_probes_ = registry->GetCounter(prefix + "index_probes");
+  validate_rejects_ = registry->GetCounter(prefix + "ingest.validate_reject");
+  wal_fails_ = registry->GetCounter(prefix + "ingest.wal_fail");
+  apply_latency_ = registry->GetLatency(prefix + "update.apply_latency_us");
+  // Batch-size distribution: reuses the latency-histogram machinery with
+  // *records per ApplyUpdateBatch call* as the recorded value (the "µs"
+  // unit reads as a record count — the wal.group_commit_batch convention).
+  batch_size_hist_ = registry->GetLatency(prefix + "ingest.batch_size");
   index_->SetMetrics(registry, prefix + "index.");
 }
 
@@ -82,21 +93,26 @@ util::Status ModDatabase::ValidateAttribute(
 
 util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
                                  const core::PositionAttribute& attr) {
+  // Stage 1: validate — no side effects before this point succeeds.
   if (records_.contains(id)) {
     return util::Status::AlreadyExists("object " + std::to_string(id));
   }
   if (util::Status s = ValidateAttribute(attr); !s.ok()) return s;
+  // Stage 2: log.
   if (wal_ != nullptr) {
     if (util::Status s = wal_->AppendInsert(id, label, attr); !s.ok()) {
+      if (wal_fails_ != nullptr) wal_fails_->Increment();
       return s;
     }
   }
+  // Stage 3: mutate.
   MovingObjectRecord record;
   record.id = id;
   record.label = std::move(label);
   record.attr = attr;
   record.insert_time = attr.start_time;
   records_.emplace(id, std::move(record));
+  // Stage 4: index-delta.
   if (!bulk_ingest_) {
     if (util::Status s = index_->Upsert(id, attr); !s.ok()) {
       // Unreachable after ValidateAttribute (the route exists), but the
@@ -151,12 +167,25 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     if (util::Status s = ValidateAttribute(object.attr); !s.ok()) return s;
   }
   if (wal_ != nullptr) {
+    // One batched record for the whole call instead of a frame per row:
+    // same kUpdateBatch framing the update path uses, so a bulk load of N
+    // objects costs one CRC frame and one group-commit trigger check, not
+    // N. Replay is prefix-exact: a torn batch frame drops the whole call,
+    // never half of it (modulo the documented chunk split near the frame
+    // sanity bound).
+    std::vector<WalRecord> to_log;
+    to_log.reserve(objects.size());
     for (const BulkObject& object : objects) {
-      if (util::Status s =
-              wal_->AppendInsert(object.id, object.label, object.attr);
-          !s.ok()) {
-        return s;
-      }
+      WalRecord record;
+      record.type = WalRecordType::kInsert;
+      record.id = object.id;
+      record.label = object.label;
+      record.attr = object.attr;
+      to_log.push_back(std::move(record));
+    }
+    if (util::Status s = wal_->AppendBatch(to_log); !s.ok()) {
+      if (wal_fails_ != nullptr) wal_fails_->Increment();
+      return s;
     }
   }
   std::vector<std::pair<core::ObjectId, core::PositionAttribute>> for_index;
@@ -183,46 +212,190 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
 }
 
 util::Status ModDatabase::ApplyUpdate(const core::PositionUpdate& update) {
-  const auto it = records_.find(update.object);
-  if (it == records_.end()) {
-    return util::Status::NotFound("object " + std::to_string(update.object));
+  // One staged write path: a single update is a batch of one.
+  return ApplyUpdateBatch({&update, 1}).first_error();
+}
+
+UpdateBatchResult ModDatabase::ApplyUpdateBatch(
+    std::span<const core::PositionUpdate> updates) {
+  UpdateBatchResult result;
+  result.statuses.assign(updates.size(), util::Status::Ok());
+  if (updates.empty()) return result;
+  util::ScopedLatencyTimer timer(apply_latency_);
+  if (batch_size_hist_ != nullptr) {
+    // Records per call (the "µs" unit reads as a count, see SetMetrics).
+    batch_size_hist_->RecordNanos(updates.size() * 1000);
   }
-  MovingObjectRecord& record = it->second;
-  if (update.time < record.attr.start_time) {
-    return util::Status::InvalidArgument("update time regresses");
+
+  // --- Stage 1: validate (no side effects). Each record is checked
+  // against the batch-local evolving state — a second update to the same
+  // object validates against the first one's merged result, not the stale
+  // store — so acceptance matches the sequential path exactly.
+  std::vector<core::PositionAttribute> merged(updates.size());
+  std::vector<bool> accepted(updates.size(), false);
+  // Object -> index into `merged` of its last accepted update; doubles as
+  // the per-object registry behind the stage-4 dedup.
+  std::unordered_map<core::ObjectId, std::size_t> last_accepted;
+  std::size_t num_accepted = 0;
+  std::size_t first_accepted = 0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const core::PositionUpdate& update = updates[i];
+    const core::PositionAttribute* base = nullptr;
+    if (const auto pending = last_accepted.find(update.object);
+        pending != last_accepted.end()) {
+      base = &merged[pending->second];
+    } else if (const auto it = records_.find(update.object);
+               it != records_.end()) {
+      base = &it->second.attr;
+    }
+    if (base == nullptr) {
+      result.statuses[i] =
+          util::Status::NotFound("object " + std::to_string(update.object));
+      continue;
+    }
+    if (update.time < base->start_time) {
+      result.statuses[i] =
+          util::Status::InvalidArgument("update time regresses");
+      continue;
+    }
+    core::PositionAttribute attr = *base;  // keep policy parameters
+    attr.start_time = update.time;
+    attr.route = update.route;
+    attr.start_route_distance = update.route_distance;
+    attr.start_position = update.position;
+    attr.direction = update.direction;
+    attr.speed = update.speed;
+    if (util::Status s = ValidateAttribute(attr); !s.ok()) {
+      result.statuses[i] = std::move(s);
+      continue;
+    }
+    merged[i] = attr;
+    accepted[i] = true;
+    if (num_accepted == 0) first_accepted = i;
+    ++num_accepted;
+    last_accepted[update.object] = i;
   }
-  core::PositionAttribute attr = record.attr;  // keep policy parameters
-  attr.start_time = update.time;
-  attr.route = update.route;
-  attr.start_route_distance = update.route_distance;
-  attr.start_position = update.position;
-  attr.direction = update.direction;
-  attr.speed = update.speed;
-  if (util::Status s = ValidateAttribute(attr); !s.ok()) return s;
+  result.rejected = updates.size() - num_accepted;
+  if (result.rejected > 0 && validate_rejects_ != nullptr) {
+    validate_rejects_->Increment(result.rejected);
+  }
+  if (num_accepted == 0) return result;
+
+  // --- Stage 2: log. One framed kUpdateBatch record holds every accepted
+  // update (a batch of one logs the historical plain kUpdate framing). A
+  // failed append fails all accepted records before any memory effect; the
+  // writer poisons itself, so the log cannot trail the store.
   if (wal_ != nullptr) {
-    if (util::Status s = wal_->AppendUpdate(update); !s.ok()) return s;
+    util::Status logged;
+    if (num_accepted == 1) {
+      logged = wal_->AppendUpdate(updates[first_accepted]);
+    } else {
+      std::vector<core::PositionUpdate> to_log;
+      to_log.reserve(num_accepted);
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (accepted[i]) to_log.push_back(updates[i]);
+      }
+      logged = wal_->AppendUpdateBatch(to_log);
+    }
+    if (!logged.ok()) {
+      if (wal_fails_ != nullptr) wal_fails_->Increment();
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (accepted[i]) result.statuses[i] = logged;
+      }
+      return result;
+    }
   }
-  // Index before record: an index maintenance failure (unreachable after
-  // validation, but a handled error now rather than release-build UB)
-  // aborts the update with the record untouched.
+
+  // --- Stage 3: mutate. Commit the fleet map in batch order; every
+  // superseded version lands in the trajectory history exactly as the
+  // sequential path would. Each touched object's pre-batch state is saved
+  // so the index-delta stage can roll the whole batch back — unreachable
+  // with the in-tree indexes (stage 1 validated every row and they
+  // validate again before touching a tree), but a handled error, not a
+  // torn store.
+  struct Saved {
+    core::ObjectId id = core::kInvalidObjectId;
+    core::PositionAttribute attr;
+    std::uint64_t update_count = 0;
+    std::size_t past_size = 0;
+    // Trajectory entries the version cap evicted during this batch, oldest
+    // first (empty in the common path; needed to restore exactly).
+    std::vector<core::PositionAttribute> evicted;
+  };
+  std::vector<Saved> saved;
+  saved.reserve(last_accepted.size());
+  std::unordered_map<core::ObjectId, std::size_t> saved_of;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (!accepted[i]) continue;
+    MovingObjectRecord& record = records_.find(updates[i].object)->second;
+    const auto [sit, first_touch] =
+        saved_of.try_emplace(updates[i].object, saved.size());
+    if (first_touch) {
+      Saved sv;
+      sv.id = updates[i].object;
+      sv.attr = record.attr;
+      sv.update_count = record.update_count;
+      sv.past_size = record.past.size();
+      saved.push_back(std::move(sv));
+    }
+    if (options_.keep_trajectory) {
+      record.past.push_back(record.attr);
+      const std::size_t cap = options_.max_trajectory_versions;
+      if (cap > 0 && record.past.size() > cap) {
+        const auto cut =
+            record.past.end() - static_cast<std::ptrdiff_t>(cap);
+        Saved& sv = saved[sit->second];
+        sv.evicted.insert(sv.evicted.end(), record.past.begin(), cut);
+        record.past.erase(record.past.begin(), cut);
+      }
+    }
+    record.attr = merged[i];
+    ++record.update_count;
+  }
+
+  // --- Stage 4: index-delta. One ApplyDeltaBatch call with each touched
+  // object's *final* merged attribute, in first-touch order (deterministic
+  // input; intermediate models would be dead work — the index only ever
+  // serves the current one, and queries refine candidates exactly).
   if (!bulk_ingest_) {
-    if (util::Status s = index_->Upsert(update.object, attr); !s.ok()) {
-      return s;
+    std::vector<index::IndexDelta> deltas;
+    deltas.reserve(saved.size());
+    for (const Saved& sv : saved) {
+      deltas.push_back(
+          index::IndexDelta{sv.id, &merged[last_accepted.find(sv.id)->second]});
+    }
+    if (util::Status s = index_->ApplyDeltaBatch(deltas); !s.ok()) {
+      // Restore every touched record. The concatenation evicted+past is
+      // the full uncapped history in order, so its first past_size entries
+      // are exactly the pre-batch trajectory.
+      for (Saved& sv : saved) {
+        MovingObjectRecord& record = records_.find(sv.id)->second;
+        record.attr = std::move(sv.attr);
+        record.update_count = sv.update_count;
+        if (record.past.size() != sv.past_size || !sv.evicted.empty()) {
+          std::vector<core::PositionAttribute> past = std::move(sv.evicted);
+          past.insert(past.end(),
+                      std::make_move_iterator(record.past.begin()),
+                      std::make_move_iterator(record.past.end()));
+          past.resize(sv.past_size);
+          record.past = std::move(past);
+        }
+      }
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (accepted[i]) result.statuses[i] = s;
+      }
+      return result;
     }
   }
-  if (options_.keep_trajectory) {
-    record.past.push_back(record.attr);
-    const std::size_t cap = options_.max_trajectory_versions;
-    if (cap > 0 && record.past.size() > cap) {
-      record.past.erase(record.past.begin(),
-                        record.past.end() - static_cast<std::ptrdiff_t>(cap));
-    }
+
+  // Success bookkeeping, deferred to here so the rollback above never has
+  // to unwind it.
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (accepted[i]) log_.Append(updates[i]);
   }
-  record.attr = attr;
-  ++record.update_count;
-  log_.Append(update);
-  if (updates_applied_ != nullptr) updates_applied_->Increment();
-  return util::Status::Ok();
+  if (updates_applied_ != nullptr) updates_applied_->Increment(num_accepted);
+  result.applied = num_accepted;
+  return result;
 }
 
 util::Status ModDatabase::RestoreTrajectory(
@@ -245,13 +418,19 @@ util::Status ModDatabase::RestoreTrajectory(
 }
 
 util::Status ModDatabase::Erase(core::ObjectId id) {
+  // Stage 1: validate.
   const auto it = records_.find(id);
   if (it == records_.end()) {
     return util::Status::NotFound("object " + std::to_string(id));
   }
+  // Stage 2: log.
   if (wal_ != nullptr) {
-    if (util::Status s = wal_->AppendErase(id); !s.ok()) return s;
+    if (util::Status s = wal_->AppendErase(id); !s.ok()) {
+      if (wal_fails_ != nullptr) wal_fails_->Increment();
+      return s;
+    }
   }
+  // Stage 3: mutate; stage 4: index-delta.
   records_.erase(it);
   if (!bulk_ingest_) index_->Remove(id);
   if (erases_ != nullptr) erases_->Increment();

@@ -1,8 +1,10 @@
 #ifndef MODB_DB_MOD_DATABASE_H_
 #define MODB_DB_MOD_DATABASE_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +25,27 @@
 namespace modb::db {
 
 class WalWriter;
+
+/// Per-record outcome of `ApplyUpdateBatch` (index-aligned with the input
+/// batch). Validation failures are per-record: the rejected record gets its
+/// error, the rest of the batch proceeds. A log (WAL) failure fails every
+/// accepted record and nothing is applied.
+struct UpdateBatchResult {
+  std::vector<util::Status> statuses;
+  /// Records committed to the store (map + index).
+  std::size_t applied = 0;
+  /// Records rejected by the validate stage (no side effects).
+  std::size_t rejected = 0;
+
+  bool all_ok() const { return applied == statuses.size(); }
+  /// First non-OK status in batch order (OK when every record applied).
+  util::Status first_error() const {
+    for (const util::Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return util::Status::Ok();
+  }
+};
 
 /// Which access method backs range queries.
 enum class IndexKind {
@@ -97,13 +120,39 @@ class ModDatabase {
   /// Registers a whole fleet at once. All rows are validated first (the
   /// database is unchanged on failure); the index is built with its packed
   /// bulk path — much faster than per-object `Insert` for large fleets.
+  /// Logs one batched WAL record for the whole call instead of one per row
+  /// (see `AttachWal` for the mid-batch failure semantics).
   util::Status BulkInsert(std::vector<BulkObject> objects);
 
   /// Applies a position update from a moving object: replaces
   /// P.starttime, P.speed, P.x/y.startposition (and P.route), keeping the
   /// policy parameters. Fails with NotFound for unknown objects and
-  /// InvalidArgument for unknown routes or time regressions.
+  /// InvalidArgument for unknown routes or time regressions. Thin wrapper
+  /// over `ApplyUpdateBatch` with a batch of one — there is a single
+  /// staged write path.
   util::Status ApplyUpdate(const core::PositionUpdate& update);
+
+  /// Applies a batch of position updates through the four-stage write
+  /// path, observably equivalent to applying the records sequentially
+  /// with `ApplyUpdate`:
+  ///
+  ///   1. validate — per-record route/speed/policy checks against the
+  ///      batch-local evolving state (a second update to the same object
+  ///      validates against the first one's result), no side effects;
+  ///      rejected records get their status, the rest proceed.
+  ///   2. log — all accepted updates in a single framed `kUpdateBatch` WAL
+  ///      record (one CRC frame, one group-commit trigger check; a batch
+  ///      of one logs the historical plain record). A failed append fails
+  ///      every accepted record and aborts before any memory effect.
+  ///   3. mutate — fleet-map commit in batch order; every intermediate
+  ///      version lands in the trajectory history exactly as the
+  ///      sequential path would.
+  ///   4. index-delta — one `ApplyDeltaBatch` call with each touched
+  ///      object's *final* merged attribute (per-object dedup: the index
+  ///      only ever serves the current model, so intermediate upserts
+  ///      would be dead work).
+  UpdateBatchResult ApplyUpdateBatch(
+      std::span<const core::PositionUpdate> updates);
 
   /// Removes an object (end of trip).
   util::Status Erase(core::ObjectId id);
@@ -159,9 +208,15 @@ class ModDatabase {
 
   /// Registers this database's instruments in `registry` under `prefix`
   /// (counters `<prefix>updates_applied`, `<prefix>inserts`,
-  /// `<prefix>erases`, `<prefix>index_probes`, plus whatever the index
-  /// registers under `<prefix>index.` — e.g. `remove_miss` or the
-  /// velocity-partitioned per-band gauges) and starts updating them;
+  /// `<prefix>erases`, `<prefix>index_probes`, the write-path stage
+  /// counters `<prefix>ingest.validate_reject` / `<prefix>ingest.wal_fail`,
+  /// the `<prefix>update.apply_latency_us` histogram and the
+  /// `<prefix>ingest.batch_size` distribution (records per ApplyUpdateBatch
+  /// call; reuses the latency-histogram machinery with its "µs" unit
+  /// reading as a record count, like `wal.group_commit_batch`), plus
+  /// whatever the index registers under `<prefix>index.` — e.g.
+  /// `remove_miss` or the velocity-partitioned per-band gauges) and starts
+  /// updating them;
   /// nullptr detaches. The registry must outlive the database. Several
   /// databases given the same registry and prefix share the instruments —
   /// that is how the sharded layer aggregates across shards. Counter
@@ -174,10 +229,13 @@ class ModDatabase {
   /// must outlive the attachment). Once attached, every mutation is
   /// appended to the log *after* validation but *before* the in-memory
   /// commit, so a WAL append failure aborts the mutation and the log never
-  /// trails the memory state. `BulkInsert` logs one insert record per row;
-  /// a mid-batch append failure leaves the already-logged rows in the WAL
-  /// (recovery applies a prefix of the *logged* record stream — batch
-  /// atomicity is an in-memory property, durability is per-record).
+  /// trails the memory state. `BulkInsert` and `ApplyUpdateBatch` log one
+  /// batched record per call (chunked only near the frame size bound); a
+  /// mid-batch append failure leaves the already-logged chunks in the WAL
+  /// while the store applies nothing — recovery replays that prefix of the
+  /// *logged* record stream, and the poisoned writer guarantees no later
+  /// record can land after the hole (batch atomicity is an in-memory
+  /// property, durability is per logged record).
   void AttachWal(WalWriter* wal) { wal_ = wal; }
   WalWriter* wal() const { return wal_; }
 
@@ -214,6 +272,10 @@ class ModDatabase {
   util::Counter* inserts_ = nullptr;
   util::Counter* erases_ = nullptr;
   util::Counter* index_probes_ = nullptr;
+  util::Counter* validate_rejects_ = nullptr;
+  util::Counter* wal_fails_ = nullptr;
+  util::LatencyHistogram* apply_latency_ = nullptr;
+  util::LatencyHistogram* batch_size_hist_ = nullptr;
 };
 
 }  // namespace modb::db

@@ -77,6 +77,35 @@ util::Status ApplyWalRecord(ModDatabase* db, const WalRecord& record) {
       return db->ApplyUpdate(record.update);
     case WalRecordType::kErase:
       return db->Erase(record.id);
+    case WalRecordType::kUpdateBatch: {
+      // An all-update batch replays through the same staged batch path the
+      // live write took, so a recovered store rebuilds its index with the
+      // identical grouped deltas. Mixed batches (BulkInsert logs nested
+      // kInsert records) fall back to per-record dispatch; either way the
+      // whole frame applies or replay reports the first failure.
+      bool updates_only = true;
+      for (const WalRecord& sub : record.batch) {
+        if (sub.type != WalRecordType::kUpdate) {
+          updates_only = false;
+          break;
+        }
+      }
+      if (updates_only) {
+        std::vector<core::PositionUpdate> updates;
+        updates.reserve(record.batch.size());
+        for (const WalRecord& sub : record.batch) {
+          updates.push_back(sub.update);
+        }
+        return db->ApplyUpdateBatch(updates).first_error();
+      }
+      util::Status first;
+      for (const WalRecord& sub : record.batch) {
+        if (util::Status s = ApplyWalRecord(db, sub); !s.ok() && first.ok()) {
+          first = std::move(s);
+        }
+      }
+      return first;
+    }
   }
   return util::Status::Internal("unknown WAL record type");
 }

@@ -206,6 +206,44 @@ util::Status ShardedModDatabase::ApplyUpdate(
   return shard.db->ApplyUpdate(update);
 }
 
+UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
+    std::span<const core::PositionUpdate> updates) {
+  util::ScopedLatencyTimer timer(latency_update_);
+  UpdateBatchResult result;
+  result.statuses.assign(updates.size(), util::Status::Ok());
+  if (updates.empty()) return result;
+
+  // Partition by owning shard, remembering each record's input slot so the
+  // per-record statuses scatter back in order. Same-object updates hash to
+  // the same shard with relative order preserved, so the batch-local
+  // validation inside the shard sees them exactly as the sequential path
+  // would.
+  std::vector<std::vector<core::PositionUpdate>> parts(shards_.size());
+  std::vector<std::vector<std::size_t>> members(shards_.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const std::size_t s = ShardOf(updates[i].object);
+    parts[s].push_back(updates[i]);
+    members[s].push_back(i);
+  }
+
+  std::vector<UpdateBatchResult> per_shard(shards_.size());
+  FanOut([&](std::size_t s) {
+    if (parts[s].empty()) return;
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mu);
+    per_shard[s] = shard.db->ApplyUpdateBatch(parts[s]);
+  });
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::size_t j = 0; j < members[s].size(); ++j) {
+      result.statuses[members[s][j]] = std::move(per_shard[s].statuses[j]);
+    }
+    result.applied += per_shard[s].applied;
+    result.rejected += per_shard[s].rejected;
+  }
+  return result;
+}
+
 util::Status ShardedModDatabase::Erase(core::ObjectId id) {
   Shard& shard = *shards_[ShardOf(id)];
   std::unique_lock lock(shard.mu);

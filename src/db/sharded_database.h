@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,19 @@ class ShardedModDatabase {
   util::Status BulkInsert(std::vector<BulkObject> objects);
 
   util::Status ApplyUpdate(const core::PositionUpdate& update);
+
+  /// Staged batch ingest across shards: partitions the batch by owning
+  /// shard (input order preserved within a shard, so same-object updates
+  /// stay ordered), runs each non-empty sub-batch through that shard's
+  /// `ModDatabase::ApplyUpdateBatch` in parallel on the internal pool —
+  /// one WAL frame and one grouped index delta per shard — and scatters
+  /// the per-record statuses back into input order. Equivalent to calling
+  /// `ApplyUpdate` per record sequentially, but with the per-call lock,
+  /// log, and tree-touch costs paid once per shard instead of once per
+  /// update.
+  UpdateBatchResult ApplyUpdateBatch(
+      std::span<const core::PositionUpdate> updates);
+
   util::Status Erase(core::ObjectId id);
 
   util::Result<PositionAnswer> QueryPosition(core::ObjectId id,

@@ -20,6 +20,10 @@ constexpr std::size_t kFrameHeaderBytes = 8;
 // Sanity bound: no legal record is near this (labels are the only variable
 // part); a length beyond it is corruption, not a huge record.
 constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+// Batch records are split into chunks before their payload approaches
+// `kMaxPayloadBytes`, so the reader's sanity bound never rejects a legal
+// batch (a single update encodes to ~70 bytes; ~3700 fit per chunk).
+constexpr std::size_t kBatchChunkPayloadBytes = 256u << 10;
 
 void PutU32(std::string* out, std::uint32_t v) {
   char buf[4];
@@ -182,6 +186,14 @@ std::string EncodeWalRecord(const WalRecord& record) {
     case WalRecordType::kErase:
       PutU64(&payload, record.id);
       break;
+    case WalRecordType::kUpdateBatch:
+      PutU32(&payload, static_cast<std::uint32_t>(record.batch.size()));
+      for (const WalRecord& sub : record.batch) {
+        const std::string sub_payload = EncodeWalRecord(sub);
+        PutU32(&payload, static_cast<std::uint32_t>(sub_payload.size()));
+        payload += sub_payload;
+      }
+      break;
   }
   return payload;
 }
@@ -215,6 +227,31 @@ bool DecodeWalRecord(std::string_view payload, WalRecord* record) {
     case static_cast<std::uint8_t>(WalRecordType::kErase): {
       record->type = WalRecordType::kErase;
       if (!cursor.GetU64(&record->id)) return false;
+      break;
+    }
+    case static_cast<std::uint8_t>(WalRecordType::kUpdateBatch): {
+      record->type = WalRecordType::kUpdateBatch;
+      std::uint32_t count = 0;
+      if (!cursor.GetU32(&count)) return false;
+      // Every sub-record costs at least its length prefix, so a count
+      // beyond that is corruption, not a huge batch.
+      if (count > payload.size() / 4) return false;
+      record->batch.clear();
+      record->batch.reserve(std::min<std::uint32_t>(count, 1024));
+      std::string sub_payload;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (!cursor.GetString(&sub_payload)) return false;
+        // Nesting depth is exactly one; rejecting a nested batch *before*
+        // the recursive decode also bounds the recursion itself.
+        if (!sub_payload.empty() &&
+            static_cast<std::uint8_t>(sub_payload[0]) ==
+                static_cast<std::uint8_t>(WalRecordType::kUpdateBatch)) {
+          return false;
+        }
+        WalRecord sub;
+        if (!DecodeWalRecord(sub_payload, &sub)) return false;
+        record->batch.push_back(std::move(sub));
+      }
       break;
     }
     default:
@@ -306,12 +343,16 @@ util::Status WalWriter::OpenNextSegment() {
 }
 
 util::Status WalWriter::AppendRecord(const WalRecord& record) {
+  return AppendEncoded(EncodeWalRecord(record));
+}
+
+util::Status WalWriter::AppendEncoded(const std::string& payload) {
   if (closed_) return util::Status::FailedPrecondition("WAL closed");
   if (!poison_.ok()) return poison_;
   if (segment_bytes_ >= options_.segment_max_bytes) {
     if (util::Status s = OpenNextSegment(); !s.ok()) return s;
   }
-  const std::string frame = FrameRecord(EncodeWalRecord(record));
+  const std::string frame = FrameRecord(payload);
   if (util::Status s = segment_->Append(frame); !s.ok()) return Poison(s);
   segment_bytes_ += frame.size();
   bytes_ += frame.size();
@@ -362,6 +403,54 @@ util::Status WalWriter::AppendErase(core::ObjectId id) {
   record.type = WalRecordType::kErase;
   record.id = id;
   return AppendRecord(record);
+}
+
+util::Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return util::Status::Ok();
+  if (records.size() == 1) return AppendRecord(records[0]);
+  std::vector<std::string> encoded;
+  encoded.reserve(records.size());
+  for (const WalRecord& record : records) {
+    if (record.type == WalRecordType::kUpdateBatch) {
+      return util::Status::InvalidArgument("nested WAL batch");
+    }
+    encoded.push_back(EncodeWalRecord(record));
+  }
+  // Pack length-prefixed sub-records into chunk payloads, splitting before
+  // the reader's payload sanity bound. The common batch fits in one chunk:
+  // one frame, one append, one group-commit trigger check.
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    std::string payload;
+    PutU8(&payload, static_cast<std::uint8_t>(WalRecordType::kUpdateBatch));
+    std::uint32_t count = 0;
+    std::string body;
+    while (i < encoded.size() &&
+           (count == 0 ||
+            body.size() + 4 + encoded[i].size() <= kBatchChunkPayloadBytes)) {
+      PutU32(&body, static_cast<std::uint32_t>(encoded[i].size()));
+      body += encoded[i];
+      ++count;
+      ++i;
+    }
+    PutU32(&payload, count);
+    payload += body;
+    if (util::Status s = AppendEncoded(payload); !s.ok()) return s;
+  }
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::AppendUpdateBatch(
+    const std::vector<core::PositionUpdate>& updates) {
+  std::vector<WalRecord> records;
+  records.reserve(updates.size());
+  for (const core::PositionUpdate& update : updates) {
+    WalRecord record;
+    record.type = WalRecordType::kUpdate;
+    record.update = update;
+    records.push_back(std::move(record));
+  }
+  return AppendBatch(records);
 }
 
 util::Status WalWriter::Sync() {

@@ -20,19 +20,23 @@ namespace modb::db {
 
 /// One logical mutation of the MOD store, as logged and replayed.
 enum class WalRecordType : std::uint8_t {
-  kInsert = 1,  // object registration (id, label, full position attribute)
-  kUpdate = 2,  // position update message (paper §3.1)
-  kErase = 3,   // end of trip
+  kInsert = 1,       // object registration (id, label, full position attribute)
+  kUpdate = 2,       // position update message (paper §3.1)
+  kErase = 3,        // end of trip
+  kUpdateBatch = 4,  // batched mutations: one frame, N nested sub-records
 };
 
 /// Decoded WAL record. Only the fields of the active `type` are meaningful:
-/// kInsert uses id/label/attr, kUpdate uses update, kErase uses id.
+/// kInsert uses id/label/attr, kUpdate uses update, kErase uses id,
+/// kUpdateBatch uses batch (nesting depth is exactly one: a sub-record is
+/// never itself a batch — the decoder rejects deeper nesting).
 struct WalRecord {
   WalRecordType type = WalRecordType::kUpdate;
   core::ObjectId id = core::kInvalidObjectId;
   std::string label;
   core::PositionAttribute attr;
   core::PositionUpdate update;
+  std::vector<WalRecord> batch;
 };
 
 /// Encodes a record payload (type byte + little-endian fields; no frame).
@@ -112,6 +116,25 @@ class WalWriter {
   util::Status AppendUpdate(const core::PositionUpdate& update);
   util::Status AppendErase(core::ObjectId id);
 
+  /// Appends a batch of sub-records as a single framed `kUpdateBatch`
+  /// record: one CRC frame, one append, one group-commit trigger check —
+  /// the log stage of the batched write path. A batch of one is logged as
+  /// its plain record (byte-identical with the historical per-call
+  /// framing); an empty batch is a no-op. Batches whose encoding would
+  /// approach the reader's payload sanity bound are split transparently
+  /// into several chunk records. Failure semantics follow the poison
+  /// discipline: a failed chunk append fails the call and poisons the
+  /// writer, but chunks already appended stay in the log — recovery
+  /// replays that *prefix* of the batch (batch atomicity is an in-memory
+  /// property; durability is per logged record). Sub-records must not be
+  /// batches themselves (nesting depth is one).
+  util::Status AppendBatch(const std::vector<WalRecord>& records);
+
+  /// Convenience for the common batch: wraps each update in a kUpdate
+  /// sub-record and calls `AppendBatch`.
+  util::Status AppendUpdateBatch(
+      const std::vector<core::PositionUpdate>& updates);
+
   /// Forces buffered frames to durable storage (ends the current group-
   /// commit batch). A no-op when nothing was appended since the last sync.
   util::Status Sync();
@@ -147,6 +170,9 @@ class WalWriter {
       : dir_(std::move(dir)), epoch_(epoch), options_(std::move(options)) {}
 
   util::Status AppendRecord(const WalRecord& record);
+  /// Frames and appends an already-encoded payload (the shared tail of
+  /// `AppendRecord` and the chunked batch path).
+  util::Status AppendEncoded(const std::string& payload);
   util::Status OpenNextSegment();
   /// Syncs if any group-commit trigger is due; OK when none is.
   util::Status MaybeSync();

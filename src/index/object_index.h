@@ -14,6 +14,16 @@
 
 namespace modb::index {
 
+/// One element of a batched index-maintenance pass: install `attr` as the
+/// motion model of `id`, or remove `id` when `attr` is null. The pointed-to
+/// attribute must stay alive for the duration of the `ApplyDeltaBatch`
+/// call (the batch write path points into its own merged-attribute
+/// buffer rather than copying).
+struct IndexDelta {
+  core::ObjectId id = core::kInvalidObjectId;
+  const core::PositionAttribute* attr = nullptr;  // null = remove
+};
+
 /// Access method the database uses to answer range queries over moving
 /// objects. Implementations return a *superset* of the objects whose
 /// uncertainty interval can intersect the query region at time `t`
@@ -51,6 +61,28 @@ class ObjectIndex {
           objects) {
     for (const auto& [id, attr] : objects) {
       if (util::Status s = Upsert(id, attr); !s.ok()) return s;
+    }
+    return util::Status::Ok();
+  }
+
+  /// Applies a batch of deltas — the index-delta stage of the batched
+  /// write path. Deltas are applied in order; each object appears at most
+  /// once per batch (the database dedups to the final attribute before
+  /// calling). Implementations should validate every row first so a
+  /// failure (unknown route) leaves the index unchanged, and may group the
+  /// per-tree/per-band work so a batch costs less than the equivalent
+  /// `Upsert`/`Remove` loop — all three in-tree indexes do both. The
+  /// default is the plain loop, which stops at the first error with the
+  /// deltas before it applied; the database pre-validates every attribute,
+  /// so with an in-tree index a mid-batch failure is an internal-invariant
+  /// breach, not a reachable state.
+  virtual util::Status ApplyDeltaBatch(const std::vector<IndexDelta>& deltas) {
+    for (const IndexDelta& delta : deltas) {
+      if (delta.attr == nullptr) {
+        Remove(delta.id);
+        continue;
+      }
+      if (util::Status s = Upsert(delta.id, *delta.attr); !s.ok()) return s;
     }
     return util::Status::Ok();
   }

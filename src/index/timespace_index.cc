@@ -27,8 +27,14 @@ util::Status TimeSpaceIndex::Upsert(core::ObjectId id,
   // object's old plane intact.
   const auto route = network_->FindRoute(attr.route);
   if (!route.ok()) return route.status();
-  std::vector<geo::Box3> boxes =
-      BuildOPlaneBoxes(attr, **route, options_.oplane);
+  UpsertValidated(id, attr, **route);
+  return util::Status::Ok();
+}
+
+void TimeSpaceIndex::UpsertValidated(core::ObjectId id,
+                                     const core::PositionAttribute& attr,
+                                     const geo::Route& route) {
+  std::vector<geo::Box3> boxes = BuildOPlaneBoxes(attr, route, options_.oplane);
   // Drop the old o-plane (paper §4.2: remove the object id from the index
   // rectangles intersecting p1) ...
   auto it = boxes_by_object_.find(id);
@@ -48,6 +54,28 @@ util::Status TimeSpaceIndex::Upsert(core::ObjectId id,
   // ... and index the new one (insert into the rectangles intersecting p2).
   for (const geo::Box3& box : boxes) rtree_.Insert(box, id);
   boxes_by_object_[id] = std::move(boxes);
+}
+
+util::Status TimeSpaceIndex::ApplyDeltaBatch(
+    const std::vector<IndexDelta>& deltas) {
+  // Validate every row first so a failure leaves the index unchanged.
+  for (const IndexDelta& delta : deltas) {
+    if (delta.attr == nullptr) continue;
+    if (const auto route = network_->FindRoute(delta.attr->route);
+        !route.ok()) {
+      return route.status();
+    }
+  }
+  // One pass over the tree: the per-delta work is the same remove+reinsert
+  // as `Upsert`, minus the repeated validation.
+  for (const IndexDelta& delta : deltas) {
+    if (delta.attr == nullptr) {
+      Remove(delta.id);
+      continue;
+    }
+    const auto route = network_->FindRoute(delta.attr->route);
+    UpsertValidated(delta.id, *delta.attr, **route);
+  }
   return util::Status::Ok();
 }
 

@@ -56,6 +56,10 @@ class TimeSpaceIndex final : public ObjectIndex {
   util::Status BulkUpsert(
       const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
           objects) override;
+  /// Batched maintenance: validates every delta's route first (index
+  /// unchanged on failure), then applies the remove+reinsert passes over
+  /// the one tree without the per-call validation overhead.
+  util::Status ApplyDeltaBatch(const std::vector<IndexDelta>& deltas) override;
   std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
                                          core::Time t) const override;
   std::vector<core::ObjectId> CandidatesInWindow(const geo::Polygon& region,
@@ -80,6 +84,11 @@ class TimeSpaceIndex final : public ObjectIndex {
   RTree3& rtree_for_testing() { return rtree_; }
 
  private:
+  /// Shared tail of `Upsert` and `ApplyDeltaBatch`: drop the old o-plane,
+  /// index the new one. `route` must already be resolved for `attr`.
+  void UpsertValidated(core::ObjectId id, const core::PositionAttribute& attr,
+                       const geo::Route& route);
+
   const geo::RouteNetwork* network_;
   Options options_;
   RTree3 rtree_;

@@ -178,7 +178,13 @@ util::Status VelocityPartitionedIndex::Upsert(
   // handled error in every build mode and leaves the index unchanged.
   const auto route = network_->FindRoute(attr.route);
   if (!route.ok()) return route.status();
+  ApplyOneValidated(id, attr, **route, nullptr);
+  return MaybeTriggerBanding();
+}
 
+void VelocityPartitionedIndex::ApplyOneValidated(
+    core::ObjectId id, const core::PositionAttribute& attr,
+    const geo::Route& route, std::vector<std::uint8_t>* touched) {
   const auto it = objects_.find(id);
   std::size_t target;
   if (it == objects_.end()) {
@@ -205,10 +211,11 @@ util::Status VelocityPartitionedIndex::Upsert(
   }
 
   Band& dst = *bands_[target];
-  std::vector<geo::Box3> boxes = BuildOPlaneBoxes(attr, **route, dst.oplane);
+  std::vector<geo::Box3> boxes = BuildOPlaneBoxes(attr, route, dst.oplane);
 
   if (it != objects_.end()) {
-    Band& src = *bands_[it->second.band];
+    const std::size_t source = it->second.band;
+    Band& src = *bands_[source];
     RemoveBoxes(src, id, it->second.boxes);
     --src.objects;
     for (const geo::Box3& box : boxes) dst.tree.Insert(box, id);
@@ -216,16 +223,27 @@ util::Status VelocityPartitionedIndex::Upsert(
     it->second.band = target;
     it->second.attr = attr;
     it->second.boxes = std::move(boxes);
-    if (&src != &dst) SyncBandGauges(src);
-    SyncBandGauges(dst);
+    if (touched != nullptr) {
+      (*touched)[source] = 1;
+      (*touched)[target] = 1;
+    } else {
+      if (&src != &dst) SyncBandGauges(src);
+      SyncBandGauges(dst);
+    }
   } else {
     for (const geo::Box3& box : boxes) dst.tree.Insert(box, id);
     ++dst.objects;
     objects_.emplace(id,
                      ObjectState{target, attr, std::move(boxes)});
-    SyncBandGauges(dst);
+    if (touched != nullptr) {
+      (*touched)[target] = 1;
+    } else {
+      SyncBandGauges(dst);
+    }
   }
+}
 
+util::Status VelocityPartitionedIndex::MaybeTriggerBanding() {
   // Lazy quantile derivation for incrementally built fleets: once enough
   // objects arrived, band the fleet and rebuild (one-time cost, amortised
   // by the packed STR load).
@@ -238,13 +256,52 @@ util::Status VelocityPartitionedIndex::Upsert(
 }
 
 void VelocityPartitionedIndex::Remove(core::ObjectId id) {
+  RemoveInternal(id, nullptr);
+}
+
+void VelocityPartitionedIndex::RemoveInternal(
+    core::ObjectId id, std::vector<std::uint8_t>* touched) {
   const auto it = objects_.find(id);
   if (it == objects_.end()) return;
-  Band& band = *bands_[it->second.band];
+  const std::size_t source = it->second.band;
+  Band& band = *bands_[source];
   RemoveBoxes(band, id, it->second.boxes);
   --band.objects;
   objects_.erase(it);
-  SyncBandGauges(band);
+  if (touched != nullptr) {
+    (*touched)[source] = 1;
+  } else {
+    SyncBandGauges(band);
+  }
+}
+
+util::Status VelocityPartitionedIndex::ApplyDeltaBatch(
+    const std::vector<IndexDelta>& deltas) {
+  // Validate every row first so a failure leaves the index unchanged.
+  for (const IndexDelta& delta : deltas) {
+    if (delta.attr == nullptr) continue;
+    if (const auto route = network_->FindRoute(delta.attr->route);
+        !route.ok()) {
+      return route.status();
+    }
+  }
+  // Apply with gauge syncing deferred: each touched band syncs once at the
+  // end instead of once (or twice, on migration) per delta.
+  std::vector<std::uint8_t> touched(bands_.size(), 0);
+  for (const IndexDelta& delta : deltas) {
+    if (delta.attr == nullptr) {
+      RemoveInternal(delta.id, &touched);
+      continue;
+    }
+    const auto route = network_->FindRoute(delta.attr->route);
+    ApplyOneValidated(delta.id, *delta.attr, **route, &touched);
+  }
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    if (touched[b] != 0) SyncBandGauges(*bands_[b]);
+  }
+  // One banding-trigger evaluation per batch (a rebuild re-syncs every
+  // band gauge itself).
+  return MaybeTriggerBanding();
 }
 
 util::Status VelocityPartitionedIndex::BulkUpsert(

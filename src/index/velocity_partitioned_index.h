@@ -1,6 +1,7 @@
 #ifndef MODB_INDEX_VELOCITY_PARTITIONED_INDEX_H_
 #define MODB_INDEX_VELOCITY_PARTITIONED_INDEX_H_
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
@@ -91,6 +92,11 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   util::Status BulkUpsert(
       const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
           objects) override;
+  /// Batched maintenance grouped per band: all rows validated first (index
+  /// unchanged on failure), gauge syncing deferred to one pass over the
+  /// touched bands, and the lazy banding trigger evaluated once per batch
+  /// instead of once per delta.
+  util::Status ApplyDeltaBatch(const std::vector<IndexDelta>& deltas) override;
   std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
                                          core::Time t) const override;
   std::vector<core::ObjectId> CandidatesInWindow(const geo::Polygon& region,
@@ -157,6 +163,18 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   void RemoveBoxes(Band& band, core::ObjectId id,
                    const std::vector<geo::Box3>& boxes);
   void SyncBandGauges(Band& band);
+  /// Shared core of `Upsert` and `ApplyDeltaBatch`: band selection with
+  /// hysteresis, box replacement, migration accounting. `route` must be
+  /// resolved for `attr`. A non-null `touched` defers gauge syncing — the
+  /// touched band indexes are marked instead of synced per call.
+  void ApplyOneValidated(core::ObjectId id, const core::PositionAttribute& attr,
+                         const geo::Route& route,
+                         std::vector<std::uint8_t>* touched);
+  /// `Remove` with the same deferred-gauge option as `ApplyOneValidated`.
+  void RemoveInternal(core::ObjectId id, std::vector<std::uint8_t>* touched);
+  /// Runs the lazy quantile banding once enough objects arrived (see the
+  /// class comment); evaluated per upsert, or once per delta batch.
+  util::Status MaybeTriggerBanding();
 
   const geo::RouteNetwork* network_;
   Options options_;

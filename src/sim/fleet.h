@@ -1,6 +1,7 @@
 #ifndef MODB_SIM_FLEET_H_
 #define MODB_SIM_FLEET_H_
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -28,6 +29,14 @@ struct FleetOptions {
   /// Verify, at every tick, that each vehicle's true position lies inside
   /// the uncertainty interval the database would answer with.
   bool verify_bounds = true;
+  /// Uplink batching: how many delivered messages accumulate before the
+  /// channel flushes them into the database as one `ApplyUpdateBatch`
+  /// call. 1 is the historical per-update channel; larger values model a
+  /// base station coalescing a window of messages (flushed when full and
+  /// unconditionally at the end of every tick, so no update outlives its
+  /// tick). The final store state is identical for any value — batching
+  /// only changes how the write path is driven.
+  std::size_t update_batch_size = 1;
 };
 
 /// Aggregate outcome of a fleet run.

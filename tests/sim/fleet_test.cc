@@ -128,6 +128,43 @@ TEST_F(FleetTest, LosslessDeterministicAcrossRuns) {
   EXPECT_EQ(run_once(1), run_once(2));  // seed only affects the channel
 }
 
+TEST_F(FleetTest, BatchedChannelMatchesPerUpdateChannel) {
+  // The uplink batch size must only change how the write path is driven,
+  // never what lands in the database or what the vehicles mirror.
+  auto run_once = [this](std::size_t batch_size) {
+    auto db = std::make_unique<db::ModDatabase>(&network_);
+    FleetOptions options;
+    options.update_batch_size = batch_size;
+    options.message_loss_probability = 0.1;  // loss interleaves with batching
+    FleetSimulator fleet(db.get(), options);
+    util::Rng rng(23);
+    for (core::ObjectId id = 0; id < 8; ++id) {
+      fleet.AddVehicle(
+          MakeVehicle(id, rng, core::PolicyKind::kAverageImmediateLinear));
+    }
+    EXPECT_TRUE(fleet.RegisterAll().ok());
+    EXPECT_TRUE(fleet.Run().ok());
+    EXPECT_EQ(fleet.stats().bound_violations, 0u);
+    return std::make_pair(std::move(db), fleet.stats());
+  };
+  auto [db1, stats1] = run_once(1);
+  for (const std::size_t batch : {std::size_t{3}, std::size_t{64}}) {
+    auto [dbn, statsn] = run_once(batch);
+    EXPECT_EQ(statsn.messages_attempted, stats1.messages_attempted);
+    EXPECT_EQ(statsn.messages_lost, stats1.messages_lost);
+    EXPECT_EQ(dbn->num_objects(), db1->num_objects());
+    db1->ForEachRecord([&](const db::MovingObjectRecord& record) {
+      const auto other = dbn->Get(record.id);
+      ASSERT_TRUE(other.ok());
+      EXPECT_EQ((*other)->attr.start_time, record.attr.start_time);
+      EXPECT_EQ((*other)->attr.start_route_distance,
+                record.attr.start_route_distance);
+      EXPECT_EQ((*other)->attr.route, record.attr.route);
+      EXPECT_EQ((*other)->update_count, record.update_count);
+    });
+  }
+}
+
 TEST_F(FleetTest, MixedFleetWithItineraries) {
   db::ModDatabase db(&network_);
   FleetOptions options;
