@@ -24,6 +24,7 @@
 
 #include "db/mod_database.h"
 #include "db/query_language.h"
+#include "db/subscription_engine.h"
 #include "db/snapshot.h"
 #include "db/statistics.h"
 #include "geo/route_network.h"
@@ -62,6 +63,12 @@ constexpr const char* kHelp = R"(commands:
                                         SELECT ALL INSIDE RECT(0,0,9,9) AT 5
                                         POSITION OF 7 AT 6
                                         NEAREST 3 TO POINT(1,2) AT 4
+  SUBSCRIBE / UNSUBSCRIBE / EVENTS      standing queries on the update
+                                        stream, e.g.
+                                        SUBSCRIBE 1 TO MUST INSIDE
+                                          RECT(0,-1,20,1) DURING 0 TO 30
+                                        EVENTS   (drains transition events)
+                                        UNSUBSCRIBE 1
   save <path>                           write a snapshot
   load <path>                           replace state from a snapshot
   help                                  this text
@@ -86,6 +93,16 @@ class Shell {
   void Reset() {
     network_ = std::make_unique<modb::geo::RouteNetwork>();
     db_ = std::make_unique<modb::db::ModDatabase>(network_.get());
+    AttachSubscriptions();
+  }
+
+  // Standing queries don't survive a reset or a snapshot load: the engine
+  // tracks per-object state against the live store, so a replaced store
+  // gets a fresh (empty) engine.
+  void AttachSubscriptions() {
+    subscriptions_ =
+        std::make_unique<modb::db::SubscriptionEngine>(network_.get());
+    db_->AttachSubscriptions(subscriptions_.get());
   }
 
   // Returns false to quit.
@@ -97,7 +114,8 @@ class Shell {
     if (cmd == "quit" || cmd == "exit") return false;
     // Textual query language pass-through. Keywords must be uppercase so
     // the lowercase `nearest` built-in stays reachable.
-    if (cmd == "SELECT" || cmd == "POSITION" || cmd == "NEAREST") {
+    if (cmd == "SELECT" || cmd == "POSITION" || cmd == "NEAREST" ||
+        cmd == "SUBSCRIBE" || cmd == "UNSUBSCRIBE" || cmd == "EVENTS") {
       const auto result = modb::db::ExecuteQuery(*db_, line);
       std::printf("%s\n", result.ok() ? result->c_str()
                                       : result.status().ToString().c_str());
@@ -234,6 +252,7 @@ class Shell {
       }
       network_ = std::move(loaded->network);
       db_ = std::move(loaded->database);
+      AttachSubscriptions();
       std::printf("ok: %zu routes, %zu objects\n", network_->size(),
                   db_->num_objects());
     } else {
@@ -262,6 +281,7 @@ class Shell {
 
   std::unique_ptr<modb::geo::RouteNetwork> network_;
   std::unique_ptr<modb::db::ModDatabase> db_;
+  std::unique_ptr<modb::db::SubscriptionEngine> subscriptions_;
 };
 
 }  // namespace

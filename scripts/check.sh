@@ -32,6 +32,9 @@ ctest --preset default -j "$jobs"
 echo "== E16 smoke: staged batch ingest shape check =="
 build/bench/exp_update_throughput --smoke
 
+echo "== E17 smoke: continuous-query matching shape check =="
+build/bench/exp_continuous_query --smoke
+
 if [[ "$run_asan" == 1 ]]; then
   echo "== AddressSanitizer gate =="
   cmake --preset asan

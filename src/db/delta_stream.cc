@@ -1,0 +1,16 @@
+#include "db/delta_stream.h"
+
+namespace modb::db {
+
+void AppendDirtyBoxes(const core::PositionAttribute& attr,
+                      const geo::RouteNetwork& network,
+                      const index::OPlaneOptions& oplane,
+                      std::vector<geo::Box3>* out) {
+  const auto route = network.FindRoute(attr.route);
+  if (!route.ok()) return;
+  std::vector<geo::Box3> boxes =
+      index::BuildOPlaneBoxes(attr, **route, oplane);
+  out->insert(out->end(), boxes.begin(), boxes.end());
+}
+
+}  // namespace modb::db

@@ -1,0 +1,67 @@
+#ifndef MODB_DB_DELTA_STREAM_H_
+#define MODB_DB_DELTA_STREAM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/position_attribute.h"
+#include "core/types.h"
+#include "geo/box.h"
+#include "geo/route_network.h"
+#include "index/oplane.h"
+
+namespace modb::db {
+
+/// One committed attribute transition on the database's delta stream: the
+/// motion model of `id` changed from `before` to `after`. A null `before`
+/// is an insert, a null `after` an erase (never both null).
+///
+/// Unlike `index::IndexDelta` — which carries only each object's *final*
+/// per-batch attribute because the index serves nothing but the current
+/// model — the delta stream is per record: a batch that updates the same
+/// object twice produces two transitions, chained through the intermediate
+/// attribute, exactly as sequential ingest would. Continuous queries need
+/// that chain (a mid-batch excursion through a region is an enter+leave
+/// pair, not silence), so the stream must not be collapsed by the stage-4
+/// supersede dedup.
+struct AttributeDelta {
+  /// Input slot of the record within the originating call (0 for
+  /// single-record mutations). The sharded layer rewrites shard-local
+  /// ordinals back to global input slots before merging event streams.
+  std::size_t ordinal = 0;
+  core::ObjectId id = core::kInvalidObjectId;
+  const core::PositionAttribute* before = nullptr;  // null = insert
+  const core::PositionAttribute* after = nullptr;   // null = erase
+};
+
+/// Observer of committed mutations. Implementations are invoked by
+/// `ModDatabase` after a mutation fully commits (map + index), in the same
+/// thread, under whatever exclusion the database itself runs under — the
+/// consumer inherits the database's thread-compatibility contract and
+/// needs no locking of its own when the caller serialises writes.
+///
+/// The pointed-to attributes are only valid for the duration of the call.
+class DeltaConsumer {
+ public:
+  virtual ~DeltaConsumer() = default;
+
+  /// `deltas` arrive ordered by `ordinal` (ascending input slot).
+  virtual void OnDeltaBatch(std::span<const AttributeDelta> deltas) = 0;
+};
+
+/// Appends a conservative 3-D cover of every (position, time) the motion
+/// model `attr` can occupy within `oplane.horizon` of its start time: the
+/// o-plane slab boxes of §4.1.1, one per time slab. Consumers that index
+/// standing predicates as 3-D boxes (subscription matcher, result cache)
+/// intersect these against their own boxes to find the predicates a delta
+/// can possibly affect. An unknown route appends nothing (the database
+/// never commits such an attribute).
+void AppendDirtyBoxes(const core::PositionAttribute& attr,
+                      const geo::RouteNetwork& network,
+                      const index::OPlaneOptions& oplane,
+                      std::vector<geo::Box3>* out);
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_DELTA_STREAM_H_

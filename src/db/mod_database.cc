@@ -4,6 +4,9 @@
 
 #include "core/bounds.h"
 #include "core/uncertainty.h"
+#include "db/delta_stream.h"
+#include "db/result_cache.h"
+#include "db/subscription_engine.h"
 #include "db/wal.h"
 #include "index/linear_scan_index.h"
 #include "index/timespace_index.h"
@@ -77,6 +80,47 @@ void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
   index_->SetMetrics(registry, prefix + "index.");
 }
 
+void ModDatabase::AttachDeltaConsumer(DeltaConsumer* consumer) {
+  if (consumer == nullptr) return;
+  if (std::find(consumers_.begin(), consumers_.end(), consumer) !=
+      consumers_.end()) {
+    return;
+  }
+  consumers_.push_back(consumer);
+}
+
+void ModDatabase::DetachDeltaConsumer(DeltaConsumer* consumer) {
+  consumers_.erase(
+      std::remove(consumers_.begin(), consumers_.end(), consumer),
+      consumers_.end());
+}
+
+void ModDatabase::AttachSubscriptions(SubscriptionEngine* engine) {
+  if (subscriptions_ != nullptr) DetachDeltaConsumer(subscriptions_);
+  subscriptions_ = engine;
+  AttachDeltaConsumer(engine);
+}
+
+void ModDatabase::AttachResultCache(RangeQueryCache* cache) {
+  if (result_cache_ != nullptr) DetachDeltaConsumer(result_cache_);
+  result_cache_ = cache;
+  AttachDeltaConsumer(cache);
+}
+
+void ModDatabase::NotifyDeltas(std::span<const AttributeDelta> deltas) {
+  if (deltas.empty()) return;
+  for (DeltaConsumer* consumer : consumers_) {
+    consumer->OnDeltaBatch(deltas);
+  }
+}
+
+RangeAnswer ModDatabase::QueryRangeCached(const geo::Polygon& region,
+                                          core::Time t) const {
+  if (result_cache_ == nullptr) return QueryRange(region, t);
+  return result_cache_->GetOrCompute(
+      region, t, [&] { return QueryRange(region, t); });
+}
+
 util::Status ModDatabase::ValidateAttribute(
     const core::PositionAttribute& attr) const {
   const auto route = network_->FindRoute(attr.route);
@@ -121,6 +165,10 @@ util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
       records_.erase(id);
       return s;
     }
+  }
+  if (!bulk_ingest_ && !consumers_.empty()) {
+    const AttributeDelta delta{0, id, nullptr, &attr};
+    NotifyDeltas({&delta, 1});
   }
   if (inserts_ != nullptr) inserts_->Increment();
   return util::Status::Ok();
@@ -206,6 +254,17 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
       for (const auto& [id, attr] : for_index) records_.erase(id);
       return s;
     }
+  }
+  if (!bulk_ingest_ && !consumers_.empty()) {
+    // One insert transition per row, in input order (`for_index` was
+    // built in input order).
+    std::vector<AttributeDelta> stream;
+    stream.reserve(for_index.size());
+    for (std::size_t i = 0; i < for_index.size(); ++i) {
+      stream.push_back(
+          AttributeDelta{i, for_index[i].first, nullptr, &for_index[i].second});
+    }
+    NotifyDeltas(stream);
   }
   if (inserts_ != nullptr) inserts_->Increment(for_index.size());
   return util::Status::Ok();
@@ -390,6 +449,29 @@ UpdateBatchResult ModDatabase::ApplyUpdateBatch(
 
   // Success bookkeeping, deferred to here so the rollback above never has
   // to unwind it.
+  if (!bulk_ingest_ && !consumers_.empty()) {
+    // Per-record transition stream, chained through the batch-local
+    // intermediate attributes: record i's `before` is the previous
+    // accepted merged attribute of the same object (or the saved
+    // pre-batch attribute on first touch), NOT the stage-4 deduped final
+    // — so a batch notifies exactly what sequential ingest would, and a
+    // superseded mid-batch excursion through a region still reports its
+    // enter/leave pair instead of a spurious or missing transition.
+    std::vector<AttributeDelta> stream;
+    stream.reserve(num_accepted);
+    std::unordered_map<core::ObjectId, const core::PositionAttribute*> prev;
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (!accepted[i]) continue;
+      const auto [pit, first_touch] =
+          prev.try_emplace(updates[i].object, nullptr);
+      const core::PositionAttribute* before =
+          first_touch ? &saved[saved_of.find(updates[i].object)->second].attr
+                      : pit->second;
+      stream.push_back(AttributeDelta{i, updates[i].object, before, &merged[i]});
+      pit->second = &merged[i];
+    }
+    NotifyDeltas(stream);
+  }
   for (std::size_t i = 0; i < updates.size(); ++i) {
     if (accepted[i]) log_.Append(updates[i]);
   }
@@ -431,8 +513,13 @@ util::Status ModDatabase::Erase(core::ObjectId id) {
     }
   }
   // Stage 3: mutate; stage 4: index-delta.
+  const core::PositionAttribute before = it->second.attr;
   records_.erase(it);
   if (!bulk_ingest_) index_->Remove(id);
+  if (!bulk_ingest_ && !consumers_.empty()) {
+    const AttributeDelta delta{0, id, &before, nullptr};
+    NotifyDeltas({&delta, 1});
+  }
   if (erases_ != nullptr) erases_->Increment();
   return util::Status::Ok();
 }

@@ -25,6 +25,10 @@
 namespace modb::db {
 
 class WalWriter;
+class DeltaConsumer;
+struct AttributeDelta;
+class SubscriptionEngine;
+class RangeQueryCache;
 
 /// Per-record outcome of `ApplyUpdateBatch` (index-aligned with the input
 /// batch). Validation failures are per-record: the rejected record gets its
@@ -239,6 +243,36 @@ class ModDatabase {
   void AttachWal(WalWriter* wal) { wal_ = wal; }
   WalWriter* wal() const { return wal_; }
 
+  /// Registers a delta-stream consumer (non-owning; must outlive the
+  /// attachment). Consumers are notified after every committed mutation —
+  /// insert, update batch, erase — with the ordered per-record attribute
+  /// transitions (see `AttributeDelta`: the stream is per record, not
+  /// per-object deduped, so batched and sequential ingest notify
+  /// identically). Recovery-style paths that bypass the index
+  /// (bulk-ingest sessions, `RestoreTrajectory`) do not notify; finish
+  /// recovery before attaching consumers. No-op when already attached.
+  void AttachDeltaConsumer(DeltaConsumer* consumer);
+  void DetachDeltaConsumer(DeltaConsumer* consumer);
+
+  /// Convenience: attaches `engine` as a delta consumer and remembers it
+  /// as *the* subscription engine, which the query language's SUBSCRIBE /
+  /// UNSUBSCRIBE / EVENTS statements resolve through `subscriptions()`.
+  /// nullptr detaches the previous engine.
+  void AttachSubscriptions(SubscriptionEngine* engine);
+  SubscriptionEngine* subscriptions() const { return subscriptions_; }
+
+  /// Convenience: attaches `cache` as a delta consumer and routes
+  /// `QueryRangeCached` through it. nullptr detaches the previous cache.
+  /// The cache's matcher horizon must be >= this database's
+  /// `oplane_horizon` (see `RangeQueryCache`'s horizon contract).
+  void AttachResultCache(RangeQueryCache* cache);
+  RangeQueryCache* result_cache() const { return result_cache_; }
+
+  /// `QueryRange` through the attached result cache: byte-identical
+  /// answers (the cache is invalidated by the delta stream), falling back
+  /// to a plain `QueryRange` when no cache is attached.
+  RangeAnswer QueryRangeCached(const geo::Polygon& region, core::Time t) const;
+
   /// Invokes `fn` on every stored record (unspecified order). Used by the
   /// snapshot writer and statistics tooling.
   void ForEachRecord(
@@ -255,6 +289,9 @@ class ModDatabase {
   void CountIndexProbe() const {
     if (index_probes_ != nullptr) index_probes_->Increment();
   }
+  /// Fans a committed mutation's transition stream out to every attached
+  /// consumer (the pointed-to attributes live only for the call).
+  void NotifyDeltas(std::span<const AttributeDelta> deltas);
 
   const geo::RouteNetwork* network_;
   ModDatabaseOptions options_;
@@ -262,6 +299,10 @@ class ModDatabase {
   std::unique_ptr<index::ObjectIndex> index_;
   UpdateLog log_;
   WalWriter* wal_ = nullptr;  // non-owning, see AttachWal
+  // Delta-stream fan-out (all non-owning, see AttachDeltaConsumer).
+  std::vector<DeltaConsumer*> consumers_;
+  SubscriptionEngine* subscriptions_ = nullptr;
+  RangeQueryCache* result_cache_ = nullptr;
   bool bulk_ingest_ = false;  // index updates deferred, see BeginBulkIngest
   // Metrics attachment, remembered so a rebuilt index (FinishBulkIngest)
   // re-registers its instruments. Non-owning, may be null.

@@ -99,12 +99,20 @@ class Parser {
   util::Result<ParsedQuery> Parse() {
     const Token& head = Peek();
     if (head.kind != TokenKind::kWord) {
-      return Error("expected POSITION, SELECT, or NEAREST");
+      return Error(
+          "expected POSITION, SELECT, NEAREST, SUBSCRIBE, UNSUBSCRIBE, or "
+          "EVENTS");
     }
     util::Result<ParsedQuery> query = [&]() -> util::Result<ParsedQuery> {
       if (head.word == "POSITION") return ParsePosition();
       if (head.word == "SELECT") return ParseRange();
       if (head.word == "NEAREST") return ParseNearest();
+      if (head.word == "SUBSCRIBE") return ParseSubscribe();
+      if (head.word == "UNSUBSCRIBE") return ParseUnsubscribe();
+      if (head.word == "EVENTS") {
+        Advance();
+        return ParsedQuery{EventsSpec{}};
+      }
       return Error("unknown query verb '" + head.word + "'");
     }();
     if (!query.ok()) return query;
@@ -186,6 +194,47 @@ class Parser {
     return ParsedQuery{spec};
   }
 
+  // Shared by SELECT and SUBSCRIBE: region := RECT(...) | CIRCLE(...).
+  util::Status ParseRegion(geo::Polygon* region, std::string* region_text) {
+    char text[96];
+    if (ConsumeWord("RECT")) {
+      double v[4];
+      if (util::Status s = ParseNumberList(4, v); !s.ok()) return s;
+      *region = geo::Polygon::Rectangle(v[0], v[1], v[2], v[3]);
+      std::snprintf(text, sizeof(text), "RECT(%g, %g, %g, %g)", v[0], v[1],
+                    v[2], v[3]);
+    } else if (ConsumeWord("CIRCLE")) {
+      double v[3];
+      if (util::Status s = ParseNumberList(3, v); !s.ok()) return s;
+      if (v[2] <= 0.0) return ErrorStatus("circle radius must be positive");
+      *region = geo::Polygon::RegularNGon({v[0], v[1]}, v[2], 32);
+      std::snprintf(text, sizeof(text), "CIRCLE(%g, %g, %g)", v[0], v[1],
+                    v[2]);
+    } else {
+      return ErrorStatus("expected RECT or CIRCLE");
+    }
+    *region_text = text;
+    return util::Status::Ok();
+  }
+
+  // Shared by SELECT and SUBSCRIBE: when := AT <t> | DURING <t1> TO <t2>.
+  util::Status ParseWhen(bool* windowed, core::Time* time,
+                         core::Time* window_end) {
+    if (ConsumeWord("AT")) {
+      if (util::Status s = ExpectNumber(time); !s.ok()) return s;
+      *windowed = false;
+      return util::Status::Ok();
+    }
+    if (ConsumeWord("DURING")) {
+      if (util::Status s = ExpectNumber(time); !s.ok()) return s;
+      if (util::Status s = ExpectWord("TO"); !s.ok()) return s;
+      if (util::Status s = ExpectNumber(window_end); !s.ok()) return s;
+      *windowed = true;
+      return util::Status::Ok();
+    }
+    return ErrorStatus("expected AT <time> or DURING <t1> TO <t2>");
+  }
+
   util::Result<ParsedQuery> ParseRange() {
     Advance();  // SELECT
     RangeQuerySpec spec;
@@ -199,37 +248,61 @@ class Parser {
       return Error("expected ALL, MUST, or MAY after SELECT");
     }
     if (util::Status s = ExpectWord("INSIDE"); !s.ok()) return s;
-
-    char region_text[96];
-    if (ConsumeWord("RECT")) {
-      double v[4];
-      if (util::Status s = ParseNumberList(4, v); !s.ok()) return s;
-      spec.region = geo::Polygon::Rectangle(v[0], v[1], v[2], v[3]);
-      std::snprintf(region_text, sizeof(region_text),
-                    "RECT(%g, %g, %g, %g)", v[0], v[1], v[2], v[3]);
-    } else if (ConsumeWord("CIRCLE")) {
-      double v[3];
-      if (util::Status s = ParseNumberList(3, v); !s.ok()) return s;
-      if (v[2] <= 0.0) return Error("circle radius must be positive");
-      spec.region = geo::Polygon::RegularNGon({v[0], v[1]}, v[2], 32);
-      std::snprintf(region_text, sizeof(region_text), "CIRCLE(%g, %g, %g)",
-                    v[0], v[1], v[2]);
-    } else {
-      return Error("expected RECT or CIRCLE");
+    if (util::Status s = ParseRegion(&spec.region, &spec.region_text);
+        !s.ok()) {
+      return s;
     }
-    spec.region_text = region_text;
-
-    if (ConsumeWord("AT")) {
-      if (util::Status s = ExpectNumber(&spec.time); !s.ok()) return s;
-      spec.windowed = false;
-    } else if (ConsumeWord("DURING")) {
-      if (util::Status s = ExpectNumber(&spec.time); !s.ok()) return s;
-      if (util::Status s = ExpectWord("TO"); !s.ok()) return s;
-      if (util::Status s = ExpectNumber(&spec.window_end); !s.ok()) return s;
-      spec.windowed = true;
-    } else {
-      return Error("expected AT <time> or DURING <t1> TO <t2>");
+    if (util::Status s =
+            ParseWhen(&spec.windowed, &spec.time, &spec.window_end);
+        !s.ok()) {
+      return s;
     }
+    return ParsedQuery{spec};
+  }
+
+  util::Result<ParsedQuery> ParseSubscribe() {
+    Advance();  // SUBSCRIBE
+    double id = 0.0;
+    if (util::Status s = ExpectNumber(&id); !s.ok()) return s;
+    if (id < 0.0 || id != std::floor(id)) {
+      return Error("subscription id must be a nonnegative integer");
+    }
+    if (util::Status s = ExpectWord("TO"); !s.ok()) return s;
+    SubscribeSpec spec;
+    spec.id = static_cast<SubscriptionId>(id);
+    if (ConsumeWord("ALL")) {
+      spec.subscription.mode = SubscriptionMode::kAll;
+    } else if (ConsumeWord("MUST")) {
+      spec.subscription.mode = SubscriptionMode::kMust;
+    } else if (ConsumeWord("MAY")) {
+      spec.subscription.mode = SubscriptionMode::kMay;
+    } else {
+      return Error("expected ALL, MUST, or MAY after TO");
+    }
+    if (util::Status s = ExpectWord("INSIDE"); !s.ok()) return s;
+    if (util::Status s = ParseRegion(&spec.subscription.region,
+                                     &spec.subscription.region_text);
+        !s.ok()) {
+      return s;
+    }
+    if (util::Status s =
+            ParseWhen(&spec.subscription.windowed, &spec.subscription.time,
+                      &spec.subscription.window_end);
+        !s.ok()) {
+      return s;
+    }
+    return ParsedQuery{spec};
+  }
+
+  util::Result<ParsedQuery> ParseUnsubscribe() {
+    Advance();  // UNSUBSCRIBE
+    double id = 0.0;
+    if (util::Status s = ExpectNumber(&id); !s.ok()) return s;
+    if (id < 0.0 || id != std::floor(id)) {
+      return Error("subscription id must be a nonnegative integer");
+    }
+    UnsubscribeSpec spec;
+    spec.id = static_cast<SubscriptionId>(id);
     return ParsedQuery{spec};
   }
 
@@ -342,6 +415,34 @@ std::string FormatNearest(const NearestQuerySpec& spec,
   return out;
 }
 
+std::string FormatSubscribed(const SubscribeSpec& spec) {
+  const SubscriptionSpec& sub = spec.subscription;
+  char buf[192];
+  if (sub.windowed) {
+    std::snprintf(buf, sizeof(buf), "subscribed %llu: %s inside %s during "
+                  "[%g, %g]",
+                  static_cast<unsigned long long>(spec.id),
+                  std::string(SubscriptionModeName(sub.mode)).c_str(),
+                  sub.region_text.c_str(), sub.time, sub.window_end);
+  } else {
+    std::snprintf(buf, sizeof(buf), "subscribed %llu: %s inside %s at t=%g",
+                  static_cast<unsigned long long>(spec.id),
+                  std::string(SubscriptionModeName(sub.mode)).c_str(),
+                  sub.region_text.c_str(), sub.time);
+  }
+  return buf;
+}
+
+util::Result<SubscriptionEngine*> EngineOf(const ModDatabase& db) {
+  SubscriptionEngine* engine = db.subscriptions();
+  if (engine == nullptr) {
+    return util::Status::FailedPrecondition(
+        "no subscription engine attached (see "
+        "ModDatabase::AttachSubscriptions)");
+  }
+  return engine;
+}
+
 }  // namespace
 
 util::Result<ParsedQuery> ParseQuery(std::string_view text) {
@@ -369,10 +470,39 @@ util::Result<std::string> ExecuteQuery(const ModDatabase& db,
     }
     return FormatRange(*range, db.QueryRange(range->region, range->time));
   }
-  const auto& nearest = std::get<NearestQuerySpec>(*parsed);
-  return FormatNearest(nearest,
-                       db.QueryNearest(nearest.point, nearest.k,
-                                       nearest.time));
+  if (const auto* nearest = std::get_if<NearestQuerySpec>(&*parsed)) {
+    return FormatNearest(*nearest,
+                         db.QueryNearest(nearest->point, nearest->k,
+                                         nearest->time));
+  }
+  if (const auto* subscribe = std::get_if<SubscribeSpec>(&*parsed)) {
+    auto engine = EngineOf(db);
+    if (!engine.ok()) return engine.status();
+    if (util::Status status =
+            (*engine)->Subscribe(subscribe->id, subscribe->subscription);
+        !status.ok()) {
+      return status;
+    }
+    return FormatSubscribed(*subscribe);
+  }
+  if (const auto* unsubscribe = std::get_if<UnsubscribeSpec>(&*parsed)) {
+    auto engine = EngineOf(db);
+    if (!engine.ok()) return engine.status();
+    if (util::Status status = (*engine)->Unsubscribe(unsubscribe->id);
+        !status.ok()) {
+      return status;
+    }
+    return "unsubscribed " + std::to_string(unsubscribe->id);
+  }
+  auto engine = EngineOf(db);  // EventsSpec
+  if (!engine.ok()) return engine.status();
+  std::string out = "events:";
+  const auto events = (*engine)->TakeEvents();
+  if (events.empty()) return out + " (none)";
+  for (const auto& event : events) {
+    out += "\n  " + event.ToString();
+  }
+  return out;
 }
 
 }  // namespace modb::db

@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "db/mod_database.h"
+#include "db/subscription_engine.h"
 #include "geo/polygon.h"
 #include "util/status.h"
 
@@ -18,20 +19,32 @@ namespace modb::db {
 //
 // Grammar (keywords case-insensitive; numbers are plain doubles):
 //
-//   query    := position | range | nearest
-//   position := POSITION OF <id> AT <time>
-//   range    := SELECT scope INSIDE region when
-//   scope    := ALL | MUST | MAY
-//   when     := AT <time> | DURING <t1> TO <t2>
-//   nearest  := NEAREST <k> TO point AT <time>
-//   region   := RECT ( x0 , y0 , x1 , y1 ) | CIRCLE ( x , y , r )
-//   point    := POINT ( x , y )
+//   query     := position | range | nearest | subscribe | unsubscribe
+//              | events
+//   position  := POSITION OF <id> AT <time>
+//   range     := SELECT scope INSIDE region when
+//   scope     := ALL | MUST | MAY
+//   when      := AT <time> | DURING <t1> TO <t2>
+//   nearest   := NEAREST <k> TO point AT <time>
+//   subscribe := SUBSCRIBE <id> TO scope INSIDE region when
+//   unsubscribe := UNSUBSCRIBE <id>
+//   events    := EVENTS
+//   region    := RECT ( x0 , y0 , x1 , y1 ) | CIRCLE ( x , y , r )
+//   point     := POINT ( x , y )
 //
 // Examples:
 //   POSITION OF 7 AT 6
 //   SELECT MUST INSIDE RECT(0, -1, 20, 1) AT 6
 //   SELECT ALL INSIDE CIRCLE(3, 4, 1.5) DURING 10 TO 20
 //   NEAREST 3 TO POINT(5, 5) AT 12
+//   SUBSCRIBE 42 TO MAY INSIDE RECT(0, -1, 20, 1) AT 6
+//   UNSUBSCRIBE 42
+//   EVENTS
+//
+// SUBSCRIBE registers a standing query on the database's attached
+// `SubscriptionEngine` (scope maps to the engine's transition mode);
+// EVENTS drains the engine's pending transition events. Both fail with
+// FailedPrecondition when no engine is attached.
 
 /// Parsed form of `POSITION OF <id> AT <t>`.
 struct PositionQuerySpec {
@@ -57,8 +70,23 @@ struct NearestQuerySpec {
   core::Time time = 0.0;
 };
 
+/// Parsed form of `SUBSCRIBE <id> TO <scope> INSIDE <region> <when>`.
+struct SubscribeSpec {
+  SubscriptionId id = 0;
+  SubscriptionSpec subscription;
+};
+
+/// Parsed form of `UNSUBSCRIBE <id>`.
+struct UnsubscribeSpec {
+  SubscriptionId id = 0;
+};
+
+/// Parsed form of `EVENTS`.
+struct EventsSpec {};
+
 using ParsedQuery =
-    std::variant<PositionQuerySpec, RangeQuerySpec, NearestQuerySpec>;
+    std::variant<PositionQuerySpec, RangeQuerySpec, NearestQuerySpec,
+                 SubscribeSpec, UnsubscribeSpec, EventsSpec>;
 
 /// Parses `text` into a query, or InvalidArgument with a message that
 /// points at the offending token.

@@ -1,0 +1,128 @@
+#include "db/result_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace modb::db {
+
+namespace {
+
+// Exact (bitwise) key of a range query: region vertices + time in
+// hexfloat, so no two distinct queries collide.
+std::string KeyOf(const geo::Polygon& region, core::Time t) {
+  std::string key;
+  key.reserve(region.size() * 48 + 24);
+  char buf[64];
+  for (const geo::Point2& v : region.vertices()) {
+    std::snprintf(buf, sizeof(buf), "%a,%a;", v.x, v.y);
+    key += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "@%a", t);
+  key += buf;
+  return key;
+}
+
+}  // namespace
+
+RangeQueryCache::RangeQueryCache(const geo::RouteNetwork* network,
+                                 Options options)
+    : network_(network), options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+void RangeQueryCache::SetMetrics(util::MetricsRegistry* registry,
+                                 const std::string& prefix) {
+  if (registry == nullptr) {
+    hits_counter_ = nullptr;
+    misses_counter_ = nullptr;
+    invalidations_counter_ = nullptr;
+    return;
+  }
+  hits_counter_ = registry->GetCounter(prefix + "hits");
+  misses_counter_ = registry->GetCounter(prefix + "misses");
+  invalidations_counter_ = registry->GetCounter(prefix + "invalidations");
+}
+
+RangeAnswer RangeQueryCache::GetOrCompute(
+    const geo::Polygon& region, core::Time t,
+    const std::function<RangeAnswer()>& compute) {
+  const std::string key = KeyOf(region, t);
+  {
+    std::unique_lock lock(mu_);
+    const auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      if (hits_counter_ != nullptr) hits_counter_->Increment();
+      return it->second->answer;
+    }
+    ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
+  }
+
+  // Compute outside the cache mutex: the owning database's lock regime
+  // guarantees no delta can commit while any reader is in flight (writers
+  // need the exclusive lock), so the computed answer cannot go stale
+  // between here and the insert below.
+  RangeAnswer answer = compute();
+
+  std::unique_lock lock(mu_);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    // A concurrent reader of the same query beat us to the insert.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return answer;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.box = geo::Box3(region.BoundingBox(), t, t);
+  entry.answer = answer;
+  lru_.push_front(std::move(entry));
+  by_key_.emplace(lru_.front().key, lru_.begin());
+  while (lru_.size() > options_.capacity) {
+    by_key_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return answer;
+}
+
+void RangeQueryCache::OnDeltaBatch(std::span<const AttributeDelta> deltas) {
+  std::unique_lock lock(mu_);
+  if (lru_.empty()) return;
+  std::vector<geo::Box3> dirty;
+  for (const AttributeDelta& delta : deltas) {
+    if (delta.before != nullptr) {
+      AppendDirtyBoxes(*delta.before, *network_, options_.matcher, &dirty);
+    }
+    if (delta.after != nullptr) {
+      AppendDirtyBoxes(*delta.after, *network_, options_.matcher, &dirty);
+    }
+  }
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const bool stale = std::any_of(
+        dirty.begin(), dirty.end(),
+        [&](const geo::Box3& box) { return box.Intersects(it->box); });
+    if (stale) {
+      ++invalidations_;
+      if (invalidations_counter_ != nullptr) {
+        invalidations_counter_->Increment();
+      }
+      by_key_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RangeQueryCache::Clear() {
+  std::unique_lock lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+}
+
+std::size_t RangeQueryCache::size() const {
+  std::unique_lock lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace modb::db

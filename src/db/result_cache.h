@@ -1,0 +1,109 @@
+#ifndef MODB_DB_RESULT_CACHE_H_
+#define MODB_DB_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/types.h"
+#include "db/delta_stream.h"
+#include "db/query.h"
+#include "geo/polygon.h"
+#include "index/oplane.h"
+#include "util/metrics.h"
+
+namespace modb::db {
+
+/// Hot ad-hoc result cache for instantaneous range queries, invalidated by
+/// the same delta stream that drives the subscription engine.
+///
+/// Entries are keyed by the exact query (region vertices + time, bitwise)
+/// and carry the query's 3-D box (region bounding box at the time slice);
+/// a committed delta evicts every entry whose box intersects the delta's
+/// o-plane dirty boxes — the same conservative cover the subscription
+/// matcher joins against — so a hit is always byte-identical to
+/// recomputing. Eviction is LRU at `Options::capacity`.
+///
+/// Horizon contract: `matcher.horizon` must be at least the database's
+/// `oplane_horizon`. The cache serves the same query-visibility window the
+/// o-plane indexes implement — an answer at a time further than the
+/// horizon past an object's last report is out of contract for the tree
+/// indexes (they drop the object entirely), and the cache inherits that.
+///
+/// Thread notes: lookups and invalidation are already serialised by the
+/// owning database's locking (readers hold the shard's shared lock, the
+/// delta stream runs under its exclusive lock); the internal mutex only
+/// protects the LRU structure from concurrent readers.
+class RangeQueryCache final : public DeltaConsumer {
+ public:
+  struct Options {
+    /// Maximum cached answers (>= 1; 0 is promoted to 1).
+    std::size_t capacity = 64;
+    /// Dirty-box cover for invalidation; see the horizon contract above.
+    index::OPlaneOptions matcher;
+
+    Options() {
+      matcher.horizon = 120.0;
+      matcher.slab_width = 10.0;
+    }
+  };
+
+  /// `network` must outlive the cache.
+  RangeQueryCache(const geo::RouteNetwork* network, Options options);
+
+  RangeQueryCache(const RangeQueryCache&) = delete;
+  RangeQueryCache& operator=(const RangeQueryCache&) = delete;
+
+  /// Returns the cached answer for (region, t), or runs `compute`, caches
+  /// its answer, and returns it.
+  RangeAnswer GetOrCompute(const geo::Polygon& region, core::Time t,
+                           const std::function<RangeAnswer()>& compute);
+
+  /// Delta-stream hook: evicts every entry a committed transition can
+  /// affect.
+  void OnDeltaBatch(std::span<const AttributeDelta> deltas) override;
+
+  void Clear();
+  std::size_t size() const;
+
+  /// Registers counters `<prefix>hits`, `<prefix>misses`,
+  /// `<prefix>invalidations`; nullptr detaches. Shared across caches given
+  /// the same registry and prefix (the sharded layer's per-shard caches).
+  void SetMetrics(util::MetricsRegistry* registry,
+                  const std::string& prefix = "sub.cache.");
+
+  /// Lifetime totals, kept locally so tests need no registry.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    geo::Box3 box;  // region bbox at the time slice — the eviction key
+    RangeAnswer answer;
+  };
+
+  const geo::RouteNetwork* network_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+  // Optional instruments (see SetMetrics); non-owning, may be null.
+  util::Counter* hits_counter_ = nullptr;
+  util::Counter* misses_counter_ = nullptr;
+  util::Counter* invalidations_counter_ = nullptr;
+};
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_RESULT_CACHE_H_

@@ -54,6 +54,37 @@ void SortMayWithProbabilities(std::vector<core::ObjectId>* may,
   *probability = std::move(sorted_prob);
 }
 
+// Defensive cross-shard dedup: every object is owned by exactly one shard,
+// so a duplicate in a merged answer would mean shard-straddling state
+// (e.g. an entry outliving a membership change in some shard-local cache).
+// The merge dedups regardless, keeping the answer well-formed and the
+// merge deterministic. Inputs must be sorted by id; for MAY the first
+// occurrence's probability is kept.
+void DedupSortedIds(std::vector<core::ObjectId>* ids) {
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+void DedupMayWithProbabilities(std::vector<core::ObjectId>* may,
+                               std::vector<double>* probability) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < may->size(); ++i) {
+    if (out > 0 && (*may)[i] == (*may)[out - 1]) continue;
+    (*may)[out] = (*may)[i];
+    (*probability)[out] = (*probability)[i];
+    ++out;
+  }
+  may->resize(out);
+  probability->resize(out);
+}
+
+// Deterministic cross-shard event order within one mutation call: input
+// record slot first, then subscription id. At most one event exists per
+// (record, subscription) pair, so the key is total.
+bool EventOrder(const SubscriptionEvent& a, const SubscriptionEvent& b) {
+  if (a.ordinal != b.ordinal) return a.ordinal < b.ordinal;
+  return a.subscription < b.subscription;
+}
+
 }  // namespace
 
 ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
@@ -75,6 +106,24 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
     auto shard = std::make_unique<Shard>();
     shard->db = std::make_unique<ModDatabase>(network, options.db);
     shard->db->SetMetrics(&metrics_);  // shards share the mod.* counters
+    if (options.enable_subscriptions) {
+      shard->subscriptions = std::make_unique<SubscriptionEngine>(
+          network, options.subscriptions);
+      // Engines share the sub.* instruments, like the mod.* aggregation.
+      shard->subscriptions->SetMetrics(&metrics_, "sub.");
+      shard->db->AttachSubscriptions(shard->subscriptions.get());
+    }
+    if (options.result_cache_entries > 0) {
+      RangeQueryCache::Options cache_options;
+      cache_options.capacity = options.result_cache_entries;
+      // Invalidation must cover everything the index can still surface
+      // (the RangeQueryCache horizon contract).
+      cache_options.matcher.horizon =
+          std::max(cache_options.matcher.horizon, options.db.oplane_horizon);
+      shard->cache = std::make_unique<RangeQueryCache>(network, cache_options);
+      shard->cache->SetMetrics(&metrics_, "sub.cache.");
+      shard->db->AttachResultCache(shard->cache.get());
+    }
     shards_.push_back(std::move(shard));
   }
 
@@ -148,26 +197,38 @@ util::Status ShardedModDatabase::Insert(core::ObjectId id, std::string label,
                                         const core::PositionAttribute& attr) {
   Shard& shard = *shards_[ShardOf(id)];
   std::unique_lock lock(shard.mu);
-  return shard.db->Insert(id, std::move(label), attr);
+  util::Status status = shard.db->Insert(id, std::move(label), attr);
+  if (shard.subscriptions != nullptr) {
+    // Published while still holding the shard lock so events of
+    // serialised same-shard mutations never invert.
+    PublishShardEvents(shard.subscriptions->TakeEvents());
+  }
+  return status;
 }
 
 util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
   // Reject cross-shard duplicate ids up front (per-shard BulkInsert only
-  // sees its own partition).
+  // sees its own partition). `rows[s][j]` is the global input slot of
+  // shard s's j-th row, for the event-ordinal rewrite below.
   std::vector<std::vector<BulkObject>> partitions(shards_.size());
+  std::vector<std::vector<std::size_t>> rows(shards_.size());
   {
     std::unordered_map<core::ObjectId, bool> batch_ids;
-    for (BulkObject& object : objects) {
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      BulkObject& object = objects[i];
       if (batch_ids.contains(object.id)) {
         return util::Status::AlreadyExists("object " +
                                            std::to_string(object.id));
       }
       batch_ids.emplace(object.id, true);
-      partitions[ShardOf(object.id)].push_back(std::move(object));
+      const std::size_t s = ShardOf(object.id);
+      rows[s].push_back(i);
+      partitions[s].push_back(std::move(object));
     }
   }
 
   std::vector<util::Status> statuses(shards_.size());
+  std::vector<std::vector<SubscriptionEvent>> shard_events(shards_.size());
   FanOut([&](std::size_t s) {
     if (partitions[s].empty()) return;
     Shard& shard = *shards_[s];
@@ -175,6 +236,11 @@ util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     // Copied (not moved) into the shard so the partition is still around
     // for cross-shard rollback below.
     statuses[s] = shard.db->BulkInsert(partitions[s]);
+    if (shard.subscriptions != nullptr) {
+      // Held back until the whole call is known to succeed; discarded on
+      // rollback below.
+      shard_events[s] = shard.subscriptions->TakeEvents();
+    }
   });
 
   util::Status first_error;
@@ -184,15 +250,35 @@ util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
       break;
     }
   }
-  if (first_error.ok()) return util::Status::Ok();
+  if (first_error.ok()) {
+    std::vector<SubscriptionEvent> merged_events;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      for (SubscriptionEvent& event : shard_events[s]) {
+        event.ordinal = rows[s][event.ordinal];
+        merged_events.push_back(std::move(event));
+      }
+    }
+    if (!merged_events.empty()) {
+      std::sort(merged_events.begin(), merged_events.end(), EventOrder);
+      PublishShardEvents(std::move(merged_events));
+    }
+    return util::Status::Ok();
+  }
 
-  // Atomicity across shards: undo the partitions that did load.
+  // Atomicity across shards: undo the partitions that did load. The undo
+  // erases re-notify the shard engines; those events (and the held-back
+  // insert events) describe a batch that never happened, so both are
+  // drained and dropped — engine membership state round-trips to Outside
+  // either way.
   FanOut([&](std::size_t s) {
     if (partitions[s].empty() || !statuses[s].ok()) return;
     Shard& shard = *shards_[s];
     std::unique_lock lock(shard.mu);
     for (const BulkObject& object : partitions[s]) {
       (void)shard.db->Erase(object.id);
+    }
+    if (shard.subscriptions != nullptr) {
+      (void)shard.subscriptions->TakeEvents();
     }
   });
   return first_error;
@@ -203,7 +289,11 @@ util::Status ShardedModDatabase::ApplyUpdate(
   util::ScopedLatencyTimer timer(latency_update_);
   Shard& shard = *shards_[ShardOf(update.object)];
   std::unique_lock lock(shard.mu);
-  return shard.db->ApplyUpdate(update);
+  util::Status status = shard.db->ApplyUpdate(update);
+  if (shard.subscriptions != nullptr) {
+    PublishShardEvents(shard.subscriptions->TakeEvents());
+  }
+  return status;
 }
 
 UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
@@ -227,11 +317,17 @@ UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
   }
 
   std::vector<UpdateBatchResult> per_shard(shards_.size());
+  std::vector<std::vector<SubscriptionEvent>> shard_events(shards_.size());
   FanOut([&](std::size_t s) {
     if (parts[s].empty()) return;
     Shard& shard = *shards_[s];
     std::unique_lock lock(shard.mu);
     per_shard[s] = shard.db->ApplyUpdateBatch(parts[s]);
+    if (shard.subscriptions != nullptr) {
+      // Drained under the shard's exclusive lock, so the run contains
+      // exactly this call's events — no cross-call mixing.
+      shard_events[s] = shard.subscriptions->TakeEvents();
+    }
   });
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -241,13 +337,101 @@ UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
     result.applied += per_shard[s].applied;
     result.rejected += per_shard[s].rejected;
   }
+
+  // Merge the per-shard event runs into one deterministic stream: rewrite
+  // shard-local ordinals back to global input slots (members[s][j] is the
+  // input slot of shard s's j-th record), then order by (slot,
+  // subscription) — independent of shard count and fan-out timing.
+  std::vector<SubscriptionEvent> merged_events;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (SubscriptionEvent& event : shard_events[s]) {
+      event.ordinal = members[s][event.ordinal];
+      merged_events.push_back(std::move(event));
+    }
+  }
+  if (!merged_events.empty()) {
+    std::sort(merged_events.begin(), merged_events.end(), EventOrder);
+    PublishShardEvents(std::move(merged_events));
+  }
   return result;
 }
 
 util::Status ShardedModDatabase::Erase(core::ObjectId id) {
   Shard& shard = *shards_[ShardOf(id)];
   std::unique_lock lock(shard.mu);
-  return shard.db->Erase(id);
+  util::Status status = shard.db->Erase(id);
+  if (shard.subscriptions != nullptr) {
+    PublishShardEvents(shard.subscriptions->TakeEvents());
+  }
+  return status;
+}
+
+bool ShardedModDatabase::subscriptions_enabled() const {
+  return shards_[0]->subscriptions != nullptr;
+}
+
+util::Status ShardedModDatabase::Subscribe(SubscriptionId id,
+                                           const SubscriptionSpec& spec) {
+  if (!subscriptions_enabled()) {
+    return util::Status::FailedPrecondition(
+        "subscriptions are not enabled on this database");
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mu);
+    util::Status status = shard.subscriptions->Subscribe(id, spec);
+    if (!status.ok()) {
+      lock.unlock();
+      // All-or-nothing: withdraw from the shards already registered.
+      for (std::size_t r = 0; r < s; ++r) {
+        Shard& undo = *shards_[r];
+        std::unique_lock undo_lock(undo.mu);
+        (void)undo.subscriptions->Unsubscribe(id);
+      }
+      return status;
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status ShardedModDatabase::Unsubscribe(SubscriptionId id) {
+  if (!subscriptions_enabled()) {
+    return util::Status::FailedPrecondition(
+        "subscriptions are not enabled on this database");
+  }
+  // Every shard holds the same registry, so the statuses agree; the first
+  // one is the answer.
+  util::Status first;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mu);
+    util::Status status = shard.subscriptions->Unsubscribe(id);
+    if (s == 0) first = std::move(status);
+  }
+  return first;
+}
+
+std::size_t ShardedModDatabase::num_subscriptions() const {
+  if (!subscriptions_enabled()) return 0;
+  const Shard& shard = *shards_[0];
+  std::shared_lock lock(shard.mu);
+  return shard.subscriptions->num_subscriptions();
+}
+
+void ShardedModDatabase::PublishShardEvents(
+    std::vector<SubscriptionEvent> events) {
+  if (events.empty()) return;
+  std::lock_guard lock(events_mu_);
+  pending_events_.insert(pending_events_.end(),
+                         std::make_move_iterator(events.begin()),
+                         std::make_move_iterator(events.end()));
+}
+
+std::vector<SubscriptionEvent> ShardedModDatabase::TakeSubscriptionEvents() {
+  std::lock_guard lock(events_mu_);
+  std::vector<SubscriptionEvent> out = std::move(pending_events_);
+  pending_events_.clear();
+  return out;
 }
 
 util::Result<PositionAnswer> ShardedModDatabase::QueryPosition(
@@ -273,7 +457,24 @@ RangeAnswer ShardedModDatabase::QueryRange(const geo::Polygon& region,
     std::shared_lock lock(shard.mu);
     per_shard[s] = shard.db->QueryRange(region, t);
   });
+  return MergeRangeAnswers(std::move(per_shard), t);
+}
 
+RangeAnswer ShardedModDatabase::QueryRangeCached(const geo::Polygon& region,
+                                                 core::Time t) const {
+  queries_range_->Increment();
+  util::ScopedLatencyTimer timer(latency_range_);
+  std::vector<RangeAnswer> per_shard(shards_.size());
+  FanOut([&](std::size_t s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mu);
+    per_shard[s] = shard.db->QueryRangeCached(region, t);
+  });
+  return MergeRangeAnswers(std::move(per_shard), t);
+}
+
+RangeAnswer ShardedModDatabase::MergeRangeAnswers(
+    std::vector<RangeAnswer> per_shard, core::Time t) {
   RangeAnswer merged;
   merged.query_time = t;
   for (RangeAnswer& a : per_shard) {
@@ -285,7 +486,9 @@ RangeAnswer ShardedModDatabase::QueryRange(const geo::Polygon& region,
                                   a.may_probability.end());
   }
   std::sort(merged.must.begin(), merged.must.end());
+  DedupSortedIds(&merged.must);
   SortMayWithProbabilities(&merged.may, &merged.may_probability);
+  DedupMayWithProbabilities(&merged.may, &merged.may_probability);
   return merged;
 }
 
@@ -343,6 +546,8 @@ IntervalRangeAnswer ShardedModDatabase::QueryRangeInterval(
   }
   std::sort(merged.may.begin(), merged.may.end());
   std::sort(merged.must_at_some_time.begin(), merged.must_at_some_time.end());
+  DedupSortedIds(&merged.may);
+  DedupSortedIds(&merged.must_at_some_time);
   return merged;
 }
 

@@ -3,6 +3,7 @@
 
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -10,6 +11,8 @@
 
 #include "db/mod_database.h"
 #include "db/recovery.h"
+#include "db/result_cache.h"
+#include "db/subscription_engine.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -42,6 +45,19 @@ struct ShardedModDatabaseOptions {
   std::string durable_dir;
   /// WAL + checkpoint knobs, used when `durable_dir` is set.
   DurabilityOptions durability;
+  /// Continuous queries: when true, every shard gets its own
+  /// `SubscriptionEngine` on its delta stream; `Subscribe` registers a
+  /// standing query on all of them (each shard matches only the objects it
+  /// owns) and `TakeSubscriptionEvents` drains the deterministically
+  /// merged event stream.
+  bool enable_subscriptions = false;
+  /// Options for the per-shard engines (`enable_subscriptions` only). The
+  /// matcher horizon should match `db.oplane_horizon` (both default 120).
+  SubscriptionEngine::Options subscriptions;
+  /// Hot ad-hoc result cache: entries per shard for `QueryRangeCached`
+  /// (0 disables — cached queries fall back to plain fan-out). The
+  /// cache's invalidation horizon is clamped up to `db.oplane_horizon`.
+  std::size_t result_cache_entries = 0;
 };
 
 /// Concurrency layer over `ModDatabase`: N shards keyed by ObjectId hash,
@@ -106,6 +122,9 @@ class ShardedModDatabase {
   util::Result<PositionAnswer> QueryPosition(core::ObjectId id,
                                              core::Time t) const;
   RangeAnswer QueryRange(const geo::Polygon& region, core::Time t) const;
+  /// `QueryRange` through the per-shard result caches (byte-identical
+  /// answers; plain fan-out when caching is disabled).
+  RangeAnswer QueryRangeCached(const geo::Polygon& region, core::Time t) const;
   NearestAnswer QueryNearest(const geo::Point2& point, std::size_t k,
                              core::Time t) const;
   IntervalRangeAnswer QueryRangeInterval(
@@ -129,6 +148,22 @@ class ShardedModDatabase {
 
   /// Shard that owns `id` (stable hash; exposed for tests and tooling).
   std::size_t ShardOf(core::ObjectId id) const;
+
+  /// Registers a standing query on every shard (each shard's engine
+  /// matches the objects it owns). All-or-nothing: a failure on one shard
+  /// rolls the registration back everywhere. FailedPrecondition when
+  /// `enable_subscriptions` is off.
+  util::Status Subscribe(SubscriptionId id, const SubscriptionSpec& spec);
+  util::Status Unsubscribe(SubscriptionId id);
+  bool subscriptions_enabled() const;
+  std::size_t num_subscriptions() const;
+
+  /// Drains the merged cross-shard event stream (oldest mutation first).
+  /// Events of one mutation call are ordered deterministically — by input
+  /// record slot, then subscription id — regardless of shard count or
+  /// fan-out timing, so the stream is byte-identical to an unsharded
+  /// database fed the same mutations.
+  std::vector<SubscriptionEvent> TakeSubscriptionEvents();
 
   util::MetricsRegistry& metrics() { return metrics_; }
 
@@ -163,17 +198,37 @@ class ShardedModDatabase {
     // Owns the shard's WAL; declared after db (destroyed first) so the WAL
     // detaches from a still-live database.
     std::unique_ptr<DurabilityManager> durability;
+    // Continuous-query plumbing on this shard's delta stream (both may be
+    // null; non-owning pointers to them live in `db`, so they are declared
+    // after it and destroyed first only once `db` stops mutating — the
+    // destructor runs with no concurrent calls by the thread-compat
+    // contract).
+    std::unique_ptr<SubscriptionEngine> subscriptions;
+    std::unique_ptr<RangeQueryCache> cache;
   };
 
   /// Runs `per_shard(shard_index)` for every shard on the pool (inline
   /// when the pool is empty) and blocks until all shards finished.
   void FanOut(const std::function<void(std::size_t)>& per_shard) const;
 
+  /// Appends an already-merged event run to the pending stream under the
+  /// events mutex.
+  void PublishShardEvents(std::vector<SubscriptionEvent> events);
+
+  /// Merges per-shard range answers: concatenate, re-sort by id, dedup
+  /// (objects are shard-owned, so duplicates are defensive-only — see the
+  /// seeded multi-shard determinism tests).
+  static RangeAnswer MergeRangeAnswers(std::vector<RangeAnswer> per_shard,
+                                       core::Time t);
+
   const geo::RouteNetwork* network_;
   util::MetricsRegistry metrics_;
   util::Status durability_status_;
   RecoveryReport recovery_report_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Merged cross-shard subscription events awaiting TakeSubscriptionEvents.
+  std::mutex events_mu_;
+  std::vector<SubscriptionEvent> pending_events_;
   // Declared after shards_ (destroyed first) and mutable because fan-out
   // queries are logically const but need to schedule work.
   mutable util::ThreadPool pool_;

@@ -1,0 +1,200 @@
+#ifndef MODB_DB_SUBSCRIPTION_ENGINE_H_
+#define MODB_DB_SUBSCRIPTION_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "core/uncertainty.h"
+#include "db/delta_stream.h"
+#include "geo/polygon.h"
+#include "geo/route_network.h"
+#include "index/oplane.h"
+#include "index/rtree3.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace modb::db {
+
+using SubscriptionId = std::uint64_t;
+
+/// Which membership transitions a subscriber wants to hear about.
+///   kMay  — changes of "may be in G" (outside <-> may-or-must);
+///   kMust — changes of "must be in G";
+///   kAll  — every relation change, including MAY <-> MUST upgrades.
+enum class SubscriptionMode { kMay, kMust, kAll };
+
+std::string_view SubscriptionModeName(SubscriptionMode mode);
+
+/// A standing MAY/MUST region query: "notify me when an object's relation
+/// to `region` at the subscribed time (or within the subscribed window)
+/// changes". The same region/when shapes as the ad-hoc `SELECT` forms.
+struct SubscriptionSpec {
+  geo::Polygon region;
+  std::string region_text;      // original spelling, for echoing
+  bool windowed = false;
+  core::Time time = 0.0;        // AT form, or window start
+  core::Time window_end = 0.0;  // DURING form: [time, window_end]
+  SubscriptionMode mode = SubscriptionMode::kMay;
+};
+
+/// A membership-transition event: object `object`'s relation to
+/// subscription `subscription`'s region changed from `from` to `to` when
+/// the motion model starting at `at` was committed.
+struct SubscriptionEvent {
+  SubscriptionId subscription = 0;
+  core::ObjectId object = core::kInvalidObjectId;
+  core::RegionRelation from = core::RegionRelation::kOutside;
+  core::RegionRelation to = core::RegionRelation::kOutside;
+  /// Start time of the attribute version that caused the transition (the
+  /// commit "time" in the paper's instantaneous-update model).
+  core::Time at = 0.0;
+  /// Input slot of the causing record within its batch. Plumbing for the
+  /// sharded merge; not part of the event's identity (batched and
+  /// sequential ingest produce the same events with different ordinals).
+  std::size_t ordinal = 0;
+
+  /// Rendering without the ordinal — byte-comparable across ingest shapes.
+  std::string ToString() const;
+};
+
+/// Registry of standing MAY/MUST region queries, maintained incrementally
+/// from the database's delta stream (ROADMAP item 2; the update-stream
+/// architecture of MOIST, Jiang et al.).
+///
+/// The subscriptions are themselves indexed as a 3-D rectangle set — each
+/// subscription is one box (region bounding box x subscribed time range)
+/// in an `index::RTree3` — so a delta batch becomes a spatial join: for
+/// each record, the o-plane dirty boxes of its before/after attributes
+/// probe the subscription tree, and only the intersected subscriptions are
+/// re-evaluated. Subscribers receive MUST/MAY *transition* events
+/// (enter / leave / upgrade), not full result sets.
+///
+/// Determinism: the relation of an object to a subscription is a pure
+/// function of (current attribute, subscription spec) — `EvaluatePair`
+/// below — gated to the subscribed window clipped against
+/// [start, start + matcher.horizon] (the same visibility horizon the
+/// o-plane indexes implement). Because no global clock is involved, the
+/// event stream is byte-identical between incremental and naive-rescan
+/// modes and between batched and sequential ingest; the spatial join can
+/// only skip pairs whose relation is Outside before and after.
+///
+/// Thread-compatibility: not internally synchronised, same contract as
+/// `ModDatabase` (the sharded layer drives each shard's engine under that
+/// shard's exclusive lock).
+class SubscriptionEngine final : public DeltaConsumer {
+ public:
+  struct Options {
+    /// Horizon gate and dirty-box slabbing for the spatial join. The
+    /// horizon should match the database's `oplane_horizon` so standing
+    /// queries see exactly what ad-hoc queries see; the slab width only
+    /// trades join probes against precision (it does not affect which
+    /// events fire) and so defaults coarser than the index's.
+    index::OPlaneOptions matcher;
+    /// Sampling step for the MUST-at-some-instant half of windowed
+    /// subscriptions (same contract as `QueryRangeInterval`).
+    core::Duration must_sample_step = 1.0;
+    /// Evaluate every subscription against every record instead of the
+    /// spatial join — the E17 baseline. Event streams are identical.
+    bool naive_rescan = false;
+
+    Options() {
+      matcher.horizon = 120.0;
+      matcher.slab_width = 10.0;
+    }
+  };
+
+  /// `network` must outlive the engine.
+  SubscriptionEngine(const geo::RouteNetwork* network, Options options);
+  explicit SubscriptionEngine(const geo::RouteNetwork* network)
+      : SubscriptionEngine(network, Options{}) {}
+
+  SubscriptionEngine(const SubscriptionEngine&) = delete;
+  SubscriptionEngine& operator=(const SubscriptionEngine&) = delete;
+
+  /// Registers a standing query. AlreadyExists for a duplicate id,
+  /// InvalidArgument for a degenerate region. No catch-up scan is run:
+  /// membership state starts at Outside for every object, so the first
+  /// matching delta after Subscribe reports the enter transition. (Callers
+  /// that need the current result set run one ad-hoc query.)
+  util::Status Subscribe(SubscriptionId id, SubscriptionSpec spec);
+
+  /// Drops a standing query (NotFound when absent) and its tracked state.
+  util::Status Unsubscribe(SubscriptionId id);
+
+  bool contains(SubscriptionId id) const { return subs_.contains(id); }
+  std::size_t num_subscriptions() const { return subs_.size(); }
+
+  /// Delta-stream hook: re-evaluates affected subscriptions record by
+  /// record and buffers transition events. Within one record, events are
+  /// emitted in ascending subscription id; across records, in record
+  /// (ordinal) order.
+  void OnDeltaBatch(std::span<const AttributeDelta> deltas) override;
+
+  /// Drains the buffered events (oldest first).
+  std::vector<SubscriptionEvent> TakeEvents();
+  std::size_t num_pending_events() const { return events_.size(); }
+
+  /// Registers counters `<prefix>evals` (pair evaluations run),
+  /// `<prefix>evals_saved` (evaluations the spatial join skipped vs. a
+  /// naive rescan), `<prefix>events_emitted`, and the
+  /// `<prefix>match_latency_us` histogram (one OnDeltaBatch call).
+  /// nullptr detaches. Counters are shared across engines given the same
+  /// registry and prefix (the sharded layer's per-shard engines).
+  void SetMetrics(util::MetricsRegistry* registry,
+                  const std::string& prefix = "sub.");
+
+  /// Lifetime totals, also kept locally so tests need no registry.
+  std::uint64_t evals() const { return evals_; }
+  std::uint64_t evals_saved() const { return evals_saved_; }
+  std::uint64_t events_emitted() const { return events_emitted_; }
+
+  const Options& options() const { return options_; }
+
+  /// The tracked relation of `object` under subscription `id` (kOutside
+  /// for untracked pairs or unknown subscriptions). For tests.
+  core::RegionRelation RelationOf(SubscriptionId id,
+                                  core::ObjectId object) const;
+
+ private:
+  struct Subscription {
+    SubscriptionSpec spec;
+    geo::Box3 box;  // region bbox x [time, window_end] — the join key
+    // Tracked relation per object; absence means kOutside, so the map
+    // only holds objects currently MAY or MUST.
+    std::unordered_map<core::ObjectId, core::RegionRelation> state;
+  };
+
+  /// The pure relation function (see class comment). `route` is the
+  /// resolved route of `attr`.
+  core::RegionRelation EvaluatePair(const Subscription& sub,
+                                    const core::PositionAttribute& attr,
+                                    const geo::Route& route) const;
+
+  /// Re-evaluates one (subscription, record) pair: updates tracked state
+  /// and buffers an event when the transition passes the mode filter.
+  void EvaluateOne(SubscriptionId id, Subscription& sub,
+                   const AttributeDelta& delta, const geo::Route* route_after);
+
+  const geo::RouteNetwork* network_;
+  Options options_;
+  std::map<SubscriptionId, Subscription> subs_;  // ordered: deterministic
+  index::RTree3 sub_index_;
+  std::vector<SubscriptionEvent> events_;
+
+  std::uint64_t evals_ = 0;
+  std::uint64_t evals_saved_ = 0;
+  std::uint64_t events_emitted_ = 0;
+  // Optional instruments (see SetMetrics); non-owning, may be null.
+  util::Counter* evals_counter_ = nullptr;
+  util::Counter* evals_saved_counter_ = nullptr;
+  util::Counter* events_counter_ = nullptr;
+  util::LatencyHistogram* match_latency_ = nullptr;
+};
+
+}  // namespace modb::db
+
+#endif  // MODB_DB_SUBSCRIPTION_ENGINE_H_

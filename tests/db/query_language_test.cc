@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "db/subscription_engine.h"
+
 namespace modb::db {
 namespace {
 
@@ -72,6 +74,64 @@ TEST(ParseQueryTest, NegativeAndScientificNumbers) {
   EXPECT_TRUE(spec->region.Contains({0.0, -10.0}));
 }
 
+TEST(ParseQueryTest, SubscribeAtForm) {
+  const auto parsed =
+      ParseQuery("SUBSCRIBE 42 TO MAY INSIDE RECT(0, -1, 20, 1) AT 6");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<SubscribeSpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->id, 42u);
+  EXPECT_EQ(spec->subscription.mode, SubscriptionMode::kMay);
+  EXPECT_FALSE(spec->subscription.windowed);
+  EXPECT_DOUBLE_EQ(spec->subscription.time, 6.0);
+  EXPECT_TRUE(spec->subscription.region.Contains({10.0, 0.0}));
+  EXPECT_EQ(spec->subscription.region_text, "RECT(0, -1, 20, 1)");
+}
+
+TEST(ParseQueryTest, SubscribeDuringForm) {
+  const auto parsed = ParseQuery(
+      "subscribe 0 to must inside circle(5, 5, 2) during 10 to 20");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<SubscribeSpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->id, 0u);
+  EXPECT_EQ(spec->subscription.mode, SubscriptionMode::kMust);
+  EXPECT_TRUE(spec->subscription.windowed);
+  EXPECT_DOUBLE_EQ(spec->subscription.time, 10.0);
+  EXPECT_DOUBLE_EQ(spec->subscription.window_end, 20.0);
+}
+
+TEST(ParseQueryTest, SubscribeAcceptsNegativeCoordinatesAndTimes) {
+  const auto parsed = ParseQuery(
+      "SUBSCRIBE 1 TO ALL INSIDE RECT(-10, -10, -1, -1) AT -5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<SubscribeSpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_DOUBLE_EQ(spec->subscription.time, -5.0);
+  EXPECT_TRUE(spec->subscription.region.Contains({-5.0, -5.0}));
+}
+
+// A zero-area rectangle is grammatically fine — it parses; registration is
+// where semantic validation lives.
+TEST(ParseQueryTest, SubscribeEmptyRectParses) {
+  EXPECT_TRUE(
+      ParseQuery("SUBSCRIBE 1 TO MAY INSIDE RECT(5, 1, 5, 1) AT 6").ok());
+}
+
+TEST(ParseQueryTest, UnsubscribeForm) {
+  const auto parsed = ParseQuery("UNSUBSCRIBE 42");
+  ASSERT_TRUE(parsed.ok());
+  const auto* spec = std::get_if<UnsubscribeSpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->id, 42u);
+}
+
+TEST(ParseQueryTest, EventsForm) {
+  const auto parsed = ParseQuery("EVENTS");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(std::get_if<EventsSpec>(&*parsed), nullptr);
+}
+
 struct BadQueryCase {
   const char* name;
   const char* text;
@@ -107,7 +167,35 @@ INSTANTIATE_TEST_SUITE_P(
         BadQueryCase{"zero_k", "NEAREST 0 TO POINT(1,1) AT 5"},
         BadQueryCase{"fractional_k", "NEAREST 1.5 TO POINT(1,1) AT 5"},
         BadQueryCase{"trailing_garbage", "POSITION OF 1 AT 5 EXTRA"},
-        BadQueryCase{"stray_symbol", "POSITION OF 1 AT 5 ;"}),
+        BadQueryCase{"stray_symbol", "POSITION OF 1 AT 5 ;"},
+        BadQueryCase{"subscribe_missing_id",
+                     "SUBSCRIBE TO MAY INSIDE RECT(0,0,1,1) AT 5"},
+        BadQueryCase{"subscribe_negative_id",
+                     "SUBSCRIBE -1 TO MAY INSIDE RECT(0,0,1,1) AT 5"},
+        BadQueryCase{"subscribe_fractional_id",
+                     "SUBSCRIBE 1.5 TO MAY INSIDE RECT(0,0,1,1) AT 5"},
+        BadQueryCase{"subscribe_missing_to",
+                     "SUBSCRIBE 1 MAY INSIDE RECT(0,0,1,1) AT 5"},
+        BadQueryCase{"subscribe_bad_scope",
+                     "SUBSCRIBE 1 TO SOME INSIDE RECT(0,0,1,1) AT 5"},
+        BadQueryCase{"subscribe_missing_inside",
+                     "SUBSCRIBE 1 TO MAY RECT(0,0,1,1) AT 5"},
+        BadQueryCase{"subscribe_bad_region",
+                     "SUBSCRIBE 1 TO MAY INSIDE BLOB(0,0,1,1) AT 5"},
+        BadQueryCase{"subscribe_rect_arity",
+                     "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1) AT 5"},
+        BadQueryCase{"subscribe_zero_radius",
+                     "SUBSCRIBE 1 TO MAY INSIDE CIRCLE(0,0,0) AT 5"},
+        BadQueryCase{"subscribe_missing_when",
+                     "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1,1)"},
+        BadQueryCase{"subscribe_during_missing_to",
+                     "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1,1) DURING 1 2"},
+        BadQueryCase{"subscribe_trailing_garbage",
+                     "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1,1) AT 5 NOW"},
+        BadQueryCase{"unsubscribe_missing_id", "UNSUBSCRIBE"},
+        BadQueryCase{"unsubscribe_negative_id", "UNSUBSCRIBE -3"},
+        BadQueryCase{"unsubscribe_trailing", "UNSUBSCRIBE 3 4"},
+        BadQueryCase{"events_trailing", "EVENTS NOW"}),
     [](const testing::TestParamInfo<BadQueryCase>& info) {
       return info.param.name;
     });
@@ -200,6 +288,109 @@ TEST_F(ExecuteQueryTest, ParseErrorsPropagate) {
   const auto out = ExecuteQuery(db_, "SELECT nonsense");
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// ---- Standing queries through the language ----
+
+TEST_F(ExecuteQueryTest, SubscribeWithoutEngineIsFailedPrecondition) {
+  for (const char* statement :
+       {"SUBSCRIBE 1 TO MAY INSIDE RECT(0, -1, 50, 1) AT 6", "UNSUBSCRIBE 1",
+        "EVENTS"}) {
+    const auto out = ExecuteQuery(db_, statement);
+    EXPECT_FALSE(out.ok()) << statement;
+    EXPECT_EQ(out.status().code(), util::StatusCode::kFailedPrecondition)
+        << statement;
+  }
+}
+
+class ExecuteSubscribeTest : public ExecuteQueryTest {
+ protected:
+  ExecuteSubscribeTest() : engine_(&network_) {
+    db_.AttachSubscriptions(&engine_);
+  }
+
+  SubscriptionEngine engine_;
+};
+
+TEST_F(ExecuteSubscribeTest, SubscribeEchoesRegistration) {
+  const auto out =
+      ExecuteQuery(db_, "SUBSCRIBE 42 TO MAY INSIDE RECT(0, -1, 50, 1) AT 6");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "subscribed 42: MAY inside RECT(0, -1, 50, 1) at t=6");
+  EXPECT_TRUE(engine_.contains(42));
+
+  const auto windowed = ExecuteQuery(
+      db_, "SUBSCRIBE 43 TO ALL INSIDE CIRCLE(5, 5, 2) DURING 10 TO 20");
+  ASSERT_TRUE(windowed.ok());
+  EXPECT_EQ(*windowed,
+            "subscribed 43: ALL inside CIRCLE(5, 5, 2) during [10, 20]");
+}
+
+TEST_F(ExecuteSubscribeTest, DuplicateSubscribeSurfacesAlreadyExists) {
+  ASSERT_TRUE(
+      ExecuteQuery(db_, "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1,1) AT 5").ok());
+  const auto out =
+      ExecuteQuery(db_, "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,2,2) AT 5");
+  EXPECT_EQ(out.status().code(), util::StatusCode::kAlreadyExists);
+}
+
+// Degenerate regions and out-of-horizon instants are semantic conditions,
+// not crashes: an essentially-empty region registers and matches nothing,
+// a beyond-horizon subscription registers and never fires.
+TEST_F(ExecuteSubscribeTest, EmptyRegionExecutesWithoutCrash) {
+  for (const char* statement :
+       {"SUBSCRIBE 1 TO MAY INSIDE RECT(5, 1, 5, 1) AT 6",
+        "SUBSCRIBE 2 TO ALL INSIDE CIRCLE(5, 0, 1e-30) AT 6"}) {
+    const auto out = ExecuteQuery(db_, statement);
+    ASSERT_TRUE(out.ok()) << statement;  // grammatically fine
+  }
+  ASSERT_TRUE(db_.ApplyUpdate({7, 1.0, street_, 5.0, {5.0, 0.0},
+                               core::TravelDirection::kForward, 0.0})
+                  .ok());
+  const auto events = ExecuteQuery(db_, "EVENTS");
+  ASSERT_TRUE(events.ok());
+}
+
+TEST_F(ExecuteSubscribeTest, SubscribeBeyondHorizonNeverMatches) {
+  ASSERT_TRUE(
+      ExecuteQuery(db_, "SUBSCRIBE 1 TO ALL INSIDE RECT(0, -1, 200, 1) AT 1e6")
+          .ok());
+  ASSERT_TRUE(db_.ApplyUpdate({7, 1.0, street_, 20.0, {20.0, 0.0},
+                               core::TravelDirection::kForward, 1.0})
+                  .ok());
+  const auto events = ExecuteQuery(db_, "EVENTS");
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(*events, "events: (none)");
+}
+
+TEST_F(ExecuteSubscribeTest, EventsDrainsTransitions) {
+  ASSERT_TRUE(
+      ExecuteQuery(db_, "SUBSCRIBE 42 TO ALL INSIDE RECT(90, -1, 120, 1) AT 8")
+          .ok());
+  // Move object 7 so its position at the subscribed instant (t=8) lands
+  // inside [90, 120]: report at t=2 from distance 100, parked.
+  ASSERT_TRUE(db_.ApplyUpdate({7, 2.0, street_, 100.0, {100.0, 0.0},
+                               core::TravelDirection::kForward, 0.0})
+                  .ok());
+  const auto events = ExecuteQuery(db_, "EVENTS");
+  ASSERT_TRUE(events.ok());
+  EXPECT_NE(events->find("sub 42: object 7 outside->"), std::string::npos);
+  EXPECT_NE(events->find("at t=2"), std::string::npos);
+  // Drained: a second EVENTS is empty.
+  const auto again = ExecuteQuery(db_, "EVENTS");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, "events: (none)");
+}
+
+TEST_F(ExecuteSubscribeTest, UnsubscribeRemovesStandingQuery) {
+  ASSERT_TRUE(
+      ExecuteQuery(db_, "SUBSCRIBE 9 TO MAY INSIDE RECT(0,0,1,1) AT 5").ok());
+  const auto out = ExecuteQuery(db_, "UNSUBSCRIBE 9");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "unsubscribed 9");
+  EXPECT_FALSE(engine_.contains(9));
+  EXPECT_EQ(ExecuteQuery(db_, "UNSUBSCRIBE 9").status().code(),
+            util::StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -140,6 +140,62 @@ TEST_F(VelocityPartitionedIndexTest, MigratedObjectStaysQueryable) {
   EXPECT_EQ(index.remove_misses(), 0u);
 }
 
+// The delta-batch path must implement a re-band as a full remove+insert
+// pair: every old box leaves the source band's tree and the new model's
+// boxes land in the target band — no ghost entries, no lost object.
+TEST_F(VelocityPartitionedIndexTest, DeltaBatchRebandIsRemovePlusInsert) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 10.0, 1.0)).ok());
+  const std::size_t slow_entries = index.band_entry_count(0);
+  ASSERT_GT(slow_entries, 0u);
+
+  // Within the hysteresis envelope: same band, boxes replaced in place.
+  const auto wobble = AttrOnRoute(h0_, 12.0, 2.1, 2.0);
+  ASSERT_TRUE(index.ApplyDeltaBatch({{1, &wobble}}).ok());
+  EXPECT_EQ(*index.BandOf(1), 0u);
+  EXPECT_EQ(index.band_migrations(), 0u);
+  EXPECT_EQ(index.remove_misses(), 0u);
+
+  // Clear migration: the slow band must end up empty (remove half of the
+  // pair) and the highway band must hold the object (insert half).
+  const auto fast = AttrOnRoute(h0_, 20.0, 20.0, 4.0);
+  ASSERT_TRUE(index.ApplyDeltaBatch({{1, &fast}}).ok());
+  EXPECT_EQ(*index.BandOf(1), 2u);
+  EXPECT_EQ(index.band_migrations(), 1u);
+  EXPECT_EQ(index.remove_misses(), 0u);
+  EXPECT_EQ(index.band_entry_count(0), 0u);
+  EXPECT_EQ(index.band_object_count(0), 0u);
+  EXPECT_GT(index.band_entry_count(2), 0u);
+  EXPECT_EQ(index.band_object_count(2), 1u);
+
+  // Queries see exactly the new motion model.
+  const auto ahead = index.Candidates(
+      geo::Polygon::Rectangle(30.0, -5.0, 80.0, 5.0), 6.0);
+  ASSERT_EQ(ahead.size(), 1u);
+  const auto behind = index.Candidates(
+      geo::Polygon::Rectangle(0.0, -5.0, 15.0, 5.0), 0.0);
+  EXPECT_TRUE(behind.empty());
+}
+
+// A migration and an erase for the same object inside one batch: the
+// remove+insert pair from the re-band must not leave boxes behind for the
+// final remove to miss.
+TEST_F(VelocityPartitionedIndexTest, DeltaBatchRebandThenRemoveLeavesNothing) {
+  VelocityPartitionedIndex index(&network_, ExplicitBounds());
+  ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 10.0, 1.0)).ok());
+  ASSERT_TRUE(index.Upsert(2, AttrOnRoute(h1_, 10.0, 5.0)).ok());
+  const auto fast = AttrOnRoute(h0_, 20.0, 20.0, 4.0);
+  ASSERT_TRUE(
+      index.ApplyDeltaBatch({{1, &fast}, {1, nullptr}, {2, nullptr}}).ok());
+  EXPECT_EQ(index.num_objects(), 0u);
+  EXPECT_EQ(index.num_entries(), 0u);
+  EXPECT_EQ(index.remove_misses(), 0u);
+  EXPECT_EQ(index.band_migrations(), 1u);
+  for (std::size_t b = 0; b < index.num_bands(); ++b) {
+    EXPECT_EQ(index.band_object_count(b), 0u) << b;
+  }
+}
+
 TEST_F(VelocityPartitionedIndexTest, RemoveDropsAllBoxes) {
   VelocityPartitionedIndex index(&network_, ExplicitBounds());
   ASSERT_TRUE(index.Upsert(1, AttrOnRoute(h0_, 0.0, 0.5)).ok());
