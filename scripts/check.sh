@@ -35,6 +35,9 @@ build/bench/exp_update_throughput --smoke
 echo "== E17 smoke: continuous-query matching shape check =="
 build/bench/exp_continuous_query --smoke
 
+echo "== E18 smoke: shard failure-domain shape check =="
+build/bench/exp_fault_tolerance --smoke
+
 if [[ "$run_asan" == 1 ]]; then
   echo "== AddressSanitizer gate =="
   cmake --preset asan

@@ -11,6 +11,25 @@
 
 namespace modb::db {
 
+/// How much of the fleet an answer covers. A single-shard (unsharded)
+/// store always answers complete; the sharded store marks an answer
+/// partial when quarantined shards were excluded from the fan-out. The
+/// paper's asymmetry carries over to degraded reads: every id a healthy
+/// shard proves MUST is still provably inside (Props 2–4 hold per
+/// object), so MUST answers stay *sound* — they only lose completeness —
+/// while MAY answers lose both directions and must be treated as a lower
+/// bound on the candidate set.
+struct QueryCompleteness {
+  /// True when every shard contributed (the default, so answers from the
+  /// unsharded store read as complete without any wiring).
+  bool complete = true;
+  /// Shards whose objects the answer cannot speak for, ascending.
+  std::vector<std::size_t> excluded_shards;
+
+  friend bool operator==(const QueryCompleteness&,
+                         const QueryCompleteness&) = default;
+};
+
 /// Answer to "what is the current position of m?" (paper §1, §3.3): the
 /// database position plus the bound B on the deviation — the actual
 /// position is within `deviation_bound` route-distance of `position`,
@@ -56,6 +75,9 @@ struct NearestAnswer {
   /// Total candidates refined across every expanding index probe (the
   /// work the query did, not the final probe's yield).
   std::size_t candidates_examined = 0;
+  /// Fleet coverage; partial when quarantined shards were excluded (a
+  /// nearer object could live on an excluded shard).
+  QueryCompleteness completeness;
 };
 
 /// Answer to "retrieve the objects that are inside polygon G at some time
@@ -70,6 +92,8 @@ struct IntervalRangeAnswer {
   std::vector<core::ObjectId> may;
   std::vector<core::ObjectId> must_at_some_time;
   std::size_t candidates_examined = 0;
+  /// Fleet coverage; see `QueryCompleteness`.
+  QueryCompleteness completeness;
 };
 
 /// Answer to "retrieve the objects which are inside polygon G at time t0"
@@ -87,6 +111,9 @@ struct RangeAnswer {
   std::vector<double> may_probability;
   /// Candidates the index produced (for selectivity/benchmark accounting).
   std::size_t candidates_examined = 0;
+  /// Fleet coverage; see `QueryCompleteness`. MUST stays sound when
+  /// partial; MAY is incomplete.
+  QueryCompleteness completeness;
 };
 
 }  // namespace modb::db

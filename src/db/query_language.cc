@@ -235,6 +235,20 @@ class Parser {
     return ErrorStatus("expected AT <time> or DURING <t1> TO <t2>");
   }
 
+  // Optional trailing modifier on SELECT / NEAREST:
+  //   partiality := ALLOW PARTIAL | STRICT   (absent = STRICT)
+  util::Status ParsePartiality(bool* allow_partial) {
+    if (ConsumeWord("ALLOW")) {
+      if (util::Status s = ExpectWord("PARTIAL"); !s.ok()) return s;
+      *allow_partial = true;
+      return util::Status::Ok();
+    }
+    if (ConsumeWord("STRICT")) {
+      *allow_partial = false;
+    }
+    return util::Status::Ok();
+  }
+
   util::Result<ParsedQuery> ParseRange() {
     Advance();  // SELECT
     RangeQuerySpec spec;
@@ -255,6 +269,9 @@ class Parser {
     if (util::Status s =
             ParseWhen(&spec.windowed, &spec.time, &spec.window_end);
         !s.ok()) {
+      return s;
+    }
+    if (util::Status s = ParsePartiality(&spec.allow_partial); !s.ok()) {
       return s;
     }
     return ParsedQuery{spec};
@@ -324,6 +341,9 @@ class Parser {
     spec.k = static_cast<std::size_t>(k);
     spec.point = {v[0], v[1]};
     spec.time = t;
+    if (util::Status s = ParsePartiality(&spec.allow_partial); !s.ok()) {
+      return s;
+    }
     return ParsedQuery{spec};
   }
 
@@ -433,6 +453,37 @@ std::string FormatSubscribed(const SubscribeSpec& spec) {
   return buf;
 }
 
+// ---- Degraded-read plumbing (sharded executor) ----
+
+std::string ExcludedShardList(const QueryCompleteness& completeness) {
+  std::string out;
+  for (std::size_t s : completeness.excluded_shards) {
+    if (!out.empty()) out += ", ";
+    out += std::to_string(s);
+  }
+  return out;
+}
+
+// STRICT gate: a partial answer is refused with the typed Unavailable
+// unless the query opted in with ALLOW PARTIAL.
+util::Status PartialityGate(const QueryCompleteness& completeness,
+                            bool allow_partial) {
+  if (completeness.complete || allow_partial) return util::Status::Ok();
+  return util::Status::Unavailable(
+      "partial answer refused (STRICT): shard(s) " +
+      ExcludedShardList(completeness) +
+      " quarantined; retry later or query with ALLOW PARTIAL");
+}
+
+// Rendering suffix for an accepted partial answer. MUST entries are still
+// sound (each listed object provably satisfies the predicate); the lists
+// are lower bounds because the excluded shards' objects are unseen.
+std::string FormatCompleteness(const QueryCompleteness& completeness) {
+  if (completeness.complete) return "";
+  return "\n  partial (excluded shards: " + ExcludedShardList(completeness) +
+         "; listed MUST answers remain sound)";
+}
+
 util::Result<SubscriptionEngine*> EngineOf(const ModDatabase& db) {
   SubscriptionEngine* engine = db.subscriptions();
   if (engine == nullptr) {
@@ -498,6 +549,78 @@ util::Result<std::string> ExecuteQuery(const ModDatabase& db,
   if (!engine.ok()) return engine.status();
   std::string out = "events:";
   const auto events = (*engine)->TakeEvents();
+  if (events.empty()) return out + " (none)";
+  for (const auto& event : events) {
+    out += "\n  " + event.ToString();
+  }
+  return out;
+}
+
+util::Result<std::string> ExecuteQuery(ShardedModDatabase& db,
+                                       std::string_view text) {
+  const auto parsed = ParseQuery(text);
+  if (!parsed.ok()) return parsed.status();
+
+  if (const auto* position = std::get_if<PositionQuerySpec>(&*parsed)) {
+    // Per-object: the owning shard either answers or is down — the
+    // Unavailable (with its retry hint) passes through untouched.
+    const auto answer = db.QueryPosition(position->id, position->time);
+    if (!answer.ok()) return answer.status();
+    return FormatPosition(*answer);
+  }
+  if (const auto* range = std::get_if<RangeQuerySpec>(&*parsed)) {
+    if (range->windowed) {
+      IntervalRangeAnswer answer = db.QueryRangeInterval(
+          range->region, range->time, range->window_end);
+      if (util::Status gate =
+              PartialityGate(answer.completeness, range->allow_partial);
+          !gate.ok()) {
+        return gate;
+      }
+      return FormatWindow(*range, answer) +
+             FormatCompleteness(answer.completeness);
+    }
+    RangeAnswer answer = db.QueryRange(range->region, range->time);
+    if (util::Status gate =
+            PartialityGate(answer.completeness, range->allow_partial);
+        !gate.ok()) {
+      return gate;
+    }
+    return FormatRange(*range, answer) +
+           FormatCompleteness(answer.completeness);
+  }
+  if (const auto* nearest = std::get_if<NearestQuerySpec>(&*parsed)) {
+    NearestAnswer answer =
+        db.QueryNearest(nearest->point, nearest->k, nearest->time);
+    if (util::Status gate =
+            PartialityGate(answer.completeness, nearest->allow_partial);
+        !gate.ok()) {
+      return gate;
+    }
+    return FormatNearest(*nearest, answer) +
+           FormatCompleteness(answer.completeness);
+  }
+  if (const auto* subscribe = std::get_if<SubscribeSpec>(&*parsed)) {
+    if (util::Status status =
+            db.Subscribe(subscribe->id, subscribe->subscription);
+        !status.ok()) {
+      return status;
+    }
+    return FormatSubscribed(*subscribe);
+  }
+  if (const auto* unsubscribe = std::get_if<UnsubscribeSpec>(&*parsed)) {
+    if (util::Status status = db.Unsubscribe(unsubscribe->id); !status.ok()) {
+      return status;
+    }
+    return "unsubscribed " + std::to_string(unsubscribe->id);
+  }
+  // EventsSpec: drain the merged cross-shard stream.
+  if (!db.subscriptions_enabled()) {
+    return util::Status::FailedPrecondition(
+        "subscriptions are not enabled on this database");
+  }
+  std::string out = "events:";
+  const auto events = db.TakeSubscriptionEvents();
   if (events.empty()) return out + " (none)";
   for (const auto& event : events) {
     out += "\n  " + event.ToString();

@@ -134,7 +134,8 @@ void MergeReplayStats(const WalReplayStats& stats, RecoveryReport* report) {
 /// restart and, worse, interleaving re-logged records with live ones.
 util::Status ReplayEpochChain(const std::string& dir,
                               std::uint64_t first_epoch, ModDatabase* db,
-                              RecoveryReport* report) {
+                              RecoveryReport* report,
+                              const util::FileReader& reader) {
   if (db->wal() != nullptr) {
     return util::Status::FailedPrecondition(
         "WAL replay into a database that is itself logging (epoch " +
@@ -154,8 +155,17 @@ util::Status ReplayEpochChain(const std::string& dir,
   std::uint64_t expected = first_epoch;
   for (std::uint64_t epoch : epochs) {
     if (epoch != expected++) break;  // epoch gap: same rule as a torn frame
-    auto stats = ReplayWal(dir, epoch, apply);
-    if (!stats.ok()) break;
+    auto stats = ReplayWal(dir, epoch, apply, reader);
+    if (!stats.ok()) {
+      // A replay *setup* failure (unreadable segment) is not graceful
+      // corruption: the epoch's records exist but could not be applied, so
+      // recovery must fail — silently stopping here would present a
+      // consistent-looking store missing a known-recoverable suffix. The
+      // status already names the epoch + segment path (quarantine reason).
+      report->clean = false;
+      if (report->detail.empty()) report->detail = stats.status().message();
+      return stats.status();
+    }
     MergeReplayStats(*stats, report);
     if (!stats->clean) break;
   }
@@ -247,8 +257,9 @@ util::Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
       }
     });
     if (restore_error.ok()) {
-      restore_error = ReplayEpochChain(dir, manager->report_.checkpoint_id,
-                                       db, &manager->report_);
+      restore_error =
+          ReplayEpochChain(dir, manager->report_.checkpoint_id, db,
+                           &manager->report_, options.wal_reader);
     }
     // Rebuild the index even on a failed restore: the caller gets back a
     // database whose index matches whatever records made it in.
@@ -278,7 +289,9 @@ util::Status DurabilityManager::StartFreshEpoch(std::uint64_t new_epoch) {
   const fs::path final_path = fs::path(dir_) / CheckpointFileName(new_epoch);
   const fs::path tmp_path = final_path.string() + ".tmp";
   if (util::Status s = SaveSnapshot(*db_, tmp_path.string()); !s.ok()) {
-    return s;
+    return util::Status(s.code(), "checkpoint epoch " +
+                                      std::to_string(new_epoch) + " write " +
+                                      tmp_path.string() + ": " + s.message());
   }
   SyncPath(tmp_path.string());
 
@@ -305,7 +318,9 @@ util::Status DurabilityManager::StartFreshEpoch(std::uint64_t new_epoch) {
     std::error_code ignored;
     fs::remove(fs::path(dir_) / WalSegmentFileName(new_epoch, 1), ignored);
     fs::remove(tmp_path, ignored);
-    return util::Status::Internal("checkpoint rename failed: " + ec.message());
+    return util::Status::Internal("checkpoint epoch " +
+                                  std::to_string(new_epoch) + " rename to " +
+                                  final_path.string() + ": " + ec.message());
   }
   SyncPath(dir_);
 
@@ -340,6 +355,18 @@ util::Status DurabilityManager::Prune() {
 
 util::Status DurabilityManager::Checkpoint() {
   return StartFreshEpoch(wal_->epoch() + 1);
+}
+
+util::Status DurabilityManager::TryReopenWal() {
+  if (wal_ == nullptr) {
+    return util::Status::FailedPrecondition("no WAL attached to " + dir_);
+  }
+  if (!wal_->poison().ok()) {
+    if (util::Status s = wal_->TryReopen(); !s.ok()) return s;
+  }
+  // The fresh epoch's checkpoint covers the whole in-memory state, so
+  // nothing depends on the abandoned segment's unsynced tail anymore.
+  return Checkpoint();
 }
 
 void DurabilityManager::ExportMetrics(util::MetricsRegistry* registry,
@@ -384,7 +411,8 @@ util::Result<RecoveredDatabase> Recover(const std::string& dir,
   ModDatabase* db = result.database.get();
   if (util::Status s = db->BeginBulkIngest(); !s.ok()) return s;
   const util::Status replayed =
-      ReplayEpochChain(dir, result.report.checkpoint_id, db, &result.report);
+      ReplayEpochChain(dir, result.report.checkpoint_id, db, &result.report,
+                       options.wal_reader);
   if (util::Status s = db->FinishBulkIngest(); !s.ok()) return s;
   if (!replayed.ok()) return replayed;
 

@@ -20,6 +20,10 @@ struct DurabilityOptions {
   /// more than one lets recovery fall back when the newest checkpoint file
   /// itself is corrupt.
   std::size_t checkpoints_to_keep = 2;
+  /// Read backend for WAL replay; null uses real reads. Chaos schedules
+  /// inject read failures here (a failed segment read fails recovery with
+  /// a status naming the epoch + path — the quarantine reason).
+  util::FileReader wal_reader;
 };
 
 /// What recovery found and did. Returned instead of failing: corruption
@@ -88,6 +92,15 @@ class DurabilityManager {
   /// delete the superseded segments and stale checkpoints. On failure the
   /// old WAL stays attached and the store keeps running.
   util::Status Checkpoint();
+
+  /// Remediation for a poisoned WAL writer whose in-memory store is intact
+  /// (the poison aborted its mutation before the memory commit, so memory
+  /// is the source of truth): rotates the writer to a fresh segment via
+  /// `WalWriter::TryReopen`, then checkpoints — the fresh epoch covers the
+  /// whole in-memory state, restoring the full durability guarantee that
+  /// the abandoned segment's unsynced tail weakened. No-op (just the
+  /// checkpoint) on a healthy writer.
+  util::Status TryReopenWal();
 
   const RecoveryReport& recovery_report() const { return report_; }
   const WalWriter* wal() const { return wal_.get(); }

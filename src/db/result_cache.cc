@@ -66,6 +66,12 @@ RangeAnswer RangeQueryCache::GetOrCompute(
   // between here and the insert below.
   RangeAnswer answer = compute();
 
+  // Partial answers (quarantined shards excluded from the fan-out) are
+  // never cached: a later hit would keep serving the degraded answer after
+  // the shards were re-admitted — and invalidation cannot fix that, since
+  // re-admission replays no deltas through the cache.
+  if (!answer.completeness.complete) return answer;
+
   std::unique_lock lock(mu_);
   if (const auto it = by_key_.find(key); it != by_key_.end()) {
     // A concurrent reader of the same query beat us to the insert.

@@ -58,7 +58,9 @@ class RangeQueryCache final : public DeltaConsumer {
   RangeQueryCache& operator=(const RangeQueryCache&) = delete;
 
   /// Returns the cached answer for (region, t), or runs `compute`, caches
-  /// its answer, and returns it.
+  /// its answer, and returns it. Partial answers (`completeness.complete`
+  /// false) are returned but never cached — they must not outlive the
+  /// quarantine that produced them.
   RangeAnswer GetOrCompute(const geo::Polygon& region, core::Time t,
                            const std::function<RangeAnswer()>& compute);
 

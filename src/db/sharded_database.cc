@@ -90,36 +90,40 @@ bool EventOrder(const SubscriptionEvent& a, const SubscriptionEvent& b) {
 ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
                                        ShardedModDatabaseOptions options)
     : network_(network),
-      pool_(ResolveQueryThreads(options,
-                                std::max<std::size_t>(options.num_shards, 1))) {
-  const std::size_t num_shards = std::max<std::size_t>(options.num_shards, 1);
+      options_(std::move(options)),
+      pool_(ResolveQueryThreads(
+          options_, std::max<std::size_t>(options_.num_shards, 1))) {
+  const std::size_t num_shards = std::max<std::size_t>(options_.num_shards, 1);
   // The velocity-partitioned index fans band probes out on a pool; give
   // the per-shard indexes this layer's pool unless the caller supplied
   // one. ParallelFor is caller-participating, so a shard query already
   // running on a pool worker nests safely.
-  if (options.db.index_kind == IndexKind::kVelocityPartitioned &&
-      options.db.index_pool == nullptr) {
-    options.db.index_pool = &pool_;
+  if (options_.db.index_kind == IndexKind::kVelocityPartitioned &&
+      options_.db.index_pool == nullptr) {
+    options_.db.index_pool = &pool_;
   }
+  supervisor_ = std::make_unique<ShardSupervisor>(num_shards,
+                                                  options_.supervisor,
+                                                  &metrics_);
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->db = std::make_unique<ModDatabase>(network, options.db);
+    shard->db = std::make_unique<ModDatabase>(network, options_.db);
     shard->db->SetMetrics(&metrics_);  // shards share the mod.* counters
-    if (options.enable_subscriptions) {
+    if (options_.enable_subscriptions) {
       shard->subscriptions = std::make_unique<SubscriptionEngine>(
-          network, options.subscriptions);
+          network, options_.subscriptions);
       // Engines share the sub.* instruments, like the mod.* aggregation.
       shard->subscriptions->SetMetrics(&metrics_, "sub.");
       shard->db->AttachSubscriptions(shard->subscriptions.get());
     }
-    if (options.result_cache_entries > 0) {
+    if (options_.result_cache_entries > 0) {
       RangeQueryCache::Options cache_options;
-      cache_options.capacity = options.result_cache_entries;
+      cache_options.capacity = options_.result_cache_entries;
       // Invalidation must cover everything the index can still surface
       // (the RangeQueryCache horizon contract).
       cache_options.matcher.horizon =
-          std::max(cache_options.matcher.horizon, options.db.oplane_horizon);
+          std::max(cache_options.matcher.horizon, options_.db.oplane_horizon);
       shard->cache = std::make_unique<RangeQueryCache>(network, cache_options);
       shard->cache->SetMetrics(&metrics_, "sub.cache.");
       shard->db->AttachResultCache(shard->cache.get());
@@ -127,7 +131,7 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
     shards_.push_back(std::move(shard));
   }
 
-  if (!options.durable_dir.empty()) {
+  if (!options_.durable_dir.empty()) {
     // Recover every shard in parallel on the fan-out pool: restart time is
     // bounded by the largest shard, not the sum. Each worker touches only
     // its own shard; aggregation below runs after the barrier, in shard
@@ -136,12 +140,9 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
     const auto started = std::chrono::steady_clock::now();
     std::vector<util::Status> statuses(num_shards);
     FanOut([&](std::size_t i) {
-      char name[32];
-      std::snprintf(name, sizeof(name), "shard-%04zu", i);
-      const std::string dir =
-          (std::filesystem::path(options.durable_dir) / name).string();
-      auto durability = DurabilityManager::Open(shards_[i]->db.get(), dir,
-                                                options.durability);
+      auto durability = DurabilityManager::Open(shards_[i]->db.get(),
+                                                ShardDirOf(i),
+                                                options_.durability);
       if (durability.ok()) {
         shards_[i]->durability = std::move(*durability);
       } else {
@@ -151,6 +152,11 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
     for (std::size_t i = 0; i < num_shards; ++i) {
       if (!statuses[i].ok()) {
         if (durability_status_.ok()) durability_status_ = statuses[i];
+        // A shard whose durable home failed to open is a failure domain
+        // down at birth: quarantine it and let the remediation loop keep
+        // retrying the recovery instead of silently serving an
+        // in-memory-only shard that forgets everything it is told.
+        supervisor_->ReportFault(i, statuses[i]);
         continue;
       }
       // Shards share the wal.* / recovery.* instruments, mirroring the
@@ -171,6 +177,11 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
         if (recovery_report_.detail.empty()) {
           recovery_report_.detail = r.detail;
         }
+        // Unclean recovery (truncated/skipped records) still serves — the
+        // store holds the last consistent prefix — but the shard is
+        // marked degraded so the loss is visible in the health gauges.
+        supervisor_->ReportDegraded(
+            i, util::Status::Internal("unclean recovery: " + r.detail));
       }
     }
     // Elapsed fan-out time, not the per-shard sum — what a restart costs.
@@ -187,6 +198,17 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
   latency_nearest_ = metrics_.GetLatency("sharded.query_nearest");
   latency_interval_ = metrics_.GetLatency("sharded.query_interval");
   latency_update_ = metrics_.GetLatency("sharded.apply_update");
+
+  // Last: the remediation loop may fire as soon as it starts (a shard can
+  // already be quarantined from the recovery pass above), so every member
+  // it touches must be fully built first.
+  supervisor_->Start([this](std::size_t s) { return RemediateShard(s); });
+}
+
+std::string ShardedModDatabase::ShardDirOf(std::size_t i) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04zu", i);
+  return (std::filesystem::path(options_.durable_dir) / name).string();
 }
 
 std::size_t ShardedModDatabase::ShardOf(core::ObjectId id) const {
@@ -195,7 +217,9 @@ std::size_t ShardedModDatabase::ShardOf(core::ObjectId id) const {
 
 util::Status ShardedModDatabase::Insert(core::ObjectId id, std::string label,
                                         const core::PositionAttribute& attr) {
-  Shard& shard = *shards_[ShardOf(id)];
+  const std::size_t s = ShardOf(id);
+  if (!supervisor_->writable(s)) return supervisor_->UnavailableStatus(s);
+  Shard& shard = *shards_[s];
   std::unique_lock lock(shard.mu);
   util::Status status = shard.db->Insert(id, std::move(label), attr);
   if (shard.subscriptions != nullptr) {
@@ -203,6 +227,7 @@ util::Status ShardedModDatabase::Insert(core::ObjectId id, std::string label,
     // serialised same-shard mutations never invert.
     PublishShardEvents(shard.subscriptions->TakeEvents());
   }
+  NoteWriteOutcome(s, status);
   return status;
 }
 
@@ -222,6 +247,9 @@ util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
       }
       batch_ids.emplace(object.id, true);
       const std::size_t s = ShardOf(object.id);
+      // All-or-nothing contract: a bulk load that would touch a
+      // quarantined shard fails whole, up front, before any shard loads.
+      if (!supervisor_->writable(s)) return supervisor_->UnavailableStatus(s);
       rows[s].push_back(i);
       partitions[s].push_back(std::move(object));
     }
@@ -241,6 +269,7 @@ util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
       // rollback below.
       shard_events[s] = shard.subscriptions->TakeEvents();
     }
+    NoteWriteOutcome(s, statuses[s]);
   });
 
   util::Status first_error;
@@ -287,12 +316,15 @@ util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
 util::Status ShardedModDatabase::ApplyUpdate(
     const core::PositionUpdate& update) {
   util::ScopedLatencyTimer timer(latency_update_);
-  Shard& shard = *shards_[ShardOf(update.object)];
+  const std::size_t s = ShardOf(update.object);
+  if (!supervisor_->writable(s)) return supervisor_->UnavailableStatus(s);
+  Shard& shard = *shards_[s];
   std::unique_lock lock(shard.mu);
   util::Status status = shard.db->ApplyUpdate(update);
   if (shard.subscriptions != nullptr) {
     PublishShardEvents(shard.subscriptions->TakeEvents());
   }
+  NoteWriteOutcome(s, status);
   return status;
 }
 
@@ -312,6 +344,15 @@ UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
   std::vector<std::vector<std::size_t>> members(shards_.size());
   for (std::size_t i = 0; i < updates.size(); ++i) {
     const std::size_t s = ShardOf(updates[i].object);
+    // Per-record isolation: records routed to a quarantined shard are
+    // rejected `Unavailable` in place (retryable once the shard heals);
+    // the rest of the batch proceeds — a down shard must not wedge the
+    // whole fleet's ingest.
+    if (!supervisor_->writable(s)) {
+      result.statuses[i] = supervisor_->UnavailableStatus(s);
+      ++result.rejected;
+      continue;
+    }
     parts[s].push_back(updates[i]);
     members[s].push_back(i);
   }
@@ -328,6 +369,16 @@ UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
       // exactly this call's events — no cross-call mixing.
       shard_events[s] = shard.subscriptions->TakeEvents();
     }
+    // The first Internal status (if any) is the representative fault of
+    // the shard's whole sub-batch; NoteWriteOutcome is thread-safe.
+    util::Status fault;
+    for (const util::Status& st : per_shard[s].statuses) {
+      if (st.code() == util::StatusCode::kInternal) {
+        fault = st;
+        break;
+      }
+    }
+    NoteWriteOutcome(s, fault);
   });
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -357,12 +408,15 @@ UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
 }
 
 util::Status ShardedModDatabase::Erase(core::ObjectId id) {
-  Shard& shard = *shards_[ShardOf(id)];
+  const std::size_t s = ShardOf(id);
+  if (!supervisor_->writable(s)) return supervisor_->UnavailableStatus(s);
+  Shard& shard = *shards_[s];
   std::unique_lock lock(shard.mu);
   util::Status status = shard.db->Erase(id);
   if (shard.subscriptions != nullptr) {
     PublishShardEvents(shard.subscriptions->TakeEvents());
   }
+  NoteWriteOutcome(s, status);
   return status;
 }
 
@@ -437,9 +491,30 @@ std::vector<SubscriptionEvent> ShardedModDatabase::TakeSubscriptionEvents() {
 util::Result<PositionAnswer> ShardedModDatabase::QueryPosition(
     core::ObjectId id, core::Time t) const {
   queries_position_->Increment();
-  const Shard& shard = *shards_[ShardOf(id)];
+  const std::size_t s = ShardOf(id);
+  // A per-object query has no partial fallback: the one shard that could
+  // answer is down, so the typed Unavailable (with the retry hint) is the
+  // honest answer.
+  if (!supervisor_->readable(s)) return supervisor_->UnavailableStatus(s);
+  const Shard& shard = *shards_[s];
   std::shared_lock lock(shard.mu);
   return shard.db->QueryPosition(id, t);
+}
+
+QueryCompleteness ShardedModDatabase::ExcludedShards(
+    std::vector<char>* skip) const {
+  QueryCompleteness completeness;
+  skip->assign(shards_.size(), 0);
+  // Snapshot the skip set once, up front: a shard healing mid-fan-out must
+  // not make the answer's excluded list disagree with the shards actually
+  // probed.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (supervisor_->readable(s)) continue;
+    (*skip)[s] = 1;
+    completeness.complete = false;
+    completeness.excluded_shards.push_back(s);
+  }
+  return completeness;
 }
 
 void ShardedModDatabase::FanOut(
@@ -451,26 +526,38 @@ RangeAnswer ShardedModDatabase::QueryRange(const geo::Polygon& region,
                                            core::Time t) const {
   queries_range_->Increment();
   util::ScopedLatencyTimer timer(latency_range_);
+  std::vector<char> skip;
+  QueryCompleteness completeness = ExcludedShards(&skip);
   std::vector<RangeAnswer> per_shard(shards_.size());
   FanOut([&](std::size_t s) {
+    if (skip[s] != 0) return;
     const Shard& shard = *shards_[s];
     std::shared_lock lock(shard.mu);
     per_shard[s] = shard.db->QueryRange(region, t);
   });
-  return MergeRangeAnswers(std::move(per_shard), t);
+  RangeAnswer merged = MergeRangeAnswers(std::move(per_shard), t);
+  merged.completeness = std::move(completeness);
+  return merged;
 }
 
 RangeAnswer ShardedModDatabase::QueryRangeCached(const geo::Polygon& region,
                                                  core::Time t) const {
   queries_range_->Increment();
   util::ScopedLatencyTimer timer(latency_range_);
+  std::vector<char> skip;
+  QueryCompleteness completeness = ExcludedShards(&skip);
   std::vector<RangeAnswer> per_shard(shards_.size());
   FanOut([&](std::size_t s) {
+    if (skip[s] != 0) return;
     const Shard& shard = *shards_[s];
     std::shared_lock lock(shard.mu);
+    // Per-shard cache entries are shard-local (complete for their shard),
+    // so caching here is safe even while the merged answer is partial.
     per_shard[s] = shard.db->QueryRangeCached(region, t);
   });
-  return MergeRangeAnswers(std::move(per_shard), t);
+  RangeAnswer merged = MergeRangeAnswers(std::move(per_shard), t);
+  merged.completeness = std::move(completeness);
+  return merged;
 }
 
 RangeAnswer ShardedModDatabase::MergeRangeAnswers(
@@ -501,8 +588,11 @@ NearestAnswer ShardedModDatabase::QueryNearest(const geo::Point2& point,
   merged.query_time = t;
   if (k == 0) return merged;
 
+  std::vector<char> skip;
+  merged.completeness = ExcludedShards(&skip);
   std::vector<NearestAnswer> per_shard(shards_.size());
   FanOut([&](std::size_t s) {
+    if (skip[s] != 0) return;
     const Shard& shard = *shards_[s];
     std::shared_lock lock(shard.mu);
     per_shard[s] = shard.db->QueryNearest(point, k, t);
@@ -527,14 +617,18 @@ IntervalRangeAnswer ShardedModDatabase::QueryRangeInterval(
     core::Duration sample_step) const {
   queries_interval_->Increment();
   util::ScopedLatencyTimer timer(latency_interval_);
+  std::vector<char> skip;
+  QueryCompleteness completeness = ExcludedShards(&skip);
   std::vector<IntervalRangeAnswer> per_shard(shards_.size());
   FanOut([&](std::size_t s) {
+    if (skip[s] != 0) return;
     const Shard& shard = *shards_[s];
     std::shared_lock lock(shard.mu);
     per_shard[s] = shard.db->QueryRangeInterval(region, t1, t2, sample_step);
   });
 
   IntervalRangeAnswer merged;
+  merged.completeness = std::move(completeness);
   merged.window_start = std::min(t1, t2);
   merged.window_end = std::max(t1, t2);
   for (IntervalRangeAnswer& a : per_shard) {
@@ -553,7 +647,9 @@ IntervalRangeAnswer ShardedModDatabase::QueryRangeInterval(
 
 util::Result<MovingObjectRecord> ShardedModDatabase::GetRecord(
     core::ObjectId id) const {
-  const Shard& shard = *shards_[ShardOf(id)];
+  const std::size_t s = ShardOf(id);
+  if (!supervisor_->readable(s)) return supervisor_->UnavailableStatus(s);
+  const Shard& shard = *shards_[s];
   std::shared_lock lock(shard.mu);
   auto result = shard.db->Get(id);
   if (!result.ok()) return result.status();
@@ -598,23 +694,38 @@ util::Status ShardedModDatabase::Checkpoint() {
   // truncation, so no shard's log is cut before its replacement snapshot
   // is durably synced.
   std::vector<util::Status> statuses(shards_.size());
+  std::vector<char> attempted(shards_.size(), 0);
   FanOut([&](std::size_t s) {
     Shard& shard = *shards_[s];
     if (shard.durability == nullptr) return;
+    // Quarantined/recovering shards are the remediation loop's to fix
+    // (its re-admission path checkpoints); skipping them keeps a routine
+    // fleet checkpoint from racing the recovery swap.
+    if (!supervisor_->writable(s)) return;
+    attempted[s] = 1;
     std::unique_lock lock(shard.mu);
     statuses[s] = shard.durability->Checkpoint();
+    // A failure that poisoned the WAL is a hard fault: quarantine (under
+    // the shard lock, like every write-path fault check). A failure that
+    // left the old WAL attached and intact is handled as the soft tier
+    // below.
+    if (!statuses[s].ok()) NoteWriteOutcome(s, util::Status::Ok());
   });
 
   std::size_t succeeded = 0;
   std::size_t failed = 0;
   std::string detail;
   for (std::size_t s = 0; s < statuses.size(); ++s) {
-    if (shards_[s]->durability == nullptr) continue;
+    if (attempted[s] == 0) continue;
     if (statuses[s].ok()) {
       ++succeeded;
+      supervisor_->ClearDegraded(s);
       continue;
     }
     ++failed;
+    if (supervisor_->writable(s)) {
+      supervisor_->ReportDegraded(s, statuses[s]);
+    }
     if (!detail.empty()) detail += "; ";
     detail += "shard " + std::to_string(s) + ": " + statuses[s].message();
   }
@@ -623,6 +734,87 @@ util::Status ShardedModDatabase::Checkpoint() {
       "checkpoint failed on " + std::to_string(failed) + " of " +
       std::to_string(succeeded + failed) + " shards (" + detail + "); " +
       std::to_string(succeeded) + " checkpointed successfully");
+}
+
+void ShardedModDatabase::NoteWriteOutcome(std::size_t s,
+                                          const util::Status& status) {
+  // Caller holds shard s's lock (durability/wal may otherwise be swapped
+  // under us by the remediation loop).
+  const Shard& shard = *shards_[s];
+  if (shard.durability != nullptr) {
+    const WalWriter* wal = shard.durability->wal();
+    if (wal != nullptr && !wal->poison().ok()) {
+      supervisor_->ReportFault(s, wal->poison());
+      return;
+    }
+  }
+  // An Internal status without WAL poison (e.g. an in-memory-only shard's
+  // write failing inside the store) is still a fault; the store's normal
+  // rejections use NotFound/AlreadyExists/InvalidArgument and stay
+  // invisible here.
+  if (status.code() == util::StatusCode::kInternal) {
+    supervisor_->ReportFault(s, status);
+  }
+}
+
+util::Status ShardedModDatabase::RemediateShard(std::size_t s) {
+  Shard& shard = *shards_[s];
+  std::unique_lock lock(shard.mu);
+
+  // Flavour 1 — poisoned WAL on an intact store. The poison aborted its
+  // mutation before the memory commit, so memory is the source of truth:
+  // rotate the writer to a fresh segment and checkpoint (the fresh epoch
+  // covers the whole in-memory state). No swap, no repriming needed.
+  if (shard.durability != nullptr) {
+    const WalWriter* wal = shard.durability->wal();
+    if (wal != nullptr && !wal->poison().ok()) {
+      util::Status reopened = shard.durability->TryReopenWal();
+      if (reopened.ok()) return reopened;
+      // The reopen itself failed (the fault window may still cover file
+      // opens); fall through to the full rebuild, and if that also fails
+      // the supervisor re-arms the backoff.
+    }
+  }
+
+  // Flavour 2 — full re-recovery: replay the shard's durable home into a
+  // fresh store and swap it in. Covers startup bootstrap failures (no
+  // durability attached at all) and anything flavour 1 could not fix.
+  if (options_.durable_dir.empty()) {
+    return util::Status::FailedPrecondition(
+        "shard " + std::to_string(s) +
+        " has no durable home to recover from");
+  }
+  auto fresh = std::make_unique<ModDatabase>(network_, options_.db);
+  fresh->SetMetrics(&metrics_);
+  // The old manager detaches its WAL in its destructor (touches the old
+  // db), so it must die while the old db is still alive — before the swap.
+  shard.durability.reset();
+  auto durability =
+      DurabilityManager::Open(fresh.get(), ShardDirOf(s), options_.durability);
+  if (!durability.ok()) return durability.status();
+  shard.db = std::move(fresh);
+  shard.durability = std::move(*durability);
+  shard.durability->ExportMetrics(&metrics_);
+
+  if (shard.subscriptions != nullptr) {
+    // Attached only after Open so the recovery replay emits no events.
+    shard.db->AttachSubscriptions(shard.subscriptions.get());
+    // Silent repriming: forget the dead store's memberships, then set each
+    // recovered object's relation without emitting. The recovered store
+    // holds exactly the durably-committed attributes, so the engine ends
+    // up in the state those commits produced and the post-recovery event
+    // stream continues as if the fault never happened.
+    shard.subscriptions->ResetTracking();
+    shard.db->ForEachRecord([&](const MovingObjectRecord& rec) {
+      shard.subscriptions->PrimeObject(rec.id, rec.attr);
+    });
+  }
+  if (shard.cache != nullptr) {
+    shard.db->AttachResultCache(shard.cache.get());
+    // Entries describe the dead store; drop them all.
+    shard.cache->Clear();
+  }
+  return util::Status::Ok();
 }
 
 std::string ShardedModDatabase::DumpMetrics() const {

@@ -12,6 +12,7 @@
 #include "db/mod_database.h"
 #include "db/recovery.h"
 #include "db/result_cache.h"
+#include "db/shard_supervisor.h"
 #include "db/subscription_engine.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -58,6 +59,13 @@ struct ShardedModDatabaseOptions {
   /// (0 disables — cached queries fall back to plain fan-out). The
   /// cache's invalidation horizon is clamped up to `db.oplane_horizon`.
   std::size_t result_cache_entries = 0;
+  /// Failure-domain isolation (see `ShardSupervisor`): faults quarantine
+  /// their shard instead of wedging the store; quarantined shards reject
+  /// writes with `Unavailable`, fan-out answers turn partial, and a
+  /// background loop re-runs recovery under capped backoff until the
+  /// shard is re-admitted. `supervisor.enabled = false` restores the
+  /// pre-supervisor behaviour.
+  ShardSupervisorOptions supervisor;
 };
 
 /// Concurrency layer over `ModDatabase`: N shards keyed by ObjectId hash,
@@ -81,6 +89,17 @@ struct ShardedModDatabaseOptions {
 /// (per-shard databases share the `mod.*` counters; the layer adds
 /// `sharded.*` query counters and latency histograms), dumped as text by
 /// `DumpMetrics()`.
+///
+/// Failure domains: each shard is supervised (see `ShardSupervisor`). A
+/// fault — WAL poison, durability bootstrap failure, an Internal write
+/// status — quarantines only its shard: writes routed there return
+/// `Unavailable` with a retry-after hint, fan-out queries keep answering
+/// from the surviving shards with `completeness` marking the exclusion
+/// (MUST stays sound per object; MAY becomes a lower bound), and the
+/// supervisor re-runs that shard's recovery under capped backoff until it
+/// is re-admitted — subscription engines are silently re-primed from the
+/// recovered state, so the merged event stream continues as if the fault
+/// never happened.
 class ShardedModDatabase {
  public:
   using BulkObject = ModDatabase::BulkObject;
@@ -179,8 +198,20 @@ class ShardedModDatabase {
   util::Status Checkpoint();
 
   /// OK when durability is off or every shard bootstrapped/recovered. A
-  /// failed shard runs in-memory-only; the store stays usable.
+  /// failed shard is quarantined (the supervisor keeps retrying its
+  /// recovery); the rest of the store stays usable.
   const util::Status& durability_status() const { return durability_status_; }
+
+  /// The failure-domain supervisor: per-shard health, quarantine reasons,
+  /// manual recovery stepping (`TryRecoverShard`), `AwaitAllAvailable`.
+  ShardSupervisor& supervisor() { return *supervisor_; }
+  const ShardSupervisor& supervisor() const { return *supervisor_; }
+
+  /// Health of shard `s` (`kHealthy` for every shard when the supervisor
+  /// is disabled — `ShardSupervisor` no-ops its transitions then).
+  ShardHealth shard_health(std::size_t s) const {
+    return supervisor_->health(s);
+  }
 
   /// Aggregated recovery outcome across shards (sums of counts; `clean`
   /// is the conjunction). Default-constructed when durability is off.
@@ -221,7 +252,31 @@ class ShardedModDatabase {
   static RangeAnswer MergeRangeAnswers(std::vector<RangeAnswer> per_shard,
                                        core::Time t);
 
+  /// Read fan-out skip set: marks non-readable shards in `skip` (sized to
+  /// the fleet) and returns the matching completeness record.
+  QueryCompleteness ExcludedShards(std::vector<char>* skip) const;
+
+  /// Fault check after a write to shard `s` (shard lock held): a poisoned
+  /// WAL or an Internal write status quarantines the shard. Normal
+  /// rejections (NotFound, AlreadyExists, InvalidArgument...) are not
+  /// faults.
+  void NoteWriteOutcome(std::size_t s, const util::Status& status);
+
+  /// One re-recovery attempt for shard `s` — the supervisor's remediation
+  /// callback. Takes the shard's exclusive lock. Two flavours: a poisoned
+  /// WAL on an intact store is rotated in place (`TryReopenWal` +
+  /// checkpoint); anything else replays the shard's durable home into a
+  /// fresh store and swaps it in, re-attaching the subscription engine
+  /// (silently re-primed) and the result cache (cleared).
+  util::Status RemediateShard(std::size_t s);
+
+  /// Durable home of shard `i` (`<durable_dir>/shard-<i>`).
+  std::string ShardDirOf(std::size_t i) const;
+
   const geo::RouteNetwork* network_;
+  // Retained for remediation: rebuilding a shard needs the same db/
+  // durability options the constructor used (index_pool already resolved).
+  ShardedModDatabaseOptions options_;
   util::MetricsRegistry metrics_;
   util::Status durability_status_;
   RecoveryReport recovery_report_;
@@ -232,6 +287,10 @@ class ShardedModDatabase {
   // Declared after shards_ (destroyed first) and mutable because fan-out
   // queries are logically const but need to schedule work.
   mutable util::ThreadPool pool_;
+  // Declared after pool_ and shards_: destroyed first, which joins the
+  // remediation thread while the shards it may be recovering (and the pool
+  // its swapped-in indexes may use) are still alive.
+  std::unique_ptr<ShardSupervisor> supervisor_;
 
   // Cached instrument handles (owned by metrics_).
   util::Counter* queries_range_;

@@ -240,6 +240,28 @@ void SubscriptionEngine::OnDeltaBatch(std::span<const AttributeDelta> deltas) {
   }
 }
 
+void SubscriptionEngine::ResetTracking() {
+  for (auto& [id, sub] : subs_) sub.state.clear();
+}
+
+void SubscriptionEngine::PrimeObject(core::ObjectId id,
+                                     const core::PositionAttribute& attr) {
+  if (subs_.empty()) return;
+  const geo::Route* route = nullptr;
+  if (const auto r = network_->FindRoute(attr.route); r.ok()) route = *r;
+  if (route == nullptr) return;
+  // Priming runs once per recovered object, off the hot path; the plain
+  // scan keeps it trivially deterministic.
+  for (auto& [sid, sub] : subs_) {
+    const core::RegionRelation rel = EvaluatePair(sub, attr, *route);
+    if (rel == core::RegionRelation::kOutside) {
+      sub.state.erase(id);
+    } else {
+      sub.state[id] = rel;
+    }
+  }
+}
+
 std::vector<SubscriptionEvent> SubscriptionEngine::TakeEvents() {
   std::vector<SubscriptionEvent> out = std::move(events_);
   events_.clear();

@@ -138,6 +138,22 @@ class SubscriptionEngine final : public DeltaConsumer {
   std::vector<SubscriptionEvent> TakeEvents();
   std::size_t num_pending_events() const { return events_.size(); }
 
+  /// Drops every subscription's tracked per-object state (specs stay
+  /// registered). Step one of re-attaching the engine to a recovered
+  /// store: forget the dead store's memberships, then `PrimeObject` each
+  /// recovered object.
+  void ResetTracking();
+
+  /// Silently sets the tracked relation of `id` under every subscription
+  /// from `attr` — no events are emitted. With `ResetTracking` this
+  /// reprimes the engine after a shard recovery swap: the recovered store
+  /// holds exactly the durably-committed attributes, so priming from them
+  /// leaves the engine in the same state it had after those commits, and
+  /// the post-recovery event stream continues as if the crash never
+  /// happened (events are a pure function of each object's update
+  /// sequence).
+  void PrimeObject(core::ObjectId id, const core::PositionAttribute& attr);
+
   /// Registers counters `<prefix>evals` (pair evaluations run),
   /// `<prefix>evals_saved` (evaluations the spatial join skipped vs. a
   /// naive rescan), `<prefix>events_emitted`, and the

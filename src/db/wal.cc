@@ -312,6 +312,21 @@ util::Status WalWriter::Poison(util::Status status) {
   return status;
 }
 
+util::Status WalWriter::WithSegmentContext(util::Status status,
+                                          const std::string& path) const {
+  if (status.ok()) return status;
+  // Idempotent: errors forwarded through several layers keep one prefix.
+  if (status.message().rfind("wal epoch ", 0) == 0) return status;
+  return util::Status(status.code(), "wal epoch " + std::to_string(epoch_) +
+                                         " segment " + path + ": " +
+                                         status.message());
+}
+
+std::string WalWriter::SegmentPath(std::uint64_t seq) const {
+  return (std::filesystem::path(dir_) / WalSegmentFileName(epoch_, seq))
+      .string();
+}
+
 util::Status WalWriter::OpenNextSegment() {
   if (segment_ != nullptr) {
     // Under a bounded sync window the rotated-away segment must be durable
@@ -321,20 +336,23 @@ util::Status WalWriter::OpenNextSegment() {
     if (BoundedSyncWindow() && unsynced_appends_ > 0) {
       if (util::Status s = Sync(); !s.ok()) return s;
     }
-    if (util::Status s = segment_->Close(); !s.ok()) return Poison(s);
+    if (util::Status s = segment_->Close(); !s.ok()) {
+      return Poison(WithSegmentContext(std::move(s), segment_path_));
+    }
   }
   ++seq_;
-  const std::string path =
-      (std::filesystem::path(dir_) / WalSegmentFileName(epoch_, seq_))
-          .string();
+  const std::string path = SegmentPath(seq_);
   auto file = options_.file_factory(path);
   if (!file.ok()) {
     // The old segment is already closed; appending anywhere now would
     // leave a gap, so the writer is done.
-    if (segment_ != nullptr) return Poison(file.status());
-    return file.status();
+    if (segment_ != nullptr) {
+      return Poison(WithSegmentContext(file.status(), path));
+    }
+    return WithSegmentContext(file.status(), path);
   }
   segment_ = std::move(*file);
+  segment_path_ = path;
   segment_bytes_ = 0;
   if (seq_ > 1 && rotations_counter_ != nullptr) {
     rotations_counter_->Increment();
@@ -353,7 +371,9 @@ util::Status WalWriter::AppendEncoded(const std::string& payload) {
     if (util::Status s = OpenNextSegment(); !s.ok()) return s;
   }
   const std::string frame = FrameRecord(payload);
-  if (util::Status s = segment_->Append(frame); !s.ok()) return Poison(s);
+  if (util::Status s = segment_->Append(frame); !s.ok()) {
+    return Poison(WithSegmentContext(std::move(s), segment_path_));
+  }
   segment_bytes_ += frame.size();
   bytes_ += frame.size();
   ++appends_;
@@ -458,7 +478,9 @@ util::Status WalWriter::Sync() {
   if (!poison_.ok()) return poison_;
   if (unsynced_appends_ == 0) return util::Status::Ok();
   if (syncs_counter_ != nullptr) syncs_counter_->Increment();
-  if (util::Status s = segment_->Sync(); !s.ok()) return Poison(s);
+  if (util::Status s = segment_->Sync(); !s.ok()) {
+    return Poison(WithSegmentContext(std::move(s), segment_path_));
+  }
   if (batch_hist_ != nullptr) {
     // Group-commit batch size: records flushed by this fsync (the
     // histogram's "µs" unit reads as a record count here).
@@ -467,6 +489,53 @@ util::Status WalWriter::Sync() {
   unsynced_appends_ = 0;
   unsynced_bytes_ = 0;
   last_sync_ = std::chrono::steady_clock::now();
+  return util::Status::Ok();
+}
+
+util::Status WalWriter::TryReopen() {
+  if (closed_) return util::Status::FailedPrecondition("WAL closed");
+  if (segment_ != nullptr) {
+    // Best-effort close: the segment is suspect, and close flushes what
+    // stdio buffered — the most durability the abandoned tail can get.
+    (void)segment_->Close();
+    segment_.reset();
+  }
+  // Decide where the log resumes. If the current sequence number's file
+  // made it to disk, drop any torn frame past the last whole-frame
+  // boundary (`segment_bytes_` counts only fully-appended frames) and
+  // move to the next sequence number. If it never did — the poisoned
+  // rotation's open failed — reuse the same number: replay treats a
+  // sequence gap as corruption and would drop everything after it.
+  const std::string current = SegmentPath(seq_);
+  const auto size = util::FileSize(current);
+  if (size.ok()) {
+    if (*size > segment_bytes_) {
+      if (util::Status s = util::TruncateFile(current, segment_bytes_);
+          !s.ok()) {
+        // The torn tail is still on disk; clearing the poison now would
+        // let the log grow past a frame replay stops at.
+        return WithSegmentContext(std::move(s), current);
+      }
+    }
+    ++seq_;
+  }
+  const std::string path = SegmentPath(seq_);
+  auto file = options_.file_factory(path);
+  if (!file.ok()) {
+    // Still poisoned; the caller's retry loop comes back later.
+    return WithSegmentContext(file.status(), path);
+  }
+  segment_ = std::move(*file);
+  segment_path_ = path;
+  segment_bytes_ = 0;
+  // Frames of the abandoned segment can no longer be fsynced through this
+  // writer; they are flushed, not synced (see header). The counters track
+  // the *open* group-commit batch, which is now empty.
+  unsynced_appends_ = 0;
+  unsynced_bytes_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
+  if (rotations_counter_ != nullptr) rotations_counter_->Increment();
+  poison_ = util::Status::Ok();
   return util::Status::Ok();
 }
 
@@ -494,26 +563,16 @@ void WalWriter::SetMetrics(util::MetricsRegistry* registry,
   batch_hist_ = registry->GetLatency(prefix + "group_commit_batch");
 }
 
-namespace {
-
-util::Result<std::string> ReadWholeFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return util::Status::NotFound("cannot open " + path);
-  std::string data((std::istreambuf_iterator<char>(file)),
-                   std::istreambuf_iterator<char>());
-  return data;
-}
-
-}  // namespace
-
 util::Result<WalReplayStats> ReplayWal(
     const std::string& dir, std::uint64_t epoch,
-    const std::function<util::Status(const WalRecord&)>& apply) {
+    const std::function<util::Status(const WalRecord&)>& apply,
+    util::FileReader reader) {
   std::error_code ec;
   const bool exists = std::filesystem::is_directory(dir, ec);
   if (ec || !exists) {
     return util::Status::NotFound("WAL directory missing: " + dir);
   }
+  if (!reader) reader = util::DefaultFileReader();
 
   std::vector<WalSegmentInfo> segments;
   for (WalSegmentInfo& info : ListWalSegments(dir)) {
@@ -524,8 +583,12 @@ util::Result<WalReplayStats> ReplayWal(
   std::uint64_t expected_seq = 1;
   bool stopped = false;
   for (const WalSegmentInfo& segment : segments) {
-    auto data = ReadWholeFile(segment.path);
-    if (!data.ok()) return data.status();
+    auto data = reader(segment.path);
+    if (!data.ok()) {
+      return util::Status(data.status().code(),
+                          "wal epoch " + std::to_string(epoch) + " segment " +
+                              segment.path + ": " + data.status().message());
+    }
     // A sequence gap (a deleted or lost segment) ends the replayable
     // prefix just like a corrupt frame would.
     if (stopped || segment.seq != expected_seq++) {

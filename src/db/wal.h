@@ -139,6 +139,21 @@ class WalWriter {
   /// commit batch). A no-op when nothing was appended since the last sync.
   util::Status Sync();
 
+  /// Remediation path for a poisoned writer: closes the suspect segment,
+  /// truncates it back to its last whole-frame boundary (a failed append
+  /// can leave a torn frame on disk, and replay stops at the first bad
+  /// frame — every later segment would silently vanish), opens a fresh
+  /// segment, and clears the poison only once all of that succeeded. When
+  /// the poisoned rotation never created its segment file, the same
+  /// sequence number is reused so the on-disk sequence stays contiguous
+  /// (replay treats a gap as corruption). On failure the writer stays
+  /// poisoned and the call is safe to retry. Durability caveat: frames of
+  /// the abandoned segment that were never fsynced are flushed on close
+  /// but not synced — callers wanting the full guarantee back should
+  /// checkpoint (fresh epoch) after a successful reopen, which is what the
+  /// shard supervisor does.
+  util::Status TryReopen();
+
   /// Flushes and closes the current segment; later appends fail.
   util::Status Close();
 
@@ -178,6 +193,13 @@ class WalWriter {
   util::Status MaybeSync();
   /// Records the sticky error and returns it.
   util::Status Poison(util::Status status);
+  /// Prefixes `status` with the failing epoch + segment path, so a
+  /// quarantine reason names the exact file (already-contextual statuses
+  /// pass through unchanged).
+  util::Status WithSegmentContext(util::Status status,
+                                  const std::string& path) const;
+  /// Path of segment `seq` of this writer's epoch inside `dir_`.
+  std::string SegmentPath(std::uint64_t seq) const;
   bool BoundedSyncWindow() const {
     return options_.sync_every_append || options_.sync_every_bytes > 0 ||
            options_.sync_interval_ms > 0.0;
@@ -187,6 +209,7 @@ class WalWriter {
   std::uint64_t epoch_;
   WalWriterOptions options_;
   std::unique_ptr<util::WritableFile> segment_;
+  std::string segment_path_;  // of the open segment (empty before the first)
   std::uint64_t segment_bytes_ = 0;
   std::uint64_t seq_ = 0;  // segments opened so far; current = seq_
   std::uint64_t appends_ = 0;
@@ -225,10 +248,13 @@ struct WalReplayStats {
 /// Replays every record of epoch `epoch` in `dir`, in order, through
 /// `apply`. Corruption is graceful degradation, not failure: the replay
 /// stops at the first bad frame and reports what was dropped. Only I/O
-/// setup problems (unreadable directory) return a non-OK status.
+/// setup problems (unreadable directory, a failing read) return a non-OK
+/// status — those name the epoch and the segment path. `reader` lets
+/// chaos schedules inject read failures; null uses real reads.
 util::Result<WalReplayStats> ReplayWal(
     const std::string& dir, std::uint64_t epoch,
-    const std::function<util::Status(const WalRecord&)>& apply);
+    const std::function<util::Status(const WalRecord&)>& apply,
+    util::FileReader reader = nullptr);
 
 }  // namespace modb::db
 

@@ -57,6 +57,16 @@ WritableFileFactory DefaultWritableFileFactory() {
   };
 }
 
+FileReader DefaultFileReader() {
+  return [](const std::string& path) -> Result<std::string> {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) return Status::NotFound("cannot open " + path);
+    std::string data((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    return data;
+  };
+}
+
 /// Wraps one base file; all fault state lives in the owning injector so the
 /// plan's byte offsets span file rotations. Every operation holds the
 /// injector mutex — parallel shard recovery funnels many files through one
@@ -71,6 +81,11 @@ class FaultInjector::File : public WritableFile {
     FaultInjector& inj = *injector_;
     std::lock_guard<std::mutex> lock(inj.mu_);
     if (inj.crashed_) return Status::Internal("injected crash");
+    if (InWindow(inj.appends_++, inj.plan_.fail_appends_after,
+                 inj.plan_.fail_appends_count)) {
+      ++inj.injected_append_faults_;
+      return Status::Internal("injected append failure on " + path_);
+    }
 
     std::string buffered(data);
     if (inj.plan_.bit_flip_probability > 0.0) {
@@ -115,8 +130,10 @@ class FaultInjector::File : public WritableFile {
     FaultInjector& inj = *injector_;
     std::lock_guard<std::mutex> lock(inj.mu_);
     if (inj.crashed_) return Status::Internal("injected crash");
-    if (inj.syncs_++ >= inj.plan_.fail_syncs_after) {
-      return Status::Internal("injected fsync failure");
+    if (InWindow(inj.syncs_++, inj.plan_.fail_syncs_after,
+                 inj.plan_.fail_syncs_count)) {
+      ++inj.injected_sync_faults_;
+      return Status::Internal("injected fsync failure on " + path_);
     }
     const Status s = base_->Sync();
     if (s.ok()) synced_bytes_ = file_bytes_;
@@ -134,7 +151,16 @@ class FaultInjector::File : public WritableFile {
 };
 
 FaultInjector::FaultInjector(FaultPlan plan, WritableFileFactory base)
-    : plan_(plan), base_(std::move(base)), rng_(plan.seed) {}
+    : plan_(plan),
+      base_(std::move(base)),
+      base_reader_(DefaultFileReader()),
+      rng_(plan.seed) {}
+
+bool FaultInjector::InWindow(std::uint64_t n, std::uint64_t after,
+                             std::uint64_t count) {
+  if (after == FaultPlan::kNever || n < after) return false;
+  return count == FaultPlan::kNever || n - after < count;
+}
 
 WritableFileFactory FaultInjector::factory() {
   return [this](const std::string& path)
@@ -142,11 +168,28 @@ WritableFileFactory FaultInjector::factory() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (crashed_) return Status::Internal("injected crash");
+      if (InWindow(opens_++, plan_.fail_opens_after, plan_.fail_opens_count)) {
+        ++injected_open_faults_;
+        return Status::Internal("injected open failure on " + path);
+      }
     }
     auto base = base_(path);
     if (!base.ok()) return base.status();
     return std::unique_ptr<WritableFile>(
         std::make_unique<File>(this, path, std::move(*base)));
+  };
+}
+
+FileReader FaultInjector::reader() {
+  return [this](const std::string& path) -> Result<std::string> {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (InWindow(reads_++, plan_.fail_reads_after, plan_.fail_reads_count)) {
+        ++injected_read_faults_;
+        return Status::Internal("injected read failure on " + path);
+      }
+    }
+    return base_reader_(path);
   };
 }
 

@@ -39,6 +39,14 @@ using WritableFileFactory =
 /// The real thing: buffered stdio writes, fsync-backed `Sync`.
 WritableFileFactory DefaultWritableFileFactory();
 
+/// Reads the whole file at `path`. The recovery read side (WAL replay,
+/// checkpoint load) goes through this so chaos schedules can fail reads the
+/// same way they fail writes.
+using FileReader = std::function<Result<std::string>(const std::string&)>;
+
+/// The real thing: one binary read of the whole file.
+FileReader DefaultFileReader();
+
 /// One deterministic fault scenario. Byte counts address the cumulative
 /// stream written through a single `FaultInjector` (across file rotations),
 /// so a plan can place a crash at any offset of a multi-segment log.
@@ -62,6 +70,24 @@ struct FaultPlan {
   /// offset survives, modelling synced appends or lucky writeback. Group-
   /// commit tests need this on, or deferred fsyncs would look free.
   bool lose_unsynced_on_crash = false;
+
+  /// Transient fault windows, the chaos-schedule vocabulary: each counts
+  /// operations of its kind through the injector (0-based, across all
+  /// files), and operations with index in `[after, after + count)` fail
+  /// with an injected error while everything outside the window passes
+  /// through. Unlike `crash_after_bytes`, nothing is sticky — the
+  /// supervisor's remediation loop can succeed once the window closes.
+  /// `kNever` in an `after` field disables that window.
+  std::uint64_t fail_appends_after = kNever;
+  std::uint64_t fail_appends_count = 1;
+  std::uint64_t fail_opens_after = kNever;
+  std::uint64_t fail_opens_count = 1;
+  std::uint64_t fail_reads_after = kNever;
+  std::uint64_t fail_reads_count = 1;
+  /// Width of the sync-failure window opened by `fail_syncs_after`.
+  /// `kNever` (the default) keeps the historical sticky semantics: the
+  /// Nth and every later sync fails.
+  std::uint64_t fail_syncs_count = kNever;
 };
 
 /// Factory + shared fault state: every `WritableFile` created through
@@ -76,6 +102,9 @@ class FaultInjector {
 
   /// Factory handing out fault-wrapped files (capturing `this`).
   WritableFileFactory factory();
+
+  /// Reader injecting the plan's read faults (capturing `this`).
+  FileReader reader();
 
   /// True once the planned crash fired; all subsequent writes fail.
   bool crashed() const {
@@ -94,18 +123,68 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     return syncs_;
   }
+  std::uint64_t appends_attempted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return appends_;
+  }
+  std::uint64_t opens_attempted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return opens_;
+  }
+  std::uint64_t reads_attempted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_;
+  }
+
+  /// Faults actually injected, per kind — tests assert the plan fired
+  /// (a window placed past the workload's operation count silently never
+  /// fires; these make that a test failure instead of a vacuous pass).
+  std::uint64_t injected_append_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_append_faults_;
+  }
+  std::uint64_t injected_open_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_open_faults_;
+  }
+  std::uint64_t injected_sync_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_sync_faults_;
+  }
+  std::uint64_t injected_read_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_read_faults_;
+  }
+  /// Total injected faults of every kind (crash excluded).
+  std::uint64_t injected_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_append_faults_ + injected_open_faults_ +
+           injected_sync_faults_ + injected_read_faults_;
+  }
 
  private:
   class File;
 
+  /// True when 0-based operation index `n` falls in `[after, after+count)`.
+  static bool InWindow(std::uint64_t n, std::uint64_t after,
+                       std::uint64_t count);
+
   mutable std::mutex mu_;
   FaultPlan plan_;
   WritableFileFactory base_;
+  FileReader base_reader_;
   Rng rng_;
   bool crashed_ = false;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bits_flipped_ = 0;
   std::uint64_t syncs_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t injected_append_faults_ = 0;
+  std::uint64_t injected_open_faults_ = 0;
+  std::uint64_t injected_sync_faults_ = 0;
+  std::uint64_t injected_read_faults_ = 0;
 };
 
 /// Post-hoc corruption helpers for closed files (simulating bit rot and

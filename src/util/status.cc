@@ -20,6 +20,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

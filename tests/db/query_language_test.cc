@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "db/subscription_engine.h"
 
 namespace modb::db {
@@ -132,6 +136,61 @@ TEST(ParseQueryTest, EventsForm) {
   EXPECT_NE(std::get_if<EventsSpec>(&*parsed), nullptr);
 }
 
+TEST(ParseQueryTest, RangeAllowPartial) {
+  const auto parsed =
+      ParseQuery("SELECT ALL INSIDE RECT(0, -1, 20, 1) AT 6 ALLOW PARTIAL");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<RangeQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_TRUE(spec->allow_partial);
+}
+
+TEST(ParseQueryTest, RangeExplicitStrict) {
+  const auto parsed =
+      ParseQuery("SELECT MUST INSIDE RECT(0, -1, 20, 1) AT 6 STRICT");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<RangeQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_FALSE(spec->allow_partial);
+}
+
+TEST(ParseQueryTest, RangeDefaultsToStrict) {
+  const auto parsed = ParseQuery("SELECT ALL INSIDE RECT(0, -1, 20, 1) AT 6");
+  ASSERT_TRUE(parsed.ok());
+  const auto* spec = std::get_if<RangeQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_FALSE(spec->allow_partial);
+}
+
+TEST(ParseQueryTest, WindowedRangeAllowPartial) {
+  const auto parsed = ParseQuery(
+      "SELECT ALL INSIDE CIRCLE(5, 5, 2) DURING 10 TO 20 allow partial");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* spec = std::get_if<RangeQuerySpec>(&*parsed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_TRUE(spec->windowed);
+  EXPECT_TRUE(spec->allow_partial);
+}
+
+TEST(ParseQueryTest, NearestPartialityBothSpellings) {
+  const auto partial =
+      ParseQuery("NEAREST 3 TO POINT(1.5, -2) AT 12 ALLOW PARTIAL");
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  const auto* p = std::get_if<NearestQuerySpec>(&*partial);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->allow_partial);
+
+  const auto strict = ParseQuery("NEAREST 3 TO POINT(1.5, -2) AT 12 STRICT");
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  const auto* s = std::get_if<NearestQuerySpec>(&*strict);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->allow_partial);
+
+  const auto bare = ParseQuery("NEAREST 3 TO POINT(1.5, -2) AT 12");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(std::get_if<NearestQuerySpec>(&*bare)->allow_partial);
+}
+
 struct BadQueryCase {
   const char* name;
   const char* text;
@@ -192,6 +251,14 @@ INSTANTIATE_TEST_SUITE_P(
                      "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1,1) DURING 1 2"},
         BadQueryCase{"subscribe_trailing_garbage",
                      "SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1,1) AT 5 NOW"},
+        BadQueryCase{"allow_without_partial",
+                     "SELECT ALL INSIDE RECT(0,0,1,1) AT 5 ALLOW"},
+        BadQueryCase{"partiality_trailing_garbage",
+                     "SELECT ALL INSIDE RECT(0,0,1,1) AT 5 ALLOW PARTIAL X"},
+        BadQueryCase{"strict_trailing_garbage",
+                     "NEAREST 1 TO POINT(1,1) AT 5 STRICT NOW"},
+        BadQueryCase{"double_partiality",
+                     "SELECT ALL INSIDE RECT(0,0,1,1) AT 5 STRICT STRICT"},
         BadQueryCase{"unsubscribe_missing_id", "UNSUBSCRIBE"},
         BadQueryCase{"unsubscribe_negative_id", "UNSUBSCRIBE -3"},
         BadQueryCase{"unsubscribe_trailing", "UNSUBSCRIBE 3 4"},
@@ -391,6 +458,169 @@ TEST_F(ExecuteSubscribeTest, UnsubscribeRemovesStandingQuery) {
   EXPECT_FALSE(engine_.contains(9));
   EXPECT_EQ(ExecuteQuery(db_, "UNSUBSCRIBE 9").status().code(),
             util::StatusCode::kNotFound);
+}
+
+// ---- Degraded reads through the language (sharded executor) ----
+
+class ExecuteShardedQueryTest : public testing::Test {
+ protected:
+  static constexpr std::size_t kShards = 4;
+
+  static ShardedModDatabaseOptions Options() {
+    ShardedModDatabaseOptions options;
+    options.num_shards = kShards;
+    options.num_query_threads = 0;  // inline fan-out: deterministic order
+    options.enable_subscriptions = true;
+    options.supervisor.auto_remediate = false;  // tests step the machine
+    return options;
+  }
+
+  ExecuteShardedQueryTest() : db_(&network_, Options()) {}
+
+  void SetUp() override {
+    street_ = network_.AddStraightRoute({0.0, 0.0}, {200.0, 0.0}, "street");
+    // One parked object per shard, spread along the street, so every
+    // fan-out answer has a contribution from each failure domain.
+    for (std::size_t s = 0; s < kShards; ++s) {
+      const core::ObjectId id = IdOnShard(s);
+      ASSERT_NE(id, core::kInvalidObjectId);
+      core::PositionAttribute attr;
+      attr.route = street_;
+      attr.start_route_distance = 10.0 + 40.0 * static_cast<double>(s);
+      attr.start_position = {attr.start_route_distance, 0.0};
+      attr.speed = 0.0;
+      attr.update_cost = 5.0;
+      attr.max_speed = 1.5;
+      attr.policy = core::PolicyKind::kAverageImmediateLinear;
+      ASSERT_TRUE(db_.Insert(id, "obj", attr).ok());
+      ids_[s] = id;
+    }
+  }
+
+  core::ObjectId IdOnShard(std::size_t s) const {
+    for (core::ObjectId id = 1; id < 100000; ++id) {
+      if (db_.ShardOf(id) == s) return id;
+    }
+    return core::kInvalidObjectId;
+  }
+
+  static constexpr const char* kEverywhereMust =
+      "SELECT MUST INSIDE RECT(-10, -10, 210, 10) AT 0";
+
+  geo::RouteNetwork network_;
+  geo::RouteId street_ = geo::kInvalidRouteId;
+  ShardedModDatabase db_;
+  core::ObjectId ids_[kShards] = {};
+};
+
+TEST_F(ExecuteShardedQueryTest, HealthyAnswersAreCompleteUnderBothModes) {
+  const auto strict = ExecuteQuery(db_, std::string(kEverywhereMust) + " STRICT");
+  const auto partial =
+      ExecuteQuery(db_, std::string(kEverywhereMust) + " ALLOW PARTIAL");
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  // Nothing quarantined: identical renderings, no partial annotation.
+  EXPECT_EQ(*strict, *partial);
+  EXPECT_EQ(strict->find("partial"), std::string::npos);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    EXPECT_NE(strict->find(std::to_string(ids_[s])), std::string::npos);
+  }
+}
+
+TEST_F(ExecuteShardedQueryTest, StrictRefusesPartialAnswer) {
+  db_.supervisor().ReportFault(2, util::Status::Internal("test fault"));
+  for (const char* statement :
+       {kEverywhereMust,
+        "SELECT ALL INSIDE RECT(-10, -10, 210, 10) DURING 0 TO 5 STRICT",
+        "NEAREST 2 TO POINT(12, 0) AT 0"}) {
+    const auto out = ExecuteQuery(db_, statement);
+    ASSERT_FALSE(out.ok()) << statement;
+    EXPECT_EQ(out.status().code(), util::StatusCode::kUnavailable) << statement;
+    EXPECT_NE(out.status().message().find("partial answer refused (STRICT)"),
+              std::string::npos)
+        << out.status().ToString();
+    EXPECT_NE(out.status().message().find("shard(s) 2"), std::string::npos)
+        << out.status().ToString();
+  }
+}
+
+TEST_F(ExecuteShardedQueryTest, AllowPartialAnnotatesExcludedShards) {
+  db_.supervisor().ReportFault(2, util::Status::Internal("test fault"));
+  const auto out =
+      ExecuteQuery(db_, std::string(kEverywhereMust) + " ALLOW PARTIAL");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("partial (excluded shards: 2; listed MUST answers "
+                      "remain sound)"),
+            std::string::npos)
+      << *out;
+  // Surviving shards still answer; the quarantined shard's object is absent.
+  // Tokenize the MUST line — raw substring search would match digits in the
+  // region echo or the excluded-shards annotation.
+  const auto must_at = out->find("MUST:");
+  ASSERT_NE(must_at, std::string::npos) << *out;
+  const auto line_end = out->find('\n', must_at);
+  std::istringstream must_line(
+      out->substr(must_at + 5, line_end - (must_at + 5)));
+  std::set<std::string> listed;
+  for (std::string token; must_line >> token;) listed.insert(token);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const bool expected_present = s != 2;
+    EXPECT_EQ(listed.count(std::to_string(ids_[s])) != 0, expected_present)
+        << "shard " << s << ": " << *out;
+  }
+}
+
+TEST_F(ExecuteShardedQueryTest, NearestAllowPartialSkipsQuarantinedShard) {
+  db_.supervisor().ReportFault(1, util::Status::Internal("test fault"));
+  const auto out = ExecuteQuery(
+      db_, "NEAREST 4 TO POINT(12, 0) AT 0 ALLOW PARTIAL");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("partial (excluded shards: 1"), std::string::npos);
+  EXPECT_EQ(out->find("object " + std::to_string(ids_[1]) + ":"),
+            std::string::npos)
+      << *out;
+}
+
+TEST_F(ExecuteShardedQueryTest, PositionOfQuarantinedObjectPassesUnavailable) {
+  db_.supervisor().ReportFault(3, util::Status::Internal("test fault"));
+  const auto down = ExecuteQuery(
+      db_, "POSITION OF " + std::to_string(ids_[3]) + " AT 0");
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_NE(down.status().message().find("retry_after_ms="), std::string::npos)
+      << down.status().ToString();
+  // Objects on healthy shards still answer point queries.
+  const auto up = ExecuteQuery(
+      db_, "POSITION OF " + std::to_string(ids_[0]) + " AT 0");
+  EXPECT_TRUE(up.ok()) << up.status().ToString();
+}
+
+TEST_F(ExecuteShardedQueryTest, SubscriptionStatementsRouteThroughShardedApi) {
+  ASSERT_TRUE(
+      ExecuteQuery(db_, "SUBSCRIBE 42 TO ALL INSIDE RECT(0, -5, 60, 5) AT 1")
+          .ok());
+  EXPECT_EQ(db_.num_subscriptions(), 1u);
+  // The seeded objects sit parked inside the region, so the registration's
+  // next update produces transitions; at minimum EVENTS must execute.
+  const auto events = ExecuteQuery(db_, "EVENTS");
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  const auto out = ExecuteQuery(db_, "UNSUBSCRIBE 42");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "unsubscribed 42");
+  EXPECT_EQ(db_.num_subscriptions(), 0u);
+}
+
+TEST_F(ExecuteShardedQueryTest, EventsWithoutEnginesIsFailedPrecondition) {
+  ShardedModDatabaseOptions options = Options();
+  options.enable_subscriptions = false;
+  ShardedModDatabase plain(&network_, options);
+  for (const char* statement :
+       {"SUBSCRIBE 1 TO MAY INSIDE RECT(0,0,1,1) AT 5", "EVENTS"}) {
+    const auto out = ExecuteQuery(plain, statement);
+    EXPECT_FALSE(out.ok()) << statement;
+    EXPECT_EQ(out.status().code(), util::StatusCode::kFailedPrecondition)
+        << statement;
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -509,6 +510,187 @@ TEST_F(WalTest, PoisonedAfterAppendFailure) {
   EXPECT_FALSE((*writer)->poison().ok());
   EXPECT_FALSE((*writer)->AppendErase(2).ok());
   EXPECT_FALSE((*writer)->Sync().ok());
+}
+
+TEST_F(WalTest, TryReopenClearsPoisonAndResumesAppending) {
+  WalWriterOptions options;
+  options.sync_every_append = true;
+  util::FaultPlan plan;
+  plan.fail_syncs_after = 2;  // third sync fails...
+  plan.fail_syncs_count = 1;  // ...then the fault clears
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 0.0)).ok());
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 1.0)).ok());
+  EXPECT_FALSE((*writer)->AppendUpdate(MakeUpdate(1, 2.0)).ok());
+  ASSERT_FALSE((*writer)->poison().ok());
+  EXPECT_FALSE((*writer)->AppendUpdate(MakeUpdate(1, 3.0)).ok());
+
+  ASSERT_TRUE((*writer)->TryReopen().ok());
+  EXPECT_TRUE((*writer)->poison().ok());
+  // Appends land in a fresh segment with clean framing.
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 4.0)).ok());
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 5.0)).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Replay sees every fully-appended record — including the one whose
+  // frame landed before its fsync failed — with no corruption.
+  std::vector<double> times;
+  auto stats = ReplayWal(dir_, 1, [&](const WalRecord& r) {
+    times.push_back(r.update.time);
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_TRUE(stats->clean) << stats->detail;
+  EXPECT_EQ(stats->segments, 2u);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 1.0, 2.0, 4.0, 5.0}));
+}
+
+TEST_F(WalTest, TryReopenTruncatesTornTailOfAbandonedSegment) {
+  WalWriterOptions options;
+  options.sync_every_append = true;  // nothing buffered in stdio
+  util::FaultPlan plan;
+  plan.fail_appends_after = 3;
+  plan.fail_appends_count = 1;
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, i)).ok());
+  }
+  const std::uint64_t whole_frames = (*writer)->bytes();
+  EXPECT_FALSE((*writer)->AppendUpdate(MakeUpdate(1, 3.0)).ok());
+  ASSERT_FALSE((*writer)->poison().ok());
+
+  // Simulate the torn half-frame a failed append can leave behind.
+  const std::string first_path =
+      (fs::path(dir_) / WalSegmentFileName(1, 1)).string();
+  {
+    std::ofstream out(first_path, std::ios::binary | std::ios::app);
+    const char torn[8] = {0x13, 0x00, 0x00, 0x00, 't', 'o', 'r', 'n'};
+    out.write(torn, sizeof torn);
+  }
+  auto torn_size = util::FileSize(first_path);
+  ASSERT_TRUE(torn_size.ok());
+  ASSERT_GT(*torn_size, whole_frames);
+
+  ASSERT_TRUE((*writer)->TryReopen().ok());
+  // The abandoned segment was cut back to its last whole-frame boundary,
+  // so replay never meets the torn frame.
+  auto healed_size = util::FileSize(first_path);
+  ASSERT_TRUE(healed_size.ok());
+  EXPECT_EQ(*healed_size, whole_frames);
+
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 4.0)).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  std::vector<double> times;
+  auto stats = ReplayWal(dir_, 1, [&](const WalRecord& r) {
+    times.push_back(r.update.time);
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->clean) << stats->detail;
+  EXPECT_EQ(times, (std::vector<double>{0.0, 1.0, 2.0, 4.0}));
+}
+
+TEST_F(WalTest, TryReopenReusesSeqWhenRotationNeverCreatedItsFile) {
+  WalWriterOptions options;
+  options.segment_max_bytes = 1;  // every append rotates
+  util::FaultPlan plan;
+  plan.fail_opens_after = 1;  // segment 2's open fails once
+  plan.fail_opens_count = 1;
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 0.0)).ok());
+  // This append needs segment 2; the injected open failure poisons.
+  EXPECT_FALSE((*writer)->AppendUpdate(MakeUpdate(1, 1.0)).ok());
+  ASSERT_FALSE((*writer)->poison().ok());
+
+  ASSERT_TRUE((*writer)->TryReopen().ok());
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 2.0)).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  // Sequence numbers stayed contiguous: segment 2 exists, no gap, and
+  // replay walks the full chain.
+  std::vector<double> times;
+  auto stats = ReplayWal(dir_, 1, [&](const WalRecord& r) {
+    times.push_back(r.update.time);
+    return util::Status::Ok();
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->clean) << stats->detail;
+  EXPECT_EQ(times, (std::vector<double>{0.0, 2.0}));
+}
+
+TEST_F(WalTest, TryReopenFailureKeepsPoisonUntilARetrySucceeds) {
+  WalWriterOptions options;
+  options.segment_max_bytes = 1;
+  util::FaultPlan plan;
+  plan.fail_opens_after = 1;  // rotation open AND first reopen both fail
+  plan.fail_opens_count = 2;
+  util::FaultInjector injector(plan);
+  options.file_factory = injector.factory();
+
+  auto writer = WalWriter::Open(dir_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 0.0)).ok());
+  EXPECT_FALSE((*writer)->AppendUpdate(MakeUpdate(1, 1.0)).ok());
+
+  // First remediation attempt hits the still-open fault window.
+  const util::Status reopen = (*writer)->TryReopen();
+  EXPECT_FALSE(reopen.ok());
+  // The failure names the epoch and segment so the quarantine reason does.
+  EXPECT_NE(reopen.message().find("epoch 1"), std::string::npos)
+      << reopen.message();
+  EXPECT_NE(reopen.message().find("wal-"), std::string::npos)
+      << reopen.message();
+  EXPECT_FALSE((*writer)->poison().ok()) << "failed reopen must stay poisoned";
+  EXPECT_FALSE((*writer)->AppendUpdate(MakeUpdate(1, 2.0)).ok());
+
+  // The retry loop comes back once the window closes.
+  ASSERT_TRUE((*writer)->TryReopen().ok());
+  EXPECT_TRUE((*writer)->poison().ok());
+  ASSERT_TRUE((*writer)->AppendUpdate(MakeUpdate(1, 3.0)).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST_F(WalTest, TryReopenOnClosedWriterFails) {
+  auto writer = WalWriter::Open(dir_, 1, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_FALSE((*writer)->TryReopen().ok());
+}
+
+TEST_F(WalTest, ReplayReadFaultSurfacesEpochAndSegment) {
+  auto writer = WalWriter::Open(dir_, 4, {});
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendErase(1).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  util::FaultPlan plan;
+  plan.fail_reads_after = 0;
+  plan.fail_reads_count = 1;
+  util::FaultInjector injector(plan);
+  auto stats =
+      ReplayWal(dir_, 4, [](const WalRecord&) { return util::Status::Ok(); },
+                injector.reader());
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(injector.injected_read_faults(), 1u);
+  // The I/O error names the epoch and the segment file it hit.
+  EXPECT_NE(stats.status().message().find("epoch 4"), std::string::npos)
+      << stats.status().message();
+  EXPECT_NE(stats.status().message().find(WalSegmentFileName(4, 1)),
+            std::string::npos)
+      << stats.status().message();
 }
 
 TEST_F(WalTest, RotationSyncsPendingBatchUnderBoundedWindow) {

@@ -151,6 +151,129 @@ TEST(FaultInjectionTest, NoFaultsMeansPassThrough) {
   std::remove(path.c_str());
 }
 
+TEST(FaultInjectionTest, TransientAppendWindow) {
+  const std::string path = TestPath("fi_append_window.bin");
+  FaultPlan plan;
+  plan.fail_appends_after = 1;
+  plan.fail_appends_count = 2;
+  FaultInjector injector(plan);
+  auto file = injector.factory()(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("a").ok());   // op 0: before window
+  EXPECT_FALSE((*file)->Append("b").ok());  // op 1: in window
+  EXPECT_FALSE((*file)->Append("c").ok());  // op 2: in window
+  EXPECT_TRUE((*file)->Append("d").ok());   // op 3: window closed
+  ASSERT_TRUE((*file)->Close().ok());
+  // Failed appends write nothing — the torn-write path is crash_after_bytes.
+  EXPECT_EQ(ReadAll(path), "ad");
+  EXPECT_EQ(injector.appends_attempted(), 4u);
+  EXPECT_EQ(injector.injected_append_faults(), 2u);
+  EXPECT_FALSE(injector.crashed()) << "transient faults are not sticky";
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, TransientOpenWindowCountsAcrossFiles) {
+  FaultPlan plan;
+  plan.fail_opens_after = 1;
+  plan.fail_opens_count = 1;
+  FaultInjector injector(plan);
+  auto factory = injector.factory();
+  auto first = factory(TestPath("fi_open_0.bin"));
+  EXPECT_TRUE(first.ok());
+  auto second = factory(TestPath("fi_open_1.bin"));
+  EXPECT_FALSE(second.ok());  // op 1 falls in the window
+  auto third = factory(TestPath("fi_open_2.bin"));
+  EXPECT_TRUE(third.ok());
+  EXPECT_EQ(injector.opens_attempted(), 3u);
+  EXPECT_EQ(injector.injected_open_faults(), 1u);
+  std::remove(TestPath("fi_open_0.bin").c_str());
+  std::remove(TestPath("fi_open_2.bin").c_str());
+}
+
+TEST(FaultInjectionTest, TransientReadWindow) {
+  const std::string path = TestPath("fi_read_window.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "payload";
+  }
+  FaultPlan plan;
+  plan.fail_reads_after = 0;
+  plan.fail_reads_count = 2;
+  FaultInjector injector(plan);
+  auto reader = injector.reader();
+  EXPECT_FALSE(reader(path).ok());  // op 0
+  EXPECT_FALSE(reader(path).ok());  // op 1
+  auto ok = reader(path);           // op 2: window closed
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "payload");
+  EXPECT_EQ(injector.reads_attempted(), 3u);
+  EXPECT_EQ(injector.injected_read_faults(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, DefaultFileReaderReadsWholeFile) {
+  const std::string path = TestPath("fi_reader.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "whole file\0with nul" << std::flush;
+  }
+  auto contents = DefaultFileReader()(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->substr(0, 10), "whole file");
+  EXPECT_FALSE(DefaultFileReader()(TestPath("fi_reader_missing.bin")).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, SyncWindowClosesWhenCountIsFinite) {
+  const std::string path = TestPath("fi_sync_window.bin");
+  FaultPlan plan;
+  plan.fail_syncs_after = 1;
+  plan.fail_syncs_count = 2;  // finite window, unlike the sticky default
+  FaultInjector injector(plan);
+  auto file = injector.factory()(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  EXPECT_TRUE((*file)->Sync().ok());   // op 0
+  EXPECT_FALSE((*file)->Sync().ok());  // op 1
+  EXPECT_FALSE((*file)->Sync().ok());  // op 2
+  EXPECT_TRUE((*file)->Sync().ok());   // op 3: recovered
+  EXPECT_EQ(injector.injected_sync_faults(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, InjectedFaultTotalSumsAllKinds) {
+  const std::string path = TestPath("fi_total.bin");
+  FaultPlan plan;
+  plan.fail_appends_after = 0;
+  plan.fail_appends_count = 1;
+  plan.fail_syncs_after = 0;
+  plan.fail_syncs_count = 1;
+  plan.fail_reads_after = 0;
+  plan.fail_reads_count = 1;
+  FaultInjector injector(plan);
+  auto file = injector.factory()(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("a").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(injector.reader()(path).ok());
+  EXPECT_EQ(injector.injected_faults(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectionTest, WindowPastWorkloadNeverFires) {
+  const std::string path = TestPath("fi_vacuous.bin");
+  FaultPlan plan;
+  plan.fail_appends_after = 100;  // workload only makes 2 appends
+  FaultInjector injector(plan);
+  auto file = injector.factory()(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("a").ok());
+  EXPECT_TRUE((*file)->Append("b").ok());
+  // The counter is how a test detects its plan was vacuous.
+  EXPECT_EQ(injector.injected_faults(), 0u);
+  std::remove(path.c_str());
+}
+
 TEST(FaultInjectionTest, FileHelpers) {
   const std::string path = TestPath("fi_helpers.bin");
   {

@@ -1,0 +1,140 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace modb::util {
+namespace {
+
+TEST(RetryPolicyTest, FirstDelayIsNearInitial) {
+  RetryPolicy::Options options;
+  options.initial_delay_ms = 100;
+  options.jitter_fraction = 0.2;
+  RetryPolicy policy(options);
+  const std::uint64_t d = policy.NextDelayMs();
+  EXPECT_GE(d, 80u);
+  EXPECT_LE(d, 120u);
+  EXPECT_EQ(policy.attempts(), 1u);
+}
+
+TEST(RetryPolicyTest, DelaysGrowGeometricallyAndCap) {
+  RetryPolicy::Options options;
+  options.initial_delay_ms = 10;
+  options.max_delay_ms = 100;
+  options.multiplier = 2.0;
+  options.jitter_fraction = 0.0;  // exact values, no jitter
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.NextDelayMs(), 10u);
+  EXPECT_EQ(policy.NextDelayMs(), 20u);
+  EXPECT_EQ(policy.NextDelayMs(), 40u);
+  EXPECT_EQ(policy.NextDelayMs(), 80u);
+  EXPECT_EQ(policy.NextDelayMs(), 100u);  // clamped
+  EXPECT_EQ(policy.NextDelayMs(), 100u);  // stays clamped
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFraction) {
+  RetryPolicy::Options options;
+  options.initial_delay_ms = 1000;
+  options.max_delay_ms = 1000;  // constant base, isolates jitter
+  options.multiplier = 1.0;
+  options.jitter_fraction = 0.25;
+  RetryPolicy policy(options);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t d = policy.NextDelayMs();
+    EXPECT_GE(d, 750u) << "attempt " << i;
+    EXPECT_LE(d, 1250u) << "attempt " << i;
+  }
+}
+
+TEST(RetryPolicyTest, SameSeedSameDelays) {
+  RetryPolicy::Options options;
+  options.seed = 99;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs()) << "attempt " << i;
+  }
+}
+
+TEST(RetryPolicyTest, DifferentSeedsDiverge) {
+  RetryPolicy::Options a_opts;
+  a_opts.seed = 1;
+  RetryPolicy::Options b_opts;
+  b_opts.seed = 2;
+  RetryPolicy a(a_opts);
+  RetryPolicy b(b_opts);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextDelayMs() != b.NextDelayMs()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "distinct seeds should de-synchronise the fleet";
+}
+
+TEST(RetryPolicyTest, DelayForAttemptMatchesLiveStream) {
+  RetryPolicy::Options options;
+  options.initial_delay_ms = 10;
+  options.max_delay_ms = 5000;
+  options.jitter_fraction = 0.3;
+  options.seed = 1234;
+  RetryPolicy policy(options);
+  // Peek the whole schedule up front, then confirm the live stream
+  // reproduces it — the supervisor publishes retry-after hints this way.
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t attempt = 0; attempt < 8; ++attempt) {
+    expected.push_back(policy.DelayForAttempt(attempt));
+  }
+  for (std::uint64_t attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(policy.NextDelayMs(), expected[attempt])
+        << "attempt " << attempt;
+  }
+  // Peeking never advanced state.
+  EXPECT_EQ(policy.attempts(), 8u);
+}
+
+TEST(RetryPolicyTest, ResetReplaysTheSchedule) {
+  RetryPolicy policy;
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 5; ++i) first.push_back(policy.NextDelayMs());
+  policy.Reset();
+  EXPECT_EQ(policy.attempts(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.NextDelayMs(), first[static_cast<std::size_t>(i)])
+        << "attempt " << i;
+  }
+}
+
+TEST(RetryPolicyTest, MaxAttemptsGatesShouldRetry) {
+  RetryPolicy::Options options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  EXPECT_TRUE(policy.ShouldRetry());
+  policy.NextDelayMs();
+  policy.NextDelayMs();
+  EXPECT_TRUE(policy.ShouldRetry());
+  policy.NextDelayMs();
+  EXPECT_FALSE(policy.ShouldRetry());
+  policy.Reset();
+  EXPECT_TRUE(policy.ShouldRetry());
+}
+
+TEST(RetryPolicyTest, ZeroMaxAttemptsMeansUnlimited) {
+  RetryPolicy policy;  // default max_attempts = 0
+  for (int i = 0; i < 100; ++i) policy.NextDelayMs();
+  EXPECT_TRUE(policy.ShouldRetry());
+}
+
+TEST(RetryPolicyTest, SubUnitMultiplierTreatedAsConstant) {
+  RetryPolicy::Options options;
+  options.initial_delay_ms = 50;
+  options.multiplier = 0.5;  // nonsensical shrink; treated as 1.0
+  options.jitter_fraction = 0.0;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.NextDelayMs(), 50u);
+  EXPECT_EQ(policy.NextDelayMs(), 50u);
+  EXPECT_EQ(policy.NextDelayMs(), 50u);
+}
+
+}  // namespace
+}  // namespace modb::util
