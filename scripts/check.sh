@@ -38,6 +38,9 @@ build/bench/exp_continuous_query --smoke
 echo "== E18 smoke: shard failure-domain shape check =="
 build/bench/exp_fault_tolerance --smoke
 
+echo "== E19 smoke: paged index storage shape check =="
+build/bench/exp_paged_index --smoke
+
 if [[ "$run_asan" == 1 ]]; then
   echo "== AddressSanitizer gate =="
   cmake --preset asan

@@ -23,6 +23,7 @@ std::unique_ptr<index::ObjectIndex> MakeIndex(
       index::TimeSpaceIndex::Options idx;
       idx.oplane.horizon = options.oplane_horizon;
       idx.oplane.slab_width = options.oplane_slab_width;
+      idx.rtree.storage = options.index_storage;
       return std::make_unique<index::TimeSpaceIndex>(network, idx);
     }
     case IndexKind::kLinearScan:
@@ -35,6 +36,7 @@ std::unique_ptr<index::ObjectIndex> MakeIndex(
       idx.band_bounds = options.velocity_band_bounds;
       idx.min_slab_width = options.velocity_min_slab_width;
       idx.pool = options.index_pool;
+      idx.rtree.storage = options.index_storage;
       return std::make_unique<index::VelocityPartitionedIndex>(network, idx);
     }
   }
@@ -191,6 +193,11 @@ util::Status ModDatabase::FinishBulkIngest() {
     return util::Status::FailedPrecondition("no bulk ingest active");
   }
   bulk_ingest_ = false;
+  // Destroy the old index *before* constructing the new one: with
+  // disk-backed index storage both would otherwise hold the same page
+  // file at once, and the old instance's buffered writer could clobber
+  // the fresh generation the new instance opens.
+  index_.reset();
   index_ = MakeIndex(network_, options_);
   if (metrics_registry_ != nullptr) {
     index_->SetMetrics(metrics_registry_, metrics_prefix_ + "index.");

@@ -18,6 +18,7 @@
 #include "geo/polygon.h"
 #include "geo/route_network.h"
 #include "index/object_index.h"
+#include "storage/storage_manager.h"
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -78,6 +79,18 @@ struct ModDatabaseOptions {
   /// (non-owning, must outlive the database; not persisted). nullptr
   /// probes bands serially.
   util::ThreadPool* index_pool = nullptr;
+  /// Page storage backing the range index's R*-tree nodes (ignored by the
+  /// linear scan). Defaults to unbounded in-memory pages — identical
+  /// behavior and performance to the pre-paged index. Set `kind = kDisk`
+  /// with a `path` and a `pool_pages` budget to bound index memory: nodes
+  /// then live in a page file behind a clock-eviction buffer pool, and
+  /// `FlushIndexStorage` commits them (the durability manager does this
+  /// before each snapshot). The velocity-partitioned index derives one
+  /// page file per band from `path` (".band<b>" suffix); the sharded
+  /// layer adds a ".shard<i>" suffix per shard. Not persisted in
+  /// snapshots — storage placement is a deployment concern, so a restored
+  /// database uses whatever config its options carry (default: memory).
+  storage::StorageConfig index_storage;
   /// Cap on the update-log history retained for replay (0 = unlimited).
   std::size_t max_log_history = 0;
   /// Keep superseded attribute versions per object so position queries at
@@ -272,6 +285,12 @@ class ModDatabase {
   /// answers (the cache is invalidated by the delta stream), falling back
   /// to a plain `QueryRange` when no cache is attached.
   RangeAnswer QueryRangeCached(const geo::Polygon& region, core::Time t) const;
+
+  /// Flushes the index's dirty pages and commits its page store (no-op for
+  /// in-memory storage). The durability manager calls this before writing
+  /// a snapshot so the page file on disk is consistent with the snapshot's
+  /// logical state; call it likewise before copying the page file.
+  util::Status FlushIndexStorage() { return index_->FlushStorage(); }
 
   /// Invokes `fn` on every stored record (unspecified order). Used by the
   /// snapshot writer and statistics tooling.

@@ -108,7 +108,13 @@ ShardedModDatabase::ShardedModDatabase(const geo::RouteNetwork* network,
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->db = std::make_unique<ModDatabase>(network, options_.db);
+    ModDatabaseOptions db_options = options_.db;
+    if (db_options.index_storage.kind == storage::StorageKind::kDisk) {
+      // Each shard's index needs its own page file; a shared path would
+      // have every shard clobbering one file's generations.
+      db_options.index_storage.path += ".shard" + std::to_string(i);
+    }
+    shard->db = std::make_unique<ModDatabase>(network, db_options);
     shard->db->SetMetrics(&metrics_);  // shards share the mod.* counters
     if (options_.enable_subscriptions) {
       shard->subscriptions = std::make_unique<SubscriptionEngine>(

@@ -59,10 +59,28 @@ void WriteString(std::ostream& out, const std::string& s) {
   out << s.size() << ' ' << s;
 }
 
+// Strings in a snapshot are object labels — human-scale. A length prefix
+// past this cap is a corrupted (or hostile) file, and `resize(len)` would
+// commit the whole claimed allocation before a single payload byte is
+// checked, so the cap must be enforced *before* resizing.
+constexpr std::size_t kMaxSnapshotStringLen = std::size_t{1} << 20;  // 1 MiB
+
 bool ReadString(std::istream& in, std::string* s) {
   std::size_t len = 0;
   if (!(in >> len)) return false;
   if (in.get() != ' ') return false;
+  if (len > kMaxSnapshotStringLen) return false;
+  // Seekable streams also know how many bytes remain: a length past the
+  // end of the file is corruption rejectable without allocating anything.
+  if (const auto pos = in.tellg(); pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (end != std::istream::pos_type(-1) && end >= pos &&
+        static_cast<std::size_t>(end - pos) < len) {
+      return false;
+    }
+  }
   s->resize(len);
   in.read(s->data(), static_cast<std::streamsize>(len));
   return static_cast<bool>(in);

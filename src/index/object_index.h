@@ -109,6 +109,13 @@ class ObjectIndex {
     (void)prefix;
   }
 
+  /// Writes any dirty index pages back to the backing page store and
+  /// commits it. The checkpoint protocol calls this before publishing a
+  /// snapshot so a disk-backed index's page file is consistent with the
+  /// snapshotted tree; a checkpoint flushes only dirty pages. Default
+  /// no-op for indexes without page-backed storage.
+  virtual util::Status FlushStorage() { return util::Status::Ok(); }
+
   /// Implementation name for reports ("rtree", "scan", "vp-rtree").
   virtual std::string_view name() const = 0;
 

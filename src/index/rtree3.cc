@@ -3,23 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
+
+#include "storage/memory_storage_manager.h"
 
 namespace modb::index {
 
 using geo::Box3;
+using storage::kInvalidPageId;
 
 struct RTree3::Entry {
   Box3 box;
   Value value = 0;
-  std::unique_ptr<Node> child;  // null for leaf entries
+  NodeId child = kInvalidPageId;  // kInvalidPageId for leaf entries
 
-  bool IsLeafEntry() const { return child == nullptr; }
+  bool IsLeafEntry() const { return child == kInvalidPageId; }
 };
 
 struct RTree3::Node {
-  std::size_t level = 0;  // 0 == leaf
-  Node* parent = nullptr;
+  std::uint32_t level = 0;  // 0 == leaf
+  NodeId parent = kInvalidPageId;
   std::vector<Entry> entries;
 
   bool IsLeaf() const { return level == 0; }
@@ -28,6 +32,20 @@ struct RTree3::Node {
     Box3 box;
     for (const Entry& e : entries) box.Expand(e.box);
     return box;
+  }
+};
+
+/// A buffer-pool pin paired with the materialised node it resolves to.
+/// Invalid (`node == nullptr`) when the fetch failed — the tree is poisoned
+/// by then and the caller bails out.
+struct RTree3::Pinned {
+  storage::BufferPool::Handle handle;
+  Node* node = nullptr;
+
+  explicit operator bool() const { return node != nullptr; }
+  void Release() {
+    handle.Release();
+    node = nullptr;
   }
 };
 
@@ -40,45 +58,248 @@ bool SameBox(const Box3& a, const Box3& b) {
   return true;
 }
 
+// Node page layout (little-endian):
+//   u32 level | u64 parent | u32 count |
+//   count x { f64 min[3], f64 max[3], u64 word }
+// where `word` is the value for leaf entries and the child NodeId for
+// internal ones (distinguished by `level`).
+constexpr std::size_t kNodeHeaderBytes = 16;
+constexpr std::size_t kEntryBytes = 6 * 8 + 8;
+
+void PutU32(std::string* out, std::uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutF64(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+std::uint32_t GetU32(std::string_view data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) |
+        static_cast<std::uint8_t>(data[pos + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(std::string_view data, std::size_t pos) {
+  const std::uint64_t lo = GetU32(data, pos);
+  const std::uint64_t hi = GetU32(data, pos + 4);
+  return (hi << 32) | lo;
+}
+
+double GetF64(std::string_view data, std::size_t pos) {
+  const std::uint64_t bits = GetU64(data, pos);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
 }  // namespace
+
+util::Status RTree3::EncodeNode(const void* object, std::string* out) {
+  const auto* node = static_cast<const Node*>(object);
+  out->clear();
+  out->reserve(kNodeHeaderBytes + node->entries.size() * kEntryBytes);
+  PutU32(out, node->level);
+  PutU64(out, node->parent);
+  PutU32(out, static_cast<std::uint32_t>(node->entries.size()));
+  for (const auto& e : node->entries) {
+    for (int d = 0; d < 3; ++d) PutF64(out, e.box.min[d]);
+    for (int d = 0; d < 3; ++d) PutF64(out, e.box.max[d]);
+    PutU64(out, node->level == 0 ? e.value : e.child);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<std::shared_ptr<void>> RTree3::DecodeNode(
+    std::string_view bytes) {
+  if (bytes.size() < kNodeHeaderBytes) {
+    return util::Status::Internal("node page truncated: " +
+                                  std::to_string(bytes.size()) + " bytes");
+  }
+  auto node = std::make_shared<Node>();
+  node->level = GetU32(bytes, 0);
+  node->parent = GetU64(bytes, 4);
+  const std::uint32_t count = GetU32(bytes, 12);
+  if (bytes.size() != kNodeHeaderBytes + std::size_t{count} * kEntryBytes) {
+    return util::Status::Internal(
+        "node page size mismatch: " + std::to_string(bytes.size()) +
+        " bytes for " + std::to_string(count) + " entries");
+  }
+  node->entries.resize(count);
+  std::size_t pos = kNodeHeaderBytes;
+  for (std::uint32_t i = 0; i < count; ++i, pos += kEntryBytes) {
+    auto& e = node->entries[i];
+    for (int d = 0; d < 3; ++d) e.box.min[d] = GetF64(bytes, pos + 8 * d);
+    for (int d = 0; d < 3; ++d) e.box.max[d] = GetF64(bytes, pos + 24 + 8 * d);
+    const std::uint64_t word = GetU64(bytes, pos + 48);
+    if (node->level == 0) {
+      e.value = word;
+      e.child = kInvalidPageId;
+    } else {
+      e.value = 0;
+      e.child = word;
+    }
+  }
+  return std::shared_ptr<void>(std::move(node));
+}
+
+storage::PageCodec RTree3::NodeCodec() {
+  storage::PageCodec codec;
+  codec.encode = &RTree3::EncodeNode;
+  codec.decode = &RTree3::DecodeNode;
+  return codec;
+}
 
 RTree3::RTree3() : RTree3(Options{}) {}
 
-RTree3::RTree3(Options options) : options_(options) {
+RTree3::RTree3(Options options)
+    : options_(std::move(options)), ctl_(std::make_shared<ControlBlock>()) {
   assert(options_.max_entries >= 4);
   assert(options_.min_entries >= 2);
   assert(options_.min_entries <= options_.max_entries / 2);
-  root_ = std::make_unique<Node>();
+
+  auto storage = storage::OpenStorage(options_.storage);
+  if (storage.ok()) {
+    storage_ = std::move(*storage);
+  } else {
+    Poison(storage.status());
+    // Inert backing so the poisoned tree stays safely callable.
+    storage_ = std::make_unique<storage::MemoryStorageManager>();
+  }
+  storage::BufferPoolOptions pool_options;
+  pool_options.capacity_pages = options_.storage.pool_pages;
+  pool_ = std::make_unique<storage::BufferPool>(storage_.get(), NodeCodec(),
+                                                pool_options);
+  // An overfull node (max_entries + 1, transiently held between an insert
+  // and its split) must still fit a page: it can be evicted and written
+  // back while unpinned.
+  const std::size_t required =
+      kNodeHeaderBytes + (options_.max_entries + 1) * kEntryBytes;
+  if (healthy() && storage_->page_payload_size() < required) {
+    Poison(util::Status::InvalidArgument(
+        "page payload of " + std::to_string(storage_->page_payload_size()) +
+        " bytes cannot hold fan-out " + std::to_string(options_.max_entries) +
+        " (needs " + std::to_string(required) + ")"));
+  }
+  if (healthy()) {
+    Pinned root = AllocNode(0, kInvalidPageId);
+    if (root) root_ = root.handle.id();
+  }
 }
 
 RTree3::~RTree3() = default;
 RTree3::RTree3(RTree3&&) noexcept = default;
 RTree3& RTree3::operator=(RTree3&&) noexcept = default;
 
+util::Status RTree3::storage_status() const {
+  std::lock_guard<std::mutex> lock(ctl_->mu);
+  return ctl_->status;
+}
+
+bool RTree3::healthy() const {
+  std::lock_guard<std::mutex> lock(ctl_->mu);
+  return ctl_->status.ok();
+}
+
+void RTree3::Poison(const util::Status& status) const {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(ctl_->mu);
+  if (ctl_->status.ok()) ctl_->status = status;  // first error wins
+}
+
+RTree3::Pinned RTree3::Pin(NodeId id) const {
+  Pinned pinned;
+  if (id == kInvalidPageId) {
+    Poison(util::Status::Internal("pin of invalid node id"));
+    return pinned;
+  }
+  auto handle = pool_->Fetch(id);
+  if (!handle.ok()) {
+    Poison(handle.status());
+    return pinned;
+  }
+  pinned.handle = std::move(*handle);
+  pinned.node = static_cast<Node*>(pinned.handle.get());
+  return pinned;
+}
+
+RTree3::Pinned RTree3::AllocNode(std::uint32_t level, NodeId parent) {
+  Pinned pinned;
+  auto node = std::make_shared<Node>();
+  node->level = level;
+  node->parent = parent;
+  Node* raw = node.get();
+  auto handle = pool_->Create(std::move(node));
+  if (!handle.ok()) {
+    Poison(handle.status());
+    return pinned;
+  }
+  pinned.handle = std::move(*handle);
+  pinned.node = raw;
+  return pinned;
+}
+
+void RTree3::FreeNode(NodeId id) {
+  if (util::Status s = pool_->Free(id); !s.ok()) Poison(s);
+}
+
 void RTree3::Insert(const Box3& box, Value value) {
   assert(!box.Empty());
+  if (!healthy()) return;
   Entry entry;
   entry.box = box;
   entry.value = value;
-  InsertEntryAtLevel(std::move(entry), 0);
-  ++size_;
+  InsertEntryAtLevel(entry, 0);
+  if (healthy()) ++size_;
+  SyncMetrics();
 }
 
 void RTree3::InsertEntryAtLevel(Entry entry, std::size_t level) {
-  Node* node = ChooseSubtree(entry.box, level);
-  if (entry.child != nullptr) entry.child->parent = node;
-  node->entries.push_back(std::move(entry));
-  if (node->entries.size() > options_.max_entries) {
-    SplitNode(node);
+  const NodeId node_id = ChooseSubtree(entry.box, level);
+  if (node_id == kInvalidPageId) return;
+  bool overflow = false;
+  {
+    Pinned p = Pin(node_id);
+    if (!p) return;
+    if (entry.child != kInvalidPageId) {
+      Pinned child = Pin(entry.child);
+      if (!child) return;
+      child.node->parent = node_id;
+      child.handle.MarkDirty();
+    }
+    p.node->entries.push_back(entry);
+    p.handle.MarkDirty();
+    overflow = p.node->entries.size() > options_.max_entries;
+  }
+  if (overflow) {
+    SplitNode(node_id);
   } else {
-    AdjustUpward(node);
+    AdjustUpward(node_id);
   }
 }
 
-RTree3::Node* RTree3::ChooseSubtree(const Box3& box,
-                                    std::size_t target_level) const {
-  Node* node = root_.get();
-  while (node->level > target_level) {
+RTree3::NodeId RTree3::ChooseSubtree(const Box3& box,
+                                     std::size_t target_level) const {
+  NodeId id = root_;
+  Pinned p = Pin(id);
+  if (!p) return kInvalidPageId;
+  while (p.node->level > target_level) {
+    const Node* node = p.node;
     assert(!node->entries.empty());
     const bool children_are_leaves = node->level == 1;
     std::size_t best = 0;
@@ -115,221 +336,298 @@ RTree3::Node* RTree3::ChooseSubtree(const Box3& box,
         best_tertiary = tertiary;
       }
     }
-    node = node->entries[best].child.get();
+    id = node->entries[best].child;
+    p = Pin(id);
+    if (!p) return kInvalidPageId;
   }
-  return node;
+  return id;
 }
 
-void RTree3::SplitNode(Node* node) {
-  // R* split: choose the axis with the minimal total margin over all
-  // candidate distributions, then the distribution with minimal overlap
-  // (ties broken by total volume).
-  const std::size_t total = node->entries.size();
-  const std::size_t min_e = options_.min_entries;
-  assert(total > options_.max_entries);
+void RTree3::SplitNode(NodeId node_id) {
+  if (!healthy()) return;
+  ++splits_;
+  NodeId parent_id = kInvalidPageId;
+  bool parent_overflow = false;
+  {
+    Pinned p = Pin(node_id);
+    if (!p) return;
+    Node* node = p.node;
 
-  std::vector<std::size_t> order(total);
-  std::vector<std::size_t> best_order;
-  std::size_t best_split_at = min_e;
-  double best_margin_for_axis = std::numeric_limits<double>::infinity();
+    // R* split: choose the axis with the minimal total margin over all
+    // candidate distributions, then the distribution with minimal overlap
+    // (ties broken by total volume).
+    const std::size_t total = node->entries.size();
+    const std::size_t min_e = options_.min_entries;
+    assert(total > options_.max_entries);
 
-  // For each axis and each of the two sortings (by min, by max), evaluate
-  // every legal split position.
-  for (int axis = 0; axis < 3; ++axis) {
-    for (int by_max = 0; by_max < 2; ++by_max) {
-      for (std::size_t i = 0; i < total; ++i) order[i] = i;
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) {
-                  const Box3& ba = node->entries[a].box;
-                  const Box3& bb = node->entries[b].box;
-                  return by_max ? ba.max[axis] < bb.max[axis]
-                                : ba.min[axis] < bb.min[axis];
-                });
-      // Prefix / suffix boxes for O(n) margin evaluation per sorting.
-      std::vector<Box3> prefix(total);
-      std::vector<Box3> suffix(total);
-      Box3 acc;
-      for (std::size_t i = 0; i < total; ++i) {
-        acc.Expand(node->entries[order[i]].box);
-        prefix[i] = acc;
-      }
-      acc = Box3();
-      for (std::size_t i = total; i-- > 0;) {
-        acc.Expand(node->entries[order[i]].box);
-        suffix[i] = acc;
-      }
-      double margin_sum = 0.0;
-      double axis_best_overlap = std::numeric_limits<double>::infinity();
-      double axis_best_volume = std::numeric_limits<double>::infinity();
-      std::size_t axis_best_split = min_e;
-      for (std::size_t k = min_e; k + min_e <= total; ++k) {
-        const Box3& left = prefix[k - 1];
-        const Box3& right = suffix[k];
-        margin_sum += left.Margin() + right.Margin();
-        const double overlap = left.OverlapVolume(right);
-        const double volume = left.Volume() + right.Volume();
-        if (overlap < axis_best_overlap ||
-            (overlap == axis_best_overlap && volume < axis_best_volume)) {
-          axis_best_overlap = overlap;
-          axis_best_volume = volume;
-          axis_best_split = k;
+    std::vector<std::size_t> order(total);
+    std::vector<std::size_t> best_order;
+    std::size_t best_split_at = min_e;
+    double best_margin_for_axis = std::numeric_limits<double>::infinity();
+
+    // For each axis and each of the two sortings (by min, by max), evaluate
+    // every legal split position.
+    for (int axis = 0; axis < 3; ++axis) {
+      for (int by_max = 0; by_max < 2; ++by_max) {
+        for (std::size_t i = 0; i < total; ++i) order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const Box3& ba = node->entries[a].box;
+                    const Box3& bb = node->entries[b].box;
+                    return by_max ? ba.max[axis] < bb.max[axis]
+                                  : ba.min[axis] < bb.min[axis];
+                  });
+        // Prefix / suffix boxes for O(n) margin evaluation per sorting.
+        std::vector<Box3> prefix(total);
+        std::vector<Box3> suffix(total);
+        Box3 acc;
+        for (std::size_t i = 0; i < total; ++i) {
+          acc.Expand(node->entries[order[i]].box);
+          prefix[i] = acc;
+        }
+        acc = Box3();
+        for (std::size_t i = total; i-- > 0;) {
+          acc.Expand(node->entries[order[i]].box);
+          suffix[i] = acc;
+        }
+        double margin_sum = 0.0;
+        double axis_best_overlap = std::numeric_limits<double>::infinity();
+        double axis_best_volume = std::numeric_limits<double>::infinity();
+        std::size_t axis_best_split = min_e;
+        for (std::size_t k = min_e; k + min_e <= total; ++k) {
+          const Box3& left = prefix[k - 1];
+          const Box3& right = suffix[k];
+          margin_sum += left.Margin() + right.Margin();
+          const double overlap = left.OverlapVolume(right);
+          const double volume = left.Volume() + right.Volume();
+          if (overlap < axis_best_overlap ||
+              (overlap == axis_best_overlap && volume < axis_best_volume)) {
+            axis_best_overlap = overlap;
+            axis_best_volume = volume;
+            axis_best_split = k;
+          }
+        }
+        if (margin_sum < best_margin_for_axis) {
+          best_margin_for_axis = margin_sum;
+          best_order = order;
+          best_split_at = axis_best_split;
         }
       }
-      if (margin_sum < best_margin_for_axis) {
-        best_margin_for_axis = margin_sum;
-        best_order = order;
-        best_split_at = axis_best_split;
+    }
+
+    // Move the second group into a fresh sibling.
+    Pinned sibling = AllocNode(node->level, node->parent);
+    if (!sibling) return;
+    const NodeId sibling_id = sibling.handle.id();
+    std::vector<Entry> left_entries;
+    left_entries.reserve(best_split_at);
+    for (std::size_t i = 0; i < total; ++i) {
+      const Entry& e = node->entries[best_order[i]];
+      if (i < best_split_at) {
+        left_entries.push_back(e);
+      } else {
+        if (e.child != kInvalidPageId) {
+          Pinned child = Pin(e.child);
+          if (!child) return;
+          child.node->parent = sibling_id;
+          child.handle.MarkDirty();
+        }
+        sibling.node->entries.push_back(e);
       }
     }
-  }
+    node->entries = std::move(left_entries);
+    p.handle.MarkDirty();  // sibling was created dirty
 
-  // Move the second group into a fresh sibling.
-  auto sibling = std::make_unique<Node>();
-  sibling->level = node->level;
-  std::vector<Entry> left_entries;
-  left_entries.reserve(best_split_at);
-  for (std::size_t i = 0; i < total; ++i) {
-    Entry& e = node->entries[best_order[i]];
-    if (i < best_split_at) {
-      left_entries.push_back(std::move(e));
-    } else {
-      if (e.child != nullptr) e.child->parent = sibling.get();
-      sibling->entries.push_back(std::move(e));
+    if (node->parent == kInvalidPageId) {
+      // Split of the root: grow the tree by one level.
+      Pinned new_root = AllocNode(node->level + 1, kInvalidPageId);
+      if (!new_root) return;
+      const NodeId new_root_id = new_root.handle.id();
+      Entry left;
+      left.box = node->ComputeBox();
+      left.child = node_id;
+      Entry right;
+      right.box = sibling.node->ComputeBox();
+      right.child = sibling_id;
+      new_root.node->entries.push_back(left);
+      new_root.node->entries.push_back(right);
+      node->parent = new_root_id;
+      sibling.node->parent = new_root_id;
+      root_ = new_root_id;
+      return;
     }
-  }
-  node->entries = std::move(left_entries);
-  for (Entry& e : node->entries) {
-    if (e.child != nullptr) e.child->parent = node;
-  }
 
-  if (node->parent == nullptr) {
-    // Split of the root: grow the tree by one level.
-    auto new_root = std::make_unique<Node>();
-    new_root->level = node->level + 1;
-    Entry left;
-    left.box = node->ComputeBox();
-    left.child = std::move(root_);
-    left.child->parent = new_root.get();
-    Entry right;
-    right.box = sibling->ComputeBox();
-    right.child = std::move(sibling);
-    right.child->parent = new_root.get();
-    new_root->entries.push_back(std::move(left));
-    new_root->entries.push_back(std::move(right));
-    root_ = std::move(new_root);
-    return;
-  }
-
-  Node* parent = node->parent;
-  // Refresh the split node's entry box and add the sibling.
-  for (Entry& e : parent->entries) {
-    if (e.child.get() == node) {
-      e.box = node->ComputeBox();
-      break;
-    }
-  }
-  Entry sibling_entry;
-  sibling_entry.box = sibling->ComputeBox();
-  sibling_entry.child = std::move(sibling);
-  sibling_entry.child->parent = parent;
-  parent->entries.push_back(std::move(sibling_entry));
-  if (parent->entries.size() > options_.max_entries) {
-    SplitNode(parent);
-  } else {
-    AdjustUpward(parent);
-  }
-}
-
-void RTree3::AdjustUpward(Node* node) {
-  while (node->parent != nullptr) {
-    Node* parent = node->parent;
-    for (Entry& e : parent->entries) {
-      if (e.child.get() == node) {
+    parent_id = node->parent;
+    Pinned parent = Pin(parent_id);
+    if (!parent) return;
+    // Refresh the split node's entry box and add the sibling.
+    for (Entry& e : parent.node->entries) {
+      if (e.child == node_id) {
         e.box = node->ComputeBox();
         break;
       }
     }
-    node = parent;
+    Entry sibling_entry;
+    sibling_entry.box = sibling.node->ComputeBox();
+    sibling_entry.child = sibling_id;
+    parent.node->entries.push_back(sibling_entry);
+    parent.handle.MarkDirty();
+    parent_overflow = parent.node->entries.size() > options_.max_entries;
+  }
+  if (parent_overflow) {
+    SplitNode(parent_id);
+  } else {
+    AdjustUpward(parent_id);
+  }
+}
+
+void RTree3::AdjustUpward(NodeId node_id) {
+  while (healthy()) {
+    NodeId parent_id = kInvalidPageId;
+    Box3 box;
+    {
+      Pinned p = Pin(node_id);
+      if (!p) return;
+      parent_id = p.node->parent;
+      if (parent_id == kInvalidPageId) return;
+      box = p.node->ComputeBox();
+    }
+    Pinned parent = Pin(parent_id);
+    if (!parent) return;
+    for (Entry& e : parent.node->entries) {
+      if (e.child == node_id) {
+        e.box = box;
+        break;
+      }
+    }
+    parent.handle.MarkDirty();
+    node_id = parent_id;
   }
 }
 
 bool RTree3::Remove(const Box3& box, Value value) {
-  std::vector<Entry> orphans;
-  const bool removed = RemoveRec(root_.get(), box, value, &orphans);
-  if (!removed) return false;
-  --size_;
-  // Shrink the root when it has a single child.
-  while (!root_->IsLeaf() && root_->entries.size() == 1) {
-    std::unique_ptr<Node> child = std::move(root_->entries[0].child);
-    child->parent = nullptr;
-    root_ = std::move(child);
-  }
-  if (root_->IsLeaf() && root_->entries.empty()) {
-    root_ = std::make_unique<Node>();
-  }
-  // Reinsert orphaned subtrees / leaf entries at their original level.
-  for (Entry& orphan : orphans) {
-    const std::size_t level = orphan.child ? orphan.child->level + 1 : 0;
-    InsertEntryAtLevel(std::move(orphan), level);
-  }
-  return true;
-}
-
-bool RTree3::RemoveRec(Node* node, const Box3& box, Value value,
-                       std::vector<Entry>* orphans) {
-  if (node->IsLeaf()) {
-    for (std::size_t i = 0; i < node->entries.size(); ++i) {
-      const Entry& e = node->entries[i];
-      if (e.value == value && SameBox(e.box, box)) {
-        node->entries.erase(node->entries.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-        CondenseAfterRemove(node, orphans);
-        return true;
-      }
-    }
-    return false;
-  }
-  for (std::size_t i = 0; i < node->entries.size(); ++i) {
-    if (!node->entries[i].box.Contains(box) &&
-        !node->entries[i].box.Intersects(box)) {
-      continue;
-    }
-    if (RemoveRec(node->entries[i].child.get(), box, value, orphans)) {
-      return true;
-    }
-  }
-  return false;
-}
-
-void RTree3::CondenseAfterRemove(Node* node, std::vector<Entry>* orphans) {
-  while (node->parent != nullptr) {
-    Node* parent = node->parent;
-    if (node->entries.size() < options_.min_entries) {
-      // Orphan the whole underfull node and delete its parent entry.
-      for (std::size_t i = 0; i < parent->entries.size(); ++i) {
-        if (parent->entries[i].child.get() == node) {
-          for (Entry& e : node->entries) orphans->push_back(std::move(e));
-          parent->entries.erase(parent->entries.begin() +
+  if (!healthy()) return false;
+  // Phase 1: locate and erase the matching leaf entry. Pins are scoped per
+  // visited node — condensation below frees ancestors, which must not be
+  // pinned by a traversal stack at that point.
+  NodeId found_leaf = kInvalidPageId;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty() && found_leaf == kInvalidPageId) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    Pinned p = Pin(id);
+    if (!p) return false;
+    if (p.node->IsLeaf()) {
+      for (std::size_t i = 0; i < p.node->entries.size(); ++i) {
+        const Entry& e = p.node->entries[i];
+        if (e.value == value && SameBox(e.box, box)) {
+          p.node->entries.erase(p.node->entries.begin() +
                                 static_cast<std::ptrdiff_t>(i));
+          p.handle.MarkDirty();
+          found_leaf = id;
           break;
         }
       }
     } else {
-      for (Entry& e : parent->entries) {
-        if (e.child.get() == node) {
-          e.box = node->ComputeBox();
-          break;
-        }
+      for (const Entry& e : p.node->entries) {
+        if (e.box.Intersects(box)) stack.push_back(e.child);
       }
     }
-    node = parent;
+  }
+  if (found_leaf == kInvalidPageId) return false;
+  --size_;
+
+  std::vector<Entry> orphans;
+  CondenseAfterRemove(found_leaf, &orphans);
+
+  // Shrink the root while it has a single child.
+  while (healthy()) {
+    NodeId child_id = kInvalidPageId;
+    {
+      Pinned root = Pin(root_);
+      if (!root) break;
+      if (root.node->IsLeaf() || root.node->entries.size() != 1) break;
+      child_id = root.node->entries[0].child;
+    }
+    {
+      Pinned child = Pin(child_id);
+      if (!child) break;
+      child.node->parent = kInvalidPageId;
+      child.handle.MarkDirty();
+    }
+    const NodeId old_root = root_;
+    root_ = child_id;
+    FreeNode(old_root);
+  }
+
+  // Reinsert orphaned subtrees / leaf entries at their original level.
+  for (const Entry& orphan : orphans) {
+    std::size_t level = 0;
+    if (orphan.child != kInvalidPageId) {
+      Pinned child = Pin(orphan.child);
+      if (!child) break;
+      level = child.node->level + 1;
+    }
+    InsertEntryAtLevel(orphan, level);
+  }
+  SyncMetrics();
+  return true;
+}
+
+void RTree3::CondenseAfterRemove(NodeId node_id, std::vector<Entry>* orphans) {
+  while (healthy()) {
+    NodeId parent_id = kInvalidPageId;
+    bool underfull = false;
+    Box3 box;
+    {
+      Pinned p = Pin(node_id);
+      if (!p) return;
+      parent_id = p.node->parent;
+      if (parent_id == kInvalidPageId) return;
+      underfull = p.node->entries.size() < options_.min_entries;
+      if (underfull) {
+        // Orphan the whole underfull node's entries for reinsertion.
+        for (const Entry& e : p.node->entries) orphans->push_back(e);
+        p.node->entries.clear();
+        p.handle.MarkDirty();
+      } else {
+        box = p.node->ComputeBox();
+      }
+    }
+    {
+      Pinned parent = Pin(parent_id);
+      if (!parent) return;
+      auto& entries = parent.node->entries;
+      if (underfull) {
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          if (entries[i].child == node_id) {
+            entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      } else {
+        for (Entry& e : entries) {
+          if (e.child == node_id) {
+            e.box = box;
+            break;
+          }
+        }
+      }
+      parent.handle.MarkDirty();
+    }
+    if (underfull) FreeNode(node_id);
+    node_id = parent_id;
   }
 }
 
 void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
   Clear();
-  if (entries.empty()) return;
+  if (!healthy() || entries.empty()) return;
   size_ = entries.size();
+  // Clear() allocated a fresh empty leaf root; the packed tree replaces it.
+  const NodeId placeholder_root = root_;
+  root_ = kInvalidPageId;
+  FreeNode(placeholder_root);
 
   // Leaf entries.
   std::vector<Entry> level_entries;
@@ -338,24 +636,31 @@ void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
     Entry e;
     e.box = box;
     e.value = value;
-    level_entries.push_back(std::move(e));
+    level_entries.push_back(e);
   }
 
   // Pack one level of entries into nodes using Sort-Tile-Recursive: sort
   // by x-center into vertical slices, each slice by y-center into runs,
   // each run by t-center, then chunk into nodes of max_entries.
-  std::size_t level = 0;
-  while (true) {
+  std::uint32_t level = 0;
+  while (healthy()) {
     const std::size_t n = level_entries.size();
     if (n <= options_.max_entries) {
       // The remaining entries fit in the root.
-      auto root = std::make_unique<Node>();
-      root->level = level;
-      for (Entry& e : level_entries) {
-        if (e.child != nullptr) e.child->parent = root.get();
-        root->entries.push_back(std::move(e));
+      Pinned root = AllocNode(level, kInvalidPageId);
+      if (!root) return;
+      const NodeId root_id = root.handle.id();
+      for (const Entry& e : level_entries) {
+        if (e.child != kInvalidPageId) {
+          Pinned child = Pin(e.child);
+          if (!child) return;
+          child.node->parent = root_id;
+          child.handle.MarkDirty();
+        }
+        root.node->entries.push_back(e);
       }
-      root_ = std::move(root);
+      root_ = root_id;
+      SyncMetrics();
       return;
     }
 
@@ -396,17 +701,23 @@ void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
         // Shrink this node so the final one meets the minimum.
         take -= options_.min_entries - remaining_after;
       }
-      auto node = std::make_unique<Node>();
-      node->level = level;
+      Pinned node = AllocNode(level, kInvalidPageId);
+      if (!node) return;
+      const NodeId node_id = node.handle.id();
       for (std::size_t i = 0; i < take; ++i, ++pos) {
-        Entry& e = level_entries[pos];
-        if (e.child != nullptr) e.child->parent = node.get();
-        node->entries.push_back(std::move(e));
+        const Entry& e = level_entries[pos];
+        if (e.child != kInvalidPageId) {
+          Pinned child = Pin(e.child);
+          if (!child) return;
+          child.node->parent = node_id;
+          child.handle.MarkDirty();
+        }
+        node.node->entries.push_back(e);
       }
       Entry parent_entry;
-      parent_entry.box = node->ComputeBox();
-      parent_entry.child = std::move(node);
-      next_level.push_back(std::move(parent_entry));
+      parent_entry.box = node.node->ComputeBox();
+      parent_entry.child = node_id;
+      next_level.push_back(parent_entry);
     }
     level_entries = std::move(next_level);
     ++level;
@@ -414,21 +725,24 @@ void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
 }
 
 void RTree3::Search(const Box3& query, const Visitor& visitor) const {
-  if (size_ == 0) return;
+  if (size_ == 0 || !healthy()) return;
   // Iterative DFS to avoid recursion-depth concerns on adversarial trees.
-  std::vector<const Node*> stack = {root_.get()};
+  std::vector<NodeId> stack = {root_};
   while (!stack.empty()) {
-    const Node* node = stack.back();
+    const NodeId id = stack.back();
     stack.pop_back();
-    for (const Entry& e : node->entries) {
+    Pinned p = Pin(id);
+    if (!p) return;
+    for (const Entry& e : p.node->entries) {
       if (!e.box.Intersects(query)) continue;
-      if (node->IsLeaf()) {
+      if (p.node->IsLeaf()) {
         visitor(e.box, e.value);
       } else {
-        stack.push_back(e.child.get());
+        stack.push_back(e.child);
       }
     }
   }
+  SyncMetrics();
 }
 
 std::vector<RTree3::Value> RTree3::SearchValues(const Box3& query) const {
@@ -437,72 +751,170 @@ std::vector<RTree3::Value> RTree3::SearchValues(const Box3& query) const {
   return out;
 }
 
-std::size_t RTree3::height() const { return root_->level + 1; }
+std::size_t RTree3::height() const {
+  if (!healthy()) return 0;
+  Pinned root = Pin(root_);
+  if (!root) return 0;
+  return root.node->level + 1;
+}
 
 std::size_t RTree3::num_nodes() const {
+  if (!healthy()) return 0;
   std::size_t count = 0;
-  std::vector<const Node*> stack = {root_.get()};
+  std::vector<NodeId> stack = {root_};
   while (!stack.empty()) {
-    const Node* node = stack.back();
+    const NodeId id = stack.back();
     stack.pop_back();
+    Pinned p = Pin(id);
+    if (!p) return count;
     ++count;
-    if (!node->IsLeaf()) {
-      for (const Entry& e : node->entries) stack.push_back(e.child.get());
+    if (!p.node->IsLeaf()) {
+      for (const Entry& e : p.node->entries) stack.push_back(e.child);
     }
   }
   return count;
 }
 
 void RTree3::Clear() {
-  root_ = std::make_unique<Node>();
+  if (util::Status s = pool_->DropAll(); !s.ok()) {
+    Poison(s);
+    return;
+  }
+  if (util::Status s = storage_->Reset(); !s.ok()) {
+    Poison(s);
+    return;
+  }
+  // A successful storage reset is the recovery path out of a poison.
+  {
+    std::lock_guard<std::mutex> lock(ctl_->mu);
+    ctl_->status = util::Status::Ok();
+  }
+  root_ = kInvalidPageId;
   size_ = 0;
+  Pinned root = AllocNode(0, kInvalidPageId);
+  if (root) root_ = root.handle.id();
+  SyncMetrics();
+}
+
+util::Status RTree3::FlushStorage() {
+  if (util::Status s = storage_status(); !s.ok()) return s;
+  util::Status s = pool_->FlushDirty();
+  if (!s.ok()) Poison(s);
+  SyncMetrics();
+  return s;
+}
+
+void RTree3::SetMetrics(util::MetricsRegistry* registry,
+                        const std::string& prefix) {
+  if (registry == nullptr) {
+    // Withdraw this tree's contribution from the (possibly shared) frames
+    // gauge so the registry's sums stay correct.
+    if (instruments_.frames != nullptr) {
+      std::lock_guard<std::mutex> lock(ctl_->mu);
+      instruments_.frames->Add(-ctl_->pushed.frames);
+      ctl_->pushed.frames = 0;
+    }
+    instruments_ = Instruments{};
+    return;
+  }
+  instruments_.splits = registry->GetCounter(prefix + "splits");
+  instruments_.hits = registry->GetCounter(prefix + "pages.hits");
+  instruments_.misses = registry->GetCounter(prefix + "pages.misses");
+  instruments_.evictions = registry->GetCounter(prefix + "pages.evictions");
+  instruments_.writebacks = registry->GetCounter(prefix + "pages.writebacks");
+  instruments_.reads = registry->GetCounter(prefix + "pages.reads");
+  instruments_.writes = registry->GetCounter(prefix + "pages.writes");
+  instruments_.frames = registry->GetGauge(prefix + "pages.frames");
+  SyncMetrics();
+}
+
+void RTree3::SyncMetrics() const {
+  if (instruments_.splits == nullptr) return;
+  const storage::BufferPoolStats pool_stats = pool_->stats();
+  const storage::StorageStats storage_stats = storage_->stats();
+  const auto frames = static_cast<std::int64_t>(pool_->num_frames());
+  std::lock_guard<std::mutex> lock(ctl_->mu);
+  Pushed& last = ctl_->pushed;
+  instruments_.splits->Increment(splits_ - last.splits);
+  last.splits = splits_;
+  instruments_.hits->Increment(pool_stats.hits - last.hits);
+  last.hits = pool_stats.hits;
+  instruments_.misses->Increment(pool_stats.misses - last.misses);
+  last.misses = pool_stats.misses;
+  instruments_.evictions->Increment(pool_stats.evictions - last.evictions);
+  last.evictions = pool_stats.evictions;
+  instruments_.writebacks->Increment(pool_stats.writebacks - last.writebacks);
+  last.writebacks = pool_stats.writebacks;
+  instruments_.reads->Increment(storage_stats.page_reads - last.reads);
+  last.reads = storage_stats.page_reads;
+  instruments_.writes->Increment(storage_stats.page_writes - last.writes);
+  last.writes = storage_stats.page_writes;
+  instruments_.frames->Add(frames - last.frames);
+  last.frames = frames;
 }
 
 util::Status RTree3::CheckInvariants() const {
+  if (util::Status s = storage_status(); !s.ok()) return s;
   std::size_t leaf_entries = 0;
   util::Status status = util::Status::Ok();
 
-  std::function<void(const Node*, const Node*)> visit =
-      [&](const Node* node, const Node* parent) {
-        if (!status.ok()) return;
-        if (node->parent != parent) {
-          status = util::Status::Internal("bad parent pointer");
+  std::function<void(NodeId, NodeId)> visit = [&](NodeId id,
+                                                  NodeId parent_id) {
+    if (!status.ok()) return;
+    Pinned p = Pin(id);
+    if (!p) {
+      status = storage_status();
+      if (status.ok()) status = util::Status::Internal("unpinnable node");
+      return;
+    }
+    const Node* node = p.node;
+    if (node->parent != parent_id) {
+      status = util::Status::Internal("bad parent id");
+      return;
+    }
+    const bool is_root = parent_id == kInvalidPageId;
+    if (!is_root && node->entries.size() < options_.min_entries) {
+      status = util::Status::Internal("underfull node");
+      return;
+    }
+    if (node->entries.size() > options_.max_entries) {
+      status = util::Status::Internal("overfull node");
+      return;
+    }
+    for (const Entry& e : node->entries) {
+      if (node->IsLeaf()) {
+        if (e.child != kInvalidPageId) {
+          status = util::Status::Internal("child in leaf entry");
           return;
         }
-        const bool is_root = parent == nullptr;
-        if (!is_root && node->entries.size() < options_.min_entries) {
-          status = util::Status::Internal("underfull node");
+        ++leaf_entries;
+      } else {
+        if (e.child == kInvalidPageId) {
+          status = util::Status::Internal("missing child");
           return;
         }
-        if (node->entries.size() > options_.max_entries) {
-          status = util::Status::Internal("overfull node");
-          return;
-        }
-        for (const Entry& e : node->entries) {
-          if (node->IsLeaf()) {
-            if (e.child != nullptr) {
-              status = util::Status::Internal("child in leaf entry");
-              return;
-            }
-            ++leaf_entries;
-          } else {
-            if (e.child == nullptr) {
-              status = util::Status::Internal("missing child");
-              return;
-            }
-            if (e.child->level + 1 != node->level) {
-              status = util::Status::Internal("level mismatch");
-              return;
-            }
-            if (!SameBox(e.box, e.child->ComputeBox())) {
-              status = util::Status::Internal("stale bounding box");
-              return;
-            }
-            visit(e.child.get(), node);
+        {
+          Pinned child = Pin(e.child);
+          if (!child) {
+            status = storage_status();
+            if (status.ok()) status = util::Status::Internal("unpinnable node");
+            return;
+          }
+          if (child.node->level + 1 != node->level) {
+            status = util::Status::Internal("level mismatch");
+            return;
+          }
+          if (!SameBox(e.box, child.node->ComputeBox())) {
+            status = util::Status::Internal("stale bounding box");
+            return;
           }
         }
-      };
-  visit(root_.get(), nullptr);
+        visit(e.child, id);
+        if (!status.ok()) return;
+      }
+    }
+  };
+  visit(root_, kInvalidPageId);
   if (status.ok() && leaf_entries != size_) {
     status = util::Status::Internal("size mismatch");
   }

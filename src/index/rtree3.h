@@ -4,9 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "geo/box.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace modb::index {
@@ -26,10 +31,26 @@ namespace modb::index {
 /// Forced reinsertion is not implemented; deletions use the classical
 /// condense-tree + reinsert of orphaned entries.
 ///
-/// Concurrent reads: `Search` / `SearchValues` and the size accessors are
-/// genuinely const (no internal caches), so any number of threads may
-/// query simultaneously provided no mutation is in flight; writers need
-/// external exclusion.
+/// Node storage: nodes are not heap objects linked by pointers — they are
+/// pages addressed by `NodeId` and resolved through a `storage::BufferPool`
+/// in front of a `storage::IStorageManager`. With the default in-memory
+/// manager and an unbounded pool nothing is ever evicted or serialised, so
+/// behaviour and performance match the historical heap-owned nodes; with a
+/// disk manager and a bounded pool the tree's RAM footprint is the pool,
+/// not the index.
+///
+/// Failure model: the in-memory backend cannot fail, but a disk backend
+/// can (injected faults, full disk). Because the classic R-tree API is
+/// void/bool, storage errors poison the tree instead of being returned
+/// per-call: `storage_status()` turns sticky-non-OK, mutations become
+/// no-ops, searches return what is reachable. `TimeSpaceIndex` surfaces
+/// the poison as a `Status` on its own API; `Clear()` (which resets the
+/// backing store) is the recovery path.
+///
+/// Concurrent reads: `Search` / `SearchValues` and the size accessors do
+/// not mutate tree structure, and the buffer pool is internally
+/// synchronised, so any number of threads may query simultaneously
+/// provided no mutation is in flight; writers need external exclusion.
 class RTree3 {
  public:
   struct Options {
@@ -38,9 +59,12 @@ class RTree3 {
     /// Minimum entries per node after a split / before condensing.
     /// Must satisfy 2 <= min_entries <= max_entries / 2.
     std::size_t min_entries = 6;
+    /// Page store for the nodes. Default: in-memory, unbounded pool.
+    storage::StorageConfig storage;
   };
 
   using Value = std::uint64_t;
+  using NodeId = storage::PageId;
   /// Visitor for Search; return value is ignored.
   using Visitor = std::function<void(const geo::Box3&, Value)>;
 
@@ -77,34 +101,103 @@ class RTree3 {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Height of the tree (1 for a single leaf).
+  /// Height of the tree (1 for a single leaf; 0 when poisoned).
   std::size_t height() const;
 
   /// Number of nodes (for index-size accounting in benchmarks).
   std::size_t num_nodes() const;
 
-  /// Removes all entries.
+  /// Removes all entries and resets the backing store (also the recovery
+  /// path after a storage poison).
   void Clear();
 
+  /// Writes every dirty node page back and commits the storage manager.
+  /// The checkpoint protocol calls this before snapshotting so a published
+  /// checkpoint's page file covers the tree it snapshotted.
+  util::Status FlushStorage();
+
+  /// Sticky storage-layer error (see the failure model above); OK for the
+  /// in-memory backend.
+  util::Status storage_status() const;
+
+  /// Registers per-tree I/O and split instruments under `prefix`
+  /// (`<prefix>splits`, `<prefix>pages.hits|misses|evictions|writebacks|
+  /// reads|writes`, gauge `<prefix>pages.frames`). Several trees may share
+  /// a prefix (the velocity bands do): counters aggregate by delta.
+  void SetMetrics(util::MetricsRegistry* registry, const std::string& prefix);
+
+  storage::BufferPoolStats pool_stats() const { return pool_->stats(); }
+  storage::StorageStats storage_stats() const { return storage_->stats(); }
+  const storage::IStorageManager& storage_manager() const { return *storage_; }
+  std::size_t pool_frames() const { return pool_->num_frames(); }
+  std::uint64_t splits() const { return splits_; }
+
   /// Validates the structural invariants (entry counts, bounding boxes,
-  /// uniform leaf depth). Used by tests.
+  /// uniform leaf depth, parent links). Also fails when the tree is
+  /// poisoned. Used by tests.
   util::Status CheckInvariants() const;
 
  private:
   struct Node;
   struct Entry;
+  struct Pinned;
 
-  Node* ChooseSubtree(const geo::Box3& box, std::size_t target_level) const;
-  void SplitNode(Node* node);
-  void AdjustUpward(Node* node);
-  bool RemoveRec(Node* node, const geo::Box3& box, Value value,
-                 std::vector<Entry>* orphans);
-  void CondenseAfterRemove(Node* node, std::vector<Entry>* orphans);
+  static util::Status EncodeNode(const void* object, std::string* out);
+  static util::Result<std::shared_ptr<void>> DecodeNode(
+      std::string_view bytes);
+  static storage::PageCodec NodeCodec();
+
+  Pinned Pin(NodeId id) const;
+  Pinned AllocNode(std::uint32_t level, NodeId parent);
+  void FreeNode(NodeId id);
+  void Poison(const util::Status& status) const;
+
+  NodeId ChooseSubtree(const geo::Box3& box, std::size_t target_level) const;
+  void SplitNode(NodeId node_id);
+  void AdjustUpward(NodeId node_id);
+  void CondenseAfterRemove(NodeId node_id, std::vector<Entry>* orphans);
   void InsertEntryAtLevel(Entry entry, std::size_t level);
+  void SyncMetrics() const;
+
+  bool healthy() const;
+
+  struct Instruments {
+    util::Counter* splits = nullptr;
+    util::Counter* hits = nullptr;
+    util::Counter* misses = nullptr;
+    util::Counter* evictions = nullptr;
+    util::Counter* writebacks = nullptr;
+    util::Counter* reads = nullptr;
+    util::Counter* writes = nullptr;
+    util::Gauge* frames = nullptr;
+  };
+  struct Pushed {
+    std::uint64_t splits = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::int64_t frames = 0;
+  };
+  /// Shared mutable state the const query paths may touch concurrently
+  /// (poison writes, metric-delta baselines). Behind a `shared_ptr` so the
+  /// tree stays movable (`std::mutex` is not).
+  struct ControlBlock {
+    std::mutex mu;
+    util::Status status;
+    Pushed pushed;
+  };
 
   Options options_;
-  std::unique_ptr<Node> root_;
+  std::unique_ptr<storage::IStorageManager> storage_;
+  mutable std::unique_ptr<storage::BufferPool> pool_;
+  NodeId root_ = storage::kInvalidPageId;
   std::size_t size_ = 0;
+  std::uint64_t splits_ = 0;
+  std::shared_ptr<ControlBlock> ctl_;
+  Instruments instruments_;
 };
 
 }  // namespace modb::index

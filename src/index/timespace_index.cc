@@ -18,6 +18,7 @@ void TimeSpaceIndex::SetMetrics(util::MetricsRegistry* registry,
                                 const std::string& prefix) {
   remove_miss_counter_ =
       registry == nullptr ? nullptr : registry->GetCounter(prefix + "remove_miss");
+  rtree_.SetMetrics(registry, prefix);
 }
 
 util::Status TimeSpaceIndex::Upsert(core::ObjectId id,
@@ -27,8 +28,11 @@ util::Status TimeSpaceIndex::Upsert(core::ObjectId id,
   // object's old plane intact.
   const auto route = network_->FindRoute(attr.route);
   if (!route.ok()) return route.status();
+  // A poisoned page store would silently drop the mutation and desync the
+  // per-object bookkeeping — refuse up front instead.
+  if (util::Status s = rtree_.storage_status(); !s.ok()) return s;
   UpsertValidated(id, attr, **route);
-  return util::Status::Ok();
+  return rtree_.storage_status();
 }
 
 void TimeSpaceIndex::UpsertValidated(core::ObjectId id,
@@ -58,6 +62,7 @@ void TimeSpaceIndex::UpsertValidated(core::ObjectId id,
 
 util::Status TimeSpaceIndex::ApplyDeltaBatch(
     const std::vector<IndexDelta>& deltas) {
+  if (util::Status s = rtree_.storage_status(); !s.ok()) return s;
   // Validate every row first so a failure leaves the index unchanged.
   for (const IndexDelta& delta : deltas) {
     if (delta.attr == nullptr) continue;
@@ -76,12 +81,13 @@ util::Status TimeSpaceIndex::ApplyDeltaBatch(
     const auto route = network_->FindRoute(delta.attr->route);
     UpsertValidated(delta.id, *delta.attr, **route);
   }
-  return util::Status::Ok();
+  return rtree_.storage_status();
 }
 
 util::Status TimeSpaceIndex::BulkUpsert(
     const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
         objects) {
+  if (util::Status s = rtree_.storage_status(); !s.ok()) return s;
   // Validate every row first so a failure leaves the index unchanged.
   for (const auto& [id, attr] : objects) {
     if (const auto route = network_->FindRoute(attr.route); !route.ok()) {
@@ -116,7 +122,7 @@ util::Status TimeSpaceIndex::BulkUpsert(
     }
   }
   rtree_.BulkLoad(std::move(entries));
-  return util::Status::Ok();
+  return rtree_.storage_status();
 }
 
 void TimeSpaceIndex::Remove(core::ObjectId id) {

@@ -65,9 +65,13 @@ class TimeSpaceIndex final : public ObjectIndex {
   std::vector<core::ObjectId> CandidatesInWindow(const geo::Polygon& region,
                                                  core::Time t1,
                                                  core::Time t2) const override;
-  /// Registers `<prefix>remove_miss` (counter) in `registry`.
+  /// Registers `<prefix>remove_miss` (counter) plus the tree's page I/O
+  /// instruments (`<prefix>splits`, `<prefix>pages.*` — see
+  /// `RTree3::SetMetrics`) in `registry`.
   void SetMetrics(util::MetricsRegistry* registry,
                   const std::string& prefix) override;
+  /// Flushes the R*-tree's dirty pages and commits its page store.
+  util::Status FlushStorage() override { return rtree_.FlushStorage(); }
   std::string_view name() const override { return "rtree"; }
   std::size_t num_objects() const override { return boxes_by_object_.size(); }
   std::size_t num_entries() const override { return rtree_.size(); }

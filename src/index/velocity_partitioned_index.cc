@@ -25,7 +25,12 @@ VelocityPartitionedIndex::VelocityPartitionedIndex(
   }
   bands_.reserve(options_.num_bands);
   for (std::size_t b = 0; b < options_.num_bands; ++b) {
-    bands_.push_back(std::make_unique<Band>(options_.rtree));
+    RTree3::Options rtree_options = options_.rtree;
+    if (rtree_options.storage.kind == storage::StorageKind::kDisk) {
+      // Each band tree owns its own page file.
+      rtree_options.storage.path += ".band" + std::to_string(b);
+    }
+    bands_.push_back(std::make_unique<Band>(rtree_options));
     bands_.back()->oplane = options_.oplane;
   }
   if (!bounds_.empty()) {
@@ -157,6 +162,7 @@ void VelocityPartitionedIndex::SetMetrics(util::MetricsRegistry* registry,
     band->candidates_counter = nullptr;
     band->pushed_objects = 0;
     band->pushed_entries = 0;
+    band->tree.SetMetrics(nullptr, prefix);
   }
   remove_miss_counter_ = nullptr;
   band_migration_counter_ = nullptr;
@@ -167,6 +173,9 @@ void VelocityPartitionedIndex::SetMetrics(util::MetricsRegistry* registry,
     bands_[b]->entries_gauge = registry->GetGauge(base + "entries");
     bands_[b]->candidates_counter = registry->GetCounter(base + "candidates");
     SyncBandGauges(*bands_[b]);
+    // Every band shares the same page-I/O instruments (delta pushes
+    // aggregate), mirroring how shards share one registry.
+    bands_[b]->tree.SetMetrics(registry, prefix);
   }
   remove_miss_counter_ = registry->GetCounter(prefix + "remove_miss");
   band_migration_counter_ = registry->GetCounter(prefix + "band_migrations");
@@ -178,8 +187,19 @@ util::Status VelocityPartitionedIndex::Upsert(
   // handled error in every build mode and leaves the index unchanged.
   const auto route = network_->FindRoute(attr.route);
   if (!route.ok()) return route.status();
+  // A poisoned band page store would silently drop the mutation and desync
+  // the per-object bookkeeping — refuse up front instead.
+  if (util::Status s = BandStorageStatus(); !s.ok()) return s;
   ApplyOneValidated(id, attr, **route, nullptr);
-  return MaybeTriggerBanding();
+  if (util::Status s = MaybeTriggerBanding(); !s.ok()) return s;
+  return BandStorageStatus();
+}
+
+util::Status VelocityPartitionedIndex::BandStorageStatus() const {
+  for (const auto& band : bands_) {
+    if (util::Status s = band->tree.storage_status(); !s.ok()) return s;
+  }
+  return util::Status::Ok();
 }
 
 void VelocityPartitionedIndex::ApplyOneValidated(
@@ -277,6 +297,7 @@ void VelocityPartitionedIndex::RemoveInternal(
 
 util::Status VelocityPartitionedIndex::ApplyDeltaBatch(
     const std::vector<IndexDelta>& deltas) {
+  if (util::Status s = BandStorageStatus(); !s.ok()) return s;
   // Validate every row first so a failure leaves the index unchanged.
   for (const IndexDelta& delta : deltas) {
     if (delta.attr == nullptr) continue;
@@ -301,12 +322,14 @@ util::Status VelocityPartitionedIndex::ApplyDeltaBatch(
   }
   // One banding-trigger evaluation per batch (a rebuild re-syncs every
   // band gauge itself).
-  return MaybeTriggerBanding();
+  if (util::Status s = MaybeTriggerBanding(); !s.ok()) return s;
+  return BandStorageStatus();
 }
 
 util::Status VelocityPartitionedIndex::BulkUpsert(
     const std::vector<std::pair<core::ObjectId, core::PositionAttribute>>&
         objects) {
+  if (util::Status s = BandStorageStatus(); !s.ok()) return s;
   // Validate every row first so a failure leaves the index unchanged.
   for (const auto& [id, attr] : objects) {
     if (const auto route = network_->FindRoute(attr.route); !route.ok()) {
@@ -358,6 +381,13 @@ util::Status VelocityPartitionedIndex::RebuildAllBands() {
     for (std::size_t b = 0; b < bands_.size(); ++b) load(b);
   }
   for (auto& band : bands_) SyncBandGauges(*band);
+  return BandStorageStatus();
+}
+
+util::Status VelocityPartitionedIndex::FlushStorage() {
+  for (auto& band : bands_) {
+    if (util::Status s = band->tree.FlushStorage(); !s.ok()) return s;
+  }
   return util::Status::Ok();
 }
 

@@ -109,6 +109,8 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   /// `<prefix>remove_miss` and `<prefix>band_migrations`.
   void SetMetrics(util::MetricsRegistry* registry,
                   const std::string& prefix) override;
+  /// Flushes every band tree's dirty pages and commits its page store.
+  util::Status FlushStorage() override;
   std::string_view name() const override { return "vp-rtree"; }
   std::size_t num_objects() const override { return objects_.size(); }
   std::size_t num_entries() const override;
@@ -175,6 +177,8 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   /// Runs the lazy quantile banding once enough objects arrived (see the
   /// class comment); evaluated per upsert, or once per delta batch.
   util::Status MaybeTriggerBanding();
+  /// First storage poison across the band trees, if any.
+  util::Status BandStorageStatus() const;
 
   const geo::RouteNetwork* network_;
   Options options_;

@@ -16,6 +16,14 @@ Histogram::Histogram(double lo, double hi, std::size_t num_buckets)
 
 void Histogram::Add(double x) {
   ++count_;
+  // NaN fails both range guards below and a NaN-derived double-to-size_t
+  // cast is UB, so non-finite observations get their own counted bucket
+  // (infinities included: an infinite "latency" is a measurement bug, not
+  // an overflow — surfacing it beats folding it into the tail).
+  if (!std::isfinite(x)) {
+    ++invalid_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -31,6 +39,15 @@ void Histogram::Add(double x) {
 
 void Histogram::AddBucketCount(std::size_t i, std::size_t n) {
   assert(i < buckets_.size());
+  // Checked in release builds too: callers feed externally accumulated
+  // bucket indexes (metrics snapshots), and an out-of-range write would
+  // corrupt the heap where the assert compiled out. The mass still counts
+  // as invalid so totals reconcile.
+  if (i >= buckets_.size()) {
+    count_ += n;
+    invalid_ += n;
+    return;
+  }
   buckets_[i] += n;
   count_ += n;
 }
@@ -44,10 +61,14 @@ double Histogram::bucket_hi(std::size_t i) const {
 }
 
 double Histogram::ApproxQuantile(double q) const {
-  if (count_ == 0) return 0.0;
+  // Invalid observations carry no position, so the quantile ranks only the
+  // finite mass (see the header contract for the lo_/hi_ clamp semantics
+  // when the target rank lands in the under/overflow tails).
+  const std::size_t finite = count_ - invalid_;
+  if (finite == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto target =
-      static_cast<std::size_t>(q * static_cast<double>(count_ - 1));
+      static_cast<std::size_t>(q * static_cast<double>(finite - 1));
   std::size_t seen = underflow_;
   if (target < seen) return lo_;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -78,6 +99,10 @@ std::string Histogram::ToString(std::size_t width) const {
   }
   if (overflow_ > 0) {
     std::snprintf(line, sizeof(line), "overflow: %zu\n", overflow_);
+    out += line;
+  }
+  if (invalid_ > 0) {
+    std::snprintf(line, sizeof(line), "invalid (non-finite): %zu\n", invalid_);
     out += line;
   }
   return out;

@@ -17,19 +17,28 @@ class Histogram {
   /// [lo, hi). Requires lo < hi and num_buckets >= 1.
   Histogram(double lo, double hi, std::size_t num_buckets);
 
-  /// Adds one observation.
+  /// Adds one observation. Non-finite values (NaN, ±inf) are counted in
+  /// the `invalid()` bucket — they carry no bucketable position, and a
+  /// NaN-derived float-to-integer cast would be UB.
   void Add(double x);
 
   /// Adds `n` observations directly to bucket `i` (requires i <
   /// num_buckets()). Used to rebuild a histogram from externally
   /// accumulated per-bucket counts (e.g. the metrics registry's atomic
-  /// latency buckets) without replaying every sample.
+  /// latency buckets) without replaying every sample. An out-of-range `i`
+  /// is checked in release builds too: the mass lands in the `invalid()`
+  /// bucket instead of writing past the bucket array.
   void AddBucketCount(std::size_t i, std::size_t n);
 
-  /// Number of observations added (including under/overflow).
+  /// Number of observations added (including under/overflow/invalid).
   std::size_t count() const { return count_; }
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }
+  /// Observations rejected as non-finite (plus any out-of-range
+  /// `AddBucketCount` mass). Non-zero means a producer is recording
+  /// garbage — worth surfacing, which is why they are counted instead of
+  /// silently dropped.
+  std::size_t invalid() const { return invalid_; }
   std::size_t num_buckets() const { return buckets_.size(); }
 
   /// Count in bucket `i`.
@@ -39,8 +48,18 @@ class Histogram {
   /// Exclusive upper edge of bucket `i`.
   double bucket_hi(std::size_t i) const;
 
-  /// Approximate quantile (`q` in [0, 1]) from bucket midpoints.
-  /// Returns 0 when empty.
+  /// Approximate quantile (`q` in [0, 1]) over the *finite* observations
+  /// (invalid mass is excluded — it has no rank). Returns the midpoint of
+  /// the bucket holding the target rank. Contract for the tails: a rank
+  /// landing in the underflow mass returns `lo_` and one landing in the
+  /// overflow mass returns `hi_` — those are the tightest bounds the
+  /// histogram retains (an underflow sample is somewhere below `lo_`, an
+  /// overflow sample somewhere at/above `hi_`; the true sample values are
+  /// not recoverable). Callers reading percentiles near the range edges
+  /// should treat `lo_`/`hi_` returns as "outside the tracked range", not
+  /// as measured values — check `underflow()`/`overflow()` to tell a
+  /// clamped return from a genuine edge-bucket midpoint, or widen the
+  /// range. Returns 0 when no finite observation was added.
   double ApproxQuantile(double q) const;
 
   /// Renders a terminal-friendly bar chart, `width` characters wide.
@@ -54,6 +73,7 @@ class Histogram {
   std::size_t count_ = 0;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t invalid_ = 0;
 };
 
 }  // namespace modb::util

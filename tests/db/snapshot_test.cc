@@ -386,6 +386,36 @@ TEST_F(SnapshotTest, ByteCorruptedSnapshotsNeverCrash) {
   }
 }
 
+// Regression: ReadString used to `resize(len)` straight off the length
+// prefix in the file, so a corrupted prefix claiming gigabytes committed
+// the allocation (bad_alloc / OOM-kill) before any byte was read. An
+// oversized prefix must now be a clean InvalidArgument.
+TEST_F(SnapshotTest, OversizedStringPrefixRejectedWithoutAllocating) {
+  ModDatabase db(&network_);
+  ASSERT_TRUE(db.Insert(1, "bus one", Attr(main_, 10.0, 1.0)).ok());
+  std::stringstream full;
+  ASSERT_TRUE(WriteSnapshot(db, full).ok());
+  const std::string text = full.str();
+  const std::string label_prefix = "7 bus one";
+  const auto at = text.find(label_prefix);
+  ASSERT_NE(at, std::string::npos);
+
+  // Sweep hostile lengths: just past the 1 MiB cap, multi-GB (the original
+  // OOM shape), 2^63-ish, and a "plausible but past EOF" length that only
+  // the remaining-stream-size check can catch.
+  for (const std::string& hostile :
+       {std::string("1048577"), std::string("4294967296"),
+        std::string("9223372036854775807"), std::string("4096")}) {
+    std::string corrupt = text;
+    corrupt.replace(at, 1, hostile);  // "7 bus one" -> "<len> bus one"
+    std::stringstream stream(corrupt);
+    const auto loaded = ReadSnapshot(stream);
+    ASSERT_FALSE(loaded.ok()) << "len " << hostile;
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+        << "len " << hostile << ": " << loaded.status().message();
+  }
+}
+
 TEST_F(SnapshotTest, DeterministicOutput) {
   ModDatabase db(&network_);
   ASSERT_TRUE(db.Insert(3, "c", Attr(main_, 3.0, 1.0)).ok());

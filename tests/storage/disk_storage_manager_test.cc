@@ -1,0 +1,252 @@
+#include "storage/disk_storage_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "util/fault_injection.h"
+
+namespace modb::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DiskStorageManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("modb_disk_mgr_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string PageFile() const { return (dir_ / "index.pages").string(); }
+
+  fs::path dir_;
+};
+
+TEST_F(DiskStorageManagerTest, WriteReadRoundTripAndPayloadCap) {
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  auto mgr = DiskStorageManager::Open(PageFile(), options);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ((*mgr)->page_payload_size(), 512 - kPageHeaderSize);
+
+  const auto id = (*mgr)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*mgr)->WritePage(*id, "paged bytes").ok());
+  EXPECT_EQ(*(*mgr)->ReadPage(*id), "paged bytes");
+
+  const std::string too_big(512 - kPageHeaderSize + 1, 'x');
+  EXPECT_FALSE((*mgr)->WritePage(*id, too_big).ok());
+  const std::string max_fit(512 - kPageHeaderSize, 'y');
+  EXPECT_TRUE((*mgr)->WritePage(*id, max_fit).ok());
+  EXPECT_EQ(*(*mgr)->ReadPage(*id), max_fit);
+}
+
+TEST_F(DiskStorageManagerTest, UnsyncedPagesAreReadableBeforeFlush) {
+  // Appended bytes may sit in the writer's buffer; the tail cache must
+  // serve them anyway.
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  options.sync_watermark_pages = 1000;  // never auto-sync
+  auto mgr = DiskStorageManager::Open(PageFile(), options);
+  ASSERT_TRUE(mgr.ok());
+  for (int i = 0; i < 10; ++i) {
+    const auto id = (*mgr)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*mgr)->WritePage(*id, "p" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*(*mgr)->ReadPage(static_cast<PageId>(i)),
+              "p" + std::to_string(i));
+  }
+}
+
+TEST_F(DiskStorageManagerTest, CommittedStateSurvivesReopen) {
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  {
+    auto mgr = DiskStorageManager::Open(PageFile(), options);
+    ASSERT_TRUE(mgr.ok());
+    for (int i = 0; i < 5; ++i) {
+      const auto id = (*mgr)->AllocatePage();
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE((*mgr)->WritePage(*id, "page " + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*mgr)->FreePage(3).ok());
+    ASSERT_TRUE((*mgr)->Flush().ok());
+  }
+  DiskStorageManager::Options reopen = options;
+  reopen.truncate = false;
+  auto mgr = DiskStorageManager::Open(PageFile(), reopen);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ((*mgr)->num_pages(), 4u);
+  for (int i = 0; i < 5; ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(*(*mgr)->ReadPage(static_cast<PageId>(i)),
+              "page " + std::to_string(i));
+  }
+  // The freed id is recycled, not leaked, across the reopen.
+  const auto id = (*mgr)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 3u);
+}
+
+TEST_F(DiskStorageManagerTest, UncommittedWritesDiscardedByReopen) {
+  // The checkpoint contract: page versions not covered by a Flush must not
+  // resurrect after a crash+reopen.
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  options.sync_watermark_pages = 1000;
+  {
+    auto mgr = DiskStorageManager::Open(PageFile(), options);
+    ASSERT_TRUE(mgr.ok());
+    const auto id = (*mgr)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*mgr)->WritePage(*id, "committed").ok());
+    ASSERT_TRUE((*mgr)->Flush().ok());
+    ASSERT_TRUE((*mgr)->WritePage(*id, "uncommitted overwrite").ok());
+    // No flush: the manager is dropped with the new version in flight.
+  }
+  DiskStorageManager::Options reopen = options;
+  reopen.truncate = false;
+  auto mgr = DiskStorageManager::Open(PageFile(), reopen);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_EQ(*(*mgr)->ReadPage(0), "committed");
+}
+
+TEST_F(DiskStorageManagerTest, ReopenCompactsGarbageVersions) {
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  std::uint64_t bytes_before_compaction = 0;
+  {
+    auto mgr = DiskStorageManager::Open(PageFile(), options);
+    ASSERT_TRUE(mgr.ok());
+    const auto id = (*mgr)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    // 50 versions of one page: 49 are log garbage.
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*mgr)->WritePage(*id, "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*mgr)->Flush().ok());
+    bytes_before_compaction = (*mgr)->file_bytes();
+  }
+  DiskStorageManager::Options reopen = options;
+  reopen.truncate = false;
+  auto mgr = DiskStorageManager::Open(PageFile(), reopen);
+  ASSERT_TRUE(mgr.ok());
+  EXPECT_EQ(*(*mgr)->ReadPage(0), "v49");
+  EXPECT_LT((*mgr)->file_bytes(), bytes_before_compaction);
+}
+
+TEST_F(DiskStorageManagerTest, CorruptedPageDetectedByCrc) {
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  options.sync_watermark_pages = 1;  // sync every page so bytes hit the file
+  auto mgr = DiskStorageManager::Open(PageFile(), options);
+  ASSERT_TRUE(mgr.ok());
+  const auto id = (*mgr)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*mgr)->WritePage(*id, "precious payload").ok());
+  ASSERT_TRUE((*mgr)->Flush().ok());
+  // Rot a payload byte in the page's slot on disk (header is 28 bytes).
+  ASSERT_TRUE(util::FlipFileByte(PageFile(), kPageHeaderSize + 3).ok());
+  const auto back = (*mgr)->ReadPage(*id);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), util::StatusCode::kInternal);
+  EXPECT_NE(back.status().message().find("corrupt"), std::string::npos);
+}
+
+TEST_F(DiskStorageManagerTest, TornCommitFallsBackToPreviousCommit) {
+  // Chop bytes off the tail (a torn final commit record): reopen must land
+  // on the previous durable commit, not fail and not serve the torn state.
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  {
+    auto mgr = DiskStorageManager::Open(PageFile(), options);
+    ASSERT_TRUE(mgr.ok());
+    const auto id = (*mgr)->AllocatePage();
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE((*mgr)->WritePage(*id, "epoch one").ok());
+    ASSERT_TRUE((*mgr)->Flush().ok());
+    ASSERT_TRUE((*mgr)->WritePage(*id, "epoch two").ok());
+    ASSERT_TRUE((*mgr)->Flush().ok());
+  }
+  const auto size = util::FileSize(PageFile());
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(util::TruncateFile(PageFile(), *size - 100).ok());
+  DiskStorageManager::Options reopen = options;
+  reopen.truncate = false;
+  auto mgr = DiskStorageManager::Open(PageFile(), reopen);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ(*(*mgr)->ReadPage(0), "epoch one");
+}
+
+TEST_F(DiskStorageManagerTest, InjectedAppendFaultPoisonsWriterButKeepsReads) {
+  util::FaultPlan plan;
+  plan.fail_appends_after = 2;  // page 0, page 1, then the window opens
+  plan.fail_appends_count = 1;
+  util::FaultInjector injector(plan);
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  options.sync_watermark_pages = 1;
+  options.file_factory = injector.factory();
+  auto mgr = DiskStorageManager::Open(PageFile(), options);
+  ASSERT_TRUE(mgr.ok());
+  const auto a = (*mgr)->AllocatePage();
+  const auto b = (*mgr)->AllocatePage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*mgr)->WritePage(*a, "safe").ok());
+  ASSERT_TRUE((*mgr)->WritePage(*b, "also safe").ok());
+  // This append dies in the fault window; the writer is poisoned.
+  EXPECT_FALSE((*mgr)->WritePage(*b, "doomed").ok());
+  EXPECT_EQ(injector.injected_append_faults(), 1u);
+  EXPECT_FALSE((*mgr)->WritePage(*a, "still doomed").ok());
+  EXPECT_FALSE((*mgr)->Flush().ok());
+  // Previously synced pages stay readable.
+  EXPECT_EQ(*(*mgr)->ReadPage(*a), "safe");
+  EXPECT_EQ(*(*mgr)->ReadPage(*b), "also safe");
+  // Reset reopens a fresh generation and clears the poison.
+  ASSERT_TRUE((*mgr)->Reset().ok());
+  const auto fresh = (*mgr)->AllocatePage();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*mgr)->WritePage(*fresh, "recovered").ok());
+  EXPECT_EQ(*(*mgr)->ReadPage(*fresh), "recovered");
+}
+
+TEST_F(DiskStorageManagerTest, RejectsUndersizedPageSize) {
+  DiskStorageManager::Options options;
+  options.page_size = 64;  // < kMinPageSize
+  EXPECT_FALSE(DiskStorageManager::Open(PageFile(), options).ok());
+}
+
+TEST_F(DiskStorageManagerTest, StatsTrackPageTraffic) {
+  DiskStorageManager::Options options;
+  options.page_size = 512;
+  options.sync_watermark_pages = 1;
+  auto mgr = DiskStorageManager::Open(PageFile(), options);
+  ASSERT_TRUE(mgr.ok());
+  const auto id = (*mgr)->AllocatePage();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*mgr)->WritePage(*id, "abcd").ok());
+  ASSERT_TRUE((*mgr)->ReadPage(*id).ok());
+  ASSERT_TRUE((*mgr)->Flush().ok());
+  const StorageStats stats = (*mgr)->stats();
+  EXPECT_EQ(stats.page_allocs, 1u);
+  EXPECT_EQ(stats.page_writes, 1u);
+  EXPECT_EQ(stats.page_reads, 1u);
+  EXPECT_GE(stats.flushes, 1u);
+  EXPECT_EQ(stats.bytes_written, 4u);
+  EXPECT_EQ(stats.bytes_read, 4u);
+}
+
+}  // namespace
+}  // namespace modb::storage

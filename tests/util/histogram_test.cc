@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace modb::util {
 namespace {
 
@@ -45,6 +47,83 @@ TEST(HistogramTest, ApproxQuantile) {
 TEST(HistogramTest, ApproxQuantileEmpty) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_EQ(h.ApproxQuantile(0.5), 0.0);
+}
+
+// Regression: Add(NaN) used to fall through both range guards into a
+// NaN-derived double->size_t cast (UB — an out-of-range bucket write under
+// UBSan/ASan). Non-finite observations must land in the counted invalid
+// bucket and leave every positional bucket untouched.
+TEST(HistogramTest, NonFiniteObservationsCountedAsInvalid) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  h.Add(5.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.invalid(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  std::size_t bucketed = 0;
+  for (std::size_t i = 0; i < h.num_buckets(); ++i) bucketed += h.bucket_count(i);
+  EXPECT_EQ(bucketed, 1u);
+  EXPECT_NE(h.ToString().find("invalid"), std::string::npos);
+}
+
+// Invalid mass has no rank: quantiles are computed over the finite
+// observations only, so a NaN-polluted stream still reports the right
+// percentiles for the real samples.
+TEST(HistogramTest, ApproxQuantileIgnoresInvalidMass) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i) + 0.5);
+  for (int i = 0; i < 50; ++i) h.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_NEAR(h.ApproxQuantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.ApproxQuantile(0.95), 95.0, 1.5);
+}
+
+TEST(HistogramTest, ApproxQuantileAllInvalidIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0.0);
+}
+
+// Contract pin (see the header): a target rank inside the underflow mass
+// answers lo_ and one inside the overflow mass answers hi_ — the tightest
+// retained bounds, not measured values.
+TEST(HistogramTest, ApproxQuantileTailClampContract) {
+  Histogram all_under(10.0, 20.0, 4);
+  all_under.Add(1.0);
+  all_under.Add(2.0);
+  EXPECT_DOUBLE_EQ(all_under.ApproxQuantile(0.5), 10.0);
+
+  Histogram all_over(10.0, 20.0, 4);
+  all_over.Add(99.0);
+  all_over.Add(250.0);
+  EXPECT_DOUBLE_EQ(all_over.ApproxQuantile(0.5), 20.0);
+
+  // Mixed: the low ranks clamp to lo_, the in-range rank reports its
+  // bucket midpoint, the top rank clamps to hi_.
+  Histogram mixed(0.0, 10.0, 10);
+  mixed.Add(-5.0);
+  mixed.Add(5.5);
+  mixed.Add(42.0);
+  EXPECT_DOUBLE_EQ(mixed.ApproxQuantile(0.0), 0.0);    // underflow rank
+  EXPECT_DOUBLE_EQ(mixed.ApproxQuantile(0.5), 5.5);    // bucket midpoint
+  EXPECT_DOUBLE_EQ(mixed.ApproxQuantile(1.0), 10.0);   // overflow rank
+}
+
+// AddBucketCount is bounds-checked in release builds too: out-of-range
+// external bucket mass lands in invalid() instead of past the array.
+TEST(HistogramTest, AddBucketCountOutOfRangeCountsInvalid) {
+#ifdef NDEBUG
+  Histogram h(0.0, 1.0, 4);
+  h.AddBucketCount(2, 3);
+  h.AddBucketCount(4, 7);  // one past the last bucket
+  EXPECT_EQ(h.bucket_count(2), 3u);
+  EXPECT_EQ(h.invalid(), 7u);
+  EXPECT_EQ(h.count(), 10u);
+#else
+  GTEST_SKIP() << "debug build: out-of-range AddBucketCount asserts";
+#endif
 }
 
 TEST(HistogramTest, ToStringRendersBars) {
