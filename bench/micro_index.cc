@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "index/rtree3.h"
+#include "index/soa_kernel.h"
 #include "util/rng.h"
 
 namespace modb::index {
@@ -100,6 +101,65 @@ void BM_RTreeUpdateCycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RTreeUpdateCycle);
+
+// SoA arrays holding `n` random boxes plus a query that hits ~half of them.
+struct SoAFixture {
+  std::vector<double> min_x, min_y, min_t, max_x, max_y, max_t;
+  std::vector<Box3> aos;  // same boxes, array-of-structs, for the baseline
+  Box3 query{0.0, 0.0, 0.0, 250.0, 250.0, 250.0};
+
+  explicit SoAFixture(std::size_t n) {
+    util::Rng rng(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Box3 b = RandomBox(rng, 500.0, 5.0);
+      min_x.push_back(b.min[0]);
+      min_y.push_back(b.min[1]);
+      min_t.push_back(b.min[2]);
+      max_x.push_back(b.max[0]);
+      max_y.push_back(b.max[1]);
+      max_t.push_back(b.max[2]);
+      aos.push_back(b);
+    }
+  }
+};
+
+void BM_SoAIntersectKernel(benchmark::State& state) {
+  // The packed node-scan kernel `Search` runs per visited node: one
+  // batched compare pass + compacting hit-index store. Arg is the batch
+  // width — 16 is one node's worth (Options::max_entries default).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SoAFixture f(n);
+  std::vector<std::uint32_t> hits(n);
+  for (auto _ : state) {
+    const std::size_t count = soa::IntersectBoxes(
+        f.min_x.data(), f.min_y.data(), f.min_t.data(), f.max_x.data(),
+        f.max_y.data(), f.max_t.data(), n, f.query, hits.data());
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SoAIntersectKernel)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ScalarIntersectBaseline(benchmark::State& state) {
+  // The legacy per-entry path: Box3::Intersects on array-of-structs
+  // entries with a branchy push. Same workload as BM_SoAIntersectKernel.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  SoAFixture f(n);
+  std::vector<std::uint32_t> hits(n);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f.aos[i].Intersects(f.query)) {
+        hits[count++] = static_cast<std::uint32_t>(i);
+      }
+    }
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScalarIntersectBaseline)->Arg(16)->Arg(256)->Arg(4096);
 
 }  // namespace
 }  // namespace modb::index

@@ -41,6 +41,9 @@ build/bench/exp_fault_tolerance --smoke
 echo "== E19 smoke: paged index storage shape check =="
 build/bench/exp_paged_index --smoke
 
+echo "== E20 smoke: lock-free index reads shape check =="
+build/bench/exp_lockfree_reads --smoke
+
 if [[ "$run_asan" == 1 ]]; then
   echo "== AddressSanitizer gate =="
   cmake --preset asan

@@ -196,9 +196,15 @@ util::Status ModDatabase::FinishBulkIngest() {
   // Destroy the old index *before* constructing the new one: with
   // disk-backed index storage both would otherwise hold the same page
   // file at once, and the old instance's buffered writer could clobber
-  // the fresh generation the new instance opens.
-  index_.reset();
-  index_ = MakeIndex(network_, options_);
+  // the fresh generation the new instance opens. (Bulk ingest runs during
+  // recovery, before any reader can hold a `SharedIndex` handle, so the
+  // reset here really does destroy the old instance; the mutex only keeps
+  // the pointer swap itself atomic for `SharedIndex`.)
+  {
+    std::lock_guard lock(index_mu_);
+    index_.reset();
+    index_ = MakeIndex(network_, options_);
+  }
   if (metrics_registry_ != nullptr) {
     index_->SetMetrics(metrics_registry_, metrics_prefix_ + "index.");
   }
@@ -577,11 +583,17 @@ util::Result<PositionAnswer> ModDatabase::QueryPosition(core::ObjectId id,
 
 RangeAnswer ModDatabase::QueryRange(const geo::Polygon& region,
                                     core::Time t) const {
-  RangeAnswer answer;
-  answer.query_time = t;
   const std::vector<core::ObjectId> candidates =
       index_->Candidates(region, t);
   CountIndexProbe();
+  return RefineRange(region, t, candidates);
+}
+
+RangeAnswer ModDatabase::RefineRange(
+    const geo::Polygon& region, core::Time t,
+    const std::vector<core::ObjectId>& candidates) const {
+  RangeAnswer answer;
+  answer.query_time = t;
   answer.candidates_examined = candidates.size();
   for (core::ObjectId id : candidates) {
     const auto it = records_.find(id);
@@ -627,8 +639,34 @@ RangeAnswer ModDatabase::QueryRange(const geo::Polygon& region,
 NearestAnswer ModDatabase::QueryNearest(const geo::Point2& point,
                                         std::size_t k, core::Time t) const {
   NearestAnswer answer;
+  QueryNearestSplit(
+      point, k, t,
+      [&](const geo::Polygon& probe) {
+        CountIndexProbe();
+        return index_->Candidates(probe, t);
+      },
+      [](const std::function<void()>& fn) {
+        fn();
+        return true;
+      },
+      &answer);
+  return answer;
+}
+
+bool ModDatabase::QueryNearestSplit(
+    const geo::Point2& point, std::size_t k, core::Time t,
+    const std::function<std::vector<core::ObjectId>(const geo::Polygon&)>&
+        probe,
+    const std::function<bool(const std::function<void()>&)>& locked,
+    NearestAnswer* out) const {
+  NearestAnswer answer;
   answer.query_time = t;
-  if (k == 0 || records_.empty()) return answer;
+  bool have_records = false;
+  if (!locked([&] { have_records = !records_.empty(); })) return false;
+  if (k == 0 || !have_records) {
+    *out = std::move(answer);
+    return true;
+  }
 
   // Expanding probes: grow a square around the query point until it yields
   // at least k *surviving* candidates (or covers the whole network), then
@@ -675,12 +713,11 @@ NearestAnswer ModDatabase::QueryNearest(const geo::Point2& point,
 
   std::vector<NearestAnswer::Item> items;
   for (;;) {
-    const geo::Polygon probe =
+    const geo::Polygon probe_region =
         geo::Polygon::CenteredRectangle(point, radius, radius);
-    candidates = index_->Candidates(probe, t);
-    CountIndexProbe();
+    candidates = probe(probe_region);
     answer.candidates_examined += candidates.size();
-    items = build_items(candidates);
+    if (!locked([&] { items = build_items(candidates); })) return false;
     if (items.size() >= k || radius >= world_span) break;
     radius *= 2.0;
   }
@@ -691,27 +728,35 @@ NearestAnswer ModDatabase::QueryNearest(const geo::Point2& point,
     if (kth > radius) {
       const geo::Polygon wide =
           geo::Polygon::CenteredRectangle(point, kth, kth);
-      candidates = index_->Candidates(wide, t);
-      CountIndexProbe();
+      candidates = probe(wide);
       answer.candidates_examined += candidates.size();
-      items = build_items(candidates);
+      if (!locked([&] { items = build_items(candidates); })) return false;
     }
   }
   if (items.size() > k) items.resize(k);
   answer.items = std::move(items);
-  return answer;
+  *out = std::move(answer);
+  return true;
 }
 
 IntervalRangeAnswer ModDatabase::QueryRangeInterval(
     const geo::Polygon& region, core::Time t1, core::Time t2,
     core::Duration sample_step) const {
+  if (t1 > t2) std::swap(t1, t2);
+  const std::vector<core::ObjectId> candidates =
+      index_->CandidatesInWindow(region, t1, t2);
+  CountIndexProbe();
+  return RefineRangeInterval(region, t1, t2, sample_step, candidates);
+}
+
+IntervalRangeAnswer ModDatabase::RefineRangeInterval(
+    const geo::Polygon& region, core::Time t1, core::Time t2,
+    core::Duration sample_step,
+    const std::vector<core::ObjectId>& candidates) const {
   IntervalRangeAnswer answer;
   if (t1 > t2) std::swap(t1, t2);
   answer.window_start = t1;
   answer.window_end = t2;
-  const std::vector<core::ObjectId> candidates =
-      index_->CandidatesInWindow(region, t1, t2);
-  CountIndexProbe();
   answer.candidates_examined = candidates.size();
 
   for (core::ObjectId id : candidates) {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -205,11 +206,46 @@ class ModDatabase {
   /// index candidates refined into MUST / MAY sets.
   RangeAnswer QueryRange(const geo::Polygon& region, core::Time t) const;
 
+  /// The refinement half of `QueryRange`: classifies `candidates` (already
+  /// probed from the index) into MUST / MAY against the stored records.
+  /// `QueryRange` is exactly `RefineRange(region, t, Candidates(region, t))`.
+  /// The split lets the sharded layer probe the index lock-free (when the
+  /// index supports it) and take the shard's reader lock only for this
+  /// record-map refinement.
+  RangeAnswer RefineRange(const geo::Polygon& region, core::Time t,
+                          const std::vector<core::ObjectId>& candidates) const;
+
+  /// The refinement half of `QueryRangeInterval` (swap-tolerant in t1/t2),
+  /// mirroring `RefineRange`; candidates come from `CandidatesInWindow`.
+  IntervalRangeAnswer RefineRangeInterval(
+      const geo::Polygon& region, core::Time t1, core::Time t2,
+      core::Duration sample_step,
+      const std::vector<core::ObjectId>& candidates) const;
+
   /// "Retrieve the k objects nearest to `point` at time t", with
   /// uncertainty-aware distance brackets. Uses expanding index probes, so
   /// it stays sublinear for small k on large databases.
   NearestAnswer QueryNearest(const geo::Point2& point, std::size_t k,
                              core::Time t) const;
+
+  /// `QueryNearest` with its two kinds of work injected, for callers that
+  /// interleave lock-free index probes with locked record refinement (the
+  /// sharded layer's optimistic read path):
+  ///   - `probe(region)` returns the index candidates for a probe
+  ///     rectangle (called without any lock held by this function);
+  ///   - `locked(fn)` runs `fn` — which reads this database's record map —
+  ///     under whatever exclusion the caller provides, returning false to
+  ///     abort the query (e.g. an optimistic version recheck failed).
+  /// Returns true with `*out` filled on success, false (out untouched,
+  /// beyond possibly-partial scratch) when a `locked` call vetoed; the
+  /// caller then falls back to its fully-locked path. The plain
+  /// `QueryNearest` delegates here with trivial lambdas.
+  bool QueryNearestSplit(
+      const geo::Point2& point, std::size_t k, core::Time t,
+      const std::function<std::vector<core::ObjectId>(const geo::Polygon&)>&
+          probe,
+      const std::function<bool(const std::function<void()>&)>& locked,
+      NearestAnswer* out) const;
 
   /// "Retrieve the objects inside `region` at some time within [t1, t2]".
   /// `may` is exact (the uncertainty interval sweeps continuously, so
@@ -303,11 +339,28 @@ class ModDatabase {
   const geo::RouteNetwork& network() const { return *network_; }
   const ModDatabaseOptions& options() const { return options_; }
 
- private:
-  util::Status ValidateAttribute(const core::PositionAttribute& attr) const;
+  /// Shared handle to the current index, for callers that probe it while
+  /// this database may be swapped out from under them (the sharded layer's
+  /// lock-free read path keeps the index alive across a shard-remediation
+  /// db swap). The handle tracks the index instance current at call time;
+  /// `FinishBulkIngest` installs a fresh instance under the same mutex, so
+  /// a concurrent caller gets either the old complete index or the new one,
+  /// never a torn pointer.
+  std::shared_ptr<const index::ObjectIndex> SharedIndex() const {
+    std::lock_guard lock(index_mu_);
+    return index_;
+  }
+
+  /// Bumps the `<prefix>index_probes` counter (lock-free; see `SetMetrics`).
+  /// Public so the sharded layer's lock-free probe path, which calls the
+  /// index directly through `SharedIndex`, counts its probes identically to
+  /// the in-database query paths.
   void CountIndexProbe() const {
     if (index_probes_ != nullptr) index_probes_->Increment();
   }
+
+ private:
+  util::Status ValidateAttribute(const core::PositionAttribute& attr) const;
   /// Fans a committed mutation's transition stream out to every attached
   /// consumer (the pointed-to attributes live only for the call).
   void NotifyDeltas(std::span<const AttributeDelta> deltas);
@@ -315,7 +368,11 @@ class ModDatabase {
   const geo::RouteNetwork* network_;
   ModDatabaseOptions options_;
   std::unordered_map<core::ObjectId, MovingObjectRecord> records_;
-  std::unique_ptr<index::ObjectIndex> index_;
+  // shared_ptr (not unique_ptr) so `SharedIndex` can hand out handles that
+  // outlive a `FinishBulkIngest` swap; `index_mu_` guards only the pointer
+  // itself, never index operations.
+  std::shared_ptr<index::ObjectIndex> index_;
+  mutable std::mutex index_mu_;
   UpdateLog log_;
   WalWriter* wal_ = nullptr;  // non-owning, see AttachWal
   // Delta-stream fan-out (all non-owning, see AttachDeltaConsumer).

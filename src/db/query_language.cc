@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace modb::db {
@@ -56,11 +59,22 @@ util::Result<std::vector<Token>> Lex(std::string_view text) {
       }
       const std::string number(text.substr(i, end - i));
       char* parsed_end = nullptr;
+      errno = 0;
       token.number = std::strtod(number.c_str(), &parsed_end);
       if (parsed_end == number.c_str() ||
           static_cast<std::size_t>(parsed_end - number.c_str()) !=
               number.size()) {
         return LexError(i, "malformed number '" + number + "'");
+      }
+      // strtod reports overflow by returning +/-HUGE_VAL with ERANGE —
+      // without this check a literal like 1e999 silently becomes an
+      // infinite query-box coordinate. Underflow (also ERANGE, tiny
+      // denormal or zero result) is accepted: the nearest representable
+      // value is a faithful coordinate. The isfinite guard also rejects
+      // any other non-finite parse defensively.
+      if ((errno == ERANGE && std::isinf(token.number)) ||
+          !std::isfinite(token.number)) {
+        return LexError(i, "number out of range '" + number + "'");
       }
       token.kind = TokenKind::kNumber;
       i = end;

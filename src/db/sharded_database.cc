@@ -228,6 +228,7 @@ util::Status ShardedModDatabase::Insert(core::ObjectId id, std::string label,
   Shard& shard = *shards_[s];
   std::unique_lock lock(shard.mu);
   util::Status status = shard.db->Insert(id, std::move(label), attr);
+  NoteMutation(shard);
   if (shard.subscriptions != nullptr) {
     // Published while still holding the shard lock so events of
     // serialised same-shard mutations never invert.
@@ -270,6 +271,7 @@ util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     // Copied (not moved) into the shard so the partition is still around
     // for cross-shard rollback below.
     statuses[s] = shard.db->BulkInsert(partitions[s]);
+    NoteMutation(shard);
     if (shard.subscriptions != nullptr) {
       // Held back until the whole call is known to succeed; discarded on
       // rollback below.
@@ -312,6 +314,7 @@ util::Status ShardedModDatabase::BulkInsert(std::vector<BulkObject> objects) {
     for (const BulkObject& object : partitions[s]) {
       (void)shard.db->Erase(object.id);
     }
+    NoteMutation(shard);
     if (shard.subscriptions != nullptr) {
       (void)shard.subscriptions->TakeEvents();
     }
@@ -327,6 +330,7 @@ util::Status ShardedModDatabase::ApplyUpdate(
   Shard& shard = *shards_[s];
   std::unique_lock lock(shard.mu);
   util::Status status = shard.db->ApplyUpdate(update);
+  NoteMutation(shard);
   if (shard.subscriptions != nullptr) {
     PublishShardEvents(shard.subscriptions->TakeEvents());
   }
@@ -370,6 +374,7 @@ UpdateBatchResult ShardedModDatabase::ApplyUpdateBatch(
     Shard& shard = *shards_[s];
     std::unique_lock lock(shard.mu);
     per_shard[s] = shard.db->ApplyUpdateBatch(parts[s]);
+    NoteMutation(shard);
     if (shard.subscriptions != nullptr) {
       // Drained under the shard's exclusive lock, so the run contains
       // exactly this call's events — no cross-call mixing.
@@ -419,6 +424,7 @@ util::Status ShardedModDatabase::Erase(core::ObjectId id) {
   Shard& shard = *shards_[s];
   std::unique_lock lock(shard.mu);
   util::Status status = shard.db->Erase(id);
+  NoteMutation(shard);
   if (shard.subscriptions != nullptr) {
     PublishShardEvents(shard.subscriptions->TakeEvents());
   }
@@ -538,6 +544,27 @@ RangeAnswer ShardedModDatabase::QueryRange(const geo::Polygon& region,
   FanOut([&](std::size_t s) {
     if (skip[s] != 0) return;
     const Shard& shard = *shards_[s];
+    if (options_.lock_free_index_probes) {
+      // Optimistic split: probe the index without the shard lock, then
+      // refine under the shared lock only if no mutation completed in
+      // between (see the Shard::mutations protocol comment). The counter
+      // recheck makes the answer byte-identical to the locked path.
+      const std::uint64_t v1 =
+          shard.mutations.load(std::memory_order_seq_cst);
+      const std::shared_ptr<ModDatabase> db = SnapshotDb(shard);
+      const std::shared_ptr<const index::ObjectIndex> index =
+          db->SharedIndex();
+      if (index->lock_free_probes()) {
+        const std::vector<core::ObjectId> candidates =
+            index->Candidates(region, t);
+        std::shared_lock lock(shard.mu);
+        if (shard.mutations.load(std::memory_order_seq_cst) == v1) {
+          db->CountIndexProbe();
+          per_shard[s] = db->RefineRange(region, t, candidates);
+          return;
+        }
+      }
+    }
     std::shared_lock lock(shard.mu);
     per_shard[s] = shard.db->QueryRange(region, t);
   });
@@ -600,6 +627,41 @@ NearestAnswer ShardedModDatabase::QueryNearest(const geo::Point2& point,
   FanOut([&](std::size_t s) {
     if (skip[s] != 0) return;
     const Shard& shard = *shards_[s];
+    if (options_.lock_free_index_probes) {
+      const std::uint64_t v1 =
+          shard.mutations.load(std::memory_order_seq_cst);
+      const std::shared_ptr<ModDatabase> db = SnapshotDb(shard);
+      const std::shared_ptr<const index::ObjectIndex> index =
+          db->SharedIndex();
+      if (index->lock_free_probes()) {
+        // Nearest interleaves probes and refinement, so the split runs
+        // inside the database: every expanding probe goes through the
+        // lock-free index handle, every record-map pass re-acquires the
+        // shared lock and re-validates the mutation counter. Any
+        // concurrent write voids the whole query (false) → locked
+        // fallback below.
+        NearestAnswer answer;
+        const bool ok = db->QueryNearestSplit(
+            point, k, t,
+            [&](const geo::Polygon& probe) {
+              db->CountIndexProbe();
+              return index->Candidates(probe, t);
+            },
+            [&](const std::function<void()>& fn) {
+              std::shared_lock lock(shard.mu);
+              if (shard.mutations.load(std::memory_order_seq_cst) != v1) {
+                return false;
+              }
+              fn();
+              return true;
+            },
+            &answer);
+        if (ok) {
+          per_shard[s] = std::move(answer);
+          return;
+        }
+      }
+    }
     std::shared_lock lock(shard.mu);
     per_shard[s] = shard.db->QueryNearest(point, k, t);
   });
@@ -626,9 +688,29 @@ IntervalRangeAnswer ShardedModDatabase::QueryRangeInterval(
   std::vector<char> skip;
   QueryCompleteness completeness = ExcludedShards(&skip);
   std::vector<IntervalRangeAnswer> per_shard(shards_.size());
+  const core::Time window_lo = std::min(t1, t2);
+  const core::Time window_hi = std::max(t1, t2);
   FanOut([&](std::size_t s) {
     if (skip[s] != 0) return;
     const Shard& shard = *shards_[s];
+    if (options_.lock_free_index_probes) {
+      const std::uint64_t v1 =
+          shard.mutations.load(std::memory_order_seq_cst);
+      const std::shared_ptr<ModDatabase> db = SnapshotDb(shard);
+      const std::shared_ptr<const index::ObjectIndex> index =
+          db->SharedIndex();
+      if (index->lock_free_probes()) {
+        const std::vector<core::ObjectId> candidates =
+            index->CandidatesInWindow(region, window_lo, window_hi);
+        std::shared_lock lock(shard.mu);
+        if (shard.mutations.load(std::memory_order_seq_cst) == v1) {
+          db->CountIndexProbe();
+          per_shard[s] = db->RefineRangeInterval(region, window_lo, window_hi,
+                                                 sample_step, candidates);
+          return;
+        }
+      }
+    }
     std::shared_lock lock(shard.mu);
     per_shard[s] = shard.db->QueryRangeInterval(region, t1, t2, sample_step);
   });
@@ -798,7 +880,15 @@ util::Status ShardedModDatabase::RemediateShard(std::size_t s) {
   auto durability =
       DurabilityManager::Open(fresh.get(), ShardDirOf(s), options_.durability);
   if (!durability.ok()) return durability.status();
-  shard.db = std::move(fresh);
+  {
+    // A lock-free probe may be pinning the old database right now; the
+    // swap happens under db_swap_mu so the probe's SnapshotDb saw a whole
+    // pointer, and its shared_ptr keeps the old store alive until the
+    // probe finishes (the mutation bump below voids its answer anyway).
+    std::lock_guard swap_lock(shard.db_swap_mu);
+    shard.db = std::move(fresh);
+  }
+  NoteMutation(shard);
   shard.durability = std::move(*durability);
   shard.durability->ExportMetrics(&metrics_);
 

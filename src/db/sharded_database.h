@@ -1,6 +1,8 @@
 #ifndef MODB_DB_SHARDED_DATABASE_H_
 #define MODB_DB_SHARDED_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -66,6 +68,18 @@ struct ShardedModDatabaseOptions {
   /// shard is re-admitted. `supervisor.enabled = false` restores the
   /// pre-supervisor behaviour.
   ShardSupervisorOptions supervisor;
+  /// Optimistic lock-free index probes on the fan-out query paths. When
+  /// the per-shard index supports concurrent reads
+  /// (`ObjectIndex::lock_free_probes()` — the time-space R*-tree over
+  /// resident storage does), `QueryRange` / `QueryNearest` /
+  /// `QueryRangeInterval` probe the index candidates *without* the shard's
+  /// reader lock, then take the shared lock only for record-map refinement,
+  /// re-validating against the shard's mutation counter; a concurrent
+  /// write voids the probe and the query falls back to the fully-locked
+  /// path, so answers are byte-identical either way. `false` always takes
+  /// the shard lock for the whole per-shard query (the previous
+  /// behaviour).
+  bool lock_free_index_probes = true;
 };
 
 /// Concurrency layer over `ModDatabase`: N shards keyed by ObjectId hash,
@@ -225,7 +239,21 @@ class ShardedModDatabase {
  private:
   struct alignas(64) Shard {
     mutable std::shared_mutex mu;
-    std::unique_ptr<ModDatabase> db;
+    // shared_ptr (not unique_ptr) so the lock-free probe path can pin the
+    // database across a remediation swap; `db_swap_mu` guards only the
+    // pointer itself (see SnapshotDb) — all database *operations* are
+    // still serialised by `mu`.
+    std::shared_ptr<ModDatabase> db;
+    mutable std::mutex db_swap_mu;
+    // Bumped at the end of every mutation's critical section (while `mu`
+    // is still held exclusively) — including a remediation db swap. The
+    // optimistic read path loads it before a lock-free index probe and
+    // re-checks under the shared lock: equality proves no mutation
+    // completed in between (a mutation in flight during the probe has not
+    // yet bumped, but then its exclusive hold of `mu` forces the recheck
+    // to run after its bump), so the probe's candidates are consistent
+    // with the locked refinement state.
+    std::atomic<std::uint64_t> mutations{0};
     // Owns the shard's WAL; declared after db (destroyed first) so the WAL
     // detaches from a still-live database.
     std::unique_ptr<DurabilityManager> durability;
@@ -255,6 +283,20 @@ class ShardedModDatabase {
   /// Read fan-out skip set: marks non-readable shards in `skip` (sized to
   /// the fleet) and returns the matching completeness record.
   QueryCompleteness ExcludedShards(std::vector<char>* skip) const;
+
+  /// Pins the shard's current database for a lock-free probe (the handle
+  /// keeps it alive across a concurrent remediation swap).
+  static std::shared_ptr<ModDatabase> SnapshotDb(const Shard& shard) {
+    std::lock_guard lock(shard.db_swap_mu);
+    return shard.db;
+  }
+
+  /// Marks a completed mutation on shard `s`. Must be called *after* the
+  /// mutation, while the shard's exclusive lock is still held (see the
+  /// `Shard::mutations` protocol comment).
+  static void NoteMutation(Shard& shard) {
+    shard.mutations.fetch_add(1, std::memory_order_seq_cst);
+  }
 
   /// Fault check after a write to shard `s` (shard lock held): a poisoned
   /// WAL or an Internal write status quarantines the shard. Normal

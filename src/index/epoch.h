@@ -1,0 +1,134 @@
+#ifndef MODB_INDEX_EPOCH_H_
+#define MODB_INDEX_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace modb::index::epoch {
+
+/// Epoch-based grace-period tracking for lock-free readers (RCU-style).
+///
+/// Readers bracket each traversal with `Enter` / `Exit`: `Enter` claims one
+/// of a fixed set of slots and records the global epoch in it, `Exit`
+/// releases the slot. The single writer (externally serialised) retires
+/// objects it has unlinked from the published structure, tags each retired
+/// object with the epoch current at retirement, advances the global epoch,
+/// and frees a retired object only once `MinActive()` has moved past its
+/// tag — at that point every reader that could have observed the object has
+/// exited.
+///
+/// Why a retired object with `tag < MinActive()` is unreachable:
+///   - the writer unlinks (publishes the replacement root) *before*
+///     retiring, and advances the epoch *after* retiring, so a reader that
+///     observes epoch `tag + 1` or later also observes the new root (its
+///     root load is ordered after the epoch load that returned `tag + 1`,
+///     which reads the increment sequenced after the publication);
+///   - a reader that entered at epoch <= `tag` may hold the old root, but
+///     then its slot still carries a value <= `tag`, keeping
+///     `MinActive() <= tag` until it exits.
+///
+/// All slot and epoch accesses are seq_cst: the scheme needs a total order
+/// between "reader announces its epoch" and "writer scans the slots", and
+/// the few extra fences are irrelevant next to a tree traversal. Slot
+/// release and re-claim also carry the release/acquire edges ThreadSanitizer
+/// needs to see that a reader's plain-data reads happen-before the free.
+///
+/// Slots are claimed per call (hashed by thread id, linear probe). With
+/// more than `kSlots` concurrent readers, `Enter` yields until a slot
+/// frees — readers hold slots only for one traversal, so this bounds
+/// concurrency, never deadlocks.
+class EpochManager {
+ public:
+  static constexpr std::size_t kSlots = 64;
+  /// Slot value meaning "no reader": the global epoch starts at 1 and only
+  /// grows, so 0 is never a real epoch.
+  static constexpr std::uint64_t kIdle = 0;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Claims a slot and announces the current epoch in it. Returns the slot
+  /// index for `Exit`.
+  std::size_t Enter() {
+    const std::size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+    for (;;) {
+      for (std::size_t probe = 0; probe < kSlots; ++probe) {
+        const std::size_t slot = (start + probe) % kSlots;
+        std::uint64_t expected = kIdle;
+        std::uint64_t observed = global_.load(std::memory_order_seq_cst);
+        if (!slots_[slot].value.compare_exchange_strong(
+                expected, observed, std::memory_order_seq_cst)) {
+          continue;
+        }
+        // Publish-then-recheck: once the announcement is visible, re-read
+        // the global epoch. When it already moved on, re-announce the newer
+        // value — the writer that advanced it may have scanned the slots
+        // before our store landed, so only an announcement it can still see
+        // pins the grace period.
+        for (;;) {
+          const std::uint64_t current =
+              global_.load(std::memory_order_seq_cst);
+          if (current == observed) return slot;
+          slots_[slot].value.store(current, std::memory_order_seq_cst);
+          observed = current;
+        }
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Releases the slot returned by `Enter`.
+  void Exit(std::size_t slot) {
+    slots_[slot].value.store(kIdle, std::memory_order_seq_cst);
+  }
+
+  /// The epoch new retirements are tagged with (writer side).
+  std::uint64_t current() const {
+    return global_.load(std::memory_order_seq_cst);
+  }
+
+  /// Advances the global epoch (writer side, after tagging retirements).
+  void Advance() { global_.fetch_add(1, std::memory_order_seq_cst); }
+
+  /// Oldest epoch any active reader announced, or the current epoch when
+  /// no reader is active. Retired objects tagged strictly below this are
+  /// safe to free.
+  std::uint64_t MinActive() const {
+    std::uint64_t min = global_.load(std::memory_order_seq_cst);
+    for (const Slot& slot : slots_) {
+      const std::uint64_t announced =
+          slot.value.load(std::memory_order_seq_cst);
+      if (announced != kIdle && announced < min) min = announced;
+    }
+    return min;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{kIdle};
+  };
+  Slot slots_[kSlots];
+  std::atomic<std::uint64_t> global_{1};
+};
+
+/// RAII reader bracket.
+class ReadGuard {
+ public:
+  explicit ReadGuard(EpochManager& manager)
+      : manager_(manager), slot_(manager.Enter()) {}
+  ~ReadGuard() { manager_.Exit(slot_); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  EpochManager& manager_;
+  std::size_t slot_;
+};
+
+}  // namespace modb::index::epoch
+
+#endif  // MODB_INDEX_EPOCH_H_

@@ -116,6 +116,14 @@ class ObjectIndex {
   /// no-op for indexes without page-backed storage.
   virtual util::Status FlushStorage() { return util::Status::Ok(); }
 
+  /// True when the const query paths are additionally safe to call
+  /// concurrently with the mutating methods (not just with each other) —
+  /// i.e. the implementation publishes mutations atomically to readers
+  /// (the time-space index over a resident copy-on-write R*-tree). The
+  /// sharded database uses this to probe candidates without holding the
+  /// shard's reader lock. Writers always keep external mutual exclusion.
+  virtual bool lock_free_probes() const { return false; }
+
   /// Implementation name for reports ("rtree", "scan", "vp-rtree").
   virtual std::string_view name() const = 0;
 

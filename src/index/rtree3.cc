@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <utility>
 
+#include "index/soa_kernel.h"
 #include "storage/memory_storage_manager.h"
 
 namespace modb::index {
@@ -13,24 +15,80 @@ namespace modb::index {
 using geo::Box3;
 using storage::kInvalidPageId;
 
+/// Plumbing form of one node entry, used where entries travel between
+/// nodes (orphan reinsertion, bulk-load levels). Inside a node, entries
+/// live in the structure-of-arrays layout below, not as `Entry` objects.
 struct RTree3::Entry {
   Box3 box;
   Value value = 0;
   NodeId child = kInvalidPageId;  // kInvalidPageId for leaf entries
-
-  bool IsLeafEntry() const { return child == kInvalidPageId; }
 };
 
+/// Node in structure-of-arrays layout: six coordinate arrays plus the word
+/// array (`word[i]` is the value of leaf entry `i`, or the child NodeId of
+/// internal entry `i`). `child_ptr[i]` caches the resident-mode child
+/// pointer so lock-free readers traverse without touching the buffer pool;
+/// it is nullptr for leaf entries and outside resident mode.
 struct RTree3::Node {
   std::uint32_t level = 0;  // 0 == leaf
-  NodeId parent = kInvalidPageId;
-  std::vector<Entry> entries;
+  std::vector<double> min_x, min_y, min_t;
+  std::vector<double> max_x, max_y, max_t;
+  std::vector<std::uint64_t> word;
+  std::vector<const Node*> child_ptr;
 
   bool IsLeaf() const { return level == 0; }
+  std::size_t count() const { return word.size(); }
+
+  Box3 BoxAt(std::size_t i) const {
+    return Box3(min_x[i], min_y[i], min_t[i], max_x[i], max_y[i], max_t[i]);
+  }
+
+  void SetBoxAt(std::size_t i, const Box3& box) {
+    min_x[i] = box.min[0];
+    min_y[i] = box.min[1];
+    min_t[i] = box.min[2];
+    max_x[i] = box.max[0];
+    max_y[i] = box.max[1];
+    max_t[i] = box.max[2];
+  }
+
+  void PushEntry(const Box3& box, std::uint64_t w, const Node* ptr) {
+    min_x.push_back(box.min[0]);
+    min_y.push_back(box.min[1]);
+    min_t.push_back(box.min[2]);
+    max_x.push_back(box.max[0]);
+    max_y.push_back(box.max[1]);
+    max_t.push_back(box.max[2]);
+    word.push_back(w);
+    child_ptr.push_back(ptr);
+  }
+
+  void EraseAt(std::size_t i) {
+    const auto at = static_cast<std::ptrdiff_t>(i);
+    min_x.erase(min_x.begin() + at);
+    min_y.erase(min_y.begin() + at);
+    min_t.erase(min_t.begin() + at);
+    max_x.erase(max_x.begin() + at);
+    max_y.erase(max_y.begin() + at);
+    max_t.erase(max_t.begin() + at);
+    word.erase(word.begin() + at);
+    child_ptr.erase(child_ptr.begin() + at);
+  }
+
+  void ClearEntries() {
+    min_x.clear();
+    min_y.clear();
+    min_t.clear();
+    max_x.clear();
+    max_y.clear();
+    max_t.clear();
+    word.clear();
+    child_ptr.clear();
+  }
 
   Box3 ComputeBox() const {
     Box3 box;
-    for (const Entry& e : entries) box.Expand(e.box);
+    for (std::size_t i = 0; i < count(); ++i) box.Expand(BoxAt(i));
     return box;
   }
 };
@@ -51,6 +109,8 @@ struct RTree3::Pinned {
 
 namespace {
 
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+
 bool SameBox(const Box3& a, const Box3& b) {
   for (int d = 0; d < 3; ++d) {
     if (a.min[d] != b.min[d] || a.max[d] != b.max[d]) return false;
@@ -58,11 +118,14 @@ bool SameBox(const Box3& a, const Box3& b) {
   return true;
 }
 
-// Node page layout (little-endian):
+// Node page layout (little-endian), unchanged from the array-of-structs
+// node representation so old page files decode as-is:
 //   u32 level | u64 parent | u32 count |
 //   count x { f64 min[3], f64 max[3], u64 word }
 // where `word` is the value for leaf entries and the child NodeId for
-// internal ones (distinguished by `level`).
+// internal ones (distinguished by `level`). The parent field is a fossil —
+// nodes no longer track parents (mutations carry explicit root-to-leaf
+// paths) — so encode writes kInvalidPageId and decode ignores it.
 constexpr std::size_t kNodeHeaderBytes = 16;
 constexpr std::size_t kEntryBytes = 6 * 8 + 8;
 
@@ -113,14 +176,18 @@ double GetF64(std::string_view data, std::size_t pos) {
 util::Status RTree3::EncodeNode(const void* object, std::string* out) {
   const auto* node = static_cast<const Node*>(object);
   out->clear();
-  out->reserve(kNodeHeaderBytes + node->entries.size() * kEntryBytes);
+  out->reserve(kNodeHeaderBytes + node->count() * kEntryBytes);
   PutU32(out, node->level);
-  PutU64(out, node->parent);
-  PutU32(out, static_cast<std::uint32_t>(node->entries.size()));
-  for (const auto& e : node->entries) {
-    for (int d = 0; d < 3; ++d) PutF64(out, e.box.min[d]);
-    for (int d = 0; d < 3; ++d) PutF64(out, e.box.max[d]);
-    PutU64(out, node->level == 0 ? e.value : e.child);
+  PutU64(out, kInvalidPageId);  // fossil parent field (see layout comment)
+  PutU32(out, static_cast<std::uint32_t>(node->count()));
+  for (std::size_t i = 0; i < node->count(); ++i) {
+    PutF64(out, node->min_x[i]);
+    PutF64(out, node->min_y[i]);
+    PutF64(out, node->min_t[i]);
+    PutF64(out, node->max_x[i]);
+    PutF64(out, node->max_y[i]);
+    PutF64(out, node->max_t[i]);
+    PutU64(out, node->word[i]);
   }
   return util::Status::Ok();
 }
@@ -133,27 +200,18 @@ util::Result<std::shared_ptr<void>> RTree3::DecodeNode(
   }
   auto node = std::make_shared<Node>();
   node->level = GetU32(bytes, 0);
-  node->parent = GetU64(bytes, 4);
   const std::uint32_t count = GetU32(bytes, 12);
   if (bytes.size() != kNodeHeaderBytes + std::size_t{count} * kEntryBytes) {
     return util::Status::Internal(
         "node page size mismatch: " + std::to_string(bytes.size()) +
         " bytes for " + std::to_string(count) + " entries");
   }
-  node->entries.resize(count);
   std::size_t pos = kNodeHeaderBytes;
   for (std::uint32_t i = 0; i < count; ++i, pos += kEntryBytes) {
-    auto& e = node->entries[i];
-    for (int d = 0; d < 3; ++d) e.box.min[d] = GetF64(bytes, pos + 8 * d);
-    for (int d = 0; d < 3; ++d) e.box.max[d] = GetF64(bytes, pos + 24 + 8 * d);
-    const std::uint64_t word = GetU64(bytes, pos + 48);
-    if (node->level == 0) {
-      e.value = word;
-      e.child = kInvalidPageId;
-    } else {
-      e.value = 0;
-      e.child = word;
-    }
+    const Box3 box(GetF64(bytes, pos), GetF64(bytes, pos + 8),
+                   GetF64(bytes, pos + 16), GetF64(bytes, pos + 24),
+                   GetF64(bytes, pos + 32), GetF64(bytes, pos + 40));
+    node->PushEntry(box, GetU64(bytes, pos + 48), nullptr);
   }
   return std::shared_ptr<void>(std::move(node));
 }
@@ -196,15 +254,69 @@ RTree3::RTree3(Options options)
         " bytes cannot hold fan-out " + std::to_string(options_.max_entries) +
         " (needs " + std::to_string(required) + ")"));
   }
+  // Resident mode requires storage that can neither evict nor fail: node
+  // addresses must stay stable for the lifetime of a reader epoch.
+  resident_ = options_.concurrent_reads &&
+              options_.storage.kind == storage::StorageKind::kMemory &&
+              options_.storage.pool_pages == 0 && healthy();
+  if (resident_) epochs_ = std::make_unique<epoch::EpochManager>();
   if (healthy()) {
-    Pinned root = AllocNode(0, kInvalidPageId);
+    Pinned root = AllocNode(0);
     if (root) root_ = root.handle.id();
   }
+  MaybePublish();
 }
 
 RTree3::~RTree3() = default;
-RTree3::RTree3(RTree3&&) noexcept = default;
-RTree3& RTree3::operator=(RTree3&&) noexcept = default;
+
+RTree3::RTree3(RTree3&& other) noexcept
+    : options_(std::move(other.options_)),
+      storage_(std::move(other.storage_)),
+      pool_(std::move(other.pool_)),
+      root_(other.root_),
+      size_(other.size_.load(std::memory_order_relaxed)),
+      splits_(other.splits_.load(std::memory_order_relaxed)),
+      ctl_(std::move(other.ctl_)),
+      instruments_(other.instruments_),
+      resident_(other.resident_),
+      pub_root_(other.pub_root_.load(std::memory_order_relaxed)),
+      epochs_(std::move(other.epochs_)),
+      fresh_(std::move(other.fresh_)),
+      pending_retire_(std::move(other.pending_retire_)),
+      retired_(std::move(other.retired_)),
+      batch_depth_(other.batch_depth_) {
+  other.root_ = kInvalidPageId;
+  other.resident_ = false;
+  other.pub_root_.store(nullptr, std::memory_order_relaxed);
+  other.instruments_ = Instruments{};
+}
+
+RTree3& RTree3::operator=(RTree3&& other) noexcept {
+  if (this == &other) return *this;
+  options_ = std::move(other.options_);
+  storage_ = std::move(other.storage_);
+  pool_ = std::move(other.pool_);
+  root_ = other.root_;
+  size_.store(other.size_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  splits_.store(other.splits_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  ctl_ = std::move(other.ctl_);
+  instruments_ = other.instruments_;
+  resident_ = other.resident_;
+  pub_root_.store(other.pub_root_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  epochs_ = std::move(other.epochs_);
+  fresh_ = std::move(other.fresh_);
+  pending_retire_ = std::move(other.pending_retire_);
+  retired_ = std::move(other.retired_);
+  batch_depth_ = other.batch_depth_;
+  other.root_ = kInvalidPageId;
+  other.resident_ = false;
+  other.pub_root_.store(nullptr, std::memory_order_relaxed);
+  other.instruments_ = Instruments{};
+  return *this;
+}
 
 util::Status RTree3::storage_status() const {
   std::lock_guard<std::mutex> lock(ctl_->mu);
@@ -220,6 +332,7 @@ void RTree3::Poison(const util::Status& status) const {
   if (status.ok()) return;
   std::lock_guard<std::mutex> lock(ctl_->mu);
   if (ctl_->status.ok()) ctl_->status = status;  // first error wins
+  ctl_->poisoned.store(true, std::memory_order_relaxed);
 }
 
 RTree3::Pinned RTree3::Pin(NodeId id) const {
@@ -238,11 +351,10 @@ RTree3::Pinned RTree3::Pin(NodeId id) const {
   return pinned;
 }
 
-RTree3::Pinned RTree3::AllocNode(std::uint32_t level, NodeId parent) {
+RTree3::Pinned RTree3::AllocNode(std::uint32_t level) {
   Pinned pinned;
   auto node = std::make_shared<Node>();
   node->level = level;
-  node->parent = parent;
   Node* raw = node.get();
   auto handle = pool_->Create(std::move(node));
   if (!handle.ok()) {
@@ -251,11 +363,41 @@ RTree3::Pinned RTree3::AllocNode(std::uint32_t level, NodeId parent) {
   }
   pinned.handle = std::move(*handle);
   pinned.node = raw;
+  if (resident_) fresh_.insert(pinned.handle.id());
   return pinned;
 }
 
-void RTree3::FreeNode(NodeId id) {
+void RTree3::RetireOrFree(NodeId id) {
+  if (resident_) {
+    const auto it = fresh_.find(id);
+    if (it == fresh_.end()) {
+      // Published: a reader may still traverse it — defer to the epoch
+      // scheme (tagged and reclaimed at the next publication).
+      pending_retire_.push_back(id);
+      return;
+    }
+    fresh_.erase(it);  // never published; free immediately
+  }
   if (util::Status s = pool_->Free(id); !s.ok()) Poison(s);
+}
+
+bool RTree3::AppendEntry(Node* node, const Box3& box, std::uint64_t w) {
+  const Node* ptr = nullptr;
+  if (resident_ && node->level > 0) {
+    Pinned child = Pin(static_cast<NodeId>(w));
+    if (!child) return false;
+    ptr = child.node;
+  }
+  node->PushEntry(box, w, ptr);
+  return true;
+}
+
+std::size_t RTree3::FindChildSlot(const Node& node, NodeId child) const {
+  for (std::size_t i = 0; i < node.count(); ++i) {
+    if (node.word[i] == child) return i;
+  }
+  Poison(util::Status::Internal("child id missing from parent node"));
+  return kNoSlot;
 }
 
 void RTree3::Insert(const Box3& box, Value value) {
@@ -265,58 +407,62 @@ void RTree3::Insert(const Box3& box, Value value) {
   entry.box = box;
   entry.value = value;
   InsertEntryAtLevel(entry, 0);
-  if (healthy()) ++size_;
+  if (healthy()) size_.fetch_add(1, std::memory_order_relaxed);
+  MaybePublish();
   SyncMetrics();
 }
 
-void RTree3::InsertEntryAtLevel(Entry entry, std::size_t level) {
-  const NodeId node_id = ChooseSubtree(entry.box, level);
-  if (node_id == kInvalidPageId) return;
+void RTree3::InsertEntryAtLevel(const Entry& entry, std::size_t level) {
+  std::vector<NodeId> path = ChoosePath(entry.box, level);
+  if (path.empty()) return;
+  MakePathWritable(&path);
+  if (!healthy()) return;
+  const std::size_t depth = path.size() - 1;
   bool overflow = false;
   {
-    Pinned p = Pin(node_id);
+    Pinned p = Pin(path[depth]);
     if (!p) return;
-    if (entry.child != kInvalidPageId) {
-      Pinned child = Pin(entry.child);
-      if (!child) return;
-      child.node->parent = node_id;
-      child.handle.MarkDirty();
+    if (!AppendEntry(p.node,
+                     entry.box,
+                     p.node->IsLeaf() ? entry.value : entry.child)) {
+      return;
     }
-    p.node->entries.push_back(entry);
     p.handle.MarkDirty();
-    overflow = p.node->entries.size() > options_.max_entries;
+    overflow = p.node->count() > options_.max_entries;
   }
   if (overflow) {
-    SplitNode(node_id);
+    SplitAlongPath(path, depth);
   } else {
-    AdjustUpward(node_id);
+    AdjustPathBoxes(path, depth);
   }
 }
 
-RTree3::NodeId RTree3::ChooseSubtree(const Box3& box,
-                                     std::size_t target_level) const {
+std::vector<RTree3::NodeId> RTree3::ChoosePath(
+    const Box3& box, std::size_t target_level) const {
+  std::vector<NodeId> path;
   NodeId id = root_;
   Pinned p = Pin(id);
-  if (!p) return kInvalidPageId;
+  if (!p) return {};
+  path.push_back(id);
   while (p.node->level > target_level) {
     const Node* node = p.node;
-    assert(!node->entries.empty());
+    assert(node->count() > 0);
     const bool children_are_leaves = node->level == 1;
     std::size_t best = 0;
     double best_primary = std::numeric_limits<double>::infinity();
     double best_secondary = std::numeric_limits<double>::infinity();
     double best_tertiary = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < node->entries.size(); ++i) {
-      const Box3& ebox = node->entries[i].box;
+    for (std::size_t i = 0; i < node->count(); ++i) {
+      const Box3 ebox = node->BoxAt(i);
       const Box3 grown = ebox.Union(box);
       double primary;
       if (children_are_leaves) {
         // R*: minimise overlap enlargement at the leaf level.
         double overlap_before = 0.0;
         double overlap_after = 0.0;
-        for (std::size_t j = 0; j < node->entries.size(); ++j) {
+        for (std::size_t j = 0; j < node->count(); ++j) {
           if (j == i) continue;
-          const Box3& other = node->entries[j].box;
+          const Box3 other = node->BoxAt(j);
           overlap_before += ebox.OverlapVolume(other);
           overlap_after += grown.OverlapVolume(other);
         }
@@ -336,209 +482,247 @@ RTree3::NodeId RTree3::ChooseSubtree(const Box3& box,
         best_tertiary = tertiary;
       }
     }
-    id = node->entries[best].child;
+    id = static_cast<NodeId>(node->word[best]);
     p = Pin(id);
-    if (!p) return kInvalidPageId;
+    if (!p) return {};
+    path.push_back(id);
   }
-  return id;
+  return path;
 }
 
-void RTree3::SplitNode(NodeId node_id) {
-  if (!healthy()) return;
-  ++splits_;
-  NodeId parent_id = kInvalidPageId;
-  bool parent_overflow = false;
-  {
-    Pinned p = Pin(node_id);
-    if (!p) return;
-    Node* node = p.node;
-
-    // R* split: choose the axis with the minimal total margin over all
-    // candidate distributions, then the distribution with minimal overlap
-    // (ties broken by total volume).
-    const std::size_t total = node->entries.size();
-    const std::size_t min_e = options_.min_entries;
-    assert(total > options_.max_entries);
-
-    std::vector<std::size_t> order(total);
-    std::vector<std::size_t> best_order;
-    std::size_t best_split_at = min_e;
-    double best_margin_for_axis = std::numeric_limits<double>::infinity();
-
-    // For each axis and each of the two sortings (by min, by max), evaluate
-    // every legal split position.
-    for (int axis = 0; axis < 3; ++axis) {
-      for (int by_max = 0; by_max < 2; ++by_max) {
-        for (std::size_t i = 0; i < total; ++i) order[i] = i;
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                    const Box3& ba = node->entries[a].box;
-                    const Box3& bb = node->entries[b].box;
-                    return by_max ? ba.max[axis] < bb.max[axis]
-                                  : ba.min[axis] < bb.min[axis];
-                  });
-        // Prefix / suffix boxes for O(n) margin evaluation per sorting.
-        std::vector<Box3> prefix(total);
-        std::vector<Box3> suffix(total);
-        Box3 acc;
-        for (std::size_t i = 0; i < total; ++i) {
-          acc.Expand(node->entries[order[i]].box);
-          prefix[i] = acc;
-        }
-        acc = Box3();
-        for (std::size_t i = total; i-- > 0;) {
-          acc.Expand(node->entries[order[i]].box);
-          suffix[i] = acc;
-        }
-        double margin_sum = 0.0;
-        double axis_best_overlap = std::numeric_limits<double>::infinity();
-        double axis_best_volume = std::numeric_limits<double>::infinity();
-        std::size_t axis_best_split = min_e;
-        for (std::size_t k = min_e; k + min_e <= total; ++k) {
-          const Box3& left = prefix[k - 1];
-          const Box3& right = suffix[k];
-          margin_sum += left.Margin() + right.Margin();
-          const double overlap = left.OverlapVolume(right);
-          const double volume = left.Volume() + right.Volume();
-          if (overlap < axis_best_overlap ||
-              (overlap == axis_best_overlap && volume < axis_best_volume)) {
-            axis_best_overlap = overlap;
-            axis_best_volume = volume;
-            axis_best_split = k;
-          }
-        }
-        if (margin_sum < best_margin_for_axis) {
-          best_margin_for_axis = margin_sum;
-          best_order = order;
-          best_split_at = axis_best_split;
-        }
-      }
+void RTree3::MakePathWritable(std::vector<NodeId>* path) {
+  if (!resident_) return;
+  for (std::size_t d = 0; d < path->size(); ++d) {
+    const NodeId id = (*path)[d];
+    if (fresh_.count(id) != 0) continue;  // already private to this write
+    Pinned old = Pin(id);
+    if (!old) return;
+    Pinned clone = AllocNode(old.node->level);
+    if (!clone) return;
+    const NodeId clone_id = clone.handle.id();
+    *clone.node = *old.node;  // copies the SoA arrays and child pointers
+    old.Release();
+    if (d == 0) {
+      root_ = clone_id;
+    } else {
+      // The parent was processed in an earlier iteration, so it is fresh
+      // and safe to patch in place.
+      Pinned parent = Pin((*path)[d - 1]);
+      if (!parent) return;
+      const std::size_t slot = FindChildSlot(*parent.node, id);
+      if (slot == kNoSlot) return;
+      parent.node->word[slot] = clone_id;
+      parent.node->child_ptr[slot] = clone.node;
+      parent.handle.MarkDirty();
     }
-
-    // Move the second group into a fresh sibling.
-    Pinned sibling = AllocNode(node->level, node->parent);
-    if (!sibling) return;
-    const NodeId sibling_id = sibling.handle.id();
-    std::vector<Entry> left_entries;
-    left_entries.reserve(best_split_at);
-    for (std::size_t i = 0; i < total; ++i) {
-      const Entry& e = node->entries[best_order[i]];
-      if (i < best_split_at) {
-        left_entries.push_back(e);
-      } else {
-        if (e.child != kInvalidPageId) {
-          Pinned child = Pin(e.child);
-          if (!child) return;
-          child.node->parent = sibling_id;
-          child.handle.MarkDirty();
-        }
-        sibling.node->entries.push_back(e);
-      }
-    }
-    node->entries = std::move(left_entries);
-    p.handle.MarkDirty();  // sibling was created dirty
-
-    if (node->parent == kInvalidPageId) {
-      // Split of the root: grow the tree by one level.
-      Pinned new_root = AllocNode(node->level + 1, kInvalidPageId);
-      if (!new_root) return;
-      const NodeId new_root_id = new_root.handle.id();
-      Entry left;
-      left.box = node->ComputeBox();
-      left.child = node_id;
-      Entry right;
-      right.box = sibling.node->ComputeBox();
-      right.child = sibling_id;
-      new_root.node->entries.push_back(left);
-      new_root.node->entries.push_back(right);
-      node->parent = new_root_id;
-      sibling.node->parent = new_root_id;
-      root_ = new_root_id;
-      return;
-    }
-
-    parent_id = node->parent;
-    Pinned parent = Pin(parent_id);
-    if (!parent) return;
-    // Refresh the split node's entry box and add the sibling.
-    for (Entry& e : parent.node->entries) {
-      if (e.child == node_id) {
-        e.box = node->ComputeBox();
-        break;
-      }
-    }
-    Entry sibling_entry;
-    sibling_entry.box = sibling.node->ComputeBox();
-    sibling_entry.child = sibling_id;
-    parent.node->entries.push_back(sibling_entry);
-    parent.handle.MarkDirty();
-    parent_overflow = parent.node->entries.size() > options_.max_entries;
-  }
-  if (parent_overflow) {
-    SplitNode(parent_id);
-  } else {
-    AdjustUpward(parent_id);
+    pending_retire_.push_back(id);
+    (*path)[d] = clone_id;
   }
 }
 
-void RTree3::AdjustUpward(NodeId node_id) {
-  while (healthy()) {
-    NodeId parent_id = kInvalidPageId;
+void RTree3::SplitAlongPath(std::vector<NodeId>& path, std::size_t depth) {
+  struct SplitEntry {
     Box3 box;
+    std::uint64_t word = 0;
+    const Node* child_ptr = nullptr;
+  };
+  while (healthy()) {
+    splits_.fetch_add(1, std::memory_order_relaxed);
+    const NodeId node_id = path[depth];
+    bool parent_overflow = false;
     {
       Pinned p = Pin(node_id);
       if (!p) return;
-      parent_id = p.node->parent;
-      if (parent_id == kInvalidPageId) return;
+      Node* node = p.node;
+
+      // R* split: choose the axis with the minimal total margin over all
+      // candidate distributions, then the distribution with minimal overlap
+      // (ties broken by total volume).
+      const std::size_t total = node->count();
+      const std::size_t min_e = options_.min_entries;
+      assert(total > options_.max_entries);
+
+      std::vector<SplitEntry> all(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        all[i] = {node->BoxAt(i), node->word[i], node->child_ptr[i]};
+      }
+
+      std::vector<std::size_t> order(total);
+      std::vector<std::size_t> best_order;
+      std::size_t best_split_at = min_e;
+      double best_margin_for_axis = std::numeric_limits<double>::infinity();
+
+      // For each axis and each of the two sortings (by min, by max),
+      // evaluate every legal split position.
+      for (int axis = 0; axis < 3; ++axis) {
+        for (int by_max = 0; by_max < 2; ++by_max) {
+          for (std::size_t i = 0; i < total; ++i) order[i] = i;
+          std::sort(order.begin(), order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      const Box3& ba = all[a].box;
+                      const Box3& bb = all[b].box;
+                      return by_max ? ba.max[axis] < bb.max[axis]
+                                    : ba.min[axis] < bb.min[axis];
+                    });
+          // Prefix / suffix boxes for O(n) margin evaluation per sorting.
+          std::vector<Box3> prefix(total);
+          std::vector<Box3> suffix(total);
+          Box3 acc;
+          for (std::size_t i = 0; i < total; ++i) {
+            acc.Expand(all[order[i]].box);
+            prefix[i] = acc;
+          }
+          acc = Box3();
+          for (std::size_t i = total; i-- > 0;) {
+            acc.Expand(all[order[i]].box);
+            suffix[i] = acc;
+          }
+          double margin_sum = 0.0;
+          double axis_best_overlap = std::numeric_limits<double>::infinity();
+          double axis_best_volume = std::numeric_limits<double>::infinity();
+          std::size_t axis_best_split = min_e;
+          for (std::size_t k = min_e; k + min_e <= total; ++k) {
+            const Box3& left = prefix[k - 1];
+            const Box3& right = suffix[k];
+            margin_sum += left.Margin() + right.Margin();
+            const double overlap = left.OverlapVolume(right);
+            const double volume = left.Volume() + right.Volume();
+            if (overlap < axis_best_overlap ||
+                (overlap == axis_best_overlap &&
+                 volume < axis_best_volume)) {
+              axis_best_overlap = overlap;
+              axis_best_volume = volume;
+              axis_best_split = k;
+            }
+          }
+          if (margin_sum < best_margin_for_axis) {
+            best_margin_for_axis = margin_sum;
+            best_order = order;
+            best_split_at = axis_best_split;
+          }
+        }
+      }
+
+      // Move the second group into a fresh sibling.
+      Pinned sibling = AllocNode(node->level);
+      if (!sibling) return;
+      const NodeId sibling_id = sibling.handle.id();
+      node->ClearEntries();
+      for (std::size_t i = 0; i < total; ++i) {
+        const SplitEntry& e = all[best_order[i]];
+        Node* target = i < best_split_at ? node : sibling.node;
+        target->PushEntry(e.box, e.word, e.child_ptr);
+      }
+      p.handle.MarkDirty();  // sibling was created dirty
+
+      if (depth == 0) {
+        // Split of the root: grow the tree by one level.
+        Pinned new_root = AllocNode(node->level + 1);
+        if (!new_root) return;
+        new_root.node->PushEntry(node->ComputeBox(), node_id,
+                                 resident_ ? node : nullptr);
+        new_root.node->PushEntry(sibling.node->ComputeBox(), sibling_id,
+                                 resident_ ? sibling.node : nullptr);
+        root_ = new_root.handle.id();
+        return;
+      }
+
+      // Refresh the split node's entry box in the parent and add the
+      // sibling. The parent is on the (already writable) path.
+      Pinned parent = Pin(path[depth - 1]);
+      if (!parent) return;
+      const std::size_t slot = FindChildSlot(*parent.node, node_id);
+      if (slot == kNoSlot) return;
+      parent.node->SetBoxAt(slot, node->ComputeBox());
+      parent.node->PushEntry(sibling.node->ComputeBox(), sibling_id,
+                             resident_ ? sibling.node : nullptr);
+      parent.handle.MarkDirty();
+      parent_overflow = parent.node->count() > options_.max_entries;
+    }
+    if (parent_overflow) {
+      --depth;
+      continue;
+    }
+    AdjustPathBoxes(path, depth - 1);
+    return;
+  }
+}
+
+void RTree3::AdjustPathBoxes(const std::vector<NodeId>& path,
+                             std::size_t depth) {
+  // Refresh the stored bounding box of every path node from `depth` up in
+  // its parent (path[d-1] is always the parent of path[d]).
+  for (std::size_t d = depth; d >= 1 && healthy(); --d) {
+    Box3 box;
+    {
+      Pinned p = Pin(path[d]);
+      if (!p) return;
       box = p.node->ComputeBox();
     }
-    Pinned parent = Pin(parent_id);
+    Pinned parent = Pin(path[d - 1]);
     if (!parent) return;
-    for (Entry& e : parent.node->entries) {
-      if (e.child == node_id) {
-        e.box = box;
-        break;
+    const std::size_t slot = FindChildSlot(*parent.node, path[d]);
+    if (slot == kNoSlot) return;
+    parent.node->SetBoxAt(slot, box);
+    parent.handle.MarkDirty();
+  }
+}
+
+bool RTree3::FindRemovePath(NodeId id, const Box3& box, Value value,
+                            std::vector<NodeId>* path,
+                            std::size_t* entry_index) const {
+  path->push_back(id);
+  {
+    Pinned p = Pin(id);
+    if (p) {
+      if (p.node->IsLeaf()) {
+        for (std::size_t i = 0; i < p.node->count(); ++i) {
+          if (p.node->word[i] == value && SameBox(p.node->BoxAt(i), box)) {
+            *entry_index = i;
+            return true;
+          }
+        }
+      } else {
+        // Collect matching children first so the recursion below runs with
+        // this node's pin released (tiny paged pools hold few frames).
+        std::vector<NodeId> matches;
+        for (std::size_t i = 0; i < p.node->count(); ++i) {
+          if (p.node->BoxAt(i).Intersects(box)) {
+            matches.push_back(static_cast<NodeId>(p.node->word[i]));
+          }
+        }
+        p.Release();
+        for (const NodeId child : matches) {
+          if (FindRemovePath(child, box, value, path, entry_index)) {
+            return true;
+          }
+        }
       }
     }
-    parent.handle.MarkDirty();
-    node_id = parent_id;
   }
+  path->pop_back();
+  return false;
 }
 
 bool RTree3::Remove(const Box3& box, Value value) {
   if (!healthy()) return false;
-  // Phase 1: locate and erase the matching leaf entry. Pins are scoped per
-  // visited node — condensation below frees ancestors, which must not be
-  // pinned by a traversal stack at that point.
-  NodeId found_leaf = kInvalidPageId;
-  std::vector<NodeId> stack = {root_};
-  while (!stack.empty() && found_leaf == kInvalidPageId) {
-    const NodeId id = stack.back();
-    stack.pop_back();
-    Pinned p = Pin(id);
-    if (!p) return false;
-    if (p.node->IsLeaf()) {
-      for (std::size_t i = 0; i < p.node->entries.size(); ++i) {
-        const Entry& e = p.node->entries[i];
-        if (e.value == value && SameBox(e.box, box)) {
-          p.node->entries.erase(p.node->entries.begin() +
-                                static_cast<std::ptrdiff_t>(i));
-          p.handle.MarkDirty();
-          found_leaf = id;
-          break;
-        }
-      }
-    } else {
-      for (const Entry& e : p.node->entries) {
-        if (e.box.Intersects(box)) stack.push_back(e.child);
-      }
-    }
+  std::vector<NodeId> path;
+  std::size_t entry_index = 0;
+  if (!FindRemovePath(root_, box, value, &path, &entry_index)) return false;
+  if (!healthy()) return false;
+
+  MakePathWritable(&path);
+  if (!healthy()) return false;
+  {
+    Pinned leaf = Pin(path.back());
+    if (!leaf) return false;
+    leaf.node->EraseAt(entry_index);
+    leaf.handle.MarkDirty();
   }
-  if (found_leaf == kInvalidPageId) return false;
-  --size_;
+  size_.fetch_sub(1, std::memory_order_relaxed);
 
   std::vector<Entry> orphans;
-  CondenseAfterRemove(found_leaf, &orphans);
+  CondenseAlongPath(path, &orphans);
 
   // Shrink the root while it has a single child.
   while (healthy()) {
@@ -546,22 +730,17 @@ bool RTree3::Remove(const Box3& box, Value value) {
     {
       Pinned root = Pin(root_);
       if (!root) break;
-      if (root.node->IsLeaf() || root.node->entries.size() != 1) break;
-      child_id = root.node->entries[0].child;
-    }
-    {
-      Pinned child = Pin(child_id);
-      if (!child) break;
-      child.node->parent = kInvalidPageId;
-      child.handle.MarkDirty();
+      if (root.node->IsLeaf() || root.node->count() != 1) break;
+      child_id = static_cast<NodeId>(root.node->word[0]);
     }
     const NodeId old_root = root_;
     root_ = child_id;
-    FreeNode(old_root);
+    RetireOrFree(old_root);
   }
 
   // Reinsert orphaned subtrees / leaf entries at their original level.
   for (const Entry& orphan : orphans) {
+    if (!healthy()) break;
     std::size_t level = 0;
     if (orphan.child != kInvalidPageId) {
       Pinned child = Pin(orphan.child);
@@ -570,98 +749,72 @@ bool RTree3::Remove(const Box3& box, Value value) {
     }
     InsertEntryAtLevel(orphan, level);
   }
+  MaybePublish();
   SyncMetrics();
   return true;
 }
 
-void RTree3::CondenseAfterRemove(NodeId node_id, std::vector<Entry>* orphans) {
-  while (healthy()) {
-    NodeId parent_id = kInvalidPageId;
+void RTree3::CondenseAlongPath(const std::vector<NodeId>& path,
+                               std::vector<Entry>* orphans) {
+  // Bottom-up along the recorded (writable) path; the root never condenses.
+  for (std::size_t d = path.size(); d-- > 1;) {
+    if (!healthy()) return;
+    const NodeId id = path[d];
     bool underfull = false;
     Box3 box;
     {
-      Pinned p = Pin(node_id);
+      Pinned p = Pin(id);
       if (!p) return;
-      parent_id = p.node->parent;
-      if (parent_id == kInvalidPageId) return;
-      underfull = p.node->entries.size() < options_.min_entries;
+      underfull = p.node->count() < options_.min_entries;
       if (underfull) {
         // Orphan the whole underfull node's entries for reinsertion.
-        for (const Entry& e : p.node->entries) orphans->push_back(e);
-        p.node->entries.clear();
-        p.handle.MarkDirty();
+        for (std::size_t i = 0; i < p.node->count(); ++i) {
+          Entry e;
+          e.box = p.node->BoxAt(i);
+          if (p.node->IsLeaf()) {
+            e.value = p.node->word[i];
+          } else {
+            e.child = static_cast<NodeId>(p.node->word[i]);
+          }
+          orphans->push_back(e);
+        }
       } else {
         box = p.node->ComputeBox();
       }
     }
     {
-      Pinned parent = Pin(parent_id);
+      Pinned parent = Pin(path[d - 1]);
       if (!parent) return;
-      auto& entries = parent.node->entries;
+      const std::size_t slot = FindChildSlot(*parent.node, id);
+      if (slot == kNoSlot) return;
       if (underfull) {
-        for (std::size_t i = 0; i < entries.size(); ++i) {
-          if (entries[i].child == node_id) {
-            entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
-            break;
-          }
-        }
+        parent.node->EraseAt(slot);
       } else {
-        for (Entry& e : entries) {
-          if (e.child == node_id) {
-            e.box = box;
-            break;
-          }
-        }
+        parent.node->SetBoxAt(slot, box);
       }
       parent.handle.MarkDirty();
     }
-    if (underfull) FreeNode(node_id);
-    node_id = parent_id;
+    if (underfull) RetireOrFree(id);
   }
 }
 
-void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
-  Clear();
-  if (!healthy() || entries.empty()) return;
-  size_ = entries.size();
-  // Clear() allocated a fresh empty leaf root; the packed tree replaces it.
-  const NodeId placeholder_root = root_;
-  root_ = kInvalidPageId;
-  FreeNode(placeholder_root);
-
-  // Leaf entries.
-  std::vector<Entry> level_entries;
-  level_entries.reserve(entries.size());
-  for (auto& [box, value] : entries) {
-    Entry e;
-    e.box = box;
-    e.value = value;
-    level_entries.push_back(e);
-  }
-
+RTree3::NodeId RTree3::BuildPacked(std::vector<Entry>* level_entries) {
   // Pack one level of entries into nodes using Sort-Tile-Recursive: sort
   // by x-center into vertical slices, each slice by y-center into runs,
   // each run by t-center, then chunk into nodes of max_entries.
   std::uint32_t level = 0;
   while (healthy()) {
-    const std::size_t n = level_entries.size();
+    const std::size_t n = level_entries->size();
     if (n <= options_.max_entries) {
       // The remaining entries fit in the root.
-      Pinned root = AllocNode(level, kInvalidPageId);
-      if (!root) return;
-      const NodeId root_id = root.handle.id();
-      for (const Entry& e : level_entries) {
-        if (e.child != kInvalidPageId) {
-          Pinned child = Pin(e.child);
-          if (!child) return;
-          child.node->parent = root_id;
-          child.handle.MarkDirty();
+      Pinned root = AllocNode(level);
+      if (!root) return kInvalidPageId;
+      for (const Entry& e : *level_entries) {
+        if (!AppendEntry(root.node, e.box, level == 0 ? e.value : e.child)) {
+          return kInvalidPageId;
         }
-        root.node->entries.push_back(e);
       }
-      root_ = root_id;
-      SyncMetrics();
-      return;
+      return root.handle.id();
     }
 
     const std::size_t num_nodes =
@@ -675,17 +828,17 @@ void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
         return a.box.CenterDim(dim) < b.box.CenterDim(dim);
       };
     };
-    std::sort(level_entries.begin(), level_entries.end(), center_less(0));
+    std::sort(level_entries->begin(), level_entries->end(), center_less(0));
     for (std::size_t x0 = 0; x0 < n; x0 += slice_x) {
       const std::size_t x1 = std::min(x0 + slice_x, n);
-      std::sort(level_entries.begin() + static_cast<std::ptrdiff_t>(x0),
-                level_entries.begin() + static_cast<std::ptrdiff_t>(x1),
+      std::sort(level_entries->begin() + static_cast<std::ptrdiff_t>(x0),
+                level_entries->begin() + static_cast<std::ptrdiff_t>(x1),
                 center_less(1));
       const std::size_t slice_y = (x1 - x0 + tiles - 1) / tiles;
       for (std::size_t y0 = x0; y0 < x1; y0 += slice_y) {
         const std::size_t y1 = std::min(y0 + slice_y, x1);
-        std::sort(level_entries.begin() + static_cast<std::ptrdiff_t>(y0),
-                  level_entries.begin() + static_cast<std::ptrdiff_t>(y1),
+        std::sort(level_entries->begin() + static_cast<std::ptrdiff_t>(y0),
+                  level_entries->begin() + static_cast<std::ptrdiff_t>(y1),
                   center_less(2));
       }
     }
@@ -701,44 +854,207 @@ void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
         // Shrink this node so the final one meets the minimum.
         take -= options_.min_entries - remaining_after;
       }
-      Pinned node = AllocNode(level, kInvalidPageId);
-      if (!node) return;
+      Pinned node = AllocNode(level);
+      if (!node) return kInvalidPageId;
       const NodeId node_id = node.handle.id();
       for (std::size_t i = 0; i < take; ++i, ++pos) {
-        const Entry& e = level_entries[pos];
-        if (e.child != kInvalidPageId) {
-          Pinned child = Pin(e.child);
-          if (!child) return;
-          child.node->parent = node_id;
-          child.handle.MarkDirty();
+        const Entry& e = (*level_entries)[pos];
+        if (!AppendEntry(node.node, e.box, level == 0 ? e.value : e.child)) {
+          return kInvalidPageId;
         }
-        node.node->entries.push_back(e);
       }
       Entry parent_entry;
       parent_entry.box = node.node->ComputeBox();
       parent_entry.child = node_id;
       next_level.push_back(parent_entry);
     }
-    level_entries = std::move(next_level);
+    *level_entries = std::move(next_level);
     ++level;
   }
+  return kInvalidPageId;
+}
+
+void RTree3::BulkLoad(std::vector<std::pair<Box3, Value>> entries) {
+  if (resident_ && healthy()) {
+    if (entries.empty()) {
+      Clear();
+      return;
+    }
+    // Build the packed tree entirely aside (every node fresh), then swap
+    // it in with one publication: readers see old contents or new, never
+    // a partial load.
+    std::vector<Entry> leaf_entries;
+    leaf_entries.reserve(entries.size());
+    for (auto& [box, value] : entries) {
+      Entry e;
+      e.box = box;
+      e.value = value;
+      leaf_entries.push_back(e);
+    }
+    const NodeId new_root = BuildPacked(&leaf_entries);
+    if (new_root == kInvalidPageId || !healthy()) return;
+    RetireReachable();
+    root_ = new_root;
+    size_.store(entries.size(), std::memory_order_relaxed);
+    MaybePublish();
+    SyncMetrics();
+    return;
+  }
+
+  Clear();
+  if (!healthy() || entries.empty()) return;
+  size_.store(entries.size(), std::memory_order_relaxed);
+  // Clear() allocated a fresh empty leaf root; the packed tree replaces it.
+  const NodeId placeholder_root = root_;
+  root_ = kInvalidPageId;
+  RetireOrFree(placeholder_root);
+
+  std::vector<Entry> leaf_entries;
+  leaf_entries.reserve(entries.size());
+  for (auto& [box, value] : entries) {
+    Entry e;
+    e.box = box;
+    e.value = value;
+    leaf_entries.push_back(e);
+  }
+  const NodeId new_root = BuildPacked(&leaf_entries);
+  if (new_root != kInvalidPageId) root_ = new_root;
+  SyncMetrics();
+}
+
+void RTree3::RetireReachable() {
+  if (root_ == kInvalidPageId) return;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    {
+      Pinned p = Pin(id);
+      if (!p) return;
+      if (!p.node->IsLeaf()) {
+        for (std::size_t i = 0; i < p.node->count(); ++i) {
+          stack.push_back(static_cast<NodeId>(p.node->word[i]));
+        }
+      }
+    }
+    RetireOrFree(id);
+  }
+  root_ = kInvalidPageId;
+}
+
+void RTree3::Publish() {
+  if (!resident_) return;
+  const Node* root_ptr = nullptr;
+  if (healthy() && root_ != kInvalidPageId) {
+    Pinned root = Pin(root_);
+    if (root) root_ptr = root.node;
+  }
+  // Order matters (see epoch.h): publish the new root, then tag the pages
+  // the write unlinked with the pre-advance epoch, then advance. A reader
+  // announcing the advanced epoch is guaranteed to observe this root; a
+  // reader still on an older epoch pins MinActive() at or below the tag.
+  pub_root_.store(root_ptr, std::memory_order_seq_cst);
+  const std::uint64_t tag = epochs_->current();
+  retired_.reserve(retired_.size() + pending_retire_.size());
+  for (const NodeId id : pending_retire_) retired_.push_back({tag, id});
+  pending_retire_.clear();
+  fresh_.clear();
+  epochs_->Advance();
+  ReclaimRetired();
+}
+
+void RTree3::MaybePublish() {
+  if (resident_ && batch_depth_ == 0) Publish();
+}
+
+void RTree3::ReclaimRetired() {
+  if (retired_.empty()) return;
+  const std::uint64_t min_active = epochs_->MinActive();
+  std::size_t kept = 0;
+  for (const RetiredPage& page : retired_) {
+    if (page.tag < min_active) {
+      if (util::Status s = pool_->Free(page.id); !s.ok()) Poison(s);
+    } else {
+      retired_[kept++] = page;
+    }
+  }
+  retired_.resize(kept);
+}
+
+void RTree3::BeginWriteBatch() {
+  if (resident_) ++batch_depth_;
+}
+
+void RTree3::EndWriteBatch() {
+  if (!resident_) return;
+  assert(batch_depth_ > 0);
+  if (batch_depth_ > 0) --batch_depth_;
+  if (batch_depth_ == 0) Publish();
 }
 
 void RTree3::Search(const Box3& query, const Visitor& visitor) const {
-  if (size_ == 0 || !healthy()) return;
+  // An empty query intersects nothing (Box3::Intersects) — also the
+  // kernel's precondition that the query box is non-empty.
+  if (query.Empty()) return;
+  if (resident_) {
+    SearchResident(query, visitor);
+  } else {
+    SearchPaged(query, visitor);
+  }
+}
+
+void RTree3::SearchResident(const Box3& query, const Visitor& visitor) const {
+  if (ctl_->poisoned.load(std::memory_order_relaxed)) return;
+  epoch::ReadGuard guard(*epochs_);
+  const Node* root = pub_root_.load(std::memory_order_seq_cst);
+  if (root == nullptr) return;
+  // Iterative DFS over the immutable snapshot — no locks, no pool, no
+  // metrics push (the writer publishes those).
+  std::vector<std::uint32_t> hits(options_.max_entries + 1);
+  std::vector<const Node*> stack = {root};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    const std::size_t num_hits = soa::IntersectBoxes(
+        node->min_x.data(), node->min_y.data(), node->min_t.data(),
+        node->max_x.data(), node->max_y.data(), node->max_t.data(),
+        node->count(), query, hits.data());
+    if (node->IsLeaf()) {
+      for (std::size_t h = 0; h < num_hits; ++h) {
+        const std::uint32_t i = hits[h];
+        visitor(node->BoxAt(i), node->word[i]);
+      }
+    } else {
+      for (std::size_t h = 0; h < num_hits; ++h) {
+        stack.push_back(node->child_ptr[hits[h]]);
+      }
+    }
+  }
+}
+
+void RTree3::SearchPaged(const Box3& query, const Visitor& visitor) const {
+  if (size() == 0 || !healthy()) return;
   // Iterative DFS to avoid recursion-depth concerns on adversarial trees.
+  std::vector<std::uint32_t> hits(options_.max_entries + 1);
   std::vector<NodeId> stack = {root_};
   while (!stack.empty()) {
     const NodeId id = stack.back();
     stack.pop_back();
     Pinned p = Pin(id);
     if (!p) return;
-    for (const Entry& e : p.node->entries) {
-      if (!e.box.Intersects(query)) continue;
-      if (p.node->IsLeaf()) {
-        visitor(e.box, e.value);
-      } else {
-        stack.push_back(e.child);
+    const Node* node = p.node;
+    const std::size_t num_hits = soa::IntersectBoxes(
+        node->min_x.data(), node->min_y.data(), node->min_t.data(),
+        node->max_x.data(), node->max_y.data(), node->max_t.data(),
+        node->count(), query, hits.data());
+    if (node->IsLeaf()) {
+      for (std::size_t h = 0; h < num_hits; ++h) {
+        const std::uint32_t i = hits[h];
+        visitor(node->BoxAt(i), node->word[i]);
+      }
+    } else {
+      for (std::size_t h = 0; h < num_hits; ++h) {
+        stack.push_back(static_cast<NodeId>(node->word[hits[h]]));
       }
     }
   }
@@ -769,13 +1085,33 @@ std::size_t RTree3::num_nodes() const {
     if (!p) return count;
     ++count;
     if (!p.node->IsLeaf()) {
-      for (const Entry& e : p.node->entries) stack.push_back(e.child);
+      for (std::size_t i = 0; i < p.node->count(); ++i) {
+        stack.push_back(static_cast<NodeId>(p.node->word[i]));
+      }
     }
   }
   return count;
 }
 
 void RTree3::Clear() {
+  if (resident_ && healthy()) {
+    // Copy-on-write clear: retire the whole reachable tree and publish a
+    // fresh empty root — safe under concurrent readers.
+    RetireReachable();
+    size_.store(0, std::memory_order_relaxed);
+    Pinned root = AllocNode(0);
+    if (root) root_ = root.handle.id();
+    MaybePublish();
+    SyncMetrics();
+    return;
+  }
+  // Storage-reset clear, which is also the recovery path out of a poison.
+  // This drops every page (including ones a reader might hold), so it
+  // requires quiesced readers.
+  pub_root_.store(nullptr, std::memory_order_seq_cst);
+  fresh_.clear();
+  pending_retire_.clear();
+  retired_.clear();
   if (util::Status s = pool_->DropAll(); !s.ok()) {
     Poison(s);
     return;
@@ -784,15 +1120,16 @@ void RTree3::Clear() {
     Poison(s);
     return;
   }
-  // A successful storage reset is the recovery path out of a poison.
   {
     std::lock_guard<std::mutex> lock(ctl_->mu);
     ctl_->status = util::Status::Ok();
+    ctl_->poisoned.store(false, std::memory_order_relaxed);
   }
   root_ = kInvalidPageId;
-  size_ = 0;
-  Pinned root = AllocNode(0, kInvalidPageId);
+  size_.store(0, std::memory_order_relaxed);
+  Pinned root = AllocNode(0);
   if (root) root_ = root.handle.id();
+  MaybePublish();
   SyncMetrics();
 }
 
@@ -833,10 +1170,11 @@ void RTree3::SyncMetrics() const {
   const storage::BufferPoolStats pool_stats = pool_->stats();
   const storage::StorageStats storage_stats = storage_->stats();
   const auto frames = static_cast<std::int64_t>(pool_->num_frames());
+  const std::uint64_t splits = splits_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(ctl_->mu);
   Pushed& last = ctl_->pushed;
-  instruments_.splits->Increment(splits_ - last.splits);
-  last.splits = splits_;
+  instruments_.splits->Increment(splits - last.splits);
+  last.splits = splits;
   instruments_.hits->Increment(pool_stats.hits - last.hits);
   last.hits = pool_stats.hits;
   instruments_.misses->Increment(pool_stats.misses - last.misses);
@@ -858,8 +1196,7 @@ util::Status RTree3::CheckInvariants() const {
   std::size_t leaf_entries = 0;
   util::Status status = util::Status::Ok();
 
-  std::function<void(NodeId, NodeId)> visit = [&](NodeId id,
-                                                  NodeId parent_id) {
+  std::function<void(NodeId, bool)> visit = [&](NodeId id, bool is_root) {
     if (!status.ok()) return;
     Pinned p = Pin(id);
     if (!p) {
@@ -868,54 +1205,60 @@ util::Status RTree3::CheckInvariants() const {
       return;
     }
     const Node* node = p.node;
-    if (node->parent != parent_id) {
-      status = util::Status::Internal("bad parent id");
+    if (node->min_x.size() != node->count() ||
+        node->min_y.size() != node->count() ||
+        node->min_t.size() != node->count() ||
+        node->max_x.size() != node->count() ||
+        node->max_y.size() != node->count() ||
+        node->max_t.size() != node->count() ||
+        node->child_ptr.size() != node->count()) {
+      status = util::Status::Internal("ragged SoA arrays");
       return;
     }
-    const bool is_root = parent_id == kInvalidPageId;
-    if (!is_root && node->entries.size() < options_.min_entries) {
+    if (!is_root && node->count() < options_.min_entries) {
       status = util::Status::Internal("underfull node");
       return;
     }
-    if (node->entries.size() > options_.max_entries) {
+    if (node->count() > options_.max_entries) {
       status = util::Status::Internal("overfull node");
       return;
     }
-    for (const Entry& e : node->entries) {
+    for (std::size_t i = 0; i < node->count(); ++i) {
       if (node->IsLeaf()) {
-        if (e.child != kInvalidPageId) {
-          status = util::Status::Internal("child in leaf entry");
-          return;
-        }
         ++leaf_entries;
-      } else {
-        if (e.child == kInvalidPageId) {
-          status = util::Status::Internal("missing child");
+        continue;
+      }
+      const auto child_id = static_cast<NodeId>(node->word[i]);
+      if (child_id == kInvalidPageId) {
+        status = util::Status::Internal("missing child");
+        return;
+      }
+      {
+        Pinned child = Pin(child_id);
+        if (!child) {
+          status = storage_status();
+          if (status.ok()) status = util::Status::Internal("unpinnable node");
           return;
         }
-        {
-          Pinned child = Pin(e.child);
-          if (!child) {
-            status = storage_status();
-            if (status.ok()) status = util::Status::Internal("unpinnable node");
-            return;
-          }
-          if (child.node->level + 1 != node->level) {
-            status = util::Status::Internal("level mismatch");
-            return;
-          }
-          if (!SameBox(e.box, child.node->ComputeBox())) {
-            status = util::Status::Internal("stale bounding box");
-            return;
-          }
+        if (child.node->level + 1 != node->level) {
+          status = util::Status::Internal("level mismatch");
+          return;
         }
-        visit(e.child, id);
-        if (!status.ok()) return;
+        if (!SameBox(node->BoxAt(i), child.node->ComputeBox())) {
+          status = util::Status::Internal("stale bounding box");
+          return;
+        }
+        if (resident_ && node->child_ptr[i] != child.node) {
+          status = util::Status::Internal("stale resident child pointer");
+          return;
+        }
       }
+      visit(child_id, false);
+      if (!status.ok()) return;
     }
   };
-  visit(root_, kInvalidPageId);
-  if (status.ok() && leaf_entries != size_) {
+  visit(root_, true);
+  if (status.ok() && leaf_entries != size()) {
     status = util::Status::Internal("size mismatch");
   }
   return status;

@@ -38,6 +38,11 @@ util::Status TimeSpaceIndex::Upsert(core::ObjectId id,
 void TimeSpaceIndex::UpsertValidated(core::ObjectId id,
                                      const core::PositionAttribute& attr,
                                      const geo::Route& route) {
+  // Publish the remove+insert pair as one unit to lock-free readers: a
+  // candidate probe must never observe the old plane gone with the new one
+  // not yet indexed (that would be a false negative, violating MUST
+  // soundness).
+  RTree3::BatchScope batch(rtree_);
   std::vector<geo::Box3> boxes = BuildOPlaneBoxes(attr, route, options_.oplane);
   // Drop the old o-plane (paper §4.2: remove the object id from the index
   // rectangles intersecting p1) ...
@@ -72,7 +77,9 @@ util::Status TimeSpaceIndex::ApplyDeltaBatch(
     }
   }
   // One pass over the tree: the per-delta work is the same remove+reinsert
-  // as `Upsert`, minus the repeated validation.
+  // as `Upsert`, minus the repeated validation. The whole batch publishes
+  // to lock-free readers at once.
+  RTree3::BatchScope batch(rtree_);
   for (const IndexDelta& delta : deltas) {
     if (delta.attr == nullptr) {
       Remove(delta.id);
@@ -128,6 +135,8 @@ util::Status TimeSpaceIndex::BulkUpsert(
 void TimeSpaceIndex::Remove(core::ObjectId id) {
   auto it = boxes_by_object_.find(id);
   if (it == boxes_by_object_.end()) return;
+  // All of the object's boxes vanish from lock-free readers atomically.
+  RTree3::BatchScope batch(rtree_);
   for (const geo::Box3& box : it->second) {
     if (!rtree_.Remove(box, id)) {
       ++remove_misses_;

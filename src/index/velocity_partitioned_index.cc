@@ -30,6 +30,11 @@ VelocityPartitionedIndex::VelocityPartitionedIndex(
       // Each band tree owns its own page file.
       rtree_options.storage.path += ".band" + std::to_string(b);
     }
+    // Band trees are never probed concurrently with writers (this index
+    // reports lock_free_probes() == false), so skip the copy-on-write /
+    // epoch machinery: cross-band migrations would pay path-copy cost on
+    // every move for a guarantee nothing uses.
+    rtree_options.concurrent_reads = false;
     bands_.push_back(std::make_unique<Band>(rtree_options));
     bands_.back()->oplane = options_.oplane;
   }

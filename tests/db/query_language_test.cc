@@ -68,6 +68,40 @@ TEST(ParseQueryTest, NearestForm) {
   EXPECT_DOUBLE_EQ(spec->time, 12.0);
 }
 
+TEST(ParseQueryTest, OverflowingNumbersAreLexErrors) {
+  // std::strtod turns "1e999" into +inf with ERANGE; the lexer must reject
+  // it instead of letting an infinite coordinate/time into a query spec.
+  for (const char* statement : {
+           "POSITION OF 7 AT 1e999",
+           "POSITION OF 7 AT -1e999",
+           "SELECT ALL INSIDE RECT(0, 0, 1e999, 1) AT 5",
+           "NEAREST 2 TO POINT(1, 1e999) AT 3",
+       }) {
+    const auto parsed = ParseQuery(statement);
+    ASSERT_FALSE(parsed.ok()) << statement;
+    EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("out of range"),
+              std::string::npos)
+        << parsed.status().ToString();
+  }
+}
+
+TEST(ParseQueryTest, ExtremeFiniteNumbersStillParse) {
+  // Near-DBL_MAX is finite and stays accepted; gradual underflow to a
+  // denormal (or to zero) is not an error either — only non-finite results
+  // are rejected.
+  EXPECT_TRUE(ParseQuery("POSITION OF 7 AT 1e308").ok());
+  EXPECT_TRUE(ParseQuery("POSITION OF 7 AT 1e-320").ok());
+  EXPECT_TRUE(ParseQuery("POSITION OF 7 AT 1e-999").ok());
+}
+
+TEST(ParseQueryTest, NamedNonFiniteFormsAreRejected) {
+  // strtod would happily parse "inf"/"nan"; the lexer's [0-9.+-] gate
+  // keeps them out as unexpected identifiers, never as numbers.
+  EXPECT_FALSE(ParseQuery("POSITION OF 7 AT inf").ok());
+  EXPECT_FALSE(ParseQuery("POSITION OF 7 AT nan").ok());
+}
+
 TEST(ParseQueryTest, NegativeAndScientificNumbers) {
   const auto parsed =
       ParseQuery("SELECT ALL INSIDE RECT(-1.5, -2e1, 3.25, 1e-1) AT -4");
