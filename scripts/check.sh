@@ -29,20 +29,22 @@ cmake --preset default
 cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs"
 
-echo "== E16 smoke: staged batch ingest shape check =="
-build/bench/exp_update_throughput --smoke
-
-echo "== E17 smoke: continuous-query matching shape check =="
-build/bench/exp_continuous_query --smoke
-
-echo "== E18 smoke: shard failure-domain shape check =="
-build/bench/exp_fault_tolerance --smoke
-
-echo "== E19 smoke: paged index storage shape check =="
-build/bench/exp_paged_index --smoke
-
-echo "== E20 smoke: lock-free index reads shape check =="
-build/bench/exp_lockfree_reads --smoke
+# Experiment smoke checks — one "<label>|<binary>" entry per bench; keep
+# the list in sync with the jobs in .github/workflows/ci.yml.
+smoke_benches=(
+  "E16 staged batch ingest|exp_update_throughput"
+  "E17 continuous-query matching|exp_continuous_query"
+  "E18 shard failure domains|exp_fault_tolerance"
+  "E19 paged index storage|exp_paged_index"
+  "E20 lock-free index reads|exp_lockfree_reads"
+  "E21 group/convoy tracking|exp_group_tracking"
+)
+for entry in "${smoke_benches[@]}"; do
+  label="${entry%%|*}"
+  bench="${entry##*|}"
+  echo "== ${label} smoke: shape check (${bench}) =="
+  "build/bench/${bench}" --smoke
+done
 
 if [[ "$run_asan" == 1 ]]; then
   echo "== AddressSanitizer gate =="

@@ -1,0 +1,892 @@
+#include "db/group_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/bounds.h"
+
+namespace modb::db {
+
+namespace {
+
+void SortedInsert(std::vector<core::ObjectId>* v, core::ObjectId id) {
+  auto it = std::lower_bound(v->begin(), v->end(), id);
+  if (it == v->end() || *it != id) v->insert(it, id);
+}
+
+bool SortedErase(std::vector<core::ObjectId>* v, core::ObjectId id) {
+  auto it = std::lower_bound(v->begin(), v->end(), id);
+  if (it == v->end() || *it != id) return false;
+  v->erase(it);
+  return true;
+}
+
+std::uint64_t PackCellKey(geo::RouteId route, core::TravelDirection direction,
+                          double speed, double band_width) {
+  const double band_f = std::floor(std::max(0.0, speed) / band_width);
+  const auto band = static_cast<std::uint64_t>(
+      std::min(band_f, static_cast<double>(0x7FFFFFFF)));
+  const std::uint64_t dir =
+      direction == core::TravelDirection::kForward ? 0 : 1;
+  return (static_cast<std::uint64_t>(route) << 32) | (dir << 31) | band;
+}
+
+}  // namespace
+
+GroupTracker::GroupTracker(const geo::RouteNetwork* network,
+                           GroupTrackingOptions options,
+                           index::OPlaneOptions base_oplane)
+    : network_(network),
+      options_(options),
+      base_oplane_(base_oplane),
+      horizon_(base_oplane.horizon),
+      slack_(options.window_slack > 0.0 ? options.window_slack
+                                        : base_oplane.horizon) {
+  assert(network_ != nullptr);
+  // A "group" of one is just an object with extra bookkeeping; a zero or
+  // negative band width would collapse every speed into one cell.
+  if (options_.min_group_size < 2) options_.min_group_size = 2;
+  if (options_.speed_band_width <= 0.0) options_.speed_band_width = 0.25;
+  if (options_.join_window > options_.cohesion_window) {
+    options_.join_window = options_.cohesion_window;
+  }
+}
+
+std::uint64_t GroupTracker::CellKeyOf(
+    const core::PositionAttribute& attr) const {
+  return PackCellKey(attr.route, attr.direction, attr.speed,
+                     options_.speed_band_width);
+}
+
+std::uint64_t GroupTracker::CellKeyOf(const GroupModel& model) const {
+  return PackCellKey(model.route, model.direction, model.speed,
+                     options_.speed_band_width);
+}
+
+// -- Journal -----------------------------------------------------------
+
+void GroupTracker::StartJournal(Plan* plan) {
+  if (plan == nullptr || plan->journaling_) return;
+  plan->journaling_ = true;
+  plan->saved_next_group_id_ = next_group_id_;
+}
+
+void GroupTracker::JournalObject(Plan* plan, core::ObjectId id) {
+  if (plan == nullptr) return;
+  StartJournal(plan);
+  auto [it, inserted] = plan->saved_objects_.try_emplace(id);
+  if (!inserted) return;
+  if (auto oit = objects_.find(id); oit != objects_.end()) {
+    it->second = oit->second;
+  }
+}
+
+void GroupTracker::JournalGroup(Plan* plan, GroupId group) {
+  if (plan == nullptr) return;
+  StartJournal(plan);
+  auto [it, inserted] = plan->saved_groups_.try_emplace(group);
+  if (!inserted) return;
+  if (auto git = groups_.find(group); git != groups_.end()) {
+    it->second = git->second;
+  }
+}
+
+void GroupTracker::JournalCell(Plan* plan, std::uint64_t key) {
+  if (plan == nullptr) return;
+  StartJournal(plan);
+  auto [it, inserted] = plan->saved_cells_.try_emplace(key);
+  if (!inserted) return;
+  if (auto cit = cells_.find(key); cit != cells_.end()) {
+    it->second = cit->second;
+  }
+}
+
+void GroupTracker::JournalGroupCell(Plan* plan, std::uint64_t key) {
+  if (plan == nullptr) return;
+  StartJournal(plan);
+  auto [it, inserted] = plan->saved_group_cells_.try_emplace(key);
+  if (!inserted) return;
+  if (auto cit = group_cells_.find(key); cit != group_cells_.end()) {
+    it->second = cit->second;
+  }
+}
+
+void GroupTracker::Rollback(Plan& plan) {
+  if (plan.journaling_) {
+    for (auto& [id, saved] : plan.saved_objects_) {
+      if (saved.has_value()) {
+        objects_[id] = std::move(*saved);
+      } else {
+        objects_.erase(id);
+      }
+    }
+    for (auto& [gid, saved] : plan.saved_groups_) {
+      if (saved.has_value()) {
+        groups_[gid] = std::move(*saved);
+      } else {
+        groups_.erase(gid);
+      }
+    }
+    for (auto& [key, saved] : plan.saved_cells_) {
+      if (saved.has_value()) {
+        cells_[key] = std::move(*saved);
+      } else {
+        cells_.erase(key);
+      }
+    }
+    for (auto& [key, saved] : plan.saved_group_cells_) {
+      if (saved.has_value()) {
+        group_cells_[key] = std::move(*saved);
+      } else {
+        group_cells_.erase(key);
+      }
+    }
+    next_group_id_ = plan.saved_next_group_id_;
+    grouped_objects_ = 0;
+    for (const auto& [gid, g] : groups_) grouped_objects_ += g.members.size();
+  }
+  plan.transitions.clear();
+  plan.rows.clear();
+  plan.unlogged_splits = 0;
+  plan.attr_store_.clear();
+  plan.box_store_.clear();
+  plan.saved_objects_.clear();
+  plan.saved_groups_.clear();
+  plan.saved_cells_.clear();
+  plan.saved_group_cells_.clear();
+  plan.journaling_ = false;
+}
+
+void GroupTracker::Commit(const Plan& plan) {
+  if (!options_.enabled) return;
+  std::uint64_t forms = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t splits = plan.unlogged_splits;
+  std::uint64_t refreshes = 0;
+  for (const GroupTransition& t : plan.transitions) {
+    switch (t.kind) {
+      case GroupTransitionKind::kForm:
+        ++forms;
+        break;
+      case GroupTransitionKind::kJoin:
+        ++joins;
+        break;
+      case GroupTransitionKind::kLeave:
+      case GroupTransitionKind::kDissolve:
+        ++splits;
+        break;
+      case GroupTransitionKind::kRefresh:
+        ++refreshes;
+        break;
+      case GroupTransitionKind::kLeaderChange:
+        break;
+    }
+  }
+  if (forms_counter_ != nullptr && forms > 0) forms_counter_->Increment(forms);
+  if (joins_counter_ != nullptr && joins > 0) joins_counter_->Increment(joins);
+  if (splits_counter_ != nullptr && splits > 0) {
+    splits_counter_->Increment(splits);
+  }
+  if (leader_upserts_counter_ != nullptr && forms + refreshes > 0) {
+    leader_upserts_counter_->Increment(forms + refreshes);
+  }
+  SyncGauges();
+}
+
+void GroupTracker::NoteHiddenRows(std::size_t n) {
+  if (member_skips_counter_ != nullptr && n > 0) {
+    member_skips_counter_->Increment(n);
+  }
+}
+
+// -- Detection cells ---------------------------------------------------
+
+void GroupTracker::CellInsert(Plan* plan, core::ObjectId id,
+                              const core::PositionAttribute& attr) {
+  const std::uint64_t key = CellKeyOf(attr);
+  JournalCell(plan, key);
+  cells_[key].push_back(id);
+}
+
+void GroupTracker::CellRemove(Plan* plan, core::ObjectId id,
+                              const core::PositionAttribute& attr) {
+  const std::uint64_t key = CellKeyOf(attr);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) return;
+  JournalCell(plan, key);
+  auto vit = std::find(it->second.begin(), it->second.end(), id);
+  if (vit != it->second.end()) it->second.erase(vit);
+  if (it->second.empty()) cells_.erase(it);
+}
+
+void GroupTracker::GroupCellInsert(Plan* plan, GroupId group,
+                                   const GroupModel& model) {
+  const std::uint64_t key = CellKeyOf(model);
+  JournalGroupCell(plan, key);
+  group_cells_[key].push_back(group);
+}
+
+void GroupTracker::GroupCellRemove(Plan* plan, GroupId group,
+                                   const GroupModel& model) {
+  const std::uint64_t key = CellKeyOf(model);
+  auto it = group_cells_.find(key);
+  if (it == group_cells_.end()) return;
+  JournalGroupCell(plan, key);
+  auto vit = std::find(it->second.begin(), it->second.end(), group);
+  if (vit != it->second.end()) it->second.erase(vit);
+  if (it->second.empty()) group_cells_.erase(it);
+}
+
+// -- Cohesion ----------------------------------------------------------
+
+double GroupTracker::CohesionPeak(const core::PositionAttribute& member,
+                                  const GroupModel& model) const {
+  const core::Time t0 = member.start_time;
+  const core::Time t1 = member.start_time + horizon_;
+  // |member line - group line| is affine in t, so its max over the window
+  // is at an endpoint.
+  const auto line_diff = [&](core::Time t) {
+    return std::fabs(member.DatabaseRouteDistanceAt(t) - model.LineAt(t));
+  };
+  const double dmax = std::max(line_diff(t0), line_diff(t1));
+  // The deviation bound is monotone between its critical times, so its max
+  // is at a window edge or a critical time inside the window.
+  double bmax = std::max(core::DeviationBound(member, 0.0),
+                         core::DeviationBound(member, horizon_));
+  for (core::Duration offset : core::BoundCriticalTimes(member)) {
+    if (offset > 0.0 && offset < horizon_) {
+      bmax = std::max(bmax, core::DeviationBound(member, offset));
+    }
+  }
+  return dmax + bmax;
+}
+
+bool GroupTracker::Cohesive(const core::PositionAttribute& member,
+                            const GroupModel& model, double width) const {
+  if (member.route != model.route || member.direction != model.direction) {
+    return false;
+  }
+  // Unknown max speed would make the envelope padding unbounded.
+  if (member.max_speed <= 0.0) return false;
+  if (model.vmax > 0.0 && member.max_speed > model.vmax) return false;
+  return CohesionPeak(member, model) <= width;
+}
+
+bool GroupTracker::WindowContains(const GroupModel& model,
+                                  const core::PositionAttribute& member) const {
+  return member.start_time >= model.window_lo &&
+         member.start_time + horizon_ <= model.window_hi;
+}
+
+// -- Envelope ----------------------------------------------------------
+
+void GroupTracker::AppendEnvelopeRow(Plan* plan, GroupId group) {
+  if (plan == nullptr) return;
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  AppendEnvelopeRowTo(plan, git->second, group);
+}
+
+void GroupTracker::AppendEnvelopeRowTo(Plan* plan, const GroupState& g,
+                                       GroupId id) const {
+  const auto route = network_->FindRoute(g.model.route);
+  if (!route.ok()) return;
+  // Synthesize the attribute whose database position *is* the group line
+  // over the window: the o-plane builder then produces boxes tracking
+  // LineAt(t) exactly (the leader's policy parameters only add slack on
+  // top). Anchoring at window_lo makes the builder's [start, start+horizon]
+  // slabs cover [window_lo, window_hi].
+  core::PositionAttribute attr;
+  if (auto lit = objects_.find(g.leader); lit != objects_.end()) {
+    attr = lit->second.attr;
+  }
+  attr.route = g.model.route;
+  attr.direction = g.model.direction;
+  attr.speed = g.model.speed;
+  attr.start_time = g.model.window_lo;
+  attr.start_route_distance = g.model.LineAt(g.model.window_lo);
+  const double length = (*route)->Length();
+  attr.start_position = (*route)->PointAt(
+      std::clamp(attr.start_route_distance, 0.0, length));
+  attr.max_speed = std::max(g.model.vmax, std::fabs(g.model.speed));
+  index::OPlaneOptions opts = base_oplane_;
+  opts.horizon = std::max(0.0, g.model.window_hi - g.model.window_lo);
+  // Soundness margin (DESIGN.md §13): every member's uncertainty stays
+  // within `width` of the line, and a member time slab (width <= the base
+  // slab) can straddle two envelope slabs, costing at most one slab of
+  // line drift plus member spread — all in route-distance, which the
+  // 1-Lipschitz route shape turns into the same Euclidean inflation.
+  opts.padding = base_oplane_.padding + g.model.width +
+                 (std::fabs(g.model.speed) + g.model.vmax) *
+                     base_oplane_.slab_width;
+  plan->attr_store_.push_back(attr);
+  plan->box_store_.push_back(
+      index::BuildOPlaneBoxes(plan->attr_store_.back(), **route, opts));
+  plan->rows.push_back(IndexRow{EnvelopeIdFor(id), &plan->attr_store_.back(),
+                                &plan->box_store_.back(), false});
+}
+
+// -- Membership machinery ---------------------------------------------
+
+void GroupTracker::RefreshWindow(Plan* plan, GroupId group) {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  GroupState& g = git->second;
+  JournalGroup(plan, group);
+  core::Time lo = std::numeric_limits<double>::infinity();
+  core::Time hi = -std::numeric_limits<double>::infinity();
+  for (core::ObjectId m : g.members) {
+    if (auto oit = objects_.find(m); oit != objects_.end()) {
+      lo = std::min(lo, oit->second.attr.start_time);
+      hi = std::max(hi, oit->second.attr.start_time);
+    }
+  }
+  if (!std::isfinite(lo)) return;
+  g.model.window_lo = lo;
+  g.model.window_hi = hi + horizon_ + slack_;
+  if (plan != nullptr) {
+    plan->transitions.push_back(GroupTransition{GroupTransitionKind::kRefresh,
+                                                group, g.leader, g.model,
+                                                {}});
+    AppendEnvelopeRow(plan, group);
+  }
+}
+
+void GroupTracker::RemoveFromGroup(Plan* plan, GroupId group,
+                                   core::ObjectId id, bool log, bool erased) {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  GroupState& g = git->second;
+  JournalGroup(plan, group);
+  if (!SortedErase(&g.members, id)) return;
+  --grouped_objects_;
+  if (auto oit = objects_.find(id); oit != objects_.end()) {
+    JournalObject(plan, id);
+    oit->second.group = 0;
+    if (!erased && !IsEnvelopeId(id)) CellInsert(plan, id, oit->second.attr);
+  }
+  if (plan != nullptr) {
+    if (log) {
+      plan->transitions.push_back(GroupTransition{
+          GroupTransitionKind::kLeave, group, g.leader, GroupModel{}, {id}});
+    } else {
+      ++plan->unlogged_splits;
+    }
+  }
+  if (id == g.leader && !g.members.empty()) {
+    // Freshest start_time wins; sorted iteration with strict '>' breaks
+    // ties toward the lowest id — deterministic, so erase-driven
+    // re-elections replay identically without being logged.
+    core::ObjectId best = g.members.front();
+    core::Time best_start = -std::numeric_limits<double>::infinity();
+    for (core::ObjectId m : g.members) {
+      auto mit = objects_.find(m);
+      if (mit == objects_.end()) continue;
+      if (mit->second.attr.start_time > best_start) {
+        best = m;
+        best_start = mit->second.attr.start_time;
+      }
+    }
+    g.leader = best;
+    if (log && plan != nullptr) {
+      plan->transitions.push_back(GroupTransition{
+          GroupTransitionKind::kLeaderChange, group, best, GroupModel{}, {}});
+    }
+  }
+  if (g.members.size() < options_.min_group_size) {
+    DissolveGroup(plan, group, log);
+  }
+}
+
+void GroupTracker::DissolveGroup(Plan* plan, GroupId group, bool log) {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  JournalGroup(plan, group);
+  const GroupState g = std::move(git->second);
+  if (plan != nullptr) {
+    if (log) {
+      plan->transitions.push_back(GroupTransition{
+          GroupTransitionKind::kDissolve, group, g.leader, GroupModel{},
+          g.members});
+    } else {
+      ++plan->unlogged_splits;
+    }
+  }
+  for (core::ObjectId m : g.members) {
+    auto oit = objects_.find(m);
+    if (oit == objects_.end()) continue;
+    JournalObject(plan, m);
+    oit->second.group = 0;
+    if (!IsEnvelopeId(m)) CellInsert(plan, m, oit->second.attr);
+    if (plan != nullptr) {
+      // Re-materialize: the member gets its own boxes back.
+      plan->attr_store_.push_back(oit->second.attr);
+      plan->rows.push_back(
+          IndexRow{m, &plan->attr_store_.back(), nullptr, false});
+    }
+  }
+  grouped_objects_ -= g.members.size();
+  if (plan != nullptr) {
+    plan->rows.push_back(
+        IndexRow{EnvelopeIdFor(group), nullptr, nullptr, false});
+  }
+  GroupCellRemove(plan, group, g.model);
+  groups_.erase(group);
+}
+
+void GroupTracker::TryJoinOrForm(Plan* plan, core::ObjectId id,
+                                 const core::PositionAttribute& attr) {
+  if (IsEnvelopeId(id) || attr.max_speed <= 0.0) return;
+  if (!network_->FindRoute(attr.route).ok()) return;
+  const std::uint64_t key = CellKeyOf(attr);
+  // Join an existing group in the same detection cell (tighter join
+  // window: hysteresis against boundary thrash).
+  if (auto git = group_cells_.find(key); git != group_cells_.end()) {
+    for (GroupId gid : git->second) {
+      auto g_it = groups_.find(gid);
+      if (g_it == groups_.end()) continue;
+      GroupState& g = g_it->second;
+      if (attr.start_time < g.model.window_lo) continue;
+      if (!Cohesive(attr, g.model, options_.join_window)) continue;
+      JournalGroup(plan, gid);
+      JournalObject(plan, id);
+      objects_.at(id).group = gid;
+      CellRemove(plan, id, attr);
+      SortedInsert(&g.members, id);
+      ++grouped_objects_;
+      if (plan != nullptr) {
+        plan->transitions.push_back(GroupTransition{
+            GroupTransitionKind::kJoin, gid, g.leader, GroupModel{}, {id}});
+      }
+      if (!WindowContains(g.model, attr)) RefreshWindow(plan, gid);
+      return;
+    }
+  }
+  // Form a new group: anchor the line at the updater and admit cell peers
+  // that fit the tube over their own horizons.
+  auto cit = cells_.find(key);
+  if (cit == cells_.end()) return;
+  GroupModel model;
+  model.route = attr.route;
+  model.direction = attr.direction;
+  model.speed = attr.speed;
+  model.anchor_time = attr.start_time;
+  model.anchor_distance = attr.start_route_distance;
+  model.vmax = 0.0;  // no cap while screening; fixed to the max below
+  model.width = options_.cohesion_window;
+  std::vector<core::ObjectId> members{id};
+  std::size_t scanned = 0;
+  for (core::ObjectId peer : cit->second) {
+    if (peer == id) continue;
+    if (scanned++ >= options_.max_form_scan) break;
+    auto pit = objects_.find(peer);
+    if (pit == objects_.end()) continue;
+    const core::PositionAttribute& pa = pit->second.attr;
+    if (pa.max_speed <= 0.0) continue;
+    if (!Cohesive(pa, model, options_.join_window)) continue;
+    members.push_back(peer);
+  }
+  if (members.size() < options_.min_group_size) return;
+  double vmax = 0.0;
+  core::Time lo = attr.start_time;
+  core::Time hi = attr.start_time;
+  for (core::ObjectId m : members) {
+    const core::PositionAttribute& ma = objects_.at(m).attr;
+    vmax = std::max(vmax, ma.max_speed);
+    lo = std::min(lo, ma.start_time);
+    hi = std::max(hi, ma.start_time);
+  }
+  model.vmax = vmax;
+  model.window_lo = lo;
+  model.window_hi = hi + horizon_ + slack_;
+  StartJournal(plan);
+  const GroupId gid = next_group_id_++;
+  std::sort(members.begin(), members.end());
+  JournalGroup(plan, gid);
+  for (core::ObjectId m : members) {
+    JournalObject(plan, m);
+    ObjState& st = objects_.at(m);
+    st.group = gid;
+    CellRemove(plan, m, st.attr);
+  }
+  grouped_objects_ += members.size();
+  groups_.emplace(gid, GroupState{id, model, members});
+  GroupCellInsert(plan, gid, model);
+  if (plan != nullptr) {
+    plan->transitions.push_back(
+        GroupTransition{GroupTransitionKind::kForm, gid, id, model, members});
+    for (core::ObjectId m : members) {
+      // The updater's own batch row is rewritten to hidden by the caller;
+      // passive peers need explicit hidden installs (their boxes leave the
+      // tree here — the group's whole saving).
+      if (m == id) continue;
+      plan->attr_store_.push_back(objects_.at(m).attr);
+      plan->rows.push_back(
+          IndexRow{m, &plan->attr_store_.back(), nullptr, true});
+    }
+    AppendEnvelopeRow(plan, gid);
+  }
+}
+
+// -- Write-path entry points ------------------------------------------
+
+void GroupTracker::PlanUpdate(core::ObjectId id,
+                              const core::PositionAttribute& attr,
+                              Plan* plan) {
+  if (!options_.enabled) return;
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    // First sighting through the update path (defensive; inserts normally
+    // arrive via ObserveInsert).
+    JournalObject(plan, id);
+    objects_.emplace(id, ObjState{attr, 0});
+    if (!IsEnvelopeId(id)) {
+      CellInsert(plan, id, attr);
+      TryJoinOrForm(plan, id, attr);
+    }
+    return;
+  }
+  ObjState& st = it->second;
+  if (st.group != 0 && groups_.find(st.group) == groups_.end()) {
+    st.group = 0;  // defensive: dangling membership
+  }
+  if (st.group != 0) {
+    const GroupId gid = st.group;
+    const GroupState& g = groups_.find(gid)->second;
+    if (Cohesive(attr, g.model, options_.cohesion_window)) {
+      JournalObject(plan, id);
+      st.attr = attr;
+      if (!WindowContains(g.model, attr)) RefreshWindow(plan, gid);
+      return;
+    }
+    // Cohesion broke: split off, then give the deviator a fresh chance to
+    // join or form with its new motion.
+    JournalObject(plan, id);
+    st.attr = attr;
+    RemoveFromGroup(plan, gid, id, /*log=*/true, /*erased=*/false);
+    TryJoinOrForm(plan, id, attr);
+    return;
+  }
+  // Ungrouped: keep the detection cell current, then try to cluster.
+  JournalObject(plan, id);
+  if (!IsEnvelopeId(id) && CellKeyOf(st.attr) != CellKeyOf(attr)) {
+    CellRemove(plan, id, st.attr);
+    st.attr = attr;
+    CellInsert(plan, id, attr);
+  } else {
+    st.attr = attr;
+  }
+  TryJoinOrForm(plan, id, attr);
+}
+
+void GroupTracker::ObserveAttrOnly(core::ObjectId id,
+                                   const core::PositionAttribute& attr) {
+  if (!options_.enabled) return;
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    objects_.emplace(id, ObjState{attr, 0});
+    if (!IsEnvelopeId(id)) CellInsert(nullptr, id, attr);
+    return;
+  }
+  ObjState& st = it->second;
+  if (st.group == 0 && !IsEnvelopeId(id) &&
+      CellKeyOf(st.attr) != CellKeyOf(attr)) {
+    CellRemove(nullptr, id, st.attr);
+    st.attr = attr;
+    CellInsert(nullptr, id, attr);
+    return;
+  }
+  st.attr = attr;
+}
+
+void GroupTracker::ObserveInsert(core::ObjectId id,
+                                 const core::PositionAttribute& attr) {
+  if (!options_.enabled) return;
+  auto [it, inserted] = objects_.try_emplace(id, ObjState{attr, 0});
+  if (!inserted) {
+    ObserveAttrOnly(id, attr);
+    return;
+  }
+  if (!IsEnvelopeId(id)) CellInsert(nullptr, id, attr);
+}
+
+void GroupTracker::ObserveErase(core::ObjectId id, Plan* plan) {
+  if (!options_.enabled) return;
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  JournalObject(plan, id);
+  const GroupId gid = it->second.group;
+  if (gid != 0) {
+    RemoveFromGroup(plan, gid, id, /*log=*/false, /*erased=*/true);
+  } else if (!IsEnvelopeId(id)) {
+    CellRemove(plan, id, it->second.attr);
+  }
+  objects_.erase(id);
+  SyncGauges();
+}
+
+// -- Replay / persistence ---------------------------------------------
+
+void GroupTracker::ApplyTransitions(
+    const std::vector<GroupTransition>& transitions) {
+  if (!options_.enabled) return;
+  for (const GroupTransition& t : transitions) {
+    switch (t.kind) {
+      case GroupTransitionKind::kForm: {
+        GroupState g;
+        g.leader = t.leader;
+        g.model = t.model;
+        g.members = t.members;
+        std::sort(g.members.begin(), g.members.end());
+        for (core::ObjectId m : g.members) {
+          auto oit = objects_.find(m);
+          if (oit == objects_.end()) continue;
+          oit->second.group = t.group;
+          CellRemove(nullptr, m, oit->second.attr);
+        }
+        grouped_objects_ += g.members.size();
+        GroupCellInsert(nullptr, t.group, g.model);
+        groups_[t.group] = std::move(g);
+        next_group_id_ = std::max(next_group_id_, t.group + 1);
+        break;
+      }
+      case GroupTransitionKind::kJoin: {
+        auto git = groups_.find(t.group);
+        if (git == groups_.end() || t.members.empty()) break;
+        const core::ObjectId m = t.members.front();
+        SortedInsert(&git->second.members, m);
+        ++grouped_objects_;
+        if (auto oit = objects_.find(m); oit != objects_.end()) {
+          oit->second.group = t.group;
+          CellRemove(nullptr, m, oit->second.attr);
+        }
+        break;
+      }
+      case GroupTransitionKind::kLeave: {
+        auto git = groups_.find(t.group);
+        if (git == groups_.end() || t.members.empty()) break;
+        const core::ObjectId m = t.members.front();
+        if (SortedErase(&git->second.members, m)) --grouped_objects_;
+        if (auto oit = objects_.find(m);
+            oit != objects_.end() && oit->second.group == t.group) {
+          oit->second.group = 0;
+          if (!IsEnvelopeId(m)) CellInsert(nullptr, m, oit->second.attr);
+        }
+        break;
+      }
+      case GroupTransitionKind::kDissolve: {
+        auto git = groups_.find(t.group);
+        if (git == groups_.end()) break;
+        const GroupState g = std::move(git->second);
+        for (core::ObjectId m : g.members) {
+          if (auto oit = objects_.find(m); oit != objects_.end()) {
+            oit->second.group = 0;
+            if (!IsEnvelopeId(m)) CellInsert(nullptr, m, oit->second.attr);
+          }
+        }
+        grouped_objects_ -= g.members.size();
+        GroupCellRemove(nullptr, t.group, g.model);
+        groups_.erase(t.group);
+        break;
+      }
+      case GroupTransitionKind::kLeaderChange: {
+        if (auto git = groups_.find(t.group); git != groups_.end()) {
+          git->second.leader = t.leader;
+        }
+        break;
+      }
+      case GroupTransitionKind::kRefresh: {
+        // The model's speed never changes on refresh, so the group's
+        // detection cell stays put.
+        if (auto git = groups_.find(t.group); git != groups_.end()) {
+          git->second.model = t.model;
+        }
+        break;
+      }
+    }
+  }
+  SyncGauges();
+}
+
+void GroupTracker::RestoreGroups(const std::vector<PersistedGroup>& groups,
+                                 GroupId next_group_id) {
+  if (!options_.enabled) return;
+  for (const PersistedGroup& pg : groups) {
+    GroupState g;
+    g.leader = pg.leader;
+    g.model = pg.model;
+    for (core::ObjectId m : pg.members) {
+      auto oit = objects_.find(m);
+      if (oit == objects_.end() || oit->second.group != 0) continue;
+      g.members.push_back(m);
+      oit->second.group = pg.id;
+      CellRemove(nullptr, m, oit->second.attr);
+    }
+    if (g.members.empty()) continue;
+    std::sort(g.members.begin(), g.members.end());
+    if (!std::binary_search(g.members.begin(), g.members.end(), g.leader)) {
+      // Leader record did not survive: deterministic re-election.
+      core::ObjectId best = g.members.front();
+      core::Time best_start = -std::numeric_limits<double>::infinity();
+      for (core::ObjectId m : g.members) {
+        const core::Time s = objects_.at(m).attr.start_time;
+        if (s > best_start) {
+          best = m;
+          best_start = s;
+        }
+      }
+      g.leader = best;
+    }
+    grouped_objects_ += g.members.size();
+    GroupCellInsert(nullptr, pg.id, g.model);
+    groups_[pg.id] = std::move(g);
+    next_group_id_ = std::max(next_group_id_, pg.id + 1);
+  }
+  next_group_id_ = std::max(next_group_id_, next_group_id);
+  SyncGauges();
+}
+
+std::vector<PersistedGroup> GroupTracker::ExportGroups() const {
+  std::vector<PersistedGroup> out;
+  out.reserve(groups_.size());
+  for (const auto& [gid, g] : groups_) {
+    out.push_back(PersistedGroup{gid, g.leader, g.model, g.members});
+  }
+  return out;
+}
+
+void GroupTracker::Revalidate() {
+  if (!options_.enabled || groups_.empty()) return;
+  // Collect first (deterministic: map + sorted members), then cascade —
+  // a cascade can dissolve a group and re-cell its members, which must
+  // not perturb the scan.
+  std::vector<std::pair<GroupId, core::ObjectId>> evict;
+  for (const auto& [gid, g] : groups_) {
+    for (core::ObjectId m : g.members) {
+      auto oit = objects_.find(m);
+      bool ok = oit != objects_.end();
+      if (ok) {
+        const core::PositionAttribute& a = oit->second.attr;
+        ok = WindowContains(g.model, a) && Cohesive(a, g.model, g.model.width);
+      }
+      if (!ok) evict.emplace_back(gid, m);
+    }
+  }
+  for (const auto& [gid, m] : evict) {
+    auto git = groups_.find(gid);
+    if (git == groups_.end()) continue;
+    if (!std::binary_search(git->second.members.begin(),
+                            git->second.members.end(), m)) {
+      continue;  // its group dissolved under an earlier eviction
+    }
+    RemoveFromGroup(nullptr, gid, m, /*log=*/false, /*erased=*/false);
+  }
+  SyncGauges();
+}
+
+void GroupTracker::AppendCollapseRows(Plan* plan) const {
+  if (!options_.enabled || plan == nullptr) return;
+  for (const auto& [gid, g] : groups_) {
+    for (core::ObjectId m : g.members) {
+      auto oit = objects_.find(m);
+      if (oit == objects_.end()) continue;
+      plan->attr_store_.push_back(oit->second.attr);
+      plan->rows.push_back(
+          IndexRow{m, &plan->attr_store_.back(), nullptr, true});
+    }
+    AppendEnvelopeRowTo(plan, g, gid);
+  }
+}
+
+// -- Query path --------------------------------------------------------
+
+void GroupTracker::ExpandCandidates(std::vector<core::ObjectId>* ids,
+                                    const geo::Polygon& region, core::Time t1,
+                                    core::Time t2,
+                                    const index::ObjectIndex& index) const {
+  if (!options_.enabled || ids == nullptr || ids->empty()) return;
+  bool any = false;
+  for (core::ObjectId id : *ids) {
+    if (IsEnvelopeId(id)) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  std::vector<core::ObjectId> out;
+  out.reserve(ids->size());
+  for (core::ObjectId id : *ids) {
+    if (!IsEnvelopeId(id)) {
+      out.push_back(id);
+      continue;
+    }
+    auto git = groups_.find(GroupOfEnvelopeId(id));
+    if (git == groups_.end()) continue;
+    for (core::ObjectId m : git->second.members) {
+      auto oit = objects_.find(m);
+      if (oit == objects_.end()) continue;
+      // Exact per-member candidacy: the same test the member's own boxes
+      // would have answered with group tracking off.
+      if (index.WouldMatchWindow(m, oit->second.attr, region, t1, t2)) {
+        out.push_back(m);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  *ids = std::move(out);
+}
+
+GroupId GroupTracker::GroupOf(core::ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? 0 : it->second.group;
+}
+
+// -- Metrics -----------------------------------------------------------
+
+void GroupTracker::SetMetrics(util::MetricsRegistry* registry,
+                              const std::string& prefix) {
+  DetachMetrics();
+  if (registry == nullptr) return;
+  forms_counter_ = registry->GetCounter(prefix + "forms");
+  splits_counter_ = registry->GetCounter(prefix + "splits");
+  joins_counter_ = registry->GetCounter(prefix + "joins");
+  leader_upserts_counter_ = registry->GetCounter(prefix + "leader_upserts");
+  member_skips_counter_ = registry->GetCounter(prefix + "member_skips");
+  count_gauge_ = registry->GetGauge(prefix + "count");
+  size_gauge_ = registry->GetGauge(prefix + "size");
+  SyncGauges();
+}
+
+void GroupTracker::DetachMetrics() {
+  // Withdraw this tracker's contribution from shared gauges before
+  // letting go of them.
+  if (count_gauge_ != nullptr) count_gauge_->Add(-pushed_count_);
+  if (size_gauge_ != nullptr) size_gauge_->Add(-pushed_size_);
+  forms_counter_ = nullptr;
+  splits_counter_ = nullptr;
+  joins_counter_ = nullptr;
+  leader_upserts_counter_ = nullptr;
+  member_skips_counter_ = nullptr;
+  count_gauge_ = nullptr;
+  size_gauge_ = nullptr;
+  pushed_count_ = 0;
+  pushed_size_ = 0;
+}
+
+void GroupTracker::SyncGauges() {
+  if (count_gauge_ != nullptr) {
+    const auto v = static_cast<std::int64_t>(groups_.size());
+    count_gauge_->Add(v - pushed_count_);
+    pushed_count_ = v;
+  }
+  if (size_gauge_ != nullptr) {
+    const auto v = static_cast<std::int64_t>(grouped_objects_);
+    size_gauge_->Add(v - pushed_size_);
+    pushed_size_ = v;
+  }
+}
+
+}  // namespace modb::db

@@ -45,11 +45,34 @@ std::unique_ptr<index::ObjectIndex> MakeIndex(
 
 }  // namespace
 
+namespace {
+
+GroupTrackingOptions EffectiveGroupOptions(
+    const ModDatabaseOptions& options,
+    const index::ObjectIndex& index) {
+  GroupTrackingOptions group = options.group_tracking;
+  // The linear scan has no envelope support; tracking silently stays off.
+  group.enabled = group.enabled && index.supports_group_envelopes();
+  return group;
+}
+
+index::OPlaneOptions BaseOPlane(const ModDatabaseOptions& options) {
+  index::OPlaneOptions oplane;
+  oplane.horizon = options.oplane_horizon;
+  oplane.slab_width = options.oplane_slab_width;
+  return oplane;
+}
+
+}  // namespace
+
 ModDatabase::ModDatabase(const geo::RouteNetwork* network,
                          ModDatabaseOptions options)
     : network_(network),
       options_(options),
       index_(MakeIndex(network, options)),
+      group_tracker_(std::make_unique<GroupTracker>(
+          network, EffectiveGroupOptions(options, *index_),
+          BaseOPlane(options))),
       log_(options.max_log_history) {}
 
 void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
@@ -66,6 +89,7 @@ void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
     apply_latency_ = nullptr;
     batch_size_hist_ = nullptr;
     index_->SetMetrics(nullptr, "");
+    group_tracker_->SetMetrics(nullptr, "");
     return;
   }
   updates_applied_ = registry->GetCounter(prefix + "updates_applied");
@@ -80,6 +104,7 @@ void ModDatabase::SetMetrics(util::MetricsRegistry* registry,
   // unit reads as a record count — the wal.group_commit_batch convention).
   batch_size_hist_ = registry->GetLatency(prefix + "ingest.batch_size");
   index_->SetMetrics(registry, prefix + "index.");
+  group_tracker_->SetMetrics(registry, prefix + "group.");
 }
 
 void ModDatabase::AttachDeltaConsumer(DeltaConsumer* consumer) {
@@ -168,6 +193,7 @@ util::Status ModDatabase::Insert(core::ObjectId id, std::string label,
       return s;
     }
   }
+  group_tracker_->ObserveInsert(id, attr);
   if (!bulk_ingest_ && !consumers_.empty()) {
     const AttributeDelta delta{0, id, nullptr, &attr};
     NotifyDeltas({&delta, 1});
@@ -213,7 +239,26 @@ util::Status ModDatabase::FinishBulkIngest() {
   for (const auto& [id, record] : records_) {
     for_index.emplace_back(id, record.attr);
   }
-  return index_->BulkUpsert(for_index);
+  if (util::Status s = index_->BulkUpsert(for_index); !s.ok()) return s;
+  if (group_tracker_->enabled()) {
+    // Evict members a torn WAL tail left outside their group's cohesion
+    // tube (a clean replay is a no-op), then re-collapse the surviving
+    // groups: the bulk rebuild above indexed every member individually,
+    // so convert members back to hidden rows and re-install envelopes.
+    group_tracker_->Revalidate();
+    GroupTracker::Plan plan;
+    group_tracker_->AppendCollapseRows(&plan);
+    if (!plan.rows.empty()) {
+      std::vector<index::IndexDelta> deltas;
+      deltas.reserve(plan.rows.size());
+      for (const GroupTracker::IndexRow& row : plan.rows) {
+        deltas.push_back(
+            index::IndexDelta{row.id, row.attr, row.boxes, row.hidden});
+      }
+      if (util::Status s = index_->ApplyDeltaBatch(deltas); !s.ok()) return s;
+    }
+  }
+  return util::Status::Ok();
 }
 
 util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
@@ -267,6 +312,9 @@ util::Status ModDatabase::BulkInsert(std::vector<BulkObject> objects) {
       for (const auto& [id, attr] : for_index) records_.erase(id);
       return s;
     }
+  }
+  for (const auto& [id, attr] : for_index) {
+    group_tracker_->ObserveInsert(id, attr);
   }
   if (!bulk_ingest_ && !consumers_.empty()) {
     // One insert transition per row, in input order (`for_index` was
@@ -353,13 +401,44 @@ UpdateBatchResult ModDatabase::ApplyUpdateBatch(
   }
   if (num_accepted == 0) return result;
 
+  // --- Stage 1b: group plan. Fold every accepted record — in input order,
+  // so membership evolves exactly as sequential ingest would — into the
+  // group tracker. Planning mutates tracker state directly and journals
+  // the pre-image; a WAL or index failure below rolls it back. During
+  // replay (`bulk_ingest_`) only the attribute mirror is kept in sync:
+  // the logged transitions are applied verbatim by the recovery driver.
+  GroupTracker::Plan gplan;
+  const bool tracking = group_tracker_->enabled();
+  if (tracking) {
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (!accepted[i]) continue;
+      if (bulk_ingest_) {
+        group_tracker_->ObserveAttrOnly(updates[i].object, merged[i]);
+      } else {
+        group_tracker_->PlanUpdate(updates[i].object, merged[i], &gplan);
+      }
+    }
+  }
+
   // --- Stage 2: log. One framed kUpdateBatch record holds every accepted
   // update (a batch of one logs the historical plain kUpdate framing). A
   // failed append fails all accepted records before any memory effect; the
   // writer poisons itself, so the log cannot trail the store.
   if (wal_ != nullptr) {
     util::Status logged;
-    if (num_accepted == 1) {
+    if (tracking) {
+      // With group tracking on, every accepted batch (batches of one
+      // included) logs the compact kGroupBatch framing: member rows elide
+      // the fields the route geometry implies, and the batch's membership
+      // transitions ride in the same frame so replay restores groups in
+      // lockstep with the updates.
+      std::vector<core::PositionUpdate> to_log;
+      to_log.reserve(num_accepted);
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        if (accepted[i]) to_log.push_back(updates[i]);
+      }
+      logged = wal_->AppendGroupBatch(to_log, gplan.transitions, *network_);
+    } else if (num_accepted == 1) {
       logged = wal_->AppendUpdate(updates[first_accepted]);
     } else {
       std::vector<core::PositionUpdate> to_log;
@@ -371,6 +450,7 @@ UpdateBatchResult ModDatabase::ApplyUpdateBatch(
     }
     if (!logged.ok()) {
       if (wal_fails_ != nullptr) wal_fails_->Increment();
+      group_tracker_->Rollback(gplan);
       for (std::size_t i = 0; i < updates.size(); ++i) {
         if (accepted[i]) result.statuses[i] = logged;
       }
@@ -429,12 +509,31 @@ UpdateBatchResult ModDatabase::ApplyUpdateBatch(
   // object's *final* merged attribute, in first-touch order (deterministic
   // input; intermediate models would be dead work — the index only ever
   // serves the current one, and queries refine candidates exactly).
+  std::size_t hidden_rows = 0;
   if (!bulk_ingest_) {
     std::vector<index::IndexDelta> deltas;
-    deltas.reserve(saved.size());
-    for (const Saved& sv : saved) {
+    deltas.reserve(gplan.rows.size() + saved.size());
+    // Structural group rows first (envelope upserts, passive-peer hidden
+    // installs, re-materialisations): rows apply in order and later wins,
+    // so the batch's own rows below — which carry each object's *final*
+    // merged attribute and final membership — override any structural row
+    // planned mid-batch from a since-superseded attribute. Only objects
+    // without a batch row (passive peers) and the synthetic envelope ids
+    // are decided by the structural rows.
+    for (const GroupTracker::IndexRow& row : gplan.rows) {
       deltas.push_back(
-          index::IndexDelta{sv.id, &merged[last_accepted.find(sv.id)->second]});
+          index::IndexDelta{row.id, row.attr, row.boxes, row.hidden});
+    }
+    for (const Saved& sv : saved) {
+      index::IndexDelta delta{
+          sv.id, &merged[last_accepted.find(sv.id)->second]};
+      if (tracking && group_tracker_->IsGrouped(sv.id)) {
+        // Grouped members keep their per-object index state evolving but
+        // touch no tree nodes — the group envelope covers them.
+        delta.hidden = true;
+        ++hidden_rows;
+      }
+      deltas.push_back(delta);
     }
     if (util::Status s = index_->ApplyDeltaBatch(deltas); !s.ok()) {
       // Restore every touched record. The concatenation evicted+past is
@@ -453,6 +552,7 @@ UpdateBatchResult ModDatabase::ApplyUpdateBatch(
           record.past = std::move(past);
         }
       }
+      group_tracker_->Rollback(gplan);
       for (std::size_t i = 0; i < updates.size(); ++i) {
         if (accepted[i]) result.statuses[i] = s;
       }
@@ -462,6 +562,10 @@ UpdateBatchResult ModDatabase::ApplyUpdateBatch(
 
   // Success bookkeeping, deferred to here so the rollback above never has
   // to unwind it.
+  if (tracking) {
+    group_tracker_->NoteHiddenRows(hidden_rows);
+    group_tracker_->Commit(gplan);
+  }
   if (!bulk_ingest_ && !consumers_.empty()) {
     // Per-record transition stream, chained through the batch-local
     // intermediate attributes: record i's `before` is the previous
@@ -525,10 +629,34 @@ util::Status ModDatabase::Erase(core::ObjectId id) {
       return s;
     }
   }
-  // Stage 3: mutate; stage 4: index-delta.
+  // Stage 3: mutate; stage 4: index-delta. A member erase cascades through
+  // the group tracker (deterministic leader re-election / dissolve — the
+  // kErase record reproduces it on replay, so nothing extra is logged);
+  // the cascade's structural rows ride one index batch with the removal.
   const core::PositionAttribute before = it->second.attr;
+  GroupTracker::Plan gplan;
+  group_tracker_->ObserveErase(id, &gplan);
+  MovingObjectRecord saved = std::move(it->second);
   records_.erase(it);
-  if (!bulk_ingest_) index_->Remove(id);
+  if (!bulk_ingest_) {
+    if (gplan.rows.empty()) {
+      index_->Remove(id);
+    } else {
+      std::vector<index::IndexDelta> deltas;
+      deltas.reserve(gplan.rows.size() + 1);
+      deltas.push_back(index::IndexDelta{id, nullptr});
+      for (const GroupTracker::IndexRow& row : gplan.rows) {
+        deltas.push_back(
+            index::IndexDelta{row.id, row.attr, row.boxes, row.hidden});
+      }
+      if (util::Status s = index_->ApplyDeltaBatch(deltas); !s.ok()) {
+        records_.emplace(id, std::move(saved));
+        group_tracker_->Rollback(gplan);
+        return s;
+      }
+    }
+  }
+  group_tracker_->Commit(gplan);
   if (!bulk_ingest_ && !consumers_.empty()) {
     const AttributeDelta delta{0, id, &before, nullptr};
     NotifyDeltas({&delta, 1});
@@ -594,8 +722,18 @@ RangeAnswer ModDatabase::RefineRange(
     const std::vector<core::ObjectId>& candidates) const {
   RangeAnswer answer;
   answer.query_time = t;
-  answer.candidates_examined = candidates.size();
-  for (core::ObjectId id : candidates) {
+  // Envelope candidates expand into the exact member candidacies first, so
+  // `candidates_examined` counts the refinement work actually done —
+  // identical to the group-tracking-off configuration.
+  const std::vector<core::ObjectId>* cand = &candidates;
+  std::vector<core::ObjectId> expanded;
+  if (group_tracker_->has_groups()) {
+    expanded = candidates;
+    group_tracker_->ExpandCandidates(&expanded, region, t, t, *index_);
+    cand = &expanded;
+  }
+  answer.candidates_examined = cand->size();
+  for (core::ObjectId id : *cand) {
     const auto it = records_.find(id);
     if (it == records_.end()) continue;  // stale index entry
     const core::PositionAttribute& attr = it->second.attr;
@@ -716,8 +854,16 @@ bool ModDatabase::QueryNearestSplit(
     const geo::Polygon probe_region =
         geo::Polygon::CenteredRectangle(point, radius, radius);
     candidates = probe(probe_region);
-    answer.candidates_examined += candidates.size();
-    if (!locked([&] { items = build_items(candidates); })) return false;
+    // Envelope expansion reads tracker + index state, so it runs inside
+    // the same locked section as refinement; `candidates_examined` counts
+    // post-expansion work, matching the group-tracking-off configuration.
+    if (!locked([&] {
+          ExpandGroupCandidates(&candidates, probe_region, t, t);
+          answer.candidates_examined += candidates.size();
+          items = build_items(candidates);
+        })) {
+      return false;
+    }
     if (items.size() >= k || radius >= world_span) break;
     radius *= 2.0;
   }
@@ -729,8 +875,13 @@ bool ModDatabase::QueryNearestSplit(
       const geo::Polygon wide =
           geo::Polygon::CenteredRectangle(point, kth, kth);
       candidates = probe(wide);
-      answer.candidates_examined += candidates.size();
-      if (!locked([&] { items = build_items(candidates); })) return false;
+      if (!locked([&] {
+            ExpandGroupCandidates(&candidates, wide, t, t);
+            answer.candidates_examined += candidates.size();
+            items = build_items(candidates);
+          })) {
+        return false;
+      }
     }
   }
   if (items.size() > k) items.resize(k);
@@ -757,9 +908,16 @@ IntervalRangeAnswer ModDatabase::RefineRangeInterval(
   if (t1 > t2) std::swap(t1, t2);
   answer.window_start = t1;
   answer.window_end = t2;
-  answer.candidates_examined = candidates.size();
+  const std::vector<core::ObjectId>* cand = &candidates;
+  std::vector<core::ObjectId> expanded;
+  if (group_tracker_->has_groups()) {
+    expanded = candidates;
+    group_tracker_->ExpandCandidates(&expanded, region, t1, t2, *index_);
+    cand = &expanded;
+  }
+  answer.candidates_examined = cand->size();
 
-  for (core::ObjectId id : candidates) {
+  for (core::ObjectId id : *cand) {
     const auto it = records_.find(id);
     if (it == records_.end()) continue;
     const core::PositionAttribute& attr = it->second.attr;
@@ -794,6 +952,27 @@ IntervalRangeAnswer ModDatabase::RefineRangeInterval(
   std::sort(answer.may.begin(), answer.may.end());
   std::sort(answer.must_at_some_time.begin(), answer.must_at_some_time.end());
   return answer;
+}
+
+void ModDatabase::ExpandGroupCandidates(std::vector<core::ObjectId>* ids,
+                                        const geo::Polygon& region,
+                                        core::Time t1, core::Time t2) const {
+  if (!group_tracker_->has_groups()) return;
+  group_tracker_->ExpandCandidates(ids, region, t1, t2, *index_);
+}
+
+void ModDatabase::ApplyGroupTransitions(
+    const std::vector<GroupTransition>& transitions) {
+  group_tracker_->ApplyTransitions(transitions);
+}
+
+void ModDatabase::RestoreGroups(const std::vector<PersistedGroup>& groups,
+                                GroupId next_group_id) {
+  group_tracker_->RestoreGroups(groups, next_group_id);
+}
+
+std::vector<PersistedGroup> ModDatabase::ExportGroups() const {
+  return group_tracker_->ExportGroups();
 }
 
 util::Result<const MovingObjectRecord*> ModDatabase::Get(

@@ -13,6 +13,7 @@
 #include "core/position_attribute.h"
 #include "core/types.h"
 #include "core/update_policy.h"
+#include "db/group_tracker.h"
 #include "db/moving_object.h"
 #include "db/query.h"
 #include "db/update_log.h"
@@ -103,6 +104,12 @@ struct ModDatabaseOptions {
   /// cap is hit the oldest versions are dropped; queries before the oldest
   /// retained version answer from that version.
   std::size_t max_trajectory_versions = 0;
+  /// Convoy/group tracking (see `db::GroupTracker`): clusters objects that
+  /// share a route and velocity band behind one envelope index entry and
+  /// compact WAL rows. Off by default; requires an R*-tree index kind
+  /// (silently stays off with the linear scan, which has no envelope
+  /// support). Query answers are byte-identical either way.
+  GroupTrackingOptions group_tracking;
 };
 
 /// The moving-objects database (MOD): stores one position attribute per
@@ -359,11 +366,37 @@ class ModDatabase {
     if (index_probes_ != nullptr) index_probes_->Increment();
   }
 
+  /// The convoy tracker (never null; check `enabled()` — group tracking
+  /// must be switched on in the options *and* the index kind must support
+  /// envelope entries).
+  const GroupTracker& group_tracker() const { return *group_tracker_; }
+
+  /// Applies logged group-membership transitions verbatim (WAL replay of a
+  /// `kGroupBatch` record; no-op when tracking is off).
+  void ApplyGroupTransitions(const std::vector<GroupTransition>& transitions);
+
+  /// Installs snapshot-persisted groups (call after the member records are
+  /// inserted; no-op when tracking is off).
+  void RestoreGroups(const std::vector<PersistedGroup>& groups,
+                     GroupId next_group_id);
+
+  /// Snapshot form of the current groups (empty when tracking is off).
+  std::vector<PersistedGroup> ExportGroups() const;
+  GroupId group_next_id() const { return group_tracker_->next_group_id(); }
+
  private:
   util::Status ValidateAttribute(const core::PositionAttribute& attr) const;
   /// Fans a committed mutation's transition stream out to every attached
   /// consumer (the pointed-to attributes live only for the call).
   void NotifyDeltas(std::span<const AttributeDelta> deltas);
+  /// Replaces group-envelope candidates in `ids` with the exact member
+  /// candidacies (no-op without active groups). Callers on the lock-free
+  /// read path invoke this under the shard's shared lock — the tracker is
+  /// only mutated under the exclusive lock.
+  void ExpandGroupCandidates(std::vector<core::ObjectId>* ids,
+                             const geo::Polygon& region, core::Time t1,
+                             core::Time t2) const;
+  bool group_tracking_on() const { return group_tracker_->enabled(); }
 
   const geo::RouteNetwork* network_;
   ModDatabaseOptions options_;
@@ -373,6 +406,7 @@ class ModDatabase {
   // itself, never index operations.
   std::shared_ptr<index::ObjectIndex> index_;
   mutable std::mutex index_mu_;
+  std::unique_ptr<GroupTracker> group_tracker_;  // never null
   UpdateLog log_;
   WalWriter* wal_ = nullptr;  // non-owning, see AttachWal
   // Delta-stream fan-out (all non-owning, see AttachDeltaConsumer).

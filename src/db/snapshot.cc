@@ -16,13 +16,17 @@ namespace modb::db {
 
 namespace {
 
+// v5 appended the group-tracking configuration to the options line and a
+// `groups` section (convoy membership + shared motion models — persisted
+// so a restored store re-collapses its convoys instead of re-detecting
+// them from scratch); older versions default tracking off and no groups.
 // v4 appended the velocity-partitioned index configuration (band count and
 // the band speed bounds — persisted so a restored store bands its fleet
 // identically to the live one) and allows index_kind 2. v3 appended
 // `max_trajectory_versions`; v2 snapshots (which lacked the field,
 // silently dropping the cap on restore) are still readable and default it
 // to 0 (unlimited). v2/v3 default the velocity fields.
-constexpr int kSnapshotVersion = 4;
+constexpr int kSnapshotVersion = 5;
 constexpr int kMinReadableSnapshotVersion = 2;
 
 void WriteAttribute(std::ostream& out, const core::PositionAttribute& a) {
@@ -117,6 +121,11 @@ util::Status WriteSnapshot(const ModDatabase& db, std::ostream& out) {
       << options.max_trajectory_versions << ' '
       << options.velocity_bands << ' ' << band_bounds.size();
   for (double bound : band_bounds) out << ' ' << bound;
+  const GroupTrackingOptions& group = options.group_tracking;
+  out << ' ' << (group.enabled ? 1 : 0) << ' ' << group.cohesion_window << ' '
+      << group.join_window << ' ' << group.min_group_size << ' '
+      << group.speed_band_width << ' ' << group.window_slack << ' '
+      << group.max_form_scan;
   out << '\n';
 
   const geo::RouteNetwork& network = db.network();
@@ -153,6 +162,20 @@ util::Status WriteSnapshot(const ModDatabase& db, std::ostream& out) {
       out << ' ';
       WriteAttribute(out, version);
     }
+    out << '\n';
+  }
+
+  // Convoy membership + shared motion models (ExportGroups is id-ordered,
+  // members sorted — deterministic like the object section).
+  const std::vector<PersistedGroup> groups = db.ExportGroups();
+  out << "groups " << groups.size() << ' ' << db.group_next_id() << '\n';
+  for (const PersistedGroup& g : groups) {
+    out << "group " << g.id << ' ' << g.leader << ' ' << g.model.route << ' '
+        << static_cast<int>(g.model.direction) << ' ' << g.model.speed << ' '
+        << g.model.anchor_time << ' ' << g.model.anchor_distance << ' '
+        << g.model.window_lo << ' ' << g.model.window_hi << ' '
+        << g.model.vmax << ' ' << g.model.width << ' ' << g.members.size();
+    for (core::ObjectId m : g.members) out << ' ' << m;
     out << '\n';
   }
   if (!out) return util::Status::Internal("snapshot write failed");
@@ -203,6 +226,16 @@ util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
       }
       prev = bound;
     }
+  }
+  if (version >= 5) {
+    int group_enabled = 0;
+    GroupTrackingOptions& group = options.group_tracking;
+    if (!(in >> group_enabled >> group.cohesion_window >> group.join_window >>
+          group.min_group_size >> group.speed_band_width >>
+          group.window_slack >> group.max_form_scan)) {
+      return malformed("options fields");
+    }
+    group.enabled = group_enabled != 0;
   }
   // An out-of-range kind would leave the database without an index (the
   // factory switch has no such case) — reject it here instead. Pre-v4
@@ -283,6 +316,38 @@ util::Result<LoadedSnapshot> ReadSnapshot(std::istream& in) {
     }
     (void)insert_time;   // Insert() re-derives it from the attribute.
     (void)update_count;  // the log is not persisted; counters restart
+  }
+  if (version >= 5) {
+    // Groups restore *before* FinishBulkIngest so the bulk rebuild's
+    // revalidation sweep and envelope re-collapse see them.
+    if (!ExpectToken(in, "groups")) return malformed("groups");
+    std::size_t num_groups = 0;
+    GroupId next_group_id = 0;
+    if (!(in >> num_groups >> next_group_id)) return malformed("group count");
+    if (num_groups > num_objects) return malformed("group count");
+    std::vector<PersistedGroup> groups;
+    groups.reserve(num_groups);
+    for (std::size_t i = 0; i < num_groups; ++i) {
+      if (!ExpectToken(in, "group")) return malformed("group record");
+      PersistedGroup g;
+      int direction = 0;
+      std::size_t member_count = 0;
+      if (!(in >> g.id >> g.leader >> g.model.route >> direction >>
+            g.model.speed >> g.model.anchor_time >> g.model.anchor_distance >>
+            g.model.window_lo >> g.model.window_hi >> g.model.vmax >>
+            g.model.width >> member_count)) {
+        return malformed("group header");
+      }
+      if (direction != +1 && direction != -1) return malformed("group header");
+      g.model.direction = static_cast<core::TravelDirection>(direction);
+      if (member_count > num_objects) return malformed("group members");
+      g.members.resize(member_count);
+      for (core::ObjectId& m : g.members) {
+        if (!(in >> m)) return malformed("group members");
+      }
+      groups.push_back(std::move(g));
+    }
+    snapshot.database->RestoreGroups(groups, next_group_id);
   }
   if (util::Status s = snapshot.database->FinishBulkIngest(); !s.ok()) {
     return s;

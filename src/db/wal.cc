@@ -152,6 +152,42 @@ bool GetAttribute(Cursor* cursor, core::PositionAttribute* a) {
   return true;
 }
 
+// kGroupBatch row flags.
+constexpr std::uint8_t kRowTimeElided = 1u << 0;
+constexpr std::uint8_t kRowPositionElided = 1u << 1;
+// Minimum encoded sizes, for the decoder's count sanity bounds.
+constexpr std::size_t kMinGroupRowBytes = 30;        // both fields elided
+constexpr std::size_t kMinGroupTransitionBytes = 21;  // kind+group+leader+count
+
+void PutGroupModel(std::string* out, const GroupModel& m) {
+  PutU32(out, m.route);
+  PutDirection(out, m.direction);
+  PutF64(out, m.speed);
+  PutF64(out, m.anchor_time);
+  PutF64(out, m.anchor_distance);
+  PutF64(out, m.window_lo);
+  PutF64(out, m.window_hi);
+  PutF64(out, m.vmax);
+  PutF64(out, m.width);
+}
+
+bool GetGroupModel(Cursor* cursor, GroupModel* m) {
+  std::uint32_t route = 0;
+  if (!cursor->GetU32(&route) || !GetDirection(cursor, &m->direction) ||
+      !cursor->GetF64(&m->speed) || !cursor->GetF64(&m->anchor_time) ||
+      !cursor->GetF64(&m->anchor_distance) ||
+      !cursor->GetF64(&m->window_lo) || !cursor->GetF64(&m->window_hi) ||
+      !cursor->GetF64(&m->vmax) || !cursor->GetF64(&m->width)) {
+    return false;
+  }
+  m->route = route;
+  return true;
+}
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
 std::string FrameRecord(const std::string& payload) {
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size());
@@ -194,6 +230,40 @@ std::string EncodeWalRecord(const WalRecord& record) {
         payload += sub_payload;
       }
       break;
+    case WalRecordType::kGroupBatch: {
+      PutF64(&payload, record.group_base_time);
+      PutU32(&payload, static_cast<std::uint32_t>(record.group_rows.size()));
+      for (const GroupWalRow& row : record.group_rows) {
+        std::uint8_t flags = 0;
+        if (row.time_elided) flags |= kRowTimeElided;
+        if (row.position_elided) flags |= kRowPositionElided;
+        PutU8(&payload, flags);
+        PutU64(&payload, row.update.object);
+        PutU32(&payload, row.update.route);
+        PutDirection(&payload, row.update.direction);
+        PutF64(&payload, row.update.speed);
+        PutF64(&payload, row.update.route_distance);
+        if (!row.time_elided) PutF64(&payload, row.update.time);
+        if (!row.position_elided) {
+          PutF64(&payload, row.update.position.x);
+          PutF64(&payload, row.update.position.y);
+        }
+      }
+      PutU32(&payload,
+             static_cast<std::uint32_t>(record.group_transitions.size()));
+      for (const GroupTransition& t : record.group_transitions) {
+        PutU8(&payload, static_cast<std::uint8_t>(t.kind));
+        PutU64(&payload, t.group);
+        PutU64(&payload, t.leader);
+        if (t.kind == GroupTransitionKind::kForm ||
+            t.kind == GroupTransitionKind::kRefresh) {
+          PutGroupModel(&payload, t.model);
+        }
+        PutU32(&payload, static_cast<std::uint32_t>(t.members.size()));
+        for (core::ObjectId m : t.members) PutU64(&payload, m);
+      }
+      break;
+    }
   }
   return payload;
 }
@@ -229,6 +299,81 @@ bool DecodeWalRecord(std::string_view payload, WalRecord* record) {
       if (!cursor.GetU64(&record->id)) return false;
       break;
     }
+    case static_cast<std::uint8_t>(WalRecordType::kGroupBatch): {
+      record->type = WalRecordType::kGroupBatch;
+      std::uint32_t row_count = 0;
+      if (!cursor.GetF64(&record->group_base_time) ||
+          !cursor.GetU32(&row_count)) {
+        return false;
+      }
+      // Each row costs at least its fully-elided encoding; a count beyond
+      // that is corruption, not a huge batch.
+      if (row_count > payload.size() / kMinGroupRowBytes) return false;
+      record->group_rows.clear();
+      record->group_rows.reserve(row_count);
+      for (std::uint32_t i = 0; i < row_count; ++i) {
+        GroupWalRow row;
+        std::uint8_t flags = 0;
+        std::uint32_t route = 0;
+        if (!cursor.GetU8(&flags) ||
+            flags > (kRowTimeElided | kRowPositionElided) ||
+            !cursor.GetU64(&row.update.object) || !cursor.GetU32(&route) ||
+            !GetDirection(&cursor, &row.update.direction) ||
+            !cursor.GetF64(&row.update.speed) ||
+            !cursor.GetF64(&row.update.route_distance)) {
+          return false;
+        }
+        row.update.route = route;
+        row.time_elided = (flags & kRowTimeElided) != 0;
+        row.position_elided = (flags & kRowPositionElided) != 0;
+        if (row.time_elided) {
+          row.update.time = record->group_base_time;
+        } else if (!cursor.GetF64(&row.update.time)) {
+          return false;
+        }
+        if (!row.position_elided &&
+            (!cursor.GetF64(&row.update.position.x) ||
+             !cursor.GetF64(&row.update.position.y))) {
+          return false;
+        }
+        record->group_rows.push_back(row);
+      }
+      std::uint32_t transition_count = 0;
+      if (!cursor.GetU32(&transition_count)) return false;
+      if (transition_count > payload.size() / kMinGroupTransitionBytes) {
+        return false;
+      }
+      record->group_transitions.clear();
+      record->group_transitions.reserve(transition_count);
+      for (std::uint32_t i = 0; i < transition_count; ++i) {
+        GroupTransition t;
+        std::uint8_t kind = 0;
+        if (!cursor.GetU8(&kind)) return false;
+        if (kind < static_cast<std::uint8_t>(GroupTransitionKind::kForm) ||
+            kind > static_cast<std::uint8_t>(GroupTransitionKind::kRefresh)) {
+          return false;
+        }
+        t.kind = static_cast<GroupTransitionKind>(kind);
+        if (!cursor.GetU64(&t.group) || !cursor.GetU64(&t.leader)) {
+          return false;
+        }
+        if (t.kind == GroupTransitionKind::kForm ||
+            t.kind == GroupTransitionKind::kRefresh) {
+          if (!GetGroupModel(&cursor, &t.model)) return false;
+        }
+        std::uint32_t member_count = 0;
+        if (!cursor.GetU32(&member_count)) return false;
+        if (member_count > payload.size() / 8) return false;
+        t.members.reserve(member_count);
+        for (std::uint32_t j = 0; j < member_count; ++j) {
+          std::uint64_t m = 0;
+          if (!cursor.GetU64(&m)) return false;
+          t.members.push_back(m);
+        }
+        record->group_transitions.push_back(std::move(t));
+      }
+      break;
+    }
     case static_cast<std::uint8_t>(WalRecordType::kUpdateBatch): {
       record->type = WalRecordType::kUpdateBatch;
       std::uint32_t count = 0;
@@ -244,8 +389,10 @@ bool DecodeWalRecord(std::string_view payload, WalRecord* record) {
         // Nesting depth is exactly one; rejecting a nested batch *before*
         // the recursive decode also bounds the recursion itself.
         if (!sub_payload.empty() &&
-            static_cast<std::uint8_t>(sub_payload[0]) ==
-                static_cast<std::uint8_t>(WalRecordType::kUpdateBatch)) {
+            (static_cast<std::uint8_t>(sub_payload[0]) ==
+                 static_cast<std::uint8_t>(WalRecordType::kUpdateBatch) ||
+             static_cast<std::uint8_t>(sub_payload[0]) ==
+                 static_cast<std::uint8_t>(WalRecordType::kGroupBatch))) {
           return false;
         }
         WalRecord sub;
@@ -431,7 +578,8 @@ util::Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
   std::vector<std::string> encoded;
   encoded.reserve(records.size());
   for (const WalRecord& record : records) {
-    if (record.type == WalRecordType::kUpdateBatch) {
+    if (record.type == WalRecordType::kUpdateBatch ||
+        record.type == WalRecordType::kGroupBatch) {
       return util::Status::InvalidArgument("nested WAL batch");
     }
     encoded.push_back(EncodeWalRecord(record));
@@ -471,6 +619,59 @@ util::Status WalWriter::AppendUpdateBatch(
     records.push_back(std::move(record));
   }
   return AppendBatch(records);
+}
+
+util::Status WalWriter::AppendGroupBatch(
+    const std::vector<core::PositionUpdate>& updates,
+    const std::vector<GroupTransition>& transitions,
+    const geo::RouteNetwork& network) {
+  if (updates.empty() && transitions.empty()) return util::Status::Ok();
+  // Decide per-row position elision up front: a position that bit-equals
+  // the route geometry at the row's route distance (the common case — the
+  // sender computed it the same way) costs nothing in the log and is
+  // rehydrated exactly on replay.
+  std::vector<GroupWalRow> rows;
+  rows.reserve(updates.size());
+  for (const core::PositionUpdate& update : updates) {
+    GroupWalRow row;
+    row.update = update;
+    if (const auto route = network.FindRoute(update.route); route.ok()) {
+      const geo::Point2 p = (*route)->PointAt(update.route_distance);
+      row.position_elided = SameBits(p.x, update.position.x) &&
+                            SameBits(p.y, update.position.y);
+    }
+    rows.push_back(row);
+  }
+  // Pack rows into chunk records, splitting before the reader's payload
+  // sanity bound; each chunk carries its own base time (its first row's),
+  // and the transitions ride the last chunk so replay applies them after
+  // every member row of the batch.
+  std::size_t i = 0;
+  bool emitted = false;
+  while (i < rows.size() || !emitted) {
+    WalRecord chunk;
+    chunk.type = WalRecordType::kGroupBatch;
+    chunk.group_base_time = i < rows.size() ? rows[i].update.time : 0.0;
+    std::size_t body = 0;
+    while (i < rows.size()) {
+      GroupWalRow row = rows[i];
+      row.time_elided = SameBits(row.update.time, chunk.group_base_time);
+      const std::size_t row_bytes = kMinGroupRowBytes +
+                                    (row.time_elided ? 0 : 8) +
+                                    (row.position_elided ? 0 : 16);
+      if (!chunk.group_rows.empty() &&
+          body + row_bytes > kBatchChunkPayloadBytes) {
+        break;
+      }
+      body += row_bytes;
+      chunk.group_rows.push_back(std::move(row));
+      ++i;
+    }
+    if (i == rows.size()) chunk.group_transitions = transitions;
+    if (util::Status s = AppendRecord(chunk); !s.ok()) return s;
+    emitted = true;
+  }
+  return util::Status::Ok();
 }
 
 util::Status WalWriter::Sync() {

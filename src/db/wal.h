@@ -12,6 +12,8 @@
 #include "core/position_attribute.h"
 #include "core/types.h"
 #include "core/update_policy.h"
+#include "db/group_model.h"
+#include "geo/route_network.h"
 #include "util/fault_injection.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -24,12 +26,26 @@ enum class WalRecordType : std::uint8_t {
   kUpdate = 2,       // position update message (paper §3.1)
   kErase = 3,        // end of trip
   kUpdateBatch = 4,  // batched mutations: one frame, N nested sub-records
+  kGroupBatch = 5,   // compact member rows + group-membership transitions
+};
+
+/// One member row of a `kGroupBatch` record: a position update whose
+/// redundant fields were elided at encode time. A `time_elided` row shares
+/// the chunk's base time (the decoder rehydrates `update.time` itself); a
+/// `position_elided` row carries no (x, y) — the position is bit-identical
+/// to the route geometry at `route_distance`, so the replayer rehydrates
+/// it against the route network.
+struct GroupWalRow {
+  core::PositionUpdate update;
+  bool time_elided = false;
+  bool position_elided = false;
 };
 
 /// Decoded WAL record. Only the fields of the active `type` are meaningful:
 /// kInsert uses id/label/attr, kUpdate uses update, kErase uses id,
 /// kUpdateBatch uses batch (nesting depth is exactly one: a sub-record is
-/// never itself a batch — the decoder rejects deeper nesting).
+/// never itself a batch — the decoder rejects deeper nesting), kGroupBatch
+/// uses group_base_time/group_rows/group_transitions.
 struct WalRecord {
   WalRecordType type = WalRecordType::kUpdate;
   core::ObjectId id = core::kInvalidObjectId;
@@ -37,6 +53,9 @@ struct WalRecord {
   core::PositionAttribute attr;
   core::PositionUpdate update;
   std::vector<WalRecord> batch;
+  core::Time group_base_time = 0.0;
+  std::vector<GroupWalRow> group_rows;
+  std::vector<GroupTransition> group_transitions;
 };
 
 /// Encodes a record payload (type byte + little-endian fields; no frame).
@@ -134,6 +153,20 @@ class WalWriter {
   /// sub-record and calls `AppendBatch`.
   util::Status AppendUpdateBatch(
       const std::vector<core::PositionUpdate>& updates);
+
+  /// Appends one update batch in the compact group framing (`kGroupBatch`):
+  /// member rows elide the update time when it bit-equals the chunk's base
+  /// time and the (x, y) position when it bit-equals the route geometry at
+  /// the row's route distance, and the batch's membership transitions ride
+  /// in the same frame. With group tracking on this replaces
+  /// kUpdate/kUpdateBatch for every accepted batch (batches of one
+  /// included). Oversized batches split into chunks like `AppendBatch`
+  /// (each chunk carries its own base time; the transitions ride the last
+  /// chunk only) with the same prefix-replay failure semantics.
+  util::Status AppendGroupBatch(
+      const std::vector<core::PositionUpdate>& updates,
+      const std::vector<GroupTransition>& transitions,
+      const geo::RouteNetwork& network);
 
   /// Forces buffered frames to durable storage (ends the current group-
   /// commit batch). A no-op when nothing was appended since the last sync.

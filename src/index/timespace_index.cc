@@ -18,6 +18,13 @@ void TimeSpaceIndex::SetMetrics(util::MetricsRegistry* registry,
                                 const std::string& prefix) {
   remove_miss_counter_ =
       registry == nullptr ? nullptr : registry->GetCounter(prefix + "remove_miss");
+  group_hidden_counter_ =
+      registry == nullptr ? nullptr
+                          : registry->GetCounter(prefix + "group.hidden_upserts");
+  group_envelope_counter_ =
+      registry == nullptr
+          ? nullptr
+          : registry->GetCounter(prefix + "group.envelope_upserts");
   rtree_.SetMetrics(registry, prefix);
 }
 
@@ -37,13 +44,29 @@ util::Status TimeSpaceIndex::Upsert(core::ObjectId id,
 
 void TimeSpaceIndex::UpsertValidated(core::ObjectId id,
                                      const core::PositionAttribute& attr,
-                                     const geo::Route& route) {
+                                     const geo::Route& route,
+                                     const std::vector<geo::Box3>* override_boxes,
+                                     bool hidden) {
   // Publish the remove+insert pair as one unit to lock-free readers: a
   // candidate probe must never observe the old plane gone with the new one
   // not yet indexed (that would be a false negative, violating MUST
   // soundness).
   RTree3::BatchScope batch(rtree_);
-  std::vector<geo::Box3> boxes = BuildOPlaneBoxes(attr, route, options_.oplane);
+  std::vector<geo::Box3> boxes;
+  if (hidden) {
+    // Group-member row: the object stays known (so `Remove`/`BulkUpsert`
+    // bookkeeping works) but owns no tree boxes — its group's envelope
+    // entry covers it. This branch is the group layer's saving: after the
+    // first hidden install, later hidden updates touch zero tree nodes.
+    if (group_hidden_counter_ != nullptr) group_hidden_counter_->Increment();
+  } else if (override_boxes != nullptr) {
+    boxes = *override_boxes;
+    if (group_envelope_counter_ != nullptr) {
+      group_envelope_counter_->Increment();
+    }
+  } else {
+    boxes = BuildOPlaneBoxes(attr, route, options_.oplane);
+  }
   // Drop the old o-plane (paper §4.2: remove the object id from the index
   // rectangles intersecting p1) ...
   auto it = boxes_by_object_.find(id);
@@ -86,9 +109,25 @@ util::Status TimeSpaceIndex::ApplyDeltaBatch(
       continue;
     }
     const auto route = network_->FindRoute(delta.attr->route);
-    UpsertValidated(delta.id, *delta.attr, **route);
+    UpsertValidated(delta.id, *delta.attr, **route, delta.boxes, delta.hidden);
   }
   return rtree_.storage_status();
+}
+
+bool TimeSpaceIndex::WouldMatchWindow(core::ObjectId id,
+                                      const core::PositionAttribute& attr,
+                                      const geo::Polygon& region, core::Time t1,
+                                      core::Time t2) const {
+  (void)id;  // the time-space predicate depends only on the attribute
+  const auto route = network_->FindRoute(attr.route);
+  if (!route.ok()) return false;
+  const std::vector<geo::Box3> boxes =
+      BuildOPlaneBoxes(attr, **route, options_.oplane);
+  const geo::Box3 probe(region.BoundingBox(), t1, t2);
+  for (const geo::Box3& box : boxes) {
+    if (box.Intersects(probe)) return true;
+  }
+  return false;
 }
 
 util::Status TimeSpaceIndex::BulkUpsert(

@@ -58,18 +58,29 @@ class TimeSpaceIndex final : public ObjectIndex {
           objects) override;
   /// Batched maintenance: validates every delta's route first (index
   /// unchanged on failure), then applies the remove+reinsert passes over
-  /// the one tree without the per-call validation overhead.
+  /// the one tree without the per-call validation overhead. Understands the
+  /// group-tracking rows: `hidden` deltas drop the object's boxes and keep
+  /// it as a box-less entry (zero tree-node touches on later hidden
+  /// updates), `boxes` deltas install the given cover verbatim.
   util::Status ApplyDeltaBatch(const std::vector<IndexDelta>& deltas) override;
   std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
                                          core::Time t) const override;
   std::vector<core::ObjectId> CandidatesInWindow(const geo::Polygon& region,
                                                  core::Time t1,
                                                  core::Time t2) const override;
-  /// Registers `<prefix>remove_miss` (counter) plus the tree's page I/O
-  /// instruments (`<prefix>splits`, `<prefix>pages.*` — see
-  /// `RTree3::SetMetrics`) in `registry`.
+  /// Registers `<prefix>remove_miss` (counter), the group-row counters
+  /// (`<prefix>group.hidden_upserts`, `<prefix>group.envelope_upserts`),
+  /// plus the tree's page I/O instruments (`<prefix>splits`,
+  /// `<prefix>pages.*` — see `RTree3::SetMetrics`) in `registry`.
   void SetMetrics(util::MetricsRegistry* registry,
                   const std::string& prefix) override;
+  bool supports_group_envelopes() const override { return true; }
+  /// Stateless exact candidacy test: builds the o-plane boxes `attr` would
+  /// be stored under and intersects them with the probe box — byte-for-byte
+  /// the predicate `CandidatesInWindow` evaluates through the tree.
+  bool WouldMatchWindow(core::ObjectId id, const core::PositionAttribute& attr,
+                        const geo::Polygon& region, core::Time t1,
+                        core::Time t2) const override;
   /// Flushes the R*-tree's dirty pages and commits its page store.
   util::Status FlushStorage() override { return rtree_.FlushStorage(); }
   /// Candidate probes are lock-free when the tree runs its copy-on-write /
@@ -96,8 +107,12 @@ class TimeSpaceIndex final : public ObjectIndex {
  private:
   /// Shared tail of `Upsert` and `ApplyDeltaBatch`: drop the old o-plane,
   /// index the new one. `route` must already be resolved for `attr`.
+  /// `override_boxes` replaces the derived cover (group envelopes);
+  /// `hidden` stores no boxes at all (group members).
   void UpsertValidated(core::ObjectId id, const core::PositionAttribute& attr,
-                       const geo::Route& route);
+                       const geo::Route& route,
+                       const std::vector<geo::Box3>* override_boxes = nullptr,
+                       bool hidden = false);
 
   const geo::RouteNetwork* network_;
   Options options_;
@@ -105,6 +120,8 @@ class TimeSpaceIndex final : public ObjectIndex {
   std::unordered_map<core::ObjectId, std::vector<geo::Box3>> boxes_by_object_;
   std::size_t remove_misses_ = 0;
   util::Counter* remove_miss_counter_ = nullptr;  // non-owning, may be null
+  util::Counter* group_hidden_counter_ = nullptr;    // non-owning
+  util::Counter* group_envelope_counter_ = nullptr;  // non-owning
 };
 
 }  // namespace modb::index

@@ -113,7 +113,13 @@ void VelocityPartitionedIndex::DeriveBounds() {
   // bands, which keeps banding stable (and snapshot-persistable).
   std::vector<double> speeds;
   speeds.reserve(objects_.size());
-  for (const auto& [id, state] : objects_) speeds.push_back(state.attr.speed);
+  for (const auto& [id, state] : objects_) {
+    // Synthetic group-envelope entries are not fleet members: letting them
+    // into the quantiles would make banding depend on whether group
+    // tracking is on, breaking candidate-set parity with the off config.
+    if (state.synthetic) continue;
+    speeds.push_back(state.attr.speed);
+  }
   if (speeds.empty()) return;
   std::sort(speeds.begin(), speeds.end());
   const std::size_t n = speeds.size();
@@ -171,6 +177,8 @@ void VelocityPartitionedIndex::SetMetrics(util::MetricsRegistry* registry,
   }
   remove_miss_counter_ = nullptr;
   band_migration_counter_ = nullptr;
+  group_hidden_counter_ = nullptr;
+  group_envelope_counter_ = nullptr;
   if (registry == nullptr) return;
   for (std::size_t b = 0; b < bands_.size(); ++b) {
     const std::string base = prefix + "band" + std::to_string(b) + ".";
@@ -184,6 +192,9 @@ void VelocityPartitionedIndex::SetMetrics(util::MetricsRegistry* registry,
   }
   remove_miss_counter_ = registry->GetCounter(prefix + "remove_miss");
   band_migration_counter_ = registry->GetCounter(prefix + "band_migrations");
+  group_hidden_counter_ = registry->GetCounter(prefix + "group.hidden_upserts");
+  group_envelope_counter_ =
+      registry->GetCounter(prefix + "group.envelope_upserts");
 }
 
 util::Status VelocityPartitionedIndex::Upsert(
@@ -209,7 +220,8 @@ util::Status VelocityPartitionedIndex::BandStorageStatus() const {
 
 void VelocityPartitionedIndex::ApplyOneValidated(
     core::ObjectId id, const core::PositionAttribute& attr,
-    const geo::Route& route, std::vector<std::uint8_t>* touched) {
+    const geo::Route& route, std::vector<std::uint8_t>* touched,
+    const std::vector<geo::Box3>* override_boxes, bool hidden) {
   const auto it = objects_.find(id);
   std::size_t target;
   if (it == objects_.end()) {
@@ -236,7 +248,23 @@ void VelocityPartitionedIndex::ApplyOneValidated(
   }
 
   Band& dst = *bands_[target];
-  std::vector<geo::Box3> boxes = BuildOPlaneBoxes(attr, route, dst.oplane);
+  const bool synthetic = override_boxes != nullptr;
+  std::vector<geo::Box3> boxes;
+  if (hidden) {
+    // Group-member row: the band-assignment state machine above already
+    // ran (hysteresis, migration accounting — exactly what the member's
+    // boxes would have done), but no tree boxes are stored: the group's
+    // envelope entry covers the member. This branch is the group layer's
+    // saving — a hidden update touches zero tree nodes.
+    if (group_hidden_counter_ != nullptr) group_hidden_counter_->Increment();
+  } else if (synthetic) {
+    boxes = *override_boxes;
+    if (group_envelope_counter_ != nullptr) {
+      group_envelope_counter_->Increment();
+    }
+  } else {
+    boxes = BuildOPlaneBoxes(attr, route, dst.oplane);
+  }
 
   if (it != objects_.end()) {
     const std::size_t source = it->second.band;
@@ -245,9 +273,14 @@ void VelocityPartitionedIndex::ApplyOneValidated(
     --src.objects;
     for (const geo::Box3& box : boxes) dst.tree.Insert(box, id);
     ++dst.objects;
+    if (it->second.synthetic != synthetic) {
+      synthetic_count_ += synthetic ? 1 : -1;
+    }
     it->second.band = target;
     it->second.attr = attr;
     it->second.boxes = std::move(boxes);
+    it->second.hidden = hidden;
+    it->second.synthetic = synthetic;
     if (touched != nullptr) {
       (*touched)[source] = 1;
       (*touched)[target] = 1;
@@ -258,8 +291,9 @@ void VelocityPartitionedIndex::ApplyOneValidated(
   } else {
     for (const geo::Box3& box : boxes) dst.tree.Insert(box, id);
     ++dst.objects;
-    objects_.emplace(id,
-                     ObjectState{target, attr, std::move(boxes)});
+    if (synthetic) ++synthetic_count_;
+    objects_.emplace(
+        id, ObjectState{target, attr, std::move(boxes), hidden, synthetic});
     if (touched != nullptr) {
       (*touched)[target] = 1;
     } else {
@@ -273,7 +307,7 @@ util::Status VelocityPartitionedIndex::MaybeTriggerBanding() {
   // objects arrived, band the fleet and rebuild (one-time cost, amortised
   // by the packed STR load).
   if (bounds_.empty() && options_.band_bounds.empty() &&
-      objects_.size() >= options_.banding_trigger) {
+      RealObjectCount() >= options_.banding_trigger) {
     DeriveBounds();
     return RebuildAllBands();
   }
@@ -292,6 +326,7 @@ void VelocityPartitionedIndex::RemoveInternal(
   Band& band = *bands_[source];
   RemoveBoxes(band, id, it->second.boxes);
   --band.objects;
+  if (it->second.synthetic) --synthetic_count_;
   objects_.erase(it);
   if (touched != nullptr) {
     (*touched)[source] = 1;
@@ -320,7 +355,8 @@ util::Status VelocityPartitionedIndex::ApplyDeltaBatch(
       continue;
     }
     const auto route = network_->FindRoute(delta.attr->route);
-    ApplyOneValidated(delta.id, *delta.attr, **route, &touched);
+    ApplyOneValidated(delta.id, *delta.attr, **route, &touched, delta.boxes,
+                      delta.hidden);
   }
   for (std::size_t b = 0; b < bands_.size(); ++b) {
     if (touched[b] != 0) SyncBandGauges(*bands_[b]);
@@ -342,10 +378,18 @@ util::Status VelocityPartitionedIndex::BulkUpsert(
     }
   }
   for (const auto& [id, attr] : objects) {
-    objects_[id].attr = attr;  // band and boxes assigned by the rebuild
+    ObjectState& state = objects_[id];  // band and boxes assigned by rebuild
+    state.attr = attr;
+    // A bulk row is a plain per-object install: it materializes whatever
+    // group-collapsed state the id previously had.
+    state.hidden = false;
+    if (state.synthetic) {
+      state.synthetic = false;
+      --synthetic_count_;
+    }
   }
   if (bounds_.empty() && options_.band_bounds.empty() &&
-      objects_.size() >= bands_.size()) {
+      RealObjectCount() >= bands_.size()) {
     DeriveBounds();
   }
   return RebuildAllBands();
@@ -369,7 +413,16 @@ util::Status VelocityPartitionedIndex::RebuildAllBands() {
     if (!route.ok()) return route.status();  // validated upstream
     state.band = TargetBand(state.attr.speed);
     Band& band = *bands_[state.band];
-    state.boxes = BuildOPlaneBoxes(state.attr, **route, band.oplane);
+    if (state.hidden) {
+      // Hidden group members re-band (their state machine keeps running)
+      // but stay box-less through rebuilds.
+      state.boxes.clear();
+    } else if (!state.synthetic) {
+      state.boxes = BuildOPlaneBoxes(state.attr, **route, band.oplane);
+    }
+    // Synthetic envelope entries keep their installed cover verbatim: it
+    // was built by the group layer with slab-invariant padding, so a band
+    // rebuild only re-homes it.
     ++band.objects;
     for (const geo::Box3& box : state.boxes) {
       per_band[state.band].emplace_back(box, id);
@@ -394,6 +447,26 @@ util::Status VelocityPartitionedIndex::FlushStorage() {
     if (util::Status s = band->tree.FlushStorage(); !s.ok()) return s;
   }
   return util::Status::Ok();
+}
+
+bool VelocityPartitionedIndex::WouldMatchWindow(
+    core::ObjectId id, const core::PositionAttribute& attr,
+    const geo::Polygon& region, core::Time t1, core::Time t2) const {
+  const auto route = network_->FindRoute(attr.route);
+  if (!route.ok()) return false;
+  // The band is path-dependent (hysteresis + banding trigger); the hidden
+  // rows keep the state machine running, so the maintained band is exactly
+  // the band the member's boxes would live in with group tracking off.
+  const auto it = objects_.find(id);
+  const std::size_t band =
+      it != objects_.end() ? it->second.band : TargetBand(attr.speed);
+  const std::vector<geo::Box3> boxes =
+      BuildOPlaneBoxes(attr, **route, bands_[band]->oplane);
+  const geo::Box3 probe(region.BoundingBox(), t1, t2);
+  for (const geo::Box3& box : boxes) {
+    if (box.Intersects(probe)) return true;
+  }
+  return false;
 }
 
 std::vector<core::ObjectId> VelocityPartitionedIndex::Candidates(

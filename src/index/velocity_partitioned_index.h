@@ -95,7 +95,13 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   /// Batched maintenance grouped per band: all rows validated first (index
   /// unchanged on failure), gauge syncing deferred to one pass over the
   /// touched bands, and the lazy banding trigger evaluated once per batch
-  /// instead of once per delta.
+  /// instead of once per delta. Understands the group-tracking rows:
+  /// `hidden` deltas keep running the band-assignment state machine
+  /// (hysteresis, migration accounting — the state `WouldMatchWindow`
+  /// consults) but store no tree boxes; `boxes` deltas install the given
+  /// cover verbatim under a synthetic entry that is excluded from the
+  /// banding statistics (trigger count, quantile derivation), so enabling
+  /// group tracking cannot shift when or where the fleet gets banded.
   util::Status ApplyDeltaBatch(const std::vector<IndexDelta>& deltas) override;
   std::vector<core::ObjectId> Candidates(const geo::Polygon& region,
                                          core::Time t) const override;
@@ -109,6 +115,15 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   /// `<prefix>remove_miss` and `<prefix>band_migrations`.
   void SetMetrics(util::MetricsRegistry* registry,
                   const std::string& prefix) override;
+  bool supports_group_envelopes() const override { return true; }
+  /// Exact candidacy test against the maintained per-object state: the
+  /// band a hidden member sits in is path-dependent (hysteresis, banding
+  /// trigger), so the test uses the band the state machine actually holds
+  /// for `id` — the same band the object's boxes would live in with group
+  /// tracking off — and that band's slab width to build the boxes.
+  bool WouldMatchWindow(core::ObjectId id, const core::PositionAttribute& attr,
+                        const geo::Polygon& region, core::Time t1,
+                        core::Time t2) const override;
   /// Flushes every band tree's dirty pages and commits its page store.
   util::Status FlushStorage() override;
   std::string_view name() const override { return "vp-rtree"; }
@@ -150,6 +165,12 @@ class VelocityPartitionedIndex final : public ObjectIndex {
     std::size_t band = 0;
     core::PositionAttribute attr;
     std::vector<geo::Box3> boxes;
+    /// Group member stored without tree boxes (band state still evolves).
+    bool hidden = false;
+    /// Group-envelope entry under a synthetic id: its boxes are installed
+    /// verbatim (and preserved across band rebuilds); it never counts
+    /// toward the banding trigger or the speed quantiles.
+    bool synthetic = false;
   };
 
   /// Speed-quantile bounds over the current fleet; also retunes each
@@ -171,7 +192,14 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   /// touched band indexes are marked instead of synced per call.
   void ApplyOneValidated(core::ObjectId id, const core::PositionAttribute& attr,
                          const geo::Route& route,
-                         std::vector<std::uint8_t>* touched);
+                         std::vector<std::uint8_t>* touched,
+                         const std::vector<geo::Box3>* override_boxes = nullptr,
+                         bool hidden = false);
+  /// Real (non-synthetic) object count — the fleet size the banding
+  /// trigger and quantiles run on.
+  std::size_t RealObjectCount() const {
+    return objects_.size() - synthetic_count_;
+  }
   /// `Remove` with the same deferred-gauge option as `ApplyOneValidated`.
   void RemoveInternal(core::ObjectId id, std::vector<std::uint8_t>* touched);
   /// Runs the lazy quantile banding once enough objects arrived (see the
@@ -187,8 +215,11 @@ class VelocityPartitionedIndex final : public ObjectIndex {
   std::unordered_map<core::ObjectId, ObjectState> objects_;
   std::size_t band_migrations_ = 0;
   std::size_t remove_misses_ = 0;
+  std::size_t synthetic_count_ = 0;
   util::Counter* remove_miss_counter_ = nullptr;      // non-owning
   util::Counter* band_migration_counter_ = nullptr;   // non-owning
+  util::Counter* group_hidden_counter_ = nullptr;     // non-owning
+  util::Counter* group_envelope_counter_ = nullptr;   // non-owning
 };
 
 }  // namespace modb::index

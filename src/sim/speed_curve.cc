@@ -156,6 +156,25 @@ SpeedCurve MakeRushHourCurve(util::Rng& rng, const CurveGenOptions& options) {
   return SpeedCurve(std::move(speeds), options.step);
 }
 
+SpeedCurve MakeConvoyCurve(util::Rng& rng, const CurveGenOptions& options) {
+  const std::size_t n = NumSteps(options);
+  std::vector<double> speeds(n, ClampSpeed(options.cruise_speed, options));
+  // Stop-and-go shockwaves: isolated single-step dips hit the whole platoon
+  // at once (every member shares this curve), always separated by cruise
+  // steps. A dip accrues dead-reckoning deviation that the policy only
+  // observes at the following tick — when the platoon is already back at
+  // cruise — so a triggered update re-declares the shared cruise speed with
+  // a refreshed position, and the convoy keeps one common motion model
+  // while it slowly falls behind it.
+  std::size_t i = 2 + static_cast<std::size_t>(rng.UniformInt(0, 4));
+  while (i < n) {
+    speeds[i] =
+        ClampSpeed(options.cruise_speed * rng.Uniform(0.05, 0.25), options);
+    i += static_cast<std::size_t>(rng.UniformInt(3, 8));
+  }
+  return SpeedCurve(std::move(speeds), options.step);
+}
+
 std::vector<NamedCurve> MakeStandardSuite(util::Rng& rng, int per_kind,
                                           const CurveGenOptions& options) {
   std::vector<NamedCurve> suite;

@@ -81,6 +81,18 @@ SpeedCurve MakeTrafficJamCurve(util::Rng& rng, const CurveGenOptions& options);
 /// trip with a highway-like middle.
 SpeedCurve MakeRushHourCurve(util::Rng& rng, const CurveGenOptions& options);
 
+/// Shared platoon profile for a convoy: cruise at a constant speed broken by
+/// isolated single-step stop-and-go dips (shockwaves) that hit the whole
+/// platoon at once. Because dips never occupy consecutive steps, a
+/// dead-reckoning policy observes the accrued deviation on a cruise step and
+/// its update re-declares the common cruise speed — so every member of a
+/// convoy that shares the curve keeps declaring the same speed no matter
+/// which tick its policy fires on, the condition for the group tracker to
+/// hold a convoy together across member refreshes. Randomness (dip times and
+/// crawl speeds) is per-curve: generate one curve per convoy and copy it to
+/// the members.
+SpeedCurve MakeConvoyCurve(util::Rng& rng, const CurveGenOptions& options);
+
 /// A labelled speed curve.
 struct NamedCurve {
   std::string name;

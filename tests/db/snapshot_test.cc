@@ -195,11 +195,11 @@ TEST_F(SnapshotTest, ReadsVersion2SnapshotsWithoutCapField) {
   EXPECT_EQ(loaded->database->num_objects(), 1u);
 }
 
-TEST_F(SnapshotTest, WritesVersion4Header) {
+TEST_F(SnapshotTest, WritesVersion5Header) {
   ModDatabase db(&network_);
   std::stringstream stream;
   ASSERT_TRUE(WriteSnapshot(db, stream).ok());
-  EXPECT_EQ(stream.str().rfind("modb-snapshot 4\n", 0), 0u);
+  EXPECT_EQ(stream.str().rfind("modb-snapshot 5\n", 0), 0u);
 }
 
 TEST_F(SnapshotTest, ReadsVersion3SnapshotsWithoutVelocityFields) {
